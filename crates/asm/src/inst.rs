@@ -1,0 +1,688 @@
+//! The instruction set.
+
+use crate::flags::{Cond, ALL_FLAGS};
+use crate::regs::{Reg, RegId, Xmm};
+use std::fmt;
+
+/// Memory-access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl Width {
+    /// The width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::B1 => 1,
+            Width::B2 => 2,
+            Width::B4 => 4,
+            Width::B8 => 8,
+        }
+    }
+}
+
+/// A memory reference: `[base + index*scale + disp]`. `disp` may be an
+/// absolute address (globals) when `base` and `index` are absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Base register.
+    pub base: Option<Reg>,
+    /// Index register.
+    pub index: Option<Reg>,
+    /// Scale applied to the index (1, 2, 4, or 8).
+    pub scale: u8,
+    /// Displacement (or absolute address).
+    pub disp: i64,
+}
+
+impl MemRef {
+    /// `[base + disp]`.
+    pub fn base_disp(base: Reg, disp: i64) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: None,
+            scale: 1,
+            disp,
+        }
+    }
+
+    /// `[disp]` — absolute address.
+    pub fn absolute(addr: u64) -> MemRef {
+        MemRef {
+            base: None,
+            index: None,
+            scale: 1,
+            disp: addr as i64,
+        }
+    }
+
+    /// Registers this reference reads for address computation.
+    pub fn regs_read(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.base.into_iter().chain(self.index)
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            first = false;
+        }
+        if let Some(i) = self.index {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{i}*{}", self.scale)?;
+            first = false;
+        }
+        if self.disp != 0 || first {
+            if first {
+                write!(f, "{:#x}", self.disp)?;
+            } else if self.disp > 0 {
+                write!(f, " + {:#x}", self.disp)?;
+            } else {
+                write!(f, " - {:#x}", -self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// An integer-world operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// An immediate.
+    Imm(i64),
+    /// A memory location.
+    Mem(MemRef),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "${v}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// A floating-point-world operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XOperand {
+    /// An XMM register.
+    Xmm(Xmm),
+    /// A memory location (8 bytes).
+    Mem(MemRef),
+}
+
+impl fmt::Display for XOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XOperand::Xmm(x) => write!(f, "{x}"),
+            XOperand::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Two-operand integer ALU operations (`dst = dst op src`, flags updated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Imul,
+    And,
+    Or,
+    Xor,
+}
+
+impl AluOp {
+    /// Printer mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Imul => "imul",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+        }
+    }
+}
+
+/// Shift operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ShiftOp {
+    Shl,
+    Shr,
+    Sar,
+}
+
+impl ShiftOp {
+    /// Printer mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Shl => "shl",
+            ShiftOp::Shr => "shr",
+            ShiftOp::Sar => "sar",
+        }
+    }
+}
+
+/// Scalar-double SSE operations (`dst = dst op src`; `sqrt` is `dst =
+/// sqrt(src)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum SseOp {
+    Addsd,
+    Subsd,
+    Mulsd,
+    Divsd,
+    Sqrtsd,
+}
+
+impl SseOp {
+    /// Printer mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            SseOp::Addsd => "addsd",
+            SseOp::Subsd => "subsd",
+            SseOp::Mulsd => "mulsd",
+            SseOp::Divsd => "divsd",
+            SseOp::Sqrtsd => "sqrtsd",
+        }
+    }
+}
+
+/// Runtime-provided external functions (libc/math analogues). Mirrors the
+/// IR intrinsic set; the machine executes these host-side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ExtFn {
+    PrintI64,
+    PrintF64,
+    PrintChar,
+    Sqrt,
+    Fabs,
+    Floor,
+    Sin,
+    Cos,
+    Exp,
+    Log,
+    Abort,
+}
+
+impl ExtFn {
+    /// Symbol name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtFn::PrintI64 => "print_i64",
+            ExtFn::PrintF64 => "print_f64",
+            ExtFn::PrintChar => "print_char",
+            ExtFn::Sqrt => "sqrt",
+            ExtFn::Fabs => "fabs",
+            ExtFn::Floor => "floor",
+            ExtFn::Sin => "sin",
+            ExtFn::Cos => "cos",
+            ExtFn::Exp => "exp",
+            ExtFn::Log => "log",
+            ExtFn::Abort => "abort",
+        }
+    }
+
+    /// True if the function takes one f64 in `xmm0` and returns an f64.
+    pub fn is_float_fn(self) -> bool {
+        matches!(
+            self,
+            ExtFn::Sqrt
+                | ExtFn::Fabs
+                | ExtFn::Floor
+                | ExtFn::Sin
+                | ExtFn::Cos
+                | ExtFn::Exp
+                | ExtFn::Log
+        )
+    }
+}
+
+/// An absolute instruction index within an [`crate::AsmProgram`].
+pub type Target = u32;
+
+/// A machine instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `mov` with an access width: reg←reg/imm/mem, mem←reg/imm. Narrow
+    /// loads into a register zero the upper bits (like 32-bit mov) — use
+    /// [`Inst::Movsx`] for sign extension.
+    Mov {
+        /// Access width (memory operands; register-to-register is 64-bit).
+        width: Width,
+        /// Destination.
+        dst: Operand,
+        /// Source.
+        src: Operand,
+    },
+    /// Sign-extending load/move of a narrow value into a 64-bit register.
+    Movsx {
+        /// Source width.
+        width: Width,
+        /// Destination register.
+        dst: Reg,
+        /// Source (register or memory).
+        src: Operand,
+    },
+    /// Address computation without memory access.
+    Lea {
+        /// Destination register.
+        dst: Reg,
+        /// The address expression.
+        addr: MemRef,
+    },
+    /// Two-operand ALU: `dst = dst op src` (64-bit, sets flags).
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination (and left operand).
+        dst: Reg,
+        /// Right operand.
+        src: Operand,
+    },
+    /// Shift: `dst = dst shift amount` (count masked by 63, sets flags).
+    Shift {
+        /// Operation.
+        op: ShiftOp,
+        /// Destination (and left operand).
+        dst: Reg,
+        /// Count (immediate or register).
+        src: Operand,
+    },
+    /// Two's-complement negation (sets flags).
+    Neg {
+        /// Destination.
+        dst: Reg,
+    },
+    /// Sign-extend `rax` into `rdx:rax` (before `idiv`).
+    Cqo,
+    /// Signed 128/64 division: quotient → `rax`, remainder → `rdx`.
+    /// Traps on divide-by-zero and quotient overflow.
+    Idiv {
+        /// Divisor.
+        src: Operand,
+    },
+    /// Compare (subtract without writeback; sets flags).
+    Cmp {
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Bit test (and without writeback; sets flags).
+    Test {
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = cond ? 1 : 0` (whole register written).
+    Setcc {
+        /// Condition evaluated against FLAGS.
+        cond: Cond,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target instruction index.
+        target: Target,
+    },
+    /// Conditional jump.
+    Jcc {
+        /// Condition evaluated against FLAGS.
+        cond: Cond,
+        /// Target instruction index.
+        target: Target,
+    },
+    /// Call a program function (pushes the return index).
+    Call {
+        /// Callee function index in the program's function table.
+        func: u32,
+    },
+    /// Call an external (runtime) function.
+    CallExt {
+        /// Which runtime function.
+        ext: ExtFn,
+    },
+    /// Return (pops the return index; traps on a bad address).
+    Ret,
+    /// Push a 64-bit value.
+    Push {
+        /// The value pushed.
+        src: Operand,
+    },
+    /// Pop a 64-bit value into a register.
+    Pop {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Scalar-double move: xmm↔xmm, xmm↔mem (8 bytes; upper bits of a
+    /// register destination are preserved, as on x86).
+    Movsd {
+        /// Destination.
+        dst: XOperand,
+        /// Source.
+        src: XOperand,
+    },
+    /// Scalar-double arithmetic on the low 64 bits of the XMM register.
+    Sse {
+        /// Operation.
+        op: SseOp,
+        /// Destination (and left operand, except `sqrtsd`).
+        dst: Xmm,
+        /// Right operand (or sole operand for `sqrtsd`).
+        src: XOperand,
+    },
+    /// Unordered double compare; sets ZF/PF/CF.
+    Ucomisd {
+        /// Left operand.
+        lhs: Xmm,
+        /// Right operand.
+        rhs: XOperand,
+    },
+    /// Convert signed 64-bit integer to double.
+    Cvtsi2sd {
+        /// Destination XMM.
+        dst: Xmm,
+        /// Integer source.
+        src: Operand,
+    },
+    /// Convert double to signed 64-bit integer (truncating; out-of-range
+    /// and NaN produce the integer-indefinite value, as on x86).
+    Cvttsd2si {
+        /// Destination register.
+        dst: Reg,
+        /// Double source.
+        src: XOperand,
+    },
+    /// Bit-exact move between a GPR and an XMM low half (`movq`).
+    MovqRX {
+        /// Destination XMM.
+        dst: Xmm,
+        /// Source register.
+        src: Reg,
+    },
+    /// Bit-exact move from an XMM low half to a GPR (`movq`).
+    MovqXR {
+        /// Destination register.
+        dst: Reg,
+        /// Source XMM.
+        src: Xmm,
+    },
+}
+
+impl Inst {
+    /// The register-like location this instruction writes, if any — the
+    /// fault-injection target per the paper's model ("corrupt the
+    /// destination register of the executed instruction").
+    pub fn dest(&self) -> Option<RegId> {
+        match self {
+            Inst::Mov {
+                dst: Operand::Reg(r),
+                ..
+            } => Some(RegId::Gpr(*r)),
+            Inst::Movsx { dst, .. }
+            | Inst::Lea { dst, .. }
+            | Inst::Alu { dst, .. }
+            | Inst::Shift { dst, .. }
+            | Inst::Neg { dst }
+            | Inst::Setcc { dst, .. }
+            | Inst::Pop { dst }
+            | Inst::Cvttsd2si { dst, .. }
+            | Inst::MovqXR { dst, .. } => Some(RegId::Gpr(*dst)),
+            Inst::Idiv { .. } => Some(RegId::Gpr(Reg::Rax)),
+            Inst::Movsd {
+                dst: XOperand::Xmm(x),
+                ..
+            } => Some(RegId::Xmm(*x)),
+            Inst::Sse { dst, .. } | Inst::Cvtsi2sd { dst, .. } | Inst::MovqRX { dst, .. } => {
+                Some(RegId::Xmm(*dst))
+            }
+            Inst::Cmp { .. } | Inst::Test { .. } => Some(RegId::Flags(ALL_FLAGS)),
+            Inst::Ucomisd { .. } => Some(RegId::Flags(ALL_FLAGS)),
+            _ => None,
+        }
+    }
+
+    /// Register-like locations this instruction reads (used for fault
+    /// activation tracking: an injected register is *activated* when read
+    /// before being overwritten).
+    pub fn reads(&self) -> Vec<RegId> {
+        fn push_op(out: &mut Vec<RegId>, o: &Operand) {
+            match o {
+                Operand::Reg(r) => out.push(RegId::Gpr(*r)),
+                Operand::Mem(m) => {
+                    for r in m.regs_read() {
+                        out.push(RegId::Gpr(r));
+                    }
+                }
+                Operand::Imm(_) => {}
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            Inst::Mov { dst, src, .. } => {
+                push_op(&mut out, src);
+                if let Operand::Mem(m) = dst {
+                    for r in m.regs_read() {
+                        out.push(RegId::Gpr(r));
+                    }
+                }
+            }
+            Inst::Movsx { src, .. } => push_op(&mut out, src),
+            Inst::Lea { addr, .. } => {
+                for r in addr.regs_read() {
+                    out.push(RegId::Gpr(r));
+                }
+            }
+            Inst::Alu { dst, src, .. } | Inst::Shift { dst, src, .. } => {
+                out.push(RegId::Gpr(*dst));
+                push_op(&mut out, src);
+            }
+            Inst::Neg { dst } => out.push(RegId::Gpr(*dst)),
+            Inst::Cqo => out.push(RegId::Gpr(Reg::Rax)),
+            Inst::Idiv { src } => {
+                out.push(RegId::Gpr(Reg::Rax));
+                out.push(RegId::Gpr(Reg::Rdx));
+                push_op(&mut out, src);
+            }
+            Inst::Cmp { lhs, rhs } | Inst::Test { lhs, rhs } => {
+                push_op(&mut out, lhs);
+                push_op(&mut out, rhs);
+            }
+            Inst::Setcc { cond, .. } => out.push(RegId::Flags(cond.depends_mask())),
+            Inst::Jcc { cond, .. } => out.push(RegId::Flags(cond.depends_mask())),
+            Inst::Jmp { .. } => {}
+            Inst::Call { .. } | Inst::Ret => {
+                out.push(RegId::Gpr(Reg::Rsp));
+            }
+            Inst::CallExt { ext } => {
+                // The runtime call reads its argument registers.
+                match ext {
+                    ExtFn::PrintI64 | ExtFn::PrintChar => out.push(RegId::Gpr(Reg::Rdi)),
+                    ExtFn::Abort => {}
+                    _ => out.push(RegId::Xmm(Xmm(0))), // float fns and print_f64
+                }
+            }
+            Inst::Push { src } => {
+                push_op(&mut out, src);
+                out.push(RegId::Gpr(Reg::Rsp));
+            }
+            Inst::Pop { .. } => out.push(RegId::Gpr(Reg::Rsp)),
+            Inst::Movsd { dst, src } => {
+                match src {
+                    XOperand::Xmm(x) => out.push(RegId::Xmm(*x)),
+                    XOperand::Mem(m) => {
+                        for r in m.regs_read() {
+                            out.push(RegId::Gpr(r));
+                        }
+                    }
+                }
+                if let XOperand::Mem(m) = dst {
+                    for r in m.regs_read() {
+                        out.push(RegId::Gpr(r));
+                    }
+                }
+            }
+            Inst::Sse { op: o, dst, src } => {
+                if *o != SseOp::Sqrtsd {
+                    out.push(RegId::Xmm(*dst));
+                }
+                match src {
+                    XOperand::Xmm(x) => out.push(RegId::Xmm(*x)),
+                    XOperand::Mem(m) => {
+                        for r in m.regs_read() {
+                            out.push(RegId::Gpr(r));
+                        }
+                    }
+                }
+            }
+            Inst::Ucomisd { lhs, rhs } => {
+                out.push(RegId::Xmm(*lhs));
+                match rhs {
+                    XOperand::Xmm(x) => out.push(RegId::Xmm(*x)),
+                    XOperand::Mem(m) => {
+                        for r in m.regs_read() {
+                            out.push(RegId::Gpr(r));
+                        }
+                    }
+                }
+            }
+            Inst::Cvtsi2sd { src, .. } => push_op(&mut out, src),
+            Inst::Cvttsd2si { src, .. } => match src {
+                XOperand::Xmm(x) => out.push(RegId::Xmm(*x)),
+                XOperand::Mem(m) => {
+                    for r in m.regs_read() {
+                        out.push(RegId::Gpr(r));
+                    }
+                }
+            },
+            Inst::MovqRX { src, .. } => out.push(RegId::Gpr(*src)),
+            Inst::MovqXR { src, .. } => out.push(RegId::Xmm(*src)),
+        }
+        out
+    }
+
+    /// True for instructions that transfer control.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jmp { .. } | Inst::Jcc { .. } | Inst::Call { .. } | Inst::Ret
+        )
+    }
+
+    /// Short mnemonic for categorization and printing.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Inst::Mov { .. } => "mov",
+            Inst::Movsx { .. } => "movsx",
+            Inst::Lea { .. } => "lea",
+            Inst::Alu { op, .. } => op.mnemonic(),
+            Inst::Shift { op, .. } => op.mnemonic(),
+            Inst::Neg { .. } => "neg",
+            Inst::Cqo => "cqo",
+            Inst::Idiv { .. } => "idiv",
+            Inst::Cmp { .. } => "cmp",
+            Inst::Test { .. } => "test",
+            Inst::Setcc { .. } => "setcc",
+            Inst::Jmp { .. } => "jmp",
+            Inst::Jcc { .. } => "jcc",
+            Inst::Call { .. } => "call",
+            Inst::CallExt { .. } => "callext",
+            Inst::Ret => "ret",
+            Inst::Push { .. } => "push",
+            Inst::Pop { .. } => "pop",
+            Inst::Movsd { .. } => "movsd",
+            Inst::Sse { op, .. } => op.mnemonic(),
+            Inst::Ucomisd { .. } => "ucomisd",
+            Inst::Cvtsi2sd { .. } => "cvtsi2sd",
+            Inst::Cvttsd2si { .. } => "cvttsd2si",
+            Inst::MovqRX { .. } | Inst::MovqXR { .. } => "movq",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dest_analysis() {
+        let add = Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::Rax,
+            src: Operand::Imm(1),
+        };
+        assert_eq!(add.dest(), Some(RegId::Gpr(Reg::Rax)));
+        let store = Inst::Mov {
+            width: Width::B8,
+            dst: Operand::Mem(MemRef::base_disp(Reg::Rbp, -8)),
+            src: Operand::Reg(Reg::Rax),
+        };
+        assert_eq!(store.dest(), None, "memory store has no register dest");
+        let cmp = Inst::Cmp {
+            lhs: Operand::Reg(Reg::Rax),
+            rhs: Operand::Imm(0),
+        };
+        assert!(matches!(cmp.dest(), Some(RegId::Flags(_))));
+        assert_eq!(Inst::Ret.dest(), None);
+    }
+
+    #[test]
+    fn reads_analysis() {
+        let add = Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::Rax,
+            src: Operand::Mem(MemRef {
+                base: Some(Reg::Rbx),
+                index: Some(Reg::Rcx),
+                scale: 8,
+                disp: 16,
+            }),
+        };
+        let reads = add.reads();
+        assert!(reads.contains(&RegId::Gpr(Reg::Rax)), "RMW reads dst");
+        assert!(reads.contains(&RegId::Gpr(Reg::Rbx)));
+        assert!(reads.contains(&RegId::Gpr(Reg::Rcx)));
+
+        let jl = Inst::Jcc {
+            cond: Cond::L,
+            target: 0,
+        };
+        assert_eq!(jl.reads(), vec![RegId::Flags(Cond::L.depends_mask())]);
+    }
+
+    #[test]
+    fn mem_display() {
+        let m = MemRef {
+            base: Some(Reg::Rbp),
+            index: Some(Reg::Rcx),
+            scale: 8,
+            disp: -16,
+        };
+        assert_eq!(m.to_string(), "[rbp + rcx*8 - 0x10]");
+        assert_eq!(MemRef::absolute(0x1_0000).to_string(), "[0x10000]");
+    }
+}

@@ -1,0 +1,563 @@
+//! The machine emulator.
+
+use crate::flags::{self, ALL_FLAGS};
+use crate::inst::{AluOp, ExtFn, Inst, MemRef, Operand, ShiftOp, SseOp, Width, XOperand};
+use crate::program::AsmProgram;
+use crate::regs::{Reg, Xmm};
+use fiq_mem::{Console, Memory, RunStatus, Trap};
+
+/// Sentinel return address marking the bottom of the call stack.
+pub const RET_SENTINEL: u64 = u64::MAX;
+
+/// Emulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MachOptions {
+    /// Dynamic-instruction budget (hang detection).
+    pub max_steps: u64,
+    /// Stack size in bytes.
+    pub stack_size: u64,
+    /// Unmapped guard gap between globals and stack, in bytes.
+    pub guard_size: u64,
+    /// Simulated memory capacity.
+    pub mem_capacity: u64,
+}
+
+impl Default for MachOptions {
+    fn default() -> MachOptions {
+        MachOptions {
+            max_steps: 500_000_000,
+            stack_size: fiq_mem::DEFAULT_STACK_SIZE,
+            guard_size: 4096,
+            mem_capacity: fiq_mem::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+/// The architectural state: registers, FLAGS, memory, console. Hooks may
+/// mutate it freely (that is how faults are injected).
+#[derive(Debug, Clone)]
+pub struct MachState {
+    /// General-purpose registers, indexed by [`Reg::index`].
+    pub regs: [u64; 16],
+    /// XMM registers as `[low, high]` 64-bit halves. Double-precision
+    /// arithmetic uses only the low half.
+    pub xmm: [[u64; 2]; 16],
+    /// The FLAGS register.
+    pub flags: u64,
+    /// Simulated memory.
+    pub mem: Memory,
+    /// Program output.
+    pub console: Console,
+}
+
+impl MachState {
+    /// Reads a GPR.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a GPR.
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Reads the low half of an XMM register as an `f64`.
+    pub fn xmm_f64(&self, x: Xmm) -> f64 {
+        f64::from_bits(self.xmm[x.index()][0])
+    }
+
+    /// Writes the low half of an XMM register from an `f64` (high half
+    /// preserved, as on x86 scalar ops).
+    pub fn set_xmm_f64(&mut self, x: Xmm, v: f64) {
+        self.xmm[x.index()][0] = v.to_bits();
+    }
+}
+
+/// Observer/mutator called after each retired instruction — the analogue of
+/// a PIN instrumentation callback (paper §IV). PINFI-style injection mutates
+/// the destination register in `st`; profiling counts instructions by
+/// inspecting `prog.insts[idx]`.
+pub trait AsmHook {
+    /// Called after instruction `idx` retires (its destination is written)
+    /// and before the next instruction fetches.
+    fn on_retire(&mut self, idx: usize, st: &mut MachState) {
+        let _ = (idx, st);
+    }
+}
+
+/// A hook that does nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopAsmHook;
+
+impl AsmHook for NopAsmHook {}
+
+/// The result of a machine run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Why execution stopped.
+    pub status: RunStatus,
+    /// Instructions retired.
+    pub steps: u64,
+    /// Program output.
+    pub output: String,
+}
+
+enum Stop {
+    Trap(Trap),
+    Budget,
+    Finished,
+}
+
+impl From<Trap> for Stop {
+    fn from(t: Trap) -> Stop {
+        Stop::Trap(t)
+    }
+}
+
+/// The emulator. Create with [`Machine::new`], run with [`Machine::run`].
+pub struct Machine<'p, H> {
+    prog: &'p AsmProgram,
+    /// Architectural state (public so callers can inspect after a run).
+    pub st: MachState,
+    hook: H,
+    opts: MachOptions,
+    rip: usize,
+    steps: u64,
+}
+
+impl<'p, H: AsmHook> Machine<'p, H> {
+    /// Creates a machine: materializes globals, the guard gap, and the
+    /// stack, and points `rip` at `main`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::OutOfMemory`] if globals plus stack exceed capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no functions.
+    pub fn new(prog: &'p AsmProgram, opts: MachOptions, hook: H) -> Result<Machine<'p, H>, Trap> {
+        let mut mem = Memory::with_capacity(opts.mem_capacity);
+        prog.materialize_globals(&mut mem)?;
+        mem.reserve_guard(opts.guard_size);
+        let stack_top = mem.alloc_stack(opts.stack_size)?;
+        let mut st = MachState {
+            regs: [0; 16],
+            xmm: [[0; 2]; 16],
+            flags: 0,
+            mem,
+            console: Console::new(),
+        };
+        // Push the sentinel return address.
+        let rsp = stack_top - 8;
+        st.mem.write_uint(rsp, RET_SENTINEL, 8)?;
+        st.set_reg(Reg::Rsp, rsp);
+        let main = &prog.funcs[prog.main as usize];
+        Ok(Machine {
+            prog,
+            st,
+            hook,
+            opts,
+            rip: main.entry as usize,
+            steps: 0,
+        })
+    }
+
+    /// Runs to completion, trap, or budget exhaustion.
+    pub fn run(&mut self) -> RunResult {
+        let status = loop {
+            match self.step() {
+                Ok(()) => {}
+                Err(Stop::Finished) => break RunStatus::Finished,
+                Err(Stop::Trap(t)) => break RunStatus::Trapped(t),
+                Err(Stop::Budget) => break RunStatus::BudgetExceeded,
+            }
+        };
+        RunResult {
+            status,
+            steps: self.steps,
+            output: self.st.console.contents().to_string(),
+        }
+    }
+
+    /// Instructions retired so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Consumes the machine, returning the hook.
+    pub fn into_hook(self) -> H {
+        self.hook
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self) -> Result<(), Stop> {
+        self.steps += 1;
+        if self.steps > self.opts.max_steps {
+            return Err(Stop::Budget);
+        }
+        let idx = self.rip;
+        let Some(inst) = self.prog.insts.get(idx) else {
+            return Err(Trap::BadJump { target: idx as u64 }.into());
+        };
+        self.rip += 1; // default fall-through; control flow overrides
+        match inst.clone() {
+            Inst::Mov { width, dst, src } => {
+                let v = self.read_operand(width, &src)?;
+                self.write_operand(width, &dst, v)?;
+            }
+            Inst::Movsx { width, dst, src } => {
+                let raw = self.read_operand(width, &src)?;
+                let bits = width.bytes() * 8;
+                let v = if bits == 64 {
+                    raw
+                } else {
+                    (((raw << (64 - bits)) as i64) >> (64 - bits)) as u64
+                };
+                self.st.set_reg(dst, v);
+            }
+            Inst::Lea { dst, addr } => {
+                let a = self.effective_addr(&addr);
+                self.st.set_reg(dst, a);
+            }
+            Inst::Alu { op, dst, src } => {
+                let a = self.st.reg(dst);
+                let b = self.read_operand(Width::B8, &src)?;
+                let (result, fl) = match op {
+                    AluOp::Add => {
+                        let r = a.wrapping_add(b);
+                        (r, flags::add_flags(a, b, r))
+                    }
+                    AluOp::Sub => {
+                        let r = a.wrapping_sub(b);
+                        (r, flags::sub_flags(a, b, r))
+                    }
+                    AluOp::Imul => {
+                        let wide = i128::from(a as i64) * i128::from(b as i64);
+                        let r = wide as u64;
+                        let mut fl = flags::logic_flags(r);
+                        if wide != i128::from(r as i64) {
+                            fl |= (1 << flags::CF) | (1 << flags::OF);
+                        }
+                        (r, fl)
+                    }
+                    AluOp::And => {
+                        let r = a & b;
+                        (r, flags::logic_flags(r))
+                    }
+                    AluOp::Or => {
+                        let r = a | b;
+                        (r, flags::logic_flags(r))
+                    }
+                    AluOp::Xor => {
+                        let r = a ^ b;
+                        (r, flags::logic_flags(r))
+                    }
+                };
+                self.st.set_reg(dst, result);
+                self.st.flags = fl;
+            }
+            Inst::Shift { op, dst, src } => {
+                let a = self.st.reg(dst);
+                let count = (self.read_operand(Width::B8, &src)? & 63) as u32;
+                let (result, carry) = match op {
+                    ShiftOp::Shl => {
+                        let r = a << count;
+                        let c = count > 0 && (a >> (64 - count)) & 1 != 0;
+                        (r, c)
+                    }
+                    ShiftOp::Shr => {
+                        let r = a >> count;
+                        let c = count > 0 && (a >> (count - 1)) & 1 != 0;
+                        (r, c)
+                    }
+                    ShiftOp::Sar => {
+                        let r = ((a as i64) >> count) as u64;
+                        let c = count > 0 && ((a as i64) >> (count - 1)) & 1 != 0;
+                        (r, c)
+                    }
+                };
+                self.st.set_reg(dst, result);
+                let mut fl = flags::logic_flags(result);
+                if carry {
+                    fl |= 1 << flags::CF;
+                }
+                self.st.flags = fl;
+            }
+            Inst::Neg { dst } => {
+                let v = self.st.reg(dst);
+                let r = 0u64.wrapping_sub(v);
+                self.st.set_reg(dst, r);
+                self.st.flags = flags::sub_flags(0, v, r);
+            }
+            Inst::Cqo => {
+                let rax = self.st.reg(Reg::Rax);
+                self.st.set_reg(Reg::Rdx, ((rax as i64) >> 63) as u64);
+            }
+            Inst::Idiv { src } => {
+                let divisor = self.read_operand(Width::B8, &src)? as i64;
+                if divisor == 0 {
+                    return Err(Trap::DivByZero.into());
+                }
+                let dividend = (i128::from(self.st.reg(Reg::Rdx) as i64) << 64)
+                    | i128::from(self.st.reg(Reg::Rax));
+                let q = dividend / i128::from(divisor);
+                if q > i128::from(i64::MAX) || q < i128::from(i64::MIN) {
+                    return Err(Trap::DivByZero.into()); // x86 #DE on overflow
+                }
+                let r = dividend % i128::from(divisor);
+                self.st.set_reg(Reg::Rax, q as u64);
+                self.st.set_reg(Reg::Rdx, r as u64);
+            }
+            Inst::Cmp { lhs, rhs } => {
+                let a = self.read_operand(Width::B8, &lhs)?;
+                let b = self.read_operand(Width::B8, &rhs)?;
+                self.st.flags = flags::sub_flags(a, b, a.wrapping_sub(b));
+            }
+            Inst::Test { lhs, rhs } => {
+                let a = self.read_operand(Width::B8, &lhs)?;
+                let b = self.read_operand(Width::B8, &rhs)?;
+                self.st.flags = flags::logic_flags(a & b);
+            }
+            Inst::Setcc { cond, dst } => {
+                let v = u64::from(cond.eval(self.st.flags & ALL_FLAGS));
+                self.st.set_reg(dst, v);
+            }
+            Inst::Jmp { target } => {
+                self.jump(target)?;
+            }
+            Inst::Jcc { cond, target } => {
+                if cond.eval(self.st.flags & ALL_FLAGS) {
+                    self.jump(target)?;
+                }
+            }
+            Inst::Call { func } => {
+                let ret = self.rip as u64;
+                self.push(ret)?;
+                let f = self.prog.funcs.get(func as usize).ok_or(Trap::BadJump {
+                    target: u64::from(func),
+                })?;
+                self.rip = f.entry as usize;
+            }
+            Inst::CallExt { ext } => self.call_ext(ext)?,
+            Inst::Ret => {
+                let ret = self.pop()?;
+                if ret == RET_SENTINEL {
+                    return Err(Stop::Finished);
+                }
+                if ret >= self.prog.insts.len() as u64 {
+                    return Err(Trap::BadJump { target: ret }.into());
+                }
+                self.rip = ret as usize;
+            }
+            Inst::Push { src } => {
+                let v = self.read_operand(Width::B8, &src)?;
+                self.push(v)?;
+            }
+            Inst::Pop { dst } => {
+                let v = self.pop()?;
+                self.st.set_reg(dst, v);
+            }
+            Inst::Movsd { dst, src } => {
+                let bits = match src {
+                    XOperand::Xmm(x) => self.st.xmm[x.index()][0],
+                    XOperand::Mem(m) => {
+                        let a = self.effective_addr(&m);
+                        self.st.mem.read_uint(a, 8)?
+                    }
+                };
+                match dst {
+                    XOperand::Xmm(x) => self.st.xmm[x.index()][0] = bits,
+                    XOperand::Mem(m) => {
+                        let a = self.effective_addr(&m);
+                        self.st.mem.write_uint(a, bits, 8)?;
+                    }
+                }
+            }
+            Inst::Sse { op, dst, src } => {
+                let b = self.read_xoperand(&src)?;
+                let a = self.st.xmm_f64(dst);
+                let r = match op {
+                    SseOp::Addsd => a + b,
+                    SseOp::Subsd => a - b,
+                    SseOp::Mulsd => a * b,
+                    SseOp::Divsd => a / b,
+                    SseOp::Sqrtsd => b.sqrt(),
+                };
+                self.st.set_xmm_f64(dst, r);
+            }
+            Inst::Ucomisd { lhs, rhs } => {
+                let a = self.st.xmm_f64(lhs);
+                let b = self.read_xoperand(&rhs)?;
+                self.st.flags = flags::ucomisd_flags(a, b);
+            }
+            Inst::Cvtsi2sd { dst, src } => {
+                let v = self.read_operand(Width::B8, &src)? as i64;
+                self.st.set_xmm_f64(dst, v as f64);
+            }
+            Inst::Cvttsd2si { dst, src } => {
+                let v = self.read_xoperand(&src)?;
+                self.st.set_reg(dst, cvttsd2si(v) as u64);
+            }
+            Inst::MovqRX { dst, src } => {
+                self.st.xmm[dst.index()][0] = self.st.reg(src);
+            }
+            Inst::MovqXR { dst, src } => {
+                let bits = self.st.xmm[src.index()][0];
+                self.st.set_reg(dst, bits);
+            }
+        }
+        self.hook.on_retire(idx, &mut self.st);
+        Ok(())
+    }
+
+    fn jump(&mut self, target: u32) -> Result<(), Stop> {
+        if target as usize >= self.prog.insts.len() {
+            return Err(Trap::BadJump {
+                target: u64::from(target),
+            }
+            .into());
+        }
+        self.rip = target as usize;
+        Ok(())
+    }
+
+    fn effective_addr(&self, m: &MemRef) -> u64 {
+        let mut a = m.disp as u64;
+        if let Some(b) = m.base {
+            a = a.wrapping_add(self.st.reg(b));
+        }
+        if let Some(i) = m.index {
+            a = a.wrapping_add(self.st.reg(i).wrapping_mul(u64::from(m.scale)));
+        }
+        a
+    }
+
+    fn read_operand(&self, width: Width, op: &Operand) -> Result<u64, Trap> {
+        Ok(match op {
+            Operand::Reg(r) => self.st.reg(*r),
+            Operand::Imm(v) => *v as u64,
+            Operand::Mem(m) => {
+                let a = self.effective_addr(m);
+                self.st.mem.read_uint(a, width.bytes())?
+            }
+        })
+    }
+
+    fn write_operand(&mut self, width: Width, op: &Operand, v: u64) -> Result<(), Trap> {
+        match op {
+            // Narrow register writes zero-extend (declared mov semantics).
+            Operand::Reg(r) => {
+                let v = match width {
+                    Width::B8 => v,
+                    w => v & ((1u64 << (w.bytes() * 8)) - 1),
+                };
+                self.st.set_reg(*r, v);
+            }
+            Operand::Imm(_) => panic!("write to immediate operand"),
+            Operand::Mem(m) => {
+                let a = self.effective_addr(m);
+                self.st.mem.write_uint(a, v, width.bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn read_xoperand(&self, op: &XOperand) -> Result<f64, Trap> {
+        Ok(match op {
+            XOperand::Xmm(x) => self.st.xmm_f64(*x),
+            XOperand::Mem(m) => {
+                let a = self.effective_addr(m);
+                f64::from_bits(self.st.mem.read_uint(a, 8)?)
+            }
+        })
+    }
+
+    fn push(&mut self, v: u64) -> Result<(), Trap> {
+        let rsp = self.st.reg(Reg::Rsp).wrapping_sub(8);
+        // Below the stack region lies the guard gap: the write traps, which
+        // we report as the canonical stack-overflow signal.
+        match self.st.mem.write_uint(rsp, v, 8) {
+            Ok(()) => {
+                self.st.set_reg(Reg::Rsp, rsp);
+                Ok(())
+            }
+            Err(Trap::Unmapped { addr }) => {
+                let in_guard = self
+                    .st
+                    .mem
+                    .stack()
+                    .is_some_and(|s| addr < s.start && addr + self.opts.guard_size >= s.start);
+                Err(if in_guard {
+                    Trap::StackOverflow
+                } else {
+                    Trap::Unmapped { addr }
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn pop(&mut self) -> Result<u64, Trap> {
+        let rsp = self.st.reg(Reg::Rsp);
+        let v = self.st.mem.read_uint(rsp, 8)?;
+        self.st.set_reg(Reg::Rsp, rsp.wrapping_add(8));
+        Ok(v)
+    }
+
+    fn call_ext(&mut self, ext: ExtFn) -> Result<(), Stop> {
+        match ext {
+            ExtFn::PrintI64 => {
+                let v = self.st.reg(Reg::Rdi) as i64;
+                self.st.console.print_i64(v);
+            }
+            ExtFn::PrintF64 => {
+                let v = self.st.xmm_f64(Xmm(0));
+                self.st.console.print_f64(v);
+            }
+            ExtFn::PrintChar => {
+                let v = self.st.reg(Reg::Rdi) as i64;
+                self.st.console.print_char(v);
+            }
+            ExtFn::Abort => return Err(Trap::Aborted.into()),
+            f => {
+                let x = self.st.xmm_f64(Xmm(0));
+                let r = match f {
+                    ExtFn::Sqrt => x.sqrt(),
+                    ExtFn::Fabs => x.abs(),
+                    ExtFn::Floor => x.floor(),
+                    ExtFn::Sin => x.sin(),
+                    ExtFn::Cos => x.cos(),
+                    ExtFn::Exp => x.exp(),
+                    ExtFn::Log => x.ln(),
+                    _ => unreachable!(),
+                };
+                self.st.set_xmm_f64(Xmm(0), r);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// x86 `cvttsd2si` semantics: truncate toward zero; NaN and out-of-range
+/// produce the integer-indefinite value `i64::MIN`.
+fn cvttsd2si(v: f64) -> i64 {
+    if v.is_nan() {
+        return i64::MIN;
+    }
+    let t = v.trunc();
+    if t < i64::MIN as f64 || t > i64::MAX as f64 {
+        return i64::MIN;
+    }
+    t as i64
+}
+
+/// Convenience: runs a program with no hook.
+///
+/// # Errors
+///
+/// Returns the trap if machine setup fails (globals exceed capacity).
+pub fn run_program(prog: &AsmProgram, opts: MachOptions) -> Result<RunResult, Trap> {
+    let mut m = Machine::new(prog, opts, NopAsmHook)?;
+    Ok(m.run())
+}

@@ -1,0 +1,177 @@
+//! Linked assembly programs.
+
+use crate::inst::Inst;
+use fiq_mem::{Memory, RegionKind, Trap};
+use std::fmt;
+
+/// A function in a linked program.
+#[derive(Debug, Clone)]
+pub struct AsmFunc {
+    /// Symbol name.
+    pub name: String,
+    /// Index of the first instruction.
+    pub entry: u32,
+    /// One past the index of the last instruction.
+    pub end: u32,
+}
+
+/// The memory image of one global variable.
+#[derive(Debug, Clone)]
+pub struct GlobalImage {
+    /// Symbol name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Alignment in bytes.
+    pub align: u64,
+    /// Initial bytes (zero-padded to `size`).
+    pub init: Vec<u8>,
+}
+
+/// A fully linked assembly program: a flat instruction array with function
+/// and global tables. Branch targets and global addresses are absolute.
+#[derive(Debug, Clone)]
+pub struct AsmProgram {
+    /// All instructions, all functions concatenated.
+    pub insts: Vec<Inst>,
+    /// Function table.
+    pub funcs: Vec<AsmFunc>,
+    /// Global table (laid out in order, same packing as the IR level).
+    pub globals: Vec<GlobalImage>,
+    /// Index into `funcs` of the entry function.
+    pub main: u32,
+}
+
+impl AsmProgram {
+    /// Computes the runtime address of every global, by dry-running the
+    /// same deterministic packing the machine (and the IR interpreter)
+    /// use. The backend uses these addresses when emitting absolute
+    /// references.
+    pub fn global_addresses(globals: &[GlobalImage]) -> Vec<u64> {
+        let mut mem = Memory::with_capacity(u64::MAX / 2);
+        globals
+            .iter()
+            .map(|g| {
+                mem.alloc(g.size, g.align, RegionKind::Global)
+                    .expect("dry-run allocation cannot fail")
+            })
+            .collect()
+    }
+
+    /// Materializes the globals into `mem`, returning their addresses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::OutOfMemory`] if the capacity is exceeded.
+    pub fn materialize_globals(&self, mem: &mut Memory) -> Result<Vec<u64>, Trap> {
+        let mut addrs = Vec::with_capacity(self.globals.len());
+        for g in &self.globals {
+            let addr = mem.alloc(g.size, g.align, RegionKind::Global)?;
+            if !g.init.is_empty() {
+                mem.write_bytes(addr, &g.init)?;
+            }
+            addrs.push(addr);
+        }
+        Ok(addrs)
+    }
+
+    /// The function containing instruction `idx`, if any.
+    pub fn func_of(&self, idx: u32) -> Option<&AsmFunc> {
+        self.funcs.iter().find(|f| idx >= f.entry && idx < f.end)
+    }
+
+    /// Total instruction count.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+impl fmt::Display for AsmProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for func in &self.funcs {
+            writeln!(f, "{}:", func.name)?;
+            for i in func.entry..func.end {
+                writeln!(f, "  {i:5}: {}", display_inst(&self.insts[i as usize]))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Renders one instruction as text.
+pub fn display_inst(inst: &Inst) -> String {
+    match inst {
+        Inst::Mov { width, dst, src } => format!("mov.{} {dst}, {src}", width.bytes()),
+        Inst::Movsx { width, dst, src } => format!("movsx.{} {dst}, {src}", width.bytes()),
+        Inst::Lea { dst, addr } => format!("lea {dst}, {addr}"),
+        Inst::Alu { op, dst, src } => format!("{} {dst}, {src}", op.mnemonic()),
+        Inst::Shift { op, dst, src } => format!("{} {dst}, {src}", op.mnemonic()),
+        Inst::Neg { dst } => format!("neg {dst}"),
+        Inst::Cqo => "cqo".to_string(),
+        Inst::Idiv { src } => format!("idiv {src}"),
+        Inst::Cmp { lhs, rhs } => format!("cmp {lhs}, {rhs}"),
+        Inst::Test { lhs, rhs } => format!("test {lhs}, {rhs}"),
+        Inst::Setcc { cond, dst } => format!("set{cond} {dst}"),
+        Inst::Jmp { target } => format!("jmp {target}"),
+        Inst::Jcc { cond, target } => format!("j{cond} {target}"),
+        Inst::Call { func } => format!("call fn{func}"),
+        Inst::CallExt { ext } => format!("call {}", ext.name()),
+        Inst::Ret => "ret".to_string(),
+        Inst::Push { src } => format!("push {src}"),
+        Inst::Pop { dst } => format!("pop {dst}"),
+        Inst::Movsd { dst, src } => format!("movsd {dst}, {src}"),
+        Inst::Sse { op, dst, src } => format!("{} {dst}, {src}", op.mnemonic()),
+        Inst::Ucomisd { lhs, rhs } => format!("ucomisd {lhs}, {rhs}"),
+        Inst::Cvtsi2sd { dst, src } => format!("cvtsi2sd {dst}, {src}"),
+        Inst::Cvttsd2si { dst, src } => format!("cvttsd2si {dst}, {src}"),
+        Inst::MovqRX { dst, src } => format!("movq {dst}, {src}"),
+        Inst::MovqXR { dst, src } => format!("movq {dst}, {src}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_layout_matches_materialization() {
+        let globals = vec![
+            GlobalImage {
+                name: "a".into(),
+                size: 24,
+                align: 8,
+                init: vec![],
+            },
+            GlobalImage {
+                name: "b".into(),
+                size: 3,
+                align: 1,
+                init: vec![1, 2, 3],
+            },
+            GlobalImage {
+                name: "c".into(),
+                size: 16,
+                align: 8,
+                init: vec![],
+            },
+        ];
+        let addrs = AsmProgram::global_addresses(&globals);
+        let prog = AsmProgram {
+            insts: vec![],
+            funcs: vec![],
+            globals,
+            main: 0,
+        };
+        let mut mem = Memory::new();
+        let got = prog.materialize_globals(&mut mem).unwrap();
+        assert_eq!(addrs, got);
+        assert_eq!(mem.read_uint(got[1], 1).unwrap(), 1);
+        // Alignment respected.
+        assert_eq!(got[2] % 8, 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests: the FLAGS/condition-code model must agree with native
+//! Rust integer comparison semantics for arbitrary operands — this is what
+//! makes `cmp`+`jcc` lowering of `icmp` correct for every predicate.
+
+use fiq_asm::{add_flags, logic_flags, sub_flags, ucomisd_flags, Cond};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// After `cmp a, b`, every signed/unsigned condition code answers the
+    /// corresponding Rust comparison.
+    #[test]
+    fn cmp_conditions_match_rust(a in any::<u64>(), b in any::<u64>()) {
+        let f = sub_flags(a, b, a.wrapping_sub(b));
+        let (sa, sb) = (a as i64, b as i64);
+        prop_assert_eq!(Cond::E.eval(f), a == b);
+        prop_assert_eq!(Cond::Ne.eval(f), a != b);
+        prop_assert_eq!(Cond::L.eval(f), sa < sb);
+        prop_assert_eq!(Cond::Le.eval(f), sa <= sb);
+        prop_assert_eq!(Cond::G.eval(f), sa > sb);
+        prop_assert_eq!(Cond::Ge.eval(f), sa >= sb);
+        prop_assert_eq!(Cond::B.eval(f), a < b);
+        prop_assert_eq!(Cond::Be.eval(f), a <= b);
+        prop_assert_eq!(Cond::A.eval(f), a > b);
+        prop_assert_eq!(Cond::Ae.eval(f), a >= b);
+    }
+
+    /// Negated conditions invert on every reachable flag state.
+    #[test]
+    fn negation_inverts(a in any::<u64>(), b in any::<u64>()) {
+        let f = sub_flags(a, b, a.wrapping_sub(b));
+        for c in [Cond::E, Cond::Ne, Cond::L, Cond::Le, Cond::G, Cond::Ge,
+                  Cond::B, Cond::Be, Cond::A, Cond::Ae, Cond::P, Cond::Np] {
+            prop_assert_ne!(c.eval(f), c.negated().eval(f));
+        }
+    }
+
+    /// Signed-overflow detection matches Rust's checked arithmetic.
+    #[test]
+    fn overflow_flag_matches_checked(a in any::<i64>(), b in any::<i64>()) {
+        let fa = add_flags(a as u64, b as u64, (a as u64).wrapping_add(b as u64));
+        prop_assert_eq!(fa & (1 << fiq_asm::OF) != 0, a.checked_add(b).is_none());
+        let fs = sub_flags(a as u64, b as u64, (a as u64).wrapping_sub(b as u64));
+        prop_assert_eq!(fs & (1 << fiq_asm::OF) != 0, a.checked_sub(b).is_none());
+    }
+
+    /// Carry matches unsigned overflow.
+    #[test]
+    fn carry_flag_matches_unsigned(a in any::<u64>(), b in any::<u64>()) {
+        let fa = add_flags(a, b, a.wrapping_add(b));
+        prop_assert_eq!(fa & (1 << fiq_asm::CF) != 0, a.checked_add(b).is_none());
+        let fs = sub_flags(a, b, a.wrapping_sub(b));
+        prop_assert_eq!(fs & (1 << fiq_asm::CF) != 0, a < b);
+    }
+
+    /// ZF/SF from logic operations mirror the result's value and sign.
+    #[test]
+    fn logic_flags_shape(x in any::<u64>()) {
+        let f = logic_flags(x);
+        prop_assert_eq!(f & (1 << fiq_asm::ZF) != 0, x == 0);
+        prop_assert_eq!(f & (1 << fiq_asm::SF) != 0, (x as i64) < 0);
+    }
+
+    /// `ucomisd` + condition codes answer ordered float comparisons, with
+    /// NaN driving every "unordered" path through the parity flag.
+    #[test]
+    fn ucomisd_conditions(a in any::<f64>(), b in any::<f64>()) {
+        let f = ucomisd_flags(a, b);
+        if a.is_nan() || b.is_nan() {
+            prop_assert!(Cond::P.eval(f));
+        } else {
+            prop_assert!(!Cond::P.eval(f));
+            prop_assert_eq!(Cond::A.eval(f), a > b);
+            prop_assert_eq!(Cond::Ae.eval(f), a >= b);
+            prop_assert_eq!(Cond::E.eval(f), a == b);
+        }
+    }
+}

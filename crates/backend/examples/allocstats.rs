@@ -1,0 +1,11 @@
+fn main() {
+    let src = std::fs::read_to_string(std::env::args().nth(1).unwrap()).unwrap();
+    let mut m = fiq_frontend::compile("t", &src).unwrap();
+    fiq_opt::optimize_module(&mut m);
+    for st in fiq_backend::alloc_stats(&m, fiq_backend::LowerOptions::default()).unwrap() {
+        println!(
+            "{:<16} int {}/{} spilled, xmm {}/{}",
+            st.name, st.int_spills, st.int_vregs, st.xmm_spills, st.xmm_vregs
+        );
+    }
+}

@@ -1,0 +1,46 @@
+use fiq_core::Category;
+fn main() {
+    let src = std::fs::read_to_string(std::env::args().nth(1).unwrap()).unwrap();
+    let mut m = fiq_frontend::compile("t", &src).unwrap();
+    fiq_opt::optimize_module(&mut m);
+    let p = fiq_backend::lower_module(&m, fiq_backend::LowerOptions::default()).unwrap();
+    let lp = fiq_core::profile_llfi(&m, fiq_interp::InterpOptions::default()).unwrap();
+    let pp = fiq_core::profile_pinfi(&p, fiq_asm::MachOptions::default()).unwrap();
+    println!(
+        "golden steps: ir={} asm={}",
+        lp.golden_steps, pp.golden_steps
+    );
+    for c in Category::ALL {
+        println!(
+            "{:<12} llfi={:<10} pinfi={:<10}",
+            c.name(),
+            lp.category_count(&m, c),
+            pp.category_count(&p, c)
+        );
+    }
+    // asm dynamic mix by mnemonic
+    let mut mix: std::collections::HashMap<&'static str, u64> = Default::default();
+    for (i, inst) in p.insts.iter().enumerate() {
+        *mix.entry(inst.mnemonic()).or_default() += pp.counts[i];
+    }
+    let mut v: Vec<_> = mix.into_iter().collect();
+    v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("--- asm dynamic mix ---");
+    for (m, c) in v {
+        println!("{m:<12} {c}");
+    }
+    // ir dynamic mix by opcode
+    let mut mix: std::collections::HashMap<&'static str, u64> = Default::default();
+    for (f, func) in m.funcs.iter().enumerate() {
+        for (i, inst) in func.insts.iter().enumerate() {
+            *mix.entry(inst.opcode_name()).or_default() += lp.counts[f][i];
+        }
+    }
+    // note: lp.counts only counts insts with results; branches/stores not counted
+    let mut v: Vec<_> = mix.into_iter().collect();
+    v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("--- ir dynamic mix (result-producing only) ---");
+    for (m, c) in v {
+        println!("{m:<12} {c}");
+    }
+}

@@ -1,0 +1,17 @@
+fn main() {
+    let src = "int data[512];
+         int main() {
+           for (int i = 0; i < 512; i += 1) data[i] = i * 3;
+           int s = 0;
+           for (int r = 0; r < 50; r += 1)
+             for (int i = 0; i < 512; i += 1)
+               s += data[i];
+           print_i64(s);
+           return 0;
+         }";
+    let mut m = fiq_frontend::compile("t", src).unwrap();
+    fiq_opt::optimize_module(&mut m);
+    println!("==== IR ====\n{m}");
+    let p = fiq_backend::lower_module(&m, fiq_backend::LowerOptions::default()).unwrap();
+    println!("==== ASM ====\n{p}");
+}

@@ -1,0 +1,20 @@
+fn main() {
+    let src = std::fs::read_to_string(std::env::args().nth(1).unwrap()).unwrap();
+    let mut m = fiq_frontend::compile("t", &src).unwrap();
+    fiq_opt::optimize_module(&mut m);
+    let p = fiq_backend::lower_module(&m, fiq_backend::LowerOptions::default()).unwrap();
+    let pp = fiq_core::profile_pinfi(&p, fiq_asm::MachOptions::default()).unwrap();
+    let which = std::env::args().nth(2).unwrap();
+    for f in &p.funcs {
+        if f.name != which {
+            continue;
+        }
+        for i in f.entry..f.end {
+            println!(
+                "{i:5} [{:>8}] {}",
+                pp.counts[i as usize],
+                fiq_asm::display_inst(&p.insts[i as usize])
+            );
+        }
+    }
+}

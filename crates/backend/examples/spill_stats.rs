@@ -1,0 +1,50 @@
+use fiq_asm::{Inst, MemRef, Operand, Reg, XOperand};
+fn is_rbp(m: &MemRef) -> bool {
+    m.base == Some(Reg::Rbp)
+}
+fn main() {
+    let src = std::fs::read_to_string(std::env::args().nth(1).unwrap()).unwrap();
+    let mut m = fiq_frontend::compile("t", &src).unwrap();
+    fiq_opt::optimize_module(&mut m);
+    let p = fiq_backend::lower_module(&m, fiq_backend::LowerOptions::default()).unwrap();
+    let pp = fiq_core::profile_pinfi(&p, fiq_asm::MachOptions::default()).unwrap();
+    let (mut spill_ld, mut spill_st, mut other_ld) = (0u64, 0u64, 0u64);
+    for (i, inst) in p.insts.iter().enumerate() {
+        let c = pp.counts[i];
+        match inst {
+            Inst::Mov {
+                dst: Operand::Reg(_),
+                src: Operand::Mem(mm),
+                ..
+            } if is_rbp(mm) => spill_ld += c,
+            Inst::Mov {
+                dst: Operand::Mem(mm),
+                ..
+            } if is_rbp(mm) => spill_st += c,
+            Inst::Mov {
+                dst: Operand::Reg(_),
+                src: Operand::Mem(_),
+                ..
+            } => other_ld += c,
+            Inst::Movsd {
+                dst: XOperand::Xmm(_),
+                src: XOperand::Mem(mm),
+            } if is_rbp(mm) => spill_ld += c,
+            Inst::Movsd {
+                dst: XOperand::Mem(mm),
+                ..
+            } if is_rbp(mm) => spill_st += c,
+            Inst::Movsd {
+                dst: XOperand::Xmm(_),
+                src: XOperand::Mem(_),
+            } => other_ld += c,
+            _ => {}
+        }
+    }
+    println!("spill loads: {spill_ld}  spill stores: {spill_st}  real loads: {other_ld}");
+    // biggest functions by dynamic count
+    for f in &p.funcs {
+        let tot: u64 = (f.entry..f.end).map(|i| pp.counts[i as usize]).sum();
+        println!("{:<14} static={} dynamic={}", f.name, f.end - f.entry, tot);
+    }
+}

@@ -1,0 +1,146 @@
+//! Structural invariants of lowered programs, checked over all six
+//! workloads: branch-target validity, frame discipline, and lowering
+//! determinism.
+
+use fiq_asm::{AluOp, Inst, Operand, Reg};
+use fiq_backend::{lower_module, LowerOptions};
+use fiq_workloads::CATALOG;
+
+fn lowered() -> Vec<(&'static str, fiq_asm::AsmProgram)> {
+    CATALOG
+        .iter()
+        .map(|w| {
+            let mut m = fiq_frontend::compile(w.name, w.source).unwrap();
+            fiq_opt::optimize_module(&mut m);
+            (w.name, lower_module(&m, LowerOptions::default()).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn branch_targets_are_valid_or_trap_sentinel() {
+    for (name, p) in lowered() {
+        for (i, inst) in p.insts.iter().enumerate() {
+            if let Inst::Jmp { target } | Inst::Jcc { target, .. } = inst {
+                assert!(
+                    (*target as usize) < p.insts.len() || *target == u32::MAX,
+                    "{name}: inst {i} branches to {target}"
+                );
+            }
+            if let Inst::Call { func } = inst {
+                assert!(
+                    (*func as usize) < p.funcs.len(),
+                    "{name}: inst {i} calls unknown function {func}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn functions_have_frame_discipline() {
+    for (name, p) in lowered() {
+        for f in &p.funcs {
+            let body = &p.insts[f.entry as usize..f.end as usize];
+            // Prologue: push rbp; mov rbp, rsp.
+            assert!(
+                matches!(
+                    body[0],
+                    Inst::Push {
+                        src: Operand::Reg(Reg::Rbp)
+                    }
+                ),
+                "{name}/{}: prologue starts with push rbp",
+                f.name
+            );
+            assert!(
+                matches!(
+                    body[1],
+                    Inst::Mov {
+                        dst: Operand::Reg(Reg::Rbp),
+                        src: Operand::Reg(Reg::Rsp),
+                        ..
+                    }
+                ),
+                "{name}/{}: frame pointer established",
+                f.name
+            );
+            // Every ret is preceded by pop rbp.
+            for (i, inst) in body.iter().enumerate() {
+                if matches!(inst, Inst::Ret) {
+                    assert!(
+                        matches!(body[i - 1], Inst::Pop { dst: Reg::Rbp }),
+                        "{name}/{}: ret at {i} restores rbp",
+                        f.name
+                    );
+                }
+            }
+            // rsp is only adjusted by push/pop and immediate add/sub.
+            for (i, inst) in body.iter().enumerate() {
+                if let Inst::Alu {
+                    dst: Reg::Rsp,
+                    op,
+                    src,
+                } = inst
+                {
+                    assert!(
+                        matches!(op, AluOp::Add | AluOp::Sub) && matches!(src, Operand::Imm(_)),
+                        "{name}/{}: unexpected rsp arithmetic at {i}: {inst:?}",
+                        f.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lowering_is_deterministic() {
+    for w in &CATALOG {
+        let mut m = fiq_frontend::compile(w.name, w.source).unwrap();
+        fiq_opt::optimize_module(&mut m);
+        let a = lower_module(&m, LowerOptions::default()).unwrap();
+        let b = lower_module(&m, LowerOptions::default()).unwrap();
+        assert_eq!(a.insts, b.insts, "{}: identical lowering", w.name);
+    }
+}
+
+#[test]
+fn every_function_ends_in_unconditional_control_flow() {
+    for (name, p) in lowered() {
+        for f in &p.funcs {
+            let last = &p.insts[(f.end - 1) as usize];
+            assert!(
+                matches!(last, Inst::Ret | Inst::Jmp { .. }),
+                "{name}/{}: function falls off the end with {last:?}",
+                f.name
+            );
+        }
+    }
+}
+
+#[test]
+fn scratch_registers_never_allocated_across_instructions() {
+    // r9–r11 are spill scratch: they must never be live across an
+    // instruction boundary, i.e. any read of r9-r11 must be preceded
+    // (within the same reload cluster) by a write. We approximate: a
+    // scratch register read always has a write at most 3 instructions
+    // earlier.
+    for (name, p) in lowered() {
+        for (i, inst) in p.insts.iter().enumerate() {
+            for r in inst.reads() {
+                let fiq_asm::RegId::Gpr(g) = r else { continue };
+                if !matches!(g, Reg::R10 | Reg::R11) {
+                    continue; // r9 doubles as the 6th argument register
+                }
+                let written_recently = (i.saturating_sub(3)..i)
+                    .any(|j| p.insts[j].dest() == Some(fiq_asm::RegId::Gpr(g)));
+                assert!(
+                    written_recently,
+                    "{name}: inst {i} reads scratch {g} without nearby write: {:?}",
+                    &p.insts[i.saturating_sub(3)..=i]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Injection-run cost: a single LLFI / PINFI fault-injection run (plan +
+//! execute + classify) versus the plain golden run, quantifying the
+//! instrumentation overhead of the hook surfaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fiq_asm::{run_program, MachOptions};
+use fiq_core::{
+    plan_llfi, plan_pinfi, profile_llfi, profile_pinfi, run_llfi, run_pinfi, Category, PinfiOptions,
+};
+use fiq_interp::{run_module, InterpOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const KERNEL: &str = "
+int data[128];
+int main() {
+  for (int i = 0; i < 128; i += 1) data[i] = i * 31 + 7;
+  int s = 0;
+  for (int r = 0; r < 20; r += 1)
+    for (int i = 0; i < 128; i += 1)
+      s += data[i] & (r + 255);
+  print_i64(s);
+  return 0;
+}";
+
+fn bench_injection(c: &mut Criterion) {
+    let mut module = fiq_frontend::compile("kernel", KERNEL).unwrap();
+    fiq_opt::optimize_module(&mut module);
+    let program = fiq_backend::lower_module(&module, fiq_backend::LowerOptions::default()).unwrap();
+    let lp = profile_llfi(&module, InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&program, MachOptions::default()).unwrap();
+
+    let mut g = c.benchmark_group("injection-run");
+    g.bench_function("golden/interp", |b| {
+        b.iter(|| run_module(&module, InterpOptions::default()).unwrap())
+    });
+    g.bench_function("golden/machine", |b| {
+        b.iter(|| run_program(&program, MachOptions::default()).unwrap())
+    });
+    let mut rng = StdRng::seed_from_u64(1);
+    let linj = plan_llfi(&module, &lp, Category::All, &mut rng).unwrap();
+    g.bench_function("llfi single injection", |b| {
+        b.iter(|| run_llfi(&module, InterpOptions::default(), linj, &lp.golden_output).unwrap())
+    });
+    let pinj = plan_pinfi(
+        &program,
+        &pp,
+        Category::All,
+        PinfiOptions::default(),
+        &mut rng,
+    )
+    .unwrap();
+    g.bench_function("pinfi single injection", |b| {
+        b.iter(|| run_pinfi(&program, MachOptions::default(), pinj, &pp.golden_output).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_injection);
+criterion_main!(benches);

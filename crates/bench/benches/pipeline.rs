@@ -1,0 +1,35 @@
+//! Compilation-pipeline cost: front end, optimizer, and backend timings
+//! for each of the six workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fiq_backend::LowerOptions;
+use fiq_workloads::CATALOG;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile-pipeline");
+    for w in &CATALOG {
+        g.bench_function(format!("frontend/{}", w.name), |b| {
+            b.iter(|| fiq_frontend::compile(w.name, w.source).unwrap())
+        });
+        let unopt = fiq_frontend::compile(w.name, w.source).unwrap();
+        g.bench_function(format!("optimize/{}", w.name), |b| {
+            b.iter_batched(
+                || unopt.clone(),
+                |mut m| {
+                    fiq_opt::optimize_module(&mut m);
+                    m
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        let mut opt = unopt.clone();
+        fiq_opt::optimize_module(&mut opt);
+        g.bench_function(format!("lower/{}", w.name), |b| {
+            b.iter(|| fiq_backend::lower_module(&opt, LowerOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

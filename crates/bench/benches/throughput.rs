@@ -1,0 +1,41 @@
+//! Execution-substrate throughput: dynamic instructions per second for the
+//! IR interpreter and the machine emulator on a compact arithmetic kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fiq_asm::{run_program, MachOptions};
+use fiq_interp::{run_module, InterpOptions};
+
+const KERNEL: &str = "
+int data[256];
+int main() {
+  for (int i = 0; i < 256; i += 1) data[i] = i * 7 + 3;
+  int s = 0;
+  for (int r = 0; r < 40; r += 1)
+    for (int i = 0; i < 256; i += 1)
+      s += data[i] ^ r;
+  print_i64(s);
+  return 0;
+}";
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut module = fiq_frontend::compile("kernel", KERNEL).unwrap();
+    fiq_opt::optimize_module(&mut module);
+    let program = fiq_backend::lower_module(&module, fiq_backend::LowerOptions::default()).unwrap();
+
+    let ir_steps = run_module(&module, InterpOptions::default()).unwrap().steps;
+    let asm_steps = run_program(&program, MachOptions::default()).unwrap().steps;
+
+    let mut g = c.benchmark_group("substrate-throughput");
+    g.throughput(Throughput::Elements(ir_steps));
+    g.bench_function("interp (IR level)", |b| {
+        b.iter(|| run_module(&module, InterpOptions::default()).unwrap())
+    });
+    g.throughput(Throughput::Elements(asm_steps));
+    g.bench_function("machine (asm level)", |b| {
+        b.iter(|| run_program(&program, MachOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,261 @@
+//! # fiq-bench — the experiment harness
+//!
+//! Shared machinery for the experiment binaries that regenerate every
+//! table and figure of the paper (see DESIGN.md §6 for the index):
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `cargo run --release -p fiq-bench --bin tables` | Tables I–III (descriptive) |
+//! | `cargo run --release -p fiq-bench --bin table4` | Table IV (dynamic counts) |
+//! | `cargo run --release -p fiq-bench --bin fig3` | Figure 3 (aggregate outcome breakdown) |
+//! | `cargo run --release -p fiq-bench --bin fig4` | Figure 4 (SDC% per category, 95% CI) |
+//! | `cargo run --release -p fiq-bench --bin table5` | Table V (crash% per category) |
+//! | `cargo run --release -p fiq-bench --bin ablation` | DESIGN.md ✦ ablations (beyond the paper) |
+//!
+//! All binaries accept `--injections N` (default 300), `--seed S`,
+//! `--threads T`, `--full` (paper-scale 1000 injections), and
+//! `--json PATH` (machine-readable results).
+
+#![warn(missing_docs)]
+
+use fiq_asm::MachOptions;
+use fiq_backend::LowerOptions;
+use fiq_core::{
+    llfi_campaign, pinfi_campaign, profile_llfi, profile_pinfi, CampaignConfig, Category,
+    CellReport, LlfiProfile, PinfiOptions, PinfiProfile,
+};
+use fiq_interp::InterpOptions;
+use fiq_workloads::{Compiled, Workload, CATALOG};
+use serde::{Deserialize, Serialize};
+
+/// Experiment configuration, parsed from command-line flags.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Injections per (benchmark, category, tool) cell.
+    pub injections: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+    /// Backend options (ablations override these).
+    pub lower: LowerOptions,
+    /// PINFI heuristic options.
+    pub pinfi: PinfiOptions,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> ExperimentConfig {
+        ExperimentConfig {
+            injections: 300,
+            seed: 2014,
+            threads: 0,
+            json: None,
+            lower: LowerOptions::default(),
+            pinfi: PinfiOptions::default(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Parses flags from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flags.
+    pub fn from_args() -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--injections" => {
+                    cfg.injections = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--injections N");
+                }
+                "--seed" => {
+                    cfg.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed S");
+                }
+                "--threads" => {
+                    cfg.threads = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads T");
+                }
+                "--full" => cfg.injections = 1000,
+                "--json" => cfg.json = Some(args.next().expect("--json PATH")),
+                "--no-fold-gep" => cfg.lower.fold_gep = false,
+                "--no-callee-saved" => cfg.lower.use_callee_saved = false,
+                "--no-flag-pruning" => cfg.pinfi.flag_pruning = false,
+                "--no-xmm-pruning" => cfg.pinfi.xmm_pruning = false,
+                other => panic!("unknown flag {other}; see crate docs for usage"),
+            }
+        }
+        cfg
+    }
+
+    /// The campaign configuration equivalent.
+    pub fn campaign(&self) -> CampaignConfig {
+        CampaignConfig {
+            injections: self.injections,
+            seed: self.seed,
+            threads: self.threads,
+            pinfi: self.pinfi,
+            ..CampaignConfig::default()
+        }
+    }
+}
+
+/// A workload compiled and profiled at both levels.
+pub struct Prepared {
+    /// The workload.
+    pub workload: &'static Workload,
+    /// Compiled module + program.
+    pub compiled: Compiled,
+    /// IR-level profile.
+    pub llfi: LlfiProfile,
+    /// Assembly-level profile.
+    pub pinfi: PinfiProfile,
+}
+
+/// Interpreter options used for profiling and injections.
+pub fn interp_opts() -> InterpOptions {
+    InterpOptions {
+        max_steps: 200_000_000,
+        ..InterpOptions::default()
+    }
+}
+
+/// Machine options used for profiling and injections.
+pub fn mach_opts() -> MachOptions {
+    MachOptions {
+        max_steps: 800_000_000,
+        ..MachOptions::default()
+    }
+}
+
+/// Compiles and profiles the whole catalog.
+///
+/// # Panics
+///
+/// Panics if a workload fails to compile or its golden run fails — both
+/// are bugs, not runtime conditions.
+pub fn prepare_all(lower: LowerOptions) -> Vec<Prepared> {
+    CATALOG
+        .iter()
+        .map(|w| {
+            let compiled = w
+                .compile_with(lower)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let llfi = profile_llfi(&compiled.module, interp_opts())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let pinfi = profile_pinfi(&compiled.program, mach_opts())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_eq!(
+                llfi.golden_output, pinfi.golden_output,
+                "{}: golden outputs must agree",
+                w.name
+            );
+            Prepared {
+                workload: w,
+                compiled,
+                llfi,
+                pinfi,
+            }
+        })
+        .collect()
+}
+
+/// One cell of the campaign grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Benchmark name.
+    pub bench: String,
+    /// `"llfi"` or `"pinfi"`.
+    pub tool: String,
+    /// Instruction category.
+    pub category: Category,
+    /// Campaign results.
+    pub report: CellReport,
+}
+
+/// Runs the full (benchmark × category × tool) grid.
+pub fn run_grid(prepared: &[Prepared], cats: &[Category], cfg: &ExperimentConfig) -> Vec<GridCell> {
+    let camp = cfg.campaign();
+    let mut grid = Vec::new();
+    for p in prepared {
+        for &cat in cats {
+            eprintln!("  [{}] {} …", p.workload.name, cat);
+            let l = llfi_campaign(&p.compiled.module, &p.llfi, cat, &camp);
+            grid.push(GridCell {
+                bench: p.workload.name.to_string(),
+                tool: "llfi".into(),
+                category: cat,
+                report: l,
+            });
+            let r = pinfi_campaign(&p.compiled.program, &p.pinfi, cat, &camp);
+            grid.push(GridCell {
+                bench: p.workload.name.to_string(),
+                tool: "pinfi".into(),
+                category: cat,
+                report: r,
+            });
+        }
+    }
+    grid
+}
+
+/// Finds a cell in a grid.
+pub fn cell<'a>(grid: &'a [GridCell], bench: &str, tool: &str, cat: Category) -> &'a GridCell {
+    grid.iter()
+        .find(|c| c.bench == bench && c.tool == tool && c.category == cat)
+        .expect("cell present")
+}
+
+/// Writes the grid as JSON if the config asks for it.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn maybe_write_json(cfg: &ExperimentConfig, grid: &[GridCell]) {
+    if let Some(path) = &cfg.json {
+        let json = serde_json::to_string_pretty(grid).expect("serializable");
+        std::fs::write(path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Renders a horizontal ASCII bar of width proportional to `pct` (0-100).
+pub fn bar(pct: f64, width: usize) -> String {
+    let filled = ((pct / 100.0) * width as f64).round() as usize;
+    let mut s = String::new();
+    for _ in 0..filled.min(width) {
+        s.push('█');
+    }
+    for _ in filled.min(width)..width {
+        s.push('·');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_rendering() {
+        assert_eq!(bar(0.0, 4), "····");
+        assert_eq!(bar(100.0, 4), "████");
+        assert_eq!(bar(50.0, 4), "██··");
+    }
+
+    #[test]
+    fn default_config() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.injections, 300);
+        assert!(c.lower.fold_gep);
+        assert!(c.pinfi.flag_pruning);
+    }
+}

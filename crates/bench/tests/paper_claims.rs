@@ -1,0 +1,115 @@
+//! Regression tests for the paper's qualitative claims, at reduced scale
+//! so they run inside `cargo test`. The full-scale versions live in the
+//! experiment binaries (see EXPERIMENTS.md for measured numbers).
+
+use fiq_core::{
+    llfi_campaign, overlaps, pinfi_campaign, profile_llfi, profile_pinfi, CampaignConfig, Category,
+};
+use fiq_workloads::by_name;
+
+fn prepare(name: &str) -> (fiq_ir::Module, fiq_asm::AsmProgram) {
+    let c = by_name(name).unwrap().compile().unwrap();
+    (c.module, c.program)
+}
+
+#[test]
+fn bzip2_has_no_pinfi_cast_instructions() {
+    // Paper Table IV: bzip2 has 30.6M cast instructions at the IR level
+    // but essentially none (6) at the assembly level — byte-width zext/
+    // trunc vanish into mov forms.
+    let (m, p) = prepare("bzip2");
+    let lp = profile_llfi(&m, fiq_interp::InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&p, fiq_asm::MachOptions::default()).unwrap();
+    let l = lp.category_count(&m, Category::Cast);
+    let r = pp.category_count(&p, Category::Cast);
+    assert!(l > 10_000, "bzip2 IR is cast-heavy: {l}");
+    assert_eq!(r, 0, "bzip2 assembly has no convert instructions");
+}
+
+#[test]
+fn libquantum_load_counts_diverge_like_the_paper() {
+    // Paper §VI-C: libquantum's data movement gives LLFI many more load
+    // candidates than PINFI (357M vs 243M ≈ 1.47×).
+    let (m, p) = prepare("libquantum");
+    let lp = profile_llfi(&m, fiq_interp::InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&p, fiq_asm::MachOptions::default()).unwrap();
+    let ratio =
+        lp.category_count(&m, Category::Load) as f64 / pp.category_count(&p, Category::Load) as f64;
+    assert!(
+        ratio > 1.25,
+        "LLFI/PINFI load ratio for libquantum should exceed 1.25, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn cmp_populations_agree_across_levels() {
+    // Paper RQ1: "LLFI and PINFI have similar number of compare
+    // instructions for all benchmarks."
+    for name in ["bzip2", "libquantum", "ocean", "hmmer", "mcf", "raytrace"] {
+        let (m, p) = prepare(name);
+        let lp = profile_llfi(&m, fiq_interp::InterpOptions::default()).unwrap();
+        let pp = profile_pinfi(&p, fiq_asm::MachOptions::default()).unwrap();
+        let l = lp.category_count(&m, Category::Cmp);
+        let r = pp.category_count(&p, Category::Cmp);
+        let ratio = l as f64 / r as f64;
+        assert!(
+            (0.7..=1.45).contains(&ratio),
+            "{name}: cmp ratio {ratio:.2} (llfi {l}, pinfi {r})"
+        );
+    }
+}
+
+#[test]
+fn sdc_rates_agree_where_crash_rates_need_not() {
+    // The paper's core finding, at small scale on two benchmarks: the
+    // SDC confidence intervals overlap for the 'all' category.
+    let cfg = CampaignConfig {
+        injections: 80,
+        seed: 424242,
+        ..CampaignConfig::default()
+    };
+    for name in ["bzip2", "hmmer"] {
+        let (m, p) = prepare(name);
+        let lp = profile_llfi(&m, fiq_interp::InterpOptions::default()).unwrap();
+        let pp = profile_pinfi(&p, fiq_asm::MachOptions::default()).unwrap();
+        let l = llfi_campaign(&m, &lp, Category::All, &cfg);
+        let r = pinfi_campaign(&p, &pp, Category::All, &cfg);
+        assert!(
+            overlaps(
+                l.counts.sdc,
+                l.counts.activated(),
+                r.counts.sdc,
+                r.counts.activated()
+            ),
+            "{name}: SDC CIs should overlap (llfi {:.1}%, pinfi {:.1}%)",
+            l.counts.sdc_pct(),
+            r.counts.sdc_pct()
+        );
+    }
+}
+
+#[test]
+fn cmp_category_rarely_crashes() {
+    // Paper Table V: the cmp row is 0-4% crashes for both tools on every
+    // benchmark (flag flips change control flow, not addresses).
+    let cfg = CampaignConfig {
+        injections: 60,
+        seed: 99,
+        ..CampaignConfig::default()
+    };
+    let (m, p) = prepare("mcf");
+    let lp = profile_llfi(&m, fiq_interp::InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&p, fiq_asm::MachOptions::default()).unwrap();
+    let l = llfi_campaign(&m, &lp, Category::Cmp, &cfg);
+    let r = pinfi_campaign(&p, &pp, Category::Cmp, &cfg);
+    assert!(
+        l.counts.crash_pct() <= 25.0,
+        "llfi cmp crash {:.0}%",
+        l.counts.crash_pct()
+    );
+    assert!(
+        r.counts.crash_pct() <= 25.0,
+        "pinfi cmp crash {:.0}%",
+        r.counts.crash_pct()
+    );
+}

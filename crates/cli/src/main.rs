@@ -1,0 +1,302 @@
+//! `fiq` — the command-line front door to the fault-injection study.
+//!
+//! ```text
+//! fiq workloads                             list the six benchmark analogues
+//! fiq compile <prog> [--emit ir|asm]        show generated IR or assembly
+//! fiq run <prog> [--level ir|asm]           execute at either level
+//! fiq profile <prog>                        Table-III category counts, both levels
+//! fiq inject <prog> --tool llfi|pinfi --category <cat> [--seed S]
+//! fiq trace <prog> --category <cat> [--seed S]      LLFI injection + propagation report
+//! fiq campaign <prog> --category <cat> [--injections N] [--seed S]
+//! ```
+//!
+//! `<prog>` is either a path to a Mini-C source file or the name of a
+//! bundled workload (`bzip2`, `libquantum`, `ocean`, `hmmer`, `mcf`,
+//! `raytrace`).
+
+use fiq_asm::MachOptions;
+use fiq_backend::LowerOptions;
+use fiq_core::{
+    llfi_campaign, pinfi_campaign, plan_llfi, plan_pinfi, profile_llfi, profile_pinfi, run_llfi,
+    run_pinfi, CampaignConfig, Category, PinfiOptions,
+};
+use fiq_interp::InterpOptions;
+use fiq_ir::Module;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fiq: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = std::env::args().skip(1).peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => Some(it.next().expect("peeked")),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = Args::parse();
+    let Some(cmd) = args.positional.first() else {
+        return Err("usage: fiq <workloads|compile|run|profile|inject|trace|campaign> …".into());
+    };
+    match cmd.as_str() {
+        "workloads" => {
+            println!("{:<12} {:<9} {:>5}  description", "name", "suite", "LoC");
+            for w in &fiq_workloads::CATALOG {
+                println!(
+                    "{:<12} {:<9} {:>5}  {}",
+                    w.name,
+                    w.suite,
+                    w.lines_of_code(),
+                    w.description
+                );
+            }
+            Ok(())
+        }
+        "compile" => cmd_compile(&args),
+        "run" => cmd_run(&args),
+        "profile" => cmd_profile(&args),
+        "inject" => cmd_inject(&args),
+        "trace" => cmd_trace(&args),
+        "campaign" => cmd_campaign(&args),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_program(args: &Args) -> Result<Module, String> {
+    let Some(name) = args.positional.get(1) else {
+        return Err("missing program (file path or workload name)".into());
+    };
+    let source = if let Some(w) = fiq_workloads::by_name(name) {
+        w.source.to_string()
+    } else {
+        std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?
+    };
+    let mut module = fiq_frontend::compile(name, &source).map_err(|e| e.to_string())?;
+    if !args.has("no-opt") {
+        fiq_opt::optimize_module(&mut module);
+    }
+    Ok(module)
+}
+
+fn lower_options(args: &Args) -> LowerOptions {
+    LowerOptions {
+        fold_gep: !args.has("no-fold-gep"),
+        use_callee_saved: !args.has("no-callee-saved"),
+    }
+}
+
+fn category(args: &Args) -> Result<Category, String> {
+    match args.flag("category").unwrap_or("all") {
+        "arithmetic" => Ok(Category::Arithmetic),
+        "cast" => Ok(Category::Cast),
+        "cmp" => Ok(Category::Cmp),
+        "load" => Ok(Category::Load),
+        "all" => Ok(Category::All),
+        other => Err(format!("unknown category `{other}`")),
+    }
+}
+
+fn seed(args: &Args) -> u64 {
+    args.flag("seed").and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+fn cmd_compile(args: &Args) -> Result<(), String> {
+    let module = load_program(args)?;
+    match args.flag("emit").unwrap_or("ir") {
+        "ir" => println!("{module}"),
+        "asm" => {
+            let prog = fiq_backend::lower_module(&module, lower_options(args))
+                .map_err(|e| e.to_string())?;
+            println!("{prog}");
+        }
+        other => return Err(format!("unknown --emit `{other}` (ir|asm)")),
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let module = load_program(args)?;
+    match args.flag("level").unwrap_or("ir") {
+        "ir" => {
+            let r = fiq_interp::run_module(&module, InterpOptions::default())
+                .map_err(|e| e.to_string())?;
+            print!("{}", r.output);
+            eprintln!(
+                "[ir] status: {:?}, {} dynamic instructions",
+                r.status, r.steps
+            );
+        }
+        "asm" => {
+            let prog = fiq_backend::lower_module(&module, lower_options(args))
+                .map_err(|e| e.to_string())?;
+            let r =
+                fiq_asm::run_program(&prog, MachOptions::default()).map_err(|e| e.to_string())?;
+            print!("{}", r.output);
+            eprintln!(
+                "[asm] status: {:?}, {} dynamic instructions",
+                r.status, r.steps
+            );
+        }
+        other => return Err(format!("unknown --level `{other}` (ir|asm)")),
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let module = load_program(args)?;
+    let prog =
+        fiq_backend::lower_module(&module, lower_options(args)).map_err(|e| e.to_string())?;
+    let lp = profile_llfi(&module, InterpOptions::default())?;
+    let pp = profile_pinfi(&prog, MachOptions::default())?;
+    println!(
+        "golden: {} IR / {} asm dynamic instructions",
+        lp.golden_steps, pp.golden_steps
+    );
+    println!("{:<12} {:>14} {:>14}", "category", "LLFI", "PINFI");
+    for cat in Category::ALL {
+        println!(
+            "{:<12} {:>14} {:>14}",
+            cat.name(),
+            lp.category_count(&module, cat),
+            pp.category_count(&prog, cat)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_inject(args: &Args) -> Result<(), String> {
+    let module = load_program(args)?;
+    let cat = category(args)?;
+    let mut rng = StdRng::seed_from_u64(seed(args));
+    match args.flag("tool").unwrap_or("llfi") {
+        "llfi" => {
+            let lp = profile_llfi(&module, InterpOptions::default())?;
+            let inj = plan_llfi(&module, &lp, cat, &mut rng)
+                .ok_or("category has no dynamic instances")?;
+            println!(
+                "plan: {}/{} instance {} bit {}",
+                inj.site.func, inj.site.inst, inj.instance, inj.bit
+            );
+            let out = run_llfi(&module, InterpOptions::default(), inj, &lp.golden_output)?;
+            println!("outcome: {out}");
+        }
+        "pinfi" => {
+            let prog = fiq_backend::lower_module(&module, lower_options(args))
+                .map_err(|e| e.to_string())?;
+            let pp = profile_pinfi(&prog, MachOptions::default())?;
+            let inj = plan_pinfi(&prog, &pp, cat, PinfiOptions::default(), &mut rng)
+                .ok_or("category has no dynamic instances")?;
+            println!(
+                "plan: inst {} ({}) instance {} dest {:?} bit {}",
+                inj.idx,
+                fiq_asm::display_inst(&prog.insts[inj.idx]),
+                inj.instance,
+                inj.dest,
+                inj.bit
+            );
+            let out = run_pinfi(&prog, MachOptions::default(), inj, &pp.golden_output)?;
+            println!("outcome: {out}");
+        }
+        other => return Err(format!("unknown --tool `{other}` (llfi|pinfi)")),
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let module = load_program(args)?;
+    let cat = category(args)?;
+    let mut rng = StdRng::seed_from_u64(seed(args));
+    let lp = profile_llfi(&module, InterpOptions::default())?;
+    let inj = plan_llfi(&module, &lp, cat, &mut rng).ok_or("category has no dynamic instances")?;
+    println!(
+        "plan: {}/{} instance {} bit {}",
+        inj.site.func, inj.site.inst, inj.instance, inj.bit
+    );
+    let rep = fiq_core::trace_llfi(&module, InterpOptions::default(), inj, &lp.golden_output)?;
+    println!("outcome:              {}", rep.outcome);
+    println!(
+        "tainted instructions: {} dynamic / {} static sites",
+        rep.tainted_instructions, rep.tainted_static_sites
+    );
+    println!("peak tainted memory:  {} bytes", rep.peak_tainted_memory);
+    println!("tainted branches:     {}", rep.tainted_branches);
+    println!("tainted outputs:      {}", rep.tainted_outputs);
+    Ok(())
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    let module = load_program(args)?;
+    let cat = category(args)?;
+    let cfg = CampaignConfig {
+        injections: args
+            .flag("injections")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(200),
+        seed: seed(args),
+        ..CampaignConfig::default()
+    };
+    let prog =
+        fiq_backend::lower_module(&module, lower_options(args)).map_err(|e| e.to_string())?;
+    let lp = profile_llfi(&module, InterpOptions::default())?;
+    let pp = profile_pinfi(&prog, MachOptions::default())?;
+    let l = llfi_campaign(&module, &lp, cat, &cfg);
+    let r = pinfi_campaign(&prog, &pp, cat, &cfg);
+    println!(
+        "{:<6} {:>10} {:>9} {:>7} {:>7} {:>8} {:>7} {:>13}",
+        "tool", "population", "injected", "crash%", "sdc%", "benign%", "hang%", "not-activated"
+    );
+    for (name, rep) in [("llfi", l), ("pinfi", r)] {
+        let c = rep.counts;
+        println!(
+            "{:<6} {:>10} {:>9} {:>6.1}% {:>6.1}% {:>7.1}% {:>6.1}% {:>13}",
+            name,
+            rep.dynamic_population,
+            c.total(),
+            c.crash_pct(),
+            c.sdc_pct(),
+            c.benign_pct(),
+            c.hang_pct(),
+            c.not_activated
+        );
+    }
+    Ok(())
+}

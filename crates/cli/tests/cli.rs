@@ -1,0 +1,115 @@
+//! End-to-end tests of the `fiq` binary itself.
+
+use std::process::Command;
+
+fn fiq(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fiq"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn lists_workloads() {
+    let (ok, stdout, _) = fiq(&["workloads"]);
+    assert!(ok);
+    for name in ["bzip2", "libquantum", "ocean", "hmmer", "mcf", "raytrace"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+}
+
+#[test]
+fn runs_a_workload_at_both_levels() {
+    let (ok, ir_out, ir_err) = fiq(&["run", "mcf", "--level", "ir"]);
+    assert!(ok, "{ir_err}");
+    let (ok, asm_out, asm_err) = fiq(&["run", "mcf", "--level", "asm"]);
+    assert!(ok, "{asm_err}");
+    assert_eq!(ir_out, asm_out, "levels agree");
+    assert!(ir_err.contains("dynamic instructions"));
+}
+
+#[test]
+fn compiles_to_both_representations() {
+    let (ok, ir, _) = fiq(&["compile", "ocean", "--emit", "ir"]);
+    assert!(ok);
+    assert!(
+        ir.contains("define") && ir.contains("getelementptr"),
+        "{ir}"
+    );
+    let (ok, asm, _) = fiq(&["compile", "ocean", "--emit", "asm"]);
+    assert!(ok);
+    assert!(asm.contains("main:") && asm.contains("push rbp"), "{asm}");
+}
+
+#[test]
+fn profiles_categories() {
+    let (ok, out, _) = fiq(&["profile", "hmmer"]);
+    assert!(ok);
+    for cat in ["arithmetic", "cast", "cmp", "load", "all"] {
+        assert!(out.contains(cat), "{out}");
+    }
+}
+
+#[test]
+fn injects_deterministically() {
+    let args = [
+        "inject",
+        "mcf",
+        "--tool",
+        "llfi",
+        "--category",
+        "load",
+        "--seed",
+        "5",
+    ];
+    let (ok1, a, _) = fiq(&args);
+    let (ok2, b, _) = fiq(&args);
+    assert!(ok1 && ok2);
+    assert_eq!(a, b, "same seed, same plan and outcome");
+    assert!(a.contains("outcome:"), "{a}");
+}
+
+#[test]
+fn runs_a_small_campaign() {
+    let (ok, out, err) = fiq(&[
+        "campaign",
+        "libquantum",
+        "--category",
+        "cmp",
+        "--injections",
+        "20",
+        "--seed",
+        "9",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("llfi") && out.contains("pinfi"), "{out}");
+}
+
+#[test]
+fn reports_errors_cleanly() {
+    let (ok, _, err) = fiq(&["run", "/nonexistent/prog.mc"]);
+    assert!(!ok);
+    assert!(err.contains("fiq:"), "{err}");
+    let (ok, _, err) = fiq(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"), "{err}");
+    let (ok, _, err) = fiq(&["inject", "mcf", "--category", "bogus"]);
+    assert!(!ok);
+    assert!(err.contains("unknown category"), "{err}");
+}
+
+#[test]
+fn compiles_a_source_file() {
+    let dir = std::env::temp_dir().join("fiq-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("hello.mc");
+    std::fs::write(&path, "int main() { print_i64(7 * 6); return 0; }").unwrap();
+    let (ok, out, err) = fiq(&["run", path.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert_eq!(out, "42\n");
+}

@@ -1,0 +1,178 @@
+//! Campaign runner: thousands of injections per (benchmark, category,
+//! tool) cell, run in parallel with deterministic seeding.
+
+use crate::category::Category;
+use crate::llfi::{plan_llfi, run_llfi, LlfiInjection};
+use crate::outcome::OutcomeCounts;
+use crate::pinfi::{plan_pinfi, run_pinfi, PinfiInjection, PinfiOptions};
+use crate::profile::{LlfiProfile, PinfiProfile};
+use fiq_asm::{AsmProgram, MachOptions};
+use fiq_interp::InterpOptions;
+use fiq_ir::Module;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Injections per cell (the paper uses 1000).
+    pub injections: u32,
+    /// Master seed; campaigns are bit-for-bit reproducible given a seed.
+    pub seed: u64,
+    /// Hang budget = `golden_steps × hang_factor + 10_000`.
+    pub hang_factor: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// PINFI heuristic switches.
+    pub pinfi: PinfiOptions,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            injections: 300,
+            seed: 42,
+            hang_factor: 10,
+            threads: 0,
+            pinfi: PinfiOptions::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        }
+    }
+}
+
+/// Aggregated results for one experiment cell.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Outcome tallies.
+    pub counts: OutcomeCounts,
+    /// Number of injections requested.
+    pub requested: u32,
+    /// Dynamic population of the category (Table IV numbers).
+    pub dynamic_population: u64,
+}
+
+impl CellReport {
+    /// An empty report (category has no candidates).
+    pub fn empty() -> CellReport {
+        CellReport {
+            counts: OutcomeCounts::default(),
+            requested: 0,
+            dynamic_population: 0,
+        }
+    }
+}
+
+/// Deterministically derives a per-cell RNG seed.
+fn cell_seed(master: u64, tool: &str, cat: Category) -> u64 {
+    let mut h = master ^ 0x9E37_79B9_7F4A_7C15;
+    for b in tool.bytes().chain(cat.name().bytes()) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Runs a full LLFI cell: `cfg.injections` independent single-bit-flip
+/// runs into `cat`, in parallel.
+pub fn llfi_campaign(
+    module: &Module,
+    profile: &LlfiProfile,
+    cat: Category,
+    cfg: &CampaignConfig,
+) -> CellReport {
+    let mut rng = StdRng::seed_from_u64(cell_seed(cfg.seed, "llfi", cat));
+    let plans: Vec<LlfiInjection> = (0..cfg.injections)
+        .filter_map(|_| plan_llfi(module, profile, cat, &mut rng))
+        .collect();
+    if plans.is_empty() {
+        return CellReport {
+            dynamic_population: profile.category_count(module, cat),
+            ..CellReport::empty()
+        };
+    }
+    let opts = InterpOptions {
+        max_steps: profile.golden_steps * cfg.hang_factor + 10_000,
+        ..InterpOptions::default()
+    };
+    let counts = parallel_map(cfg, &plans, |inj| {
+        run_llfi(module, opts, *inj, &profile.golden_output)
+            .expect("interpreter setup succeeded during profiling")
+    });
+    CellReport {
+        counts,
+        requested: cfg.injections,
+        dynamic_population: profile.category_count(module, cat),
+    }
+}
+
+/// Runs a full PINFI cell.
+pub fn pinfi_campaign(
+    prog: &AsmProgram,
+    profile: &PinfiProfile,
+    cat: Category,
+    cfg: &CampaignConfig,
+) -> CellReport {
+    let mut rng = StdRng::seed_from_u64(cell_seed(cfg.seed, "pinfi", cat));
+    let plans: Vec<PinfiInjection> = (0..cfg.injections)
+        .filter_map(|_| plan_pinfi(prog, profile, cat, cfg.pinfi, &mut rng))
+        .collect();
+    if plans.is_empty() {
+        return CellReport {
+            dynamic_population: profile.category_count(prog, cat),
+            ..CellReport::empty()
+        };
+    }
+    let opts = MachOptions {
+        max_steps: profile.golden_steps * cfg.hang_factor + 10_000,
+        ..MachOptions::default()
+    };
+    let counts = parallel_map(cfg, &plans, |inj| {
+        run_pinfi(prog, opts, *inj, &profile.golden_output)
+            .expect("machine setup succeeded during profiling")
+    });
+    CellReport {
+        counts,
+        requested: cfg.injections,
+        dynamic_population: profile.category_count(prog, cat),
+    }
+}
+
+/// Distributes injection runs over worker threads, merging outcome counts.
+fn parallel_map<T: Sync>(
+    cfg: &CampaignConfig,
+    plans: &[T],
+    run: impl Fn(&T) -> crate::outcome::Outcome + Sync,
+) -> OutcomeCounts {
+    let workers = cfg.worker_count().max(1).min(plans.len().max(1));
+    let total = Mutex::new(OutcomeCounts::default());
+    let chunk = plans.len().div_ceil(workers);
+    let (total_ref, run_ref) = (&total, &run);
+    crossbeam::thread::scope(|s| {
+        for part in plans.chunks(chunk) {
+            s.builder()
+                .stack_size(16 << 20) // guest recursion nests host frames
+                .spawn(move |_| {
+                    let mut local = OutcomeCounts::default();
+                    for p in part {
+                        local.record(run_ref(p));
+                    }
+                    total_ref.lock().merge(&local);
+                })
+                .expect("spawn worker");
+        }
+    })
+    .expect("no worker panicked");
+    total.into_inner()
+}

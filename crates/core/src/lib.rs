@@ -1,0 +1,65 @@
+//! # fiq-core — the fault-injection accuracy study
+//!
+//! The primary contribution of the reproduced paper (Wei et al., DSN 2014):
+//! two software-implemented fault injectors for transient hardware faults,
+//! operating at two levels of the same program —
+//!
+//! * [`llfi`](crate::run_llfi) injects into IR-level instruction
+//!   destinations while the program runs on the `fiq-interp` interpreter
+//!   (the paper's **LLFI**),
+//! * [`pinfi`](crate::run_pinfi) injects into assembly-level destination
+//!   registers/FLAGS/XMM while the compiled program runs on the `fiq-asm`
+//!   emulator (the paper's **PINFI**),
+//!
+//! plus the shared machinery: instruction categories (Table III),
+//! profiling, fault-activation tracking, outcome classification
+//! (crash/SDC/benign/hang), a deterministic parallel campaign runner, and
+//! confidence-interval statistics.
+//!
+//! ## One injection, end to end
+//!
+//! ```
+//! use fiq_core::{plan_llfi, run_llfi, profile_llfi, Category};
+//! use fiq_interp::InterpOptions;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut module = fiq_frontend::compile(
+//!     "demo",
+//!     "int main() { int s = 0; for (int i = 0; i < 99; i += 1) s += i; print_i64(s); return 0; }",
+//! ).unwrap();
+//! fiq_opt::optimize_module(&mut module);
+//!
+//! let profile = profile_llfi(&module, InterpOptions::default())?;
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let inj = plan_llfi(&module, &profile, Category::Arithmetic, &mut rng).unwrap();
+//! let outcome = run_llfi(&module, InterpOptions::default(), inj, &profile.golden_output)?;
+//! println!("{outcome}");
+//! # Ok::<(), String>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod calibration;
+mod campaign;
+mod category;
+mod llfi;
+mod outcome;
+mod pinfi;
+mod profile;
+mod stats;
+mod trace;
+
+pub use calibration::{
+    calibrated_candidates, calibrated_count, llfi_campaign_calibrated, Calibration,
+};
+pub use campaign::{llfi_campaign, pinfi_campaign, CampaignConfig, CellReport};
+pub use category::{
+    injection_dest, llfi_candidates, llfi_matches, pinfi_candidates, pinfi_matches, site_in,
+    Category,
+};
+pub use llfi::{plan_llfi, run_llfi, LlfiInjection};
+pub use outcome::{classify, DetailedOutcome, Outcome, OutcomeCounts};
+pub use pinfi::{plan_pinfi, run_pinfi, PinfiInjection, PinfiOptions};
+pub use profile::{locate, profile_llfi, profile_pinfi, LlfiProfile, PinfiProfile};
+pub use stats::{normal_ci95_half_width, overlaps, wilson_ci95};
+pub use trace::{trace_llfi, PropagationReport};

@@ -1,0 +1,129 @@
+//! LLFI — the high-level (IR) fault injector.
+//!
+//! Reproduces the paper's LLFI (§III): pick a uniformly random dynamic
+//! instance of an instruction from the chosen category, flip one random
+//! bit of its destination value at runtime, and track whether the
+//! corrupted value is ever read (fault activation).
+
+use crate::category::Category;
+use crate::outcome::{classify, Outcome};
+use crate::profile::{locate, LlfiProfile};
+use fiq_interp::{InstSite, Interp, InterpHook, InterpOptions, RtVal};
+use fiq_ir::Module;
+use rand::Rng;
+
+/// A fully planned LLFI injection: *which* dynamic instance of *which*
+/// instruction, and which bit of its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlfiInjection {
+    /// Target static instruction.
+    pub site: InstSite,
+    /// 1-based dynamic instance of that instruction.
+    pub instance: u64,
+    /// Bit to flip in the destination value.
+    pub bit: u32,
+}
+
+/// Plans a random injection into `cat`. Returns `None` when the category
+/// has no dynamic instances in this program.
+pub fn plan_llfi(
+    module: &Module,
+    profile: &LlfiProfile,
+    cat: Category,
+    rng: &mut impl Rng,
+) -> Option<LlfiInjection> {
+    let cum = profile.cumulative(module, cat);
+    let total = cum.last()?.1;
+    let k = rng.gen_range(1..=total);
+    let (site, instance) = locate(&cum, k);
+    let width = module.func(site.func).inst(site.inst).ty.size() as u32 * 8;
+    let width = width.max(1).min(64);
+    // i1 destinations have exactly one bit.
+    let width = if module.func(site.func).inst(site.inst).ty == fiq_ir::Type::i1() {
+        1
+    } else {
+        width
+    };
+    let bit = rng.gen_range(0..width);
+    Some(LlfiInjection {
+        site,
+        instance,
+        bit,
+    })
+}
+
+/// The injection + activation-tracking hook.
+struct LlfiHook {
+    site: InstSite,
+    instance: u64,
+    bit: u32,
+    seen: u64,
+    /// Frame in which the injected value currently lives (None once
+    /// overwritten or not yet injected).
+    live_frame: Option<u64>,
+    injected: bool,
+    activated: bool,
+}
+
+impl InterpHook for LlfiHook {
+    fn on_result(&mut self, site: InstSite, frame: u64, val: &mut RtVal) {
+        if site != self.site {
+            return;
+        }
+        if !self.injected {
+            self.seen += 1;
+            if self.seen == self.instance {
+                *val = val.with_bit_flipped(self.bit);
+                self.injected = true;
+                self.live_frame = Some(frame);
+            }
+            return;
+        }
+        // Re-execution of the target in the same invocation overwrites the
+        // SSA slot: the fault is gone if it was never read.
+        if self.live_frame == Some(frame) {
+            self.live_frame = None;
+        }
+    }
+
+    fn on_use(&mut self, def: InstSite, _consumer: InstSite, frame: u64) {
+        if def == self.site && self.live_frame == Some(frame) {
+            self.activated = true;
+        }
+    }
+}
+
+/// Runs one LLFI injection and classifies the outcome.
+///
+/// # Errors
+///
+/// Returns an error string if interpreter setup fails.
+pub fn run_llfi(
+    module: &Module,
+    opts: InterpOptions,
+    inj: LlfiInjection,
+    golden_output: &str,
+) -> Result<Outcome, String> {
+    let hook = LlfiHook {
+        site: inj.site,
+        instance: inj.instance,
+        bit: inj.bit,
+        seen: 0,
+        live_frame: None,
+        injected: false,
+        activated: false,
+    };
+    let mut interp = Interp::new(module, opts, hook).map_err(|t| t.to_string())?;
+    let result = interp.run();
+    let hook = interp.into_hook();
+    debug_assert!(
+        hook.injected,
+        "planned instance must be reached (deterministic prefix)"
+    );
+    Ok(classify(
+        result.status,
+        &result.output,
+        golden_output,
+        hook.activated,
+    ))
+}

@@ -1,0 +1,218 @@
+//! Profiling runs: dynamic instruction counts and golden outputs.
+//!
+//! Both injectors first profile the program (paper §III step 3: "first
+//! profiling the program to obtain the total count of executed
+//! instructions"), producing the golden output for SDC detection, the
+//! golden step count for hang budgets, and per-instruction dynamic counts
+//! used to pick a uniformly random dynamic instance.
+
+use crate::category::{llfi_candidates, pinfi_candidates, Category};
+use fiq_asm::{AsmHook, AsmProgram, MachOptions, MachState, Machine};
+use fiq_interp::{InstSite, Interp, InterpHook, InterpOptions, RtVal};
+use fiq_ir::Module;
+use fiq_mem::Trap;
+
+/// LLFI profile: per-(function, instruction) dynamic execution counts plus
+/// golden-run data.
+#[derive(Debug, Clone)]
+pub struct LlfiProfile {
+    /// Golden (fault-free) output.
+    pub golden_output: String,
+    /// Golden dynamic instruction count.
+    pub golden_steps: u64,
+    /// `counts[func][inst]` = dynamic executions of that instruction.
+    pub counts: Vec<Vec<u64>>,
+}
+
+struct CountingHook {
+    counts: Vec<Vec<u64>>,
+}
+
+impl InterpHook for CountingHook {
+    fn on_result(&mut self, site: InstSite, _frame: u64, _val: &mut RtVal) {
+        self.counts[site.func.index()][site.inst.index()] += 1;
+    }
+}
+
+/// Profiles a module at the IR level.
+///
+/// # Errors
+///
+/// Returns the trap if interpreter setup fails; a golden run that crashes
+/// or hangs is a caller bug and is reported as an error too.
+pub fn profile_llfi(module: &Module, opts: InterpOptions) -> Result<LlfiProfile, String> {
+    let hook = CountingHook {
+        counts: module
+            .funcs
+            .iter()
+            .map(|f| vec![0; f.insts.len()])
+            .collect(),
+    };
+    let mut interp = Interp::new(module, opts, hook).map_err(|t: Trap| t.to_string())?;
+    let result = interp.run();
+    if !result.finished() {
+        return Err(format!("golden IR run did not finish: {:?}", result.status));
+    }
+    let hook = interp.into_hook();
+    Ok(LlfiProfile {
+        golden_output: result.output,
+        golden_steps: result.steps,
+        counts: hook.counts,
+    })
+}
+
+impl LlfiProfile {
+    /// Total dynamic executions of the candidate set for `cat`
+    /// (the paper's Table IV numbers at the IR level).
+    pub fn category_count(&self, module: &Module, cat: Category) -> u64 {
+        let bits = llfi_candidates(module, cat);
+        let mut total = 0;
+        for (f, fbits) in bits.iter().enumerate() {
+            for (i, &b) in fbits.iter().enumerate() {
+                if b {
+                    total += self.counts[f][i];
+                }
+            }
+        }
+        total
+    }
+
+    /// Builds the cumulative distribution used to sample a uniform dynamic
+    /// instance from category `cat`: `(site, cumulative_count)` pairs.
+    pub fn cumulative(&self, module: &Module, cat: Category) -> Vec<(InstSite, u64)> {
+        let bits = llfi_candidates(module, cat);
+        let mut cum = Vec::new();
+        let mut running = 0u64;
+        for (f, fbits) in bits.iter().enumerate() {
+            for (i, &b) in fbits.iter().enumerate() {
+                let c = self.counts[f][i];
+                if b && c > 0 {
+                    running += c;
+                    cum.push((
+                        InstSite {
+                            func: fiq_ir::FuncId(f as u32),
+                            inst: fiq_ir::InstId(i as u32),
+                        },
+                        running,
+                    ));
+                }
+            }
+        }
+        cum
+    }
+}
+
+/// PINFI profile: per-instruction-index dynamic counts plus golden-run
+/// data.
+#[derive(Debug, Clone)]
+pub struct PinfiProfile {
+    /// Golden (fault-free) output.
+    pub golden_output: String,
+    /// Golden dynamic instruction count.
+    pub golden_steps: u64,
+    /// `counts[idx]` = dynamic executions of instruction `idx`.
+    pub counts: Vec<u64>,
+}
+
+struct AsmCountingHook {
+    counts: Vec<u64>,
+}
+
+impl AsmHook for AsmCountingHook {
+    fn on_retire(&mut self, idx: usize, _st: &mut MachState) {
+        self.counts[idx] += 1;
+    }
+}
+
+/// Profiles a program at the assembly level.
+///
+/// # Errors
+///
+/// Returns an error if machine setup fails or the golden run does not
+/// finish.
+pub fn profile_pinfi(prog: &AsmProgram, opts: MachOptions) -> Result<PinfiProfile, String> {
+    let hook = AsmCountingHook {
+        counts: vec![0; prog.insts.len()],
+    };
+    let mut machine = Machine::new(prog, opts, hook).map_err(|t| t.to_string())?;
+    let result = machine.run();
+    if result.status != fiq_mem::RunStatus::Finished {
+        return Err(format!(
+            "golden asm run did not finish: {:?}",
+            result.status
+        ));
+    }
+    let hook = machine.into_hook();
+    Ok(PinfiProfile {
+        golden_output: result.output,
+        golden_steps: result.steps,
+        counts: hook.counts,
+    })
+}
+
+impl PinfiProfile {
+    /// Total dynamic executions of the candidate set for `cat`
+    /// (the paper's Table IV numbers at the assembly level).
+    pub fn category_count(&self, prog: &AsmProgram, cat: Category) -> u64 {
+        let bits = pinfi_candidates(prog, cat);
+        bits.iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| self.counts[i])
+            .sum()
+    }
+
+    /// Builds the cumulative distribution for sampling a dynamic instance
+    /// from category `cat`: `(inst index, cumulative_count)` pairs.
+    pub fn cumulative(&self, prog: &AsmProgram, cat: Category) -> Vec<(usize, u64)> {
+        let bits = pinfi_candidates(prog, cat);
+        let mut cum = Vec::new();
+        let mut running = 0u64;
+        for (i, &b) in bits.iter().enumerate() {
+            if b && self.counts[i] > 0 {
+                running += self.counts[i];
+                cum.push((i, running));
+            }
+        }
+        cum
+    }
+}
+
+/// Samples the `k`-th (1-based) dynamic instance from a cumulative
+/// distribution: returns the element and the instance number *within* that
+/// element.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the distribution total.
+pub fn locate<T: Copy>(cum: &[(T, u64)], k: u64) -> (T, u64) {
+    assert!(k >= 1, "instance numbers are 1-based");
+    let pos = cum.partition_point(|&(_, c)| c < k);
+    let (elem, c) = cum[pos];
+    let prev = if pos == 0 { 0 } else { cum[pos - 1].1 };
+    debug_assert!(k <= c);
+    (elem, k - prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_maps_global_instance_to_local() {
+        // Three sites with counts 5, 3, 2 (cumulative 5, 8, 10).
+        let cum = vec![("a", 5u64), ("b", 8), ("c", 10)];
+        assert_eq!(locate(&cum, 1), ("a", 1));
+        assert_eq!(locate(&cum, 5), ("a", 5));
+        assert_eq!(locate(&cum, 6), ("b", 1));
+        assert_eq!(locate(&cum, 8), ("b", 3));
+        assert_eq!(locate(&cum, 9), ("c", 1));
+        assert_eq!(locate(&cum, 10), ("c", 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn locate_rejects_zero() {
+        locate(&[("a", 1u64)], 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Proportion statistics: 95% confidence intervals for the SDC/crash
+//! percentages (the paper's Fig 4 error bars).
+
+/// 95% Wilson score interval for a binomial proportion, returned as
+/// percentages `(low, high)` in `[0, 100]`.
+///
+/// The Wilson interval behaves sensibly at the extremes (0 or n
+/// successes), unlike the normal approximation.
+pub fn wilson_ci95(successes: u64, n: u64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let z = 1.959_964f64; // 97.5th percentile of the standard normal
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let center = (p + z2 / (2.0 * n_f)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    (
+        ((center - half) * 100.0).max(0.0),
+        ((center + half) * 100.0).min(100.0),
+    )
+}
+
+/// Half-width of the 95% normal-approximation interval, in percentage
+/// points (used for quick error bars).
+pub fn normal_ci95_half_width(successes: u64, n: u64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let p = successes as f64 / n as f64;
+    1.959_964 * (p * (1.0 - p) / n as f64).sqrt() * 100.0
+}
+
+/// True when two proportions' 95% intervals overlap — the paper's
+/// "difference within the measurement error threshold" criterion.
+pub fn overlaps(a_successes: u64, a_n: u64, b_successes: u64, b_n: u64) -> bool {
+    let (alo, ahi) = wilson_ci95(a_successes, a_n);
+    let (blo, bhi) = wilson_ci95(b_successes, b_n);
+    alo <= bhi && blo <= ahi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_basic_properties() {
+        let (lo, hi) = wilson_ci95(50, 100);
+        assert!(lo < 50.0 && hi > 50.0);
+        assert!(hi - lo < 21.0, "CI for n=100 is about ±10 points");
+        // Contains the point estimate.
+        let (lo, hi) = wilson_ci95(10, 1000);
+        assert!(lo < 1.0 && hi > 1.0);
+    }
+
+    #[test]
+    fn wilson_extremes_stay_in_range() {
+        let (lo, hi) = wilson_ci95(0, 100);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 5.0);
+        let (lo, hi) = wilson_ci95(100, 100);
+        assert_eq!(hi, 100.0);
+        assert!(lo > 95.0);
+    }
+
+    #[test]
+    fn wilson_narrows_with_n() {
+        let (lo1, hi1) = wilson_ci95(50, 100);
+        let (lo2, hi2) = wilson_ci95(500, 1000);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn zero_n_is_safe() {
+        assert_eq!(wilson_ci95(0, 0), (0.0, 0.0));
+        assert_eq!(normal_ci95_half_width(0, 0), 0.0);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        // 10% vs 12% at n=300: overlapping.
+        assert!(overlaps(30, 300, 36, 300));
+        // 10% vs 40% at n=300: clearly different.
+        assert!(!overlaps(30, 300, 120, 300));
+    }
+
+    #[test]
+    fn normal_half_width_sane() {
+        let hw = normal_ci95_half_width(100, 1000); // p = 0.1
+        assert!((hw - 1.86).abs() < 0.05, "got {hw}");
+    }
+}

@@ -1,0 +1,302 @@
+//! Error-propagation tracing — the LLFI capability the paper highlights
+//! in §III ("enables tracing the propagation of the fault among
+//! instructions in the program") and the main reason one reaches for a
+//! high-level injector in the first place.
+//!
+//! After the bit flip, taint flows
+//!
+//! * through SSA data dependences (an instruction reading a tainted value
+//!   produces a tainted value),
+//! * through memory (a store of a tainted value — or through a tainted
+//!   address — taints the written bytes; a load of tainted bytes taints
+//!   its result),
+//! * into control flow (a branch deciding on a tainted condition is
+//!   recorded as a control-flow divergence point).
+
+use crate::llfi::LlfiInjection;
+use crate::outcome::{classify, Outcome};
+use fiq_interp::{InstSite, Interp, InterpHook, InterpOptions, RtVal};
+use fiq_ir::{InstKind, Module};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// What the tracer observed between injection and program end.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PropagationReport {
+    /// The final outcome of the run.
+    pub outcome: Outcome,
+    /// Dynamic instructions that produced a tainted result.
+    pub tainted_instructions: u64,
+    /// Distinct static instructions that ever produced a tainted result.
+    pub tainted_static_sites: usize,
+    /// Peak number of tainted memory bytes.
+    pub peak_tainted_memory: u64,
+    /// Dynamic branches whose condition was tainted (control-flow
+    /// divergence opportunities).
+    pub tainted_branches: u64,
+    /// Tainted values passed to output routines (the SDC path).
+    pub tainted_outputs: u64,
+}
+
+/// Byte-granular taint map over the simulated address space.
+#[derive(Debug, Default)]
+struct TaintMem {
+    /// Sorted disjoint ranges `start -> end` (half-open).
+    ranges: BTreeMap<u64, u64>,
+}
+
+impl TaintMem {
+    fn taint(&mut self, addr: u64, size: u64) {
+        if size == 0 {
+            return;
+        }
+        let (mut start, mut end) = (addr, addr + size);
+        // Merge with any overlapping/adjacent ranges.
+        let overlapping: Vec<u64> = self
+            .ranges
+            .range(..=end)
+            .filter(|(&s, &e)| e >= start && s <= end)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let e = self.ranges.remove(&s).expect("present");
+            start = start.min(s);
+            end = end.max(e);
+        }
+        self.ranges.insert(start, end);
+    }
+
+    fn clear(&mut self, addr: u64, size: u64) {
+        if size == 0 {
+            return;
+        }
+        let (start, end) = (addr, addr + size);
+        let overlapping: Vec<(u64, u64)> = self
+            .ranges
+            .range(..end)
+            .filter(|(_, &e)| e > start)
+            .map(|(&s, &e)| (s, e))
+            .collect();
+        for (s, e) in overlapping {
+            self.ranges.remove(&s);
+            if s < start {
+                self.ranges.insert(s, start);
+            }
+            if e > end {
+                self.ranges.insert(end, e);
+            }
+        }
+    }
+
+    fn intersects(&self, addr: u64, size: u64) -> bool {
+        let end = addr + size;
+        self.ranges
+            .range(..end)
+            .next_back()
+            .is_some_and(|(_, &e)| e > addr)
+    }
+
+    fn total(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+}
+
+struct TraceHook<'m> {
+    module: &'m Module,
+    inj: LlfiInjection,
+    seen: u64,
+    injected: bool,
+    /// SSA taint: (frame, inst) pairs currently holding tainted values.
+    tainted: HashSet<(u64, u32, u32)>, // (frame, func, inst)
+    mem: TaintMem,
+    /// The consumer currently reading operands and whether it read taint.
+    cur_consumer: Option<(InstSite, u64)>,
+    cur_tainted: bool,
+    // Statistics.
+    dynamic_taints: u64,
+    static_sites: HashSet<(u32, u32)>,
+    peak_mem: u64,
+    tainted_branches: u64,
+    tainted_outputs: u64,
+    activated: bool,
+}
+
+impl TraceHook<'_> {
+    fn key(site: InstSite, frame: u64) -> (u64, u32, u32) {
+        (frame, site.func.0, site.inst.0)
+    }
+
+    fn begin_consumer(&mut self, consumer: InstSite, frame: u64) {
+        if self.cur_consumer != Some((consumer, frame)) {
+            // A branch/output consumer's taint is accounted when we see
+            // the consumer change (terminators and calls have no
+            // on_result of their own to flush it).
+            self.flush_consumer();
+            self.cur_consumer = Some((consumer, frame));
+            self.cur_tainted = false;
+        }
+    }
+
+    fn flush_consumer(&mut self) {
+        if !self.cur_tainted {
+            return;
+        }
+        if let Some((site, _)) = self.cur_consumer {
+            let inst = self.module.func(site.func).inst(site.inst);
+            match &inst.kind {
+                InstKind::CondBr { .. } => self.tainted_branches += 1,
+                InstKind::Call { callee, .. } => {
+                    if matches!(callee, fiq_ir::Callee::Intrinsic(i)
+                        if matches!(i, fiq_ir::Intrinsic::PrintI64
+                            | fiq_ir::Intrinsic::PrintF64
+                            | fiq_ir::Intrinsic::PrintChar))
+                    {
+                        self.tainted_outputs += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl InterpHook for TraceHook<'_> {
+    fn on_result(&mut self, site: InstSite, frame: u64, val: &mut RtVal) {
+        // Injection point.
+        if !self.injected && site == self.inj.site {
+            self.seen += 1;
+            if self.seen == self.inj.instance {
+                *val = val.with_bit_flipped(self.inj.bit);
+                self.injected = true;
+                self.tainted.insert(Self::key(site, frame));
+                self.dynamic_taints += 1;
+                self.static_sites.insert((site.func.0, site.inst.0));
+                self.cur_tainted = false;
+                return;
+            }
+        }
+        // Propagate operand taint into the result.
+        let consumed_taint = self.cur_consumer == Some((site, frame)) && self.cur_tainted;
+        let k = Self::key(site, frame);
+        if consumed_taint {
+            self.activated = true;
+            self.tainted.insert(k);
+            self.dynamic_taints += 1;
+            self.static_sites.insert((site.func.0, site.inst.0));
+        } else {
+            // Fresh untainted value overwrites any stale taint on re-entry.
+            self.tainted.remove(&k);
+        }
+        self.cur_consumer = None;
+        self.cur_tainted = false;
+    }
+
+    fn on_use(&mut self, def: InstSite, consumer: InstSite, frame: u64) {
+        self.begin_consumer(consumer, frame);
+        if self.tainted.contains(&Self::key(def, frame)) {
+            self.cur_tainted = true;
+        }
+    }
+
+    fn on_load(&mut self, site: InstSite, frame: u64, addr: u64, size: u64) {
+        self.begin_consumer(site, frame);
+        if self.mem.intersects(addr, size) {
+            self.cur_tainted = true;
+        }
+    }
+
+    fn on_store(&mut self, site: InstSite, frame: u64, addr: u64, size: u64) {
+        self.begin_consumer(site, frame);
+        if self.cur_tainted {
+            self.activated = true;
+            self.mem.taint(addr, size);
+            self.peak_mem = self.peak_mem.max(self.mem.total());
+        } else {
+            self.mem.clear(addr, size);
+        }
+        self.cur_consumer = None;
+        self.cur_tainted = false;
+    }
+}
+
+/// Runs one traced LLFI injection: the outcome plus a propagation report.
+///
+/// # Errors
+///
+/// Returns an error string if interpreter setup fails.
+pub fn trace_llfi(
+    module: &Module,
+    opts: InterpOptions,
+    inj: LlfiInjection,
+    golden_output: &str,
+) -> Result<PropagationReport, String> {
+    let hook = TraceHook {
+        module,
+        inj,
+        seen: 0,
+        injected: false,
+        tainted: HashSet::new(),
+        mem: TaintMem::default(),
+        cur_consumer: None,
+        cur_tainted: false,
+        dynamic_taints: 0,
+        static_sites: HashSet::new(),
+        peak_mem: 0,
+        tainted_branches: 0,
+        tainted_outputs: 0,
+        activated: false,
+    };
+    let mut interp = Interp::new(module, opts, hook).map_err(|t| t.to_string())?;
+    let result = interp.run();
+    let mut hook = interp.into_hook();
+    hook.flush_consumer();
+    let outcome = classify(
+        result.status,
+        &result.output,
+        golden_output,
+        hook.activated || hook.dynamic_taints > 1,
+    );
+    Ok(PropagationReport {
+        outcome,
+        tainted_instructions: hook.dynamic_taints,
+        tainted_static_sites: hook.static_sites.len(),
+        peak_tainted_memory: hook.peak_mem.max(hook.mem.total()),
+        tainted_branches: hook.tainted_branches,
+        tainted_outputs: hook.tainted_outputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taint_mem_merge_and_clear() {
+        let mut t = TaintMem::default();
+        t.taint(100, 8);
+        t.taint(108, 8); // adjacent: merges
+        assert_eq!(t.total(), 16);
+        assert!(t.intersects(104, 2));
+        assert!(!t.intersects(90, 4));
+        t.clear(104, 4); // split
+        assert_eq!(t.total(), 12);
+        assert!(t.intersects(100, 4));
+        assert!(!t.intersects(104, 4));
+        assert!(t.intersects(108, 8));
+        t.taint(0, 4);
+        t.taint(200, 4);
+        assert_eq!(t.total(), 20);
+        t.clear(0, 1000);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn overlapping_taint_ranges() {
+        let mut t = TaintMem::default();
+        t.taint(50, 10);
+        t.taint(55, 10); // overlaps
+        assert_eq!(t.total(), 15);
+        assert!(t.intersects(64, 1));
+        assert!(!t.intersects(65, 1));
+    }
+}

@@ -1,0 +1,258 @@
+//! The Mini-C abstract syntax tree.
+
+/// A whole source file.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Struct definitions, in order.
+    pub structs: Vec<StructDef>,
+    /// Global variable definitions, in order.
+    pub globals: Vec<GlobalDef>,
+    /// Function definitions, in order.
+    pub funcs: Vec<FuncDef>,
+}
+
+/// `struct Name { fields };`
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Field names and types, in order.
+    pub fields: Vec<(String, TypeExpr)>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone)]
+pub struct GlobalDef {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Constant initializer, if any (zero otherwise).
+    pub init: Option<Expr>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function definition.
+#[derive(Debug, Clone)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names and types.
+    pub params: Vec<(String, TypeExpr)>,
+    /// Return type.
+    pub ret: TypeExpr,
+    /// Body.
+    pub body: Block,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A syntactic type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `int` — 64-bit signed.
+    Int,
+    /// `byte` — 8-bit unsigned storage, promotes to `int` in expressions.
+    Byte,
+    /// `double` (also spelled `float`) — binary64.
+    Double,
+    /// `bool`.
+    Bool,
+    /// `void` (function returns only).
+    Void,
+    /// `T*`.
+    Ptr(Box<TypeExpr>),
+    /// `T name[N]` / `T[N]` — fixed-size array.
+    Array(Box<TypeExpr>, u64),
+    /// `struct Name`.
+    Struct(String),
+}
+
+/// A block `{ ... }`.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Local declaration `T name = init;` (init optional).
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: TypeExpr,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Assignment `lvalue op= value;` (`op` None for plain `=`).
+    Assign {
+        /// The assigned lvalue.
+        target: Expr,
+        /// Compound operator, if any (`+=` etc.).
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// Expression statement (usually a call).
+    Expr(Expr),
+    /// `if (cond) then else els`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Block,
+        /// Else branch (empty if absent).
+        els: Block,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Initialization statement (declaration or assignment).
+        init: Option<Box<Stmt>>,
+        /// Loop condition (infinite loop if absent).
+        cond: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return expr;` / `return;`
+    Return {
+        /// Returned expression, if any.
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `break;`
+    Break {
+        /// Source line.
+        line: u32,
+    },
+    /// `continue;`
+    Continue {
+        /// Source line.
+        line: u32,
+    },
+    /// A nested block.
+    Block(Block),
+}
+
+/// Binary operators (syntactic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+}
+
+/// An expression with its source line.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// The expression kind.
+    pub kind: ExprKind,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// `true` / `false`.
+    BoolLit(bool),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call `name(args)`.
+    Call(String, Vec<Expr>),
+    /// Indexing `base[idx]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Member access `base.field` (`arrow` for `base->field`).
+    Member {
+        /// The aggregate (or pointer to it).
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// True for `->`.
+        arrow: bool,
+    },
+    /// `&lvalue`.
+    AddrOf(Box<Expr>),
+    /// `*ptr`.
+    Deref(Box<Expr>),
+    /// `(T) expr`.
+    Cast(TypeExpr, Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand constructor.
+    pub fn new(kind: ExprKind, line: u32) -> Expr {
+        Expr { kind, line }
+    }
+}

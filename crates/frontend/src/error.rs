@@ -1,0 +1,44 @@
+//! Compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by the Mini-C front end, with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line where the problem was detected.
+    pub line: u32,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error at `line`.
+    pub fn new(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            CompileError::new(3, "bad thing").to_string(),
+            "line 3: bad thing"
+        );
+    }
+}

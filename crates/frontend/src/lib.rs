@@ -1,0 +1,31 @@
+//! # fiq-frontend — the Mini-C compiler front end
+//!
+//! Compiles Mini-C (a small C dialect: `int`/`byte`/`double`/`bool`,
+//! pointers, fixed-size arrays, structs, functions, C control flow) to the
+//! [`fiq_ir`] intermediate representation. The generated code has the
+//! classic unoptimized-C shape — locals in `alloca`s, explicit
+//! `getelementptr` address computations, `load`/`store` for every variable
+//! access — which the `fiq-opt` pipeline then optimizes, exactly mirroring
+//! how the paper's benchmarks reach LLVM IR through clang.
+//!
+//! ```
+//! let module = fiq_frontend::compile(
+//!     "demo",
+//!     "int main() { print_i64(6 * 7); return 0; }",
+//! )?;
+//! assert!(module.main_func().is_some());
+//! # Ok::<(), fiq_frontend::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+mod lower;
+mod parser;
+mod token;
+
+pub use error::CompileError;
+pub use lower::{compile, CType};
+pub use parser::parse;
+pub use token::{lex, Spanned, Token};

@@ -1,0 +1,1341 @@
+//! Type checking and IR code generation.
+//!
+//! Lowering follows the classic unoptimized-C shape: every local variable
+//! gets an `alloca` in the entry block, reads are `load`s and writes are
+//! `store`s, array/field access becomes `getelementptr`. The `fiq-opt`
+//! mem2reg pass later promotes scalars to SSA registers (introducing
+//! φ-nodes), matching how clang-compiled code reaches LLVM's optimizer.
+
+use crate::ast::{self, Block, Expr, ExprKind, FuncDef, Program, Stmt, StructDef, TypeExpr, UnOp};
+use crate::error::CompileError;
+use crate::parser::parse;
+use fiq_ir::{
+    BinOp, BlockId, Callee, CastOp, Constant, FCmpPred, FuncId, Function, Global, GlobalId,
+    GlobalInit, ICmpPred, InstKind, IntTy, Intrinsic, Module, Type, Value,
+};
+use std::collections::HashMap;
+
+/// A semantic (front-end) type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// `int`: 64-bit signed.
+    Int,
+    /// `byte`: 8-bit unsigned storage, promoted to `int` in arithmetic.
+    Byte,
+    /// `bool`.
+    Bool,
+    /// `double`.
+    Double,
+    /// `void`.
+    Void,
+    /// `T*`.
+    Ptr(Box<CType>),
+    /// `T[N]`.
+    Array(Box<CType>, u64),
+    /// A struct, by index into the struct table.
+    Struct(usize),
+}
+
+impl CType {
+    fn is_numeric(&self) -> bool {
+        matches!(self, CType::Int | CType::Byte | CType::Bool | CType::Double)
+    }
+
+    fn is_intish(&self) -> bool {
+        matches!(self, CType::Int | CType::Byte | CType::Bool)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StructInfo {
+    name: String,
+    fields: Vec<(String, CType)>,
+    ir_ty: Type,
+}
+
+#[derive(Debug, Clone)]
+struct FuncSig {
+    id: FuncId,
+    params: Vec<CType>,
+    ret: CType,
+}
+
+/// Compiles Mini-C source to a verified IR module.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntax, or type error; internal IR-verifier
+/// failures (compiler bugs) are reported as an error at line 0.
+pub fn compile(name: &str, source: &str) -> Result<Module, CompileError> {
+    let ast = parse(source)?;
+    let module = Lower::default().program(name, &ast)?;
+    if let Err(e) = fiq_ir::verify_module(&module) {
+        return Err(CompileError::new(
+            0,
+            format!("internal error: generated IR failed verification: {e}"),
+        ));
+    }
+    Ok(module)
+}
+
+#[derive(Default)]
+struct Lower {
+    structs: Vec<StructInfo>,
+    struct_ids: HashMap<String, usize>,
+    globals: HashMap<String, (GlobalId, CType)>,
+    funcs: HashMap<String, FuncSig>,
+}
+
+impl Lower {
+    fn program(mut self, name: &str, ast: &Program) -> Result<Module, CompileError> {
+        let mut module = Module::new(name);
+        for s in &ast.structs {
+            self.declare_struct(s)?;
+        }
+        for g in &ast.globals {
+            self.declare_global(&mut module, g)?;
+        }
+        // Declare all function signatures first (forward references).
+        for f in &ast.funcs {
+            self.declare_func(&mut module, f)?;
+        }
+        for f in &ast.funcs {
+            let sig = self.funcs[&f.name].clone();
+            let func = FnLower::new(&self, f, &sig)?.run(f)?;
+            *module.func_mut(sig.id) = func;
+        }
+        if module.main_func().is_none() {
+            return Err(CompileError::new(0, "program has no `main` function"));
+        }
+        Ok(module)
+    }
+
+    fn declare_struct(&mut self, s: &StructDef) -> Result<(), CompileError> {
+        if self.struct_ids.contains_key(&s.name) {
+            return Err(CompileError::new(
+                s.line,
+                format!("duplicate struct `{}`", s.name),
+            ));
+        }
+        let mut fields = Vec::new();
+        for (fname, fty) in &s.fields {
+            let ct = self.resolve_type(fty, s.line)?;
+            if ct == CType::Void {
+                return Err(CompileError::new(s.line, "struct field cannot be void"));
+            }
+            fields.push((fname.clone(), ct));
+        }
+        let ir_ty = Type::Struct(fields.iter().map(|(_, t)| self.ir_type(t)).collect());
+        self.struct_ids.insert(s.name.clone(), self.structs.len());
+        self.structs.push(StructInfo {
+            name: s.name.clone(),
+            fields,
+            ir_ty,
+        });
+        Ok(())
+    }
+
+    fn declare_global(
+        &mut self,
+        module: &mut Module,
+        g: &ast::GlobalDef,
+    ) -> Result<(), CompileError> {
+        if self.globals.contains_key(&g.name) {
+            return Err(CompileError::new(
+                g.line,
+                format!("duplicate global `{}`", g.name),
+            ));
+        }
+        let ct = self.resolve_type(&g.ty, g.line)?;
+        if ct == CType::Void {
+            return Err(CompileError::new(g.line, "global cannot be void"));
+        }
+        let init = match &g.init {
+            None => GlobalInit::Zeroed,
+            Some(e) => self.const_init(e, &ct)?,
+        };
+        let id = module.add_global(Global {
+            name: g.name.clone(),
+            ty: self.ir_type(&ct),
+            init,
+        });
+        self.globals.insert(g.name.clone(), (id, ct));
+        Ok(())
+    }
+
+    /// Evaluates a constant global initializer (literals, optionally
+    /// negated).
+    fn const_init(&self, e: &Expr, ct: &CType) -> Result<GlobalInit, CompileError> {
+        fn fold(e: &Expr) -> Option<f64> {
+            match &e.kind {
+                ExprKind::IntLit(v) => Some(*v as f64),
+                ExprKind::FloatLit(v) => Some(*v),
+                ExprKind::BoolLit(b) => Some(f64::from(u8::from(*b))),
+                ExprKind::Unary(UnOp::Neg, inner) => fold(inner).map(|v| -v),
+                _ => None,
+            }
+        }
+        let v = fold(e).ok_or_else(|| {
+            CompileError::new(e.line, "global initializer must be a literal constant")
+        })?;
+        Ok(match ct {
+            CType::Int => GlobalInit::from_i64s(&[v as i64]),
+            CType::Byte => GlobalInit::Bytes(vec![v as i64 as u8]),
+            CType::Bool => GlobalInit::Bytes(vec![u8::from(v != 0.0)]),
+            CType::Double => GlobalInit::from_f64s(&[v]),
+            _ => {
+                return Err(CompileError::new(
+                    e.line,
+                    "only scalar globals may have initializers",
+                ))
+            }
+        })
+    }
+
+    fn declare_func(&mut self, module: &mut Module, f: &FuncDef) -> Result<(), CompileError> {
+        if self.funcs.contains_key(&f.name) {
+            return Err(CompileError::new(
+                f.line,
+                format!("duplicate function `{}`", f.name),
+            ));
+        }
+        if Intrinsic::by_name(&f.name).is_some() {
+            return Err(CompileError::new(
+                f.line,
+                format!("`{}` is a builtin and cannot be redefined", f.name),
+            ));
+        }
+        let mut params = Vec::new();
+        for (_, pt) in &f.params {
+            let ct = self.resolve_type(pt, f.line)?;
+            if !matches!(
+                ct,
+                CType::Int | CType::Byte | CType::Bool | CType::Double | CType::Ptr(_)
+            ) {
+                return Err(CompileError::new(
+                    f.line,
+                    "parameters must be scalars or pointers",
+                ));
+            }
+            params.push(ct);
+        }
+        let ret = self.resolve_type(&f.ret, f.line)?;
+        let ir_params = params.iter().map(|t| self.ir_type(t)).collect();
+        let ir_ret = if ret == CType::Void {
+            Type::Void
+        } else {
+            self.ir_type(&ret)
+        };
+        let id = module.add_func(Function::new(&f.name, ir_params, ir_ret));
+        self.funcs
+            .insert(f.name.clone(), FuncSig { id, params, ret });
+        Ok(())
+    }
+
+    fn resolve_type(&self, t: &TypeExpr, line: u32) -> Result<CType, CompileError> {
+        Ok(match t {
+            TypeExpr::Int => CType::Int,
+            TypeExpr::Byte => CType::Byte,
+            TypeExpr::Double => CType::Double,
+            TypeExpr::Bool => CType::Bool,
+            TypeExpr::Void => CType::Void,
+            TypeExpr::Ptr(inner) => CType::Ptr(Box::new(self.resolve_type(inner, line)?)),
+            TypeExpr::Array(inner, n) => {
+                CType::Array(Box::new(self.resolve_type(inner, line)?), *n)
+            }
+            TypeExpr::Struct(name) => {
+                let id = self
+                    .struct_ids
+                    .get(name)
+                    .ok_or_else(|| CompileError::new(line, format!("unknown struct `{name}`")))?;
+                CType::Struct(*id)
+            }
+        })
+    }
+
+    fn ir_type(&self, t: &CType) -> Type {
+        match t {
+            CType::Int => Type::i64(),
+            CType::Byte => Type::i8(),
+            CType::Bool => Type::i1(),
+            CType::Double => Type::f64(),
+            CType::Void => Type::Void,
+            CType::Ptr(_) => Type::Ptr,
+            CType::Array(inner, n) => Type::Array(Box::new(self.ir_type(inner)), *n),
+            CType::Struct(id) => self.structs[*id].ir_ty.clone(),
+        }
+    }
+
+    fn type_name(&self, t: &CType) -> String {
+        match t {
+            CType::Int => "int".into(),
+            CType::Byte => "byte".into(),
+            CType::Bool => "bool".into(),
+            CType::Double => "double".into(),
+            CType::Void => "void".into(),
+            CType::Ptr(inner) => format!("{}*", self.type_name(inner)),
+            CType::Array(inner, n) => format!("{}[{n}]", self.type_name(inner)),
+            CType::Struct(id) => format!("struct {}", self.structs[*id].name),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LocalVar {
+    ptr: Value,
+    ty: CType,
+}
+
+struct FnLower<'a> {
+    lw: &'a Lower,
+    func: Function,
+    cur: BlockId,
+    scopes: Vec<HashMap<String, LocalVar>>,
+    /// (continue target, break target) stack.
+    loops: Vec<(BlockId, BlockId)>,
+    ret_ty: CType,
+    entry_allocas: usize,
+}
+
+impl<'a> FnLower<'a> {
+    fn new(lw: &'a Lower, f: &FuncDef, sig: &FuncSig) -> Result<FnLower<'a>, CompileError> {
+        let ir_params: Vec<Type> = sig.params.iter().map(|t| lw.ir_type(t)).collect();
+        let ir_ret = if sig.ret == CType::Void {
+            Type::Void
+        } else {
+            lw.ir_type(&sig.ret)
+        };
+        let func = Function::new(&f.name, ir_params, ir_ret);
+        Ok(FnLower {
+            lw,
+            cur: func.entry(),
+            func,
+            scopes: vec![HashMap::new()],
+            loops: Vec::new(),
+            ret_ty: sig.ret.clone(),
+            entry_allocas: 0,
+        })
+    }
+
+    fn run(mut self, f: &FuncDef) -> Result<Function, CompileError> {
+        // Spill parameters to allocas (promoted back to SSA by mem2reg).
+        for (i, (pname, _)) in f.params.iter().enumerate() {
+            let ct = self.lw.funcs[&f.name].params[i].clone();
+            let slot = self.alloca_entry(&ct);
+            self.emit(
+                InstKind::Store {
+                    val: Value::Arg(i as u32),
+                    ptr: slot,
+                },
+                Type::Void,
+            );
+            self.scopes
+                .last_mut()
+                .expect("scope stack non-empty")
+                .insert(pname.clone(), LocalVar { ptr: slot, ty: ct });
+        }
+        let terminated = self.block(&f.body)?;
+        if !terminated {
+            self.emit_default_return(f.line)?;
+        }
+        // Join blocks whose every predecessor returned are left empty;
+        // give them an `unreachable` terminator so the CFG is well formed.
+        for b in 0..self.func.blocks.len() {
+            let bb = BlockId(b as u32);
+            let needs_term = match self.func.block(bb).terminator() {
+                None => true,
+                Some(t) => !self.func.inst(t).is_terminator(),
+            };
+            if needs_term {
+                let id = self.func.add_inst(InstKind::Unreachable, Type::Void);
+                self.func.block_mut(bb).insts.push(id);
+            }
+        }
+        Ok(self.func)
+    }
+
+    fn emit_default_return(&mut self, _line: u32) -> Result<(), CompileError> {
+        let kind = match &self.ret_ty {
+            CType::Void => InstKind::Ret { val: None },
+            CType::Int => InstKind::Ret {
+                val: Some(Value::i64(0)),
+            },
+            CType::Byte => InstKind::Ret {
+                val: Some(Value::int(IntTy::I8, 0)),
+            },
+            CType::Bool => InstKind::Ret {
+                val: Some(Value::bool(false)),
+            },
+            CType::Double => InstKind::Ret {
+                val: Some(Value::f64(0.0)),
+            },
+            CType::Ptr(_) => InstKind::Ret {
+                val: Some(Value::Const(Constant::NullPtr)),
+            },
+            _ => InstKind::Ret { val: None },
+        };
+        self.emit(kind, Type::Void);
+        Ok(())
+    }
+
+    // ---- emission helpers -------------------------------------------------
+
+    fn emit(&mut self, kind: InstKind, ty: Type) -> Value {
+        let id = self.func.add_inst(kind, ty);
+        self.func.block_mut(self.cur).insts.push(id);
+        Value::Inst(id)
+    }
+
+    fn new_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Allocates a local slot in the entry block (before all other code),
+    /// so the alloca dominates every use and loops reuse one slot.
+    fn alloca_entry(&mut self, ct: &CType) -> Value {
+        let ty = self.lw.ir_type(ct);
+        let id = self.func.add_inst(InstKind::Alloca { ty }, Type::Ptr);
+        let pos = self.entry_allocas;
+        let entry = self.func.entry();
+        self.func.block_mut(entry).insts.insert(pos, id);
+        self.entry_allocas += 1;
+        Value::Inst(id)
+    }
+
+    fn lookup(&self, name: &str) -> Option<LocalVar> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v.clone());
+            }
+        }
+        self.lw.globals.get(name).map(|(gid, ty)| LocalVar {
+            ptr: Value::Const(Constant::Global(*gid)),
+            ty: ty.clone(),
+        })
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    /// Lowers a block; returns true if control cannot fall out of it.
+    fn block(&mut self, b: &Block) -> Result<bool, CompileError> {
+        self.scopes.push(HashMap::new());
+        let mut terminated = false;
+        for s in &b.stmts {
+            if terminated {
+                // Dead code after return/break/continue is skipped, as in C
+                // codegen.
+                break;
+            }
+            terminated = self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(terminated)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn stmt(&mut self, s: &Stmt) -> Result<bool, CompileError> {
+        match s {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            } => {
+                let ct = self.lw.resolve_type(ty, *line)?;
+                if ct == CType::Void {
+                    return Err(CompileError::new(*line, "variable cannot be void"));
+                }
+                let slot = self.alloca_entry(&ct);
+                if let Some(e) = init {
+                    if !matches!(
+                        ct,
+                        CType::Int | CType::Byte | CType::Bool | CType::Double | CType::Ptr(_)
+                    ) {
+                        return Err(CompileError::new(
+                            *line,
+                            "only scalar locals may have initializers",
+                        ));
+                    }
+                    let (v, vt) = self.rvalue(e)?;
+                    let v = self.coerce(v, &vt, &ct, *line)?;
+                    self.emit(InstKind::Store { val: v, ptr: slot }, Type::Void);
+                }
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack non-empty")
+                    .insert(name.clone(), LocalVar { ptr: slot, ty: ct });
+                Ok(false)
+            }
+            Stmt::Assign {
+                target,
+                op,
+                value,
+                line,
+            } => {
+                let (tptr, tty) = self.lvalue(target)?;
+                let (rv, rty) = self.rvalue(value)?;
+                let stored = match op {
+                    None => self.coerce(rv, &rty, &tty, *line)?,
+                    Some(op) => {
+                        let cur = self.load(tptr, &tty);
+                        let (res, res_ty) =
+                            self.numeric_binary(*op, cur, tty.clone(), rv, rty, *line)?;
+                        self.coerce(res, &res_ty, &tty, *line)?
+                    }
+                };
+                self.emit(
+                    InstKind::Store {
+                        val: stored,
+                        ptr: tptr,
+                    },
+                    Type::Void,
+                );
+                Ok(false)
+            }
+            Stmt::Expr(e) => {
+                self.rvalue_allow_void(e)?;
+                Ok(false)
+            }
+            Stmt::If { cond, then, els } => {
+                let c = self.cond(cond)?;
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join = self.new_block();
+                self.emit(
+                    InstKind::CondBr {
+                        cond: c,
+                        then_bb,
+                        else_bb,
+                    },
+                    Type::Void,
+                );
+                self.cur = then_bb;
+                let t_term = self.block(then)?;
+                if !t_term {
+                    self.emit(InstKind::Br { target: join }, Type::Void);
+                }
+                self.cur = else_bb;
+                let e_term = self.block(els)?;
+                if !e_term {
+                    self.emit(InstKind::Br { target: join }, Type::Void);
+                }
+                self.cur = join;
+                Ok(t_term && e_term)
+            }
+            Stmt::While { cond, body } => {
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.emit(InstKind::Br { target: header }, Type::Void);
+                self.cur = header;
+                let c = self.cond(cond)?;
+                self.emit(
+                    InstKind::CondBr {
+                        cond: c,
+                        then_bb: body_bb,
+                        else_bb: exit,
+                    },
+                    Type::Void,
+                );
+                self.cur = body_bb;
+                self.loops.push((header, exit));
+                let terminated = self.block(body)?;
+                self.loops.pop();
+                if !terminated {
+                    self.emit(InstKind::Br { target: header }, Type::Void);
+                }
+                self.cur = exit;
+                Ok(false)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let step_bb = self.new_block();
+                let exit = self.new_block();
+                self.emit(InstKind::Br { target: header }, Type::Void);
+                self.cur = header;
+                match cond {
+                    Some(c) => {
+                        let cv = self.cond(c)?;
+                        self.emit(
+                            InstKind::CondBr {
+                                cond: cv,
+                                then_bb: body_bb,
+                                else_bb: exit,
+                            },
+                            Type::Void,
+                        );
+                    }
+                    None => {
+                        self.emit(InstKind::Br { target: body_bb }, Type::Void);
+                    }
+                }
+                self.cur = body_bb;
+                self.loops.push((step_bb, exit));
+                let terminated = self.block(body)?;
+                self.loops.pop();
+                if !terminated {
+                    self.emit(InstKind::Br { target: step_bb }, Type::Void);
+                }
+                self.cur = step_bb;
+                if let Some(step) = step {
+                    self.stmt(step)?;
+                }
+                self.emit(InstKind::Br { target: header }, Type::Void);
+                self.cur = exit;
+                self.scopes.pop();
+                Ok(false)
+            }
+            Stmt::Return { value, line } => {
+                let val = match (value, self.ret_ty.clone()) {
+                    (None, CType::Void) => None,
+                    (None, _) => {
+                        return Err(CompileError::new(
+                            *line,
+                            "non-void function must return a value",
+                        ))
+                    }
+                    (Some(_), CType::Void) => {
+                        return Err(CompileError::new(*line, "void function returns a value"))
+                    }
+                    (Some(e), rt) => {
+                        let (v, vt) = self.rvalue(e)?;
+                        Some(self.coerce(v, &vt, &rt, *line)?)
+                    }
+                };
+                self.emit(InstKind::Ret { val }, Type::Void);
+                Ok(true)
+            }
+            Stmt::Break { line } => {
+                let (_, brk) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError::new(*line, "`break` outside a loop"))?;
+                self.emit(InstKind::Br { target: brk }, Type::Void);
+                Ok(true)
+            }
+            Stmt::Continue { line } => {
+                let (cont, _) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError::new(*line, "`continue` outside a loop"))?;
+                self.emit(InstKind::Br { target: cont }, Type::Void);
+                Ok(true)
+            }
+            Stmt::Block(b) => self.block(b),
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn load(&mut self, ptr: Value, ct: &CType) -> Value {
+        let ty = self.lw.ir_type(ct);
+        self.emit(InstKind::Load { ptr }, ty)
+    }
+
+    /// Lowers `e` as an rvalue (arrays decay to element pointers).
+    fn rvalue(&mut self, e: &Expr) -> Result<(Value, CType), CompileError> {
+        let (v, t) = self.rvalue_allow_void(e)?;
+        if t == CType::Void {
+            return Err(CompileError::new(e.line, "void value used in expression"));
+        }
+        Ok((v, t))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn rvalue_allow_void(&mut self, e: &Expr) -> Result<(Value, CType), CompileError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok((Value::i64(*v), CType::Int)),
+            ExprKind::FloatLit(v) => Ok((Value::f64(*v), CType::Double)),
+            ExprKind::BoolLit(b) => Ok((Value::bool(*b), CType::Bool)),
+            ExprKind::Var(_)
+            | ExprKind::Index(..)
+            | ExprKind::Member { .. }
+            | ExprKind::Deref(_) => {
+                let (ptr, ty) = self.lvalue(e)?;
+                match ty {
+                    // Array lvalues decay to a pointer to their first element.
+                    CType::Array(elem, _) => Ok((ptr, CType::Ptr(elem))),
+                    CType::Struct(_) => Err(CompileError::new(
+                        e.line,
+                        "structs cannot be used by value; take a pointer",
+                    )),
+                    other => Ok((self.load(ptr, &other), other)),
+                }
+            }
+            ExprKind::Unary(op, inner) => self.unary(*op, inner, e.line),
+            ExprKind::Binary(op, l, r) => self.binary(*op, l, r, e.line),
+            ExprKind::Call(name, args) => self.call(name, args, e.line),
+            ExprKind::AddrOf(inner) => {
+                let (ptr, ty) = self.lvalue(inner)?;
+                Ok((ptr, CType::Ptr(Box::new(ty))))
+            }
+            ExprKind::Cast(te, inner) => {
+                let to = self.lw.resolve_type(te, e.line)?;
+                let (v, from) = self.rvalue(inner)?;
+                let out = self.explicit_cast(v, &from, &to, e.line)?;
+                Ok((out, to))
+            }
+        }
+    }
+
+    /// Lowers `e` as an lvalue: returns (address, pointee type).
+    fn lvalue(&mut self, e: &Expr) -> Result<(Value, CType), CompileError> {
+        match &e.kind {
+            ExprKind::Var(name) => {
+                let var = self.lookup(name).ok_or_else(|| {
+                    CompileError::new(e.line, format!("unknown variable `{name}`"))
+                })?;
+                Ok((var.ptr, var.ty))
+            }
+            ExprKind::Deref(inner) => {
+                let (v, t) = self.rvalue(inner)?;
+                let CType::Ptr(pointee) = t else {
+                    return Err(CompileError::new(
+                        inner.line,
+                        format!("cannot dereference non-pointer {}", self.lw.type_name(&t)),
+                    ));
+                };
+                Ok((v, *pointee))
+            }
+            ExprKind::Index(base, idx) => {
+                let (iv, it) = self.rvalue(idx)?;
+                if !it.is_intish() {
+                    return Err(CompileError::new(idx.line, "index must be an integer"));
+                }
+                let iv = self.coerce(iv, &it, &CType::Int, idx.line)?;
+                // Array lvalue: gep [0, i]; pointer rvalue: gep [i].
+                let is_lvalue_base = matches!(
+                    base.kind,
+                    ExprKind::Var(_)
+                        | ExprKind::Index(..)
+                        | ExprKind::Member { .. }
+                        | ExprKind::Deref(_)
+                );
+                if is_lvalue_base {
+                    let (bptr, bty) = self.lvalue(base)?;
+                    match bty {
+                        CType::Array(elem, n) => {
+                            let arr_ir = self.lw.ir_type(&CType::Array(elem.clone(), n));
+                            let p = self.emit(
+                                InstKind::Gep {
+                                    elem_ty: arr_ir,
+                                    base: bptr,
+                                    indices: vec![Value::i64(0), iv],
+                                },
+                                Type::Ptr,
+                            );
+                            return Ok((p, *elem));
+                        }
+                        CType::Ptr(elem) => {
+                            // Pointer variable: load it, then index.
+                            let pv = self.load(bptr, &CType::Ptr(elem.clone()));
+                            let elem_ir = self.lw.ir_type(&elem);
+                            let p = self.emit(
+                                InstKind::Gep {
+                                    elem_ty: elem_ir,
+                                    base: pv,
+                                    indices: vec![iv],
+                                },
+                                Type::Ptr,
+                            );
+                            return Ok((p, *elem));
+                        }
+                        other => {
+                            return Err(CompileError::new(
+                                base.line,
+                                format!("cannot index {}", self.lw.type_name(&other)),
+                            ))
+                        }
+                    }
+                }
+                let (bv, bt) = self.rvalue(base)?;
+                let CType::Ptr(elem) = bt else {
+                    return Err(CompileError::new(
+                        base.line,
+                        format!("cannot index {}", self.lw.type_name(&bt)),
+                    ));
+                };
+                let elem_ir = self.lw.ir_type(&elem);
+                let p = self.emit(
+                    InstKind::Gep {
+                        elem_ty: elem_ir,
+                        base: bv,
+                        indices: vec![iv],
+                    },
+                    Type::Ptr,
+                );
+                Ok((p, *elem))
+            }
+            ExprKind::Member { base, field, arrow } => {
+                let (sptr, sid) = if *arrow {
+                    let (pv, pt) = self.rvalue(base)?;
+                    let CType::Ptr(inner) = pt else {
+                        return Err(CompileError::new(base.line, "`->` on non-pointer"));
+                    };
+                    let CType::Struct(sid) = *inner else {
+                        return Err(CompileError::new(base.line, "`->` on non-struct pointer"));
+                    };
+                    (pv, sid)
+                } else {
+                    let (bptr, bty) = self.lvalue(base)?;
+                    let CType::Struct(sid) = bty else {
+                        return Err(CompileError::new(
+                            base.line,
+                            format!("`.` on non-struct {}", self.lw.type_name(&bty)),
+                        ));
+                    };
+                    (bptr, sid)
+                };
+                let info = &self.lw.structs[sid];
+                let Some(fidx) = info.fields.iter().position(|(n, _)| n == field) else {
+                    return Err(CompileError::new(
+                        e.line,
+                        format!("struct {} has no field `{field}`", info.name),
+                    ));
+                };
+                let fty = info.fields[fidx].1.clone();
+                let sty = info.ir_ty.clone();
+                let p = self.emit(
+                    InstKind::Gep {
+                        elem_ty: sty,
+                        base: sptr,
+                        indices: vec![Value::i64(0), Value::int(IntTy::I32, fidx as i64)],
+                    },
+                    Type::Ptr,
+                );
+                Ok((p, fty))
+            }
+            _ => Err(CompileError::new(e.line, "expression is not an lvalue")),
+        }
+    }
+
+    fn unary(&mut self, op: UnOp, inner: &Expr, line: u32) -> Result<(Value, CType), CompileError> {
+        match op {
+            UnOp::Neg => {
+                let (v, t) = self.rvalue(inner)?;
+                match t {
+                    CType::Double => {
+                        let z = Value::f64(0.0);
+                        let r = self.emit(
+                            InstKind::Binary {
+                                op: BinOp::FSub,
+                                lhs: z,
+                                rhs: v,
+                            },
+                            Type::f64(),
+                        );
+                        Ok((r, CType::Double))
+                    }
+                    t if t.is_intish() => {
+                        let v = self.coerce(v, &t, &CType::Int, line)?;
+                        let r = self.emit(
+                            InstKind::Binary {
+                                op: BinOp::Sub,
+                                lhs: Value::i64(0),
+                                rhs: v,
+                            },
+                            Type::i64(),
+                        );
+                        Ok((r, CType::Int))
+                    }
+                    other => Err(CompileError::new(
+                        line,
+                        format!("cannot negate {}", self.lw.type_name(&other)),
+                    )),
+                }
+            }
+            UnOp::Not => {
+                let c = self.cond(inner)?;
+                let r = self.emit(
+                    InstKind::Binary {
+                        op: BinOp::Xor,
+                        lhs: c,
+                        rhs: Value::bool(true),
+                    },
+                    Type::i1(),
+                );
+                Ok((r, CType::Bool))
+            }
+            UnOp::BitNot => {
+                let (v, t) = self.rvalue(inner)?;
+                if !t.is_intish() {
+                    return Err(CompileError::new(line, "`~` requires an integer"));
+                }
+                let v = self.coerce(v, &t, &CType::Int, line)?;
+                let r = self.emit(
+                    InstKind::Binary {
+                        op: BinOp::Xor,
+                        lhs: v,
+                        rhs: Value::i64(-1),
+                    },
+                    Type::i64(),
+                );
+                Ok((r, CType::Int))
+            }
+        }
+    }
+
+    fn binary(
+        &mut self,
+        op: ast::BinOp,
+        l: &Expr,
+        r: &Expr,
+        line: u32,
+    ) -> Result<(Value, CType), CompileError> {
+        use ast::BinOp as B;
+        if matches!(op, B::LogAnd | B::LogOr) {
+            return self.short_circuit(op, l, r);
+        }
+        let (lv, lt) = self.rvalue(l)?;
+        // Pointer arithmetic: `p + i` / `p - i` become GEPs.
+        if matches!(op, B::Add | B::Sub) {
+            if let CType::Ptr(elem) = &lt {
+                let (rv, rt) = self.rvalue(r)?;
+                if !rt.is_intish() {
+                    return Err(CompileError::new(line, "pointer offset must be an integer"));
+                }
+                let mut off = self.coerce(rv, &rt, &CType::Int, line)?;
+                if op == B::Sub {
+                    off = self.emit(
+                        InstKind::Binary {
+                            op: BinOp::Sub,
+                            lhs: Value::i64(0),
+                            rhs: off,
+                        },
+                        Type::i64(),
+                    );
+                }
+                let elem_ir = self.lw.ir_type(elem);
+                let p = self.emit(
+                    InstKind::Gep {
+                        elem_ty: elem_ir,
+                        base: lv,
+                        indices: vec![off],
+                    },
+                    Type::Ptr,
+                );
+                return Ok((p, lt.clone()));
+            }
+        }
+        // Pointer comparisons.
+        if matches!(op, B::Eq | B::Ne | B::Lt | B::Le | B::Gt | B::Ge) {
+            if let CType::Ptr(_) = &lt {
+                let (rv, rt) = self.rvalue(r)?;
+                if !matches!(rt, CType::Ptr(_)) {
+                    return Err(CompileError::new(line, "comparing pointer to non-pointer"));
+                }
+                let pred = match op {
+                    B::Eq => ICmpPred::Eq,
+                    B::Ne => ICmpPred::Ne,
+                    B::Lt => ICmpPred::Ult,
+                    B::Le => ICmpPred::Ule,
+                    B::Gt => ICmpPred::Ugt,
+                    B::Ge => ICmpPred::Uge,
+                    _ => unreachable!(),
+                };
+                let c = self.emit(
+                    InstKind::ICmp {
+                        pred,
+                        lhs: lv,
+                        rhs: rv,
+                    },
+                    Type::i1(),
+                );
+                return Ok((c, CType::Bool));
+            }
+        }
+        let (rv, rt) = self.rvalue(r)?;
+        self.numeric_binary(op, lv, lt, rv, rt, line)
+    }
+
+    /// Numeric binary operation with C-style promotion (`int` ⊕ `double` →
+    /// `double`; `byte`/`bool` promote to `int`).
+    fn numeric_binary(
+        &mut self,
+        op: ast::BinOp,
+        lv: Value,
+        lt: CType,
+        rv: Value,
+        rt: CType,
+        line: u32,
+    ) -> Result<(Value, CType), CompileError> {
+        use ast::BinOp as B;
+        if !lt.is_numeric() || !rt.is_numeric() {
+            return Err(CompileError::new(
+                line,
+                format!(
+                    "invalid operands ({}, {})",
+                    self.lw.type_name(&lt),
+                    self.lw.type_name(&rt)
+                ),
+            ));
+        }
+        let float = lt == CType::Double || rt == CType::Double;
+        if float {
+            if matches!(
+                op,
+                B::Rem | B::Shl | B::Shr | B::BitAnd | B::BitOr | B::BitXor
+            ) {
+                return Err(CompileError::new(line, "operator requires integers"));
+            }
+            let a = self.coerce(lv, &lt, &CType::Double, line)?;
+            let b = self.coerce(rv, &rt, &CType::Double, line)?;
+            return Ok(match op {
+                B::Add | B::Sub | B::Mul | B::Div => {
+                    let o = match op {
+                        B::Add => BinOp::FAdd,
+                        B::Sub => BinOp::FSub,
+                        B::Mul => BinOp::FMul,
+                        _ => BinOp::FDiv,
+                    };
+                    (
+                        self.emit(
+                            InstKind::Binary {
+                                op: o,
+                                lhs: a,
+                                rhs: b,
+                            },
+                            Type::f64(),
+                        ),
+                        CType::Double,
+                    )
+                }
+                _ => {
+                    let pred = match op {
+                        B::Eq => FCmpPred::Oeq,
+                        B::Ne => FCmpPred::One,
+                        B::Lt => FCmpPred::Olt,
+                        B::Le => FCmpPred::Ole,
+                        B::Gt => FCmpPred::Ogt,
+                        B::Ge => FCmpPred::Oge,
+                        _ => unreachable!(),
+                    };
+                    (
+                        self.emit(
+                            InstKind::FCmp {
+                                pred,
+                                lhs: a,
+                                rhs: b,
+                            },
+                            Type::i1(),
+                        ),
+                        CType::Bool,
+                    )
+                }
+            });
+        }
+        let a = self.coerce(lv, &lt, &CType::Int, line)?;
+        let b = self.coerce(rv, &rt, &CType::Int, line)?;
+        Ok(match op {
+            B::Add
+            | B::Sub
+            | B::Mul
+            | B::Div
+            | B::Rem
+            | B::Shl
+            | B::Shr
+            | B::BitAnd
+            | B::BitOr
+            | B::BitXor => {
+                let o = match op {
+                    B::Add => BinOp::Add,
+                    B::Sub => BinOp::Sub,
+                    B::Mul => BinOp::Mul,
+                    B::Div => BinOp::SDiv,
+                    B::Rem => BinOp::SRem,
+                    B::Shl => BinOp::Shl,
+                    B::Shr => BinOp::AShr,
+                    B::BitAnd => BinOp::And,
+                    B::BitOr => BinOp::Or,
+                    _ => BinOp::Xor,
+                };
+                (
+                    self.emit(
+                        InstKind::Binary {
+                            op: o,
+                            lhs: a,
+                            rhs: b,
+                        },
+                        Type::i64(),
+                    ),
+                    CType::Int,
+                )
+            }
+            B::Eq | B::Ne | B::Lt | B::Le | B::Gt | B::Ge => {
+                let pred = match op {
+                    B::Eq => ICmpPred::Eq,
+                    B::Ne => ICmpPred::Ne,
+                    B::Lt => ICmpPred::Slt,
+                    B::Le => ICmpPred::Sle,
+                    B::Gt => ICmpPred::Sgt,
+                    _ => ICmpPred::Sge,
+                };
+                (
+                    self.emit(
+                        InstKind::ICmp {
+                            pred,
+                            lhs: a,
+                            rhs: b,
+                        },
+                        Type::i1(),
+                    ),
+                    CType::Bool,
+                )
+            }
+            B::LogAnd | B::LogOr => unreachable!("handled by short_circuit"),
+        })
+    }
+
+    fn short_circuit(
+        &mut self,
+        op: ast::BinOp,
+        l: &Expr,
+        r: &Expr,
+    ) -> Result<(Value, CType), CompileError> {
+        let lc = self.cond(l)?;
+        let lhs_end = self.cur;
+        let rhs_bb = self.new_block();
+        let join = self.new_block();
+        let (then_bb, else_bb, short_val) = if op == ast::BinOp::LogAnd {
+            (rhs_bb, join, Value::bool(false))
+        } else {
+            (join, rhs_bb, Value::bool(true))
+        };
+        self.emit(
+            InstKind::CondBr {
+                cond: lc,
+                then_bb,
+                else_bb,
+            },
+            Type::Void,
+        );
+        self.cur = rhs_bb;
+        let rc = self.cond(r)?;
+        let rhs_end = self.cur;
+        self.emit(InstKind::Br { target: join }, Type::Void);
+        self.cur = join;
+        let phi = self.emit(
+            InstKind::Phi {
+                incomings: vec![(lhs_end, short_val), (rhs_end, rc)],
+            },
+            Type::i1(),
+        );
+        Ok((phi, CType::Bool))
+    }
+
+    /// Lowers `e` and coerces it to a branch condition (`i1`).
+    fn cond(&mut self, e: &Expr) -> Result<Value, CompileError> {
+        let (v, t) = self.rvalue(e)?;
+        Ok(match t {
+            CType::Bool => v,
+            CType::Int | CType::Byte => {
+                let v = self.coerce(v, &t, &CType::Int, e.line)?;
+                self.emit(
+                    InstKind::ICmp {
+                        pred: ICmpPred::Ne,
+                        lhs: v,
+                        rhs: Value::i64(0),
+                    },
+                    Type::i1(),
+                )
+            }
+            CType::Double => self.emit(
+                InstKind::FCmp {
+                    pred: FCmpPred::One,
+                    lhs: v,
+                    rhs: Value::f64(0.0),
+                },
+                Type::i1(),
+            ),
+            CType::Ptr(_) => self.emit(
+                InstKind::ICmp {
+                    pred: ICmpPred::Ne,
+                    lhs: v,
+                    rhs: Value::Const(Constant::NullPtr),
+                },
+                Type::i1(),
+            ),
+            other => {
+                return Err(CompileError::new(
+                    e.line,
+                    format!("{} is not a condition", self.lw.type_name(&other)),
+                ))
+            }
+        })
+    }
+
+    fn call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<(Value, CType), CompileError> {
+        if let Some(intr) = Intrinsic::by_name(name) {
+            let params = intr.param_types();
+            if args.len() != params.len() {
+                return Err(CompileError::new(
+                    line,
+                    format!(
+                        "`{name}` takes {} argument(s), {} given",
+                        params.len(),
+                        args.len()
+                    ),
+                ));
+            }
+            let mut vals = Vec::new();
+            for (a, p) in args.iter().zip(&params) {
+                let (v, t) = self.rvalue(a)?;
+                let want = match p {
+                    Type::Int(IntTy::I64) => CType::Int,
+                    Type::Float(_) => CType::Double,
+                    _ => CType::Int,
+                };
+                vals.push(self.coerce(v, &t, &want, a.line)?);
+            }
+            let ret_ct = match intr.ret_type() {
+                Type::Void => CType::Void,
+                Type::Float(_) => CType::Double,
+                _ => CType::Int,
+            };
+            let v = self.emit(
+                InstKind::Call {
+                    callee: Callee::Intrinsic(intr),
+                    args: vals,
+                },
+                intr.ret_type(),
+            );
+            return Ok((v, ret_ct));
+        }
+        let sig = self
+            .lw
+            .funcs
+            .get(name)
+            .ok_or_else(|| CompileError::new(line, format!("unknown function `{name}`")))?
+            .clone();
+        if args.len() != sig.params.len() {
+            return Err(CompileError::new(
+                line,
+                format!(
+                    "`{name}` takes {} argument(s), {} given",
+                    sig.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        let mut vals = Vec::new();
+        for (a, p) in args.iter().zip(&sig.params) {
+            let (v, t) = self.rvalue(a)?;
+            vals.push(self.coerce(v, &t, p, a.line)?);
+        }
+        let ret_ir = if sig.ret == CType::Void {
+            Type::Void
+        } else {
+            self.lw.ir_type(&sig.ret)
+        };
+        let v = self.emit(
+            InstKind::Call {
+                callee: Callee::Func(sig.id),
+                args: vals,
+            },
+            ret_ir,
+        );
+        Ok((v, sig.ret))
+    }
+
+    /// Implicit conversion between compatible types.
+    fn coerce(
+        &mut self,
+        v: Value,
+        from: &CType,
+        to: &CType,
+        line: u32,
+    ) -> Result<Value, CompileError> {
+        if from == to {
+            return Ok(v);
+        }
+        let out = match (from, to) {
+            (CType::Byte, CType::Int) => self.emit_cast(CastOp::ZExt, v, Type::i64()),
+            (CType::Bool, CType::Int) => self.emit_cast(CastOp::ZExt, v, Type::i64()),
+            (CType::Bool, CType::Byte) => self.emit_cast(CastOp::ZExt, v, Type::i8()),
+            (CType::Int, CType::Byte) => self.emit_cast(CastOp::Trunc, v, Type::i8()),
+            (CType::Int, CType::Double) => self.emit_cast(CastOp::SiToFp, v, Type::f64()),
+            (CType::Byte, CType::Double) => {
+                let w = self.emit_cast(CastOp::ZExt, v, Type::i64());
+                self.emit_cast(CastOp::SiToFp, w, Type::f64())
+            }
+            (CType::Bool, CType::Double) => {
+                let w = self.emit_cast(CastOp::ZExt, v, Type::i64());
+                self.emit_cast(CastOp::SiToFp, w, Type::f64())
+            }
+            (CType::Double, CType::Int) => self.emit_cast(CastOp::FpToSi, v, Type::i64()),
+            (CType::Double, CType::Byte) => self.emit_cast(CastOp::FpToSi, v, Type::i8()),
+            (CType::Int, CType::Bool) | (CType::Byte, CType::Bool) => {
+                let w = self.coerce(v, from, &CType::Int, line)?;
+                self.emit(
+                    InstKind::ICmp {
+                        pred: ICmpPred::Ne,
+                        lhs: w,
+                        rhs: Value::i64(0),
+                    },
+                    Type::i1(),
+                )
+            }
+            _ => {
+                return Err(CompileError::new(
+                    line,
+                    format!(
+                        "cannot convert {} to {}",
+                        self.lw.type_name(from),
+                        self.lw.type_name(to)
+                    ),
+                ))
+            }
+        };
+        Ok(out)
+    }
+
+    /// An explicit `(T)` cast (superset of implicit coercions).
+    fn explicit_cast(
+        &mut self,
+        v: Value,
+        from: &CType,
+        to: &CType,
+        line: u32,
+    ) -> Result<Value, CompileError> {
+        if from == to {
+            return Ok(v);
+        }
+        match (from, to) {
+            // Pointer-to-pointer casts are free with opaque pointers.
+            (CType::Ptr(_), CType::Ptr(_)) => Ok(v),
+            (CType::Ptr(_), CType::Int) => Ok(self.emit_cast(CastOp::PtrToInt, v, Type::i64())),
+            (CType::Int, CType::Ptr(_)) => Ok(self.emit_cast(CastOp::IntToPtr, v, Type::Ptr)),
+            (CType::Double, CType::Bool) => {
+                let c = self.emit(
+                    InstKind::FCmp {
+                        pred: FCmpPred::One,
+                        lhs: v,
+                        rhs: Value::f64(0.0),
+                    },
+                    Type::i1(),
+                );
+                Ok(c)
+            }
+            _ => self.coerce(v, from, to, line),
+        }
+    }
+
+    fn emit_cast(&mut self, op: CastOp, v: Value, to: Type) -> Value {
+        self.emit(InstKind::Cast { op, val: v }, to)
+    }
+}

@@ -1,0 +1,651 @@
+//! Recursive-descent parser for Mini-C.
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::token::{lex, Spanned, Token};
+
+/// Parses a Mini-C source file into an AST.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error encountered.
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let toks = lex(source)?;
+    Parser { toks, pos: 0 }.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), CompileError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(CompileError::new(
+                self.line(),
+                format!("expected {t}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(CompileError::new(
+                self.toks[self.pos.saturating_sub(1)].line,
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut prog = Program::default();
+        while self.peek() != &Token::Eof {
+            if self.peek() == &Token::KwStruct && matches!(self.peek2(), Token::Ident(_)) {
+                // Could be a struct definition or a struct-typed decl.
+                // Look ahead: `struct Name {` is a definition.
+                let save = self.pos;
+                self.bump();
+                let _name = self.expect_ident()?;
+                let is_def = self.peek() == &Token::LBrace;
+                self.pos = save;
+                if is_def {
+                    prog.structs.push(self.struct_def()?);
+                    continue;
+                }
+            }
+            self.top_level_decl(&mut prog)?;
+        }
+        Ok(prog)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, CompileError> {
+        let line = self.line();
+        self.expect(&Token::KwStruct)?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            let base = self.type_base()?;
+            let (fname, fty) = self.declarator(base)?;
+            fields.push((fname, fty));
+            self.expect(&Token::Semi)?;
+        }
+        self.expect(&Token::Semi)?;
+        Ok(StructDef { name, fields, line })
+    }
+
+    /// A base type with pointer suffixes: `int`, `double**`, `struct S*` …
+    fn type_base(&mut self) -> Result<TypeExpr, CompileError> {
+        let mut ty = match self.bump() {
+            Token::KwInt => TypeExpr::Int,
+            Token::KwByte => TypeExpr::Byte,
+            Token::KwDouble => TypeExpr::Double,
+            Token::KwBool => TypeExpr::Bool,
+            Token::KwVoid => TypeExpr::Void,
+            Token::KwStruct => TypeExpr::Struct(self.expect_ident()?),
+            other => {
+                return Err(CompileError::new(
+                    self.toks[self.pos.saturating_sub(1)].line,
+                    format!("expected type, found {other}"),
+                ))
+            }
+        };
+        while self.eat(&Token::Star) {
+            ty = TypeExpr::Ptr(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    /// Parses `name[N][M]…` after a base type, producing the full type.
+    fn declarator(&mut self, base: TypeExpr) -> Result<(String, TypeExpr), CompileError> {
+        let name = self.expect_ident()?;
+        let mut dims = Vec::new();
+        while self.eat(&Token::LBracket) {
+            let line = self.line();
+            let Token::IntLit(n) = self.bump() else {
+                return Err(CompileError::new(
+                    line,
+                    "array length must be an integer literal",
+                ));
+            };
+            if n <= 0 {
+                return Err(CompileError::new(line, "array length must be positive"));
+            }
+            self.expect(&Token::RBracket)?;
+            dims.push(n as u64);
+        }
+        let mut ty = base;
+        for &n in dims.iter().rev() {
+            ty = TypeExpr::Array(Box::new(ty), n);
+        }
+        Ok((name, ty))
+    }
+
+    fn top_level_decl(&mut self, prog: &mut Program) -> Result<(), CompileError> {
+        let line = self.line();
+        let base = self.type_base()?;
+        let name = self.expect_ident()?;
+        if self.peek() == &Token::LParen {
+            // Function definition.
+            self.bump();
+            let mut params = Vec::new();
+            if !self.eat(&Token::RParen) {
+                loop {
+                    let pbase = self.type_base()?;
+                    let pname = self.expect_ident()?;
+                    params.push((pname, pbase));
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            }
+            let body = self.block()?;
+            prog.funcs.push(FuncDef {
+                name,
+                params,
+                ret: base,
+                body,
+                line,
+            });
+        } else {
+            // Global: optional array dims then optional initializer.
+            let mut dims = Vec::new();
+            while self.eat(&Token::LBracket) {
+                let dline = self.line();
+                let Token::IntLit(n) = self.bump() else {
+                    return Err(CompileError::new(
+                        dline,
+                        "array length must be an integer literal",
+                    ));
+                };
+                if n <= 0 {
+                    return Err(CompileError::new(dline, "array length must be positive"));
+                }
+                self.expect(&Token::RBracket)?;
+                dims.push(n as u64);
+            }
+            let mut ty = base;
+            for &n in dims.iter().rev() {
+                ty = TypeExpr::Array(Box::new(ty), n);
+            }
+            let init = if self.eat(&Token::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(&Token::Semi)?;
+            prog.globals.push(GlobalDef {
+                name,
+                ty,
+                init,
+                line,
+            });
+        }
+        Ok(())
+    }
+
+    fn block(&mut self) -> Result<Block, CompileError> {
+        self.expect(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Token::KwInt | Token::KwByte | Token::KwDouble | Token::KwBool | Token::KwStruct
+        )
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Token::LBrace => Ok(Stmt::Block(self.block()?)),
+            Token::KwIf => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Token::RParen)?;
+                let then = self.stmt_as_block()?;
+                let els = if self.eat(&Token::KwElse) {
+                    self.stmt_as_block()?
+                } else {
+                    Block::default()
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            Token::KwWhile => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Token::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Token::KwFor => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let init = if self.eat(&Token::Semi) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt(true)?))
+                };
+                let cond = if self.peek() == &Token::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Token::Semi)?;
+                let step = if self.peek() == &Token::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt(false)?))
+                };
+                self.expect(&Token::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Token::KwReturn => {
+                self.bump();
+                let value = if self.peek() == &Token::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Return { value, line })
+            }
+            Token::KwBreak => {
+                self.bump();
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Break { line })
+            }
+            Token::KwContinue => {
+                self.bump();
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Continue { line })
+            }
+            _ => {
+                let s = self.simple_stmt(true)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Block, CompileError> {
+        if self.peek() == &Token::LBrace {
+            self.block()
+        } else {
+            Ok(Block {
+                stmts: vec![self.stmt()?],
+            })
+        }
+    }
+
+    /// A declaration, assignment, or expression statement.
+    /// `consume_semi` is false inside `for (...; ...; step)`.
+    fn simple_stmt(&mut self, consume_semi: bool) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        // Declaration? `struct S x` but NOT a cast `(struct S*)...`.
+        if self.is_type_start() {
+            let base = self.type_base()?;
+            let (name, ty) = self.declarator(base)?;
+            let init = if self.eat(&Token::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            if consume_semi {
+                self.expect(&Token::Semi)?;
+            }
+            return Ok(Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            });
+        }
+        let e = self.expr()?;
+        let op = match self.peek() {
+            Token::Assign => Some(None),
+            Token::PlusAssign => Some(Some(BinOp::Add)),
+            Token::MinusAssign => Some(Some(BinOp::Sub)),
+            Token::StarAssign => Some(Some(BinOp::Mul)),
+            Token::SlashAssign => Some(Some(BinOp::Div)),
+            Token::PercentAssign => Some(Some(BinOp::Rem)),
+            _ => None,
+        };
+        let stmt = if let Some(op) = op {
+            self.bump();
+            let value = self.expr()?;
+            Stmt::Assign {
+                target: e,
+                op,
+                value,
+                line,
+            }
+        } else {
+            Stmt::Expr(e)
+        };
+        if consume_semi {
+            self.expect(&Token::Semi)?;
+        }
+        Ok(stmt)
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Token::PipePipe => (BinOp::LogOr, 1),
+                Token::AmpAmp => (BinOp::LogAnd, 2),
+                Token::Pipe => (BinOp::BitOr, 3),
+                Token::Caret => (BinOp::BitXor, 4),
+                Token::Amp => (BinOp::BitAnd, 5),
+                Token::EqEq => (BinOp::Eq, 6),
+                Token::NotEq => (BinOp::Ne, 6),
+                Token::Lt => (BinOp::Lt, 7),
+                Token::Le => (BinOp::Le, 7),
+                Token::Gt => (BinOp::Gt, 7),
+                Token::Ge => (BinOp::Ge, 7),
+                Token::Shl => (BinOp::Shl, 8),
+                Token::Shr => (BinOp::Shr, 8),
+                Token::Plus => (BinOp::Add, 9),
+                Token::Minus => (BinOp::Sub, 9),
+                Token::Star => (BinOp::Mul, 10),
+                Token::Slash => (BinOp::Div, 10),
+                Token::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), line);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(e)), line))
+            }
+            Token::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::Unary(UnOp::Not, Box::new(e)), line))
+            }
+            Token::Tilde => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::Unary(UnOp::BitNot, Box::new(e)), line))
+            }
+            Token::Star => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::Deref(Box::new(e)), line))
+            }
+            Token::Amp => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::AddrOf(Box::new(e)), line))
+            }
+            Token::LParen if self.cast_ahead() => {
+                self.bump();
+                let ty = self.type_base()?;
+                self.expect(&Token::RParen)?;
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::Cast(ty, Box::new(e)), line))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    /// True if the `(` at the current position begins a cast.
+    fn cast_ahead(&self) -> bool {
+        matches!(
+            self.peek2(),
+            Token::KwInt | Token::KwByte | Token::KwDouble | Token::KwBool | Token::KwStruct
+        )
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            let line = self.line();
+            match self.peek() {
+                Token::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Token::RBracket)?;
+                    e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), line);
+                }
+                Token::Dot => {
+                    self.bump();
+                    let field = self.expect_ident()?;
+                    e = Expr::new(
+                        ExprKind::Member {
+                            base: Box::new(e),
+                            field,
+                            arrow: false,
+                        },
+                        line,
+                    );
+                }
+                Token::Arrow => {
+                    self.bump();
+                    let field = self.expect_ident()?;
+                    e = Expr::new(
+                        ExprKind::Member {
+                            base: Box::new(e),
+                            field,
+                            arrow: true,
+                        },
+                        line,
+                    );
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Token::IntLit(v) => Ok(Expr::new(ExprKind::IntLit(v), line)),
+            Token::FloatLit(v) => Ok(Expr::new(ExprKind::FloatLit(v), line)),
+            Token::CharLit(v) => Ok(Expr::new(ExprKind::IntLit(v), line)),
+            Token::KwTrue => Ok(Expr::new(ExprKind::BoolLit(true), line)),
+            Token::KwFalse => Ok(Expr::new(ExprKind::BoolLit(false), line)),
+            Token::Ident(name) => {
+                if self.eat(&Token::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                    }
+                    Ok(Expr::new(ExprKind::Call(name, args), line))
+                } else {
+                    Ok(Expr::new(ExprKind::Var(name), line))
+                }
+            }
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_and_globals() {
+        let p = parse(
+            "int g = 5;\n\
+             double grid[4][4];\n\
+             int add(int a, int b) { return a + b; }\n",
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].params.len(), 2);
+        assert_eq!(
+            p.globals[1].ty,
+            TypeExpr::Array(Box::new(TypeExpr::Array(Box::new(TypeExpr::Double), 4)), 4)
+        );
+    }
+
+    #[test]
+    fn parses_struct_def_and_use() {
+        let p = parse(
+            "struct V { double x; double y; };\n\
+             struct V g;\n\
+             void f(struct V* p) { p->x = 1.0; }\n",
+        )
+        .unwrap();
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].fields.len(), 2);
+        assert_eq!(p.globals[0].ty, TypeExpr::Struct("V".into()));
+        assert_eq!(
+            p.funcs[0].params[0].1,
+            TypeExpr::Ptr(Box::new(TypeExpr::Struct("V".into())))
+        );
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("int f() { return 1 + 2 * 3 < 4 & 5; }").unwrap();
+        // (((1 + (2*3)) < 4) & 5)
+        let Stmt::Return { value: Some(e), .. } = &p.funcs[0].body.stmts[0] else {
+            panic!()
+        };
+        let ExprKind::Binary(BinOp::BitAnd, l, _) = &e.kind else {
+            panic!("top is &, got {e:?}")
+        };
+        let ExprKind::Binary(BinOp::Lt, _, _) = &l.kind else {
+            panic!("lhs of & is <")
+        };
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse(
+            "int f(int n) {\n\
+               int s = 0;\n\
+               for (int i = 0; i < n; i += 1) {\n\
+                 if (i % 2 == 0) { s += i; } else { continue; }\n\
+                 while (s > 100) { s -= 7; break; }\n\
+               }\n\
+               return s;\n\
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.funcs[0].body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn parses_casts_and_unary() {
+        let p = parse("double f(int x) { return (double)(-x) * 2.0; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &p.funcs[0].body.stmts[0] else {
+            panic!()
+        };
+        let ExprKind::Binary(BinOp::Mul, l, _) = &e.kind else {
+            panic!()
+        };
+        assert!(matches!(&l.kind, ExprKind::Cast(TypeExpr::Double, _)));
+    }
+
+    #[test]
+    fn parses_pointer_ops() {
+        parse("void f(int* p) { *p = 3; int x = p[2]; int* q = &x; }").unwrap();
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("int f() {\n  return 1 +;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_bad_array_len() {
+        assert!(parse("int a[0];").is_err());
+        assert!(parse("int a[x];").is_err());
+    }
+
+    #[test]
+    fn if_without_braces() {
+        let p = parse("int f(int x) { if (x > 0) return 1; else return 2; }").unwrap();
+        let Stmt::If { then, els, .. } = &p.funcs[0].body.stmts[0] else {
+            panic!()
+        };
+        assert_eq!(then.stmts.len(), 1);
+        assert_eq!(els.stmts.len(), 1);
+    }
+}

@@ -1,0 +1,503 @@
+//! Tokens and the lexer for Mini-C.
+
+use crate::error::CompileError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// Character literal (value of the byte).
+    CharLit(i64),
+
+    // Keywords.
+    /// `int`
+    KwInt,
+    /// `byte`
+    KwByte,
+    /// `double`
+    KwDouble,
+    /// `bool`
+    KwBool,
+    /// `void`
+    KwVoid,
+    /// `struct`
+    KwStruct,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+
+    // Punctuation / operators.
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `%=`
+    PercentAssign,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::IntLit(v) => write!(f, "integer literal {v}"),
+            Token::FloatLit(v) => write!(f, "float literal {v}"),
+            Token::CharLit(v) => write!(f, "char literal {v}"),
+            Token::Eof => write!(f, "end of input"),
+            other => {
+                let s = match other {
+                    Token::KwInt => "int",
+                    Token::KwByte => "byte",
+                    Token::KwDouble => "double",
+                    Token::KwBool => "bool",
+                    Token::KwVoid => "void",
+                    Token::KwStruct => "struct",
+                    Token::KwIf => "if",
+                    Token::KwElse => "else",
+                    Token::KwWhile => "while",
+                    Token::KwFor => "for",
+                    Token::KwReturn => "return",
+                    Token::KwBreak => "break",
+                    Token::KwContinue => "continue",
+                    Token::KwTrue => "true",
+                    Token::KwFalse => "false",
+                    Token::Plus => "+",
+                    Token::Minus => "-",
+                    Token::Star => "*",
+                    Token::Slash => "/",
+                    Token::Percent => "%",
+                    Token::Bang => "!",
+                    Token::Tilde => "~",
+                    Token::Amp => "&",
+                    Token::Pipe => "|",
+                    Token::Caret => "^",
+                    Token::Shl => "<<",
+                    Token::Shr => ">>",
+                    Token::AmpAmp => "&&",
+                    Token::PipePipe => "||",
+                    Token::EqEq => "==",
+                    Token::NotEq => "!=",
+                    Token::Lt => "<",
+                    Token::Le => "<=",
+                    Token::Gt => ">",
+                    Token::Ge => ">=",
+                    Token::Assign => "=",
+                    Token::PlusAssign => "+=",
+                    Token::MinusAssign => "-=",
+                    Token::StarAssign => "*=",
+                    Token::SlashAssign => "/=",
+                    Token::PercentAssign => "%=",
+                    Token::LParen => "(",
+                    Token::RParen => ")",
+                    Token::LBrace => "{",
+                    Token::RBrace => "}",
+                    Token::LBracket => "[",
+                    Token::RBracket => "]",
+                    Token::Semi => ";",
+                    Token::Comma => ",",
+                    Token::Dot => ".",
+                    Token::Arrow => "->",
+                    _ => unreachable!(),
+                };
+                write!(f, "`{s}`")
+            }
+        }
+    }
+}
+
+/// A token together with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexes `source` into tokens (ending with [`Token::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed literals or stray characters.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::new(line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i < bytes.len()
+                    && (bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit))
+                    || (i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E'));
+                if is_float {
+                    if bytes[i] == b'.' {
+                        i += 1;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                        i += 1;
+                        if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                            i += 1;
+                        }
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                    let text = &source[start..i];
+                    let v: f64 = text.parse().map_err(|_| {
+                        CompileError::new(line, format!("bad float literal {text}"))
+                    })?;
+                    toks.push(Spanned {
+                        tok: Token::FloatLit(v),
+                        line,
+                    });
+                } else {
+                    let text = &source[start..i];
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| CompileError::new(line, format!("bad int literal {text}")))?;
+                    toks.push(Spanned {
+                        tok: Token::IntLit(v),
+                        line,
+                    });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let tok = match word {
+                    "int" => Token::KwInt,
+                    "byte" => Token::KwByte,
+                    "double" | "float" => Token::KwDouble,
+                    "bool" => Token::KwBool,
+                    "void" => Token::KwVoid,
+                    "struct" => Token::KwStruct,
+                    "if" => Token::KwIf,
+                    "else" => Token::KwElse,
+                    "while" => Token::KwWhile,
+                    "for" => Token::KwFor,
+                    "return" => Token::KwReturn,
+                    "break" => Token::KwBreak,
+                    "continue" => Token::KwContinue,
+                    "true" => Token::KwTrue,
+                    "false" => Token::KwFalse,
+                    _ => Token::Ident(word.to_string()),
+                };
+                toks.push(Spanned { tok, line });
+            }
+            b'\'' => {
+                // Character literal: 'x' or '\n' '\t' '\\' '\'' '\0'.
+                let (v, len) = match bytes.get(i + 1) {
+                    Some(b'\\') => {
+                        let esc = bytes
+                            .get(i + 2)
+                            .copied()
+                            .ok_or_else(|| CompileError::new(line, "unterminated char literal"))?;
+                        let v = match esc {
+                            b'n' => b'\n',
+                            b't' => b'\t',
+                            b'r' => b'\r',
+                            b'0' => 0,
+                            b'\\' => b'\\',
+                            b'\'' => b'\'',
+                            other => {
+                                return Err(CompileError::new(
+                                    line,
+                                    format!("unknown escape '\\{}'", other as char),
+                                ))
+                            }
+                        };
+                        (v, 4)
+                    }
+                    Some(&c) => (c, 3),
+                    None => return Err(CompileError::new(line, "unterminated char literal")),
+                };
+                if bytes.get(i + len - 1) != Some(&b'\'') {
+                    return Err(CompileError::new(line, "unterminated char literal"));
+                }
+                toks.push(Spanned {
+                    tok: Token::CharLit(i64::from(v)),
+                    line,
+                });
+                i += len;
+            }
+            _ => {
+                let two = |a: u8, b: u8| i + 1 < bytes.len() && c == a && bytes[i + 1] == b;
+                let (tok, len) = if two(b'<', b'<') {
+                    (Token::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Token::Shr, 2)
+                } else if two(b'&', b'&') {
+                    (Token::AmpAmp, 2)
+                } else if two(b'|', b'|') {
+                    (Token::PipePipe, 2)
+                } else if two(b'=', b'=') {
+                    (Token::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (Token::NotEq, 2)
+                } else if two(b'<', b'=') {
+                    (Token::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Token::Ge, 2)
+                } else if two(b'+', b'=') {
+                    (Token::PlusAssign, 2)
+                } else if two(b'-', b'=') {
+                    (Token::MinusAssign, 2)
+                } else if two(b'*', b'=') {
+                    (Token::StarAssign, 2)
+                } else if two(b'/', b'=') {
+                    (Token::SlashAssign, 2)
+                } else if two(b'%', b'=') {
+                    (Token::PercentAssign, 2)
+                } else if two(b'-', b'>') {
+                    (Token::Arrow, 2)
+                } else {
+                    let t = match c {
+                        b'+' => Token::Plus,
+                        b'-' => Token::Minus,
+                        b'*' => Token::Star,
+                        b'/' => Token::Slash,
+                        b'%' => Token::Percent,
+                        b'!' => Token::Bang,
+                        b'~' => Token::Tilde,
+                        b'&' => Token::Amp,
+                        b'|' => Token::Pipe,
+                        b'^' => Token::Caret,
+                        b'<' => Token::Lt,
+                        b'>' => Token::Gt,
+                        b'=' => Token::Assign,
+                        b'(' => Token::LParen,
+                        b')' => Token::RParen,
+                        b'{' => Token::LBrace,
+                        b'}' => Token::RBrace,
+                        b'[' => Token::LBracket,
+                        b']' => Token::RBracket,
+                        b';' => Token::Semi,
+                        b',' => Token::Comma,
+                        b'.' => Token::Dot,
+                        other => {
+                            return Err(CompileError::new(
+                                line,
+                                format!("unexpected character '{}'", other as char),
+                            ))
+                        }
+                    };
+                    (t, 1)
+                };
+                toks.push(Spanned { tok, line });
+                i += len;
+            }
+        }
+    }
+    toks.push(Spanned {
+        tok: Token::Eof,
+        line,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("a <<= >> && || == != <= >= -> ."),
+            vec![
+                Token::Ident("a".into()),
+                Token::Shl,
+                Token::Assign,
+                Token::Shr,
+                Token::AmpAmp,
+                Token::PipePipe,
+                Token::EqEq,
+                Token::NotEq,
+                Token::Le,
+                Token::Ge,
+                Token::Arrow,
+                Token::Dot,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_literals() {
+        assert_eq!(
+            kinds("42 3.5 1e3 2.5e-2 'a' '\\n'"),
+            vec![
+                Token::IntLit(42),
+                Token::FloatLit(3.5),
+                Token::FloatLit(1000.0),
+                Token::FloatLit(0.025),
+                Token::CharLit(97),
+                Token::CharLit(10),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("int intx for_ while"),
+            vec![
+                Token::KwInt,
+                Token::Ident("intx".into()),
+                Token::Ident("for_".into()),
+                Token::KwWhile,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn rejects_stray_chars() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("'x").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn float_alias() {
+        assert_eq!(kinds("float"), vec![Token::KwDouble, Token::Eof]);
+    }
+}

@@ -1,0 +1,401 @@
+//! End-to-end tests: compile Mini-C and execute on the IR interpreter.
+
+use fiq_frontend::compile;
+use fiq_interp::{run_module, ExecStatus, InterpOptions};
+use fiq_mem::Trap;
+
+fn run(src: &str) -> String {
+    let m = compile("test", src).unwrap_or_else(|e| panic!("compile error: {e}"));
+    let r = run_module(&m, InterpOptions::default()).unwrap();
+    assert!(
+        r.finished(),
+        "program did not finish: {:?}\noutput so far: {}",
+        r.status,
+        r.output
+    );
+    r.output
+}
+
+fn run_status(src: &str) -> ExecStatus {
+    let m = compile("test", src).unwrap_or_else(|e| panic!("compile error: {e}"));
+    run_module(&m, InterpOptions::default()).unwrap().status
+}
+
+#[test]
+fn hello_arithmetic() {
+    assert_eq!(run("int main() { print_i64(6 * 7); return 0; }"), "42\n");
+}
+
+#[test]
+fn locals_and_compound_assign() {
+    let out = run("int main() {
+           int x = 10;
+           x += 5; x *= 2; x -= 3; x /= 2; x %= 10;
+           print_i64(x);
+           return 0;
+         }");
+    // ((10+5)*2-3)/2 = 13 (integer), 13 % 10 = 3
+    assert_eq!(out, "3\n");
+}
+
+#[test]
+fn for_loop_sum() {
+    let out = run("int main() {
+           int s = 0;
+           for (int i = 0; i < 100; i += 1) s += i;
+           print_i64(s);
+           return 0;
+         }");
+    assert_eq!(out, "4950\n");
+}
+
+#[test]
+fn while_break_continue() {
+    let out = run("int main() {
+           int i = 0; int s = 0;
+           while (true) {
+             i += 1;
+             if (i > 10) break;
+             if (i % 2 == 0) continue;
+             s += i;
+           }
+           print_i64(s); // 1+3+5+7+9
+           return 0;
+         }");
+    assert_eq!(out, "25\n");
+}
+
+#[test]
+fn nested_if_else() {
+    let out = run("int classify(int x) {
+           if (x < 0) { return -1; }
+           else if (x == 0) { return 0; }
+           else { return 1; }
+         }
+         int main() {
+           print_i64(classify(-5));
+           print_i64(classify(0));
+           print_i64(classify(9));
+           return 0;
+         }");
+    assert_eq!(out, "-1\n0\n1\n");
+}
+
+#[test]
+fn recursion_fibonacci() {
+    let out = run("int fib(int n) {
+           if (n < 2) return n;
+           return fib(n - 1) + fib(n - 2);
+         }
+         int main() { print_i64(fib(15)); return 0; }");
+    assert_eq!(out, "610\n");
+}
+
+#[test]
+fn global_arrays_and_functions() {
+    let out = run("int data[16];
+         int total() {
+           int s = 0;
+           for (int i = 0; i < 16; i += 1) s += data[i];
+           return s;
+         }
+         int main() {
+           for (int i = 0; i < 16; i += 1) data[i] = i * i;
+           print_i64(total());
+           return 0;
+         }");
+    assert_eq!(out, "1240\n");
+}
+
+#[test]
+fn two_dimensional_array() {
+    let out = run("double grid[8][8];
+         int main() {
+           for (int i = 0; i < 8; i += 1)
+             for (int j = 0; j < 8; j += 1)
+               grid[i][j] = (double)(i * 8 + j);
+           double s = 0.0;
+           for (int i = 0; i < 8; i += 1) s += grid[i][i];
+           print_f64(s);
+           return 0;
+         }");
+    // trace = 0+9+18+...+63 = 252
+    assert_eq!(out, "2.520000e2\n");
+}
+
+#[test]
+fn byte_arrays_promote() {
+    let out = run("byte buf[8];
+         int main() {
+           buf[0] = 250;
+           buf[1] = buf[0] + 10; // wraps to 4 in byte storage
+           print_i64(buf[1]);
+           return 0;
+         }");
+    assert_eq!(out, "4\n");
+}
+
+#[test]
+fn doubles_and_math_builtins() {
+    let out = run("int main() {
+           double x = 2.0;
+           double y = sqrt(x) * sqrt(x);
+           print_f64(y);
+           print_f64(fabs(-3.5));
+           print_f64(floor(2.9));
+           return 0;
+         }");
+    assert_eq!(out, "2.000000e0\n3.500000e0\n2.000000e0\n");
+}
+
+#[test]
+fn int_double_promotion() {
+    let out = run("int main() {
+           int i = 7;
+           double d = i / 2;      // int division then convert: 3.0
+           double e = i / 2.0;    // promoted: 3.5
+           print_f64(d);
+           print_f64(e);
+           int back = (int)e;     // 3
+           print_i64(back);
+           return 0;
+         }");
+    assert_eq!(out, "3.000000e0\n3.500000e0\n3\n");
+}
+
+#[test]
+fn pointers_and_address_of() {
+    let out = run("void bump(int* p) { *p += 1; }
+         int main() {
+           int x = 41;
+           bump(&x);
+           print_i64(x);
+           int arr[4];
+           arr[2] = 7;
+           int* q = arr;
+           print_i64(q[2]);
+           *(q + 2) = 9;
+           print_i64(arr[2]);
+           return 0;
+         }");
+    assert_eq!(out, "42\n7\n9\n");
+}
+
+#[test]
+fn structs_fields_and_arrow() {
+    let out = run("struct Point { int x; int y; double w; };
+         struct Point pts[4];
+         void init(struct Point* p, int x, int y) {
+           p->x = x; p->y = y; p->w = (double)(x + y);
+         }
+         int main() {
+           for (int i = 0; i < 4; i += 1) init(&pts[i], i, i * 2);
+           int s = 0;
+           double ws = 0.0;
+           for (int i = 0; i < 4; i += 1) {
+             s += pts[i].x + pts[i].y;
+             ws += pts[i].w;
+           }
+           print_i64(s);
+           print_f64(ws);
+           return 0;
+         }");
+    assert_eq!(out, "18\n1.800000e1\n");
+}
+
+#[test]
+fn short_circuit_evaluation() {
+    let out = run("int count = 0;
+         bool touch() { count += 1; return true; }
+         int main() {
+           if (false && touch()) {}
+           if (true || touch()) {}
+           print_i64(count); // neither rhs evaluated
+           if (true && touch()) {}
+           if (false || touch()) {}
+           print_i64(count); // both evaluated
+           return 0;
+         }");
+    assert_eq!(out, "0\n2\n");
+}
+
+#[test]
+fn logical_not_and_bitops() {
+    let out = run("int main() {
+           print_i64(!0);
+           print_i64(!5);
+           print_i64(~0);
+           print_i64(5 & 3);
+           print_i64(5 | 3);
+           print_i64(5 ^ 3);
+           print_i64(1 << 10);
+           print_i64(-16 >> 2);
+           return 0;
+         }");
+    assert_eq!(out, "1\n0\n-1\n1\n7\n6\n1024\n-4\n");
+}
+
+#[test]
+fn global_scalar_initializers() {
+    let out = run("int a = 5;
+         int b = -3;
+         double pi = 3.25;
+         byte c = 200;
+         int main() {
+           print_i64(a + b);
+           print_f64(pi);
+           print_i64(c);
+           return 0;
+         }");
+    assert_eq!(out, "2\n3.250000e0\n200\n");
+}
+
+#[test]
+fn char_literals_and_print_char() {
+    let out = run("int main() {
+           print_char('o');
+           print_char('k');
+           print_char('\\n');
+           return 0;
+         }");
+    assert_eq!(out, "ok\n");
+}
+
+#[test]
+fn division_by_zero_traps_at_runtime() {
+    let status = run_status(
+        "int main() {
+           int zero = 0;
+           print_i64(5 / zero);
+           return 0;
+         }",
+    );
+    assert_eq!(status, ExecStatus::Trapped(Trap::DivByZero));
+}
+
+#[test]
+fn out_of_bounds_traps() {
+    let status = run_status(
+        "int only[4];
+         int main() {
+           int i = 1000000; // far past every mapped region
+           print_i64(only[i]);
+           return 0;
+         }",
+    );
+    assert!(matches!(
+        status,
+        ExecStatus::Trapped(Trap::Unmapped { .. } | Trap::OutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn abort_builtin() {
+    assert_eq!(
+        run_status("int main() { abort(); return 0; }"),
+        ExecStatus::Trapped(Trap::Aborted)
+    );
+}
+
+#[test]
+fn dead_code_after_return_is_skipped() {
+    let out = run("int f() { return 1; print_i64(99); }
+         int main() { print_i64(f()); return 0; }");
+    assert_eq!(out, "1\n");
+}
+
+#[test]
+fn both_branches_return() {
+    let out = run("int sign(int x) {
+           if (x >= 0) { return 1; } else { return -1; }
+         }
+         int main() { print_i64(sign(-3) + sign(3)); return 0; }");
+    assert_eq!(out, "0\n");
+}
+
+#[test]
+fn casts_between_pointers() {
+    let out = run("byte raw[8];
+         int main() {
+           int* p = (int*) raw;
+           *p = 258; // 0x102: little endian bytes 2, 1
+           print_i64(raw[0]);
+           print_i64(raw[1]);
+           return 0;
+         }");
+    assert_eq!(out, "2\n1\n");
+}
+
+#[test]
+fn type_errors_are_reported() {
+    let cases = [
+        (
+            "int main() { double d = 1.0; int x = d % 2; return 0; }",
+            "integers",
+        ),
+        ("int main() { int x = y; return 0; }", "unknown variable"),
+        ("int main() { foo(); return 0; }", "unknown function"),
+        ("int main() { break; }", "outside a loop"),
+        ("void f() {} int main() { int x = f(); return 0; }", "void"),
+        ("int main() { return 1 + main; }", "unknown variable"),
+        (
+            "struct S { int a; }; int main() { struct S s; s.b = 1; return 0; }",
+            "no field",
+        ),
+    ];
+    for (src, needle) in cases {
+        let err = compile("t", src).expect_err(src);
+        assert!(
+            err.to_string().contains(needle),
+            "error for {src:?} was {err}"
+        );
+    }
+}
+
+#[test]
+fn missing_main_is_an_error() {
+    let err = compile("t", "int f() { return 0; }").unwrap_err();
+    assert!(err.to_string().contains("no `main`"));
+}
+
+#[test]
+fn locals_in_loops_reuse_one_slot() {
+    // A declaration inside a loop must not leak stack: run many iterations
+    // with a local declared in the body.
+    let out = run("int main() {
+           int s = 0;
+           for (int i = 0; i < 200000; i += 1) {
+             int t = i % 7;
+             s += t;
+           }
+           print_i64(s);
+           return 0;
+         }");
+    assert_eq!(out, "599994\n");
+}
+
+#[test]
+fn comparison_chain_on_doubles() {
+    let out = run("int main() {
+           double a = 1.5; double b = 2.5;
+           print_i64(a < b);
+           print_i64(a >= b);
+           print_i64(a == a);
+           print_i64(a != b);
+           return 0;
+         }");
+    assert_eq!(out, "1\n0\n1\n1\n");
+}
+
+#[test]
+fn unary_negation() {
+    let out = run("int main() {
+           int x = 5;
+           double d = 2.5;
+           print_i64(-x);
+           print_f64(-d);
+           print_i64(-(-x));
+           return 0;
+         }");
+    assert_eq!(out, "-5\n-2.500000e0\n5\n");
+}

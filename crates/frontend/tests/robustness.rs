@@ -1,0 +1,106 @@
+//! Robustness: the front end must return errors, never panic, for
+//! arbitrary junk and for structurally plausible but ill-formed programs.
+
+use fiq_frontend::compile;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII soup never panics the compiler.
+    #[test]
+    fn arbitrary_ascii_never_panics(src in "[ -~\\n]{0,200}") {
+        let _ = compile("fuzz", &src);
+    }
+
+    /// Token soup assembled from real language fragments never panics.
+    #[test]
+    fn token_soup_never_panics(parts in prop::collection::vec(
+        prop_oneof![
+            Just("int"), Just("double"), Just("byte"), Just("bool"),
+            Just("struct"), Just("if"), Just("else"), Just("while"),
+            Just("for"), Just("return"), Just("break"), Just("continue"),
+            Just("("), Just(")"), Just("{"), Just("}"), Just("["), Just("]"),
+            Just(";"), Just(","), Just("="), Just("+"), Just("-"), Just("*"),
+            Just("/"), Just("%"), Just("&&"), Just("||"), Just("=="),
+            Just("x"), Just("y"), Just("main"), Just("42"), Just("3.5"),
+            Just("->"), Just("."), Just("&"), Just("!"),
+        ], 0..60)) {
+        let src: String = parts.join(" ");
+        let _ = compile("fuzz", &src);
+    }
+
+    /// Well-formed arithmetic-only programs always compile, and the
+    /// verifier accepts the output.
+    #[test]
+    fn generated_straightline_programs_compile(
+        vals in prop::collection::vec(-1000i64..1000, 1..8),
+        muls in prop::collection::vec(1i64..20, 1..8),
+    ) {
+        let mut body = String::from("int acc = 1;\n");
+        for (i, (v, m)) in vals.iter().zip(muls.iter().cycle()).enumerate() {
+            body.push_str(&format!("int v{i} = {v} * {m};\n"));
+            body.push_str(&format!("acc += v{i};\n"));
+        }
+        body.push_str("print_i64(acc);\nreturn 0;\n");
+        let src = format!("int main() {{\n{body}\n}}");
+        let module = compile("gen", &src).expect("well-formed program compiles");
+        fiq_ir::verify_module(&module).expect("front end output verifies");
+    }
+}
+
+/// Pathological-but-legal inputs.
+#[test]
+fn deeply_nested_expressions_compile() {
+    let mut expr = String::from("1");
+    for _ in 0..60 {
+        expr = format!("({expr} + 1)");
+    }
+    let src = format!("int main() {{ print_i64({expr}); return 0; }}");
+    compile("deep", &src).expect("deep nesting within recursion limits");
+}
+
+#[test]
+fn deeply_nested_blocks_compile() {
+    let mut body = String::from("print_i64(1);");
+    for _ in 0..60 {
+        body = format!("{{ {body} }}");
+    }
+    let src = format!("int main() {{ {body} return 0; }}");
+    compile("deep", &src).expect("deep blocks");
+}
+
+#[test]
+fn long_function_compiles() {
+    let mut body = String::new();
+    for i in 0..500 {
+        body.push_str(&format!("int v{i} = {i} * 3;\n"));
+    }
+    body.push_str("int s = 0;\n");
+    for i in 0..500 {
+        body.push_str(&format!("s += v{i};\n"));
+    }
+    body.push_str("print_i64(s);\nreturn 0;");
+    let src = format!("int main() {{\n{body}\n}}");
+    let module = compile("long", &src).unwrap();
+    fiq_ir::verify_module(&module).unwrap();
+}
+
+#[test]
+fn error_messages_are_located_and_specific() {
+    let cases = [
+        ("int main() { int x = ; }", "expression"),
+        ("int main() { if x { } }", "`(`"),
+        ("struct S { int a; } int main() { return 0; }", "`;`"),
+        ("int main() { double d = 1.0 % 2.0; return 0; }", "integers"),
+        (
+            "int f(int a, int a2) { return a; } int f(int b) { return b; } int main(){return 0;}",
+            "duplicate function",
+        ),
+        ("int sqrt() { return 0; } int main(){return 0;}", "builtin"),
+    ];
+    for (src, needle) in cases {
+        let err = compile("t", src).expect_err(src).to_string();
+        assert!(err.contains(needle), "{src:?} -> {err}");
+    }
+}

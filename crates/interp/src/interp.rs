@@ -1,0 +1,534 @@
+//! The IR interpreter.
+
+use crate::hook::{InstSite, InterpHook};
+use crate::ops;
+use crate::rtval::RtVal;
+use fiq_ir::{
+    BlockId, Callee, Constant, FloatTy, FuncId, GlobalInit, InstId, InstKind, Intrinsic, Module,
+    Type, Value,
+};
+use fiq_mem::{Console, Memory, RegionKind, Trap};
+
+/// Interpreter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct InterpOptions {
+    /// Dynamic-instruction budget; exceeding it stops the run (hang
+    /// detection is built on this).
+    pub max_steps: u64,
+    /// Maximum guest call depth.
+    ///
+    /// Guest calls recurse on the host stack (roughly a kilobyte per
+    /// frame), so keep this limit well below `host_stack_bytes / 1 KiB`;
+    /// the default of 256 is safe even on 2 MiB test threads.
+    pub max_call_depth: u32,
+    /// Stack region size in bytes.
+    pub stack_size: u64,
+    /// Simulated memory capacity in bytes.
+    pub mem_capacity: u64,
+}
+
+impl Default for InterpOptions {
+    fn default() -> InterpOptions {
+        InterpOptions {
+            max_steps: 500_000_000,
+            max_call_depth: 256,
+            stack_size: fiq_mem::DEFAULT_STACK_SIZE,
+            mem_capacity: fiq_mem::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+/// Why execution stopped (shared with the assembly level so outcome
+/// classification is identical at both levels).
+pub use fiq_mem::RunStatus as ExecStatus;
+
+/// The result of running a program.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Why execution stopped.
+    pub status: ExecStatus,
+    /// Dynamic instructions executed.
+    pub steps: u64,
+    /// Program output.
+    pub output: String,
+}
+
+impl ExecResult {
+    /// True if the program ran to completion.
+    pub fn finished(&self) -> bool {
+        self.status == ExecStatus::Finished
+    }
+}
+
+enum Stop {
+    Trap(Trap),
+    Budget,
+}
+
+impl From<Trap> for Stop {
+    fn from(t: Trap) -> Stop {
+        Stop::Trap(t)
+    }
+}
+
+/// Lays the module's globals out in `mem` (packed, natural alignment, in
+/// declaration order) and returns the address of each.
+///
+/// Both execution levels use this same layout, so a given corrupted
+/// address refers to the same logical object at either level.
+///
+/// # Errors
+///
+/// Returns [`Trap::OutOfMemory`] if the globals exceed capacity.
+pub fn materialize_globals(module: &Module, mem: &mut Memory) -> Result<Vec<u64>, Trap> {
+    let mut addrs = Vec::with_capacity(module.globals.len());
+    for g in &module.globals {
+        let addr = mem.alloc(g.ty.size(), g.ty.align(), RegionKind::Global)?;
+        if let GlobalInit::Bytes(bytes) = &g.init {
+            assert!(
+                bytes.len() as u64 <= g.ty.size(),
+                "initializer larger than global {}",
+                g.name
+            );
+            mem.write_bytes(addr, bytes)?;
+        }
+        addrs.push(addr);
+    }
+    Ok(addrs)
+}
+
+/// The IR interpreter. Create with [`Interp::new`], run with
+/// [`Interp::run`], then inspect the console or memory.
+pub struct Interp<'m, H> {
+    module: &'m Module,
+    opts: InterpOptions,
+    mem: Memory,
+    console: Console,
+    hook: H,
+    global_addrs: Vec<u64>,
+    stack_start: u64,
+    sp: u64,
+    steps: u64,
+    frame_counter: u64,
+}
+
+impl<'m, H: InterpHook> Interp<'m, H> {
+    /// Creates an interpreter: materializes globals and the stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::OutOfMemory`] if globals plus stack exceed capacity.
+    pub fn new(module: &'m Module, opts: InterpOptions, hook: H) -> Result<Interp<'m, H>, Trap> {
+        let mut mem = Memory::with_capacity(opts.mem_capacity);
+        let global_addrs = materialize_globals(module, &mut mem)?;
+        let sp = mem.alloc_stack(opts.stack_size)?;
+        let stack_start = sp - opts.stack_size;
+        Ok(Interp {
+            module,
+            opts,
+            mem,
+            console: Console::new(),
+            hook,
+            global_addrs,
+            stack_start,
+            sp,
+            steps: 0,
+            frame_counter: 0,
+        })
+    }
+
+    /// Runs `main()` to completion, trap, or budget exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module has no `main` function.
+    pub fn run(&mut self) -> ExecResult {
+        let main = self.module.main_func().expect("module has a main function");
+        let status = match self.call(main, &[], 0) {
+            Ok(_) => ExecStatus::Finished,
+            Err(Stop::Trap(t)) => ExecStatus::Trapped(t),
+            Err(Stop::Budget) => ExecStatus::BudgetExceeded,
+        };
+        ExecResult {
+            status,
+            steps: self.steps,
+            output: self.console.contents().to_string(),
+        }
+    }
+
+    /// The console (program output so far).
+    pub fn console(&self) -> &Console {
+        &self.console
+    }
+
+    /// The simulated memory.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Dynamic instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Consumes the interpreter, returning the hook (e.g. to read
+    /// profiling counters out of it).
+    pub fn into_hook(self) -> H {
+        self.hook
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn call(&mut self, fid: FuncId, args: &[RtVal], depth: u32) -> Result<Option<RtVal>, Stop> {
+        if depth >= self.opts.max_call_depth {
+            return Err(Trap::CallDepthExceeded.into());
+        }
+        let func = self.module.func(fid);
+        self.frame_counter += 1;
+        let frame_id = self.frame_counter;
+        let saved_sp = self.sp;
+        let mut slots: Vec<Option<RtVal>> = vec![None; func.insts.len()];
+
+        let mut cur = func.entry();
+        let mut prev: Option<BlockId> = None;
+        let result = 'outer: loop {
+            let insts = &func.block(cur).insts;
+            // Evaluate the leading φ-batch in parallel (values read before
+            // any is written), as SSA semantics require.
+            let mut phi_end = 0;
+            while phi_end < insts.len() {
+                let id = insts[phi_end];
+                if !matches!(func.inst(id).kind, InstKind::Phi { .. }) {
+                    break;
+                }
+                phi_end += 1;
+            }
+            if phi_end > 0 {
+                let pred = prev.expect("phi in entry block");
+                let mut staged: Vec<(InstId, RtVal)> = Vec::with_capacity(phi_end);
+                for &id in &insts[0..phi_end] {
+                    self.budget()?;
+                    let InstKind::Phi { incomings } = &func.inst(id).kind else {
+                        unreachable!()
+                    };
+                    let (_, v) = incomings
+                        .iter()
+                        .find(|(pb, _)| *pb == pred)
+                        .expect("verified phi has incoming for every predecessor");
+                    let mut val = self.eval(fid, func, &slots, args, frame_id, id, *v)?;
+                    self.hook.on_result(
+                        InstSite {
+                            func: fid,
+                            inst: id,
+                        },
+                        frame_id,
+                        &mut val,
+                    );
+                    staged.push((id, val));
+                }
+                for (id, val) in staged {
+                    slots[id.index()] = Some(val);
+                }
+            }
+
+            for &id in &insts[phi_end..] {
+                self.budget()?;
+                let inst = func.inst(id);
+                let site = InstSite {
+                    func: fid,
+                    inst: id,
+                };
+                match &inst.kind {
+                    InstKind::Phi { .. } => unreachable!("phi after non-phi"),
+                    InstKind::Binary { op, lhs, rhs } => {
+                        let l = self.eval(fid, func, &slots, args, frame_id, id, *lhs)?;
+                        let r = self.eval(fid, func, &slots, args, frame_id, id, *rhs)?;
+                        let mut val = if op.is_float() {
+                            match (l, r) {
+                                (RtVal::F64(a), RtVal::F64(b)) => {
+                                    RtVal::F64(ops::eval_float_binop(*op, a, b))
+                                }
+                                (RtVal::F32(a), RtVal::F32(b)) => RtVal::F32(
+                                    ops::eval_float_binop(*op, f64::from(a), f64::from(b)) as f32,
+                                ),
+                                _ => panic!("verified float binop on non-floats"),
+                            }
+                        } else {
+                            let t = inst.ty.as_int().expect("verified int binop");
+                            RtVal::Int(t, ops::eval_int_binop(*op, t, l.as_int(), r.as_int())?)
+                        };
+                        self.hook.on_result(site, frame_id, &mut val);
+                        slots[id.index()] = Some(val);
+                    }
+                    InstKind::ICmp { pred, lhs, rhs } => {
+                        let l = self.eval(fid, func, &slots, args, frame_id, id, *lhs)?;
+                        let r = self.eval(fid, func, &slots, args, frame_id, id, *rhs)?;
+                        let (ty, lv, rv) = match (l, r) {
+                            (RtVal::Int(t, a), RtVal::Int(_, b)) => (Some(t), a, b),
+                            (RtVal::Ptr(a), RtVal::Ptr(b)) => (None, a, b),
+                            _ => panic!("verified icmp operands"),
+                        };
+                        let mut val = RtVal::bool(ops::eval_icmp(*pred, ty, lv, rv));
+                        self.hook.on_result(site, frame_id, &mut val);
+                        slots[id.index()] = Some(val);
+                    }
+                    InstKind::FCmp { pred, lhs, rhs } => {
+                        let l = self.eval(fid, func, &slots, args, frame_id, id, *lhs)?;
+                        let r = self.eval(fid, func, &slots, args, frame_id, id, *rhs)?;
+                        let (a, b) = match (l, r) {
+                            (RtVal::F64(a), RtVal::F64(b)) => (a, b),
+                            (RtVal::F32(a), RtVal::F32(b)) => (f64::from(a), f64::from(b)),
+                            _ => panic!("verified fcmp operands"),
+                        };
+                        let mut val = RtVal::bool(ops::eval_fcmp(*pred, a, b));
+                        self.hook.on_result(site, frame_id, &mut val);
+                        slots[id.index()] = Some(val);
+                    }
+                    InstKind::Cast { op, val } => {
+                        let v = self.eval(fid, func, &slots, args, frame_id, id, *val)?;
+                        let mut out = ops::eval_cast(*op, v, &inst.ty);
+                        self.hook.on_result(site, frame_id, &mut out);
+                        slots[id.index()] = Some(out);
+                    }
+                    InstKind::Alloca { ty } => {
+                        let size = ty.size().max(1);
+                        let align = ty.align().max(1);
+                        let new_sp = self
+                            .sp
+                            .checked_sub(size)
+                            .map(|s| s / align * align)
+                            .ok_or(Trap::StackOverflow)?;
+                        if new_sp < self.stack_start {
+                            break 'outer Err(Stop::Trap(Trap::StackOverflow));
+                        }
+                        self.sp = new_sp;
+                        let mut val = RtVal::Ptr(new_sp);
+                        self.hook.on_result(site, frame_id, &mut val);
+                        slots[id.index()] = Some(val);
+                    }
+                    InstKind::Load { ptr } => {
+                        let p = self
+                            .eval(fid, func, &slots, args, frame_id, id, *ptr)?
+                            .as_ptr();
+                        self.hook.on_load(site, frame_id, p, inst.ty.size());
+                        let mut val = self.load_typed(p, &inst.ty)?;
+                        self.hook.on_result(site, frame_id, &mut val);
+                        slots[id.index()] = Some(val);
+                    }
+                    InstKind::Store { val, ptr } => {
+                        let v = self.eval(fid, func, &slots, args, frame_id, id, *val)?;
+                        let p = self
+                            .eval(fid, func, &slots, args, frame_id, id, *ptr)?
+                            .as_ptr();
+                        let size = v.ty().size();
+                        self.store_typed(p, v)?;
+                        self.hook.on_store(site, frame_id, p, size);
+                    }
+                    InstKind::Gep {
+                        elem_ty,
+                        base,
+                        indices,
+                    } => {
+                        let b = self
+                            .eval(fid, func, &slots, args, frame_id, id, *base)?
+                            .as_ptr();
+                        let mut addr = b;
+                        let mut cur_ty = elem_ty.clone();
+                        for (i, idx) in indices.iter().enumerate() {
+                            let iv = self.eval(fid, func, &slots, args, frame_id, id, *idx)?;
+                            let sidx = iv.as_sint();
+                            if i == 0 {
+                                addr = addr.wrapping_add((sidx as u64).wrapping_mul(cur_ty.size()));
+                            } else {
+                                match cur_ty.clone() {
+                                    Type::Array(elem, _) => {
+                                        addr = addr
+                                            .wrapping_add((sidx as u64).wrapping_mul(elem.size()));
+                                        cur_ty = *elem;
+                                    }
+                                    Type::Struct(_) => {
+                                        let off = cur_ty.struct_field_offset(sidx as usize);
+                                        addr = addr.wrapping_add(off);
+                                        let Type::Struct(fields) = cur_ty else {
+                                            unreachable!()
+                                        };
+                                        cur_ty = fields[sidx as usize].clone();
+                                    }
+                                    other => panic!("verified gep walks aggregate, got {other}"),
+                                }
+                            }
+                        }
+                        let mut val = RtVal::Ptr(addr);
+                        self.hook.on_result(site, frame_id, &mut val);
+                        slots[id.index()] = Some(val);
+                    }
+                    InstKind::Select {
+                        cond,
+                        then_val,
+                        else_val,
+                    } => {
+                        let c = self
+                            .eval(fid, func, &slots, args, frame_id, id, *cond)?
+                            .as_bool();
+                        // Both arms are evaluated (uses registered) before
+                        // selection, like a cmov reading both registers.
+                        let t = self.eval(fid, func, &slots, args, frame_id, id, *then_val)?;
+                        let e = self.eval(fid, func, &slots, args, frame_id, id, *else_val)?;
+                        let mut val = if c { t } else { e };
+                        self.hook.on_result(site, frame_id, &mut val);
+                        slots[id.index()] = Some(val);
+                    }
+                    InstKind::Call {
+                        callee,
+                        args: cargs,
+                    } => {
+                        let mut vals = Vec::with_capacity(cargs.len());
+                        for a in cargs {
+                            vals.push(self.eval(fid, func, &slots, args, frame_id, id, *a)?);
+                        }
+                        let ret = match callee {
+                            Callee::Func(target) => self.call(*target, &vals, depth + 1)?,
+                            Callee::Intrinsic(i) => self.intrinsic(*i, &vals)?,
+                        };
+                        if inst.has_result() {
+                            let mut val = ret.expect("non-void call returned a value");
+                            self.hook.on_result(site, frame_id, &mut val);
+                            slots[id.index()] = Some(val);
+                        }
+                    }
+                    InstKind::Br { target } => {
+                        prev = Some(cur);
+                        cur = *target;
+                        continue 'outer;
+                    }
+                    InstKind::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
+                        let c = self
+                            .eval(fid, func, &slots, args, frame_id, id, *cond)?
+                            .as_bool();
+                        prev = Some(cur);
+                        cur = if c { *then_bb } else { *else_bb };
+                        continue 'outer;
+                    }
+                    InstKind::Ret { val } => {
+                        let out = match val {
+                            Some(v) => Some(self.eval(fid, func, &slots, args, frame_id, id, *v)?),
+                            None => None,
+                        };
+                        break 'outer Ok(out);
+                    }
+                    InstKind::Unreachable => {
+                        break 'outer Err(Stop::Trap(Trap::UnreachableExecuted));
+                    }
+                }
+            }
+        };
+        self.sp = saved_sp;
+        result
+    }
+
+    fn budget(&mut self) -> Result<(), Stop> {
+        self.steps += 1;
+        if self.steps > self.opts.max_steps {
+            return Err(Stop::Budget);
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval(
+        &mut self,
+        fid: FuncId,
+        func: &fiq_ir::Function,
+        slots: &[Option<RtVal>],
+        args: &[RtVal],
+        frame_id: u64,
+        consumer: InstId,
+        v: Value,
+    ) -> Result<RtVal, Stop> {
+        Ok(match v {
+            Value::Inst(id) => {
+                self.hook.on_use(
+                    InstSite {
+                        func: fid,
+                        inst: id,
+                    },
+                    InstSite {
+                        func: fid,
+                        inst: consumer,
+                    },
+                    frame_id,
+                );
+                slots[id.index()]
+                    .unwrap_or_else(|| panic!("read of unwritten slot {id} in {}", func.name))
+            }
+            Value::Arg(n) => args[n as usize],
+            Value::Const(c) => match c {
+                Constant::Int(t, raw) => RtVal::Int(t, raw),
+                Constant::Float(FloatTy::F32, bits) => RtVal::F32(f32::from_bits(bits as u32)),
+                Constant::Float(FloatTy::F64, bits) => RtVal::F64(f64::from_bits(bits)),
+                Constant::NullPtr => RtVal::Ptr(0),
+                Constant::Global(g) => RtVal::Ptr(self.global_addrs[g.index()]),
+                Constant::Func(f) => RtVal::Ptr(0x4000_0000_0000_0000 | u64::from(f.0)),
+                Constant::Undef(t) => RtVal::Int(t, 0),
+            },
+        })
+    }
+
+    fn load_typed(&self, addr: u64, ty: &Type) -> Result<RtVal, Trap> {
+        Ok(match ty {
+            Type::Int(t) => RtVal::Int(*t, t.truncate(self.mem.read_uint(addr, t.bytes())?)),
+            Type::Float(FloatTy::F32) => RtVal::F32(self.mem.read_f32(addr)?),
+            Type::Float(FloatTy::F64) => RtVal::F64(self.mem.read_f64(addr)?),
+            Type::Ptr => RtVal::Ptr(self.mem.read_uint(addr, 8)?),
+            other => panic!("load of non-first-class type {other}"),
+        })
+    }
+
+    fn store_typed(&mut self, addr: u64, v: RtVal) -> Result<(), Trap> {
+        match v {
+            RtVal::Int(t, raw) => self.mem.write_uint(addr, raw, t.bytes()),
+            RtVal::F32(f) => self.mem.write_f32(addr, f),
+            RtVal::F64(f) => self.mem.write_f64(addr, f),
+            RtVal::Ptr(p) => self.mem.write_uint(addr, p, 8),
+        }
+    }
+
+    fn intrinsic(&mut self, i: Intrinsic, args: &[RtVal]) -> Result<Option<RtVal>, Stop> {
+        Ok(match i {
+            Intrinsic::PrintI64 => {
+                self.console.print_i64(args[0].as_sint());
+                None
+            }
+            Intrinsic::PrintF64 => {
+                self.console.print_f64(args[0].as_f64());
+                None
+            }
+            Intrinsic::PrintChar => {
+                self.console.print_char(args[0].as_sint());
+                None
+            }
+            Intrinsic::Sqrt => Some(RtVal::F64(args[0].as_f64().sqrt())),
+            Intrinsic::Fabs => Some(RtVal::F64(args[0].as_f64().abs())),
+            Intrinsic::Floor => Some(RtVal::F64(args[0].as_f64().floor())),
+            Intrinsic::Sin => Some(RtVal::F64(args[0].as_f64().sin())),
+            Intrinsic::Cos => Some(RtVal::F64(args[0].as_f64().cos())),
+            Intrinsic::Exp => Some(RtVal::F64(args[0].as_f64().exp())),
+            Intrinsic::Log => Some(RtVal::F64(args[0].as_f64().ln())),
+            Intrinsic::Abort => return Err(Trap::Aborted.into()),
+        })
+    }
+}
+
+/// Convenience: runs `main()` of `module` with no hook and default-ish
+/// options.
+///
+/// # Errors
+///
+/// Returns the trap if memory setup fails (globals exceed capacity).
+pub fn run_module(module: &Module, opts: InterpOptions) -> Result<ExecResult, Trap> {
+    let mut interp = Interp::new(module, opts, crate::hook::NopHook)?;
+    Ok(interp.run())
+}

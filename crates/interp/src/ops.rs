@@ -1,0 +1,334 @@
+//! Reference scalar semantics of the IR.
+//!
+//! Integer arithmetic wraps; the division family traps like x86 `idiv`
+//! (divide-by-zero and `INT_MIN / -1` both raise the same exception);
+//! shift counts are masked by `width - 1` (x86 behaviour); floating point
+//! is IEEE-754 and never traps.
+
+use crate::rtval::RtVal;
+use fiq_ir::{BinOp, CastOp, FCmpPred, FloatTy, ICmpPred, IntTy, Type};
+use fiq_mem::Trap;
+
+/// Evaluates an integer binary operation on canonical (zero-extended)
+/// payloads.
+///
+/// # Errors
+///
+/// Returns [`Trap::DivByZero`] for division/remainder by zero and for
+/// signed-division overflow (`INT_MIN / -1`), matching x86 `idiv`.
+pub fn eval_int_binop(op: BinOp, ty: IntTy, lhs: u64, rhs: u64) -> Result<u64, Trap> {
+    let sl = ty.sext(lhs);
+    let sr = ty.sext(rhs);
+    let bits = ty.bits();
+    let raw = match op {
+        BinOp::Add => lhs.wrapping_add(rhs),
+        BinOp::Sub => lhs.wrapping_sub(rhs),
+        BinOp::Mul => lhs.wrapping_mul(rhs),
+        BinOp::SDiv => {
+            if sr == 0 {
+                return Err(Trap::DivByZero);
+            }
+            let (q, overflow) = sl.overflowing_div(sr);
+            if overflow || q_out_of_range(q, ty) {
+                return Err(Trap::DivByZero);
+            }
+            q as u64
+        }
+        BinOp::UDiv => {
+            if rhs == 0 {
+                return Err(Trap::DivByZero);
+            }
+            lhs / rhs
+        }
+        BinOp::SRem => {
+            if sr == 0 {
+                return Err(Trap::DivByZero);
+            }
+            let (r, overflow) = sl.overflowing_rem(sr);
+            if overflow {
+                return Err(Trap::DivByZero);
+            }
+            r as u64
+        }
+        BinOp::URem => {
+            if rhs == 0 {
+                return Err(Trap::DivByZero);
+            }
+            lhs % rhs
+        }
+        BinOp::And => lhs & rhs,
+        BinOp::Or => lhs | rhs,
+        BinOp::Xor => lhs ^ rhs,
+        BinOp::Shl => lhs << shift_amount(rhs, bits),
+        BinOp::LShr => lhs >> shift_amount(rhs, bits),
+        BinOp::AShr => {
+            let sh = shift_amount(rhs, bits);
+            (sl >> sh) as u64
+        }
+        BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv => {
+            unreachable!("float op {op} routed to eval_int_binop")
+        }
+    };
+    Ok(ty.truncate(raw))
+}
+
+/// Checks whether a narrow signed quotient overflowed its type. `i64`
+/// overflow is already reported by `overflowing_div`; narrower types
+/// overflow when the quotient doesn't fit (e.g. `i8`: -128 / -1 = 128).
+fn q_out_of_range(q: i64, ty: IntTy) -> bool {
+    if ty == IntTy::I64 {
+        return false;
+    }
+    let max = (1i64 << (ty.bits() - 1)) - 1;
+    let min = -(1i64 << (ty.bits() - 1));
+    q < min || q > max
+}
+
+fn shift_amount(rhs: u64, bits: u32) -> u32 {
+    // x86 masks the count by 63 (or 31); we mask by width-1 so the result
+    // is identical for the 64-bit values our front end generates.
+    (rhs as u32) & (bits - 1)
+}
+
+/// Evaluates a floating-point binary operation (never traps; IEEE-754).
+pub fn eval_float_binop(op: BinOp, lhs: f64, rhs: f64) -> f64 {
+    match op {
+        BinOp::FAdd => lhs + rhs,
+        BinOp::FSub => lhs - rhs,
+        BinOp::FMul => lhs * rhs,
+        BinOp::FDiv => lhs / rhs,
+        other => unreachable!("int op {other} routed to eval_float_binop"),
+    }
+}
+
+/// Evaluates an integer (or pointer) comparison on canonical payloads.
+pub fn eval_icmp(pred: ICmpPred, ty: Option<IntTy>, lhs: u64, rhs: u64) -> bool {
+    let (sl, sr) = match ty {
+        Some(t) => (t.sext(lhs), t.sext(rhs)),
+        None => (lhs as i64, rhs as i64), // pointers compare unsigned; signed forms unused
+    };
+    match pred {
+        ICmpPred::Eq => lhs == rhs,
+        ICmpPred::Ne => lhs != rhs,
+        ICmpPred::Slt => sl < sr,
+        ICmpPred::Sle => sl <= sr,
+        ICmpPred::Sgt => sl > sr,
+        ICmpPred::Sge => sl >= sr,
+        ICmpPred::Ult => lhs < rhs,
+        ICmpPred::Ule => lhs <= rhs,
+        ICmpPred::Ugt => lhs > rhs,
+        ICmpPred::Uge => lhs >= rhs,
+    }
+}
+
+/// Evaluates a floating-point comparison (ordered predicates: false on NaN,
+/// except `One` which matches C `!=`).
+pub fn eval_fcmp(pred: FCmpPred, lhs: f64, rhs: f64) -> bool {
+    match pred {
+        FCmpPred::Oeq => lhs == rhs,
+        FCmpPred::One => lhs != rhs,
+        FCmpPred::Olt => lhs < rhs,
+        FCmpPred::Ole => lhs <= rhs,
+        FCmpPred::Ogt => lhs > rhs,
+        FCmpPred::Oge => lhs >= rhs,
+    }
+}
+
+/// Evaluates a cast of `val` to `to`.
+///
+/// `FpToSi` saturates/wraps like x86 `cvttsd2si`: out-of-range and NaN
+/// inputs produce the "integer indefinite" value (`INT_MIN` of the target
+/// width), which is also what hardware does.
+///
+/// # Panics
+///
+/// Panics on (verifier-rejected) invalid cast/type combinations.
+pub fn eval_cast(op: CastOp, val: RtVal, to: &Type) -> RtVal {
+    match (op, val) {
+        (CastOp::Trunc, RtVal::Int(_, v)) => {
+            let t = to.as_int().expect("trunc to int");
+            RtVal::Int(t, t.truncate(v))
+        }
+        (CastOp::ZExt, RtVal::Int(_, v)) => {
+            let t = to.as_int().expect("zext to int");
+            RtVal::Int(t, v)
+        }
+        (CastOp::SExt, RtVal::Int(from, v)) => {
+            let t = to.as_int().expect("sext to int");
+            RtVal::Int(t, t.truncate(from.sext(v) as u64))
+        }
+        (CastOp::FpToSi, RtVal::F64(v)) => {
+            let t = to.as_int().expect("fptosi to int");
+            RtVal::Int(t, t.truncate(f64_to_i64_x86(v) as u64))
+        }
+        (CastOp::FpToSi, RtVal::F32(v)) => {
+            let t = to.as_int().expect("fptosi to int");
+            RtVal::Int(t, t.truncate(f64_to_i64_x86(f64::from(v)) as u64))
+        }
+        (CastOp::SiToFp, RtVal::Int(from, v)) => match to.as_float().expect("sitofp to float") {
+            FloatTy::F32 => RtVal::F32(from.sext(v) as f32),
+            FloatTy::F64 => RtVal::F64(from.sext(v) as f64),
+        },
+        (CastOp::FpTrunc, RtVal::F64(v)) => RtVal::F32(v as f32),
+        (CastOp::FpExt, RtVal::F32(v)) => RtVal::F64(f64::from(v)),
+        (CastOp::PtrToInt, RtVal::Ptr(p)) => {
+            let t = to.as_int().expect("ptrtoint to int");
+            RtVal::Int(t, t.truncate(p))
+        }
+        (CastOp::IntToPtr, RtVal::Int(from, v)) => {
+            // Zero-extend the canonical payload into a 64-bit address.
+            let _ = from;
+            RtVal::Ptr(v)
+        }
+        (CastOp::Bitcast, v) => match to {
+            Type::Int(t) => RtVal::Int(*t, raw_bits(v)),
+            Type::Float(FloatTy::F32) => RtVal::F32(f32::from_bits(raw_bits(v) as u32)),
+            Type::Float(FloatTy::F64) => RtVal::F64(f64::from_bits(raw_bits(v))),
+            Type::Ptr => RtVal::Ptr(raw_bits(v)),
+            other => panic!("bitcast to {other}"),
+        },
+        (op, v) => panic!("invalid cast {op} of {v}"),
+    }
+}
+
+/// x86 `cvttsd2si` (64-bit) semantics: truncate toward zero; NaN and
+/// out-of-range produce the integer-indefinite value `i64::MIN`. Narrow
+/// `fptosi` results are this 64-bit conversion truncated to the target
+/// width — exactly what the backend's `cvttsd2si` + narrow store lowering
+/// produces, keeping the two execution levels bit-identical.
+fn f64_to_i64_x86(v: f64) -> i64 {
+    if v.is_nan() {
+        return i64::MIN;
+    }
+    let t = v.trunc();
+    if t < i64::MIN as f64 || t > i64::MAX as f64 {
+        return i64::MIN;
+    }
+    t as i64
+}
+
+fn raw_bits(v: RtVal) -> u64 {
+    match v {
+        RtVal::Int(_, x) => x,
+        RtVal::F32(f) => u64::from(f.to_bits()),
+        RtVal::F64(f) => f.to_bits(),
+        RtVal::Ptr(p) => p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_arithmetic() {
+        assert_eq!(eval_int_binop(BinOp::Add, IntTy::I8, 0xff, 1).unwrap(), 0);
+        assert_eq!(
+            eval_int_binop(BinOp::Mul, IntTy::I64, u64::MAX, 2).unwrap(),
+            u64::MAX - 1
+        );
+        assert_eq!(
+            eval_int_binop(BinOp::Sub, IntTy::I32, 0, 1).unwrap(),
+            0xffff_ffff
+        );
+    }
+
+    #[test]
+    fn division_traps() {
+        assert_eq!(
+            eval_int_binop(BinOp::SDiv, IntTy::I64, 5, 0),
+            Err(Trap::DivByZero)
+        );
+        assert_eq!(
+            eval_int_binop(BinOp::UDiv, IntTy::I64, 5, 0),
+            Err(Trap::DivByZero)
+        );
+        // INT_MIN / -1 traps like x86.
+        assert_eq!(
+            eval_int_binop(BinOp::SDiv, IntTy::I64, i64::MIN as u64, (-1i64) as u64),
+            Err(Trap::DivByZero)
+        );
+        // Narrow overflow: -128i8 / -1.
+        assert_eq!(
+            eval_int_binop(BinOp::SDiv, IntTy::I8, 0x80, 0xff),
+            Err(Trap::DivByZero)
+        );
+        assert_eq!(
+            eval_int_binop(BinOp::SDiv, IntTy::I64, (-7i64) as u64, 2).unwrap(),
+            (-3i64) as u64
+        );
+        assert_eq!(
+            eval_int_binop(BinOp::SRem, IntTy::I64, (-7i64) as u64, 2).unwrap(),
+            (-1i64) as u64
+        );
+    }
+
+    #[test]
+    fn shifts_mask_count() {
+        assert_eq!(eval_int_binop(BinOp::Shl, IntTy::I64, 1, 64).unwrap(), 1);
+        assert_eq!(eval_int_binop(BinOp::Shl, IntTy::I64, 1, 65).unwrap(), 2);
+        assert_eq!(
+            eval_int_binop(BinOp::AShr, IntTy::I8, 0x80, 1).unwrap(),
+            0xc0
+        );
+        assert_eq!(
+            eval_int_binop(BinOp::LShr, IntTy::I8, 0x80, 1).unwrap(),
+            0x40
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(eval_icmp(ICmpPred::Slt, Some(IntTy::I8), 0xff, 1)); // -1 < 1
+        assert!(!eval_icmp(ICmpPred::Ult, Some(IntTy::I8), 0xff, 1)); // 255 !< 1
+        assert!(eval_icmp(ICmpPred::Eq, None, 8, 8));
+        assert!(eval_fcmp(FCmpPred::Olt, 1.0, 2.0));
+        assert!(!eval_fcmp(FCmpPred::Olt, f64::NAN, 2.0));
+        assert!(eval_fcmp(FCmpPred::One, f64::NAN, 2.0));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(
+            eval_cast(CastOp::SExt, RtVal::Int(IntTy::I8, 0xff), &Type::i64()),
+            RtVal::i64(-1)
+        );
+        assert_eq!(
+            eval_cast(CastOp::ZExt, RtVal::Int(IntTy::I8, 0xff), &Type::i64()),
+            RtVal::i64(255)
+        );
+        assert_eq!(
+            eval_cast(CastOp::Trunc, RtVal::i64(0x1ff), &Type::i8()),
+            RtVal::Int(IntTy::I8, 0xff)
+        );
+        assert_eq!(
+            eval_cast(CastOp::SiToFp, RtVal::i64(-2), &Type::f64()),
+            RtVal::F64(-2.0)
+        );
+        assert_eq!(
+            eval_cast(CastOp::FpToSi, RtVal::F64(-2.9), &Type::i64()),
+            RtVal::i64(-2)
+        );
+        // NaN and overflow produce integer-indefinite (x86 cvttsd2si).
+        assert_eq!(
+            eval_cast(CastOp::FpToSi, RtVal::F64(f64::NAN), &Type::i64()),
+            RtVal::i64(i64::MIN)
+        );
+        assert_eq!(
+            eval_cast(CastOp::FpToSi, RtVal::F64(1e300), &Type::i64()),
+            RtVal::i64(i64::MIN)
+        );
+        assert_eq!(
+            eval_cast(CastOp::PtrToInt, RtVal::Ptr(0x42), &Type::i64()),
+            RtVal::i64(0x42)
+        );
+        assert_eq!(
+            eval_cast(CastOp::IntToPtr, RtVal::i64(0x42), &Type::Ptr),
+            RtVal::Ptr(0x42)
+        );
+        assert_eq!(
+            eval_cast(CastOp::Bitcast, RtVal::F64(1.5), &Type::i64()),
+            RtVal::Int(IntTy::I64, 1.5f64.to_bits())
+        );
+    }
+}

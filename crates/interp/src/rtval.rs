@@ -1,0 +1,192 @@
+//! Runtime values of the IR interpreter.
+
+use fiq_ir::{FloatTy, IntTy, Type};
+use std::fmt;
+
+/// A first-class runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RtVal {
+    /// An integer, stored zero-extended (canonical form).
+    Int(IntTy, u64),
+    /// A binary32 float.
+    F32(f32),
+    /// A binary64 float.
+    F64(f64),
+    /// A pointer (raw address).
+    Ptr(u64),
+}
+
+impl RtVal {
+    /// The zero value of a first-class type.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-first-class types.
+    pub fn zero_of(ty: &Type) -> RtVal {
+        match ty {
+            Type::Int(t) => RtVal::Int(*t, 0),
+            Type::Float(FloatTy::F32) => RtVal::F32(0.0),
+            Type::Float(FloatTy::F64) => RtVal::F64(0.0),
+            Type::Ptr => RtVal::Ptr(0),
+            other => panic!("no runtime zero for type {other}"),
+        }
+    }
+
+    /// Builds an `i64` value.
+    pub fn i64(v: i64) -> RtVal {
+        RtVal::Int(IntTy::I64, v as u64)
+    }
+
+    /// Builds an `i1` value.
+    pub fn bool(v: bool) -> RtVal {
+        RtVal::Int(IntTy::I1, u64::from(v))
+    }
+
+    /// The value's type.
+    pub fn ty(&self) -> Type {
+        match self {
+            RtVal::Int(t, _) => Type::Int(*t),
+            RtVal::F32(_) => Type::f32(),
+            RtVal::F64(_) => Type::f64(),
+            RtVal::Ptr(_) => Type::Ptr,
+        }
+    }
+
+    /// The integer payload (canonical, zero-extended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an integer.
+    pub fn as_int(&self) -> u64 {
+        match self {
+            RtVal::Int(_, v) => *v,
+            other => panic!("expected int, got {other}"),
+        }
+    }
+
+    /// The integer payload sign-extended to `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an integer.
+    pub fn as_sint(&self) -> i64 {
+        match self {
+            RtVal::Int(t, v) => t.sext(*v),
+            other => panic!("expected int, got {other}"),
+        }
+    }
+
+    /// The `i1` payload as a bool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an integer.
+    pub fn as_bool(&self) -> bool {
+        self.as_int() != 0
+    }
+
+    /// The pointer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a pointer.
+    pub fn as_ptr(&self) -> u64 {
+        match self {
+            RtVal::Ptr(p) => *p,
+            other => panic!("expected ptr, got {other}"),
+        }
+    }
+
+    /// The `f64` payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            RtVal::F64(v) => *v,
+            other => panic!("expected f64, got {other}"),
+        }
+    }
+
+    /// The width of the value in bits (for bit-flip fault injection).
+    pub fn bit_width(&self) -> u32 {
+        match self {
+            RtVal::Int(t, _) => t.bits(),
+            RtVal::F32(_) => 32,
+            RtVal::F64(_) => 64,
+            RtVal::Ptr(_) => 64,
+        }
+    }
+
+    /// Returns a copy with bit `bit` flipped (`bit < bit_width()`).
+    ///
+    /// This is the single-bit-flip fault model of the paper applied to an
+    /// instruction's destination "register".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range for the value's width.
+    pub fn with_bit_flipped(self, bit: u32) -> RtVal {
+        assert!(bit < self.bit_width(), "bit {bit} out of range");
+        match self {
+            RtVal::Int(t, v) => RtVal::Int(t, t.truncate(v ^ (1u64 << bit))),
+            RtVal::F32(v) => RtVal::F32(f32::from_bits(v.to_bits() ^ (1u32 << bit))),
+            RtVal::F64(v) => RtVal::F64(f64::from_bits(v.to_bits() ^ (1u64 << bit))),
+            RtVal::Ptr(p) => RtVal::Ptr(p ^ (1u64 << bit)),
+        }
+    }
+}
+
+impl fmt::Display for RtVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtVal::Int(t, v) => write!(f, "{}:{t}", t.sext(*v)),
+            RtVal::F32(v) => write!(f, "{v:?}:f32"),
+            RtVal::F64(v) => write!(f, "{v:?}:f64"),
+            RtVal::Ptr(p) => write!(f, "{p:#x}:ptr"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(RtVal::i64(-3).as_sint(), -3);
+        assert_eq!(RtVal::i64(-3).as_int(), (-3i64) as u64);
+        assert!(RtVal::bool(true).as_bool());
+        assert_eq!(RtVal::Ptr(16).as_ptr(), 16);
+        assert_eq!(RtVal::F64(1.5).as_f64(), 1.5);
+    }
+
+    #[test]
+    fn zero_of_types() {
+        assert_eq!(RtVal::zero_of(&Type::i32()), RtVal::Int(IntTy::I32, 0));
+        assert_eq!(RtVal::zero_of(&Type::f64()), RtVal::F64(0.0));
+        assert_eq!(RtVal::zero_of(&Type::Ptr), RtVal::Ptr(0));
+    }
+
+    #[test]
+    fn bit_flips() {
+        assert_eq!(RtVal::i64(0).with_bit_flipped(3), RtVal::Int(IntTy::I64, 8));
+        // Flip stays in range for narrow ints.
+        assert_eq!(
+            RtVal::Int(IntTy::I8, 0xff).with_bit_flipped(7),
+            RtVal::Int(IntTy::I8, 0x7f)
+        );
+        // Sign-bit flip of a double negates it.
+        assert_eq!(RtVal::F64(2.0).with_bit_flipped(63), RtVal::F64(-2.0));
+        // Flips are involutive.
+        let v = RtVal::Ptr(0x1234);
+        assert_eq!(v.with_bit_flipped(40).with_bit_flipped(40), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_out_of_range_panics() {
+        let _ = RtVal::bool(false).with_bit_flipped(1);
+    }
+}

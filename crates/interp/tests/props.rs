@@ -1,0 +1,101 @@
+//! Property tests for the reference scalar semantics: wrapping integer
+//! arithmetic against `i128` oracles, comparison predicates against native
+//! Rust, and cast round trips.
+
+use fiq_interp::{eval_cast, eval_icmp, eval_int_binop, RtVal};
+use fiq_ir::{BinOp, CastOp, ICmpPred, IntTy, Type};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// add/sub/mul wrap exactly like two's complement of the type width.
+    #[test]
+    fn wrapping_matches_i128_oracle(a in any::<u64>(), b in any::<u64>()) {
+        for ty in [IntTy::I8, IntTy::I16, IntTy::I32, IntTy::I64] {
+            let (ca, cb) = (ty.truncate(a), ty.truncate(b));
+            for (op, f) in [
+                (BinOp::Add, (|x: i128, y: i128| x + y) as fn(i128, i128) -> i128),
+                (BinOp::Sub, |x, y| x - y),
+                (BinOp::Mul, |x, y| x * y),
+            ] {
+                let got = eval_int_binop(op, ty, ca, cb).unwrap();
+                let want = ty.truncate(f(i128::from(ty.sext(ca)), i128::from(ty.sext(cb))) as u64);
+                prop_assert_eq!(got, want, "{} {:?}", op, ty);
+            }
+        }
+    }
+
+    /// Signed division agrees with Rust where defined, traps where x86
+    /// raises #DE.
+    #[test]
+    fn division_oracle(a in any::<i64>(), b in any::<i64>()) {
+        let got = eval_int_binop(BinOp::SDiv, IntTy::I64, a as u64, b as u64);
+        match a.checked_div(b) {
+            Some(q) => prop_assert_eq!(got.unwrap(), q as u64),
+            None => prop_assert!(got.is_err()),
+        }
+        let got = eval_int_binop(BinOp::SRem, IntTy::I64, a as u64, b as u64);
+        match a.checked_rem(b) {
+            Some(r) => prop_assert_eq!(got.unwrap(), r as u64),
+            None => prop_assert!(got.is_err()),
+        }
+    }
+
+    /// Every icmp predicate answers the corresponding Rust comparison at
+    /// every width.
+    #[test]
+    fn icmp_matches_rust(a in any::<u64>(), b in any::<u64>()) {
+        for ty in [IntTy::I8, IntTy::I32, IntTy::I64] {
+            let (ca, cb) = (ty.truncate(a), ty.truncate(b));
+            let (sa, sb) = (ty.sext(ca), ty.sext(cb));
+            prop_assert_eq!(eval_icmp(ICmpPred::Slt, Some(ty), ca, cb), sa < sb);
+            prop_assert_eq!(eval_icmp(ICmpPred::Sge, Some(ty), ca, cb), sa >= sb);
+            prop_assert_eq!(eval_icmp(ICmpPred::Ult, Some(ty), ca, cb), ca < cb);
+            prop_assert_eq!(eval_icmp(ICmpPred::Uge, Some(ty), ca, cb), ca >= cb);
+            prop_assert_eq!(eval_icmp(ICmpPred::Eq, Some(ty), ca, cb), ca == cb);
+        }
+    }
+
+    /// zext(trunc(x)) keeps the low bits; sext then trunc round-trips.
+    #[test]
+    fn cast_roundtrips(x in any::<u64>()) {
+        let v = RtVal::Int(IntTy::I64, x);
+        let t = eval_cast(CastOp::Trunc, v, &Type::i8());
+        let z = eval_cast(CastOp::ZExt, t, &Type::i64());
+        prop_assert_eq!(z.as_int(), x & 0xff);
+        let s = eval_cast(CastOp::SExt, t, &Type::i64());
+        prop_assert_eq!(s.as_sint(), (x as u8) as i8 as i64);
+        let back = eval_cast(CastOp::Trunc, s, &Type::i8());
+        prop_assert_eq!(back, t);
+    }
+
+    /// Bitcast between i64 and f64 is a bit-exact involution.
+    #[test]
+    fn bitcast_involution(x in any::<u64>()) {
+        let v = RtVal::Int(IntTy::I64, x);
+        let f = eval_cast(CastOp::Bitcast, v, &Type::f64());
+        let back = eval_cast(CastOp::Bitcast, f, &Type::i64());
+        prop_assert_eq!(back.as_int(), x);
+    }
+
+    /// Shifts mask their count by width-1 (x86 semantics).
+    #[test]
+    fn shift_count_masking(x in any::<u64>(), c in 0u64..256) {
+        let got = eval_int_binop(BinOp::Shl, IntTy::I64, x, c).unwrap();
+        prop_assert_eq!(got, x << (c & 63));
+        let got = eval_int_binop(BinOp::LShr, IntTy::I64, x, c).unwrap();
+        prop_assert_eq!(got, x >> (c & 63));
+        let got = eval_int_binop(BinOp::AShr, IntTy::I64, x, c).unwrap();
+        prop_assert_eq!(got, ((x as i64) >> (c & 63)) as u64);
+    }
+
+    /// Bit flips on runtime values are involutive and stay in range.
+    #[test]
+    fn bit_flip_involution(x in any::<u64>(), bit in 0u32..8) {
+        let v = RtVal::Int(IntTy::I8, IntTy::I8.truncate(x));
+        let f = v.with_bit_flipped(bit);
+        prop_assert!(f.as_int() <= 0xff, "stays canonical");
+        prop_assert_eq!(f.with_bit_flipped(bit), v);
+    }
+}

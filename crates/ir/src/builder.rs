@@ -1,0 +1,253 @@
+//! Ergonomic construction of IR functions.
+//!
+//! [`FuncBuilder`] wraps a [`Function`] and appends instructions to a
+//! *current block*, inferring result types from operands where possible.
+//!
+//! ```
+//! use fiq_ir::{FuncBuilder, Function, Type, Value, BinOp};
+//!
+//! let mut f = Function::new("add1", vec![Type::i64()], Type::i64());
+//! let mut b = FuncBuilder::new(&mut f);
+//! let sum = b.binary(BinOp::Add, Value::Arg(0), Value::i64(1));
+//! b.ret(Some(sum));
+//! assert_eq!(f.live_inst_count(), 2);
+//! ```
+
+use crate::inst::{BinOp, Callee, CastOp, FCmpPred, ICmpPred, InstKind};
+use crate::module::Function;
+use crate::types::Type;
+use crate::value::{BlockId, InstId, Value};
+
+/// Builder that appends instructions to a function's blocks.
+#[derive(Debug)]
+pub struct FuncBuilder<'a> {
+    func: &'a mut Function,
+    cur: BlockId,
+}
+
+impl<'a> FuncBuilder<'a> {
+    /// Creates a builder positioned at the function's entry block.
+    pub fn new(func: &'a mut Function) -> FuncBuilder<'a> {
+        let cur = func.entry();
+        FuncBuilder { func, cur }
+    }
+
+    /// The block instructions are currently appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Moves the insertion point to `bb`.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.cur = bb;
+    }
+
+    /// Creates a new empty block (does not move the insertion point).
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Shared access to the function under construction.
+    pub fn func(&self) -> &Function {
+        self.func
+    }
+
+    /// The type of a value in the context of this function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an argument index is out of range.
+    pub fn value_type(&self, v: Value) -> Type {
+        match v {
+            Value::Inst(id) => self.func.inst(id).ty.clone(),
+            Value::Arg(n) => self.func.params[n as usize].clone(),
+            Value::Const(c) => c.ty(),
+        }
+    }
+
+    /// True if the current block already ends in a terminator.
+    pub fn is_terminated(&self) -> bool {
+        self.func
+            .block(self.cur)
+            .terminator()
+            .is_some_and(|t| self.func.inst(t).is_terminator())
+    }
+
+    fn push(&mut self, kind: InstKind, ty: Type) -> InstId {
+        debug_assert!(
+            !self.is_terminated(),
+            "appending to terminated block {} in {}",
+            self.cur,
+            self.func.name
+        );
+        let id = self.func.add_inst(kind, ty);
+        self.func.block_mut(self.cur).insts.push(id);
+        id
+    }
+
+    /// Emits a binary operation; the result type is the type of `lhs`.
+    pub fn binary(&mut self, op: BinOp, lhs: Value, rhs: Value) -> Value {
+        let ty = self.value_type(lhs);
+        Value::Inst(self.push(InstKind::Binary { op, lhs, rhs }, ty))
+    }
+
+    /// Emits an integer comparison (result `i1`).
+    pub fn icmp(&mut self, pred: ICmpPred, lhs: Value, rhs: Value) -> Value {
+        Value::Inst(self.push(InstKind::ICmp { pred, lhs, rhs }, Type::i1()))
+    }
+
+    /// Emits a floating-point comparison (result `i1`).
+    pub fn fcmp(&mut self, pred: FCmpPred, lhs: Value, rhs: Value) -> Value {
+        Value::Inst(self.push(InstKind::FCmp { pred, lhs, rhs }, Type::i1()))
+    }
+
+    /// Emits a cast of `val` to `to`.
+    pub fn cast(&mut self, op: CastOp, val: Value, to: Type) -> Value {
+        Value::Inst(self.push(InstKind::Cast { op, val }, to))
+    }
+
+    /// Emits a stack allocation of one `ty` (result: pointer).
+    pub fn alloca(&mut self, ty: Type) -> Value {
+        Value::Inst(self.push(InstKind::Alloca { ty }, Type::Ptr))
+    }
+
+    /// Emits a load of `ty` from `ptr`.
+    pub fn load(&mut self, ty: Type, ptr: Value) -> Value {
+        Value::Inst(self.push(InstKind::Load { ptr }, ty))
+    }
+
+    /// Emits a store of `val` to `ptr`.
+    pub fn store(&mut self, val: Value, ptr: Value) {
+        self.push(InstKind::Store { val, ptr }, Type::Void);
+    }
+
+    /// Emits an address computation (result: pointer).
+    pub fn gep(&mut self, elem_ty: Type, base: Value, indices: Vec<Value>) -> Value {
+        Value::Inst(self.push(
+            InstKind::Gep {
+                elem_ty,
+                base,
+                indices,
+            },
+            Type::Ptr,
+        ))
+    }
+
+    /// Emits a φ-node of type `ty`.
+    pub fn phi(&mut self, ty: Type, incomings: Vec<(BlockId, Value)>) -> Value {
+        Value::Inst(self.push(InstKind::Phi { incomings }, ty))
+    }
+
+    /// Emits a select (`cond ? then_val : else_val`); the result type is the
+    /// type of `then_val`.
+    pub fn select(&mut self, cond: Value, then_val: Value, else_val: Value) -> Value {
+        let ty = self.value_type(then_val);
+        Value::Inst(self.push(
+            InstKind::Select {
+                cond,
+                then_val,
+                else_val,
+            },
+            ty,
+        ))
+    }
+
+    /// Emits a call; `ret` is the callee's return type.
+    pub fn call(&mut self, callee: Callee, args: Vec<Value>, ret: Type) -> Value {
+        Value::Inst(self.push(InstKind::Call { callee, args }, ret))
+    }
+
+    /// Emits an unconditional branch (terminator).
+    pub fn br(&mut self, target: BlockId) {
+        self.push(InstKind::Br { target }, Type::Void);
+    }
+
+    /// Emits a conditional branch (terminator).
+    pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) {
+        self.push(
+            InstKind::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            },
+            Type::Void,
+        );
+    }
+
+    /// Emits a return (terminator).
+    pub fn ret(&mut self, val: Option<Value>) {
+        self.push(InstKind::Ret { val }, Type::Void);
+    }
+
+    /// Emits an `unreachable` terminator.
+    pub fn unreachable(&mut self) {
+        self.push(InstKind::Unreachable, Type::Void);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Function;
+
+    #[test]
+    fn builds_a_loop() {
+        // sum(n): s = 0; for i in 0..n { s += i }; return s
+        let mut f = Function::new("sum", vec![Type::i64()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let entry = b.current_block();
+        b.br(header);
+
+        b.switch_to(header);
+        let i = b.phi(Type::i64(), vec![(entry, Value::i64(0))]);
+        let s = b.phi(Type::i64(), vec![(entry, Value::i64(0))]);
+        let cond = b.icmp(ICmpPred::Slt, i, Value::Arg(0));
+        b.cond_br(cond, body, exit);
+
+        b.switch_to(body);
+        let s2 = b.binary(BinOp::Add, s, i);
+        let i2 = b.binary(BinOp::Add, i, Value::i64(1));
+        // Patch the phis with the back edge.
+        let (iid, sid) = (i.as_inst().unwrap(), s.as_inst().unwrap());
+        b.br(header);
+        if let InstKind::Phi { incomings } = &mut f.inst_mut(iid).kind {
+            incomings.push((body, i2));
+        }
+        if let InstKind::Phi { incomings } = &mut f.inst_mut(sid).kind {
+            incomings.push((body, s2));
+        }
+        let mut b = FuncBuilder::new(&mut f);
+        b.switch_to(exit);
+        b.ret(Some(s));
+
+        assert_eq!(f.blocks.len(), 4);
+        assert!(f.block(exit).terminator().is_some());
+        assert_eq!(f.successors(header), vec![body, exit]);
+    }
+
+    #[test]
+    fn value_types_inferred() {
+        let mut f = Function::new("t", vec![Type::f64()], Type::f64());
+        let mut b = FuncBuilder::new(&mut f);
+        let v = b.binary(BinOp::FMul, Value::Arg(0), Value::f64(2.0));
+        assert_eq!(b.value_type(v), Type::f64());
+        let c = b.fcmp(FCmpPred::Olt, v, Value::f64(1.0));
+        assert_eq!(b.value_type(c), Type::i1());
+        let p = b.alloca(Type::f64());
+        assert_eq!(b.value_type(p), Type::Ptr);
+        b.ret(Some(v));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "terminated block")]
+    fn append_after_terminator_panics() {
+        let mut f = Function::new("t", vec![], Type::Void);
+        let mut b = FuncBuilder::new(&mut f);
+        b.ret(None);
+        b.ret(None);
+    }
+}

@@ -1,0 +1,237 @@
+//! Dominator tree and dominance frontiers.
+//!
+//! Implements the Cooper–Harvey–Kennedy "simple, fast dominance" algorithm.
+//! Used by the verifier (SSA dominance checking) and by `mem2reg` (φ
+//! placement via iterated dominance frontiers).
+
+use crate::module::Function;
+use crate::value::BlockId;
+
+/// Immediate-dominator tree for the reachable blocks of a function.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` is the immediate dominator of block `b`; `None` for the
+    /// entry block and for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse postorder of reachable blocks.
+    rpo: Vec<BlockId>,
+    /// `rpo_index[b]` = position of `b` in `rpo`; `usize::MAX` if unreachable.
+    rpo_index: Vec<usize>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `func`.
+    pub fn compute(func: &Function) -> DomTree {
+        let n = func.blocks.len();
+        let rpo = func.reverse_postorder();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let preds = func.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[func.entry().index()] = Some(func.entry());
+
+        let intersect = |idom: &[Option<BlockId>], rpo_index: &[usize], a: BlockId, b: BlockId| {
+            let mut x = a;
+            let mut y = b;
+            while x != y {
+                while rpo_index[x.index()] > rpo_index[y.index()] {
+                    x = idom[x.index()].expect("processed block has idom");
+                }
+                while rpo_index[y.index()] > rpo_index[x.index()] {
+                    y = idom[y.index()].expect("processed block has idom");
+                }
+            }
+            x
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if rpo_index[p.index()] == usize::MAX {
+                        continue; // unreachable predecessor
+                    }
+                    if idom[p.index()].is_none() {
+                        continue; // not yet processed this round
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Entry's idom is conventionally None for callers.
+        idom[func.entry().index()] = None;
+        DomTree {
+            idom,
+            rpo,
+            rpo_index,
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry or unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// True if block `a` dominates block `b` (every block dominates itself).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()] != usize::MAX || b == BlockId(0)
+    }
+
+    /// Reachable blocks in reverse postorder.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Computes dominance frontiers: `df[b]` is the set of blocks where
+    /// `b`'s dominance stops.
+    pub fn dominance_frontiers(&self, func: &Function) -> Vec<Vec<BlockId>> {
+        let n = func.blocks.len();
+        let preds = func.predecessors();
+        let mut df: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for &b in &self.rpo {
+            let bp = &preds[b.index()];
+            if bp.len() < 2 {
+                continue;
+            }
+            let Some(id) = self.idom(b) else { continue };
+            for &p in bp {
+                if !self.is_reachable(p) {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != id {
+                    let dfr = &mut df[runner.index()];
+                    if !dfr.contains(&b) {
+                        dfr.push(b);
+                    }
+                    match self.idom(runner) {
+                        Some(next) => runner = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+        df
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::InstKind;
+    use crate::types::Type;
+    use crate::value::Value;
+    use crate::FuncBuilder;
+
+    /// entry(0) -> a(1), b(2); a,b -> join(3); join -> ret
+    fn diamond() -> Function {
+        let mut f = Function::new("d", vec![Type::i1()], Type::Void);
+        let mut bld = FuncBuilder::new(&mut f);
+        let a = bld.new_block();
+        let b = bld.new_block();
+        let join = bld.new_block();
+        bld.cond_br(Value::Arg(0), a, b);
+        bld.switch_to(a);
+        bld.br(join);
+        bld.switch_to(b);
+        bld.br(join);
+        bld.switch_to(join);
+        bld.ret(None);
+        f
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom(BlockId(0)), None);
+        assert_eq!(dt.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dt.dominates(BlockId(0), BlockId(3)));
+        assert!(!dt.dominates(BlockId(1), BlockId(3)));
+        assert!(dt.dominates(BlockId(1), BlockId(1)));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        let df = dt.dominance_frontiers(&f);
+        assert_eq!(df[1], vec![BlockId(3)]);
+        assert_eq!(df[2], vec![BlockId(3)]);
+        assert!(df[0].is_empty());
+        assert!(df[3].is_empty());
+    }
+
+    #[test]
+    fn loop_dominance() {
+        // entry(0) -> header(1); header -> body(2), exit(3); body -> header
+        let mut f = Function::new("l", vec![Type::i1()], Type::Void);
+        let mut bld = FuncBuilder::new(&mut f);
+        let header = bld.new_block();
+        let body = bld.new_block();
+        let exit = bld.new_block();
+        bld.br(header);
+        bld.switch_to(header);
+        bld.cond_br(Value::Arg(0), body, exit);
+        bld.switch_to(body);
+        bld.br(header);
+        bld.switch_to(exit);
+        bld.ret(None);
+
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom(header), Some(BlockId(0)));
+        assert_eq!(dt.idom(body), Some(header));
+        assert_eq!(dt.idom(exit), Some(header));
+        // Back edge: header is in body's dominance frontier.
+        let df = dt.dominance_frontiers(&f);
+        assert_eq!(df[body.index()], vec![header]);
+        assert_eq!(df[header.index()], vec![header]);
+    }
+
+    #[test]
+    fn unreachable_block_handled() {
+        let mut f = Function::new("u", vec![], Type::Void);
+        let mut bld = FuncBuilder::new(&mut f);
+        let dead = bld.new_block();
+        bld.ret(None);
+        bld.switch_to(dead);
+        bld.ret(None);
+        let dt = DomTree::compute(&f);
+        assert!(!dt.is_reachable(dead));
+        assert!(!dt.dominates(BlockId(0), dead));
+        let _ = f.add_inst(InstKind::Unreachable, Type::Void);
+    }
+}

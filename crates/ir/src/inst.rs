@@ -1,0 +1,764 @@
+//! IR instructions.
+
+use crate::types::Type;
+use crate::value::{BlockId, FuncId, Value};
+use std::fmt;
+
+/// Binary (two-operand) arithmetic and logic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer addition (wrapping).
+    Add,
+    /// Integer subtraction (wrapping).
+    Sub,
+    /// Integer multiplication (wrapping).
+    Mul,
+    /// Signed integer division. Traps on division by zero or overflow.
+    SDiv,
+    /// Unsigned integer division. Traps on division by zero.
+    UDiv,
+    /// Signed remainder. Traps on division by zero or overflow.
+    SRem,
+    /// Unsigned remainder. Traps on division by zero.
+    URem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount taken modulo bit width).
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right.
+    AShr,
+    /// Floating-point addition.
+    FAdd,
+    /// Floating-point subtraction.
+    FSub,
+    /// Floating-point multiplication.
+    FMul,
+    /// Floating-point division (IEEE: produces inf/nan, never traps).
+    FDiv,
+}
+
+impl BinOp {
+    /// True for the floating-point operators.
+    pub fn is_float(self) -> bool {
+        matches!(self, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv)
+    }
+
+    /// True for operators that can trap at runtime (integer division family).
+    pub fn can_trap(self) -> bool {
+        matches!(self, BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem)
+    }
+
+    /// Mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::SDiv => "sdiv",
+            BinOp::UDiv => "udiv",
+            BinOp::SRem => "srem",
+            BinOp::URem => "urem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Integer comparison predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ICmpPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Unsigned greater-than.
+    Ugt,
+    /// Unsigned greater-or-equal.
+    Uge,
+}
+
+impl ICmpPred {
+    /// Mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ICmpPred::Eq => "eq",
+            ICmpPred::Ne => "ne",
+            ICmpPred::Slt => "slt",
+            ICmpPred::Sle => "sle",
+            ICmpPred::Sgt => "sgt",
+            ICmpPred::Sge => "sge",
+            ICmpPred::Ult => "ult",
+            ICmpPred::Ule => "ule",
+            ICmpPred::Ugt => "ugt",
+            ICmpPred::Uge => "uge",
+        }
+    }
+
+    /// The predicate with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> ICmpPred {
+        match self {
+            ICmpPred::Eq => ICmpPred::Eq,
+            ICmpPred::Ne => ICmpPred::Ne,
+            ICmpPred::Slt => ICmpPred::Sgt,
+            ICmpPred::Sle => ICmpPred::Sge,
+            ICmpPred::Sgt => ICmpPred::Slt,
+            ICmpPred::Sge => ICmpPred::Sle,
+            ICmpPred::Ult => ICmpPred::Ugt,
+            ICmpPred::Ule => ICmpPred::Uge,
+            ICmpPred::Ugt => ICmpPred::Ult,
+            ICmpPred::Uge => ICmpPred::Ule,
+        }
+    }
+
+    /// The logically negated predicate (`!(a < b)` ⇔ `a >= b`).
+    pub fn negated(self) -> ICmpPred {
+        match self {
+            ICmpPred::Eq => ICmpPred::Ne,
+            ICmpPred::Ne => ICmpPred::Eq,
+            ICmpPred::Slt => ICmpPred::Sge,
+            ICmpPred::Sle => ICmpPred::Sgt,
+            ICmpPred::Sgt => ICmpPred::Sle,
+            ICmpPred::Sge => ICmpPred::Slt,
+            ICmpPred::Ult => ICmpPred::Uge,
+            ICmpPred::Ule => ICmpPred::Ugt,
+            ICmpPred::Ugt => ICmpPred::Ule,
+            ICmpPred::Uge => ICmpPred::Ult,
+        }
+    }
+}
+
+impl fmt::Display for ICmpPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Floating-point comparison predicates (ordered: false if either is NaN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FCmpPred {
+    /// Ordered equal.
+    Oeq,
+    /// Ordered not-equal (true also when unordered, matching C `!=`).
+    One,
+    /// Ordered less-than.
+    Olt,
+    /// Ordered less-or-equal.
+    Ole,
+    /// Ordered greater-than.
+    Ogt,
+    /// Ordered greater-or-equal.
+    Oge,
+}
+
+impl FCmpPred {
+    /// Mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FCmpPred::Oeq => "oeq",
+            FCmpPred::One => "one",
+            FCmpPred::Olt => "olt",
+            FCmpPred::Ole => "ole",
+            FCmpPred::Ogt => "ogt",
+            FCmpPred::Oge => "oge",
+        }
+    }
+}
+
+impl fmt::Display for FCmpPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Type conversion operators.
+///
+/// The fault-injection study cares about the distinction between
+/// *value-converting* casts (which correspond to real machine instructions,
+/// e.g. `cvtsi2sd`) and *bookkeeping* casts (`bitcast`, which exists only in
+/// the typed IR) — see Table I of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastOp {
+    /// Integer truncation to a narrower type.
+    Trunc,
+    /// Zero extension to a wider integer type.
+    ZExt,
+    /// Sign extension to a wider integer type.
+    SExt,
+    /// Float to signed integer (round toward zero).
+    FpToSi,
+    /// Signed integer to float.
+    SiToFp,
+    /// f64 → f32.
+    FpTrunc,
+    /// f32 → f64.
+    FpExt,
+    /// Pointer to integer.
+    PtrToInt,
+    /// Integer to pointer.
+    IntToPtr,
+    /// Reinterpret bits between same-width first-class types.
+    Bitcast,
+}
+
+impl CastOp {
+    /// Mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CastOp::Trunc => "trunc",
+            CastOp::ZExt => "zext",
+            CastOp::SExt => "sext",
+            CastOp::FpToSi => "fptosi",
+            CastOp::SiToFp => "sitofp",
+            CastOp::FpTrunc => "fptrunc",
+            CastOp::FpExt => "fpext",
+            CastOp::PtrToInt => "ptrtoint",
+            CastOp::IntToPtr => "inttoptr",
+            CastOp::Bitcast => "bitcast",
+        }
+    }
+
+    /// True for conversions that have a direct machine-level counterpart
+    /// (integer/floating-point value conversions), per Table I row 5.
+    pub fn is_value_conversion(self) -> bool {
+        !matches!(self, CastOp::Bitcast)
+    }
+}
+
+impl fmt::Display for CastOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Built-in runtime functions the program can call.
+///
+/// These model libc/runtime services: program output (used for SDC
+/// detection) and a couple of math routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// Print a signed 64-bit integer followed by a newline.
+    PrintI64,
+    /// Print an f64 in `%.6e`-style scientific notation followed by newline.
+    PrintF64,
+    /// Print a single byte (character).
+    PrintChar,
+    /// `f64 sqrt(f64)`.
+    Sqrt,
+    /// `f64 fabs(f64)`.
+    Fabs,
+    /// `f64 floor(f64)`.
+    Floor,
+    /// `f64 sin(f64)`.
+    Sin,
+    /// `f64 cos(f64)`.
+    Cos,
+    /// `f64 exp(f64)`.
+    Exp,
+    /// `f64 log(f64)`.
+    Log,
+    /// Abort execution with an error (models `abort()`); always traps.
+    Abort,
+}
+
+impl Intrinsic {
+    /// The runtime name, as spelled in source programs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::PrintI64 => "print_i64",
+            Intrinsic::PrintF64 => "print_f64",
+            Intrinsic::PrintChar => "print_char",
+            Intrinsic::Sqrt => "sqrt",
+            Intrinsic::Fabs => "fabs",
+            Intrinsic::Floor => "floor",
+            Intrinsic::Sin => "sin",
+            Intrinsic::Cos => "cos",
+            Intrinsic::Exp => "exp",
+            Intrinsic::Log => "log",
+            Intrinsic::Abort => "abort",
+        }
+    }
+
+    /// Looks up an intrinsic by its source-level name.
+    pub fn by_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "print_i64" => Intrinsic::PrintI64,
+            "print_f64" => Intrinsic::PrintF64,
+            "print_char" => Intrinsic::PrintChar,
+            "sqrt" => Intrinsic::Sqrt,
+            "fabs" => Intrinsic::Fabs,
+            "floor" => Intrinsic::Floor,
+            "sin" => Intrinsic::Sin,
+            "cos" => Intrinsic::Cos,
+            "exp" => Intrinsic::Exp,
+            "log" => Intrinsic::Log,
+            "abort" => Intrinsic::Abort,
+            _ => return None,
+        })
+    }
+
+    /// Parameter types.
+    pub fn param_types(self) -> Vec<Type> {
+        match self {
+            Intrinsic::PrintI64 => vec![Type::i64()],
+            Intrinsic::PrintChar => vec![Type::i64()],
+            Intrinsic::PrintF64
+            | Intrinsic::Sqrt
+            | Intrinsic::Fabs
+            | Intrinsic::Floor
+            | Intrinsic::Sin
+            | Intrinsic::Cos
+            | Intrinsic::Exp
+            | Intrinsic::Log => vec![Type::f64()],
+            Intrinsic::Abort => vec![],
+        }
+    }
+
+    /// Result type.
+    pub fn ret_type(self) -> Type {
+        match self {
+            Intrinsic::Sqrt
+            | Intrinsic::Fabs
+            | Intrinsic::Floor
+            | Intrinsic::Sin
+            | Intrinsic::Cos
+            | Intrinsic::Exp
+            | Intrinsic::Log => Type::f64(),
+            _ => Type::Void,
+        }
+    }
+}
+
+/// The callee of a [`InstKind::Call`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// A function defined in the module.
+    Func(FuncId),
+    /// A runtime intrinsic.
+    Intrinsic(Intrinsic),
+}
+
+/// The operation performed by an instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstKind {
+    /// Two-operand arithmetic/logic.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// Integer comparison producing `i1`.
+    ICmp {
+        /// The predicate.
+        pred: ICmpPred,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// Floating-point comparison producing `i1`.
+    FCmp {
+        /// The predicate.
+        pred: FCmpPred,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// Type conversion.
+    Cast {
+        /// The conversion operator.
+        op: CastOp,
+        /// The value being converted.
+        val: Value,
+    },
+    /// Stack allocation in the current function frame; yields a pointer.
+    Alloca {
+        /// The type allocated (one instance).
+        ty: Type,
+    },
+    /// Memory load; the instruction's type is the loaded type.
+    Load {
+        /// Address to load from.
+        ptr: Value,
+    },
+    /// Memory store (no result).
+    Store {
+        /// The value stored.
+        val: Value,
+        /// Address to store to.
+        ptr: Value,
+    },
+    /// Address computation: `base + Σ index_i * stride_i` (see
+    /// `getelementptr` in LLVM). `elem_ty` is the type `base` points at.
+    ///
+    /// The first index scales by `elem_ty.size()`; a subsequent index steps
+    /// either into an array element or (when the constant-index form names a
+    /// struct field) to a field offset.
+    Gep {
+        /// The pointee type used for scaling.
+        elem_ty: Type,
+        /// Base address.
+        base: Value,
+        /// Indices (see above).
+        indices: Vec<Value>,
+    },
+    /// SSA φ-node: selects a value based on the predecessor block.
+    Phi {
+        /// `(predecessor, value)` pairs, one per incoming CFG edge.
+        incomings: Vec<(BlockId, Value)>,
+    },
+    /// Conditional value selection (ternary operator).
+    Select {
+        /// `i1` condition.
+        cond: Value,
+        /// Value when true.
+        then_val: Value,
+        /// Value when false.
+        else_val: Value,
+    },
+    /// Function call.
+    Call {
+        /// Callee (module function or intrinsic).
+        callee: Callee,
+        /// Actual arguments.
+        args: Vec<Value>,
+    },
+    /// Unconditional branch (terminator).
+    Br {
+        /// Jump target.
+        target: BlockId,
+    },
+    /// Conditional branch (terminator).
+    CondBr {
+        /// `i1` condition.
+        cond: Value,
+        /// Target when true.
+        then_bb: BlockId,
+        /// Target when false.
+        else_bb: BlockId,
+    },
+    /// Function return (terminator).
+    Ret {
+        /// Returned value; `None` for void functions.
+        val: Option<Value>,
+    },
+    /// Marks unreachable code (terminator); executing it is a trap.
+    Unreachable,
+}
+
+/// An instruction: an [`InstKind`] plus its result type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// What the instruction does.
+    pub kind: InstKind,
+    /// The result type ([`Type::Void`] if it produces no value).
+    pub ty: Type,
+}
+
+impl Inst {
+    /// True for block terminators.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self.kind,
+            InstKind::Br { .. }
+                | InstKind::CondBr { .. }
+                | InstKind::Ret { .. }
+                | InstKind::Unreachable
+        )
+    }
+
+    /// True if the instruction produces a first-class value.
+    pub fn has_result(&self) -> bool {
+        self.ty != Type::Void
+    }
+
+    /// True if the instruction has side effects (must not be removed by DCE
+    /// even when its result is unused).
+    pub fn has_side_effects(&self) -> bool {
+        match &self.kind {
+            InstKind::Store { .. } | InstKind::Call { .. } => true,
+            InstKind::Binary { op, .. } => op.can_trap(),
+            InstKind::Load { .. } => true, // may trap on a bad address
+            _ => self.is_terminator(),
+        }
+    }
+
+    /// Invokes `f` on every operand [`Value`].
+    pub fn for_each_operand(&self, mut f: impl FnMut(Value)) {
+        match &self.kind {
+            InstKind::Binary { lhs, rhs, .. }
+            | InstKind::ICmp { lhs, rhs, .. }
+            | InstKind::FCmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            InstKind::Cast { val, .. } => f(*val),
+            InstKind::Alloca { .. } => {}
+            InstKind::Load { ptr } => f(*ptr),
+            InstKind::Store { val, ptr } => {
+                f(*val);
+                f(*ptr);
+            }
+            InstKind::Gep { base, indices, .. } => {
+                f(*base);
+                for idx in indices {
+                    f(*idx);
+                }
+            }
+            InstKind::Phi { incomings } => {
+                for (_, v) in incomings {
+                    f(*v);
+                }
+            }
+            InstKind::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                f(*cond);
+                f(*then_val);
+                f(*else_val);
+            }
+            InstKind::Call { args, .. } => {
+                for a in args {
+                    f(*a);
+                }
+            }
+            InstKind::Br { .. } => {}
+            InstKind::CondBr { cond, .. } => f(*cond),
+            InstKind::Ret { val } => {
+                if let Some(v) = val {
+                    f(*v);
+                }
+            }
+            InstKind::Unreachable => {}
+        }
+    }
+
+    /// Invokes `f` on a mutable reference to every operand [`Value`],
+    /// allowing rewrites (used by optimization passes).
+    pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut Value)) {
+        match &mut self.kind {
+            InstKind::Binary { lhs, rhs, .. }
+            | InstKind::ICmp { lhs, rhs, .. }
+            | InstKind::FCmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            InstKind::Cast { val, .. } => f(val),
+            InstKind::Alloca { .. } => {}
+            InstKind::Load { ptr } => f(ptr),
+            InstKind::Store { val, ptr } => {
+                f(val);
+                f(ptr);
+            }
+            InstKind::Gep { base, indices, .. } => {
+                f(base);
+                for idx in indices {
+                    f(idx);
+                }
+            }
+            InstKind::Phi { incomings } => {
+                for (_, v) in incomings {
+                    f(v);
+                }
+            }
+            InstKind::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                f(cond);
+                f(then_val);
+                f(else_val);
+            }
+            InstKind::Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            InstKind::Br { .. } => {}
+            InstKind::CondBr { cond, .. } => f(cond),
+            InstKind::Ret { val } => {
+                if let Some(v) = val {
+                    f(v);
+                }
+            }
+            InstKind::Unreachable => {}
+        }
+    }
+
+    /// The CFG successors of a terminator (empty for non-terminators).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match &self.kind {
+            InstKind::Br { target } => vec![*target],
+            InstKind::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Short opcode name for printing and instruction categorization.
+    pub fn opcode_name(&self) -> &'static str {
+        match &self.kind {
+            InstKind::Binary { op, .. } => op.mnemonic(),
+            InstKind::ICmp { .. } => "icmp",
+            InstKind::FCmp { .. } => "fcmp",
+            InstKind::Cast { op, .. } => op.mnemonic(),
+            InstKind::Alloca { .. } => "alloca",
+            InstKind::Load { .. } => "load",
+            InstKind::Store { .. } => "store",
+            InstKind::Gep { .. } => "getelementptr",
+            InstKind::Phi { .. } => "phi",
+            InstKind::Select { .. } => "select",
+            InstKind::Call { .. } => "call",
+            InstKind::Br { .. } => "br",
+            InstKind::CondBr { .. } => "condbr",
+            InstKind::Ret { .. } => "ret",
+            InstKind::Unreachable => "unreachable",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_inst() -> Inst {
+        Inst {
+            kind: InstKind::Binary {
+                op: BinOp::Add,
+                lhs: Value::i64(1),
+                rhs: Value::i64(2),
+            },
+            ty: Type::i64(),
+        }
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(!add_inst().is_terminator());
+        let ret = Inst {
+            kind: InstKind::Ret { val: None },
+            ty: Type::Void,
+        };
+        assert!(ret.is_terminator());
+        assert!(ret.has_side_effects());
+    }
+
+    #[test]
+    fn operand_iteration() {
+        let inst = add_inst();
+        let mut ops = Vec::new();
+        inst.for_each_operand(|v| ops.push(v));
+        assert_eq!(ops, vec![Value::i64(1), Value::i64(2)]);
+    }
+
+    #[test]
+    fn operand_rewrite() {
+        let mut inst = add_inst();
+        inst.for_each_operand_mut(|v| *v = Value::i64(9));
+        let mut ops = Vec::new();
+        inst.for_each_operand(|v| ops.push(v));
+        assert_eq!(ops, vec![Value::i64(9), Value::i64(9)]);
+    }
+
+    #[test]
+    fn successors() {
+        let br = Inst {
+            kind: InstKind::CondBr {
+                cond: Value::bool(true),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2),
+            },
+            ty: Type::Void,
+        };
+        assert_eq!(br.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(add_inst().successors().is_empty());
+    }
+
+    #[test]
+    fn pred_algebra() {
+        assert_eq!(ICmpPred::Slt.swapped(), ICmpPred::Sgt);
+        assert_eq!(ICmpPred::Slt.negated(), ICmpPred::Sge);
+        assert_eq!(ICmpPred::Eq.swapped(), ICmpPred::Eq);
+        for p in [
+            ICmpPred::Eq,
+            ICmpPred::Ne,
+            ICmpPred::Slt,
+            ICmpPred::Sle,
+            ICmpPred::Sgt,
+            ICmpPred::Sge,
+            ICmpPred::Ult,
+            ICmpPred::Ule,
+            ICmpPred::Ugt,
+            ICmpPred::Uge,
+        ] {
+            assert_eq!(p.negated().negated(), p);
+            assert_eq!(p.swapped().swapped(), p);
+        }
+    }
+
+    #[test]
+    fn intrinsic_lookup_roundtrip() {
+        for i in [
+            Intrinsic::PrintI64,
+            Intrinsic::PrintF64,
+            Intrinsic::PrintChar,
+            Intrinsic::Sqrt,
+            Intrinsic::Fabs,
+            Intrinsic::Floor,
+            Intrinsic::Sin,
+            Intrinsic::Cos,
+            Intrinsic::Exp,
+            Intrinsic::Log,
+            Intrinsic::Abort,
+        ] {
+            assert_eq!(Intrinsic::by_name(i.name()), Some(i));
+        }
+        assert_eq!(Intrinsic::by_name("nope"), None);
+    }
+
+    #[test]
+    fn cast_value_conversion() {
+        assert!(CastOp::SiToFp.is_value_conversion());
+        assert!(CastOp::PtrToInt.is_value_conversion());
+        assert!(!CastOp::Bitcast.is_value_conversion());
+    }
+}

@@ -1,0 +1,49 @@
+//! # fiq-ir — a typed, SSA, LLVM-like intermediate representation
+//!
+//! This crate is the "high level" of the fault-injection accuracy study
+//! (Wei et al., *Quantifying the Accuracy of High-Level Fault Injection
+//! Techniques for Hardware Faults*, DSN 2014). It deliberately mirrors the
+//! LLVM IR features that drive the paper's IR-vs-assembly discrepancies:
+//!
+//! * [`InstKind::Gep`] — explicit address arithmetic that backends may fold
+//!   into memory addressing modes (Table I row 1),
+//! * [`InstKind::Phi`] — value merging that may lower to register spills
+//!   (Table I row 2),
+//! * a rich [`CastOp`] family in a strictly-typed IR (Table I row 5),
+//! * no stack-pointer or call-frame manipulation (Table I rows 3–4).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fiq_ir::{BinOp, Callee, FuncBuilder, Function, Intrinsic, Module, Type, Value};
+//!
+//! let mut module = Module::new("demo");
+//! let mut main = Function::new("main", vec![], Type::Void);
+//! let mut b = FuncBuilder::new(&mut main);
+//! let v = b.binary(BinOp::Add, Value::i64(40), Value::i64(2));
+//! b.call(Callee::Intrinsic(Intrinsic::PrintI64), vec![v], Type::Void);
+//! b.ret(None);
+//! module.add_func(main);
+//! fiq_ir::verify_module(&module)?;
+//! # Ok::<(), fiq_ir::VerifyError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod dom;
+mod inst;
+mod module;
+mod print;
+mod types;
+mod value;
+mod verify;
+
+pub use builder::FuncBuilder;
+pub use dom::DomTree;
+pub use inst::{BinOp, Callee, CastOp, FCmpPred, ICmpPred, Inst, InstKind, Intrinsic};
+pub use module::{Block, Function, Global, GlobalInit, Module};
+pub use print::display_function;
+pub use types::{round_up, FloatTy, IntTy, Type};
+pub use value::{BlockId, Constant, FuncId, GlobalId, InstId, Value};
+pub use verify::{verify_function, verify_module, VerifyError};

@@ -1,0 +1,406 @@
+//! Modules, functions, basic blocks, and globals.
+
+use crate::inst::{Inst, InstKind};
+use crate::types::Type;
+use crate::value::{BlockId, FuncId, GlobalId, InstId, Value};
+
+/// The initializer of a [`Global`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalInit {
+    /// Zero-initialized storage.
+    Zeroed,
+    /// Explicit little-endian byte image (must not exceed the global's size;
+    /// the remainder is zero-filled).
+    Bytes(Vec<u8>),
+}
+
+impl GlobalInit {
+    /// Byte image for a slice of `i64`s.
+    pub fn from_i64s(vals: &[i64]) -> GlobalInit {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        GlobalInit::Bytes(bytes)
+    }
+
+    /// Byte image for a slice of `f64`s.
+    pub fn from_f64s(vals: &[f64]) -> GlobalInit {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        GlobalInit::Bytes(bytes)
+    }
+}
+
+/// A module-level global variable.
+#[derive(Debug, Clone)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// The stored type (determines size and alignment).
+    pub ty: Type,
+    /// Initial contents.
+    pub init: GlobalInit,
+}
+
+/// A basic block: a straight-line sequence of instructions ending in a
+/// terminator.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Instruction ids in execution order. The verifier enforces that the
+    /// last (and only the last) is a terminator and φ-nodes lead the block.
+    pub insts: Vec<InstId>,
+}
+
+impl Block {
+    /// The terminator instruction id, if the block is non-empty.
+    pub fn terminator(&self) -> Option<InstId> {
+        self.insts.last().copied()
+    }
+}
+
+/// A function: a CFG of basic blocks over an instruction arena.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Formal parameter types.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+    /// All instructions, indexed by [`InstId`]. Instructions removed by
+    /// passes stay in the arena but are detached from all blocks.
+    pub insts: Vec<Inst>,
+    /// Basic blocks, indexed by [`BlockId`]. Block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Creates an empty function with a single (empty) entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Type>, ret: Type) -> Function {
+        Function {
+            name: name.into(),
+            params,
+            ret,
+            insts: Vec::new(),
+            blocks: vec![Block::default()],
+        }
+    }
+
+    /// The entry block id (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Shared access to an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// Mutable access to an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.index()]
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Appends a fresh empty block and returns its id.
+    pub fn add_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Adds an instruction to the arena (not yet placed in any block).
+    pub fn add_inst(&mut self, kind: InstKind, ty: Type) -> InstId {
+        self.insts.push(Inst { kind, ty });
+        InstId((self.insts.len() - 1) as u32)
+    }
+
+    /// Iterator over all block ids.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// CFG successors of `bb` (from its terminator).
+    pub fn successors(&self, bb: BlockId) -> Vec<BlockId> {
+        match self.block(bb).terminator() {
+            Some(t) => self.inst(t).successors(),
+            None => Vec::new(),
+        }
+    }
+
+    /// CFG predecessor lists for every block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for bb in self.block_ids() {
+            for succ in self.successors(bb) {
+                preds[succ.index()].push(bb);
+            }
+        }
+        preds
+    }
+
+    /// Number of uses of each instruction's result by instructions that are
+    /// currently attached to a block.
+    pub fn use_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.insts.len()];
+        for bb in &self.blocks {
+            for &id in &bb.insts {
+                self.inst(id).for_each_operand(|v| {
+                    if let Value::Inst(def) = v {
+                        counts[def.index()] += 1;
+                    }
+                });
+            }
+        }
+        counts
+    }
+
+    /// Total number of instructions attached to blocks.
+    pub fn live_inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Blocks in reverse postorder from the entry (unreachable blocks
+    /// excluded). A classic analysis order: definitions precede uses for
+    /// reducible, verified SSA.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit stack of (block, next-successor-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry(), 0)];
+        visited[self.entry().index()] = true;
+        while let Some((bb, i)) = stack.pop() {
+            let succs = self.successors(bb);
+            if i < succs.len() {
+                stack.push((bb, i + 1));
+                let s = succs[i];
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(bb);
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+/// A whole program: globals plus functions.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Module name (used in printing and error messages).
+    pub name: String,
+    /// Global variables, indexed by [`GlobalId`].
+    pub globals: Vec<Global>,
+    /// Functions, indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            globals: Vec::new(),
+            funcs: Vec::new(),
+        }
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_func(&mut self, f: Function) -> FuncId {
+        self.funcs.push(f);
+        FuncId((self.funcs.len() - 1) as u32)
+    }
+
+    /// Adds a global, returning its id.
+    pub fn add_global(&mut self, g: Global) -> GlobalId {
+        self.globals.push(g);
+        GlobalId((self.globals.len() - 1) as u32)
+    }
+
+    /// Shared access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Shared access to a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// Finds a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// The `main` function, the program entry point.
+    pub fn main_func(&self) -> Option<FuncId> {
+        self.func_by_name("main")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, InstKind};
+
+    fn diamond() -> Function {
+        // entry -> {a, b} -> join
+        let mut f = Function::new("d", vec![Type::i64()], Type::i64());
+        let a = f.add_block();
+        let b = f.add_block();
+        let join = f.add_block();
+        let cond = f.add_inst(
+            InstKind::ICmp {
+                pred: crate::ICmpPred::Slt,
+                lhs: Value::Arg(0),
+                rhs: Value::i64(0),
+            },
+            Type::i1(),
+        );
+        let br = f.add_inst(
+            InstKind::CondBr {
+                cond: Value::Inst(cond),
+                then_bb: a,
+                else_bb: b,
+            },
+            Type::Void,
+        );
+        f.block_mut(BlockId(0)).insts.extend([cond, br]);
+        let ja = f.add_inst(InstKind::Br { target: join }, Type::Void);
+        f.block_mut(a).insts.push(ja);
+        let jb = f.add_inst(InstKind::Br { target: join }, Type::Void);
+        f.block_mut(b).insts.push(jb);
+        let ret = f.add_inst(
+            InstKind::Ret {
+                val: Some(Value::Arg(0)),
+            },
+            Type::Void,
+        );
+        f.block_mut(join).insts.push(ret);
+        f
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let f = diamond();
+        assert_eq!(f.successors(BlockId(0)), vec![BlockId(1), BlockId(2)]);
+        let preds = f.predecessors();
+        assert_eq!(preds[3], vec![BlockId(1), BlockId(2)]);
+        assert!(preds[0].is_empty());
+    }
+
+    #[test]
+    fn reverse_postorder_entry_first_join_last() {
+        let f = diamond();
+        let rpo = f.reverse_postorder();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+    }
+
+    #[test]
+    fn use_counts() {
+        let mut f = Function::new("u", vec![], Type::i64());
+        let a = f.add_inst(
+            InstKind::Binary {
+                op: BinOp::Add,
+                lhs: Value::i64(1),
+                rhs: Value::i64(2),
+            },
+            Type::i64(),
+        );
+        let b = f.add_inst(
+            InstKind::Binary {
+                op: BinOp::Mul,
+                lhs: Value::Inst(a),
+                rhs: Value::Inst(a),
+            },
+            Type::i64(),
+        );
+        let r = f.add_inst(
+            InstKind::Ret {
+                val: Some(Value::Inst(b)),
+            },
+            Type::Void,
+        );
+        let entry = f.entry();
+        f.block_mut(entry).insts.extend([a, b, r]);
+        let counts = f.use_counts();
+        assert_eq!(counts[a.index()], 2);
+        assert_eq!(counts[b.index()], 1);
+        assert_eq!(counts[r.index()], 0);
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new("test");
+        let id = m.add_func(Function::new("main", vec![], Type::Void));
+        assert_eq!(m.func_by_name("main"), Some(id));
+        assert_eq!(m.main_func(), Some(id));
+        assert_eq!(m.func_by_name("other"), None);
+    }
+
+    #[test]
+    fn global_init_helpers() {
+        let GlobalInit::Bytes(b) = GlobalInit::from_i64s(&[1, -1]) else {
+            panic!()
+        };
+        assert_eq!(b.len(), 16);
+        assert_eq!(&b[0..8], &1i64.to_le_bytes());
+        let GlobalInit::Bytes(b) = GlobalInit::from_f64s(&[1.5]) else {
+            panic!()
+        };
+        assert_eq!(&b[..], &1.5f64.to_bits().to_le_bytes());
+    }
+}

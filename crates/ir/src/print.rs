@@ -1,0 +1,171 @@
+//! Textual printing of IR modules (LLVM-assembly-like format).
+//!
+//! The format is for humans and tests; there is intentionally no parser.
+
+use crate::inst::{Callee, InstKind};
+use crate::module::{Function, GlobalInit, Module};
+use crate::value::BlockId;
+use std::fmt::{self, Write as _};
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; module {}", self.name)?;
+        for (i, g) in self.globals.iter().enumerate() {
+            let init = match &g.init {
+                GlobalInit::Zeroed => "zeroinitializer".to_string(),
+                GlobalInit::Bytes(b) => format!("<{} bytes>", b.len()),
+            };
+            writeln!(f, "@g{i} = global {} {} ; \"{}\"", g.ty, init, g.name)?;
+        }
+        for func in &self.funcs {
+            writeln!(f)?;
+            write!(f, "{}", display_function(self, func))?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders one function as text (callee names resolved via `module`).
+pub fn display_function(module: &Module, func: &Function) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "define {} @{}(", func.ret, func.name);
+    for (i, p) in func.params.iter().enumerate() {
+        if i > 0 {
+            let _ = write!(out, ", ");
+        }
+        let _ = write!(out, "{p} %arg{i}");
+    }
+    let _ = writeln!(out, ") {{");
+    for bb in func.block_ids() {
+        let _ = writeln!(out, "{bb}:");
+        for &id in &func.block(bb).insts {
+            let _ = writeln!(out, "  {}", format_inst(module, func, bb, id));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn format_inst(module: &Module, func: &Function, _bb: BlockId, id: crate::value::InstId) -> String {
+    let inst = func.inst(id);
+    let dest = if inst.has_result() {
+        format!("{id} = ")
+    } else {
+        String::new()
+    };
+    let body = match &inst.kind {
+        InstKind::Binary { op, lhs, rhs } => format!("{op} {} {lhs}, {rhs}", inst.ty),
+        InstKind::ICmp { pred, lhs, rhs } => format!("icmp {pred} {lhs}, {rhs}"),
+        InstKind::FCmp { pred, lhs, rhs } => format!("fcmp {pred} {lhs}, {rhs}"),
+        InstKind::Cast { op, val } => format!("{op} {val} to {}", inst.ty),
+        InstKind::Alloca { ty } => format!("alloca {ty}"),
+        InstKind::Load { ptr } => format!("load {}, {ptr}", inst.ty),
+        InstKind::Store { val, ptr } => format!("store {val}, {ptr}"),
+        InstKind::Gep {
+            elem_ty,
+            base,
+            indices,
+        } => {
+            let mut s = format!("getelementptr {elem_ty}, {base}");
+            for i in indices {
+                let _ = write!(s, ", {i}");
+            }
+            s
+        }
+        InstKind::Phi { incomings } => {
+            let mut s = format!("phi {} ", inst.ty);
+            for (i, (pb, v)) in incomings.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(s, ", ");
+                }
+                let _ = write!(s, "[{v}, {pb}]");
+            }
+            s
+        }
+        InstKind::Select {
+            cond,
+            then_val,
+            else_val,
+        } => format!("select {cond}, {then_val}, {else_val}"),
+        InstKind::Call { callee, args } => {
+            let name = match callee {
+                Callee::Func(fid) => module
+                    .funcs
+                    .get(fid.index())
+                    .map_or_else(|| fid.to_string(), |f| f.name.clone()),
+                Callee::Intrinsic(i) => i.name().to_string(),
+            };
+            let mut s = format!("call {} @{name}(", inst.ty);
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(s, ", ");
+                }
+                let _ = write!(s, "{a}");
+            }
+            let _ = write!(s, ")");
+            s
+        }
+        InstKind::Br { target } => format!("br {target}"),
+        InstKind::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("condbr {cond}, {then_bb}, {else_bb}"),
+        InstKind::Ret { val } => match val {
+            Some(v) => format!("ret {v}"),
+            None => "ret void".to_string(),
+        },
+        InstKind::Unreachable => "unreachable".to_string(),
+    };
+    format!("{dest}{body}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Intrinsic};
+    use crate::types::Type;
+    use crate::value::Value;
+    use crate::FuncBuilder;
+
+    #[test]
+    fn prints_readably() {
+        let mut m = Module::new("demo");
+        let mut f = Function::new("main", vec![], Type::Void);
+        let mut b = FuncBuilder::new(&mut f);
+        let v = b.binary(BinOp::Add, Value::i64(2), Value::i64(3));
+        b.call(Callee::Intrinsic(Intrinsic::PrintI64), vec![v], Type::Void);
+        b.ret(None);
+        m.add_func(f);
+        let text = m.to_string();
+        assert!(text.contains("define void @main()"), "{text}");
+        assert!(text.contains("%v0 = add i64 2:i64, 3:i64"), "{text}");
+        assert!(text.contains("call void @print_i64(%v0)"), "{text}");
+        assert!(text.contains("ret void"), "{text}");
+    }
+
+    #[test]
+    fn prints_phi_and_branches() {
+        let mut m = Module::new("demo");
+        let mut f = Function::new("f", vec![Type::i1()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.cond_br(Value::Arg(0), t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::i64(), vec![(t, Value::i64(1)), (e, Value::i64(2))]);
+        b.ret(Some(p));
+        m.add_func(f);
+        let text = m.to_string();
+        assert!(text.contains("condbr %arg0, bb1, bb2"), "{text}");
+        assert!(
+            text.contains("phi i64 [1:i64, bb1], [2:i64, bb2]"),
+            "{text}"
+        );
+    }
+}

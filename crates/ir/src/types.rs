@@ -1,0 +1,341 @@
+//! The type language of the IR.
+//!
+//! The IR is strictly typed, mirroring LLVM: integer types of several
+//! widths, two floating-point types, an opaque pointer type, and aggregate
+//! (array / struct) types used for memory layout. Pointers are *opaque*
+//! (as in modern LLVM): instructions that need to know what they point at
+//! ([`crate::InstKind::Gep`], [`crate::InstKind::Load`]) carry the pointee
+//! type explicitly.
+
+use std::fmt;
+
+/// Integer type widths supported by the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IntTy {
+    /// 1-bit boolean (result of comparisons, branch conditions).
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+}
+
+impl IntTy {
+    /// Width of the type in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            IntTy::I1 => 1,
+            IntTy::I8 => 8,
+            IntTy::I16 => 16,
+            IntTy::I32 => 32,
+            IntTy::I64 => 64,
+        }
+    }
+
+    /// Size of the type in bytes when stored in memory (i1 occupies one byte).
+    pub fn bytes(self) -> u64 {
+        match self {
+            IntTy::I1 | IntTy::I8 => 1,
+            IntTy::I16 => 2,
+            IntTy::I32 => 4,
+            IntTy::I64 => 8,
+        }
+    }
+
+    /// A mask with the low `bits()` bits set.
+    ///
+    /// Values of this integer type are canonically stored zero-extended in a
+    /// `u64`; `mask` truncates a raw `u64` back into range.
+    pub fn mask(self) -> u64 {
+        match self {
+            IntTy::I64 => u64::MAX,
+            _ => (1u64 << self.bits()) - 1,
+        }
+    }
+
+    /// Sign-extend a canonical (zero-extended) value of this width to `i64`.
+    pub fn sext(self, raw: u64) -> i64 {
+        let b = self.bits();
+        if b == 64 {
+            raw as i64
+        } else {
+            let shift = 64 - b;
+            ((raw << shift) as i64) >> shift
+        }
+    }
+
+    /// Truncate an arbitrary `u64` to the canonical representation.
+    pub fn truncate(self, raw: u64) -> u64 {
+        raw & self.mask()
+    }
+}
+
+impl fmt::Display for IntTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.bits())
+    }
+}
+
+/// Floating-point type widths supported by the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FloatTy {
+    /// IEEE-754 binary32.
+    F32,
+    /// IEEE-754 binary64.
+    F64,
+}
+
+impl FloatTy {
+    /// Width of the type in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            FloatTy::F32 => 32,
+            FloatTy::F64 => 64,
+        }
+    }
+
+    /// Size in bytes when stored in memory.
+    pub fn bytes(self) -> u64 {
+        (self.bits() / 8) as u64
+    }
+}
+
+impl fmt::Display for FloatTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloatTy::F32 => write!(f, "f32"),
+            FloatTy::F64 => write!(f, "f64"),
+        }
+    }
+}
+
+/// An IR type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// The type of instructions that produce no value.
+    Void,
+    /// An integer type.
+    Int(IntTy),
+    /// A floating-point type.
+    Float(FloatTy),
+    /// An opaque pointer (8 bytes).
+    Ptr,
+    /// A fixed-length array.
+    Array(Box<Type>, u64),
+    /// A struct with the given field types, laid out with natural alignment.
+    Struct(Vec<Type>),
+}
+
+impl Type {
+    /// Shorthand for the 1-bit integer type.
+    pub const fn i1() -> Type {
+        Type::Int(IntTy::I1)
+    }
+    /// Shorthand for the 8-bit integer type.
+    pub const fn i8() -> Type {
+        Type::Int(IntTy::I8)
+    }
+    /// Shorthand for the 16-bit integer type.
+    pub const fn i16() -> Type {
+        Type::Int(IntTy::I16)
+    }
+    /// Shorthand for the 32-bit integer type.
+    pub const fn i32() -> Type {
+        Type::Int(IntTy::I32)
+    }
+    /// Shorthand for the 64-bit integer type.
+    pub const fn i64() -> Type {
+        Type::Int(IntTy::I64)
+    }
+    /// Shorthand for the binary32 type.
+    pub const fn f32() -> Type {
+        Type::Float(FloatTy::F32)
+    }
+    /// Shorthand for the binary64 type.
+    pub const fn f64() -> Type {
+        Type::Float(FloatTy::F64)
+    }
+
+    /// Returns true for integer types.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::Int(_))
+    }
+
+    /// Returns true for floating-point types.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::Float(_))
+    }
+
+    /// Returns true for the pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr)
+    }
+
+    /// Returns true for types a register-like SSA value can hold
+    /// (int, float, pointer).
+    pub fn is_first_class(&self) -> bool {
+        matches!(self, Type::Int(_) | Type::Float(_) | Type::Ptr)
+    }
+
+    /// The integer width if this is an integer type.
+    pub fn as_int(&self) -> Option<IntTy> {
+        match self {
+            Type::Int(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// The float width if this is a floating-point type.
+    pub fn as_float(&self) -> Option<FloatTy> {
+        match self {
+            Type::Float(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Size of a value of this type in memory, in bytes.
+    ///
+    /// Matches a 64-bit data layout: pointers are 8 bytes, arrays are
+    /// element-size times length, structs use natural alignment with
+    /// padding (see [`Type::align`]).
+    pub fn size(&self) -> u64 {
+        match self {
+            Type::Void => 0,
+            Type::Int(t) => t.bytes(),
+            Type::Float(t) => t.bytes(),
+            Type::Ptr => 8,
+            Type::Array(elem, n) => elem.size() * n,
+            Type::Struct(fields) => {
+                let mut off = 0u64;
+                let mut max_align = 1u64;
+                for f in fields {
+                    let a = f.align();
+                    max_align = max_align.max(a);
+                    off = round_up(off, a) + f.size();
+                }
+                round_up(off, max_align)
+            }
+        }
+    }
+
+    /// Natural alignment of this type in bytes.
+    pub fn align(&self) -> u64 {
+        match self {
+            Type::Void => 1,
+            Type::Int(t) => t.bytes(),
+            Type::Float(t) => t.bytes(),
+            Type::Ptr => 8,
+            Type::Array(elem, _) => elem.align(),
+            Type::Struct(fields) => fields.iter().map(|f| f.align()).max().unwrap_or(1),
+        }
+    }
+
+    /// Byte offset of struct field `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type is not a struct or `idx` is out of range.
+    pub fn struct_field_offset(&self, idx: usize) -> u64 {
+        let Type::Struct(fields) = self else {
+            panic!("struct_field_offset on non-struct type {self}");
+        };
+        assert!(idx < fields.len(), "field index {idx} out of range");
+        let mut off = 0u64;
+        for (i, f) in fields.iter().enumerate() {
+            off = round_up(off, f.align());
+            if i == idx {
+                return off;
+            }
+            off += f.size();
+        }
+        unreachable!()
+    }
+}
+
+/// Round `x` up to a multiple of `align` (which must be a power of two or
+/// any positive integer; generic rounding is used).
+pub fn round_up(x: u64, align: u64) -> u64 {
+    debug_assert!(align > 0);
+    x.div_ceil(align) * align
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Int(t) => write!(f, "{t}"),
+            Type::Float(t) => write!(f, "{t}"),
+            Type::Ptr => write!(f, "ptr"),
+            Type::Array(elem, n) => write!(f, "[{n} x {elem}]"),
+            Type::Struct(fields) => {
+                write!(f, "{{ ")?;
+                for (i, t) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, " }}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_masks_and_sext() {
+        assert_eq!(IntTy::I8.mask(), 0xff);
+        assert_eq!(IntTy::I1.mask(), 1);
+        assert_eq!(IntTy::I64.mask(), u64::MAX);
+        assert_eq!(IntTy::I8.sext(0x80), -128);
+        assert_eq!(IntTy::I8.sext(0x7f), 127);
+        assert_eq!(IntTy::I32.sext(0xffff_ffff), -1);
+        assert_eq!(IntTy::I64.sext(u64::MAX), -1);
+        assert_eq!(IntTy::I16.truncate(0x1_2345), 0x2345);
+    }
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(Type::i1().size(), 1);
+        assert_eq!(Type::i32().size(), 4);
+        assert_eq!(Type::f64().size(), 8);
+        assert_eq!(Type::Ptr.size(), 8);
+        assert_eq!(Type::Array(Box::new(Type::i32()), 10).size(), 40);
+    }
+
+    #[test]
+    fn struct_layout_with_padding() {
+        // { i8, i64, i16 } -> offsets 0, 8, 16; size rounds to 24.
+        let s = Type::Struct(vec![Type::i8(), Type::i64(), Type::i16()]);
+        assert_eq!(s.struct_field_offset(0), 0);
+        assert_eq!(s.struct_field_offset(1), 8);
+        assert_eq!(s.struct_field_offset(2), 16);
+        assert_eq!(s.size(), 24);
+        assert_eq!(s.align(), 8);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::i64().to_string(), "i64");
+        assert_eq!(Type::f32().to_string(), "f32");
+        assert_eq!(Type::Ptr.to_string(), "ptr");
+        assert_eq!(Type::Array(Box::new(Type::i8()), 4).to_string(), "[4 x i8]");
+        assert_eq!(
+            Type::Struct(vec![Type::i32(), Type::Ptr]).to_string(),
+            "{ i32, ptr }"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-struct")]
+    fn field_offset_panics_on_scalar() {
+        Type::i32().struct_field_offset(0);
+    }
+}

@@ -1,0 +1,228 @@
+//! SSA values and constants.
+//!
+//! A [`Value`] is either the result of an instruction, a function argument,
+//! or a [`Constant`]. Values are small and `Copy`; instruction results are
+//! referenced by [`InstId`] within their enclosing function.
+
+use crate::types::{FloatTy, IntTy, Type};
+use std::fmt;
+
+macro_rules! entity_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+entity_id!(
+    /// Identifies an instruction within a [`crate::Function`].
+    InstId,
+    "%v"
+);
+entity_id!(
+    /// Identifies a basic block within a [`crate::Function`].
+    BlockId,
+    "bb"
+);
+entity_id!(
+    /// Identifies a function within a [`crate::Module`].
+    FuncId,
+    "fn"
+);
+entity_id!(
+    /// Identifies a global variable within a [`crate::Module`].
+    GlobalId,
+    "@g"
+);
+
+/// A compile-time constant value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Constant {
+    /// An integer constant, stored zero-extended in a `u64`.
+    Int(IntTy, u64),
+    /// A floating-point constant, stored as raw IEEE-754 bits.
+    Float(FloatTy, u64),
+    /// The null pointer.
+    NullPtr,
+    /// The address of a global variable.
+    Global(GlobalId),
+    /// The address of a function (for indirect calls / function pointers).
+    Func(FuncId),
+    /// The canonical undefined value of the given first-class type.
+    ///
+    /// Reads as zero at runtime; exists so the front end can model
+    /// uninitialized scalars without inventing spurious stores.
+    Undef(IntTy),
+}
+
+impl Constant {
+    /// Builds an integer constant of type `ty` from a signed value,
+    /// truncating to the type's width.
+    pub fn int(ty: IntTy, v: i64) -> Constant {
+        Constant::Int(ty, ty.truncate(v as u64))
+    }
+
+    /// Builds an `i1` boolean constant.
+    pub fn bool(v: bool) -> Constant {
+        Constant::Int(IntTy::I1, v as u64)
+    }
+
+    /// Builds an `f64` constant.
+    pub fn f64(v: f64) -> Constant {
+        Constant::Float(FloatTy::F64, v.to_bits())
+    }
+
+    /// Builds an `f32` constant.
+    pub fn f32(v: f32) -> Constant {
+        Constant::Float(FloatTy::F32, v.to_bits() as u64)
+    }
+
+    /// The type of the constant.
+    pub fn ty(&self) -> Type {
+        match self {
+            Constant::Int(t, _) | Constant::Undef(t) => Type::Int(*t),
+            Constant::Float(t, _) => Type::Float(*t),
+            Constant::NullPtr | Constant::Global(_) | Constant::Func(_) => Type::Ptr,
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(t, v) => write!(f, "{}:{t}", t.sext(*v)),
+            Constant::Float(FloatTy::F32, bits) => {
+                write!(f, "{:?}:f32", f32::from_bits(*bits as u32))
+            }
+            Constant::Float(FloatTy::F64, bits) => {
+                write!(f, "{:?}:f64", f64::from_bits(*bits))
+            }
+            Constant::NullPtr => write!(f, "null"),
+            Constant::Global(g) => write!(f, "{g}"),
+            Constant::Func(func) => write!(f, "{func}"),
+            Constant::Undef(t) => write!(f, "undef:{t}"),
+        }
+    }
+}
+
+/// An SSA value: an operand of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// The result of instruction `InstId` in the current function.
+    Inst(InstId),
+    /// The `n`-th formal argument of the current function.
+    Arg(u32),
+    /// An inline constant.
+    Const(Constant),
+}
+
+impl Value {
+    /// Integer constant shorthand.
+    pub fn int(ty: IntTy, v: i64) -> Value {
+        Value::Const(Constant::int(ty, v))
+    }
+
+    /// `i64` constant shorthand.
+    pub fn i64(v: i64) -> Value {
+        Value::int(IntTy::I64, v)
+    }
+
+    /// `i1` constant shorthand.
+    pub fn bool(v: bool) -> Value {
+        Value::Const(Constant::bool(v))
+    }
+
+    /// `f64` constant shorthand.
+    pub fn f64(v: f64) -> Value {
+        Value::Const(Constant::f64(v))
+    }
+
+    /// Returns the instruction id if this value is an instruction result.
+    pub fn as_inst(&self) -> Option<InstId> {
+        match self {
+            Value::Inst(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Returns the constant if this value is a constant.
+    pub fn as_const(&self) -> Option<Constant> {
+        match self {
+            Value::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+impl From<Constant> for Value {
+    fn from(c: Constant) -> Value {
+        Value::Const(c)
+    }
+}
+
+impl From<InstId> for Value {
+    fn from(id: InstId) -> Value {
+        Value::Inst(id)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Inst(id) => write!(f, "{id}"),
+            Value::Arg(n) => write!(f, "%arg{n}"),
+            Value::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_construction_truncates() {
+        assert_eq!(Constant::int(IntTy::I8, -1), Constant::Int(IntTy::I8, 0xff));
+        assert_eq!(Constant::int(IntTy::I1, 3), Constant::Int(IntTy::I1, 1));
+        assert_eq!(Constant::bool(true), Constant::Int(IntTy::I1, 1));
+    }
+
+    #[test]
+    fn constant_types() {
+        assert_eq!(Constant::f64(1.5).ty(), Type::f64());
+        assert_eq!(Constant::NullPtr.ty(), Type::Ptr);
+        assert_eq!(Constant::Global(GlobalId(3)).ty(), Type::Ptr);
+        assert_eq!(Constant::int(IntTy::I32, 7).ty(), Type::i32());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::i64(-5).to_string(), "-5:i64");
+        assert_eq!(Value::Inst(InstId(4)).to_string(), "%v4");
+        assert_eq!(Value::Arg(1).to_string(), "%arg1");
+        assert_eq!(Value::f64(0.5).to_string(), "0.5:f64");
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = Constant::NullPtr.into();
+        assert_eq!(v.as_const(), Some(Constant::NullPtr));
+        let v: Value = InstId(2).into();
+        assert_eq!(v.as_inst(), Some(InstId(2)));
+        assert_eq!(Value::Arg(0).as_inst(), None);
+    }
+}

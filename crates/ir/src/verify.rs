@@ -1,0 +1,694 @@
+//! The IR verifier.
+//!
+//! Checks structural well-formedness (terminators, φ placement, operand
+//! ranges), the type rules of every instruction, and the SSA dominance
+//! property (every use is dominated by its definition).
+
+use crate::dom::DomTree;
+use crate::inst::{Callee, CastOp, InstKind};
+use crate::module::{Function, Module};
+use crate::types::Type;
+use crate::value::{BlockId, InstId, Value};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Verification failure: one message per problem found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Human-readable problem descriptions (`function: message`).
+    pub problems: Vec<String>,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ir verification failed ({} problems)",
+            self.problems.len()
+        )?;
+        for p in &self.problems {
+            write!(f, "\n  - {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] describing every problem found.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    let mut problems = Vec::new();
+    for (i, f) in module.funcs.iter().enumerate() {
+        let mut v = Verifier {
+            module,
+            func: f,
+            problems: &mut problems,
+        };
+        v.run();
+        let _ = i;
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(VerifyError { problems })
+    }
+}
+
+/// Verifies a single function against its module.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] describing every problem found.
+pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyError> {
+    let mut problems = Vec::new();
+    Verifier {
+        module,
+        func,
+        problems: &mut problems,
+    }
+    .run();
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(VerifyError { problems })
+    }
+}
+
+struct Verifier<'a> {
+    module: &'a Module,
+    func: &'a Function,
+    problems: &'a mut Vec<String>,
+}
+
+impl Verifier<'_> {
+    fn err(&mut self, msg: impl fmt::Display) {
+        self.problems.push(format!("{}: {}", self.func.name, msg));
+    }
+
+    fn value_type(&self, v: Value) -> Option<Type> {
+        match v {
+            Value::Inst(id) => self.func.insts.get(id.index()).map(|i| i.ty.clone()),
+            Value::Arg(n) => self.func.params.get(n as usize).cloned(),
+            Value::Const(c) => Some(c.ty()),
+        }
+    }
+
+    fn run(&mut self) {
+        if self.func.blocks.is_empty() {
+            self.err("function has no blocks");
+            return;
+        }
+        self.check_structure();
+        self.check_types();
+        self.check_dominance();
+    }
+
+    fn check_structure(&mut self) {
+        let preds = self.func.predecessors();
+        for bb in self.func.block_ids() {
+            let block = self.func.block(bb);
+            if block.insts.is_empty() {
+                self.err(format!("{bb} is empty (no terminator)"));
+                continue;
+            }
+            let last = *block.insts.last().expect("non-empty");
+            for (pos, &id) in block.insts.iter().enumerate() {
+                if id.index() >= self.func.insts.len() {
+                    self.err(format!("{bb} references out-of-range inst {id}"));
+                    continue;
+                }
+                let inst = self.func.inst(id);
+                let is_last = id == last && pos == block.insts.len() - 1;
+                if inst.is_terminator() != is_last {
+                    self.err(format!(
+                        "{bb}: {} at position {pos} {}",
+                        inst.opcode_name(),
+                        if inst.is_terminator() {
+                            "is a terminator in the middle of the block"
+                        } else {
+                            "is a non-terminator at the end of the block"
+                        }
+                    ));
+                }
+                // φ placement: only allowed in the leading run of the block.
+                if matches!(inst.kind, InstKind::Phi { .. }) {
+                    let leading = block.insts[..pos]
+                        .iter()
+                        .all(|&p| matches!(self.func.inst(p).kind, InstKind::Phi { .. }));
+                    if !leading {
+                        self.err(format!("{bb}: phi {id} not at block start"));
+                    }
+                    if let InstKind::Phi { incomings } = &inst.kind {
+                        let mut seen: Vec<BlockId> = Vec::new();
+                        for (pb, _) in incomings {
+                            if seen.contains(pb) {
+                                self.err(format!("{bb}: phi {id} duplicates incoming {pb}"));
+                            }
+                            seen.push(*pb);
+                            if !preds[bb.index()].contains(pb) {
+                                self.err(format!(
+                                    "{bb}: phi {id} has incoming from non-predecessor {pb}"
+                                ));
+                            }
+                        }
+                        for p in &preds[bb.index()] {
+                            if !seen.contains(p) {
+                                self.err(format!(
+                                    "{bb}: phi {id} missing incoming for predecessor {p}"
+                                ));
+                            }
+                        }
+                    }
+                }
+                // Branch targets in range.
+                for s in inst.successors() {
+                    if s.index() >= self.func.blocks.len() {
+                        self.err(format!("{bb}: branch to out-of-range block {s}"));
+                    }
+                }
+                // Operand ranges.
+                inst.for_each_operand(|v| match v {
+                    Value::Inst(d) if d.index() >= self.func.insts.len() => {
+                        self.problems.push(format!(
+                            "{}: {bb}: operand references out-of-range inst {d}",
+                            self.func.name
+                        ));
+                    }
+                    Value::Arg(n) if n as usize >= self.func.params.len() => {
+                        self.problems.push(format!(
+                            "{}: {bb}: operand references out-of-range arg {n}",
+                            self.func.name
+                        ));
+                    }
+                    _ => {}
+                });
+            }
+        }
+    }
+
+    fn check_types(&mut self) {
+        for bb in self.func.block_ids() {
+            for &id in &self.func.block(bb).insts.clone() {
+                if id.index() >= self.func.insts.len() {
+                    continue;
+                }
+                self.check_inst_types(bb, id);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn check_inst_types(&mut self, bb: BlockId, id: InstId) {
+        let inst = self.func.inst(id).clone();
+        let t = |s: &Self, v: Value| s.value_type(v);
+        match &inst.kind {
+            InstKind::Binary { op, lhs, rhs } => {
+                let (Some(lt), Some(rt)) = (t(self, *lhs), t(self, *rhs)) else {
+                    return;
+                };
+                if lt != rt {
+                    self.err(format!(
+                        "{bb}/{id}: {op} operand types differ ({lt} vs {rt})"
+                    ));
+                }
+                if op.is_float() {
+                    if !lt.is_float() {
+                        self.err(format!("{bb}/{id}: {op} on non-float {lt}"));
+                    }
+                } else if !lt.is_int() {
+                    self.err(format!("{bb}/{id}: {op} on non-int {lt}"));
+                }
+                if inst.ty != lt {
+                    self.err(format!("{bb}/{id}: {op} result type {} != {lt}", inst.ty));
+                }
+            }
+            InstKind::ICmp { lhs, rhs, .. } => {
+                let (Some(lt), Some(rt)) = (t(self, *lhs), t(self, *rhs)) else {
+                    return;
+                };
+                if lt != rt {
+                    self.err(format!(
+                        "{bb}/{id}: icmp operand types differ ({lt} vs {rt})"
+                    ));
+                }
+                if !(lt.is_int() || lt.is_ptr()) {
+                    self.err(format!("{bb}/{id}: icmp on {lt}"));
+                }
+                if inst.ty != Type::i1() {
+                    self.err(format!("{bb}/{id}: icmp result must be i1"));
+                }
+            }
+            InstKind::FCmp { lhs, rhs, .. } => {
+                let (Some(lt), Some(rt)) = (t(self, *lhs), t(self, *rhs)) else {
+                    return;
+                };
+                if lt != rt || !lt.is_float() {
+                    self.err(format!("{bb}/{id}: fcmp on ({lt}, {rt})"));
+                }
+                if inst.ty != Type::i1() {
+                    self.err(format!("{bb}/{id}: fcmp result must be i1"));
+                }
+            }
+            InstKind::Cast { op, val } => {
+                let Some(from) = t(self, *val) else { return };
+                let to = inst.ty.clone();
+                let ok = match op {
+                    CastOp::Trunc => {
+                        matches!((&from, &to), (Type::Int(a), Type::Int(b)) if a.bits() > b.bits())
+                    }
+                    CastOp::ZExt | CastOp::SExt => {
+                        matches!((&from, &to), (Type::Int(a), Type::Int(b)) if a.bits() < b.bits())
+                    }
+                    CastOp::FpToSi => from.is_float() && to.is_int(),
+                    CastOp::SiToFp => from.is_int() && to.is_float(),
+                    CastOp::FpTrunc => from == Type::f64() && to == Type::f32(),
+                    CastOp::FpExt => from == Type::f32() && to == Type::f64(),
+                    CastOp::PtrToInt => from.is_ptr() && to.is_int(),
+                    CastOp::IntToPtr => from.is_int() && to.is_ptr(),
+                    CastOp::Bitcast => {
+                        from.is_first_class() && to.is_first_class() && from.size() == to.size()
+                    }
+                };
+                if !ok {
+                    self.err(format!("{bb}/{id}: invalid {op} from {from} to {to}"));
+                }
+            }
+            InstKind::Alloca { .. } => {
+                if inst.ty != Type::Ptr {
+                    self.err(format!("{bb}/{id}: alloca result must be ptr"));
+                }
+            }
+            InstKind::Load { ptr } => {
+                if t(self, *ptr).is_some_and(|pt| !pt.is_ptr()) {
+                    self.err(format!("{bb}/{id}: load address is not a pointer"));
+                }
+                if !inst.ty.is_first_class() {
+                    self.err(format!(
+                        "{bb}/{id}: load of non-first-class type {}",
+                        inst.ty
+                    ));
+                }
+            }
+            InstKind::Store { val, ptr } => {
+                if t(self, *ptr).is_some_and(|pt| !pt.is_ptr()) {
+                    self.err(format!("{bb}/{id}: store address is not a pointer"));
+                }
+                if t(self, *val).is_some_and(|vt| !vt.is_first_class()) {
+                    self.err(format!("{bb}/{id}: store of non-first-class value"));
+                }
+            }
+            InstKind::Gep {
+                elem_ty,
+                base,
+                indices,
+            } => {
+                if t(self, *base).is_some_and(|bt| !bt.is_ptr()) {
+                    self.err(format!("{bb}/{id}: gep base is not a pointer"));
+                }
+                if inst.ty != Type::Ptr {
+                    self.err(format!("{bb}/{id}: gep result must be ptr"));
+                }
+                if indices.is_empty() {
+                    self.err(format!("{bb}/{id}: gep with no indices"));
+                }
+                // Walk the indexed type: first index scales by elem_ty,
+                // subsequent indices step into arrays/structs.
+                let mut cur = elem_ty.clone();
+                for (i, idx) in indices.iter().enumerate() {
+                    if t(self, *idx).is_some_and(|it| !it.is_int()) {
+                        self.err(format!("{bb}/{id}: gep index {i} is not an integer"));
+                    }
+                    if i == 0 {
+                        continue;
+                    }
+                    match cur.clone() {
+                        Type::Array(elem, _) => cur = *elem,
+                        Type::Struct(fields) => {
+                            let Some(c) = idx.as_const() else {
+                                self.err(format!(
+                                    "{bb}/{id}: gep struct index {i} must be constant"
+                                ));
+                                return;
+                            };
+                            let crate::value::Constant::Int(_, raw) = c else {
+                                self.err(format!(
+                                    "{bb}/{id}: gep struct index {i} must be an int constant"
+                                ));
+                                return;
+                            };
+                            let fi = raw as usize;
+                            if fi >= fields.len() {
+                                self.err(format!("{bb}/{id}: gep struct index {i} out of range"));
+                                return;
+                            }
+                            cur = fields[fi].clone();
+                        }
+                        other => {
+                            self.err(format!(
+                                "{bb}/{id}: gep index {i} steps into non-aggregate {other}"
+                            ));
+                            return;
+                        }
+                    }
+                }
+            }
+            InstKind::Phi { incomings } => {
+                for (pb, v) in incomings {
+                    if let Some(vt) = t(self, *v) {
+                        if vt != inst.ty {
+                            self.err(format!(
+                                "{bb}/{id}: phi incoming from {pb} has type {vt}, expected {}",
+                                inst.ty
+                            ));
+                        }
+                    }
+                }
+                if !inst.ty.is_first_class() {
+                    self.err(format!("{bb}/{id}: phi of non-first-class type"));
+                }
+            }
+            InstKind::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                if t(self, *cond).is_some_and(|ct| ct != Type::i1()) {
+                    self.err(format!("{bb}/{id}: select condition must be i1"));
+                }
+                let (tt, et) = (t(self, *then_val), t(self, *else_val));
+                if let (Some(tt), Some(et)) = (tt, et) {
+                    if tt != et || tt != inst.ty {
+                        self.err(format!("{bb}/{id}: select type mismatch"));
+                    }
+                }
+            }
+            InstKind::Call { callee, args } => {
+                let (params, ret) = match callee {
+                    Callee::Func(fid) => {
+                        let Some(f) = self.module.funcs.get(fid.index()) else {
+                            self.err(format!("{bb}/{id}: call to out-of-range function {fid}"));
+                            return;
+                        };
+                        (f.params.clone(), f.ret.clone())
+                    }
+                    Callee::Intrinsic(i) => (i.param_types(), i.ret_type()),
+                };
+                if args.len() != params.len() {
+                    self.err(format!(
+                        "{bb}/{id}: call has {} args, callee expects {}",
+                        args.len(),
+                        params.len()
+                    ));
+                } else {
+                    for (i, (a, p)) in args.iter().zip(&params).enumerate() {
+                        if t(self, *a).is_some_and(|at| at != *p) {
+                            self.err(format!("{bb}/{id}: call arg {i} type mismatch"));
+                        }
+                    }
+                }
+                if inst.ty != ret {
+                    self.err(format!(
+                        "{bb}/{id}: call result type {} != callee return {ret}",
+                        inst.ty
+                    ));
+                }
+            }
+            InstKind::CondBr { cond, .. } => {
+                if t(self, *cond).is_some_and(|ct| ct != Type::i1()) {
+                    self.err(format!("{bb}/{id}: condbr condition must be i1"));
+                }
+            }
+            InstKind::Ret { val } => match (val, &self.func.ret) {
+                (None, Type::Void) => {}
+                (None, rt) => self.err(format!("{bb}/{id}: ret void from function returning {rt}")),
+                (Some(_), Type::Void) => {
+                    self.err(format!("{bb}/{id}: ret value from void function"));
+                }
+                (Some(v), rt) => {
+                    if t(self, *v).is_some_and(|vt| vt != *rt) {
+                        self.err(format!("{bb}/{id}: ret type mismatch"));
+                    }
+                }
+            },
+            InstKind::Br { .. } | InstKind::Unreachable => {}
+        }
+    }
+
+    fn check_dominance(&mut self) {
+        let dt = DomTree::compute(self.func);
+        // Map each attached instruction to (block, position).
+        let mut location: HashMap<InstId, (BlockId, usize)> = HashMap::new();
+        for bb in self.func.block_ids() {
+            for (pos, &id) in self.func.block(bb).insts.iter().enumerate() {
+                location.insert(id, (bb, pos));
+            }
+        }
+        for bb in self.func.block_ids() {
+            if !dt.is_reachable(bb) {
+                continue;
+            }
+            for (pos, &id) in self.func.block(bb).insts.iter().enumerate() {
+                if id.index() >= self.func.insts.len() {
+                    continue;
+                }
+                let inst = self.func.inst(id);
+                if let InstKind::Phi { incomings } = &inst.kind {
+                    // A phi use must be dominated by the def at the end of
+                    // the corresponding predecessor.
+                    for (pred, v) in incomings {
+                        if let Value::Inst(def) = v {
+                            let Some(&(db, _)) = location.get(def) else {
+                                self.err(format!("{bb}/{id}: phi uses detached inst {def}"));
+                                continue;
+                            };
+                            if dt.is_reachable(*pred) && !dt.dominates(db, *pred) {
+                                self.err(format!(
+                                    "{bb}/{id}: phi incoming {def} does not dominate edge from {pred}"
+                                ));
+                            }
+                        }
+                    }
+                    continue;
+                }
+                inst.for_each_operand(|v| {
+                    if let Value::Inst(def) = v {
+                        let Some(&(db, dp)) = location.get(&def) else {
+                            self.problems.push(format!(
+                                "{}: {bb}/{id}: uses detached inst {def}",
+                                self.func.name
+                            ));
+                            return;
+                        };
+                        let ok = if db == bb {
+                            dp < pos
+                        } else {
+                            dt.dominates(db, bb)
+                        };
+                        if !ok {
+                            self.problems.push(format!(
+                                "{}: {bb}/{id}: use of {def} not dominated by its definition",
+                                self.func.name
+                            ));
+                        }
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, ICmpPred};
+    use crate::FuncBuilder;
+
+    fn module_with(f: Function) -> Module {
+        let mut m = Module::new("t");
+        m.add_func(f);
+        m
+    }
+
+    #[test]
+    fn accepts_valid_function() {
+        let mut f = Function::new("ok", vec![Type::i64()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let v = b.binary(BinOp::Add, Value::Arg(0), Value::i64(1));
+        b.ret(Some(v));
+        verify_module(&module_with(f)).expect("valid module");
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let f = Function::new("bad", vec![], Type::Void);
+        let err = verify_module(&module_with(f)).unwrap_err();
+        assert!(err.problems[0].contains("empty"));
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut f = Function::new("bad", vec![Type::i64(), Type::f64()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let v = b.binary(BinOp::Add, Value::Arg(0), Value::Arg(1));
+        b.ret(Some(v));
+        let err = verify_module(&module_with(f)).unwrap_err();
+        assert!(err.to_string().contains("operand types differ"));
+    }
+
+    #[test]
+    fn rejects_float_op_on_ints() {
+        let mut f = Function::new("bad", vec![Type::i64()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let v = b.binary(BinOp::FAdd, Value::Arg(0), Value::Arg(0));
+        b.ret(Some(v));
+        let err = verify_module(&module_with(f)).unwrap_err();
+        assert!(err.to_string().contains("non-float"));
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut f = Function::new("bad", vec![], Type::i64());
+        // Manually build: use of %v1 by %v0.
+        let a = f.add_inst(
+            InstKind::Binary {
+                op: BinOp::Add,
+                lhs: Value::Inst(InstId(1)),
+                rhs: Value::i64(1),
+            },
+            Type::i64(),
+        );
+        let b = f.add_inst(
+            InstKind::Binary {
+                op: BinOp::Add,
+                lhs: Value::i64(1),
+                rhs: Value::i64(2),
+            },
+            Type::i64(),
+        );
+        let r = f.add_inst(
+            InstKind::Ret {
+                val: Some(Value::Inst(a)),
+            },
+            Type::Void,
+        );
+        let e = f.entry();
+        f.block_mut(e).insts.extend([a, b, r]);
+        let err = verify_module(&module_with(f)).unwrap_err();
+        assert!(err.to_string().contains("not dominated"));
+    }
+
+    #[test]
+    fn rejects_phi_with_wrong_preds() {
+        let mut f = Function::new("bad", vec![Type::i1()], Type::Void);
+        let mut bld = FuncBuilder::new(&mut f);
+        let next = bld.new_block();
+        bld.br(next);
+        bld.switch_to(next);
+        // Phi claims an incoming edge from block 5 which doesn't exist as a pred.
+        bld.phi(
+            Type::i64(),
+            vec![(BlockId(0), Value::i64(1)), (BlockId(5), Value::i64(2))],
+        );
+        bld.ret(None);
+        let err = verify_module(&module_with(f)).unwrap_err();
+        assert!(err.to_string().contains("non-predecessor"));
+    }
+
+    #[test]
+    fn rejects_bad_cast() {
+        let mut f = Function::new("bad", vec![Type::i8()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        // Trunc i8 -> i64 is an extension, not a truncation.
+        let v = b.cast(CastOp::Trunc, Value::Arg(0), Type::i64());
+        b.ret(Some(v));
+        let err = verify_module(&module_with(f)).unwrap_err();
+        assert!(err.to_string().contains("invalid trunc"));
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut m = Module::new("t");
+        let callee = m.add_func(Function::new("callee", vec![Type::i64()], Type::Void));
+        {
+            let f = m.func_mut(callee);
+            let mut b = FuncBuilder::new(f);
+            b.ret(None);
+        }
+        let mut f = Function::new("caller", vec![], Type::Void);
+        let mut b = FuncBuilder::new(&mut f);
+        b.call(Callee::Func(callee), vec![], Type::Void);
+        b.ret(None);
+        m.add_func(f);
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.to_string().contains("args"));
+    }
+
+    #[test]
+    fn rejects_condbr_non_bool() {
+        let mut f = Function::new("bad", vec![Type::i64()], Type::Void);
+        let mut b = FuncBuilder::new(&mut f);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_br(Value::Arg(0), t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let err = verify_module(&module_with(f)).unwrap_err();
+        assert!(err.to_string().contains("condition must be i1"));
+    }
+
+    #[test]
+    fn accepts_gep_into_struct_array() {
+        // struct S { i32 pad; [4 x f64] xs } ; gep base, 0, 1, i
+        let s = Type::Struct(vec![Type::i32(), Type::Array(Box::new(Type::f64()), 4)]);
+        let mut f = Function::new("g", vec![Type::Ptr, Type::i64()], Type::f64());
+        let mut b = FuncBuilder::new(&mut f);
+        let p = b.gep(
+            s,
+            Value::Arg(0),
+            vec![
+                Value::i64(0),
+                Value::int(crate::IntTy::I32, 1),
+                Value::Arg(1),
+            ],
+        );
+        let v = b.load(Type::f64(), p);
+        b.ret(Some(v));
+        verify_module(&module_with(f)).expect("valid gep");
+    }
+
+    #[test]
+    fn rejects_gep_dynamic_struct_index() {
+        let s = Type::Struct(vec![Type::i32(), Type::i64()]);
+        let mut f = Function::new("g", vec![Type::Ptr, Type::i64()], Type::Void);
+        let mut b = FuncBuilder::new(&mut f);
+        b.gep(s, Value::Arg(0), vec![Value::i64(0), Value::Arg(1)]);
+        b.ret(None);
+        let err = verify_module(&module_with(f)).unwrap_err();
+        assert!(err.to_string().contains("must be constant"));
+    }
+
+    #[test]
+    fn rejects_icmp_result_claimed_i64() {
+        let mut f = Function::new("bad", vec![Type::i64()], Type::Void);
+        let id = f.add_inst(
+            InstKind::ICmp {
+                pred: ICmpPred::Eq,
+                lhs: Value::Arg(0),
+                rhs: Value::Arg(0),
+            },
+            Type::i64(),
+        );
+        let r = f.add_inst(InstKind::Ret { val: None }, Type::Void);
+        let e = f.entry();
+        f.block_mut(e).insts.extend([id, r]);
+        let err = verify_module(&module_with(f)).unwrap_err();
+        assert!(err.to_string().contains("icmp result"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the IR's type layout and dominance machinery.
+
+use fiq_ir::{DomTree, FuncBuilder, Function, IntTy, Type, Value};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary (bounded-depth) types.
+fn arb_type() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(Type::i1()),
+        Just(Type::i8()),
+        Just(Type::i16()),
+        Just(Type::i32()),
+        Just(Type::i64()),
+        Just(Type::f32()),
+        Just(Type::f64()),
+        Just(Type::Ptr),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            (inner.clone(), 1u64..8).prop_map(|(t, n)| Type::Array(Box::new(t), n)),
+            prop::collection::vec(inner, 1..5).prop_map(Type::Struct),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Sizes are multiples of alignment and fields fit inside the struct.
+    #[test]
+    fn layout_invariants(ty in arb_type()) {
+        let (size, align) = (ty.size(), ty.align());
+        prop_assert!(align >= 1);
+        prop_assert!(size % align == 0, "{ty}: size {size} align {align}");
+        if let Type::Struct(fields) = &ty {
+            for (i, f) in fields.iter().enumerate() {
+                let off = ty.struct_field_offset(i);
+                prop_assert!(off % f.align() == 0, "field {i} misaligned");
+                prop_assert!(off + f.size() <= size, "field {i} exceeds struct");
+            }
+            // Fields are non-overlapping and ordered.
+            for i in 1..fields.len() {
+                prop_assert!(
+                    ty.struct_field_offset(i)
+                        >= ty.struct_field_offset(i - 1) + fields[i - 1].size()
+                );
+            }
+        }
+        if let Type::Array(elem, n) = &ty {
+            prop_assert_eq!(size, elem.size() * n);
+        }
+    }
+
+    /// Canonical integer representation: truncate is idempotent and sext
+    /// round-trips through truncation.
+    #[test]
+    fn canonical_int_forms(x in any::<u64>()) {
+        for ty in [IntTy::I1, IntTy::I8, IntTy::I16, IntTy::I32, IntTy::I64] {
+            let c = ty.truncate(x);
+            prop_assert_eq!(ty.truncate(c), c, "truncate idempotent");
+            prop_assert_eq!(ty.truncate(ty.sext(c) as u64), c, "sext/trunc roundtrip");
+            prop_assert!(c <= ty.mask());
+        }
+    }
+
+    /// Dominance in a random linear chain with optional skip edges: the
+    /// entry dominates every reachable block, and dominance is transitive
+    /// along idom links.
+    #[test]
+    fn dominance_sanity(skips in prop::collection::vec(0usize..6, 0..6)) {
+        // Build: entry -> b1 -> b2 -> ... -> b6 -> ret, plus conditional
+        // skip edges bi -> b_{i+skip}.
+        let n = 7usize;
+        let mut f = Function::new("t", vec![Type::i1()], Type::Void);
+        let mut b = FuncBuilder::new(&mut f);
+        let blocks: Vec<_> = (0..n).map(|_| b.new_block()).collect();
+        b.br(blocks[0]);
+        for i in 0..n {
+            b.switch_to(blocks[i]);
+            if i + 1 < n {
+                let next = blocks[i + 1];
+                // Optional skip edge makes some blocks join points.
+                let skip_to = skips
+                    .get(i)
+                    .map(|&s| blocks[(i + 1 + s).min(n - 1)])
+                    .unwrap_or(next);
+                if skip_to != next {
+                    b.cond_br(Value::Arg(0), next, skip_to);
+                } else {
+                    b.br(next);
+                }
+            } else {
+                b.ret(None);
+            }
+        }
+        let dt = DomTree::compute(&f);
+        for &bb in &blocks {
+            prop_assert!(dt.dominates(f.entry(), bb), "entry dominates {bb}");
+            prop_assert!(dt.dominates(bb, bb), "self-dominance");
+            // idom chain terminates at the entry.
+            let mut cur = bb;
+            let mut fuel = n + 2;
+            while let Some(d) = dt.idom(cur) {
+                prop_assert!(dt.dominates(d, bb));
+                cur = d;
+                fuel -= 1;
+                prop_assert!(fuel > 0, "idom chain cycles");
+            }
+            prop_assert_eq!(cur, f.entry());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Deterministic program output.
+//!
+//! Both execution levels route program output through a [`Console`] whose
+//! byte-exact contents define the golden run. Silent Data Corruption (SDC)
+//! detection is a byte comparison of consoles, so the formatting here must
+//! be identical across levels — which it is, because both levels call this
+//! same code.
+
+use std::fmt::Write as _;
+
+/// An in-memory output sink with the runtime's formatting rules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Console {
+    buf: String,
+}
+
+impl Console {
+    /// Creates an empty console.
+    pub fn new() -> Console {
+        Console::default()
+    }
+
+    /// Prints a signed 64-bit integer followed by a newline.
+    pub fn print_i64(&mut self, v: i64) {
+        let _ = writeln!(self.buf, "{v}");
+    }
+
+    /// Prints an `f64` in scientific notation with six fractional digits,
+    /// followed by a newline.
+    ///
+    /// Six digits deliberately mask ulp-level noise, mirroring how the
+    /// paper's benchmarks print rounded values; a fault must move the value
+    /// past the sixth significant digit to register as an SDC.
+    pub fn print_f64(&mut self, v: f64) {
+        let _ = writeln!(self.buf, "{v:.6e}");
+    }
+
+    /// Prints a single byte as a character (low 8 bits of `v`).
+    pub fn print_char(&mut self, v: i64) {
+        self.buf.push((v as u8) as char);
+    }
+
+    /// The output so far.
+    pub fn contents(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consumes the console, returning the output.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been printed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_formatting() {
+        let mut c = Console::new();
+        c.print_i64(-42);
+        c.print_i64(0);
+        assert_eq!(c.contents(), "-42\n0\n");
+    }
+
+    #[test]
+    fn float_formatting_is_stable() {
+        let mut c = Console::new();
+        c.print_f64(1.5);
+        c.print_f64(-0.001_234_567_8);
+        c.print_f64(f64::NAN);
+        assert_eq!(c.contents(), "1.500000e0\n-1.234568e-3\nNaN\n");
+    }
+
+    #[test]
+    fn float_masks_ulp_noise() {
+        let mut a = Console::new();
+        let mut b = Console::new();
+        a.print_f64(1.000_000_000_000_1);
+        b.print_f64(1.000_000_000_000_2);
+        assert_eq!(a.contents(), b.contents());
+    }
+
+    #[test]
+    fn chars() {
+        let mut c = Console::new();
+        c.print_char(b'h' as i64);
+        c.print_char(b'i' as i64);
+        assert_eq!(c.contents(), "hi");
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.into_string(), "hi");
+    }
+}

@@ -1,0 +1,371 @@
+//! The simulated linear memory shared by both execution levels.
+//!
+//! Memory is a contiguous range starting above a null guard. Globals are
+//! packed at the bottom (natural alignment, no guard gaps — mirroring a
+//! real `.data` segment, so a slightly-corrupted address often lands in a
+//! *different live object*, producing an SDC rather than a crash, exactly
+//! as on real hardware). A single stack region sits above the globals.
+//! Every access is checked against the live regions and produces a
+//! [`Trap`] on failure.
+
+use crate::trap::Trap;
+
+/// What a region holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// A module global.
+    Global,
+    /// The (single) downward-growing stack.
+    Stack,
+    /// Heap-style allocation (used by tests and future workloads).
+    Heap,
+}
+
+/// A live address range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First address of the region.
+    pub start: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// What the region holds.
+    pub kind: RegionKind,
+}
+
+impl Region {
+    /// One-past-the-end address.
+    pub fn end(&self) -> u64 {
+        self.start + self.size
+    }
+
+    /// True if `addr` lies inside the region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+}
+
+/// Lowest valid address: everything below traps as (near-)null.
+pub const NULL_GUARD: u64 = 0x1_0000;
+
+/// Default simulated-memory capacity (64 MiB).
+pub const DEFAULT_CAPACITY: u64 = 64 << 20;
+
+/// Default stack size (1 MiB).
+pub const DEFAULT_STACK_SIZE: u64 = 1 << 20;
+
+/// The simulated memory.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    data: Vec<u8>,
+    regions: Vec<Region>, // sorted by start (allocation is monotonic)
+    next: u64,
+    capacity: u64,
+    stack: Option<Region>,
+}
+
+impl Memory {
+    /// Creates an empty memory with the default capacity.
+    pub fn new() -> Memory {
+        Memory::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty memory with a custom capacity in bytes.
+    pub fn with_capacity(capacity: u64) -> Memory {
+        Memory {
+            data: Vec::new(),
+            regions: Vec::new(),
+            next: NULL_GUARD,
+            capacity,
+            stack: None,
+        }
+    }
+
+    /// Allocates a zero-filled region of `size` bytes aligned to `align`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::OutOfMemory`] if the capacity would be exceeded.
+    pub fn alloc(&mut self, size: u64, align: u64, kind: RegionKind) -> Result<u64, Trap> {
+        let align = align.max(1);
+        let start = self.next.div_ceil(align) * align;
+        let end = start.checked_add(size.max(1)).ok_or(Trap::OutOfMemory)?;
+        if end - NULL_GUARD > self.capacity {
+            return Err(Trap::OutOfMemory);
+        }
+        self.data.resize((end - NULL_GUARD) as usize, 0);
+        let region = Region {
+            start,
+            size: size.max(1),
+            kind,
+        };
+        if kind == RegionKind::Stack {
+            self.stack = Some(region);
+        }
+        self.regions.push(region);
+        self.next = end;
+        Ok(start)
+    }
+
+    /// Reserves `size` bytes of *unmapped* guard space: the cursor advances
+    /// but no region is recorded, so any access in the gap traps as
+    /// [`Trap::Unmapped`]. Used to put a guard page between the globals and
+    /// the stack (stack underflow then faults instead of silently
+    /// corrupting globals).
+    pub fn reserve_guard(&mut self, size: u64) {
+        self.next += size;
+    }
+
+    /// Allocates the stack region (call once). Returns its *top* address
+    /// (one past the end, where a downward-growing stack pointer starts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::OutOfMemory`] if the capacity would be exceeded.
+    pub fn alloc_stack(&mut self, size: u64) -> Result<u64, Trap> {
+        let start = self.alloc(size, 16, RegionKind::Stack)?;
+        Ok(start + size)
+    }
+
+    /// The stack region, if allocated.
+    pub fn stack(&self) -> Option<Region> {
+        self.stack
+    }
+
+    /// All live regions, ordered by start address.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Total bytes currently mapped.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.next - NULL_GUARD
+    }
+
+    /// Finds the region containing `addr`.
+    fn region_of(&self, addr: u64) -> Option<&Region> {
+        let idx = self.regions.partition_point(|r| r.start <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let r = &self.regions[idx - 1];
+        r.contains(addr).then_some(r)
+    }
+
+    /// Checks that `[addr, addr+size)` is a valid access.
+    ///
+    /// # Errors
+    ///
+    /// * [`Trap::NullDeref`] below the null guard,
+    /// * [`Trap::Unmapped`] if no region contains `addr`,
+    /// * [`Trap::OutOfBounds`] if the access crosses the region end into
+    ///   unmapped space (crossing into an *adjacent mapped region* is
+    ///   allowed, as on real paged hardware).
+    pub fn check(&self, addr: u64, size: u64) -> Result<(), Trap> {
+        if addr < NULL_GUARD {
+            return Err(Trap::NullDeref { addr });
+        }
+        let r = self.region_of(addr).ok_or(Trap::Unmapped { addr })?;
+        let end = addr.checked_add(size).ok_or(Trap::OutOfBounds { addr })?;
+        if end <= r.end() {
+            return Ok(());
+        }
+        // Access straddles the region end; permit it only if the bytes past
+        // the end are themselves mapped (adjacent region).
+        let mut cursor = r.end();
+        while cursor < end {
+            match self.region_of(cursor) {
+                Some(next) => cursor = next.end(),
+                None => return Err(Trap::OutOfBounds { addr }),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Memory::check`] failures.
+    pub fn read_bytes(&self, addr: u64, len: u64) -> Result<&[u8], Trap> {
+        self.check(addr, len)?;
+        let off = (addr - NULL_GUARD) as usize;
+        Ok(&self.data[off..off + len as usize])
+    }
+
+    /// Writes `bytes` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Memory::check`] failures.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Trap> {
+        self.check(addr, bytes.len() as u64)?;
+        let off = (addr - NULL_GUARD) as usize;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads a little-endian unsigned integer of `size` ∈ {1,2,4,8} bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Memory::check`] failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4, or 8.
+    pub fn read_uint(&self, addr: u64, size: u64) -> Result<u64, Trap> {
+        let b = self.read_bytes(addr, size)?;
+        Ok(match size {
+            1 => u64::from(b[0]),
+            2 => u64::from(u16::from_le_bytes([b[0], b[1]])),
+            4 => u64::from(u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+            8 => u64::from_le_bytes(b.try_into().expect("8 bytes")),
+            _ => panic!("unsupported access size {size}"),
+        })
+    }
+
+    /// Writes the low `size` bytes of `val` little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Memory::check`] failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4, or 8.
+    pub fn write_uint(&mut self, addr: u64, val: u64, size: u64) -> Result<(), Trap> {
+        let bytes = val.to_le_bytes();
+        match size {
+            1 | 2 | 4 | 8 => self.write_bytes(addr, &bytes[..size as usize]),
+            _ => panic!("unsupported access size {size}"),
+        }
+    }
+
+    /// Reads an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Memory::check`] failures.
+    pub fn read_f64(&self, addr: u64) -> Result<f64, Trap> {
+        Ok(f64::from_bits(self.read_uint(addr, 8)?))
+    }
+
+    /// Writes an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Memory::check`] failures.
+    pub fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), Trap> {
+        self.write_uint(addr, v.to_bits(), 8)
+    }
+
+    /// Reads an `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Memory::check`] failures.
+    pub fn read_f32(&self, addr: u64) -> Result<f32, Trap> {
+        Ok(f32::from_bits(self.read_uint(addr, 4)? as u32))
+    }
+
+    /// Writes an `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Memory::check`] failures.
+    pub fn write_f32(&mut self, addr: u64, v: f32) -> Result<(), Trap> {
+        self.write_uint(addr, u64::from(v.to_bits()), 4)
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_rw_roundtrip() {
+        let mut m = Memory::new();
+        let a = m.alloc(16, 8, RegionKind::Global).unwrap();
+        assert_eq!(a % 8, 0);
+        m.write_uint(a, 0xdead_beef_cafe_f00d, 8).unwrap();
+        assert_eq!(m.read_uint(a, 8).unwrap(), 0xdead_beef_cafe_f00d);
+        m.write_f64(a + 8, 2.5).unwrap();
+        assert_eq!(m.read_f64(a + 8).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let mut m = Memory::new();
+        let a = m.alloc(64, 8, RegionKind::Global).unwrap();
+        assert_eq!(m.read_uint(a + 32, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn null_guard_traps() {
+        let m = Memory::new();
+        assert_eq!(m.check(0, 8), Err(Trap::NullDeref { addr: 0 }));
+        assert_eq!(m.check(8, 1), Err(Trap::NullDeref { addr: 8 }));
+    }
+
+    #[test]
+    fn unmapped_traps() {
+        let mut m = Memory::new();
+        let a = m.alloc(16, 8, RegionKind::Global).unwrap();
+        let far = a + 0x100_0000;
+        assert_eq!(m.check(far, 1), Err(Trap::Unmapped { addr: far }));
+    }
+
+    #[test]
+    fn adjacent_regions_do_not_trap() {
+        // Two back-to-back 8-byte globals: a read crossing the boundary is
+        // allowed, as both bytes ranges are mapped.
+        let mut m = Memory::new();
+        let a = m.alloc(8, 8, RegionKind::Global).unwrap();
+        let b = m.alloc(8, 8, RegionKind::Global).unwrap();
+        assert_eq!(b, a + 8);
+        m.check(a + 4, 8).expect("straddles into mapped region");
+    }
+
+    #[test]
+    fn oob_past_last_region_traps() {
+        let mut m = Memory::new();
+        let a = m.alloc(8, 8, RegionKind::Global).unwrap();
+        assert_eq!(m.check(a + 4, 8), Err(Trap::OutOfBounds { addr: a + 4 }));
+    }
+
+    #[test]
+    fn capacity_exhaustion() {
+        let mut m = Memory::with_capacity(1024);
+        assert!(m.alloc(512, 8, RegionKind::Global).is_ok());
+        assert_eq!(m.alloc(4096, 8, RegionKind::Global), Err(Trap::OutOfMemory));
+    }
+
+    #[test]
+    fn stack_top() {
+        let mut m = Memory::new();
+        let top = m.alloc_stack(4096).unwrap();
+        let st = m.stack().unwrap();
+        assert_eq!(top, st.end());
+        assert_eq!(st.size, 4096);
+        m.check(top - 8, 8).expect("top word usable");
+        assert!(m.check(top, 8).is_err());
+    }
+
+    #[test]
+    fn byte_sizes() {
+        let mut m = Memory::new();
+        let a = m.alloc(8, 8, RegionKind::Global).unwrap();
+        m.write_uint(a, 0x1122_3344_5566_7788, 8).unwrap();
+        assert_eq!(m.read_uint(a, 1).unwrap(), 0x88);
+        assert_eq!(m.read_uint(a, 2).unwrap(), 0x7788);
+        assert_eq!(m.read_uint(a, 4).unwrap(), 0x5566_7788);
+        m.write_uint(a, 0xff, 1).unwrap();
+        assert_eq!(m.read_uint(a, 8).unwrap(), 0x1122_3344_5566_77ff);
+    }
+}

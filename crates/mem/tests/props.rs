@@ -1,0 +1,91 @@
+//! Property tests for the memory model: allocation layout determinism,
+//! access-check soundness, and read/write round trips.
+
+use fiq_mem::{Memory, RegionKind, Trap, NULL_GUARD};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Allocations are aligned, disjoint, monotonically placed, and the
+    /// same request sequence always produces the same addresses
+    /// (the determinism both execution levels rely on for identical
+    /// global layouts).
+    #[test]
+    fn allocation_layout(reqs in prop::collection::vec((1u64..512, prop::sample::select(vec![1u64, 2, 4, 8, 16])), 1..20)) {
+        let mut m1 = Memory::new();
+        let mut m2 = Memory::new();
+        let mut prev_end = 0u64;
+        for (size, align) in &reqs {
+            let a1 = m1.alloc(*size, *align, RegionKind::Global).unwrap();
+            let a2 = m2.alloc(*size, *align, RegionKind::Global).unwrap();
+            prop_assert_eq!(a1, a2, "deterministic layout");
+            prop_assert_eq!(a1 % align, 0, "aligned");
+            prop_assert!(a1 >= NULL_GUARD);
+            prop_assert!(a1 >= prev_end, "monotonic, disjoint");
+            prev_end = a1 + size;
+        }
+    }
+
+    /// Reads and writes round-trip at every supported width, and
+    /// neighbouring bytes are untouched.
+    #[test]
+    fn rw_roundtrip(val in any::<u64>(), size in prop::sample::select(vec![1u64, 2, 4, 8])) {
+        let mut m = Memory::new();
+        let a = m.alloc(24, 8, RegionKind::Global).unwrap();
+        m.write_uint(a + 8, u64::MAX, 8).unwrap();
+        m.write_uint(a + 8, val, size).unwrap();
+        let mask = if size == 8 { u64::MAX } else { (1 << (size * 8)) - 1 };
+        prop_assert_eq!(m.read_uint(a + 8, size).unwrap(), val & mask);
+        // Bytes beyond the write keep their previous value.
+        if size < 8 {
+            let rest = m.read_bytes(a + 8 + size, 8 - size).unwrap();
+            prop_assert!(rest.iter().all(|&b| b == 0xff));
+        }
+        // Outside the region traps.
+        prop_assert!(m.read_uint(a + 24, 1).is_err());
+    }
+
+    /// Every address below the null guard traps as a null dereference; any
+    /// address beyond the mapped range traps as unmapped.
+    #[test]
+    fn guard_and_unmapped(off in 0u64..NULL_GUARD, far in 1u64..1_000_000) {
+        let mut m = Memory::new();
+        let a = m.alloc(64, 8, RegionKind::Global).unwrap();
+        prop_assert_eq!(m.check(off, 1), Err(Trap::NullDeref { addr: off }));
+        let wild = a + 64 + 4096 + far;
+        let traps = matches!(
+            m.check(wild, 1),
+            Err(Trap::Unmapped { .. } | Trap::OutOfBounds { .. })
+        );
+        prop_assert!(traps);
+    }
+
+    /// f64 round trips bit-exactly (including NaN payloads).
+    #[test]
+    fn f64_roundtrip(bits in any::<u64>()) {
+        let mut m = Memory::new();
+        let a = m.alloc(8, 8, RegionKind::Global).unwrap();
+        m.write_f64(a, f64::from_bits(bits)).unwrap();
+        prop_assert_eq!(m.read_f64(a).unwrap().to_bits(), bits);
+    }
+}
+
+#[test]
+fn guard_gap_between_globals_and_stack_traps() {
+    let mut m = Memory::new();
+    let g = m.alloc(64, 8, RegionKind::Global).unwrap();
+    m.reserve_guard(4096);
+    let top = m.alloc_stack(8192).unwrap();
+    let stack_start = top - 8192;
+    // The gap between the global end and the stack start is unmapped.
+    let gap_addr = g + 64 + 1024;
+    assert!(gap_addr < stack_start);
+    assert!(matches!(
+        m.check(gap_addr, 8),
+        Err(Trap::Unmapped { .. } | Trap::OutOfBounds { .. })
+    ));
+    // But both sides are fine.
+    m.check(g, 8).unwrap();
+    m.check(stack_start, 8).unwrap();
+}

@@ -1,0 +1,294 @@
+//! Constant folding and algebraic simplification.
+
+use fiq_interp::{eval_cast, eval_fcmp, eval_float_binop, eval_icmp, eval_int_binop, RtVal};
+use fiq_ir::{BinOp, Constant, FloatTy, Function, InstId, InstKind, Value};
+use std::collections::HashMap;
+
+/// Folds constant expressions and applies simple algebraic identities,
+/// iterating until no more folds apply (so chains of constants collapse in
+/// one call). Returns the number of instructions replaced.
+pub fn const_fold(func: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let n = const_fold_once(func);
+        total += n;
+        if n == 0 {
+            return total;
+        }
+    }
+}
+
+fn const_fold_once(func: &mut Function) -> usize {
+    let mut replacements: HashMap<InstId, Value> = HashMap::new();
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        for &id in &func.block(bb).insts.clone() {
+            if replacements.contains_key(&id) {
+                continue;
+            }
+            if let Some(v) = fold_inst(func, id) {
+                replacements.insert(id, v);
+            }
+        }
+    }
+    if replacements.is_empty() {
+        return 0;
+    }
+    let n = func.insts.len();
+    for i in 0..n {
+        let mut inst = func.insts[i].clone();
+        inst.for_each_operand_mut(|v| {
+            // Identity folds may map to another replaced instruction
+            // (e.g. `mul (add x, 0), 1` → `add x, 0` → `x`); follow chains.
+            let mut fuel = replacements.len() + 1;
+            while let Value::Inst(id) = v {
+                match replacements.get(id) {
+                    Some(r) if fuel > 0 => {
+                        *v = *r;
+                        fuel -= 1;
+                    }
+                    _ => break,
+                }
+            }
+        });
+        func.insts[i] = inst;
+    }
+    // Detach the folded instructions: everything foldable is pure (we never
+    // fold trapping forms), so dropping them is safe and guarantees the
+    // fold loop terminates.
+    for block in &mut func.blocks {
+        block.insts.retain(|id| !replacements.contains_key(id));
+    }
+    replacements.len()
+}
+
+fn as_rt(c: Constant) -> Option<RtVal> {
+    Some(match c {
+        Constant::Int(t, v) => RtVal::Int(t, v),
+        Constant::Float(FloatTy::F32, bits) => RtVal::F32(f32::from_bits(bits as u32)),
+        Constant::Float(FloatTy::F64, bits) => RtVal::F64(f64::from_bits(bits)),
+        Constant::Undef(t) => RtVal::Int(t, 0),
+        // Addresses are not compile-time constants here.
+        Constant::NullPtr | Constant::Global(_) | Constant::Func(_) => return None,
+    })
+}
+
+fn to_const(v: RtVal) -> Constant {
+    match v {
+        RtVal::Int(t, x) => Constant::Int(t, x),
+        RtVal::F32(f) => Constant::f32(f),
+        RtVal::F64(f) => Constant::f64(f),
+        RtVal::Ptr(_) => unreachable!("pointer constants are never folded"),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn fold_inst(func: &Function, id: InstId) -> Option<Value> {
+    let inst = func.inst(id);
+    match &inst.kind {
+        InstKind::Binary { op, lhs, rhs } => {
+            let (lc, rc) = (lhs.as_const(), rhs.as_const());
+            // Full fold when both sides are constants.
+            if let (Some(l), Some(r)) = (lc, rc) {
+                let (l, r) = (as_rt(l)?, as_rt(r)?);
+                if op.is_float() {
+                    let out = match (l, r) {
+                        (RtVal::F64(a), RtVal::F64(b)) => RtVal::F64(eval_float_binop(*op, a, b)),
+                        (RtVal::F32(a), RtVal::F32(b)) => {
+                            RtVal::F32(eval_float_binop(*op, f64::from(a), f64::from(b)) as f32)
+                        }
+                        _ => return None,
+                    };
+                    return Some(Value::Const(to_const(out)));
+                }
+                let t = inst.ty.as_int()?;
+                // Trapping folds (e.g. division by a zero constant) are
+                // left in place so runtime behaviour is preserved.
+                let out = eval_int_binop(*op, t, l.as_int(), r.as_int()).ok()?;
+                return Some(Value::Const(Constant::Int(t, out)));
+            }
+            // Algebraic identities (integer only; float identities are not
+            // sound under NaN/-0.0).
+            let int_zero = |c: Constant| matches!(c, Constant::Int(_, 0));
+            let int_one = |c: Constant| matches!(c, Constant::Int(_, 1));
+            match op {
+                BinOp::Add | BinOp::Or | BinOp::Xor => {
+                    if rc.is_some_and(int_zero) {
+                        return Some(*lhs);
+                    }
+                    if lc.is_some_and(int_zero) {
+                        return Some(*rhs);
+                    }
+                }
+                BinOp::Sub | BinOp::Shl | BinOp::LShr | BinOp::AShr if rc.is_some_and(int_zero) => {
+                    return Some(*lhs);
+                }
+                BinOp::Mul => {
+                    if rc.is_some_and(int_one) {
+                        return Some(*lhs);
+                    }
+                    if lc.is_some_and(int_one) {
+                        return Some(*rhs);
+                    }
+                    if rc.is_some_and(int_zero) || lc.is_some_and(int_zero) {
+                        let t = inst.ty.as_int()?;
+                        return Some(Value::Const(Constant::Int(t, 0)));
+                    }
+                }
+                BinOp::And if (rc.is_some_and(int_zero) || lc.is_some_and(int_zero)) => {
+                    let t = inst.ty.as_int()?;
+                    return Some(Value::Const(Constant::Int(t, 0)));
+                }
+                _ => {}
+            }
+            None
+        }
+        InstKind::ICmp { pred, lhs, rhs } => {
+            let (l, r) = (lhs.as_const()?, rhs.as_const()?);
+            match (l, r) {
+                (Constant::Int(t, a), Constant::Int(_, b)) => {
+                    Some(Value::bool(eval_icmp(*pred, Some(t), a, b)))
+                }
+                (Constant::NullPtr, Constant::NullPtr) => {
+                    Some(Value::bool(eval_icmp(*pred, None, 0, 0)))
+                }
+                _ => None,
+            }
+        }
+        InstKind::FCmp { pred, lhs, rhs } => {
+            let (l, r) = (as_rt(lhs.as_const()?)?, as_rt(rhs.as_const()?)?);
+            let (a, b) = match (l, r) {
+                (RtVal::F64(a), RtVal::F64(b)) => (a, b),
+                (RtVal::F32(a), RtVal::F32(b)) => (f64::from(a), f64::from(b)),
+                _ => return None,
+            };
+            Some(Value::bool(eval_fcmp(*pred, a, b)))
+        }
+        InstKind::Cast { op, val } => {
+            let c = as_rt(val.as_const()?)?;
+            let out = eval_cast(*op, c, &inst.ty);
+            if matches!(out, RtVal::Ptr(_)) {
+                return None;
+            }
+            Some(Value::Const(to_const(out)))
+        }
+        InstKind::Select {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            if let Some(Constant::Int(_, c)) = cond.as_const() {
+                return Some(if c != 0 { *then_val } else { *else_val });
+            }
+            if then_val == else_val {
+                return Some(*then_val);
+            }
+            None
+        }
+        InstKind::Phi { incomings } => {
+            // φ where every incoming is the same value (or the φ itself).
+            let mut unique: Option<Value> = None;
+            for (_, v) in incomings {
+                if *v == Value::Inst(id) {
+                    continue;
+                }
+                match unique {
+                    None => unique = Some(*v),
+                    Some(u) if u == *v => {}
+                    _ => return None,
+                }
+            }
+            unique
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiq_ir::{CastOp, FuncBuilder, ICmpPred, Module, Type};
+
+    fn fold_ret(build: impl FnOnce(&mut FuncBuilder<'_>) -> Value) -> Value {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::i64()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let v = build(&mut b);
+        b.ret(Some(v));
+        let id = m.add_func(f);
+        const_fold(m.func_mut(id));
+        let f = m.func(id);
+        let ret = f.block(f.entry()).terminator().unwrap();
+        let InstKind::Ret { val: Some(v) } = f.inst(ret).kind else {
+            panic!()
+        };
+        v
+    }
+
+    #[test]
+    fn folds_int_arithmetic() {
+        let v = fold_ret(|b| b.binary(BinOp::Add, Value::i64(40), Value::i64(2)));
+        assert_eq!(v, Value::i64(42));
+    }
+
+    #[test]
+    fn folds_comparisons_and_casts() {
+        let v = fold_ret(|b| {
+            let c = b.icmp(ICmpPred::Slt, Value::i64(1), Value::i64(2));
+            b.cast(CastOp::ZExt, c, Type::i64())
+        });
+        assert_eq!(v, Value::i64(1));
+    }
+
+    #[test]
+    fn keeps_trapping_division() {
+        let v = fold_ret(|b| b.binary(BinOp::SDiv, Value::i64(5), Value::i64(0)));
+        assert!(matches!(v, Value::Inst(_)), "div-by-zero must not fold");
+    }
+
+    #[test]
+    fn identity_add_zero() {
+        let v = fold_ret(|b| b.binary(BinOp::Add, Value::Arg(0), Value::i64(0)));
+        assert_eq!(v, Value::Arg(0));
+    }
+
+    #[test]
+    fn mul_by_zero_is_zero() {
+        let v = fold_ret(|b| b.binary(BinOp::Mul, Value::Arg(0), Value::i64(0)));
+        assert_eq!(v, Value::i64(0));
+    }
+
+    #[test]
+    fn float_identities_not_applied() {
+        // x + 0.0 must NOT fold (x could be -0.0).
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::f64()], Type::f64());
+        let mut b = FuncBuilder::new(&mut f);
+        let v = b.binary(BinOp::FAdd, Value::Arg(0), Value::f64(0.0));
+        b.ret(Some(v));
+        let id = m.add_func(f);
+        const_fold(m.func_mut(id));
+        let f = m.func(id);
+        let ret = f.block(f.entry()).terminator().unwrap();
+        let InstKind::Ret { val: Some(v) } = f.inst(ret).kind else {
+            panic!()
+        };
+        assert!(matches!(v, Value::Inst(_)));
+    }
+
+    #[test]
+    fn folds_float_arithmetic() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![], Type::f64());
+        let mut b = FuncBuilder::new(&mut f);
+        let v = b.binary(BinOp::FMul, Value::f64(2.0), Value::f64(3.5));
+        b.ret(Some(v));
+        let id = m.add_func(f);
+        const_fold(m.func_mut(id));
+        let f = m.func(id);
+        let ret = f.block(f.entry()).terminator().unwrap();
+        let InstKind::Ret { val: Some(v) } = f.inst(ret).kind else {
+            panic!()
+        };
+        assert_eq!(v, Value::f64(7.0));
+    }
+}

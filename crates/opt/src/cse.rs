@@ -1,0 +1,191 @@
+//! Local common-subexpression elimination.
+//!
+//! Within each basic block, pure instructions with identical operation and
+//! operands are deduplicated (the later one is replaced by the earlier
+//! result). This covers the patterns real optimizers clean up that would
+//! otherwise skew instruction counts — most importantly repeated address
+//! computations like the row offsets of `grid[i][j-1]`, `grid[i][j]`,
+//! `grid[i][j+1]` in stencil code, which share one `getelementptr` chain
+//! after CSE (and one `imul`/`add` pair after lowering).
+
+use fiq_ir::{Function, InstId, InstKind, Value};
+use std::collections::HashMap;
+
+/// A hashable key for a pure instruction's operation + operands.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ExprKey {
+    op: &'static str,
+    detail: String,
+    operands: Vec<OperandKey>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum OperandKey {
+    Inst(u32),
+    Arg(u32),
+    ConstBits(String),
+}
+
+fn operand_key(v: Value) -> OperandKey {
+    match v {
+        Value::Inst(i) => OperandKey::Inst(i.0),
+        Value::Arg(n) => OperandKey::Arg(n),
+        Value::Const(c) => OperandKey::ConstBits(format!("{c:?}")),
+    }
+}
+
+/// Builds a key for instructions that are safe to deduplicate: pure
+/// computations whose result depends only on their operands. Loads are
+/// excluded (memory may change); so are calls, allocas, and φs.
+fn key_of(func: &Function, id: InstId) -> Option<ExprKey> {
+    let inst = func.inst(id);
+    let mut operands = Vec::new();
+    inst.for_each_operand(|v| operands.push(operand_key(v)));
+    let detail = match &inst.kind {
+        InstKind::Binary { op, .. } => format!("{op:?}"),
+        InstKind::ICmp { pred, .. } => format!("{pred:?}"),
+        InstKind::FCmp { pred, .. } => format!("{pred:?}"),
+        InstKind::Cast { op, .. } => format!("{op:?}-{}", inst.ty),
+        InstKind::Gep { elem_ty, .. } => format!("{elem_ty}"),
+        InstKind::Select { .. } => String::new(),
+        _ => return None,
+    };
+    Some(ExprKey {
+        op: inst.opcode_name(),
+        detail,
+        operands,
+    })
+}
+
+/// Runs local CSE on one function. Returns the number of instructions
+/// eliminated.
+pub fn cse(func: &mut Function) -> usize {
+    let mut replacements: HashMap<InstId, InstId> = HashMap::new();
+    for bb in 0..func.blocks.len() {
+        let mut seen: HashMap<ExprKey, InstId> = HashMap::new();
+        for &id in &func.blocks[bb].insts.clone() {
+            let Some(key) = key_of(func, id) else {
+                continue;
+            };
+            match seen.get(&key) {
+                Some(&first) => {
+                    replacements.insert(id, first);
+                }
+                None => {
+                    seen.insert(key, id);
+                }
+            }
+        }
+    }
+    if replacements.is_empty() {
+        return 0;
+    }
+    // Rewrite uses (following chains) and detach the duplicates.
+    let n = func.insts.len();
+    for i in 0..n {
+        let mut inst = func.insts[i].clone();
+        inst.for_each_operand_mut(|v| {
+            let mut fuel = replacements.len() + 1;
+            while let Value::Inst(id) = v {
+                match replacements.get(id) {
+                    Some(&r) if fuel > 0 => {
+                        *v = Value::Inst(r);
+                        fuel -= 1;
+                    }
+                    _ => break,
+                }
+            }
+        });
+        func.insts[i] = inst;
+    }
+    for block in &mut func.blocks {
+        block.insts.retain(|id| !replacements.contains_key(id));
+    }
+    replacements.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiq_ir::{BinOp, FuncBuilder, Module, Type};
+
+    #[test]
+    fn dedupes_identical_arithmetic() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::i64()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let a1 = b.binary(BinOp::Mul, Value::Arg(0), Value::i64(272));
+        let a2 = b.binary(BinOp::Mul, Value::Arg(0), Value::i64(272));
+        let s = b.binary(BinOp::Add, a1, a2);
+        b.ret(Some(s));
+        let id = m.add_func(f);
+        assert_eq!(cse(m.func_mut(id)), 1);
+        fiq_ir::verify_module(&m).unwrap();
+        assert_eq!(m.func(id).live_inst_count(), 3); // mul, add, ret
+    }
+
+    #[test]
+    fn dedupes_geps() {
+        let mut m = Module::new("t");
+        let arr = Type::Array(Box::new(Type::f64()), 8);
+        let mut f = Function::new("f", vec![Type::Ptr, Type::i64()], Type::f64());
+        let mut b = FuncBuilder::new(&mut f);
+        let g1 = b.gep(
+            arr.clone(),
+            Value::Arg(0),
+            vec![Value::i64(0), Value::Arg(1)],
+        );
+        let g2 = b.gep(arr, Value::Arg(0), vec![Value::i64(0), Value::Arg(1)]);
+        let v1 = b.load(Type::f64(), g1);
+        let v2 = b.load(Type::f64(), g2);
+        let s = b.binary(BinOp::FAdd, v1, v2);
+        b.ret(Some(s));
+        let id = m.add_func(f);
+        assert_eq!(cse(m.func_mut(id)), 1, "identical geps merge");
+        fiq_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn does_not_merge_loads() {
+        // Two loads of the same address may observe different memory.
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::Ptr], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let v1 = b.load(Type::i64(), Value::Arg(0));
+        b.store(Value::i64(7), Value::Arg(0));
+        let v2 = b.load(Type::i64(), Value::Arg(0));
+        let s = b.binary(BinOp::Add, v1, v2);
+        b.ret(Some(s));
+        let id = m.add_func(f);
+        assert_eq!(cse(m.func_mut(id)), 0);
+    }
+
+    #[test]
+    fn does_not_merge_across_blocks() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::i64()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let next = b.new_block();
+        let a1 = b.binary(BinOp::Add, Value::Arg(0), Value::i64(1));
+        let _ = a1;
+        b.br(next);
+        b.switch_to(next);
+        let a2 = b.binary(BinOp::Add, Value::Arg(0), Value::i64(1));
+        b.ret(Some(a2));
+        let id = m.add_func(f);
+        assert_eq!(cse(m.func_mut(id)), 0, "local CSE only");
+    }
+
+    #[test]
+    fn different_constants_not_merged() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::i64()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let a1 = b.binary(BinOp::Mul, Value::Arg(0), Value::i64(3));
+        let a2 = b.binary(BinOp::Mul, Value::Arg(0), Value::i64(5));
+        let s = b.binary(BinOp::Add, a1, a2);
+        b.ret(Some(s));
+        let id = m.add_func(f);
+        assert_eq!(cse(m.func_mut(id)), 0);
+    }
+}

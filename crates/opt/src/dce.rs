@@ -1,0 +1,104 @@
+//! Dead code elimination.
+//!
+//! Removes instructions whose results are unused and whose execution has no
+//! observable effect. Loads and (potentially trapping) divisions *are*
+//! removed when dead — matching LLVM, and matching what LLFI's def-use
+//! candidate filter assumes (an unused value is never an injection target).
+
+use fiq_ir::{Function, InstKind};
+
+/// Removes dead instructions from `func`. Returns how many were removed.
+pub fn dce(func: &mut Function) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let uses = func.use_counts();
+        let mut removed = 0;
+        for bb in 0..func.blocks.len() {
+            let func_insts = &func.insts;
+            let before = func.blocks[bb].insts.len();
+            func.blocks[bb].insts.retain(|id| {
+                let inst = &func_insts[id.index()];
+                if inst.is_terminator() {
+                    return true;
+                }
+
+                match inst.kind {
+                    InstKind::Store { .. } | InstKind::Call { .. } => true,
+                    _ => uses[id.index()] > 0,
+                }
+            });
+            removed += before - func.blocks[bb].insts.len();
+        }
+        removed_total += removed;
+        if removed == 0 {
+            return removed_total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiq_ir::{BinOp, FuncBuilder, Module, Type, Value};
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::i64()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let a = b.binary(BinOp::Add, Value::Arg(0), Value::i64(1));
+        let _dead = b.binary(BinOp::Mul, a, Value::i64(2)); // unused
+        b.ret(Some(a));
+        let id = m.add_func(f);
+        assert_eq!(dce(m.func_mut(id)), 1);
+        fiq_ir::verify_module(&m).unwrap();
+        assert_eq!(m.func(id).live_inst_count(), 2);
+    }
+
+    #[test]
+    fn removes_transitively_dead() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::i64()], Type::Void);
+        let mut b = FuncBuilder::new(&mut f);
+        let a = b.binary(BinOp::Add, Value::Arg(0), Value::i64(1));
+        let c = b.binary(BinOp::Mul, a, Value::i64(2));
+        let _d = b.binary(BinOp::Sub, c, Value::i64(3));
+        b.ret(None);
+        let id = m.add_func(f);
+        assert_eq!(dce(m.func_mut(id)), 3);
+        assert_eq!(m.func(id).live_inst_count(), 1);
+    }
+
+    #[test]
+    fn keeps_stores_and_calls() {
+        let mut m = Module::new("t");
+        let callee = m.add_func(Function::new("c", vec![], Type::i64()));
+        {
+            let f = m.func_mut(callee);
+            let mut b = FuncBuilder::new(f);
+            b.ret(Some(Value::i64(1)));
+        }
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = FuncBuilder::new(&mut f);
+        let p = b.alloca(Type::i64());
+        b.store(Value::i64(1), p);
+        let _unused_call = b.call(fiq_ir::Callee::Func(callee), vec![], Type::i64());
+        b.ret(None);
+        let id = m.add_func(f);
+        assert_eq!(dce(m.func_mut(id)), 0);
+        assert_eq!(m.func(id).live_inst_count(), 4);
+    }
+
+    #[test]
+    fn removes_dead_load() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = FuncBuilder::new(&mut f);
+        let p = b.alloca(Type::i64());
+        b.store(Value::i64(1), p);
+        let _v = b.load(Type::i64(), p);
+        b.ret(None);
+        let id = m.add_func(f);
+        assert_eq!(dce(m.func_mut(id)), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! # fiq-opt — IR optimization pipeline
+//!
+//! Standard optimizations run on front-end output before either execution
+//! level sees it (paper §V: "we compile the programs with the LLVM
+//! compiler, with the same standard optimizations enabled"):
+//!
+//! * [`mem2reg`] — SSA construction (φ insertion); gives the IR its
+//!   optimized shape,
+//! * [`const_fold`] — constant folding and algebraic identities,
+//! * [`dce`] — dead code elimination,
+//! * [`simplify_cfg`] — branch folding, jump threading, unreachable-block
+//!   cleanup.
+//!
+//! Both LLFI and PINFI inject into the *same* optimized module (LLFI by
+//! interpreting it, PINFI by lowering it to assembly first), exactly as in
+//! the paper's setup.
+//!
+//! ```
+//! let mut module = fiq_frontend::compile(
+//!     "demo",
+//!     "int main() { int x = 2 + 3; print_i64(x * 2); return 0; }",
+//! ).unwrap();
+//! let before = module.func(module.main_func().unwrap()).live_inst_count();
+//! fiq_opt::optimize_module(&mut module);
+//! let after = module.func(module.main_func().unwrap()).live_inst_count();
+//! assert!(after < before);
+//! ```
+
+#![warn(missing_docs)]
+
+mod constfold;
+mod cse;
+mod dce;
+mod inline;
+mod licm;
+mod mem2reg;
+mod simplifycfg;
+
+pub use constfold::const_fold;
+pub use cse::cse;
+pub use dce::dce;
+pub use inline::inline_functions;
+pub use licm::licm;
+pub use mem2reg::mem2reg;
+pub use simplifycfg::simplify_cfg;
+
+use fiq_ir::{Function, Module};
+
+/// Runs the full pipeline on one function. Returns total changes.
+pub fn optimize_function(func: &mut Function) -> usize {
+    let mut total = mem2reg(func);
+    // Hoist before CFG simplification removes the dedicated preheaders the
+    // front end creates.
+    total += licm(func);
+    for _ in 0..5 {
+        let mut round = 0;
+        round += const_fold(func);
+        round += cse(func);
+        round += dce(func);
+        round += simplify_cfg(func);
+        total += round;
+        if round == 0 {
+            break;
+        }
+    }
+    total
+}
+
+/// Runs the full pipeline on every function of a module.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if a pass breaks IR validity — that is a bug
+/// in this crate, not in the caller.
+pub fn optimize_module(module: &mut Module) -> usize {
+    let mut total = 0;
+    for f in &mut module.funcs {
+        total += optimize_function(f);
+    }
+    // Inline once functions are in optimized form, then clean up the
+    // merged bodies.
+    total += inline_functions(module);
+    for f in &mut module.funcs {
+        total += optimize_function(f);
+    }
+    debug_assert!(
+        fiq_ir::verify_module(module).is_ok(),
+        "optimizer produced invalid IR: {:?}",
+        fiq_ir::verify_module(module).err()
+    );
+    total
+}

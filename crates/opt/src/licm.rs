@@ -1,0 +1,239 @@
+//! Loop-invariant code motion.
+//!
+//! Pure, non-trapping instructions whose operands are defined outside a
+//! natural loop are hoisted to the loop's preheader. The headline effect
+//! for this project: row-offset address computations of 2-D array accesses
+//! (`getelementptr` with a large stride, lowered to `imul`/`add`) leave
+//! inner loops, as they do under any production `-O2` pipeline.
+
+use fiq_ir::{BlockId, DomTree, Function, InstId, InstKind, Value};
+use std::collections::HashSet;
+
+/// Runs LICM on one function. Returns the number of instructions hoisted.
+pub fn licm(func: &mut Function) -> usize {
+    let mut total = 0;
+    // Two passes pick up invariants exposed by hoisting in nested loops.
+    for _ in 0..2 {
+        let n = run_once(func);
+        total += n;
+        if n == 0 {
+            break;
+        }
+    }
+    total
+}
+
+fn run_once(func: &mut Function) -> usize {
+    let dt = DomTree::compute(func);
+    let preds = func.predecessors();
+    // Natural loops: back edge L -> H where H dominates L.
+    let mut loops: Vec<(BlockId, Vec<BlockId>)> = Vec::new(); // (header, body)
+    for l in func.block_ids() {
+        for h in func.successors(l) {
+            if dt.is_reachable(l) && dt.dominates(h, l) {
+                loops.push((h, natural_loop(func, h, l)));
+            }
+        }
+    }
+    let mut hoisted = 0;
+    for (header, body) in loops {
+        // Preheader: the unique out-of-loop predecessor, ending in an
+        // unconditional branch to the header.
+        let outside: Vec<BlockId> = preds[header.index()]
+            .iter()
+            .copied()
+            .filter(|p| !body.contains(p))
+            .collect();
+        let [pre] = outside[..] else { continue };
+        let Some(term) = func.block(pre).terminator() else {
+            continue;
+        };
+        if !matches!(func.inst(term).kind, InstKind::Br { .. }) {
+            continue;
+        }
+
+        // Iterate to a fixpoint inside this loop.
+        let body_set: HashSet<BlockId> = body.iter().copied().collect();
+        loop {
+            let Some((bb, id)) = find_hoistable(func, &body_set) else {
+                break;
+            };
+            // Move the instruction to the preheader, before its terminator.
+            let insts = &mut func.block_mut(bb).insts;
+            insts.retain(|&i| i != id);
+            let pre_insts = &mut func.block_mut(pre).insts;
+            let at = pre_insts.len() - 1;
+            pre_insts.insert(at, id);
+            hoisted += 1;
+        }
+    }
+    hoisted
+}
+
+/// Blocks of the natural loop of back edge `latch -> header`.
+fn natural_loop(func: &Function, header: BlockId, latch: BlockId) -> Vec<BlockId> {
+    let preds = func.predecessors();
+    let mut body = vec![header];
+    let mut stack = vec![latch];
+    while let Some(b) = stack.pop() {
+        if body.contains(&b) {
+            continue;
+        }
+        body.push(b);
+        for &p in &preds[b.index()] {
+            stack.push(p);
+        }
+    }
+    body
+}
+
+/// Finds one hoistable instruction: pure, non-trapping, speculatable, with
+/// every operand defined outside the loop.
+fn find_hoistable(func: &Function, body: &HashSet<BlockId>) -> Option<(BlockId, InstId)> {
+    // Definitions inside the loop.
+    let mut defined_in: HashSet<InstId> = HashSet::new();
+    for &b in body {
+        for &i in &func.block(b).insts {
+            defined_in.insert(i);
+        }
+    }
+    for &b in body {
+        for &id in &func.block(b).insts {
+            let inst = func.inst(id);
+            let speculatable = match &inst.kind {
+                InstKind::Binary { op, .. } => !op.can_trap(),
+                InstKind::ICmp { .. }
+                | InstKind::FCmp { .. }
+                | InstKind::Cast { .. }
+                | InstKind::Gep { .. }
+                | InstKind::Select { .. } => true,
+                _ => false,
+            };
+            if !speculatable {
+                continue;
+            }
+            let mut invariant = true;
+            inst.for_each_operand(|v| {
+                if let Value::Inst(d) = v {
+                    if defined_in.contains(&d) {
+                        invariant = false;
+                    }
+                }
+            });
+            if invariant {
+                return Some((b, id));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiq_ir::{BinOp, FuncBuilder, ICmpPred, Module, Type};
+
+    /// for (j = 0; j < n; j++) use(i * 272)  — i*272 must hoist.
+    #[test]
+    fn hoists_invariant_multiply() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::i64(), Type::i64()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let j = b.phi(Type::i64(), vec![(entry, Value::i64(0))]);
+        let s = b.phi(Type::i64(), vec![(entry, Value::i64(0))]);
+        let c = b.icmp(ICmpPred::Slt, j, Value::Arg(1));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let inv = b.binary(BinOp::Mul, Value::Arg(0), Value::i64(272)); // invariant
+        let s2 = b.binary(BinOp::Add, s, inv);
+        let j2 = b.binary(BinOp::Add, j, Value::i64(1));
+        b.br(header);
+        if let InstKind::Phi { incomings } = &mut f.inst_mut(j.as_inst().unwrap()).kind {
+            incomings.push((body, j2));
+        }
+        if let InstKind::Phi { incomings } = &mut f.inst_mut(s.as_inst().unwrap()).kind {
+            incomings.push((body, s2));
+        }
+        let mut b = FuncBuilder::new(&mut f);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        let id = m.add_func(f);
+        assert_eq!(licm(m.func_mut(id)), 1);
+        fiq_ir::verify_module(&m).unwrap();
+        // The multiply now lives in the entry (preheader) block.
+        let f = m.func(id);
+        let entry_ops: Vec<_> = f
+            .block(f.entry())
+            .insts
+            .iter()
+            .map(|&i| f.inst(i).opcode_name())
+            .collect();
+        assert!(entry_ops.contains(&"mul"), "{entry_ops:?}");
+    }
+
+    /// Division must not be hoisted (it can trap on a path that never
+    /// executes it).
+    #[test]
+    fn does_not_hoist_trapping_ops() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::i64(), Type::i64()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let j = b.phi(Type::i64(), vec![(entry, Value::i64(0))]);
+        let c = b.icmp(ICmpPred::Slt, j, Value::Arg(1));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let q = b.binary(BinOp::SDiv, Value::i64(100), Value::Arg(0));
+        let j2 = b.binary(BinOp::Add, j, q);
+        b.br(header);
+        if let InstKind::Phi { incomings } = &mut f.inst_mut(j.as_inst().unwrap()).kind {
+            incomings.push((body, j2));
+        }
+        let mut b = FuncBuilder::new(&mut f);
+        b.switch_to(exit);
+        b.ret(Some(j));
+        let id = m.add_func(f);
+        assert_eq!(licm(m.func_mut(id)), 0);
+    }
+
+    /// Loads never hoist (memory may change inside the loop).
+    #[test]
+    fn does_not_hoist_loads() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::Ptr, Type::i64()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let j = b.phi(Type::i64(), vec![(entry, Value::i64(0))]);
+        let c = b.icmp(ICmpPred::Slt, j, Value::Arg(1));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let v = b.load(Type::i64(), Value::Arg(0));
+        b.store(Value::i64(1), Value::Arg(0));
+        let j2 = b.binary(BinOp::Add, j, v);
+        b.br(header);
+        if let InstKind::Phi { incomings } = &mut f.inst_mut(j.as_inst().unwrap()).kind {
+            incomings.push((body, j2));
+        }
+        let mut b = FuncBuilder::new(&mut f);
+        b.switch_to(exit);
+        b.ret(Some(j));
+        let id = m.add_func(f);
+        assert_eq!(licm(m.func_mut(id)), 0);
+    }
+}

@@ -1,0 +1,384 @@
+//! Promotion of memory to registers (SSA construction).
+//!
+//! Promotes `alloca`s whose address never escapes (used only as the
+//! pointer of `load`s and `store`s) to SSA values, inserting φ-nodes at
+//! iterated dominance frontiers. This is the pass that gives optimized IR
+//! its φ-heavy shape — the paper's Table I row 2 discrepancy (φ-nodes vs
+//! register-spill code) exists *because* compilers run this pass.
+
+use fiq_ir::{BlockId, Constant, DomTree, Function, InstId, InstKind, Type, Value};
+use std::collections::HashMap;
+
+/// Runs mem2reg on one function. Returns the number of promoted allocas.
+pub fn mem2reg(func: &mut Function) -> usize {
+    let promotable = find_promotable(func);
+    if promotable.is_empty() {
+        return 0;
+    }
+    let dt = DomTree::compute(func);
+    let df = dt.dominance_frontiers(func);
+
+    // φ insertion at iterated dominance frontiers of each alloca's stores.
+    // phi_for[(block, alloca)] -> phi inst id
+    let mut phi_for: HashMap<(BlockId, InstId), InstId> = HashMap::new();
+    for &alloca in &promotable {
+        let mut work: Vec<BlockId> = Vec::new();
+        for bb in func.block_ids() {
+            for &id in &func.block(bb).insts {
+                if let InstKind::Store { ptr, .. } = &func.inst(id).kind {
+                    if *ptr == Value::Inst(alloca) {
+                        work.push(bb);
+                        break;
+                    }
+                }
+            }
+        }
+        let ty = alloca_type(func, alloca);
+        let mut placed: Vec<BlockId> = Vec::new();
+        while let Some(bb) = work.pop() {
+            for &frontier in &df[bb.index()] {
+                if placed.contains(&frontier) {
+                    continue;
+                }
+                placed.push(frontier);
+                let phi = func.add_inst(
+                    InstKind::Phi {
+                        incomings: Vec::new(),
+                    },
+                    ty.clone(),
+                );
+                func.block_mut(frontier).insts.insert(0, phi);
+                phi_for.insert((frontier, alloca), phi);
+                work.push(frontier);
+            }
+        }
+    }
+
+    // Renaming walk over the dominator tree.
+    let mut replacements: HashMap<InstId, Value> = HashMap::new();
+    let mut dead: Vec<InstId> = Vec::new();
+    let children = dom_children(func, &dt);
+    let mut stack: Vec<(BlockId, HashMap<InstId, Value>)> = vec![(func.entry(), HashMap::new())];
+    // Iterative DFS carrying the per-alloca current definition.
+    while let Some((bb, mut cur)) = stack.pop() {
+        let insts = func.block(bb).insts.clone();
+        for &id in &insts {
+            let kind = func.inst(id).kind.clone();
+            match kind {
+                InstKind::Phi { .. } => {
+                    if let Some((&alloca, _)) = phi_for
+                        .iter()
+                        .find(|(&(b, _), &p)| b == bb && p == id)
+                        .map(|((_, a), p)| (a, p))
+                    {
+                        cur.insert(alloca, Value::Inst(id));
+                    }
+                }
+                InstKind::Load { ptr } => {
+                    if let Value::Inst(a) = ptr {
+                        if promotable.contains(&a) {
+                            let ty = alloca_type(func, a);
+                            let def = cur.get(&a).copied().unwrap_or_else(|| default_value(&ty));
+                            replacements.insert(id, def);
+                            dead.push(id);
+                        }
+                    }
+                }
+                InstKind::Store { val, ptr } => {
+                    if let Value::Inst(a) = ptr {
+                        if promotable.contains(&a) {
+                            cur.insert(a, resolve(&replacements, val));
+                            dead.push(id);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Fill φ incomings of successors.
+        for succ in func.successors(bb) {
+            for &alloca in &promotable {
+                if let Some(&phi) = phi_for.get(&(succ, alloca)) {
+                    let ty = alloca_type(func, alloca);
+                    let incoming = cur
+                        .get(&alloca)
+                        .map(|v| resolve(&replacements, *v))
+                        .unwrap_or_else(|| default_value(&ty));
+                    if let InstKind::Phi { incomings } = &mut func.inst_mut(phi).kind {
+                        if !incomings.iter().any(|(pb, _)| *pb == bb) {
+                            incomings.push((bb, incoming));
+                        }
+                    }
+                }
+            }
+        }
+        for &child in children[bb.index()].iter().rev() {
+            stack.push((child, cur.clone()));
+        }
+    }
+
+    // Drop the promoted allocas and their loads/stores; rewrite uses.
+    dead.extend(promotable.iter().copied());
+    for bb in 0..func.blocks.len() {
+        let block = &mut func.blocks[bb];
+        block.insts.retain(|id| !dead.contains(id));
+    }
+    let n = func.insts.len();
+    for i in 0..n {
+        let mut inst = func.insts[i].clone();
+        inst.for_each_operand_mut(|v| *v = resolve(&replacements, *v));
+        func.insts[i] = inst;
+    }
+    promotable.len()
+}
+
+/// Follows the replacement chain to a fixed point.
+fn resolve(replacements: &HashMap<InstId, Value>, mut v: Value) -> Value {
+    let mut fuel = replacements.len() + 1;
+    while let Value::Inst(id) = v {
+        match replacements.get(&id) {
+            Some(next) if fuel > 0 => {
+                v = *next;
+                fuel -= 1;
+            }
+            _ => break,
+        }
+    }
+    v
+}
+
+fn alloca_type(func: &Function, alloca: InstId) -> Type {
+    let InstKind::Alloca { ty } = &func.inst(alloca).kind else {
+        panic!("not an alloca");
+    };
+    ty.clone()
+}
+
+/// The value a promoted variable has before any store: zero/undef.
+fn default_value(ty: &Type) -> Value {
+    match ty {
+        Type::Int(t) => Value::Const(Constant::Undef(*t)),
+        Type::Float(fiq_ir::FloatTy::F32) => Value::Const(Constant::f32(0.0)),
+        Type::Float(fiq_ir::FloatTy::F64) => Value::Const(Constant::f64(0.0)),
+        Type::Ptr => Value::Const(Constant::NullPtr),
+        other => panic!("promoted alloca of non-first-class type {other}"),
+    }
+}
+
+fn dom_children(func: &Function, dt: &DomTree) -> Vec<Vec<BlockId>> {
+    let mut children = vec![Vec::new(); func.blocks.len()];
+    for bb in func.block_ids() {
+        if let Some(idom) = dt.idom(bb) {
+            children[idom.index()].push(bb);
+        }
+    }
+    children
+}
+
+/// Finds allocas of first-class type whose address is used only as the
+/// pointer operand of loads and stores (and never stored *as a value*).
+fn find_promotable(func: &Function) -> Vec<InstId> {
+    let mut candidates: Vec<InstId> = Vec::new();
+    for bb in func.block_ids() {
+        for &id in &func.block(bb).insts {
+            if let InstKind::Alloca { ty } = &func.inst(id).kind {
+                if ty.is_first_class() {
+                    candidates.push(id);
+                }
+            }
+        }
+    }
+    let mut escaped: Vec<InstId> = Vec::new();
+    for bb in func.block_ids() {
+        for &id in &func.block(bb).insts {
+            let inst = func.inst(id);
+            match &inst.kind {
+                InstKind::Load { ptr } => {
+                    // Pointer operand: fine. (Loaded type always matches the
+                    // alloca type for front-end output; be conservative if
+                    // it doesn't.)
+                    if let Value::Inst(a) = ptr {
+                        if candidates.contains(a) && inst.ty != alloca_type(func, *a) {
+                            escaped.push(*a);
+                        }
+                    }
+                }
+                InstKind::Store { val, ptr } => {
+                    if let Value::Inst(a) = val {
+                        if candidates.contains(a) {
+                            escaped.push(*a);
+                        }
+                    }
+                    if let Value::Inst(a) = ptr {
+                        if candidates.contains(a) {
+                            // Storing a differently-typed value through the
+                            // slot blocks promotion.
+                            let vt = value_type(func, *val);
+                            if vt != Some(alloca_type(func, *a)) {
+                                escaped.push(*a);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    inst.for_each_operand(|v| {
+                        if let Value::Inst(a) = v {
+                            if candidates.contains(&a) {
+                                escaped.push(a);
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    }
+    candidates.retain(|c| !escaped.contains(c));
+    candidates
+}
+
+fn value_type(func: &Function, v: Value) -> Option<Type> {
+    match v {
+        Value::Inst(id) => Some(func.inst(id).ty.clone()),
+        Value::Arg(n) => func.params.get(n as usize).cloned(),
+        Value::Const(c) => Some(c.ty()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiq_ir::{FuncBuilder, ICmpPred, Module};
+
+    /// if (arg0) x = 1; else x = 2; return x  — classic diamond promotion.
+    fn diamond_store_load() -> (Module, fiq_ir::FuncId) {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::i1()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let x = b.alloca(Type::i64());
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.cond_br(Value::Arg(0), t, e);
+        b.switch_to(t);
+        b.store(Value::i64(1), x);
+        b.br(j);
+        b.switch_to(e);
+        b.store(Value::i64(2), x);
+        b.br(j);
+        b.switch_to(j);
+        let v = b.load(Type::i64(), x);
+        b.ret(Some(v));
+        let id = m.add_func(f);
+        (m, id)
+    }
+
+    #[test]
+    fn promotes_diamond_to_phi() {
+        let (mut m, id) = diamond_store_load();
+        let promoted = mem2reg(m.func_mut(id));
+        assert_eq!(promoted, 1);
+        fiq_ir::verify_module(&m).expect("still valid after mem2reg");
+        let f = m.func(id);
+        // No allocas, loads, or stores remain; a phi exists in the join.
+        let mut counts = HashMap::new();
+        for bb in f.block_ids() {
+            for &i in &f.block(bb).insts {
+                *counts.entry(f.inst(i).opcode_name()).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(counts.get("alloca"), None);
+        assert_eq!(counts.get("load"), None);
+        assert_eq!(counts.get("store"), None);
+        assert_eq!(counts.get("phi"), Some(&1));
+    }
+
+    #[test]
+    fn escaped_alloca_not_promoted() {
+        // The alloca's address is passed to a gep: not promotable.
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let x = b.alloca(Type::i64());
+        let p = b.gep(Type::i64(), x, vec![Value::i64(0)]);
+        b.store(Value::i64(3), p);
+        let v = b.load(Type::i64(), x);
+        b.ret(Some(v));
+        let id = m.add_func(f);
+        assert_eq!(mem2reg(m.func_mut(id)), 0);
+        fiq_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn straightline_promotion_no_phi() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::i64()], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let x = b.alloca(Type::i64());
+        b.store(Value::Arg(0), x);
+        let v = b.load(Type::i64(), x);
+        let w = b.binary(fiq_ir::BinOp::Add, v, Value::i64(1));
+        b.ret(Some(w));
+        let id = m.add_func(f);
+        assert_eq!(mem2reg(m.func_mut(id)), 1);
+        fiq_ir::verify_module(&m).unwrap();
+        let f = m.func(id);
+        assert_eq!(f.live_inst_count(), 2); // add + ret
+    }
+
+    #[test]
+    fn load_before_store_reads_default() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let x = b.alloca(Type::i64());
+        let v = b.load(Type::i64(), x);
+        b.ret(Some(v));
+        let id = m.add_func(f);
+        mem2reg(m.func_mut(id));
+        fiq_ir::verify_module(&m).unwrap();
+        let f = m.func(id);
+        let ret = f.block(f.entry()).terminator().unwrap();
+        let InstKind::Ret { val: Some(v) } = &f.inst(ret).kind else {
+            panic!()
+        };
+        assert_eq!(*v, Value::Const(Constant::Undef(fiq_ir::IntTy::I64)));
+    }
+
+    #[test]
+    fn loop_gets_phi_at_header() {
+        let (mut m, id) = {
+            // x = 0; while (x < arg) x = x + 1; return x
+            let mut m = Module::new("t");
+            let mut f = Function::new("f", vec![Type::i64()], Type::i64());
+            let mut b = FuncBuilder::new(&mut f);
+            let x = b.alloca(Type::i64());
+            b.store(Value::i64(0), x);
+            let header = b.new_block();
+            let body = b.new_block();
+            let exit = b.new_block();
+            b.br(header);
+            b.switch_to(header);
+            let v = b.load(Type::i64(), x);
+            let c = b.icmp(ICmpPred::Slt, v, Value::Arg(0));
+            b.cond_br(c, body, exit);
+            b.switch_to(body);
+            let v2 = b.load(Type::i64(), x);
+            let v3 = b.binary(fiq_ir::BinOp::Add, v2, Value::i64(1));
+            b.store(v3, x);
+            b.br(header);
+            b.switch_to(exit);
+            let out = b.load(Type::i64(), x);
+            b.ret(Some(out));
+            let id = m.add_func(f);
+            (m, id)
+        };
+        mem2reg(m.func_mut(id));
+        fiq_ir::verify_module(&m).unwrap();
+        let f = m.func(id);
+        let header_insts = &f.block(BlockId(1)).insts;
+        assert!(
+            matches!(f.inst(header_insts[0]).kind, InstKind::Phi { .. }),
+            "loop header should start with a phi"
+        );
+    }
+}

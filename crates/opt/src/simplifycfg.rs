@@ -1,0 +1,275 @@
+//! Control-flow graph simplification.
+//!
+//! Three transforms, iterated to a fixed point:
+//!
+//! 1. constant conditional branches become unconditional,
+//! 2. unreachable blocks are neutralized (emptied to `unreachable`) and
+//!    their φ contributions removed,
+//! 3. empty forwarding blocks (`br`-only) are threaded away.
+//!
+//! Block ids are stable: blocks are never deleted, only emptied, so
+//! analyses holding [`fiq_ir::BlockId`]s across this pass stay valid.
+
+use fiq_ir::{BlockId, Constant, Function, InstKind, Type};
+
+/// Simplifies the CFG of `func`. Returns the number of changes applied.
+pub fn simplify_cfg(func: &mut Function) -> usize {
+    let mut total = 0;
+    loop {
+        let mut changed = 0;
+        changed += fold_const_branches(func);
+        changed += neutralize_unreachable(func);
+        changed += thread_jumps(func);
+        if changed == 0 {
+            return total;
+        }
+        total += changed;
+    }
+}
+
+/// Drops φ incomings from `from` in `to` when the CFG edge no longer exists.
+fn fix_phis_after_edge_removal(func: &mut Function, from: BlockId, to: BlockId) {
+    if func.successors(from).contains(&to) {
+        return;
+    }
+    for &id in &func.block(to).insts.clone() {
+        if let InstKind::Phi { incomings } = &mut func.inst_mut(id).kind {
+            incomings.retain(|(pb, _)| *pb != from);
+        }
+    }
+}
+
+fn fold_const_branches(func: &mut Function) -> usize {
+    let mut changed = 0;
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        let Some(term) = func.block(bb).terminator() else {
+            continue;
+        };
+        let InstKind::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = func.inst(term).kind
+        else {
+            continue;
+        };
+        let taken = match cond.as_const() {
+            Some(Constant::Int(_, v)) => {
+                if v != 0 {
+                    then_bb
+                } else {
+                    else_bb
+                }
+            }
+            _ if then_bb == else_bb => then_bb,
+            _ => continue,
+        };
+        let dropped = if taken == then_bb { else_bb } else { then_bb };
+        *func.inst_mut(term) = fiq_ir::Inst {
+            kind: InstKind::Br { target: taken },
+            ty: Type::Void,
+        };
+        if dropped != taken {
+            fix_phis_after_edge_removal(func, bb, dropped);
+        }
+        changed += 1;
+    }
+    changed
+}
+
+fn neutralize_unreachable(func: &mut Function) -> usize {
+    let reachable: Vec<bool> = {
+        let rpo = func.reverse_postorder();
+        let mut r = vec![false; func.blocks.len()];
+        for b in rpo {
+            r[b.index()] = true;
+        }
+        r
+    };
+    let mut changed = 0;
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        if reachable[bb.index()] {
+            continue;
+        }
+        let already = func.block(bb).insts.len() == 1
+            && matches!(
+                func.inst(func.block(bb).insts[0]).kind,
+                InstKind::Unreachable
+            );
+        if already {
+            continue;
+        }
+        // Remember this block's successors, then gut it.
+        let succs = func.successors(bb);
+        func.block_mut(bb).insts.clear();
+        let u = func.add_inst(InstKind::Unreachable, Type::Void);
+        func.block_mut(bb).insts.push(u);
+        for s in succs {
+            fix_phis_after_edge_removal(func, bb, s);
+        }
+        changed += 1;
+    }
+    changed
+}
+
+fn thread_jumps(func: &mut Function) -> usize {
+    let mut changed = 0;
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        if bb == func.entry() {
+            continue;
+        }
+        if func.block(bb).insts.len() != 1 {
+            continue;
+        }
+        let term = func.block(bb).insts[0];
+        let InstKind::Br { target } = func.inst(term).kind else {
+            continue;
+        };
+        if target == bb {
+            continue;
+        }
+        let preds: Vec<BlockId> = func
+            .predecessors()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| *i == bb.index())
+            .flat_map(|(_, p)| p)
+            .collect();
+        if preds.is_empty() {
+            continue; // unreachable; handled elsewhere
+        }
+        let target_has_phis = func
+            .block(target)
+            .insts
+            .first()
+            .is_some_and(|&i| matches!(func.inst(i).kind, InstKind::Phi { .. }));
+        let target_preds = func.predecessors()[target.index()].clone();
+        let safe = if target_has_phis {
+            preds.len() == 1 && !target_preds.contains(&preds[0])
+        } else {
+            true
+        };
+        if !safe {
+            continue;
+        }
+        // Redirect every predecessor around `bb`.
+        for &p in &preds {
+            let pterm = func.block(p).terminator().expect("pred has terminator");
+            match &mut func.inst_mut(pterm).kind {
+                InstKind::Br { target: t } if *t == bb => {
+                    *t = target;
+                }
+                InstKind::CondBr {
+                    then_bb, else_bb, ..
+                } => {
+                    if *then_bb == bb {
+                        *then_bb = target;
+                    }
+                    if *else_bb == bb {
+                        *else_bb = target;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Update target φs: the incoming edge from `bb` now comes from its
+        // (single, when φs exist) predecessor.
+        for &id in &func.block(target).insts.clone() {
+            if let InstKind::Phi { incomings } = &mut func.inst_mut(id).kind {
+                for (pb, _) in incomings.iter_mut() {
+                    if *pb == bb {
+                        *pb = preds[0];
+                    }
+                }
+            }
+        }
+        // Gut the forwarding block.
+        func.block_mut(bb).insts.clear();
+        let u = func.add_inst(InstKind::Unreachable, Type::Void);
+        func.block_mut(bb).insts.push(u);
+        changed += 1;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiq_ir::{FuncBuilder, Module, Type, Value};
+
+    #[test]
+    fn folds_constant_branch_and_prunes() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![], Type::i64());
+        let mut b = FuncBuilder::new(&mut f);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.cond_br(Value::bool(true), t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let p = b.phi(Type::i64(), vec![(t, Value::i64(1)), (e, Value::i64(2))]);
+        b.ret(Some(p));
+        let id = m.add_func(f);
+        let n = simplify_cfg(m.func_mut(id));
+        assert!(n >= 2, "branch fold + dead-block cleanup, got {n}");
+        fiq_ir::verify_module(&m).unwrap();
+        // The phi lost the incoming from the dead arm.
+        let f = m.func(id);
+        let phi = f.block(BlockId(3)).insts[0];
+        let InstKind::Phi { incomings } = &f.inst(phi).kind else {
+            panic!()
+        };
+        assert_eq!(incomings.len(), 1);
+        assert_eq!(incomings[0].1, Value::i64(1));
+    }
+
+    #[test]
+    fn threads_forwarding_block() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![Type::i1()], Type::Void);
+        let mut b = FuncBuilder::new(&mut f);
+        let fwd = b.new_block();
+        let end = b.new_block();
+        b.cond_br(Value::Arg(0), fwd, end);
+        b.switch_to(fwd);
+        b.br(end);
+        b.switch_to(end);
+        b.ret(None);
+        let id = m.add_func(f);
+        assert!(simplify_cfg(m.func_mut(id)) >= 1);
+        fiq_ir::verify_module(&m).unwrap();
+        // Entry branches straight to `end`; the now-degenerate conditional
+        // branch (both targets equal) is folded to an unconditional one.
+        let f = m.func(id);
+        assert_eq!(f.successors(f.entry()), vec![end]);
+    }
+
+    #[test]
+    fn neutralizes_unreachable_block() {
+        let mut m = Module::new("t");
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = FuncBuilder::new(&mut f);
+        let dead = b.new_block();
+        let live = b.new_block();
+        b.br(live);
+        b.switch_to(dead);
+        let v = b.binary(fiq_ir::BinOp::Add, Value::i64(1), Value::i64(2));
+        let _ = v;
+        b.br(live);
+        b.switch_to(live);
+        b.ret(None);
+        let id = m.add_func(f);
+        assert!(simplify_cfg(m.func_mut(id)) >= 1);
+        let f = m.func(id);
+        assert_eq!(f.block(dead).insts.len(), 1);
+        assert!(matches!(
+            f.inst(f.block(dead).insts[0]).kind,
+            InstKind::Unreachable
+        ));
+        fiq_ir::verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,199 @@
+//! Differential tests: optimized and unoptimized modules must behave
+//! identically (same output, same trap), and optimization must shrink
+//! front-end output and introduce φs where loops carry values.
+
+use fiq_frontend::compile;
+use fiq_interp::{run_module, InterpOptions};
+use fiq_ir::InstKind;
+use proptest::prelude::*;
+
+fn run_both(src: &str) -> (fiq_interp::ExecResult, fiq_interp::ExecResult, usize, usize) {
+    let unopt = compile("t", src).unwrap_or_else(|e| panic!("compile: {e}"));
+    let mut opt = unopt.clone();
+    fiq_opt::optimize_module(&mut opt);
+    fiq_ir::verify_module(&opt).expect("optimized module valid");
+    let size = |m: &fiq_ir::Module| -> usize {
+        m.funcs.iter().map(fiq_ir::Function::live_inst_count).sum()
+    };
+    let o = InterpOptions {
+        max_steps: 50_000_000,
+        ..InterpOptions::default()
+    };
+    let r1 = run_module(&unopt, o).unwrap();
+    let r2 = run_module(&opt, o).unwrap();
+    (r1, r2, size(&unopt), size(&opt))
+}
+
+fn assert_equivalent(src: &str) {
+    let (r1, r2, before, after) = run_both(src);
+    assert_eq!(r1.output, r2.output, "output must not change\nsrc: {src}");
+    assert_eq!(r1.status, r2.status, "status must not change\nsrc: {src}");
+    assert!(
+        after <= before,
+        "optimization should not grow code ({before} -> {after})"
+    );
+}
+
+#[test]
+fn loop_program_equivalent_and_smaller() {
+    let src = "int main() {
+        int s = 0;
+        for (int i = 0; i < 50; i += 1) { s += i * i; }
+        print_i64(s);
+        return 0;
+    }";
+    let (r1, r2, before, after) = run_both(src);
+    assert_eq!(r1.output, "40425\n");
+    assert_eq!(r2.output, "40425\n");
+    assert!(
+        after < before,
+        "mem2reg should eliminate load/store traffic ({before} -> {after})"
+    );
+    // The optimized version must also execute far fewer dynamic steps.
+    assert!(
+        r2.steps < r1.steps,
+        "optimized run should be shorter: {} vs {}",
+        r2.steps,
+        r1.steps
+    );
+}
+
+#[test]
+fn optimization_introduces_phis() {
+    let src = "int main() {
+        int s = 0;
+        for (int i = 0; i < 10; i += 1) s += i;
+        print_i64(s);
+        return 0;
+    }";
+    let mut m = compile("t", src).unwrap();
+    fiq_opt::optimize_module(&mut m);
+    let main = m.func(m.main_func().unwrap());
+    let phis = main
+        .blocks
+        .iter()
+        .flat_map(|b| &b.insts)
+        .filter(|&&i| matches!(main.inst(i).kind, InstKind::Phi { .. }))
+        .count();
+    assert!(phis >= 2, "loop-carried i and s need phis, found {phis}");
+}
+
+#[test]
+fn branch_heavy_program_equivalent() {
+    assert_equivalent(
+        "int collatz(int n) {
+            int steps = 0;
+            while (n != 1) {
+                if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                steps += 1;
+            }
+            return steps;
+        }
+        int main() {
+            int total = 0;
+            for (int i = 1; i < 40; i += 1) total += collatz(i);
+            print_i64(total);
+            return 0;
+        }",
+    );
+}
+
+#[test]
+fn memory_program_equivalent() {
+    assert_equivalent(
+        "int sieve[1000];
+         int main() {
+           int count = 0;
+           for (int i = 2; i < 1000; i += 1) sieve[i] = 1;
+           for (int i = 2; i < 1000; i += 1) {
+             if (sieve[i]) {
+               count += 1;
+               for (int j = i * i; j < 1000; j += i) sieve[j] = 0;
+             }
+           }
+           print_i64(count);
+           return 0;
+         }",
+    );
+}
+
+#[test]
+fn float_program_equivalent() {
+    assert_equivalent(
+        "double xs[64];
+         int main() {
+           for (int i = 0; i < 64; i += 1) xs[i] = (double)i * 0.25;
+           double s = 0.0;
+           for (int i = 0; i < 64; i += 1) s += xs[i] * xs[i];
+           print_f64(s);
+           print_f64(sqrt(s));
+           return 0;
+         }",
+    );
+}
+
+#[test]
+fn trap_preserved_by_optimization() {
+    // Runtime division by zero must survive optimization.
+    let src = "int main() {
+        int d = 10;
+        for (int i = 0; i < 20; i += 1) d -= 1;
+        print_i64(100 / (d + 10)); // d = -10 at runtime -> /0
+        return 0;
+    }";
+    let (r1, r2, _, _) = run_both(src);
+    assert!(!r1.finished());
+    assert_eq!(r1.status, r2.status);
+}
+
+#[test]
+fn short_circuit_preserved() {
+    assert_equivalent(
+        "int hits = 0;
+         bool probe(int x) { hits += 1; return x > 2; }
+         int main() {
+           for (int i = 0; i < 6; i += 1) {
+             if (i > 0 && probe(i)) print_i64(i);
+           }
+           print_i64(hits);
+           return 0;
+         }",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random arithmetic expressions survive optimization unchanged.
+    #[test]
+    fn prop_arith_expr_equivalent(a in -100i64..100, b in -100i64..100, c in 1i64..50, d in -20i64..20) {
+        let src = format!(
+            "int main() {{
+               int a = {a}; int b = {b}; int c = {c}; int d = {d};
+               print_i64(a + b * c - (a ^ b) / c + (d << 2) - (a & c));
+               print_i64((a < b) + (b <= c) + (c > d) + (a == a));
+               return 0;
+             }}"
+        );
+        let (r1, r2, _, _) = run_both(&src);
+        prop_assert_eq!(r1.output, r2.output);
+        prop_assert_eq!(r1.status, r2.status);
+    }
+
+    /// Random loop bounds and strides behave identically optimized.
+    #[test]
+    fn prop_loops_equivalent(n in 1i64..60, stride in 1i64..7, init in -10i64..10) {
+        let src = format!(
+            "int main() {{
+               int s = {init};
+               for (int i = 0; i < {n}; i += {stride}) {{
+                 if (i % 3 == 0) s += i; else s -= 1;
+               }}
+               print_i64(s);
+               return 0;
+             }}"
+        );
+        let (r1, r2, _, _) = run_both(&src);
+        prop_assert_eq!(r1.output, r2.output);
+    }
+}

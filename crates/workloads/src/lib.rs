@@ -1,0 +1,157 @@
+//! # fiq-workloads — the six benchmark analogues
+//!
+//! Mini-C analogues of the paper's six benchmarks (four SPEC CPU 2006, two
+//! SPLASH-2), chosen to reproduce each original's dominant instruction mix
+//! (see DESIGN.md §5):
+//!
+//! | paper benchmark | analogue kernel | dominant mix |
+//! |---|---|---|
+//! | bzip2 | RLE + move-to-front + order-0 model | byte arrays, address math |
+//! | libquantum | quantum register simulation | data movement, FP mul-add |
+//! | ocean | red-black Gauss–Seidel stencil | FP stencil, regular GEPs |
+//! | hmmer | profile-HMM Viterbi DP | int add/max, table loads |
+//! | mcf | successive-shortest-path min-cost flow | pointer chasing, branches |
+//! | raytrace | sphere ray caster with a mirror bounce | double-precision, sqrt |
+//!
+//! Each program generates its input deterministically in-program and
+//! prints a compact digest; SDC detection is a byte comparison of that
+//! digest against the golden run.
+
+#![warn(missing_docs)]
+
+use fiq_asm::AsmProgram;
+use fiq_backend::LowerOptions;
+use fiq_ir::Module;
+
+/// A benchmark program in source form.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Short name (also the paper benchmark name).
+    pub name: &'static str,
+    /// Originating suite in the paper.
+    pub suite: &'static str,
+    /// What the analogue computes.
+    pub description: &'static str,
+    /// Mini-C source text.
+    pub source: &'static str,
+}
+
+/// All six workloads, in the paper's Table II order.
+pub const CATALOG: [Workload; 6] = [
+    Workload {
+        name: "bzip2",
+        suite: "SPEC",
+        description: "RLE + move-to-front + order-0 entropy model with round-trip verify",
+        source: include_str!("../programs/bzip2.mc"),
+    },
+    Workload {
+        name: "libquantum",
+        suite: "SPEC",
+        description: "quantum register simulation (Hadamard/CNOT/phase circuit)",
+        source: include_str!("../programs/libquantum.mc"),
+    },
+    Workload {
+        name: "ocean",
+        suite: "SPLASH-2",
+        description: "red-black Gauss-Seidel relaxation of an eddy/boundary-current grid",
+        source: include_str!("../programs/ocean.mc"),
+    },
+    Workload {
+        name: "hmmer",
+        suite: "SPEC",
+        description: "profile-HMM Viterbi alignment of a synthetic DNA sequence",
+        source: include_str!("../programs/hmmer.mc"),
+    },
+    Workload {
+        name: "mcf",
+        suite: "SPEC",
+        description: "successive-shortest-path minimum-cost flow on a layered network",
+        source: include_str!("../programs/mcf.mc"),
+    },
+    Workload {
+        name: "raytrace",
+        suite: "SPLASH-2",
+        description: "sphere-scene ray caster with Lambert shading and a mirror bounce",
+        source: include_str!("../programs/raytrace.mc"),
+    },
+];
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<&'static Workload> {
+    CATALOG.iter().find(|w| w.name == name)
+}
+
+/// A workload compiled to both execution levels.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Workload name.
+    pub name: &'static str,
+    /// The optimized IR module (LLFI's input).
+    pub module: Module,
+    /// The lowered assembly program (PINFI's input).
+    pub program: AsmProgram,
+}
+
+impl Workload {
+    /// Source line count (the analogue of Table II's LoC column).
+    pub fn lines_of_code(&self) -> usize {
+        self.source
+            .lines()
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with("//")
+            })
+            .count()
+    }
+
+    /// Compiles this workload: Mini-C → IR → optimize → lower.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if compilation or lowering fails (a bug in the
+    /// fixed sources or the pipeline).
+    pub fn compile(&self) -> Result<Compiled, String> {
+        self.compile_with(LowerOptions::default())
+    }
+
+    /// Compiles with explicit backend options (for ablations).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if compilation or lowering fails.
+    pub fn compile_with(&self, opts: LowerOptions) -> Result<Compiled, String> {
+        let mut module =
+            fiq_frontend::compile(self.name, self.source).map_err(|e| e.to_string())?;
+        fiq_opt::optimize_module(&mut module);
+        let program = fiq_backend::lower_module(&module, opts).map_err(|e| e.to_string())?;
+        Ok(Compiled {
+            name: self.name,
+            module,
+            program,
+        })
+    }
+}
+
+/// Compiles the full catalog.
+///
+/// # Errors
+///
+/// Returns the first compile failure.
+pub fn compile_all() -> Result<Vec<Compiled>, String> {
+    CATALOG.iter().map(Workload::compile).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete() {
+        assert_eq!(CATALOG.len(), 6);
+        for w in &CATALOG {
+            assert!(w.lines_of_code() > 50, "{} too small", w.name);
+        }
+        assert!(by_name("ocean").is_some());
+        assert!(by_name("gcc").is_none());
+    }
+}

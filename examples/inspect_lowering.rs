@@ -1,0 +1,59 @@
+//! Shows the IR↔assembly correspondence the study is about: compile a
+//! small program and print the optimized IR next to the lowered assembly,
+//! then show how the Table-III categories select different instruction
+//! populations at each level — including the effect of turning GEP
+//! folding off.
+//!
+//! ```sh
+//! cargo run --release -p fiq-examples --bin inspect_lowering
+//! ```
+
+use fiq_backend::LowerOptions;
+use fiq_core::{profile_llfi, profile_pinfi, Category};
+
+const PROGRAM: &str = "
+int xs[64];
+int main() {
+  for (int i = 0; i < 64; i += 1) xs[i] = i * 5 - 32;
+  int s = 0;
+  for (int i = 0; i < 64; i += 1)
+    if (xs[i] > 0) s += xs[i];
+  print_i64(s);
+  return 0;
+}";
+
+fn main() -> Result<(), String> {
+    let mut module = fiq_frontend::compile("inspect", PROGRAM).map_err(|e| e.to_string())?;
+    fiq_opt::optimize_module(&mut module);
+    println!("==== optimized IR ====\n{module}");
+
+    for (label, opts) in [
+        ("GEP folding ON (paper-faithful)", LowerOptions::default()),
+        (
+            "GEP folding OFF (explicit address arithmetic)",
+            LowerOptions {
+                fold_gep: false,
+                ..LowerOptions::default()
+            },
+        ),
+    ] {
+        let program = fiq_backend::lower_module(&module, opts).map_err(|e| e.to_string())?;
+        println!("==== assembly, {label} ====\n{program}");
+        let lp = profile_llfi(&module, fiq_interp::InterpOptions::default())?;
+        let pp = profile_pinfi(&program, fiq_asm::MachOptions::default())?;
+        println!("dynamic category populations:");
+        println!("  {:<12} {:>10} {:>10}", "category", "LLFI", "PINFI");
+        for cat in Category::ALL {
+            println!(
+                "  {:<12} {:>10} {:>10}",
+                cat.name(),
+                lp.category_count(&module, cat),
+                pp.category_count(&program, cat)
+            );
+        }
+        println!();
+    }
+    println!("Note how 'arithmetic' grows at the assembly level when GEPs are");
+    println!("not folded — the paper's §VII-1 discrepancy, made visible.");
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Host crate for the cross-crate integration tests in `tests/tests/`.
+//! The library itself is intentionally empty.
