@@ -405,7 +405,7 @@ impl<'a> Isel<'a> {
                     },
                     _ => None,
                 };
-                let Some(Value::Inst(lid)) = cand.map(|v| v) else {
+                let Some(Value::Inst(lid)) = cand else {
                     continue;
                 };
                 let Some(lpos) = insts[..upos].iter().position(|&i| i == lid) else {

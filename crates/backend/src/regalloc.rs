@@ -361,6 +361,7 @@ fn space_intervals<'a>(
                 end[v] = end[v].max(e - 1);
             }
         }
+        #[allow(clippy::needless_range_loop)] // p indexes ud() too, not just depth
         for p in s..e {
             let w = 10f64.powi(i32::from(depth[p]));
             let (uses, ds) = ud(p);

@@ -153,16 +153,14 @@ fn load_feeding_division_does_not_fold() {
         for &id in &f.block(bb).insts {
             if let InstKind::Binary {
                 op: fiq_ir::BinOp::SDiv,
-                rhs,
+                rhs: fiq_ir::Value::Inst(l),
                 ..
             } = &f.inst(id).kind
             {
-                if let fiq_ir::Value::Inst(l) = rhs {
-                    assert!(
-                        !info.folded_loads[fid.index()][l.index()],
-                        "division operand load must not fold"
-                    );
-                }
+                assert!(
+                    !info.folded_loads[fid.index()][l.index()],
+                    "division operand load must not fold"
+                );
             }
         }
     }

@@ -1,0 +1,97 @@
+//! Campaign-engine throughput: how fast the shared work-stealing pool
+//! drains a multi-cell campaign, at one worker versus all cores, and
+//! with the per-injection JSONL record stream on versus off.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fiq_asm::MachOptions;
+use fiq_core::{
+    profile_llfi, profile_pinfi, run_campaign, CampaignConfig, Category, CellSpec, EngineOptions,
+    Substrate,
+};
+use fiq_interp::InterpOptions;
+
+const KERNEL: &str = "
+int data[64];
+int main() {
+  for (int i = 0; i < 64; i += 1) data[i] = i * 31 + 7;
+  int s = 0;
+  for (int r = 0; r < 4; r += 1)
+    for (int i = 0; i < 64; i += 1)
+      s += data[i] & (r + 255);
+  print_i64(s);
+  return 0;
+}";
+
+const INJECTIONS: u32 = 40;
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut module = fiq_frontend::compile("kernel", KERNEL).unwrap();
+    fiq_opt::optimize_module(&mut module);
+    let program = fiq_backend::lower_module(&module, fiq_backend::LowerOptions::default()).unwrap();
+    let lp = profile_llfi(&module, InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&program, MachOptions::default()).unwrap();
+
+    let cats = [Category::Arithmetic, Category::Cmp, Category::Load];
+    let mut cells = Vec::new();
+    for &cat in &cats {
+        cells.push(CellSpec {
+            label: "kernel".into(),
+            category: cat,
+            substrate: Substrate::Llfi {
+                module: &module,
+                profile: &lp,
+            },
+        });
+        cells.push(CellSpec {
+            label: "kernel".into(),
+            category: cat,
+            substrate: Substrate::Pinfi {
+                prog: &program,
+                profile: &pp,
+            },
+        });
+    }
+    let total = INJECTIONS as u64 * cells.len() as u64;
+
+    let mut g = c.benchmark_group("campaign-engine");
+    g.throughput(Throughput::Elements(total));
+    for threads in [1usize, 0] {
+        let cfg = CampaignConfig {
+            injections: INJECTIONS,
+            seed: 7,
+            threads,
+            ..CampaignConfig::default()
+        };
+        let name = if threads == 1 {
+            "grid 6 cells/1 worker".to_string()
+        } else {
+            format!("grid 6 cells/{} workers", cfg.worker_count())
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| run_campaign(&cells, &cfg, &EngineOptions::default()).unwrap())
+        });
+    }
+    let cfg = CampaignConfig {
+        injections: INJECTIONS,
+        seed: 7,
+        threads: 0,
+        ..CampaignConfig::default()
+    };
+    let dir = std::env::temp_dir().join("fiq-campaign-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let records = dir.join("records.jsonl");
+    g.bench_function("grid 6 cells + jsonl records", |b| {
+        b.iter(|| {
+            let opts = EngineOptions {
+                records: Some(&records),
+                ..EngineOptions::default()
+            };
+            run_campaign(&cells, &cfg, &opts).unwrap()
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -53,7 +53,7 @@ fn main() {
             let pp = profile_pinfi(&c.program, mach_opts()).expect("profiles");
             let arith = pp.category_count(&c.program, Category::Arithmetic);
             let all = pp.category_count(&c.program, Category::All);
-            let rep = pinfi_campaign(&c.program, &pp, Category::All, &camp);
+            let rep = pinfi_campaign(&c.program, &pp, Category::All, &camp).unwrap();
             println!(
                 "  {label:<18} dyn(arith)={arith:<9} dyn(all)={all:<9} crash={:>5.1}% sdc={:>5.1}%",
                 rep.counts.crash_pct(),
@@ -63,7 +63,7 @@ fn main() {
         // LLFI reference for the same program.
         let c = w.compile_with(LowerOptions::default()).expect("compiles");
         let lp = profile_llfi(&c.module, interp_opts()).expect("profiles");
-        let rep = llfi_campaign(&c.module, &lp, Category::All, &camp);
+        let rep = llfi_campaign(&c.module, &lp, Category::All, &camp).unwrap();
         println!(
             "  {:<18} dyn(all)={:<9} crash={:>5.1}% sdc={:>5.1}%",
             "llfi reference",
@@ -86,7 +86,7 @@ fn main() {
         let w = by_name(bench).expect("workload exists");
         let c = w.compile_with(cfg.lower).expect("compiles");
         let pp = profile_pinfi(&c.program, mach_opts()).expect("profiles");
-        let on = pinfi_campaign(&c.program, &pp, cat, &camp);
+        let on = pinfi_campaign(&c.program, &pp, cat, &camp).unwrap();
         let off_opts = if toggle == "xmm" {
             PinfiOptions {
                 xmm_pruning: false,
@@ -106,7 +106,8 @@ fn main() {
                 pinfi: off_opts,
                 ..camp
             },
-        );
+        )
+        .unwrap();
         let act = |r: &fiq_core::CellReport| {
             100.0 * r.counts.activated() as f64 / r.counts.total().max(1) as f64
         };

@@ -37,7 +37,7 @@ fn main() {
     for p in &prepared {
         let info = lowering_info(&p.compiled.module, cfg.lower);
         for cat in [Category::Arithmetic, Category::Cast, Category::Load] {
-            let base = llfi_campaign(&p.compiled.module, &p.llfi, cat, &camp);
+            let base = llfi_campaign(&p.compiled.module, &p.llfi, cat, &camp).unwrap();
             let cal = llfi_campaign_calibrated(
                 &p.compiled.module,
                 &p.llfi,
@@ -45,8 +45,9 @@ fn main() {
                 &info,
                 Calibration::full(),
                 &camp,
-            );
-            let pin = pinfi_campaign(&p.compiled.program, &p.pinfi, cat, &camp);
+            )
+            .unwrap();
+            let pin = pinfi_campaign(&p.compiled.program, &p.pinfi, cat, &camp).unwrap();
             if pin.counts.activated() == 0 || base.counts.activated() == 0 {
                 continue;
             }

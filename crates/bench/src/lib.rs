@@ -20,13 +20,15 @@
 
 use fiq_asm::MachOptions;
 use fiq_backend::LowerOptions;
+use fiq_core::json::Json;
 use fiq_core::{
-    llfi_campaign, pinfi_campaign, profile_llfi, profile_pinfi, CampaignConfig, Category,
-    CellReport, LlfiProfile, PinfiOptions, PinfiProfile,
+    profile_llfi, profile_pinfi, run_campaign, CampaignConfig, Category, CellReport, CellSpec,
+    EngineOptions, LlfiProfile, PinfiOptions, PinfiProfile, Progress, Substrate,
 };
 use fiq_interp::InterpOptions;
 use fiq_workloads::{Compiled, Workload, CATALOG};
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Experiment configuration, parsed from command-line flags.
 #[derive(Debug, Clone)]
@@ -169,7 +171,7 @@ pub fn prepare_all(lower: LowerOptions) -> Vec<Prepared> {
 }
 
 /// One cell of the campaign grid.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GridCell {
     /// Benchmark name.
     pub bench: String,
@@ -181,30 +183,73 @@ pub struct GridCell {
     pub report: CellReport,
 }
 
-/// Runs the full (benchmark × category × tool) grid.
+/// Runs the full (benchmark × category × tool) grid as a single
+/// multi-cell campaign on the shared work-stealing engine, so the pool
+/// stays saturated across cell boundaries instead of draining at the
+/// end of every cell.
+///
+/// # Panics
+///
+/// Panics if the engine reports a worker failure — a bug, not a runtime
+/// condition, for the bundled workloads.
 pub fn run_grid(prepared: &[Prepared], cats: &[Category], cfg: &ExperimentConfig) -> Vec<GridCell> {
     let camp = cfg.campaign();
-    let mut grid = Vec::new();
+    let mut cells = Vec::new();
     for p in prepared {
         for &cat in cats {
-            eprintln!("  [{}] {} …", p.workload.name, cat);
-            let l = llfi_campaign(&p.compiled.module, &p.llfi, cat, &camp);
-            grid.push(GridCell {
-                bench: p.workload.name.to_string(),
-                tool: "llfi".into(),
+            cells.push(CellSpec {
+                label: p.workload.name.to_string(),
                 category: cat,
-                report: l,
+                substrate: Substrate::Llfi {
+                    module: &p.compiled.module,
+                    profile: &p.llfi,
+                },
             });
-            let r = pinfi_campaign(&p.compiled.program, &p.pinfi, cat, &camp);
-            grid.push(GridCell {
-                bench: p.workload.name.to_string(),
-                tool: "pinfi".into(),
+            cells.push(CellSpec {
+                label: p.workload.name.to_string(),
                 category: cat,
-                report: r,
+                substrate: Substrate::Pinfi {
+                    prog: &p.compiled.program,
+                    profile: &p.pinfi,
+                },
             });
         }
     }
-    grid
+    let started = Instant::now();
+    let last_print = Mutex::new(started);
+    let progress = |p: Progress| {
+        let mut last = last_print.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        if p.completed != p.total && now.duration_since(*last).as_millis() < 1000 {
+            return;
+        }
+        *last = now;
+        let secs = started.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 {
+            p.completed as f64 / secs
+        } else {
+            0.0
+        };
+        eprintln!(
+            "  grid: {}/{} injections ({rate:.0}/s)",
+            p.completed, p.total
+        );
+    };
+    let opts = EngineOptions {
+        progress: Some(&progress),
+        ..EngineOptions::default()
+    };
+    let run = run_campaign(&cells, &camp, &opts).expect("campaign engine run succeeds");
+    cells
+        .iter()
+        .zip(run.cells)
+        .map(|(spec, report)| GridCell {
+            bench: spec.label.clone(),
+            tool: spec.substrate.tool().to_string(),
+            category: spec.category,
+            report,
+        })
+        .collect()
 }
 
 /// Finds a cell in a grid.
@@ -214,6 +259,42 @@ pub fn cell<'a>(grid: &'a [GridCell], bench: &str, tool: &str, cat: Category) ->
         .expect("cell present")
 }
 
+/// The machine-readable form of a grid (one object per cell).
+pub fn grid_json(grid: &[GridCell]) -> Json {
+    Json::Arr(
+        grid.iter()
+            .map(|c| {
+                let counts = Json::Obj(vec![
+                    ("benign".into(), Json::u64(c.report.counts.benign)),
+                    ("sdc".into(), Json::u64(c.report.counts.sdc)),
+                    ("crash".into(), Json::u64(c.report.counts.crash)),
+                    ("hang".into(), Json::u64(c.report.counts.hang)),
+                    (
+                        "not_activated".into(),
+                        Json::u64(c.report.counts.not_activated),
+                    ),
+                ]);
+                let report = Json::Obj(vec![
+                    ("counts".into(), counts),
+                    ("requested".into(), Json::u64(u64::from(c.report.requested))),
+                    ("planned".into(), Json::u64(u64::from(c.report.planned))),
+                    ("executed".into(), Json::u64(u64::from(c.report.executed))),
+                    (
+                        "dynamic_population".into(),
+                        Json::u64(c.report.dynamic_population),
+                    ),
+                ]);
+                Json::Obj(vec![
+                    ("bench".into(), Json::str(c.bench.clone())),
+                    ("tool".into(), Json::str(c.tool.clone())),
+                    ("category".into(), Json::str(c.category.name())),
+                    ("report".into(), report),
+                ])
+            })
+            .collect(),
+    )
+}
+
 /// Writes the grid as JSON if the config asks for it.
 ///
 /// # Panics
@@ -221,8 +302,7 @@ pub fn cell<'a>(grid: &'a [GridCell], bench: &str, tool: &str, cat: Category) ->
 /// Panics if the file cannot be written.
 pub fn maybe_write_json(cfg: &ExperimentConfig, grid: &[GridCell]) {
     if let Some(path) = &cfg.json {
-        let json = serde_json::to_string_pretty(grid).expect("serializable");
-        std::fs::write(path, json).expect("write json");
+        std::fs::write(path, grid_json(grid).to_string()).expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -7,8 +7,14 @@
 //! fiq profile <prog>                        Table-III category counts, both levels
 //! fiq inject <prog> --tool llfi|pinfi --category <cat> [--seed S]
 //! fiq trace <prog> --category <cat> [--seed S]      LLFI injection + propagation report
-//! fiq campaign <prog> --category <cat> [--injections N] [--seed S]
+//! fiq campaign <prog> --category <cat> [--injections N] [--seed S] [--threads N]
+//!              [--records FILE] [--resume] [--progress]
 //! ```
+//!
+//! `campaign` runs both tools on the shared work-stealing engine.
+//! `--records FILE` streams one JSONL record per injection; `--resume`
+//! continues a killed campaign from that file; `--progress` reports
+//! completion and throughput on stderr.
 //!
 //! `<prog>` is either a path to a Mini-C source file or the name of a
 //! bundled workload (`bzip2`, `libquantum`, `ocean`, `hmmer`, `mcf`,
@@ -17,14 +23,17 @@
 use fiq_asm::MachOptions;
 use fiq_backend::LowerOptions;
 use fiq_core::{
-    llfi_campaign, pinfi_campaign, plan_llfi, plan_pinfi, profile_llfi, profile_pinfi, run_llfi,
-    run_pinfi, CampaignConfig, Category, PinfiOptions,
+    plan_llfi, plan_pinfi, profile_llfi, profile_pinfi, run_llfi, run_pinfi, CampaignConfig,
+    Category, CellSpec, EngineOptions, PinfiOptions, Progress, Substrate,
 };
 use fiq_interp::InterpOptions;
 use fiq_ir::Module;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     match real_main() {
@@ -272,25 +281,97 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
             .and_then(|s| s.parse().ok())
             .unwrap_or(200),
         seed: seed(args),
+        threads: args
+            .flag("threads")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0),
         ..CampaignConfig::default()
     };
     let prog =
         fiq_backend::lower_module(&module, lower_options(args)).map_err(|e| e.to_string())?;
     let lp = profile_llfi(&module, InterpOptions::default())?;
     let pp = profile_pinfi(&prog, MachOptions::default())?;
-    let l = llfi_campaign(&module, &lp, cat, &cfg);
-    let r = pinfi_campaign(&prog, &pp, cat, &cfg);
+    let label = args.positional.get(1).cloned().unwrap_or_default();
+    let cells = [
+        CellSpec {
+            label: label.clone(),
+            category: cat,
+            substrate: Substrate::Llfi {
+                module: &module,
+                profile: &lp,
+            },
+        },
+        CellSpec {
+            label,
+            category: cat,
+            substrate: Substrate::Pinfi {
+                prog: &prog,
+                profile: &pp,
+            },
+        },
+    ];
+
+    let records = args.flag("records").map(PathBuf::from);
+    let started = Instant::now();
+    let last_print = Mutex::new(started);
+    let progress_cb = |p: Progress| {
+        let mut last = last_print.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        if p.completed != p.total && now.duration_since(*last).as_millis() < 500 {
+            return;
+        }
+        *last = now;
+        let fresh = p.completed - p.resumed;
+        let secs = started.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { fresh as f64 / secs } else { 0.0 };
+        eprintln!(
+            "campaign: {}/{} injections done ({rate:.0}/s)",
+            p.completed, p.total
+        );
+    };
+    let opts = EngineOptions {
+        records: records.as_deref(),
+        resume: args.has("resume"),
+        progress: if args.has("progress") {
+            Some(&progress_cb)
+        } else {
+            None
+        },
+    };
+    let run = fiq_core::run_campaign(&cells, &cfg, &opts)?;
+    if run.resumed_tasks > 0 {
+        eprintln!(
+            "campaign: resumed {} of {} injections from {}",
+            run.resumed_tasks,
+            run.total_tasks,
+            records
+                .as_deref()
+                .map(Path::display)
+                .map(|d| d.to_string())
+                .unwrap_or_default()
+        );
+    }
+
     println!(
-        "{:<6} {:>10} {:>9} {:>7} {:>7} {:>8} {:>7} {:>13}",
-        "tool", "population", "injected", "crash%", "sdc%", "benign%", "hang%", "not-activated"
+        "{:<6} {:>10} {:>8} {:>9} {:>7} {:>7} {:>8} {:>7} {:>13}",
+        "tool",
+        "population",
+        "planned",
+        "executed",
+        "crash%",
+        "sdc%",
+        "benign%",
+        "hang%",
+        "not-activated"
     );
-    for (name, rep) in [("llfi", l), ("pinfi", r)] {
+    for (name, rep) in [("llfi", run.cells[0]), ("pinfi", run.cells[1])] {
         let c = rep.counts;
         println!(
-            "{:<6} {:>10} {:>9} {:>6.1}% {:>6.1}% {:>7.1}% {:>6.1}% {:>13}",
+            "{:<6} {:>10} {:>8} {:>9} {:>6.1}% {:>6.1}% {:>7.1}% {:>6.1}% {:>13}",
             name,
             rep.dynamic_population,
-            c.total(),
+            rep.planned,
+            rep.executed,
             c.crash_pct(),
             c.sdc_pct(),
             c.benign_pct(),

@@ -124,6 +124,11 @@ fn cumulative(profile: &LlfiProfile, bits: &[Vec<bool>]) -> Vec<(InstSite, u64)>
 }
 
 /// Runs an LLFI campaign over a calibrated candidate set.
+///
+/// # Errors
+///
+/// Returns an error when an injection run fails (interpreter setup
+/// error).
 pub fn llfi_campaign_calibrated(
     module: &Module,
     profile: &LlfiProfile,
@@ -131,22 +136,19 @@ pub fn llfi_campaign_calibrated(
     info: &LoweringInfo,
     cal: Calibration,
     cfg: &CampaignConfig,
-) -> CellReport {
+) -> Result<CellReport, String> {
     let bits = calibrated_candidates(module, cat, info, cal);
     let cum = cumulative(profile, &bits);
     let Some(&(_, total)) = cum.last() else {
-        return CellReport {
-            counts: OutcomeCounts::default(),
-            requested: 0,
-            dynamic_population: 0,
-        };
+        return Ok(CellReport::empty());
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xCA11_B8A7_ED00_0000 ^ cat.name().len() as u64);
     let opts = fiq_interp::InterpOptions {
-        max_steps: profile.golden_steps * cfg.hang_factor + 10_000,
+        max_steps: cfg.hang_budget(profile.golden_steps),
         ..fiq_interp::InterpOptions::default()
     };
     let mut counts = OutcomeCounts::default();
+    let mut executed = 0;
     for _ in 0..cfg.injections {
         let k = rng.gen_range(1..=total);
         let (site, instance) = locate(&cum, k);
@@ -161,15 +163,17 @@ pub fn llfi_campaign_calibrated(
             instance,
             bit: rng.gen_range(0..width),
         };
-        let out = crate::run_llfi(module, opts, inj, &profile.golden_output)
-            .expect("interpreter setup succeeded during profiling");
+        let out = crate::run_llfi(module, opts, inj, &profile.golden_output)?;
         counts.record(out);
+        executed += 1;
     }
-    CellReport {
+    Ok(CellReport {
         counts,
         requested: cfg.injections,
+        planned: cfg.injections,
+        executed,
         dynamic_population: calibrated_count(profile, &bits),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -1,18 +1,17 @@
-//! Campaign runner: thousands of injections per (benchmark, category,
-//! tool) cell, run in parallel with deterministic seeding.
+//! Campaign configuration and per-cell reports.
+//!
+//! Execution lives in [`crate::engine`]: a shared work-stealing pool that
+//! drains every injection of a multi-cell campaign. The single-cell
+//! entry points here ([`llfi_campaign`], [`pinfi_campaign`]) wrap the
+//! engine for callers that want one cell at a time.
 
 use crate::category::Category;
-use crate::llfi::{plan_llfi, run_llfi, LlfiInjection};
+use crate::engine::{run_campaign, CellSpec, EngineOptions, Substrate};
 use crate::outcome::OutcomeCounts;
-use crate::pinfi::{plan_pinfi, run_pinfi, PinfiInjection, PinfiOptions};
+use crate::pinfi::PinfiOptions;
 use crate::profile::{LlfiProfile, PinfiProfile};
-use fiq_asm::{AsmProgram, MachOptions};
-use fiq_interp::InterpOptions;
+use fiq_asm::AsmProgram;
 use fiq_ir::Module;
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Campaign configuration.
 #[derive(Debug, Clone, Copy)]
@@ -21,7 +20,7 @@ pub struct CampaignConfig {
     pub injections: u32,
     /// Master seed; campaigns are bit-for-bit reproducible given a seed.
     pub seed: u64,
-    /// Hang budget = `golden_steps × hang_factor + 10_000`.
+    /// Hang budget = `golden_steps × hang_factor + 10_000` (saturating).
     pub hang_factor: u64,
     /// Worker threads (0 = all available cores).
     pub threads: usize,
@@ -42,7 +41,8 @@ impl Default for CampaignConfig {
 }
 
 impl CampaignConfig {
-    fn worker_count(&self) -> usize {
+    /// Number of worker threads the engine will spawn.
+    pub fn worker_count(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
@@ -51,15 +51,32 @@ impl CampaignConfig {
                 .unwrap_or(4)
         }
     }
+
+    /// The dynamic-instruction budget after which a run counts as a hang.
+    ///
+    /// Saturating: a pathological `golden_steps × hang_factor` product
+    /// clamps to `u64::MAX` instead of wrapping into a tiny budget that
+    /// would misclassify every injection as a hang.
+    pub fn hang_budget(&self, golden_steps: u64) -> u64 {
+        golden_steps
+            .saturating_mul(self.hang_factor)
+            .saturating_add(10_000)
+    }
 }
 
 /// Aggregated results for one experiment cell.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CellReport {
     /// Outcome tallies.
     pub counts: OutcomeCounts,
-    /// Number of injections requested.
+    /// Injections requested by the configuration.
     pub requested: u32,
+    /// Injections successfully planned (a category with no dynamic
+    /// instances plans zero; planning never partially fails otherwise).
+    pub planned: u32,
+    /// Injections actually executed (differs from `planned` only when a
+    /// run was cut short).
+    pub executed: u32,
     /// Dynamic population of the category (Table IV numbers).
     pub dynamic_population: u64,
 }
@@ -70,13 +87,18 @@ impl CellReport {
         CellReport {
             counts: OutcomeCounts::default(),
             requested: 0,
+            planned: 0,
+            executed: 0,
             dynamic_population: 0,
         }
     }
 }
 
 /// Deterministically derives a per-cell RNG seed.
-fn cell_seed(master: u64, tool: &str, cat: Category) -> u64 {
+///
+/// Stable across releases: record files and published campaign seeds
+/// depend on it.
+pub fn cell_seed(master: u64, tool: &str, cat: Category) -> u64 {
     let mut h = master ^ 0x9E37_79B9_7F4A_7C15;
     for b in tool.bytes().chain(cat.name().bytes()) {
         h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
@@ -85,94 +107,74 @@ fn cell_seed(master: u64, tool: &str, cat: Category) -> u64 {
 }
 
 /// Runs a full LLFI cell: `cfg.injections` independent single-bit-flip
-/// runs into `cat`, in parallel.
+/// runs into `cat`, on the shared worker pool.
+///
+/// # Errors
+///
+/// Returns an error when a worker run fails (interpreter setup error or
+/// panic).
 pub fn llfi_campaign(
     module: &Module,
     profile: &LlfiProfile,
     cat: Category,
     cfg: &CampaignConfig,
-) -> CellReport {
-    let mut rng = StdRng::seed_from_u64(cell_seed(cfg.seed, "llfi", cat));
-    let plans: Vec<LlfiInjection> = (0..cfg.injections)
-        .filter_map(|_| plan_llfi(module, profile, cat, &mut rng))
-        .collect();
-    if plans.is_empty() {
-        return CellReport {
-            dynamic_population: profile.category_count(module, cat),
-            ..CellReport::empty()
-        };
-    }
-    let opts = InterpOptions {
-        max_steps: profile.golden_steps * cfg.hang_factor + 10_000,
-        ..InterpOptions::default()
-    };
-    let counts = parallel_map(cfg, &plans, |inj| {
-        run_llfi(module, opts, *inj, &profile.golden_output)
-            .expect("interpreter setup succeeded during profiling")
-    });
-    CellReport {
-        counts,
-        requested: cfg.injections,
-        dynamic_population: profile.category_count(module, cat),
-    }
+) -> Result<CellReport, String> {
+    let cells = [CellSpec {
+        label: "llfi".into(),
+        category: cat,
+        substrate: Substrate::Llfi { module, profile },
+    }];
+    let run = run_campaign(&cells, cfg, &EngineOptions::default())?;
+    Ok(run.cells[0])
 }
 
-/// Runs a full PINFI cell.
+/// Runs a full PINFI cell on the shared worker pool.
+///
+/// # Errors
+///
+/// Returns an error when a worker run fails (machine setup error or
+/// panic).
 pub fn pinfi_campaign(
     prog: &AsmProgram,
     profile: &PinfiProfile,
     cat: Category,
     cfg: &CampaignConfig,
-) -> CellReport {
-    let mut rng = StdRng::seed_from_u64(cell_seed(cfg.seed, "pinfi", cat));
-    let plans: Vec<PinfiInjection> = (0..cfg.injections)
-        .filter_map(|_| plan_pinfi(prog, profile, cat, cfg.pinfi, &mut rng))
-        .collect();
-    if plans.is_empty() {
-        return CellReport {
-            dynamic_population: profile.category_count(prog, cat),
-            ..CellReport::empty()
-        };
-    }
-    let opts = MachOptions {
-        max_steps: profile.golden_steps * cfg.hang_factor + 10_000,
-        ..MachOptions::default()
-    };
-    let counts = parallel_map(cfg, &plans, |inj| {
-        run_pinfi(prog, opts, *inj, &profile.golden_output)
-            .expect("machine setup succeeded during profiling")
-    });
-    CellReport {
-        counts,
-        requested: cfg.injections,
-        dynamic_population: profile.category_count(prog, cat),
-    }
+) -> Result<CellReport, String> {
+    let cells = [CellSpec {
+        label: "pinfi".into(),
+        category: cat,
+        substrate: Substrate::Pinfi { prog, profile },
+    }];
+    let run = run_campaign(&cells, cfg, &EngineOptions::default())?;
+    Ok(run.cells[0])
 }
 
-/// Distributes injection runs over worker threads, merging outcome counts.
-fn parallel_map<T: Sync>(
-    cfg: &CampaignConfig,
-    plans: &[T],
-    run: impl Fn(&T) -> crate::outcome::Outcome + Sync,
-) -> OutcomeCounts {
-    let workers = cfg.worker_count().max(1).min(plans.len().max(1));
-    let total = Mutex::new(OutcomeCounts::default());
-    let chunk = plans.len().div_ceil(workers);
-    let (total_ref, run_ref) = (&total, &run);
-    crossbeam::thread::scope(|s| {
-        for part in plans.chunks(chunk) {
-            s.builder()
-                .stack_size(16 << 20) // guest recursion nests host frames
-                .spawn(move |_| {
-                    let mut local = OutcomeCounts::default();
-                    for p in part {
-                        local.record(run_ref(p));
-                    }
-                    total_ref.lock().merge(&local);
-                })
-                .expect("spawn worker");
-        }
-    })
-    .expect("no worker panicked");
-    total.into_inner()
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hang_budget_scales_golden_steps() {
+        let cfg = CampaignConfig::default();
+        assert_eq!(cfg.hang_budget(1_000), 1_000 * 10 + 10_000);
+    }
+
+    #[test]
+    fn hang_budget_saturates_instead_of_overflowing() {
+        let cfg = CampaignConfig {
+            hang_factor: u64::MAX,
+            ..CampaignConfig::default()
+        };
+        assert_eq!(cfg.hang_budget(u64::MAX), u64::MAX);
+        assert_eq!(cfg.hang_budget(2), u64::MAX);
+    }
+
+    #[test]
+    fn cell_seed_separates_tools_and_categories() {
+        let a = cell_seed(42, "llfi", Category::Load);
+        assert_ne!(a, cell_seed(42, "pinfi", Category::Load));
+        assert_ne!(a, cell_seed(42, "llfi", Category::Cmp));
+        assert_ne!(a, cell_seed(43, "llfi", Category::Load));
+        assert_eq!(a, cell_seed(42, "llfi", Category::Load));
+    }
 }

@@ -4,11 +4,10 @@
 use fiq_asm::{AsmProgram, Inst as AInst, Operand, RegId, XOperand};
 use fiq_interp::InstSite;
 use fiq_ir::{InstKind, Module, Type};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The five injection categories of the study (paper Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Category {
     /// Arithmetic and logic operations.
     Arithmetic,

@@ -1,0 +1,547 @@
+//! The shared campaign engine: one persistent worker pool that
+//! work-steals individual injection runs across every cell of a
+//! multi-cell campaign.
+//!
+//! The seed implementation spun up a fresh `crossbeam::scope` per cell
+//! and split that cell's plans into static per-thread chunks, so a slow
+//! cell serialized the whole grid behind its slowest chunk. Here the
+//! campaign is flattened once into a global task list (one task per
+//! injection) and a single pool of workers claims tasks from an atomic
+//! cursor — cheap work stealing with no per-cell synchronization.
+//!
+//! Determinism is preserved by construction:
+//!
+//! * **Planning is sequential.** Each cell's plans are drawn from
+//!   `StdRng::seed_from_u64(cell_seed(master, tool, category))` exactly
+//!   as the per-cell runner drew them, before any worker starts.
+//! * **Tallying is commutative.** Workers only produce
+//!   `(task index, outcome)` pairs; counts are summed per cell after the
+//!   pool drains, so thread scheduling cannot change a [`CellReport`].
+//! * **Records are flushed in task order.** Completed results pass
+//!   through a reorder buffer and are written to the JSONL stream in
+//!   global task order, making the record file byte-identical for every
+//!   `--threads` value — and, because the file is always a contiguous
+//!   prefix of the campaign, a valid resume checkpoint after a kill.
+//!
+//! Worker errors (and panics) are captured and returned as `Err` from
+//! [`run_campaign`] instead of crossing thread boundaries as panics.
+
+use crate::campaign::{cell_seed, CampaignConfig, CellReport};
+use crate::category::Category;
+use crate::json::Json;
+use crate::llfi::{plan_llfi, run_llfi_detailed, LlfiInjection};
+use crate::outcome::{Outcome, OutcomeCounts};
+use crate::pinfi::{plan_pinfi, run_pinfi_detailed, PinfiInjection};
+use crate::profile::{LlfiProfile, PinfiProfile};
+use fiq_asm::{AsmProgram, MachOptions};
+use fiq_interp::InterpOptions;
+use fiq_ir::Module;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Record-stream format version (bumped on schema changes).
+pub const RECORD_VERSION: u64 = 1;
+
+/// The program representation a cell injects into.
+pub enum Substrate<'a> {
+    /// IR-level injection (the paper's LLFI).
+    Llfi {
+        /// The module under test.
+        module: &'a Module,
+        /// Its golden-run profile.
+        profile: &'a LlfiProfile,
+    },
+    /// Assembly-level injection (the paper's PINFI).
+    Pinfi {
+        /// The compiled program under test.
+        prog: &'a AsmProgram,
+        /// Its golden-run profile.
+        profile: &'a PinfiProfile,
+    },
+}
+
+impl Substrate<'_> {
+    /// The injector name used in seeds, reports, and records.
+    pub fn tool(&self) -> &'static str {
+        match self {
+            Substrate::Llfi { .. } => "llfi",
+            Substrate::Pinfi { .. } => "pinfi",
+        }
+    }
+}
+
+/// One experiment cell: a (program, tool, category) triple.
+pub struct CellSpec<'a> {
+    /// Human-readable label (workload name) used in records and progress.
+    pub label: String,
+    /// Instruction category under injection.
+    pub category: Category,
+    /// Program representation and profile.
+    pub substrate: Substrate<'a>,
+}
+
+/// Progress snapshot passed to the [`EngineOptions::progress`] callback.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    /// Tasks finished so far (including resumed ones).
+    pub completed: usize,
+    /// Total tasks in the campaign.
+    pub total: usize,
+    /// Tasks restored from the record file rather than executed.
+    pub resumed: usize,
+}
+
+/// Engine knobs beyond [`CampaignConfig`].
+#[derive(Default)]
+pub struct EngineOptions<'a> {
+    /// Write one JSONL record per injection to this path.
+    pub records: Option<&'a Path>,
+    /// Resume from an existing record file at [`EngineOptions::records`]
+    /// instead of starting over. Missing file ⇒ fresh start.
+    pub resume: bool,
+    /// Called after every completed task, from worker threads.
+    pub progress: Option<&'a (dyn Fn(Progress) + Sync)>,
+}
+
+/// The result of a full engine run.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// One report per input cell, in input order.
+    pub cells: Vec<CellReport>,
+    /// Total injection tasks in the campaign.
+    pub total_tasks: usize,
+    /// Tasks restored from the record file instead of re-executed.
+    pub resumed_tasks: usize,
+}
+
+/// A planned injection, either level.
+#[derive(Debug, Clone, Copy)]
+enum Plan {
+    Llfi(LlfiInjection),
+    Pinfi(PinfiInjection),
+}
+
+/// One unit of work: a single injection run.
+struct Task {
+    cell: usize,
+    injection: u32,
+    plan: Plan,
+}
+
+struct TaskResult {
+    outcome: Outcome,
+    steps: u64,
+}
+
+/// Reorder buffer + record writer; guarded by one mutex.
+struct Sink {
+    outcomes: Vec<Option<Outcome>>,
+    pending: BTreeMap<usize, TaskResult>,
+    next_flush: usize,
+    writer: Option<BufWriter<File>>,
+}
+
+struct Shared<'a, 't> {
+    cells: &'a [CellSpec<'a>],
+    tasks: &'t [Task],
+    budgets: &'t [u64],
+    next: AtomicUsize,
+    completed: AtomicUsize,
+    stop: AtomicBool,
+    sink: Mutex<Sink>,
+    error: Mutex<Option<String>>,
+    progress: Option<&'a (dyn Fn(Progress) + Sync)>,
+    resumed: usize,
+}
+
+fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs a multi-cell campaign on the shared worker pool.
+///
+/// Returns one [`CellReport`] per cell, bit-identical to running each
+/// cell through the sequential per-cell planner/runner, for any thread
+/// count.
+///
+/// # Errors
+///
+/// Returns an error when a worker fails (interpreter/machine setup
+/// error or panic), or when the record file cannot be written or does
+/// not match the campaign being resumed.
+pub fn run_campaign(
+    cells: &[CellSpec<'_>],
+    cfg: &CampaignConfig,
+    opts: &EngineOptions<'_>,
+) -> Result<CampaignRun, String> {
+    // 1. Plan every cell sequentially (determinism lives here).
+    let mut tasks = Vec::new();
+    let mut budgets = Vec::with_capacity(cells.len());
+    let mut planned = Vec::with_capacity(cells.len());
+    let mut populations = Vec::with_capacity(cells.len());
+    for (ci, cell) in cells.iter().enumerate() {
+        let mut rng =
+            StdRng::seed_from_u64(cell_seed(cfg.seed, cell.substrate.tool(), cell.category));
+        let before = tasks.len();
+        match &cell.substrate {
+            Substrate::Llfi { module, profile } => {
+                tasks.extend(
+                    (0..cfg.injections)
+                        .filter_map(|_| plan_llfi(module, profile, cell.category, &mut rng))
+                        .enumerate()
+                        .map(|(i, p)| Task {
+                            cell: ci,
+                            injection: i as u32,
+                            plan: Plan::Llfi(p),
+                        }),
+                );
+                budgets.push(cfg.hang_budget(profile.golden_steps));
+                populations.push(profile.category_count(module, cell.category));
+            }
+            Substrate::Pinfi { prog, profile } => {
+                tasks.extend(
+                    (0..cfg.injections)
+                        .filter_map(|_| {
+                            plan_pinfi(prog, profile, cell.category, cfg.pinfi, &mut rng)
+                        })
+                        .enumerate()
+                        .map(|(i, p)| Task {
+                            cell: ci,
+                            injection: i as u32,
+                            plan: Plan::Pinfi(p),
+                        }),
+                );
+                budgets.push(cfg.hang_budget(profile.golden_steps));
+                populations.push(profile.category_count(prog, cell.category));
+            }
+        }
+        planned.push((tasks.len() - before) as u32);
+    }
+
+    // 2. Open the record stream, replaying any resumable prefix.
+    let header = header_line(cells, cfg, &planned);
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; tasks.len()];
+    let mut resumed = 0usize;
+    let writer = match opts.records {
+        None => None,
+        Some(path) => {
+            if opts.resume && path.exists() {
+                let prefix = load_resume(path, &header)?;
+                resumed = prefix.outcomes.len();
+                for (i, o) in prefix.outcomes.into_iter().enumerate() {
+                    outcomes[i] = Some(o);
+                }
+                let mut file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| format!("open record file {}: {e}", path.display()))?;
+                // Drop any partial trailing line left by a kill.
+                file.set_len(prefix.valid_bytes)
+                    .map_err(|e| format!("truncate record file {}: {e}", path.display()))?;
+                file.seek(SeekFrom::End(0))
+                    .map_err(|e| format!("seek record file {}: {e}", path.display()))?;
+                Some(BufWriter::new(file))
+            } else {
+                let file = File::create(path)
+                    .map_err(|e| format!("create record file {}: {e}", path.display()))?;
+                let mut w = BufWriter::new(file);
+                writeln!(w, "{header}").map_err(|e| format!("write record header: {e}"))?;
+                w.flush().map_err(|e| format!("write record header: {e}"))?;
+                Some(w)
+            }
+        }
+    };
+
+    // 3. Drain the task list with one shared worker pool.
+    let shared = Shared {
+        cells,
+        tasks: &tasks,
+        budgets: &budgets,
+        next: AtomicUsize::new(resumed),
+        completed: AtomicUsize::new(resumed),
+        stop: AtomicBool::new(false),
+        sink: Mutex::new(Sink {
+            outcomes,
+            pending: BTreeMap::new(),
+            next_flush: resumed,
+            writer,
+        }),
+        error: Mutex::new(None),
+        progress: opts.progress,
+        resumed,
+    };
+    let remaining = tasks.len() - resumed;
+    let workers = cfg.worker_count().max(1).min(remaining.max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            std::thread::Builder::new()
+                .stack_size(16 << 20) // guest recursion nests host frames
+                .spawn_scoped(s, || worker(&shared))
+                .expect("spawn worker");
+        }
+    });
+    if let Some(e) = lock(&shared.error).take() {
+        return Err(e);
+    }
+
+    // 4. Tally per cell (commutative, so thread order is irrelevant).
+    let sink = shared
+        .sink
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut reports: Vec<CellReport> = planned
+        .iter()
+        .zip(&populations)
+        .map(|(&p, &pop)| CellReport {
+            counts: OutcomeCounts::default(),
+            requested: if p > 0 { cfg.injections } else { 0 },
+            planned: p,
+            executed: 0,
+            dynamic_population: pop,
+        })
+        .collect();
+    for (task, outcome) in tasks.iter().zip(&sink.outcomes) {
+        let outcome = outcome.ok_or("internal error: campaign task missing an outcome")?;
+        reports[task.cell].counts.record(outcome);
+        reports[task.cell].executed += 1;
+    }
+    Ok(CampaignRun {
+        cells: reports,
+        total_tasks: tasks.len(),
+        resumed_tasks: resumed,
+    })
+}
+
+fn worker(shared: &Shared<'_, '_>) {
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let i = shared.next.fetch_add(1, Ordering::Relaxed);
+        let Some(task) = shared.tasks.get(i) else {
+            return;
+        };
+        let cell = &shared.cells[task.cell];
+        let budget = shared.budgets[task.cell];
+        let run = catch_unwind(AssertUnwindSafe(|| execute(cell, budget, task.plan)));
+        let result = match run {
+            Ok(Ok(r)) => r,
+            Ok(Err(e)) => {
+                fail(
+                    shared,
+                    format!("cell {} ({}/{}): {e}", task.cell, cell.label, cell.category),
+                );
+                return;
+            }
+            Err(payload) => {
+                fail(
+                    shared,
+                    format!(
+                        "cell {} ({}/{}): worker panicked: {}",
+                        task.cell,
+                        cell.label,
+                        cell.category,
+                        panic_message(payload.as_ref())
+                    ),
+                );
+                return;
+            }
+        };
+        if let Err(e) = deliver(shared, i, result) {
+            fail(shared, e);
+            return;
+        }
+        let completed = shared.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(cb) = shared.progress {
+            cb(Progress {
+                completed,
+                total: shared.tasks.len(),
+                resumed: shared.resumed,
+            });
+        }
+    }
+}
+
+fn execute(cell: &CellSpec<'_>, budget: u64, plan: Plan) -> Result<TaskResult, String> {
+    match (&cell.substrate, plan) {
+        (Substrate::Llfi { module, profile }, Plan::Llfi(inj)) => {
+            let opts = InterpOptions {
+                max_steps: budget,
+                ..InterpOptions::default()
+            };
+            run_llfi_detailed(module, opts, inj, &profile.golden_output)
+        }
+        (Substrate::Pinfi { prog, profile }, Plan::Pinfi(inj)) => {
+            let opts = MachOptions {
+                max_steps: budget,
+                ..MachOptions::default()
+            };
+            run_pinfi_detailed(prog, opts, inj, &profile.golden_output)
+        }
+        _ => Err("internal error: plan/substrate mismatch".into()),
+    }
+    .map(|d| TaskResult {
+        outcome: d.outcome,
+        steps: d.steps,
+    })
+}
+
+/// Stores a result and flushes the in-order record prefix.
+fn deliver(shared: &Shared<'_, '_>, index: usize, result: TaskResult) -> Result<(), String> {
+    let mut sink = lock(&shared.sink);
+    sink.outcomes[index] = Some(result.outcome);
+    sink.pending.insert(index, result);
+    loop {
+        let flush_index = sink.next_flush;
+        let Some(res) = sink.pending.remove(&flush_index) else {
+            break;
+        };
+        sink.next_flush += 1;
+        if let Some(w) = sink.writer.as_mut() {
+            let task = &shared.tasks[flush_index];
+            let line = record_line(&shared.cells[task.cell], task, flush_index, &res);
+            writeln!(w, "{line}").map_err(|e| format!("write record: {e}"))?;
+            w.flush().map_err(|e| format!("write record: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn fail(shared: &Shared<'_, '_>, message: String) {
+    shared.stop.store(true, Ordering::Relaxed);
+    lock(&shared.error).get_or_insert(message);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// The campaign header line: identifies the campaign a record file
+/// belongs to, so resume can refuse a mismatched file.
+fn header_line(cells: &[CellSpec<'_>], cfg: &CampaignConfig, planned: &[u32]) -> String {
+    let cell_objs = cells
+        .iter()
+        .zip(planned)
+        .map(|(c, &p)| {
+            Json::Obj(vec![
+                ("label".into(), Json::str(c.label.clone())),
+                ("tool".into(), Json::str(c.substrate.tool())),
+                ("category".into(), Json::str(c.category.name())),
+                ("planned".into(), Json::u64(u64::from(p))),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("record".into(), Json::str("campaign")),
+        ("version".into(), Json::u64(RECORD_VERSION)),
+        ("seed".into(), Json::u64(cfg.seed)),
+        ("injections".into(), Json::u64(u64::from(cfg.injections))),
+        ("hang_factor".into(), Json::u64(cfg.hang_factor)),
+        ("cells".into(), Json::Arr(cell_objs)),
+    ])
+    .to_string()
+}
+
+/// One per-injection record line.
+fn record_line(cell: &CellSpec<'_>, task: &Task, index: usize, res: &TaskResult) -> String {
+    let plan = match task.plan {
+        Plan::Llfi(inj) => Json::Obj(vec![
+            ("func".into(), Json::u64(inj.site.func.index() as u64)),
+            ("inst".into(), Json::u64(inj.site.inst.index() as u64)),
+            ("instance".into(), Json::u64(inj.instance)),
+            ("bit".into(), Json::u64(u64::from(inj.bit))),
+        ]),
+        Plan::Pinfi(inj) => Json::Obj(vec![
+            ("inst".into(), Json::u64(inj.idx as u64)),
+            ("instance".into(), Json::u64(inj.instance)),
+            ("dest".into(), Json::str(format!("{:?}", inj.dest))),
+            ("bit".into(), Json::u64(u64::from(inj.bit))),
+        ]),
+    };
+    Json::Obj(vec![
+        ("record".into(), Json::str("injection")),
+        ("task".into(), Json::u64(index as u64)),
+        ("cell".into(), Json::str(cell.label.clone())),
+        ("injection".into(), Json::u64(u64::from(task.injection))),
+        ("tool".into(), Json::str(cell.substrate.tool())),
+        ("category".into(), Json::str(cell.category.name())),
+        ("plan".into(), plan),
+        ("outcome".into(), Json::str(res.outcome.name())),
+        ("steps".into(), Json::u64(res.steps)),
+    ])
+    .to_string()
+}
+
+struct ResumePrefix {
+    /// Outcomes of tasks `0..outcomes.len()`, in task order.
+    outcomes: Vec<Outcome>,
+    /// Byte length of the valid prefix (header + complete records).
+    valid_bytes: u64,
+}
+
+/// Parses the longest valid prefix of an existing record file.
+///
+/// The file must start with exactly `expected_header`; records must be
+/// contiguous from task 0. A torn final line (from a kill mid-write) is
+/// dropped, as is anything after the first malformed record.
+fn load_resume(path: &Path, expected_header: &str) -> Result<ResumePrefix, String> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| format!("read record file {}: {e}", path.display()))?;
+    let Some(first_len) = text.find('\n') else {
+        return Err(format!(
+            "record file {} has no complete header line; delete it to start over",
+            path.display()
+        ));
+    };
+    if &text[..first_len] != expected_header {
+        return Err(format!(
+            "record file {} belongs to a different campaign (seed, cells, or config \
+             changed); delete it or pick another --records path",
+            path.display()
+        ));
+    }
+    let mut outcomes = Vec::new();
+    let mut valid = first_len + 1;
+    for line in text[valid..].split_inclusive('\n') {
+        if !line.ends_with('\n') {
+            break; // torn final line
+        }
+        let Some(record) = parse_record(line.trim_end_matches('\n'), outcomes.len()) else {
+            break;
+        };
+        outcomes.push(record);
+        valid += line.len();
+    }
+    Ok(ResumePrefix {
+        outcomes,
+        valid_bytes: valid as u64,
+    })
+}
+
+/// Parses one record line, requiring `task == expected_index`.
+fn parse_record(line: &str, expected_index: usize) -> Option<Outcome> {
+    let v = Json::parse(line).ok()?;
+    if v.get("record")?.as_str()? != "injection" {
+        return None;
+    }
+    if v.get("task")?.as_u64()? != expected_index as u64 {
+        return None;
+    }
+    Outcome::from_name(v.get("outcome")?.as_str()?)
+}

@@ -42,6 +42,8 @@
 mod calibration;
 mod campaign;
 mod category;
+mod engine;
+pub mod json;
 mod llfi;
 mod outcome;
 mod pinfi;
@@ -52,14 +54,17 @@ mod trace;
 pub use calibration::{
     calibrated_candidates, calibrated_count, llfi_campaign_calibrated, Calibration,
 };
-pub use campaign::{llfi_campaign, pinfi_campaign, CampaignConfig, CellReport};
+pub use campaign::{cell_seed, llfi_campaign, pinfi_campaign, CampaignConfig, CellReport};
 pub use category::{
     injection_dest, llfi_candidates, llfi_matches, pinfi_candidates, pinfi_matches, site_in,
     Category,
 };
-pub use llfi::{plan_llfi, run_llfi, LlfiInjection};
-pub use outcome::{classify, DetailedOutcome, Outcome, OutcomeCounts};
-pub use pinfi::{plan_pinfi, run_pinfi, PinfiInjection, PinfiOptions};
+pub use engine::{
+    run_campaign, CampaignRun, CellSpec, EngineOptions, Progress, Substrate, RECORD_VERSION,
+};
+pub use llfi::{plan_llfi, run_llfi, run_llfi_detailed, LlfiInjection};
+pub use outcome::{classify, DetailedOutcome, InjectionRun, Outcome, OutcomeCounts};
+pub use pinfi::{plan_pinfi, run_pinfi, run_pinfi_detailed, PinfiInjection, PinfiOptions};
 pub use profile::{locate, profile_llfi, profile_pinfi, LlfiProfile, PinfiProfile};
 pub use stats::{normal_ci95_half_width, overlaps, wilson_ci95};
 pub use trace::{trace_llfi, PropagationReport};

@@ -37,7 +37,7 @@ pub fn plan_llfi(
     let k = rng.gen_range(1..=total);
     let (site, instance) = locate(&cum, k);
     let width = module.func(site.func).inst(site.inst).ty.size() as u32 * 8;
-    let width = width.max(1).min(64);
+    let width = width.clamp(1, 64);
     // i1 destinations have exactly one bit.
     let width = if module.func(site.func).inst(site.inst).ty == fiq_ir::Type::i1() {
         1
@@ -104,6 +104,21 @@ pub fn run_llfi(
     inj: LlfiInjection,
     golden_output: &str,
 ) -> Result<Outcome, String> {
+    run_llfi_detailed(module, opts, inj, golden_output).map(|d| d.outcome)
+}
+
+/// [`run_llfi`] plus the dynamic-instruction count of the faulty run,
+/// for per-injection records.
+///
+/// # Errors
+///
+/// Returns an error string if interpreter setup fails.
+pub fn run_llfi_detailed(
+    module: &Module,
+    opts: InterpOptions,
+    inj: LlfiInjection,
+    golden_output: &str,
+) -> Result<crate::outcome::InjectionRun, String> {
     let hook = LlfiHook {
         site: inj.site,
         instance: inj.instance,
@@ -120,10 +135,8 @@ pub fn run_llfi(
         hook.injected,
         "planned instance must be reached (deterministic prefix)"
     );
-    Ok(classify(
-        result.status,
-        &result.output,
-        golden_output,
-        hook.activated,
-    ))
+    Ok(crate::outcome::InjectionRun {
+        outcome: classify(result.status, &result.output, golden_output, hook.activated),
+        steps: result.steps,
+    })
 }

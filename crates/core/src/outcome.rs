@@ -1,12 +1,11 @@
 //! Fault-injection outcomes and classification.
 
 use fiq_mem::{RunStatus, Trap};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The outcome of one fault-injection run (paper §V, "Failure
 /// categorization").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
     /// The fault was activated but the output matched the golden run.
     Benign,
@@ -30,6 +29,18 @@ impl Outcome {
             Outcome::Crash => "crash",
             Outcome::Hang => "hang",
             Outcome::NotActivated => "not-activated",
+        }
+    }
+
+    /// The inverse of [`Outcome::name`], used when reading record files.
+    pub fn from_name(name: &str) -> Option<Outcome> {
+        match name {
+            "benign" => Some(Outcome::Benign),
+            "sdc" => Some(Outcome::Sdc),
+            "crash" => Some(Outcome::Crash),
+            "hang" => Some(Outcome::Hang),
+            "not-activated" => Some(Outcome::NotActivated),
+            _ => None,
         }
     }
 }
@@ -61,7 +72,7 @@ pub fn classify(status: RunStatus, output: &str, golden: &str, activated: bool) 
 }
 
 /// Aggregated outcome counts for one experiment cell.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OutcomeCounts {
     /// Benign (activated, output correct).
     pub benign: u64,
@@ -133,6 +144,17 @@ fn percentage(part: u64, whole: u64) -> f64 {
     } else {
         100.0 * part as f64 / whole as f64
     }
+}
+
+/// The result of one injection run: the classification plus how many
+/// dynamic instructions the faulty run executed (recorded per injection
+/// by the campaign engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectionRun {
+    /// The coarse classification.
+    pub outcome: Outcome,
+    /// Dynamic instructions executed by the faulty run.
+    pub steps: u64,
 }
 
 /// Keeps the trap detail alongside the coarse outcome (for diagnostics).

@@ -198,6 +198,21 @@ pub fn run_pinfi(
     inj: PinfiInjection,
     golden_output: &str,
 ) -> Result<Outcome, String> {
+    run_pinfi_detailed(prog, opts, inj, golden_output).map(|d| d.outcome)
+}
+
+/// [`run_pinfi`] plus the retired-instruction count of the faulty run,
+/// for per-injection records.
+///
+/// # Errors
+///
+/// Returns an error string if machine setup fails.
+pub fn run_pinfi_detailed(
+    prog: &AsmProgram,
+    opts: MachOptions,
+    inj: PinfiInjection,
+    golden_output: &str,
+) -> Result<crate::outcome::InjectionRun, String> {
     let hook = PinfiHook {
         prog,
         inj,
@@ -210,10 +225,8 @@ pub fn run_pinfi(
     let result = machine.run();
     let hook = machine.into_hook();
     debug_assert!(hook.injected, "planned instance must be reached");
-    Ok(classify(
-        result.status,
-        &result.output,
-        golden_output,
-        hook.activated,
-    ))
+    Ok(crate::outcome::InjectionRun {
+        outcome: classify(result.status, &result.output, golden_output, hook.activated),
+        steps: result.steps,
+    })
 }

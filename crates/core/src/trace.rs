@@ -17,11 +17,10 @@ use crate::llfi::LlfiInjection;
 use crate::outcome::{classify, Outcome};
 use fiq_interp::{InstSite, Interp, InterpHook, InterpOptions, RtVal};
 use fiq_ir::{InstKind, Module};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 
 /// What the tracer observed between injection and program end.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PropagationReport {
     /// The final outcome of the run.
     pub outcome: Outcome,

@@ -119,8 +119,8 @@ fn injections_produce_mixed_outcomes() {
         threads: 4,
         ..CampaignConfig::default()
     };
-    let l = llfi_campaign(&m, &lp, Category::All, &cfg);
-    let r = pinfi_campaign(&p, &pp, Category::All, &cfg);
+    let l = llfi_campaign(&m, &lp, Category::All, &cfg).unwrap();
+    let r = pinfi_campaign(&p, &pp, Category::All, &cfg).unwrap();
     // With 60 random bit flips into live values, outcomes must not be all
     // one kind at either level.
     for (name, c) in [("llfi", l.counts), ("pinfi", r.counts)] {
@@ -151,7 +151,8 @@ fn campaigns_are_reproducible_across_thread_counts() {
             threads: 1,
             ..CampaignConfig::default()
         },
-    );
+    )
+    .unwrap();
     let many = llfi_campaign(
         &m,
         &lp,
@@ -162,7 +163,8 @@ fn campaigns_are_reproducible_across_thread_counts() {
             threads: 8,
             ..CampaignConfig::default()
         },
-    );
+    )
+    .unwrap();
     assert_eq!(
         one.counts, many.counts,
         "thread count must not change results"
@@ -183,8 +185,8 @@ fn cmp_injections_flip_branches() {
         threads: 4,
         ..CampaignConfig::default()
     };
-    let l = llfi_campaign(&m, &lp, Category::Cmp, &cfg);
-    let r = pinfi_campaign(&p, &pp, Category::Cmp, &cfg);
+    let l = llfi_campaign(&m, &lp, Category::Cmp, &cfg).unwrap();
+    let r = pinfi_campaign(&p, &pp, Category::Cmp, &cfg).unwrap();
     assert!(l.counts.activated() > 20);
     assert!(r.counts.activated() > 20);
     let l_crash = l.counts.crash_pct();
@@ -208,7 +210,7 @@ fn xmm_pruning_increases_activation() {
         threads: 4,
         ..CampaignConfig::default()
     };
-    let pruned = pinfi_campaign(&p, &pp, Category::Arithmetic, &base);
+    let pruned = pinfi_campaign(&p, &pp, Category::Arithmetic, &base).unwrap();
     let unpruned = pinfi_campaign(
         &p,
         &pp,
@@ -220,7 +222,8 @@ fn xmm_pruning_increases_activation() {
             },
             ..base
         },
-    );
+    )
+    .unwrap();
     // The arithmetic category contains some SSE ops; activation with
     // pruning must be at least as high as without.
     assert!(
@@ -245,8 +248,8 @@ fn load_injection_can_cause_crash() {
         threads: 4,
         ..CampaignConfig::default()
     };
-    let l = llfi_campaign(&m, &lp, Category::Load, &cfg);
-    let r = pinfi_campaign(&p, &pp, Category::Load, &cfg);
+    let l = llfi_campaign(&m, &lp, Category::Load, &cfg).unwrap();
+    let r = pinfi_campaign(&p, &pp, Category::Load, &cfg).unwrap();
     assert!(l.counts.crash > 0, "llfi load crashes: {:?}", l.counts);
     assert!(r.counts.crash > 0, "pinfi load crashes: {:?}", r.counts);
 }
@@ -262,7 +265,7 @@ fn empty_category_yields_empty_report() {
     .unwrap();
     fiq_opt::optimize_module(&mut m);
     let lp = profile_llfi(&m, InterpOptions::default()).unwrap();
-    let report = llfi_campaign(&m, &lp, Category::Cast, &CampaignConfig::default());
+    let report = llfi_campaign(&m, &lp, Category::Cast, &CampaignConfig::default()).unwrap();
     assert_eq!(report.counts.total(), 0);
     assert_eq!(report.dynamic_population, 0);
 }
@@ -371,7 +374,8 @@ fn calibrated_campaign_runs() {
         &info,
         fiq_core::Calibration::full(),
         &cfg,
-    );
+    )
+    .unwrap();
     assert_eq!(rep.counts.total(), 25);
 }
 

@@ -54,10 +54,7 @@ fn run_once(func: &mut Function) -> usize {
 
         // Iterate to a fixpoint inside this loop.
         let body_set: HashSet<BlockId> = body.iter().copied().collect();
-        loop {
-            let Some((bb, id)) = find_hoistable(func, &body_set) else {
-                break;
-            };
+        while let Some((bb, id)) = find_hoistable(func, &body_set) {
             // Move the instruction to the preheader, before its terminator.
             let insts = &mut func.block_mut(bb).insts;
             insts.retain(|&i| i != id);

@@ -74,23 +74,20 @@ pub fn mem2reg(func: &mut Function) -> usize {
                         cur.insert(alloca, Value::Inst(id));
                     }
                 }
-                InstKind::Load { ptr } => {
-                    if let Value::Inst(a) = ptr {
-                        if promotable.contains(&a) {
-                            let ty = alloca_type(func, a);
-                            let def = cur.get(&a).copied().unwrap_or_else(|| default_value(&ty));
-                            replacements.insert(id, def);
-                            dead.push(id);
-                        }
-                    }
+                InstKind::Load {
+                    ptr: Value::Inst(a),
+                } if promotable.contains(&a) => {
+                    let ty = alloca_type(func, a);
+                    let def = cur.get(&a).copied().unwrap_or_else(|| default_value(&ty));
+                    replacements.insert(id, def);
+                    dead.push(id);
                 }
-                InstKind::Store { val, ptr } => {
-                    if let Value::Inst(a) = ptr {
-                        if promotable.contains(&a) {
-                            cur.insert(a, resolve(&replacements, val));
-                            dead.push(id);
-                        }
-                    }
+                InstKind::Store {
+                    val,
+                    ptr: Value::Inst(a),
+                } if promotable.contains(&a) => {
+                    cur.insert(a, resolve(&replacements, val));
+                    dead.push(id);
                 }
                 _ => {}
             }

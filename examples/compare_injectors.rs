@@ -42,8 +42,8 @@ fn main() -> Result<(), String> {
         "", "", "", "", "", "crash%", "crash%"
     );
     for cat in Category::ALL {
-        let l = llfi_campaign(&compiled.module, &lp, cat, &cfg);
-        let p = pinfi_campaign(&compiled.program, &pp, cat, &cfg);
+        let l = llfi_campaign(&compiled.module, &lp, cat, &cfg).unwrap();
+        let p = pinfi_campaign(&compiled.program, &pp, cat, &cfg).unwrap();
         if l.counts.activated() == 0 && p.counts.activated() == 0 {
             println!("{:<12} (no dynamic candidates)", cat.name());
             continue;

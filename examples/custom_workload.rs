@@ -66,8 +66,8 @@ fn main() -> Result<(), String> {
         seed: 99,
         ..CampaignConfig::default()
     };
-    let l = llfi_campaign(&module, &lp, Category::All, &cfg);
-    let p = pinfi_campaign(&program, &pp, Category::All, &cfg);
+    let l = llfi_campaign(&module, &lp, Category::All, &cfg).unwrap();
+    let p = pinfi_campaign(&program, &pp, Category::All, &cfg).unwrap();
     println!(
         "resilience (category=all): llfi sdc {:.1}% crash {:.1}% | pinfi sdc {:.1}% crash {:.1}%",
         l.counts.sdc_pct(),

@@ -5,9 +5,14 @@
 use fiq_asm::MachOptions;
 use fiq_backend::LowerOptions;
 use fiq_core::{
-    llfi_campaign, pinfi_campaign, profile_llfi, profile_pinfi, CampaignConfig, Category,
+    cell_seed, llfi_campaign, pinfi_campaign, plan_llfi, plan_pinfi, profile_llfi, profile_pinfi,
+    run_campaign, run_llfi, run_pinfi, CampaignConfig, Category, CellReport, CellSpec,
+    EngineOptions, OutcomeCounts, Substrate,
 };
 use fiq_interp::InterpOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
 
 /// Compact but representative program used by the campaign tests.
 const KERNEL: &str = "
@@ -89,8 +94,8 @@ fn campaigns_full_grid_small_scale() {
         ..CampaignConfig::default()
     };
     for cat in Category::ALL {
-        let l = llfi_campaign(&m, &lp, cat, &cfg);
-        let r = pinfi_campaign(&p, &pp, cat, &cfg);
+        let l = llfi_campaign(&m, &lp, cat, &cfg).unwrap();
+        let r = pinfi_campaign(&p, &pp, cat, &cfg).unwrap();
         if l.dynamic_population > 0 {
             assert_eq!(l.counts.total(), 25, "{cat}");
         }
@@ -116,6 +121,7 @@ fn seeds_change_outcomes_but_reruns_do_not() {
                 ..CampaignConfig::default()
             },
         )
+        .unwrap()
         .counts
     };
     let a1 = run(10);
@@ -148,9 +154,251 @@ fn ablation_configurations_run_end_to_end() {
             threads: 2,
             ..CampaignConfig::default()
         };
-        let rep = pinfi_campaign(&p, &pp, Category::Arithmetic, &cfg);
+        let rep = pinfi_campaign(&p, &pp, Category::Arithmetic, &cfg).unwrap();
         assert_eq!(rep.counts.total(), 20);
     }
+}
+
+/// A four-cell grid (both tools × two categories) over the kernel.
+fn grid_cells<'a>(
+    m: &'a fiq_ir::Module,
+    p: &'a fiq_asm::AsmProgram,
+    lp: &'a fiq_core::LlfiProfile,
+    pp: &'a fiq_core::PinfiProfile,
+) -> Vec<CellSpec<'a>> {
+    let mut cells = Vec::new();
+    for cat in [Category::Arithmetic, Category::Load] {
+        cells.push(CellSpec {
+            label: "kernel".into(),
+            category: cat,
+            substrate: Substrate::Llfi {
+                module: m,
+                profile: lp,
+            },
+        });
+        cells.push(CellSpec {
+            label: "kernel".into(),
+            category: cat,
+            substrate: Substrate::Pinfi {
+                prog: p,
+                profile: pp,
+            },
+        });
+    }
+    cells
+}
+
+fn grid_config(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        injections: 20,
+        seed: 77,
+        threads,
+        ..CampaignConfig::default()
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fiq-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn engine_matches_sequential_reference_at_every_thread_count() {
+    let (m, p) = compiled();
+    let lp = profile_llfi(&m, InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&p, MachOptions::default()).unwrap();
+    let cfg = grid_config(1);
+
+    // A naive sequential re-implementation of one cell: plan with the
+    // cell RNG, run each injection in order, tally.
+    let reference: Vec<CellReport> = grid_cells(&m, &p, &lp, &pp)
+        .iter()
+        .map(|cell| {
+            let mut rng =
+                StdRng::seed_from_u64(cell_seed(cfg.seed, cell.substrate.tool(), cell.category));
+            let mut counts = OutcomeCounts::default();
+            let mut planned = 0;
+            match cell.substrate {
+                Substrate::Llfi { module, profile } => {
+                    let opts = InterpOptions {
+                        max_steps: cfg.hang_budget(profile.golden_steps),
+                        ..InterpOptions::default()
+                    };
+                    for _ in 0..cfg.injections {
+                        let inj = plan_llfi(module, profile, cell.category, &mut rng).unwrap();
+                        planned += 1;
+                        counts.record(run_llfi(module, opts, inj, &profile.golden_output).unwrap());
+                    }
+                    CellReport {
+                        counts,
+                        requested: cfg.injections,
+                        planned,
+                        executed: planned,
+                        dynamic_population: profile.category_count(module, cell.category),
+                    }
+                }
+                Substrate::Pinfi { prog, profile } => {
+                    let opts = MachOptions {
+                        max_steps: cfg.hang_budget(profile.golden_steps),
+                        ..MachOptions::default()
+                    };
+                    for _ in 0..cfg.injections {
+                        let inj =
+                            plan_pinfi(prog, profile, cell.category, cfg.pinfi, &mut rng).unwrap();
+                        planned += 1;
+                        counts.record(run_pinfi(prog, opts, inj, &profile.golden_output).unwrap());
+                    }
+                    CellReport {
+                        counts,
+                        requested: cfg.injections,
+                        planned,
+                        executed: planned,
+                        dynamic_population: profile.category_count(prog, cell.category),
+                    }
+                }
+            }
+        })
+        .collect();
+
+    for threads in [1, 2, 8] {
+        let cells = grid_cells(&m, &p, &lp, &pp);
+        let run = run_campaign(&cells, &grid_config(threads), &EngineOptions::default()).unwrap();
+        assert_eq!(
+            run.cells, reference,
+            "engine at {threads} threads must match the sequential reference bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn record_streams_are_byte_identical_across_thread_counts() {
+    let (m, p) = compiled();
+    let lp = profile_llfi(&m, InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&p, MachOptions::default()).unwrap();
+    let mut streams = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let path = temp_path(&format!("records-t{threads}.jsonl"));
+        let cells = grid_cells(&m, &p, &lp, &pp);
+        let opts = EngineOptions {
+            records: Some(&path),
+            ..EngineOptions::default()
+        };
+        run_campaign(&cells, &grid_config(threads), &opts).unwrap();
+        streams.push(std::fs::read_to_string(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+    assert_eq!(streams[0], streams[1], "1 vs 2 threads");
+    assert_eq!(streams[0], streams[2], "1 vs 8 threads");
+    // Sanity: one header plus one record per injection, in task order.
+    let lines: Vec<&str> = streams[0].lines().collect();
+    assert!(lines[0].contains("\"record\":\"campaign\""));
+    assert_eq!(lines.len() as u32, 1 + 4 * grid_config(1).injections);
+    for (i, line) in lines[1..].iter().enumerate() {
+        assert!(
+            line.contains(&format!("\"task\":{i},")),
+            "records must be in task order: line {i} is {line}"
+        );
+    }
+}
+
+#[test]
+fn resume_after_a_kill_reproduces_the_fresh_campaign() {
+    let (m, p) = compiled();
+    let lp = profile_llfi(&m, InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&p, MachOptions::default()).unwrap();
+    let cfg = grid_config(2);
+
+    let fresh_path = temp_path("records-fresh.jsonl");
+    let cells = grid_cells(&m, &p, &lp, &pp);
+    let fresh = run_campaign(
+        &cells,
+        &cfg,
+        &EngineOptions {
+            records: Some(&fresh_path),
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    let fresh_stream = std::fs::read_to_string(&fresh_path).unwrap();
+
+    // Simulate a kill mid-campaign: keep the header plus 30 complete
+    // records, then a torn partial line.
+    let keep: usize = fresh_stream
+        .split_inclusive('\n')
+        .take(31)
+        .map(str::len)
+        .sum();
+    let torn_path = temp_path("records-torn.jsonl");
+    std::fs::write(
+        &torn_path,
+        format!(
+            "{}{}",
+            &fresh_stream[..keep],
+            r#"{"record":"injection","task":30,"cel"#
+        ),
+    )
+    .unwrap();
+
+    let cells = grid_cells(&m, &p, &lp, &pp);
+    let resumed = run_campaign(
+        &cells,
+        &cfg,
+        &EngineOptions {
+            records: Some(&torn_path),
+            resume: true,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed_tasks, 30);
+    assert_eq!(resumed.cells, fresh.cells, "resume must equal a fresh run");
+    assert_eq!(
+        std::fs::read_to_string(&torn_path).unwrap(),
+        fresh_stream,
+        "resumed record stream must be byte-identical to the fresh one"
+    );
+    std::fs::remove_file(&fresh_path).unwrap();
+    std::fs::remove_file(&torn_path).unwrap();
+}
+
+#[test]
+fn resume_refuses_a_mismatched_record_file() {
+    let (m, p) = compiled();
+    let lp = profile_llfi(&m, InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&p, MachOptions::default()).unwrap();
+    let path = temp_path("records-mismatch.jsonl");
+    let cells = grid_cells(&m, &p, &lp, &pp);
+    run_campaign(
+        &cells,
+        &grid_config(2),
+        &EngineOptions {
+            records: Some(&path),
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    // Same record file, different seed: the header signature differs.
+    let cells = grid_cells(&m, &p, &lp, &pp);
+    let mismatched = CampaignConfig {
+        seed: 78,
+        ..grid_config(2)
+    };
+    let err = run_campaign(
+        &cells,
+        &mismatched,
+        &EngineOptions {
+            records: Some(&path),
+            resume: true,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        err.contains("different campaign"),
+        "expected a campaign-mismatch error, got: {err}"
+    );
+    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
@@ -167,8 +415,8 @@ fn workload_catalog_round_trips_through_core() {
         threads: 4,
         ..CampaignConfig::default()
     };
-    let l = llfi_campaign(&c.module, &lp, Category::Load, &cfg);
-    let r = pinfi_campaign(&c.program, &pp, Category::Load, &cfg);
+    let l = llfi_campaign(&c.module, &lp, Category::Load, &cfg).unwrap();
+    let r = pinfi_campaign(&c.program, &pp, Category::Load, &cfg).unwrap();
     assert!(l.counts.activated() > 0);
     assert!(r.counts.activated() > 0);
 }

@@ -1,0 +1,238 @@
+//! A self-contained stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the criterion 0.5 API its benches use: `Criterion`,
+//! benchmark groups, `Bencher::iter` / `iter_batched`, `Throughput`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: after a warm-up call, each routine
+//! is run in doubling batches until the measurement budget is spent
+//! (`FIQ_BENCH_MS` milliseconds per benchmark, default 200), and the mean
+//! wall-clock time per iteration is printed, with elements/second when a
+//! [`Throughput`] was configured. There are no statistics, plots, or
+//! baselines — this exists so `cargo bench` produces useful numbers
+//! offline.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark.
+fn budget() -> Duration {
+    let ms = std::env::var("FIQ_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter*`.
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let budget = budget();
+        let mut batch = 1u64;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2);
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Runs `routine` on fresh inputs from `setup`, timing only `routine`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        let budget = budget();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark and prints its result.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        let mut line = format!(
+            "{}/{:<32} {:>12}/iter ({} iters)",
+            self.name,
+            id,
+            human_time(b.ns_per_iter),
+            b.iters
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+                let rate = n as f64 * 1e9 / b.ns_per_iter;
+                line.push_str(&format!("  {}", human_rate(rate, "elem")));
+            }
+            Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+                let rate = n as f64 * 1e9 / b.ns_per_iter;
+                line.push_str(&format!("  {}", human_rate(rate, "B")));
+            }
+            _ => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: "bench".into(),
+            throughput: None,
+            _criterion: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("FIQ_BENCH_MS", "5");
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.ns_per_iter > 0.0);
+        assert!(b.iters > 0);
+        let mut b2 = Bencher::default();
+        b2.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b2.iters > 0);
+    }
+}
