@@ -4,7 +4,7 @@ use crate::flags::{self, ALL_FLAGS};
 use crate::inst::{AluOp, ExtFn, Inst, MemRef, Operand, ShiftOp, SseOp, Width, XOperand};
 use crate::program::AsmProgram;
 use crate::regs::{Reg, Xmm};
-use fiq_mem::{Console, Memory, RunStatus, Trap};
+use fiq_mem::{Console, MemSnapshot, Memory, RunStatus, Trap};
 
 /// Sentinel return address marking the bottom of the call stack.
 pub const RET_SENTINEL: u64 = u64::MAX;
@@ -91,6 +91,45 @@ pub struct NopAsmHook;
 
 impl AsmHook for NopAsmHook {}
 
+/// A point-in-time capture of a running [`Machine`], taken at an
+/// instruction boundary by [`Machine::run_with_snapshots`].
+///
+/// A snapshot holds the full architectural state — GPRs, XMM, FLAGS,
+/// memory image (page-shared with neighbouring snapshots), console, RIP,
+/// and the retired-instruction counter — plus the per-instruction dynamic
+/// retire-count vector at the capture point, so a fault injector restoring
+/// from it knows how many instances of the target instruction have
+/// already retired.
+#[derive(Debug, Clone)]
+pub struct MachSnapshot {
+    regs: [u64; 16],
+    xmm: [[u64; 2]; 16],
+    flags: u64,
+    mem: MemSnapshot,
+    console: Console,
+    rip: usize,
+    steps: u64,
+    counts: Vec<u64>,
+}
+
+impl MachSnapshot {
+    /// Instructions retired at the capture point.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// How many times static instruction `idx` had retired at the capture
+    /// point (the dynamic-instance clock fault planners index by).
+    pub fn site_count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+
+    /// The captured memory image (exposed for page-sharing diagnostics).
+    pub fn mem(&self) -> &MemSnapshot {
+        &self.mem
+    }
+}
+
 /// The result of a machine run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -163,6 +202,36 @@ impl<'p, H: AsmHook> Machine<'p, H> {
         })
     }
 
+    /// Recreates a machine mid-run from a snapshot: the next
+    /// [`Machine::run`] resumes at the captured instruction boundary with
+    /// the given (fresh) hook observing only the tail of the execution.
+    ///
+    /// The program and options must be the ones the snapshot was captured
+    /// under for the resumed run to mean anything; `max_steps` may differ
+    /// (the step counter continues from the captured value and is checked
+    /// against the restoring run's budget).
+    pub fn restore(
+        prog: &'p AsmProgram,
+        opts: MachOptions,
+        hook: H,
+        snap: &MachSnapshot,
+    ) -> Machine<'p, H> {
+        Machine {
+            prog,
+            st: MachState {
+                regs: snap.regs,
+                xmm: snap.xmm,
+                flags: snap.flags,
+                mem: Memory::from_snapshot(&snap.mem),
+                console: snap.console.clone(),
+            },
+            hook,
+            opts,
+            rip: snap.rip,
+            steps: snap.steps,
+        }
+    }
+
     /// Runs to completion, trap, or budget exhaustion.
     pub fn run(&mut self) -> RunResult {
         let status = loop {
@@ -178,6 +247,51 @@ impl<'p, H: AsmHook> Machine<'p, H> {
             steps: self.steps,
             output: self.st.console.contents().to_string(),
         }
+    }
+
+    /// Runs like [`Machine::run`], capturing a snapshot at the first
+    /// instruction boundary once every `interval` retired instructions
+    /// (`interval` is clamped to at least 1). Returns the captured
+    /// snapshots alongside the result; memory pages are shared between
+    /// consecutive snapshots where unchanged.
+    pub fn run_with_snapshots(&mut self, interval: u64) -> (RunResult, Vec<MachSnapshot>) {
+        let interval = interval.max(1);
+        let mut next_at = interval;
+        let mut counts = vec![0u64; self.prog.insts.len()];
+        let mut snaps: Vec<MachSnapshot> = Vec::new();
+        let status = loop {
+            if self.steps >= next_at {
+                let prev_mem = snaps.last().map(|s| &s.mem);
+                snaps.push(MachSnapshot {
+                    regs: self.st.regs,
+                    xmm: self.st.xmm,
+                    flags: self.st.flags,
+                    mem: self.st.mem.snapshot(prev_mem),
+                    console: self.st.console.clone(),
+                    rip: self.rip,
+                    steps: self.steps,
+                    counts: counts.clone(),
+                });
+                while next_at <= self.steps {
+                    next_at += interval;
+                }
+            }
+            let idx = self.rip;
+            match self.step() {
+                // `step` only reaches `on_retire` on the Ok path, so the
+                // count vector tracks retires exactly.
+                Ok(()) => counts[idx] += 1,
+                Err(Stop::Finished) => break RunStatus::Finished,
+                Err(Stop::Trap(t)) => break RunStatus::Trapped(t),
+                Err(Stop::Budget) => break RunStatus::BudgetExceeded,
+            }
+        };
+        let result = RunResult {
+            status,
+            steps: self.steps,
+            output: self.st.console.contents().to_string(),
+        };
+        (result, snaps)
     }
 
     /// Instructions retired so far.

@@ -3,7 +3,7 @@
 
 use fiq_asm::{
     run_program, AluOp, AsmFunc, AsmHook, AsmProgram, Cond, ExtFn, GlobalImage, Inst, MachOptions,
-    MachState, Machine, MemRef, Operand, Reg, SseOp, Width, XOperand, Xmm,
+    MachState, Machine, MemRef, NopAsmHook, Operand, Reg, SseOp, Width, XOperand, Xmm,
 };
 use fiq_mem::{RunStatus, Trap};
 
@@ -659,4 +659,111 @@ fn shifts_behave() {
     ]);
     let r = run_program(&p, opts()).unwrap();
     assert_eq!(r.output, "-4\n");
+}
+
+fn sum_loop_prog() -> AsmProgram {
+    // rax = sum(1..=10); the Add at index 2 retires exactly 10 times.
+    prog(vec![
+        /* 0 */
+        Inst::Mov {
+            width: Width::B8,
+            dst: R(Reg::Rax),
+            src: Imm(0),
+        },
+        /* 1 */
+        Inst::Mov {
+            width: Width::B8,
+            dst: R(Reg::Rcx),
+            src: Imm(1),
+        },
+        /* 2 */
+        Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::Rax,
+            src: R(Reg::Rcx),
+        },
+        /* 3 */
+        Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::Rcx,
+            src: Imm(1),
+        },
+        /* 4 */
+        Inst::Cmp {
+            lhs: R(Reg::Rcx),
+            rhs: Imm(10),
+        },
+        /* 5 */
+        Inst::Jcc {
+            cond: Cond::Le,
+            target: 2,
+        },
+        /* 6 */
+        Inst::Mov {
+            width: Width::B8,
+            dst: R(Reg::Rdi),
+            src: R(Reg::Rax),
+        },
+        /* 7 */
+        Inst::CallExt {
+            ext: ExtFn::PrintI64,
+        },
+        /* 8 */ Inst::Ret,
+    ])
+}
+
+#[test]
+fn every_snapshot_restores_to_the_same_result() {
+    let p = sum_loop_prog();
+    let mut golden = Machine::new(&p, opts(), NopAsmHook).unwrap();
+    let (gr, snaps) = golden.run_with_snapshots(5);
+    assert_eq!(gr.output, "55\n");
+    assert!(
+        snaps.len() > 3,
+        "expected several snapshots, got {}",
+        snaps.len()
+    );
+    let mut last_steps = 0;
+    for snap in &snaps {
+        assert!(snap.steps() > last_steps, "snapshots strictly ordered");
+        last_steps = snap.steps();
+        let mut tail = Machine::restore(&p, opts(), NopAsmHook, snap);
+        let r = tail.run();
+        assert_eq!(r.status, gr.status);
+        assert_eq!(r.steps, gr.steps, "step counter continues from snapshot");
+        assert_eq!(r.output, gr.output);
+    }
+}
+
+#[test]
+fn snapshot_counts_partition_the_retire_stream() {
+    // For any snapshot, retires of instruction 2 before it (counts vector)
+    // plus retires observed by a hook on the restored tail equal the
+    // full-run total of 10.
+    struct RetireCounter {
+        target: usize,
+        seen: u64,
+    }
+    impl AsmHook for RetireCounter {
+        fn on_retire(&mut self, idx: usize, _st: &mut MachState) {
+            if idx == self.target {
+                self.seen += 1;
+            }
+        }
+    }
+    let p = sum_loop_prog();
+    let mut golden = Machine::new(&p, opts(), RetireCounter { target: 2, seen: 0 }).unwrap();
+    let (_, snaps) = golden.run_with_snapshots(3);
+    let total = golden.into_hook().seen;
+    assert_eq!(total, 10);
+    for snap in &snaps {
+        let mut tail = Machine::restore(&p, opts(), RetireCounter { target: 2, seen: 0 }, snap);
+        tail.run();
+        assert_eq!(
+            snap.site_count(2) + tail.into_hook().seen,
+            total,
+            "snapshot at step {} must split the retire stream exactly",
+            snap.steps()
+        );
+    }
 }

@@ -1,14 +1,16 @@
 //! Campaign-engine throughput: how fast the shared work-stealing pool
-//! drains a multi-cell campaign, at one worker versus all cores, and
-//! with the per-injection JSONL record stream on versus off.
+//! drains a multi-cell campaign, at one worker versus all cores, with
+//! the per-injection JSONL record stream on versus off, and with
+//! checkpointed fast-forward on versus off.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fiq_asm::MachOptions;
 use fiq_core::{
-    profile_llfi, profile_pinfi, run_campaign, CampaignConfig, Category, CellSpec, EngineOptions,
-    Substrate,
+    profile_llfi, profile_llfi_with_snapshots, profile_pinfi, profile_pinfi_with_snapshots,
+    run_campaign, CampaignConfig, Category, CellSpec, EngineOptions, SnapshotCache, Substrate,
 };
 use fiq_interp::InterpOptions;
+use std::sync::Arc;
 
 const KERNEL: &str = "
 int data[64];
@@ -41,6 +43,7 @@ fn bench_campaign(c: &mut Criterion) {
                 module: &module,
                 profile: &lp,
             },
+            snapshots: None,
         });
         cells.push(CellSpec {
             label: "kernel".into(),
@@ -49,6 +52,7 @@ fn bench_campaign(c: &mut Criterion) {
                 prog: &program,
                 profile: &pp,
             },
+            snapshots: None,
         });
     }
     let total = INJECTIONS as u64 * cells.len() as u64;
@@ -93,5 +97,85 @@ fn bench_campaign(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_campaign);
+/// The workload where golden-prefix replay hurts most: a long store-free
+/// prefix followed by a short load-only tail, so every `load`-category
+/// injection lands in the final ~1% of the run and full replay spends
+/// ~99% of its time re-deriving state a checkpoint already holds.
+const TAIL_KERNEL: &str = "
+int data[256];
+int main() {
+  int s = 7;
+  for (int r = 0; r < 20000; r += 1)
+    s = (s * 1103515245 + 12345) & 2147483647;
+  for (int i = 0; i < 256; i += 1) data[i] = (s >> (i & 15)) & 255;
+  int t = 0;
+  for (int i = 0; i < 256; i += 1) t += data[i];
+  print_i64(s + t);
+  return 0;
+}";
+
+fn bench_fast_forward(c: &mut Criterion) {
+    let mut module = fiq_frontend::compile("tail-kernel", TAIL_KERNEL).unwrap();
+    fiq_opt::optimize_module(&mut module);
+    let program = fiq_backend::lower_module(&module, fiq_backend::LowerOptions::default()).unwrap();
+    let interval = 2_000;
+    let (lp, ls) =
+        profile_llfi_with_snapshots(&module, InterpOptions::default(), interval).unwrap();
+    let (pp, ps) =
+        profile_pinfi_with_snapshots(&program, MachOptions::default(), interval).unwrap();
+    let llfi_snaps = Arc::new(SnapshotCache::Llfi(ls));
+    let pinfi_snaps = Arc::new(SnapshotCache::Pinfi(ps));
+
+    let cells = |fast: bool| {
+        vec![
+            CellSpec {
+                label: "tail-kernel".into(),
+                category: Category::Load,
+                substrate: Substrate::Llfi {
+                    module: &module,
+                    profile: &lp,
+                },
+                snapshots: fast.then(|| Arc::clone(&llfi_snaps)),
+            },
+            CellSpec {
+                label: "tail-kernel".into(),
+                category: Category::Load,
+                substrate: Substrate::Pinfi {
+                    prog: &program,
+                    profile: &pp,
+                },
+                snapshots: fast.then(|| Arc::clone(&pinfi_snaps)),
+            },
+        ]
+    };
+    let cfg = CampaignConfig {
+        injections: 20,
+        seed: 7,
+        threads: 1,
+        ..CampaignConfig::default()
+    };
+
+    let mut g = c.benchmark_group("fast-forward");
+    g.throughput(Throughput::Elements(cfg.injections as u64 * 2));
+    for fast in [false, true] {
+        let name = if fast {
+            "largest-prefix/fast-forward"
+        } else {
+            "largest-prefix/full-replay"
+        };
+        let cells = cells(fast);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let opts = EngineOptions {
+                    fast_forward: fast,
+                    ..EngineOptions::default()
+                };
+                run_campaign(&cells, &cfg, &opts).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_fast_forward);
 criterion_main!(benches);

@@ -204,6 +204,7 @@ pub fn run_grid(prepared: &[Prepared], cats: &[Category], cfg: &ExperimentConfig
                     module: &p.compiled.module,
                     profile: &p.llfi,
                 },
+                snapshots: None,
             });
             cells.push(CellSpec {
                 label: p.workload.name.to_string(),
@@ -212,6 +213,7 @@ pub fn run_grid(prepared: &[Prepared], cats: &[Category], cfg: &ExperimentConfig
                     prog: &p.compiled.program,
                     profile: &p.pinfi,
                 },
+                snapshots: None,
             });
         }
     }

@@ -9,12 +9,24 @@
 //! fiq trace <prog> --category <cat> [--seed S]      LLFI injection + propagation report
 //! fiq campaign <prog> --category <cat> [--injections N] [--seed S] [--threads N]
 //!              [--records FILE] [--resume] [--progress]
+//!              [--fast-forward] [--snapshot-interval K]
+//!              [--no-flag-pruning] [--no-xmm-pruning]
 //! ```
 //!
 //! `campaign` runs both tools on the shared work-stealing engine.
 //! `--records FILE` streams one JSONL record per injection; `--resume`
 //! continues a killed campaign from that file; `--progress` reports
-//! completion and throughput on stderr.
+//! completion and throughput on stderr. `--fast-forward` captures
+//! checkpoints during the profiling run and restores the one nearest
+//! each injection point instead of replaying the golden prefix (output
+//! is bit-identical either way); `--snapshot-interval K` sets the
+//! checkpoint spacing in dynamic instructions (default: golden ÷ 64,
+//! implies `--fast-forward`). `--no-flag-pruning`/`--no-xmm-pruning`
+//! disable PINFI's activation heuristics.
+//!
+//! Flags are declared per subcommand: a flag that takes a value consumes
+//! the next argument (or use `--flag=value`), boolean flags never do, and
+//! unknown flags are an error listing the subcommand's valid flags.
 //!
 //! `<prog>` is either a path to a Mini-C source file or the name of a
 //! bundled workload (`bzip2`, `libquantum`, `ocean`, `hmmer`, `mcf`,
@@ -23,8 +35,9 @@
 use fiq_asm::MachOptions;
 use fiq_backend::LowerOptions;
 use fiq_core::{
-    plan_llfi, plan_pinfi, profile_llfi, profile_pinfi, run_llfi, run_pinfi, CampaignConfig,
-    Category, CellSpec, EngineOptions, PinfiOptions, Progress, Substrate,
+    plan_llfi, plan_pinfi, profile_llfi, profile_llfi_with_snapshots, profile_pinfi,
+    profile_pinfi_with_snapshots, run_llfi, run_pinfi, CampaignConfig, Category, CellSpec,
+    EngineOptions, PinfiOptions, Progress, SnapshotCache, Substrate,
 };
 use fiq_interp::InterpOptions;
 use fiq_ir::Module;
@@ -32,7 +45,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 fn main() -> ExitCode {
@@ -45,28 +58,132 @@ fn main() -> ExitCode {
     }
 }
 
+/// Flags a subcommand accepts: `value` flags consume one argument,
+/// `boolean` flags never do. Anything else is a usage error.
+struct FlagSpec {
+    value: &'static [&'static str],
+    boolean: &'static [&'static str],
+}
+
+/// Flags shared by every subcommand that compiles a program.
+const COMPILE_BOOLS: [&str; 3] = ["no-opt", "no-fold-gep", "no-callee-saved"];
+
+fn flag_spec(cmd: &str) -> Option<FlagSpec> {
+    Some(match cmd {
+        "workloads" => FlagSpec {
+            value: &[],
+            boolean: &[],
+        },
+        "compile" => FlagSpec {
+            value: &["emit"],
+            boolean: &COMPILE_BOOLS,
+        },
+        "run" => FlagSpec {
+            value: &["level"],
+            boolean: &COMPILE_BOOLS,
+        },
+        "profile" => FlagSpec {
+            value: &[],
+            boolean: &COMPILE_BOOLS,
+        },
+        "inject" => FlagSpec {
+            value: &["tool", "category", "seed"],
+            boolean: &COMPILE_BOOLS,
+        },
+        "trace" => FlagSpec {
+            value: &["category", "seed"],
+            boolean: &COMPILE_BOOLS,
+        },
+        "campaign" => FlagSpec {
+            value: &[
+                "category",
+                "seed",
+                "injections",
+                "threads",
+                "records",
+                "snapshot-interval",
+            ],
+            boolean: &[
+                "no-opt",
+                "no-fold-gep",
+                "no-callee-saved",
+                "resume",
+                "progress",
+                "fast-forward",
+                "no-flag-pruning",
+                "no-xmm-pruning",
+            ],
+        },
+        _ => return None,
+    })
+}
+
+impl FlagSpec {
+    /// The usage fragment listing every valid flag for the subcommand.
+    fn describe(&self) -> String {
+        let mut parts: Vec<String> = self
+            .value
+            .iter()
+            .map(|f| format!("--{f} <value>"))
+            .collect();
+        parts.extend(self.boolean.iter().map(|f| format!("--{f}")));
+        if parts.is_empty() {
+            "(this subcommand takes no flags)".into()
+        } else {
+            parts.join(", ")
+        }
+    }
+}
+
 struct Args {
+    /// Positional arguments after the subcommand name.
     positional: Vec<String>,
     flags: Vec<(String, Option<String>)>,
 }
 
 impl Args {
-    fn parse() -> Args {
+    /// Parses the arguments after the subcommand against its flag
+    /// declaration. Value flags take the next argument (or `=value`);
+    /// boolean flags never swallow a following positional; unknown flags
+    /// are an error naming the valid set.
+    fn parse(
+        cmd: &str,
+        spec: &FlagSpec,
+        raw: impl IntoIterator<Item = String>,
+    ) -> Result<Args, String> {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
-        let mut it = std::env::args().skip(1).peekable();
+        let mut it = raw.into_iter();
         while let Some(a) = it.next() {
-            if let Some(name) = a.strip_prefix("--") {
-                let value = match it.peek() {
-                    Some(v) if !v.starts_with("--") => Some(it.next().expect("peeked")),
-                    _ => None,
-                };
-                flags.push((name.to_string(), value));
-            } else {
+            let Some(body) = a.strip_prefix("--") else {
                 positional.push(a);
+                continue;
+            };
+            let (name, inline) = match body.split_once('=') {
+                Some((n, v)) => (n.to_string(), Some(v.to_string())),
+                None => (body.to_string(), None),
+            };
+            if spec.value.contains(&name.as_str()) {
+                let value = match inline {
+                    Some(v) => v,
+                    None => it
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?,
+                };
+                flags.push((name, Some(value)));
+            } else if spec.boolean.contains(&name.as_str()) {
+                if inline.is_some() {
+                    return Err(format!("--{name} does not take a value"));
+                }
+                flags.push((name, None));
+            } else {
+                return Err(format!(
+                    "unknown flag --{name} for `{cmd}`; valid flags: {}",
+                    spec.describe()
+                ));
             }
         }
-        Args { positional, flags }
+        Ok(Args { positional, flags })
     }
 
     fn flag(&self, name: &str) -> Option<&str> {
@@ -79,13 +196,27 @@ impl Args {
     fn has(&self, name: &str) -> bool {
         self.flags.iter().any(|(n, _)| n == name)
     }
+
+    /// Parses a numeric flag, defaulting when absent and erroring (not
+    /// silently defaulting) when present but malformed.
+    fn num_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got `{s}`")),
+        }
+    }
 }
 
 fn real_main() -> Result<(), String> {
-    let args = Args::parse();
-    let Some(cmd) = args.positional.first() else {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0].starts_with("--") {
         return Err("usage: fiq <workloads|compile|run|profile|inject|trace|campaign> …".into());
-    };
+    }
+    let cmd = raw.remove(0);
+    let spec = flag_spec(&cmd).ok_or_else(|| format!("unknown command `{cmd}`"))?;
+    let args = Args::parse(&cmd, &spec, raw)?;
     match cmd.as_str() {
         "workloads" => {
             println!("{:<12} {:<9} {:>5}  description", "name", "suite", "LoC");
@@ -106,12 +237,12 @@ fn real_main() -> Result<(), String> {
         "inject" => cmd_inject(&args),
         "trace" => cmd_trace(&args),
         "campaign" => cmd_campaign(&args),
-        other => Err(format!("unknown command `{other}`")),
+        _ => unreachable!("flag_spec vetted the command"),
     }
 }
 
 fn load_program(args: &Args) -> Result<Module, String> {
-    let Some(name) = args.positional.get(1) else {
+    let Some(name) = args.positional.first() else {
         return Err("missing program (file path or workload name)".into());
     };
     let source = if let Some(w) = fiq_workloads::by_name(name) {
@@ -144,8 +275,8 @@ fn category(args: &Args) -> Result<Category, String> {
     }
 }
 
-fn seed(args: &Args) -> u64 {
-    args.flag("seed").and_then(|s| s.parse().ok()).unwrap_or(42)
+fn seed(args: &Args) -> Result<u64, String> {
+    args.num_flag("seed", 42)
 }
 
 fn cmd_compile(args: &Args) -> Result<(), String> {
@@ -215,7 +346,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
 fn cmd_inject(args: &Args) -> Result<(), String> {
     let module = load_program(args)?;
     let cat = category(args)?;
-    let mut rng = StdRng::seed_from_u64(seed(args));
+    let mut rng = StdRng::seed_from_u64(seed(args)?);
     match args.flag("tool").unwrap_or("llfi") {
         "llfi" => {
             let lp = profile_llfi(&module, InterpOptions::default())?;
@@ -253,7 +384,7 @@ fn cmd_inject(args: &Args) -> Result<(), String> {
 fn cmd_trace(args: &Args) -> Result<(), String> {
     let module = load_program(args)?;
     let cat = category(args)?;
-    let mut rng = StdRng::seed_from_u64(seed(args));
+    let mut rng = StdRng::seed_from_u64(seed(args)?);
     let lp = profile_llfi(&module, InterpOptions::default())?;
     let inj = plan_llfi(&module, &lp, cat, &mut rng).ok_or("category has no dynamic instances")?;
     println!(
@@ -276,22 +407,45 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     let module = load_program(args)?;
     let cat = category(args)?;
     let cfg = CampaignConfig {
-        injections: args
-            .flag("injections")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(200),
-        seed: seed(args),
-        threads: args
-            .flag("threads")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0),
+        injections: args.num_flag("injections", 200)?,
+        seed: seed(args)?,
+        threads: args.num_flag("threads", 0)?,
+        pinfi: PinfiOptions {
+            flag_pruning: !args.has("no-flag-pruning"),
+            xmm_pruning: !args.has("no-xmm-pruning"),
+        },
         ..CampaignConfig::default()
     };
     let prog =
         fiq_backend::lower_module(&module, lower_options(args)).map_err(|e| e.to_string())?;
     let lp = profile_llfi(&module, InterpOptions::default())?;
     let pp = profile_pinfi(&prog, MachOptions::default())?;
-    let label = args.positional.get(1).cloned().unwrap_or_default();
+
+    // `--snapshot-interval 0` (and the default) means "auto": 64 evenly
+    // spaced checkpoints across the golden run.
+    let interval: u64 = args.num_flag("snapshot-interval", 0)?;
+    let fast_forward = args.has("fast-forward") || args.flag("snapshot-interval").is_some();
+    let (llfi_snaps, pinfi_snaps) = if fast_forward {
+        let l_iv = if interval > 0 {
+            interval
+        } else {
+            (lp.golden_steps / 64).max(1)
+        };
+        let p_iv = if interval > 0 {
+            interval
+        } else {
+            (pp.golden_steps / 64).max(1)
+        };
+        let (_, ls) = profile_llfi_with_snapshots(&module, InterpOptions::default(), l_iv)?;
+        let (_, ps) = profile_pinfi_with_snapshots(&prog, MachOptions::default(), p_iv)?;
+        (
+            Some(Arc::new(SnapshotCache::Llfi(ls))),
+            Some(Arc::new(SnapshotCache::Pinfi(ps))),
+        )
+    } else {
+        (None, None)
+    };
+    let label = args.positional.first().cloned().unwrap_or_default();
     let cells = [
         CellSpec {
             label: label.clone(),
@@ -300,6 +454,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
                 module: &module,
                 profile: &lp,
             },
+            snapshots: llfi_snaps,
         },
         CellSpec {
             label,
@@ -308,6 +463,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
                 prog: &prog,
                 profile: &pp,
             },
+            snapshots: pinfi_snaps,
         },
     ];
 
@@ -332,6 +488,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     let opts = EngineOptions {
         records: records.as_deref(),
         resume: args.has("resume"),
+        fast_forward,
         progress: if args.has("progress") {
             Some(&progress_cb)
         } else {

@@ -104,6 +104,98 @@ fn reports_errors_cleanly() {
 }
 
 #[test]
+fn boolean_flags_do_not_swallow_positionals() {
+    // Regression: the old parser treated any flag as value-taking and
+    // consumed the following argument, so a boolean flag placed before
+    // the program name ate it.
+    let (ok, out, err) = fiq(&["run", "--no-opt", "mcf", "--level", "ir"]);
+    assert!(ok, "{err}");
+    assert!(!out.is_empty(), "program must have run: {out}");
+    let (ok, out2, err) = fiq(&[
+        "campaign",
+        "--progress",
+        "libquantum",
+        "--category",
+        "cmp",
+        "--injections",
+        "4",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out2.contains("llfi") && out2.contains("pinfi"), "{out2}");
+    assert!(err.contains("injections done"), "{err}");
+}
+
+#[test]
+fn rejects_unknown_flags_with_usage() {
+    let (ok, _, err) = fiq(&["campaign", "libquantum", "--frobnicate"]);
+    assert!(!ok, "unknown flags must fail");
+    assert!(err.contains("unknown flag --frobnicate"), "{err}");
+    assert!(
+        err.contains("--injections <value>") && err.contains("--fast-forward"),
+        "error must list the valid flags: {err}"
+    );
+    // A flag valid for one subcommand is still unknown to another.
+    let (ok, _, err) = fiq(&["run", "mcf", "--injections", "5"]);
+    assert!(!ok);
+    assert!(err.contains("unknown flag --injections"), "{err}");
+}
+
+#[test]
+fn rejects_malformed_flag_values() {
+    let (ok, _, err) = fiq(&["campaign", "libquantum", "--injections", "many"]);
+    assert!(!ok);
+    assert!(err.contains("--injections expects a number"), "{err}");
+    let (ok, _, err) = fiq(&["inject", "mcf", "--seed", "x"]);
+    assert!(!ok);
+    assert!(err.contains("--seed expects a number"), "{err}");
+    let (ok, _, err) = fiq(&["inject", "mcf", "--category"]);
+    assert!(!ok);
+    assert!(err.contains("--category requires a value"), "{err}");
+    let (ok, _, err) = fiq(&["campaign", "libquantum", "--resume=yes"]);
+    assert!(!ok);
+    assert!(err.contains("--resume does not take a value"), "{err}");
+}
+
+#[test]
+fn accepts_equals_style_flag_values() {
+    let (ok, out, err) = fiq(&[
+        "campaign",
+        "libquantum",
+        "--category=cmp",
+        "--injections=4",
+        "--seed=9",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("llfi"), "{out}");
+}
+
+#[test]
+fn fast_forward_campaign_matches_full_replay() {
+    let base = [
+        "campaign",
+        "libquantum",
+        "--category",
+        "cmp",
+        "--injections",
+        "8",
+        "--seed",
+        "3",
+    ];
+    let (ok, full, err) = fiq(&base);
+    assert!(ok, "{err}");
+    let mut ff: Vec<&str> = base.to_vec();
+    ff.push("--fast-forward");
+    let (ok, fast, err) = fiq(&ff);
+    assert!(ok, "{err}");
+    assert_eq!(full, fast, "fast-forward must not change campaign output");
+    let mut fixed: Vec<&str> = base.to_vec();
+    fixed.extend(["--snapshot-interval", "1000"]);
+    let (ok, fixed_out, err) = fiq(&fixed);
+    assert!(ok, "{err}");
+    assert_eq!(full, fixed_out, "explicit interval implies fast-forward");
+}
+
+#[test]
 fn compiles_a_source_file() {
     let dir = std::env::temp_dir().join("fiq-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -123,6 +123,7 @@ pub fn llfi_campaign(
         label: "llfi".into(),
         category: cat,
         substrate: Substrate::Llfi { module, profile },
+        snapshots: None,
     }];
     let run = run_campaign(&cells, cfg, &EngineOptions::default())?;
     Ok(run.cells[0])
@@ -144,6 +145,7 @@ pub fn pinfi_campaign(
         label: "pinfi".into(),
         category: cat,
         substrate: Substrate::Pinfi { prog, profile },
+        snapshots: None,
     }];
     let run = run_campaign(&cells, cfg, &EngineOptions::default())?;
     Ok(run.cells[0])

@@ -29,12 +29,12 @@
 use crate::campaign::{cell_seed, CampaignConfig, CellReport};
 use crate::category::Category;
 use crate::json::Json;
-use crate::llfi::{plan_llfi, run_llfi_detailed, LlfiInjection};
+use crate::llfi::{plan_llfi, run_llfi_detailed_from, LlfiInjection};
 use crate::outcome::{Outcome, OutcomeCounts};
-use crate::pinfi::{plan_pinfi, run_pinfi_detailed, PinfiInjection};
+use crate::pinfi::{plan_pinfi, run_pinfi_detailed_from, PinfiInjection};
 use crate::profile::{LlfiProfile, PinfiProfile};
-use fiq_asm::{AsmProgram, MachOptions};
-use fiq_interp::InterpOptions;
+use fiq_asm::{AsmProgram, MachOptions, MachSnapshot};
+use fiq_interp::{InterpOptions, InterpSnapshot};
 use fiq_ir::Module;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,10 +44,16 @@ use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Record-stream format version (bumped on schema changes).
 pub const RECORD_VERSION: u64 = 1;
+
+/// Flush the record stream every this many buffered records (plus once
+/// after the pool drains). Between flushes a kill can lose at most this
+/// many trailing records — which resume already tolerates, because it
+/// truncates the file to the longest valid prefix.
+const FLUSH_EVERY: usize = 64;
 
 /// The program representation a cell injects into.
 pub enum Substrate<'a> {
@@ -77,6 +83,20 @@ impl Substrate<'_> {
     }
 }
 
+/// A cell's immutable snapshot cache, captured once during profiling and
+/// shared (`Arc`) read-only across every worker injecting into the cell.
+///
+/// Snapshots are ordered by capture time, so each per-site count vector
+/// is monotonically non-decreasing across the list — which is what lets
+/// [`run_campaign`] binary-search for the last snapshot strictly before a
+/// planned injection occurrence.
+pub enum SnapshotCache {
+    /// Snapshots of the IR interpreter's profiling run.
+    Llfi(Vec<InterpSnapshot>),
+    /// Snapshots of the machine emulator's profiling run.
+    Pinfi(Vec<MachSnapshot>),
+}
+
 /// One experiment cell: a (program, tool, category) triple.
 pub struct CellSpec<'a> {
     /// Human-readable label (workload name) used in records and progress.
@@ -85,6 +105,10 @@ pub struct CellSpec<'a> {
     pub category: Category,
     /// Program representation and profile.
     pub substrate: Substrate<'a>,
+    /// Profiling-run snapshots for checkpointed fast-forward; used only
+    /// when [`EngineOptions::fast_forward`] is set. `None` ⇒ every
+    /// injection replays the full golden prefix.
+    pub snapshots: Option<Arc<SnapshotCache>>,
 }
 
 /// Progress snapshot passed to the [`EngineOptions::progress`] callback.
@@ -108,6 +132,11 @@ pub struct EngineOptions<'a> {
     pub resume: bool,
     /// Called after every completed task, from worker threads.
     pub progress: Option<&'a (dyn Fn(Progress) + Sync)>,
+    /// Restore the latest profiling snapshot before each injection point
+    /// instead of replaying the golden prefix (cells without a
+    /// [`CellSpec::snapshots`] cache still replay in full). Campaign
+    /// output is bit-identical either way; this only changes wall-clock.
+    pub fast_forward: bool,
 }
 
 /// The result of a full engine run.
@@ -146,6 +175,8 @@ struct Sink {
     pending: BTreeMap<usize, TaskResult>,
     next_flush: usize,
     writer: Option<BufWriter<File>>,
+    /// Records written since the last explicit flush.
+    unflushed: usize,
 }
 
 struct Shared<'a, 't> {
@@ -159,6 +190,7 @@ struct Shared<'a, 't> {
     error: Mutex<Option<String>>,
     progress: Option<&'a (dyn Fn(Progress) + Sync)>,
     resumed: usize,
+    fast_forward: bool,
 }
 
 fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
@@ -273,10 +305,12 @@ pub fn run_campaign(
             pending: BTreeMap::new(),
             next_flush: resumed,
             writer,
+            unflushed: 0,
         }),
         error: Mutex::new(None),
         progress: opts.progress,
         resumed,
+        fast_forward: opts.fast_forward,
     };
     let remaining = tasks.len() - resumed;
     let workers = cfg.worker_count().max(1).min(remaining.max(1));
@@ -293,10 +327,13 @@ pub fn run_campaign(
     }
 
     // 4. Tally per cell (commutative, so thread order is irrelevant).
-    let sink = shared
+    let mut sink = shared
         .sink
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(w) = sink.writer.as_mut() {
+        w.flush().map_err(|e| format!("flush record file: {e}"))?;
+    }
     let mut reports: Vec<CellReport> = planned
         .iter()
         .zip(&populations)
@@ -331,7 +368,9 @@ fn worker(shared: &Shared<'_, '_>) {
         };
         let cell = &shared.cells[task.cell];
         let budget = shared.budgets[task.cell];
-        let run = catch_unwind(AssertUnwindSafe(|| execute(cell, budget, task.plan)));
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            execute(cell, budget, task.plan, shared.fast_forward)
+        }));
         let result = match run {
             Ok(Ok(r)) => r,
             Ok(Err(e)) => {
@@ -370,21 +409,52 @@ fn worker(shared: &Shared<'_, '_>) {
     }
 }
 
-fn execute(cell: &CellSpec<'_>, budget: u64, plan: Plan) -> Result<TaskResult, String> {
+fn execute(
+    cell: &CellSpec<'_>,
+    budget: u64,
+    plan: Plan,
+    fast_forward: bool,
+) -> Result<TaskResult, String> {
+    let cache = if fast_forward {
+        cell.snapshots.as_deref()
+    } else {
+        None
+    };
     match (&cell.substrate, plan) {
         (Substrate::Llfi { module, profile }, Plan::Llfi(inj)) => {
             let opts = InterpOptions {
                 max_steps: budget,
                 ..InterpOptions::default()
             };
-            run_llfi_detailed(module, opts, inj, &profile.golden_output)
+            let snap = match cache {
+                Some(SnapshotCache::Llfi(snaps)) => {
+                    // Last snapshot strictly before the injection
+                    // occurrence (per-site counts are monotone across the
+                    // list) that the budget-limited run would reach.
+                    let pos = snaps.partition_point(|s| {
+                        s.site_count(inj.site) < inj.instance && s.steps() <= budget
+                    });
+                    pos.checked_sub(1).map(|p| &snaps[p])
+                }
+                _ => None,
+            };
+            run_llfi_detailed_from(module, opts, inj, &profile.golden_output, snap)
         }
         (Substrate::Pinfi { prog, profile }, Plan::Pinfi(inj)) => {
             let opts = MachOptions {
                 max_steps: budget,
                 ..MachOptions::default()
             };
-            run_pinfi_detailed(prog, opts, inj, &profile.golden_output)
+            let snap = match cache {
+                Some(SnapshotCache::Pinfi(snaps)) => {
+                    let pos = snaps.partition_point(|s| {
+                        s.site_count(inj.idx) < inj.instance && s.steps() <= budget
+                    });
+                    pos.checked_sub(1).map(|p| &snaps[p])
+                }
+                _ => None,
+            };
+            run_pinfi_detailed_from(prog, opts, inj, &profile.golden_output, snap)
         }
         _ => Err("internal error: plan/substrate mismatch".into()),
     }
@@ -394,7 +464,13 @@ fn execute(cell: &CellSpec<'_>, budget: u64, plan: Plan) -> Result<TaskResult, S
     })
 }
 
-/// Stores a result and flushes the in-order record prefix.
+/// Stores a result and writes the in-order record prefix.
+///
+/// Writes are flushed every [`FLUSH_EVERY`] records rather than per
+/// record (one syscall per injection under the sink mutex, previously the
+/// engine's hottest lock); [`run_campaign`] issues a final flush after
+/// the pool drains, and a kill between flushes at worst loses buffered
+/// trailing lines that resume's torn-tail truncation already handles.
 fn deliver(shared: &Shared<'_, '_>, index: usize, result: TaskResult) -> Result<(), String> {
     let mut sink = lock(&shared.sink);
     sink.outcomes[index] = Some(result.outcome);
@@ -405,11 +481,17 @@ fn deliver(shared: &Shared<'_, '_>, index: usize, result: TaskResult) -> Result<
             break;
         };
         sink.next_flush += 1;
-        if let Some(w) = sink.writer.as_mut() {
+        if sink.writer.is_some() {
             let task = &shared.tasks[flush_index];
             let line = record_line(&shared.cells[task.cell], task, flush_index, &res);
+            let w = sink.writer.as_mut().expect("checked above");
             writeln!(w, "{line}").map_err(|e| format!("write record: {e}"))?;
-            w.flush().map_err(|e| format!("write record: {e}"))?;
+            sink.unflushed += 1;
+            if sink.unflushed >= FLUSH_EVERY {
+                sink.unflushed = 0;
+                let w = sink.writer.as_mut().expect("checked above");
+                w.flush().map_err(|e| format!("write record: {e}"))?;
+            }
         }
     }
     Ok(())

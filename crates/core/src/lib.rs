@@ -60,11 +60,18 @@ pub use category::{
     Category,
 };
 pub use engine::{
-    run_campaign, CampaignRun, CellSpec, EngineOptions, Progress, Substrate, RECORD_VERSION,
+    run_campaign, CampaignRun, CellSpec, EngineOptions, Progress, SnapshotCache, Substrate,
+    RECORD_VERSION,
 };
-pub use llfi::{plan_llfi, run_llfi, run_llfi_detailed, LlfiInjection};
+pub use llfi::{plan_llfi, run_llfi, run_llfi_detailed, run_llfi_detailed_from, LlfiInjection};
 pub use outcome::{classify, DetailedOutcome, InjectionRun, Outcome, OutcomeCounts};
-pub use pinfi::{plan_pinfi, run_pinfi, run_pinfi_detailed, PinfiInjection, PinfiOptions};
-pub use profile::{locate, profile_llfi, profile_pinfi, LlfiProfile, PinfiProfile};
+pub use pinfi::{
+    plan_pinfi, run_pinfi, run_pinfi_detailed, run_pinfi_detailed_from, PinfiInjection,
+    PinfiOptions,
+};
+pub use profile::{
+    locate, profile_llfi, profile_llfi_with_snapshots, profile_pinfi, profile_pinfi_with_snapshots,
+    LlfiProfile, PinfiProfile,
+};
 pub use stats::{normal_ci95_half_width, overlaps, wilson_ci95};
 pub use trace::{trace_llfi, PropagationReport};

@@ -8,7 +8,7 @@
 use crate::category::Category;
 use crate::outcome::{classify, Outcome};
 use crate::profile::{locate, LlfiProfile};
-use fiq_interp::{InstSite, Interp, InterpHook, InterpOptions, RtVal};
+use fiq_interp::{InstSite, Interp, InterpHook, InterpOptions, InterpSnapshot, RtVal};
 use fiq_ir::Module;
 use rand::Rng;
 
@@ -119,16 +119,48 @@ pub fn run_llfi_detailed(
     inj: LlfiInjection,
     golden_output: &str,
 ) -> Result<crate::outcome::InjectionRun, String> {
+    run_llfi_detailed_from(module, opts, inj, golden_output, None)
+}
+
+/// [`run_llfi_detailed`], optionally fast-forwarded: when `snapshot` is
+/// given, the interpreter restores it and replays only the tail instead
+/// of re-executing the golden prefix.
+///
+/// The snapshot must have been captured during this module's profiling
+/// run *strictly before* the planned injection occurrence (i.e.
+/// `snapshot.site_count(inj.site) < inj.instance`). Because pre-injection
+/// hooks only observe, the restored run is bit-identical to a full run:
+/// the hook's instance counter starts from the snapshot's count for the
+/// target site and the step counter continues from the snapshot value.
+///
+/// # Errors
+///
+/// Returns an error string if interpreter setup fails.
+pub fn run_llfi_detailed_from(
+    module: &Module,
+    opts: InterpOptions,
+    inj: LlfiInjection,
+    golden_output: &str,
+    snapshot: Option<&InterpSnapshot>,
+) -> Result<crate::outcome::InjectionRun, String> {
+    let seen = snapshot.map_or(0, |s| s.site_count(inj.site));
+    debug_assert!(
+        seen < inj.instance,
+        "snapshot must precede the injection occurrence"
+    );
     let hook = LlfiHook {
         site: inj.site,
         instance: inj.instance,
         bit: inj.bit,
-        seen: 0,
+        seen,
         live_frame: None,
         injected: false,
         activated: false,
     };
-    let mut interp = Interp::new(module, opts, hook).map_err(|t| t.to_string())?;
+    let mut interp = match snapshot {
+        Some(s) => Interp::restore(module, opts, hook, s),
+        None => Interp::new(module, opts, hook).map_err(|t| t.to_string())?,
+    };
     let result = interp.run();
     let hook = interp.into_hook();
     debug_assert!(

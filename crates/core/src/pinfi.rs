@@ -15,7 +15,8 @@ use crate::category::{injection_dest, Category};
 use crate::outcome::{classify, Outcome};
 use crate::profile::{locate, PinfiProfile};
 use fiq_asm::{
-    AsmHook, AsmProgram, ExtFn, Inst, MachOptions, MachState, Machine, Reg, RegId, ALL_FLAGS,
+    AsmHook, AsmProgram, ExtFn, Inst, MachOptions, MachSnapshot, MachState, Machine, Reg, RegId,
+    ALL_FLAGS,
 };
 use rand::Rng;
 
@@ -213,15 +214,47 @@ pub fn run_pinfi_detailed(
     inj: PinfiInjection,
     golden_output: &str,
 ) -> Result<crate::outcome::InjectionRun, String> {
+    run_pinfi_detailed_from(prog, opts, inj, golden_output, None)
+}
+
+/// [`run_pinfi_detailed`], optionally fast-forwarded: when `snapshot` is
+/// given, the machine restores it and replays only the tail instead of
+/// re-executing the golden prefix.
+///
+/// The snapshot must have been captured during this program's profiling
+/// run *strictly before* the planned injection occurrence (i.e.
+/// `snapshot.site_count(inj.idx) < inj.instance`). The hook's instance
+/// counter starts from the snapshot's retire count for the target
+/// instruction and the step counter continues from the snapshot value,
+/// so the restored run is bit-identical to a full run.
+///
+/// # Errors
+///
+/// Returns an error string if machine setup fails.
+pub fn run_pinfi_detailed_from(
+    prog: &AsmProgram,
+    opts: MachOptions,
+    inj: PinfiInjection,
+    golden_output: &str,
+    snapshot: Option<&MachSnapshot>,
+) -> Result<crate::outcome::InjectionRun, String> {
+    let seen = snapshot.map_or(0, |s| s.site_count(inj.idx));
+    debug_assert!(
+        seen < inj.instance,
+        "snapshot must precede the injection occurrence"
+    );
     let hook = PinfiHook {
         prog,
         inj,
-        seen: 0,
+        seen,
         injected: false,
         live: false,
         activated: false,
     };
-    let mut machine = Machine::new(prog, opts, hook).map_err(|t| t.to_string())?;
+    let mut machine = match snapshot {
+        Some(s) => Machine::restore(prog, opts, hook, s),
+        None => Machine::new(prog, opts, hook).map_err(|t| t.to_string())?,
+    };
     let result = machine.run();
     let hook = machine.into_hook();
     debug_assert!(hook.injected, "planned instance must be reached");

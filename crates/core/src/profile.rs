@@ -7,8 +7,8 @@
 //! used to pick a uniformly random dynamic instance.
 
 use crate::category::{llfi_candidates, pinfi_candidates, Category};
-use fiq_asm::{AsmHook, AsmProgram, MachOptions, MachState, Machine};
-use fiq_interp::{InstSite, Interp, InterpHook, InterpOptions, RtVal};
+use fiq_asm::{AsmHook, AsmProgram, MachOptions, MachSnapshot, MachState, Machine};
+use fiq_interp::{InstSite, Interp, InterpHook, InterpOptions, InterpSnapshot, RtVal};
 use fiq_ir::Module;
 use fiq_mem::Trap;
 
@@ -59,6 +59,44 @@ pub fn profile_llfi(module: &Module, opts: InterpOptions) -> Result<LlfiProfile,
         golden_steps: result.steps,
         counts: hook.counts,
     })
+}
+
+/// [`profile_llfi`] plus execution snapshots captured every `interval`
+/// dynamic steps, for checkpointed fast-forward injection.
+///
+/// The profiling (golden) run's hooks only observe — they never perturb
+/// state — so each snapshot is a valid prefix of *every* faulty run up to
+/// its planned injection point.
+///
+/// # Errors
+///
+/// Same error conditions as [`profile_llfi`].
+pub fn profile_llfi_with_snapshots(
+    module: &Module,
+    opts: InterpOptions,
+    interval: u64,
+) -> Result<(LlfiProfile, Vec<InterpSnapshot>), String> {
+    let hook = CountingHook {
+        counts: module
+            .funcs
+            .iter()
+            .map(|f| vec![0; f.insts.len()])
+            .collect(),
+    };
+    let mut interp = Interp::new(module, opts, hook).map_err(|t: Trap| t.to_string())?;
+    let (result, snapshots) = interp.run_with_snapshots(interval);
+    if !result.finished() {
+        return Err(format!("golden IR run did not finish: {:?}", result.status));
+    }
+    let hook = interp.into_hook();
+    Ok((
+        LlfiProfile {
+            golden_output: result.output,
+            golden_steps: result.steps,
+            counts: hook.counts,
+        },
+        snapshots,
+    ))
 }
 
 impl LlfiProfile {
@@ -148,6 +186,39 @@ pub fn profile_pinfi(prog: &AsmProgram, opts: MachOptions) -> Result<PinfiProfil
         golden_steps: result.steps,
         counts: hook.counts,
     })
+}
+
+/// [`profile_pinfi`] plus execution snapshots captured every `interval`
+/// retired instructions, for checkpointed fast-forward injection.
+///
+/// # Errors
+///
+/// Same error conditions as [`profile_pinfi`].
+pub fn profile_pinfi_with_snapshots(
+    prog: &AsmProgram,
+    opts: MachOptions,
+    interval: u64,
+) -> Result<(PinfiProfile, Vec<MachSnapshot>), String> {
+    let hook = AsmCountingHook {
+        counts: vec![0; prog.insts.len()],
+    };
+    let mut machine = Machine::new(prog, opts, hook).map_err(|t| t.to_string())?;
+    let (result, snapshots) = machine.run_with_snapshots(interval);
+    if result.status != fiq_mem::RunStatus::Finished {
+        return Err(format!(
+            "golden asm run did not finish: {:?}",
+            result.status
+        ));
+    }
+    let hook = machine.into_hook();
+    Ok((
+        PinfiProfile {
+            golden_output: result.output,
+            golden_steps: result.steps,
+            counts: hook.counts,
+        },
+        snapshots,
+    ))
 }
 
 impl PinfiProfile {

@@ -1,0 +1,104 @@
+//! Property tests for the campaign JSON codec: every value the record
+//! stream can contain must survive a write → parse round trip exactly,
+//! since resume replays tallies from re-parsed record lines.
+
+use fiq_core::json::Json;
+use proptest::prelude::*;
+
+/// Characters across every interesting class: controls (written as
+/// `\u` escapes), the two characters with dedicated escapes, printable
+/// ASCII, the rest of the BMP below the surrogate range, and astral
+/// plane scalars.
+fn arb_char() -> impl Strategy<Value = char> {
+    prop_oneof![
+        0u32..0x20,
+        Just(u32::from('"')),
+        Just(u32::from('\\')),
+        0x20u32..0x7f,
+        0xa0u32..0xd800,
+        0x1_f300u32..0x1_f600,
+    ]
+    .prop_map(|c| char::from_u32(c).expect("ranges avoid surrogates"))
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_char(), 0..24).prop_map(|cs| cs.into_iter().collect())
+}
+
+/// u64 with the extremes over-represented: 0, `u64::MAX`, and the first
+/// value past `i64::MAX` (where a codec that detours through i64 or f64
+/// would corrupt the number).
+fn arb_u64() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        any::<u64>(),
+        Just(0u64),
+        Just(u64::MAX),
+        Just(i64::MAX as u64 + 1),
+        Just(1u64 << 53),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Strings with escapes, control characters, and non-ASCII scalars
+    /// round-trip both as values and as object keys.
+    #[test]
+    fn strings_roundtrip(s in arb_string(), key in arb_string()) {
+        let v = Json::Obj(vec![(key, Json::str(s))]);
+        let text = v.to_string();
+        prop_assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    /// u64 numbers round-trip losslessly, including values no f64 can
+    /// represent.
+    #[test]
+    fn u64_roundtrip(n in arb_u64()) {
+        let text = Json::u64(n).to_string();
+        prop_assert_eq!(text.parse::<u64>().unwrap(), n, "written as bare digits");
+        prop_assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(n));
+    }
+
+    /// Finite f64 numbers round-trip bit-exactly through the shortest
+    /// representation `format!("{v}")` emits.
+    #[test]
+    fn f64_roundtrip(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        let j = Json::f64(v);
+        if v.is_finite() {
+            let back = Json::parse(&j.to_string()).unwrap().as_f64().unwrap();
+            prop_assert_eq!(back.to_bits(), v.to_bits());
+        } else {
+            prop_assert_eq!(j, Json::Null);
+        }
+    }
+
+    /// Arbitrarily nested arrays and objects round-trip, preserving key
+    /// order and element order at every level.
+    #[test]
+    fn nested_structures_roundtrip(
+        strings in prop::collection::vec(arb_string(), 1..5),
+        nums in prop::collection::vec(arb_u64(), 1..5),
+        depth in 0usize..8,
+    ) {
+        let mut v = Json::Arr(
+            nums.iter()
+                .map(|&n| Json::u64(n))
+                .chain(strings.iter().map(Json::str))
+                .collect(),
+        );
+        for level in 0..depth {
+            let key = &strings[level % strings.len()];
+            v = if level % 2 == 0 {
+                Json::Obj(vec![
+                    (key.clone(), v),
+                    ("n".into(), Json::u64(nums[level % nums.len()])),
+                ])
+            } else {
+                Json::Arr(vec![v, Json::Bool(level % 3 == 0), Json::Null])
+            };
+        }
+        let text = v.to_string();
+        prop_assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+}

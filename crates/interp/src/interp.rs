@@ -1,4 +1,9 @@
 //! The IR interpreter.
+//!
+//! Execution runs on an explicit frame stack (no host recursion), which is
+//! what makes mid-run [`InterpSnapshot`]s possible: the complete dynamic
+//! state of a paused program is the frame stack plus memory, console,
+//! stack pointer, and step counter, all of which are plain data.
 
 use crate::hook::{InstSite, InterpHook};
 use crate::ops;
@@ -7,7 +12,7 @@ use fiq_ir::{
     BlockId, Callee, Constant, FloatTy, FuncId, GlobalInit, InstId, InstKind, Intrinsic, Module,
     Type, Value,
 };
-use fiq_mem::{Console, Memory, RegionKind, Trap};
+use fiq_mem::{Console, MemSnapshot, Memory, RegionKind, Trap};
 
 /// Interpreter configuration.
 #[derive(Debug, Clone, Copy)]
@@ -17,9 +22,8 @@ pub struct InterpOptions {
     pub max_steps: u64,
     /// Maximum guest call depth.
     ///
-    /// Guest calls recurse on the host stack (roughly a kilobyte per
-    /// frame), so keep this limit well below `host_stack_bytes / 1 KiB`;
-    /// the default of 256 is safe even on 2 MiB test threads.
+    /// Guest frames live on the heap (an explicit frame stack), so this
+    /// bounds guest recursion only; it does not consume host stack.
     pub max_call_depth: u32,
     /// Stack region size in bytes.
     pub stack_size: u64,
@@ -97,6 +101,67 @@ pub fn materialize_globals(module: &Module, mem: &mut Memory) -> Result<Vec<u64>
     Ok(addrs)
 }
 
+/// One guest activation record on the explicit frame stack.
+#[derive(Debug, Clone)]
+struct Frame {
+    fid: FuncId,
+    frame_id: u64,
+    saved_sp: u64,
+    args: Vec<RtVal>,
+    slots: Vec<Option<RtVal>>,
+    cur: BlockId,
+    prev: Option<BlockId>,
+    ip: usize,
+}
+
+/// A point-in-time capture of a running [`Interp`], taken at a dynamic
+/// instruction boundary by [`Interp::run_with_snapshots`].
+///
+/// A snapshot holds the complete execution state — frame stack, memory
+/// image (page-shared with neighbouring snapshots), console, stack
+/// pointer, and step counter — plus the per-site dynamic `on_result`
+/// count vector at the capture point, so a fault injector restoring from
+/// it knows how many instances of each site have already occurred.
+#[derive(Debug, Clone)]
+pub struct InterpSnapshot {
+    frames: Vec<Frame>,
+    mem: MemSnapshot,
+    console: Console,
+    global_addrs: Vec<u64>,
+    stack_start: u64,
+    sp: u64,
+    steps: u64,
+    frame_counter: u64,
+    counts: Vec<Vec<u64>>,
+}
+
+impl InterpSnapshot {
+    /// Dynamic instructions executed at the capture point.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// How many `on_result` events `site` had produced at the capture
+    /// point (the dynamic-instance clock fault planners index by).
+    pub fn site_count(&self, site: InstSite) -> u64 {
+        self.counts[site.func.index()][site.inst.index()]
+    }
+
+    /// The captured memory image (exposed for page-sharing diagnostics).
+    pub fn mem(&self) -> &MemSnapshot {
+        &self.mem
+    }
+}
+
+/// Internal snapshot-capture state, present only during
+/// [`Interp::run_with_snapshots`].
+struct SnapState {
+    interval: u64,
+    next_at: u64,
+    counts: Vec<Vec<u64>>,
+    snapshots: Vec<InterpSnapshot>,
+}
+
 /// The IR interpreter. Create with [`Interp::new`], run with
 /// [`Interp::run`], then inspect the console or memory.
 pub struct Interp<'m, H> {
@@ -110,6 +175,8 @@ pub struct Interp<'m, H> {
     sp: u64,
     steps: u64,
     frame_counter: u64,
+    frames: Vec<Frame>,
+    snap: Option<SnapState>,
 }
 
 impl<'m, H: InterpHook> Interp<'m, H> {
@@ -134,18 +201,50 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             sp,
             steps: 0,
             frame_counter: 0,
+            frames: Vec::new(),
+            snap: None,
         })
     }
 
-    /// Runs `main()` to completion, trap, or budget exhaustion.
+    /// Recreates an interpreter mid-run from a snapshot: the next
+    /// [`Interp::run`] resumes at the captured instruction boundary with
+    /// the given (fresh) hook observing only the tail of the execution.
+    ///
+    /// The module and options must be the ones the snapshot was captured
+    /// under for the resumed run to mean anything; `max_steps` may differ
+    /// (the step counter continues from the captured value and is checked
+    /// against the restoring run's budget).
+    pub fn restore(
+        module: &'m Module,
+        opts: InterpOptions,
+        hook: H,
+        snap: &InterpSnapshot,
+    ) -> Interp<'m, H> {
+        Interp {
+            module,
+            opts,
+            mem: Memory::from_snapshot(&snap.mem),
+            console: snap.console.clone(),
+            hook,
+            global_addrs: snap.global_addrs.clone(),
+            stack_start: snap.stack_start,
+            sp: snap.sp,
+            steps: snap.steps,
+            frame_counter: snap.frame_counter,
+            frames: snap.frames.clone(),
+            snap: None,
+        }
+    }
+
+    /// Runs `main()` (or, after [`Interp::restore`], the captured
+    /// continuation) to completion, trap, or budget exhaustion.
     ///
     /// # Panics
     ///
     /// Panics if the module has no `main` function.
     pub fn run(&mut self) -> ExecResult {
-        let main = self.module.main_func().expect("module has a main function");
-        let status = match self.call(main, &[], 0) {
-            Ok(_) => ExecStatus::Finished,
+        let status = match self.exec() {
+            Ok(()) => ExecStatus::Finished,
             Err(Stop::Trap(t)) => ExecStatus::Trapped(t),
             Err(Stop::Budget) => ExecStatus::BudgetExceeded,
         };
@@ -154,6 +253,29 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             steps: self.steps,
             output: self.console.contents().to_string(),
         }
+    }
+
+    /// Runs `main()` like [`Interp::run`], capturing a snapshot at the
+    /// first instruction boundary once every `interval` dynamic steps
+    /// (`interval` is clamped to at least 1). Returns the captured
+    /// snapshots alongside the result; memory pages are shared between
+    /// consecutive snapshots where unchanged.
+    pub fn run_with_snapshots(&mut self, interval: u64) -> (ExecResult, Vec<InterpSnapshot>) {
+        let interval = interval.max(1);
+        self.snap = Some(SnapState {
+            interval,
+            next_at: interval,
+            counts: self
+                .module
+                .funcs
+                .iter()
+                .map(|f| vec![0; f.insts.len()])
+                .collect(),
+            snapshots: Vec::new(),
+        });
+        let result = self.run();
+        let snap = self.snap.take().expect("snapshot state present");
+        (result, snap.snapshots)
     }
 
     /// The console (program output so far).
@@ -177,72 +299,141 @@ impl<'m, H: InterpHook> Interp<'m, H> {
         self.hook
     }
 
-    #[allow(clippy::too_many_lines)]
-    fn call(&mut self, fid: FuncId, args: &[RtVal], depth: u32) -> Result<Option<RtVal>, Stop> {
-        if depth >= self.opts.max_call_depth {
+    fn exec(&mut self) -> Result<(), Stop> {
+        if self.frames.is_empty() {
+            let main = self.module.main_func().expect("module has a main function");
+            self.push_frame(main, Vec::new())?;
+        }
+        while !self.frames.is_empty() {
+            self.maybe_snapshot();
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Pushes an activation record for `fid`. The depth check mirrors the
+    /// old recursive implementation: the frame about to be pushed sits at
+    /// depth `frames.len()`.
+    fn push_frame(&mut self, fid: FuncId, args: Vec<RtVal>) -> Result<(), Stop> {
+        if self.frames.len() >= self.opts.max_call_depth as usize {
             return Err(Trap::CallDepthExceeded.into());
         }
         let func = self.module.func(fid);
         self.frame_counter += 1;
-        let frame_id = self.frame_counter;
-        let saved_sp = self.sp;
-        let mut slots: Vec<Option<RtVal>> = vec![None; func.insts.len()];
+        self.frames.push(Frame {
+            fid,
+            frame_id: self.frame_counter,
+            saved_sp: self.sp,
+            args,
+            slots: vec![None; func.insts.len()],
+            cur: func.entry(),
+            prev: None,
+            ip: 0,
+        });
+        Ok(())
+    }
 
-        let mut cur = func.entry();
-        let mut prev: Option<BlockId> = None;
-        let result = 'outer: loop {
-            let insts = &func.block(cur).insts;
-            // Evaluate the leading φ-batch in parallel (values read before
-            // any is written), as SSA semantics require.
-            let mut phi_end = 0;
-            while phi_end < insts.len() {
-                let id = insts[phi_end];
-                if !matches!(func.inst(id).kind, InstKind::Phi { .. }) {
-                    break;
+    /// Captures a snapshot if capture is enabled and due. Called only at
+    /// instruction boundaries (between [`Interp::step`] slices), so every
+    /// snapshot is a consistent, resumable state.
+    fn maybe_snapshot(&mut self) {
+        let Some(snap) = &mut self.snap else { return };
+        if self.steps < snap.next_at {
+            return;
+        }
+        let prev_mem = snap.snapshots.last().map(|s| &s.mem);
+        let snapshot = InterpSnapshot {
+            frames: self.frames.clone(),
+            mem: self.mem.snapshot(prev_mem),
+            console: self.console.clone(),
+            global_addrs: self.global_addrs.clone(),
+            stack_start: self.stack_start,
+            sp: self.sp,
+            steps: self.steps,
+            frame_counter: self.frame_counter,
+            counts: snap.counts.clone(),
+        };
+        snap.snapshots.push(snapshot);
+        while snap.next_at <= self.steps {
+            snap.next_at += snap.interval;
+        }
+    }
+
+    /// Executes instructions in the top frame until a control transfer
+    /// (call/return), or a pending snapshot point, hands control back.
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self) -> Result<(), Stop> {
+        let mut frame = self.frames.pop().expect("step with a live frame");
+        let fid = frame.fid;
+        let func = self.module.func(fid);
+        let snap_due = self.snap.as_ref().map(|s| s.next_at);
+
+        loop {
+            if let Some(at) = snap_due {
+                if self.steps >= at {
+                    self.frames.push(frame);
+                    return Ok(());
                 }
-                phi_end += 1;
             }
-            if phi_end > 0 {
-                let pred = prev.expect("phi in entry block");
-                let mut staged: Vec<(InstId, RtVal)> = Vec::with_capacity(phi_end);
-                for &id in &insts[0..phi_end] {
-                    self.budget()?;
-                    let InstKind::Phi { incomings } = &func.inst(id).kind else {
-                        unreachable!()
-                    };
-                    let (_, v) = incomings
-                        .iter()
-                        .find(|(pb, _)| *pb == pred)
-                        .expect("verified phi has incoming for every predecessor");
-                    let mut val = self.eval(fid, func, &slots, args, frame_id, id, *v)?;
-                    self.hook.on_result(
-                        InstSite {
-                            func: fid,
-                            inst: id,
-                        },
-                        frame_id,
-                        &mut val,
-                    );
-                    staged.push((id, val));
+            let insts = &func.block(frame.cur).insts;
+
+            if frame.ip == 0 {
+                // Evaluate the leading φ-batch in parallel (values read
+                // before any is written), as SSA semantics require. The
+                // batch is atomic within one step slice, so snapshots
+                // never land mid-batch.
+                let mut phi_end = 0;
+                while phi_end < insts.len() {
+                    let id = insts[phi_end];
+                    if !matches!(func.inst(id).kind, InstKind::Phi { .. }) {
+                        break;
+                    }
+                    phi_end += 1;
                 }
-                for (id, val) in staged {
-                    slots[id.index()] = Some(val);
+                if phi_end > 0 {
+                    let pred = frame.prev.expect("phi in entry block");
+                    let mut staged: Vec<(InstId, RtVal)> = Vec::with_capacity(phi_end);
+                    for &id in &insts[0..phi_end] {
+                        self.budget()?;
+                        let InstKind::Phi { incomings } = &func.inst(id).kind else {
+                            unreachable!()
+                        };
+                        let (_, v) = incomings
+                            .iter()
+                            .find(|(pb, _)| *pb == pred)
+                            .expect("verified phi has incoming for every predecessor");
+                        let mut val = self.eval(func, &frame, id, *v)?;
+                        self.result(
+                            InstSite {
+                                func: fid,
+                                inst: id,
+                            },
+                            frame.frame_id,
+                            &mut val,
+                        );
+                        staged.push((id, val));
+                    }
+                    for (id, val) in staged {
+                        frame.slots[id.index()] = Some(val);
+                    }
+                    frame.ip = phi_end;
                 }
             }
 
-            for &id in &insts[phi_end..] {
-                self.budget()?;
-                let inst = func.inst(id);
-                let site = InstSite {
-                    func: fid,
-                    inst: id,
-                };
-                match &inst.kind {
-                    InstKind::Phi { .. } => unreachable!("phi after non-phi"),
-                    InstKind::Binary { op, lhs, rhs } => {
-                        let l = self.eval(fid, func, &slots, args, frame_id, id, *lhs)?;
-                        let r = self.eval(fid, func, &slots, args, frame_id, id, *rhs)?;
-                        let mut val = if op.is_float() {
+            let id = insts[frame.ip];
+            self.budget()?;
+            let inst = func.inst(id);
+            let site = InstSite {
+                func: fid,
+                inst: id,
+            };
+            match &inst.kind {
+                InstKind::Phi { .. } => unreachable!("phi after non-phi"),
+                InstKind::Binary { op, lhs, rhs } => {
+                    let l = self.eval(func, &frame, id, *lhs)?;
+                    let r = self.eval(func, &frame, id, *rhs)?;
+                    let mut val =
+                        if op.is_float() {
                             match (l, r) {
                                 (RtVal::F64(a), RtVal::F64(b)) => {
                                     RtVal::F64(ops::eval_float_binop(*op, a, b))
@@ -256,177 +447,210 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                             let t = inst.ty.as_int().expect("verified int binop");
                             RtVal::Int(t, ops::eval_int_binop(*op, t, l.as_int(), r.as_int())?)
                         };
-                        self.hook.on_result(site, frame_id, &mut val);
-                        slots[id.index()] = Some(val);
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                InstKind::ICmp { pred, lhs, rhs } => {
+                    let l = self.eval(func, &frame, id, *lhs)?;
+                    let r = self.eval(func, &frame, id, *rhs)?;
+                    let (ty, lv, rv) = match (l, r) {
+                        (RtVal::Int(t, a), RtVal::Int(_, b)) => (Some(t), a, b),
+                        (RtVal::Ptr(a), RtVal::Ptr(b)) => (None, a, b),
+                        _ => panic!("verified icmp operands"),
+                    };
+                    let mut val = RtVal::bool(ops::eval_icmp(*pred, ty, lv, rv));
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                InstKind::FCmp { pred, lhs, rhs } => {
+                    let l = self.eval(func, &frame, id, *lhs)?;
+                    let r = self.eval(func, &frame, id, *rhs)?;
+                    let (a, b) = match (l, r) {
+                        (RtVal::F64(a), RtVal::F64(b)) => (a, b),
+                        (RtVal::F32(a), RtVal::F32(b)) => (f64::from(a), f64::from(b)),
+                        _ => panic!("verified fcmp operands"),
+                    };
+                    let mut val = RtVal::bool(ops::eval_fcmp(*pred, a, b));
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                InstKind::Cast { op, val } => {
+                    let v = self.eval(func, &frame, id, *val)?;
+                    let mut out = ops::eval_cast(*op, v, &inst.ty);
+                    self.result(site, frame.frame_id, &mut out);
+                    frame.slots[id.index()] = Some(out);
+                    frame.ip += 1;
+                }
+                InstKind::Alloca { ty } => {
+                    let size = ty.size().max(1);
+                    let align = ty.align().max(1);
+                    let new_sp = self
+                        .sp
+                        .checked_sub(size)
+                        .map(|s| s / align * align)
+                        .ok_or(Trap::StackOverflow)?;
+                    if new_sp < self.stack_start {
+                        return Err(Trap::StackOverflow.into());
                     }
-                    InstKind::ICmp { pred, lhs, rhs } => {
-                        let l = self.eval(fid, func, &slots, args, frame_id, id, *lhs)?;
-                        let r = self.eval(fid, func, &slots, args, frame_id, id, *rhs)?;
-                        let (ty, lv, rv) = match (l, r) {
-                            (RtVal::Int(t, a), RtVal::Int(_, b)) => (Some(t), a, b),
-                            (RtVal::Ptr(a), RtVal::Ptr(b)) => (None, a, b),
-                            _ => panic!("verified icmp operands"),
-                        };
-                        let mut val = RtVal::bool(ops::eval_icmp(*pred, ty, lv, rv));
-                        self.hook.on_result(site, frame_id, &mut val);
-                        slots[id.index()] = Some(val);
-                    }
-                    InstKind::FCmp { pred, lhs, rhs } => {
-                        let l = self.eval(fid, func, &slots, args, frame_id, id, *lhs)?;
-                        let r = self.eval(fid, func, &slots, args, frame_id, id, *rhs)?;
-                        let (a, b) = match (l, r) {
-                            (RtVal::F64(a), RtVal::F64(b)) => (a, b),
-                            (RtVal::F32(a), RtVal::F32(b)) => (f64::from(a), f64::from(b)),
-                            _ => panic!("verified fcmp operands"),
-                        };
-                        let mut val = RtVal::bool(ops::eval_fcmp(*pred, a, b));
-                        self.hook.on_result(site, frame_id, &mut val);
-                        slots[id.index()] = Some(val);
-                    }
-                    InstKind::Cast { op, val } => {
-                        let v = self.eval(fid, func, &slots, args, frame_id, id, *val)?;
-                        let mut out = ops::eval_cast(*op, v, &inst.ty);
-                        self.hook.on_result(site, frame_id, &mut out);
-                        slots[id.index()] = Some(out);
-                    }
-                    InstKind::Alloca { ty } => {
-                        let size = ty.size().max(1);
-                        let align = ty.align().max(1);
-                        let new_sp = self
-                            .sp
-                            .checked_sub(size)
-                            .map(|s| s / align * align)
-                            .ok_or(Trap::StackOverflow)?;
-                        if new_sp < self.stack_start {
-                            break 'outer Err(Stop::Trap(Trap::StackOverflow));
-                        }
-                        self.sp = new_sp;
-                        let mut val = RtVal::Ptr(new_sp);
-                        self.hook.on_result(site, frame_id, &mut val);
-                        slots[id.index()] = Some(val);
-                    }
-                    InstKind::Load { ptr } => {
-                        let p = self
-                            .eval(fid, func, &slots, args, frame_id, id, *ptr)?
-                            .as_ptr();
-                        self.hook.on_load(site, frame_id, p, inst.ty.size());
-                        let mut val = self.load_typed(p, &inst.ty)?;
-                        self.hook.on_result(site, frame_id, &mut val);
-                        slots[id.index()] = Some(val);
-                    }
-                    InstKind::Store { val, ptr } => {
-                        let v = self.eval(fid, func, &slots, args, frame_id, id, *val)?;
-                        let p = self
-                            .eval(fid, func, &slots, args, frame_id, id, *ptr)?
-                            .as_ptr();
-                        let size = v.ty().size();
-                        self.store_typed(p, v)?;
-                        self.hook.on_store(site, frame_id, p, size);
-                    }
-                    InstKind::Gep {
-                        elem_ty,
-                        base,
-                        indices,
-                    } => {
-                        let b = self
-                            .eval(fid, func, &slots, args, frame_id, id, *base)?
-                            .as_ptr();
-                        let mut addr = b;
-                        let mut cur_ty = elem_ty.clone();
-                        for (i, idx) in indices.iter().enumerate() {
-                            let iv = self.eval(fid, func, &slots, args, frame_id, id, *idx)?;
-                            let sidx = iv.as_sint();
-                            if i == 0 {
-                                addr = addr.wrapping_add((sidx as u64).wrapping_mul(cur_ty.size()));
-                            } else {
-                                match cur_ty.clone() {
-                                    Type::Array(elem, _) => {
-                                        addr = addr
-                                            .wrapping_add((sidx as u64).wrapping_mul(elem.size()));
-                                        cur_ty = *elem;
-                                    }
-                                    Type::Struct(_) => {
-                                        let off = cur_ty.struct_field_offset(sidx as usize);
-                                        addr = addr.wrapping_add(off);
-                                        let Type::Struct(fields) = cur_ty else {
-                                            unreachable!()
-                                        };
-                                        cur_ty = fields[sidx as usize].clone();
-                                    }
-                                    other => panic!("verified gep walks aggregate, got {other}"),
+                    self.sp = new_sp;
+                    let mut val = RtVal::Ptr(new_sp);
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                InstKind::Load { ptr } => {
+                    let p = self.eval(func, &frame, id, *ptr)?.as_ptr();
+                    self.hook.on_load(site, frame.frame_id, p, inst.ty.size());
+                    let mut val = self.load_typed(p, &inst.ty)?;
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                InstKind::Store { val, ptr } => {
+                    let v = self.eval(func, &frame, id, *val)?;
+                    let p = self.eval(func, &frame, id, *ptr)?.as_ptr();
+                    let size = v.ty().size();
+                    self.store_typed(p, v)?;
+                    self.hook.on_store(site, frame.frame_id, p, size);
+                    frame.ip += 1;
+                }
+                InstKind::Gep {
+                    elem_ty,
+                    base,
+                    indices,
+                } => {
+                    let b = self.eval(func, &frame, id, *base)?.as_ptr();
+                    let mut addr = b;
+                    let mut cur_ty = elem_ty.clone();
+                    for (i, idx) in indices.iter().enumerate() {
+                        let iv = self.eval(func, &frame, id, *idx)?;
+                        let sidx = iv.as_sint();
+                        if i == 0 {
+                            addr = addr.wrapping_add((sidx as u64).wrapping_mul(cur_ty.size()));
+                        } else {
+                            match cur_ty.clone() {
+                                Type::Array(elem, _) => {
+                                    addr =
+                                        addr.wrapping_add((sidx as u64).wrapping_mul(elem.size()));
+                                    cur_ty = *elem;
                                 }
+                                Type::Struct(_) => {
+                                    let off = cur_ty.struct_field_offset(sidx as usize);
+                                    addr = addr.wrapping_add(off);
+                                    let Type::Struct(fields) = cur_ty else {
+                                        unreachable!()
+                                    };
+                                    cur_ty = fields[sidx as usize].clone();
+                                }
+                                other => panic!("verified gep walks aggregate, got {other}"),
                             }
                         }
-                        let mut val = RtVal::Ptr(addr);
-                        self.hook.on_result(site, frame_id, &mut val);
-                        slots[id.index()] = Some(val);
                     }
-                    InstKind::Select {
-                        cond,
-                        then_val,
-                        else_val,
-                    } => {
-                        let c = self
-                            .eval(fid, func, &slots, args, frame_id, id, *cond)?
-                            .as_bool();
-                        // Both arms are evaluated (uses registered) before
-                        // selection, like a cmov reading both registers.
-                        let t = self.eval(fid, func, &slots, args, frame_id, id, *then_val)?;
-                        let e = self.eval(fid, func, &slots, args, frame_id, id, *else_val)?;
-                        let mut val = if c { t } else { e };
-                        self.hook.on_result(site, frame_id, &mut val);
-                        slots[id.index()] = Some(val);
+                    let mut val = RtVal::Ptr(addr);
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                InstKind::Select {
+                    cond,
+                    then_val,
+                    else_val,
+                } => {
+                    let c = self.eval(func, &frame, id, *cond)?.as_bool();
+                    // Both arms are evaluated (uses registered) before
+                    // selection, like a cmov reading both registers.
+                    let t = self.eval(func, &frame, id, *then_val)?;
+                    let e = self.eval(func, &frame, id, *else_val)?;
+                    let mut val = if c { t } else { e };
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                InstKind::Call {
+                    callee,
+                    args: cargs,
+                } => {
+                    let mut vals = Vec::with_capacity(cargs.len());
+                    for a in cargs {
+                        vals.push(self.eval(func, &frame, id, *a)?);
                     }
-                    InstKind::Call {
-                        callee,
-                        args: cargs,
-                    } => {
-                        let mut vals = Vec::with_capacity(cargs.len());
-                        for a in cargs {
-                            vals.push(self.eval(fid, func, &slots, args, frame_id, id, *a)?);
+                    match callee {
+                        Callee::Func(target) => {
+                            // Leave `ip` at the call; return delivery
+                            // advances it.
+                            let target = *target;
+                            self.frames.push(frame);
+                            self.push_frame(target, vals)?;
+                            return Ok(());
                         }
-                        let ret = match callee {
-                            Callee::Func(target) => self.call(*target, &vals, depth + 1)?,
-                            Callee::Intrinsic(i) => self.intrinsic(*i, &vals)?,
-                        };
-                        if inst.has_result() {
-                            let mut val = ret.expect("non-void call returned a value");
-                            self.hook.on_result(site, frame_id, &mut val);
-                            slots[id.index()] = Some(val);
+                        Callee::Intrinsic(i) => {
+                            let ret = self.intrinsic(*i, &vals)?;
+                            if inst.has_result() {
+                                let mut val = ret.expect("non-void call returned a value");
+                                self.result(site, frame.frame_id, &mut val);
+                                frame.slots[id.index()] = Some(val);
+                            }
+                            frame.ip += 1;
                         }
-                    }
-                    InstKind::Br { target } => {
-                        prev = Some(cur);
-                        cur = *target;
-                        continue 'outer;
-                    }
-                    InstKind::CondBr {
-                        cond,
-                        then_bb,
-                        else_bb,
-                    } => {
-                        let c = self
-                            .eval(fid, func, &slots, args, frame_id, id, *cond)?
-                            .as_bool();
-                        prev = Some(cur);
-                        cur = if c { *then_bb } else { *else_bb };
-                        continue 'outer;
-                    }
-                    InstKind::Ret { val } => {
-                        let out = match val {
-                            Some(v) => Some(self.eval(fid, func, &slots, args, frame_id, id, *v)?),
-                            None => None,
-                        };
-                        break 'outer Ok(out);
-                    }
-                    InstKind::Unreachable => {
-                        break 'outer Err(Stop::Trap(Trap::UnreachableExecuted));
                     }
                 }
+                InstKind::Br { target } => {
+                    frame.prev = Some(frame.cur);
+                    frame.cur = *target;
+                    frame.ip = 0;
+                }
+                InstKind::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = self.eval(func, &frame, id, *cond)?.as_bool();
+                    frame.prev = Some(frame.cur);
+                    frame.cur = if c { *then_bb } else { *else_bb };
+                    frame.ip = 0;
+                }
+                InstKind::Ret { val } => {
+                    let out = match val {
+                        Some(v) => Some(self.eval(func, &frame, id, *v)?),
+                        None => None,
+                    };
+                    self.sp = frame.saved_sp;
+                    drop(frame);
+                    let Some(caller) = self.frames.last() else {
+                        // `main` returned; its value (if any) is ignored.
+                        return Ok(());
+                    };
+                    // Deliver the return value into the caller's pending
+                    // call instruction, in this same step slice, so no
+                    // half-delivered state is ever snapshotted.
+                    let cfid = caller.fid;
+                    let c_frame_id = caller.frame_id;
+                    let cfunc = self.module.func(cfid);
+                    let call_id = cfunc.block(caller.cur).insts[caller.ip];
+                    if cfunc.inst(call_id).has_result() {
+                        let mut val = out.expect("non-void call returned a value");
+                        self.result(
+                            InstSite {
+                                func: cfid,
+                                inst: call_id,
+                            },
+                            c_frame_id,
+                            &mut val,
+                        );
+                        let caller = self.frames.last_mut().expect("caller frame");
+                        caller.slots[call_id.index()] = Some(val);
+                    }
+                    self.frames.last_mut().expect("caller frame").ip += 1;
+                    return Ok(());
+                }
+                InstKind::Unreachable => {
+                    return Err(Trap::UnreachableExecuted.into());
+                }
             }
-        };
-        self.sp = saved_sp;
-        result
+        }
     }
 
     fn budget(&mut self) -> Result<(), Stop> {
@@ -437,14 +661,20 @@ impl<'m, H: InterpHook> Interp<'m, H> {
         Ok(())
     }
 
-    #[allow(clippy::too_many_arguments)]
+    /// Delivers an instruction result to the hook, bumping the snapshot
+    /// count vector first so snapshots agree with what profiling hooks
+    /// have observed.
+    fn result(&mut self, site: InstSite, frame_id: u64, val: &mut RtVal) {
+        if let Some(snap) = &mut self.snap {
+            snap.counts[site.func.index()][site.inst.index()] += 1;
+        }
+        self.hook.on_result(site, frame_id, val);
+    }
+
     fn eval(
         &mut self,
-        fid: FuncId,
         func: &fiq_ir::Function,
-        slots: &[Option<RtVal>],
-        args: &[RtVal],
-        frame_id: u64,
+        frame: &Frame,
         consumer: InstId,
         v: Value,
     ) -> Result<RtVal, Stop> {
@@ -452,19 +682,19 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             Value::Inst(id) => {
                 self.hook.on_use(
                     InstSite {
-                        func: fid,
+                        func: frame.fid,
                         inst: id,
                     },
                     InstSite {
-                        func: fid,
+                        func: frame.fid,
                         inst: consumer,
                     },
-                    frame_id,
+                    frame.frame_id,
                 );
-                slots[id.index()]
+                frame.slots[id.index()]
                     .unwrap_or_else(|| panic!("read of unwritten slot {id} in {}", func.name))
             }
-            Value::Arg(n) => args[n as usize],
+            Value::Arg(n) => frame.args[n as usize],
             Value::Const(c) => match c {
                 Constant::Int(t, raw) => RtVal::Int(t, raw),
                 Constant::Float(FloatTy::F32, bits) => RtVal::F32(f32::from_bits(bits as u32)),

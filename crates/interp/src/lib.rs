@@ -33,6 +33,8 @@ mod ops;
 mod rtval;
 
 pub use hook::{InstSite, InterpHook, NopHook};
-pub use interp::{materialize_globals, run_module, ExecResult, ExecStatus, Interp, InterpOptions};
+pub use interp::{
+    materialize_globals, run_module, ExecResult, ExecStatus, Interp, InterpOptions, InterpSnapshot,
+};
 pub use ops::{eval_cast, eval_fcmp, eval_float_binop, eval_icmp, eval_int_binop};
 pub use rtval::RtVal;

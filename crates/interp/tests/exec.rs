@@ -349,6 +349,140 @@ fn nop_hook_runs_clean() {
     assert!(r.steps > 50);
 }
 
+/// Counts `on_result` events for one site.
+struct SiteCounter {
+    target: InstSite,
+    seen: u64,
+}
+
+impl InterpHook for SiteCounter {
+    fn on_result(&mut self, site: InstSite, _frame: u64, _val: &mut RtVal) {
+        if site == self.target {
+            self.seen += 1;
+        }
+    }
+}
+
+fn first_add_site(m: &Module) -> InstSite {
+    let fid = m.main_func().unwrap();
+    let inst = m
+        .func(fid)
+        .insts
+        .iter()
+        .position(|i| matches!(i.kind, InstKind::Binary { op: BinOp::Add, .. }))
+        .unwrap();
+    InstSite {
+        func: fid,
+        inst: fiq_ir::InstId(inst as u32),
+    }
+}
+
+#[test]
+fn every_snapshot_restores_to_the_same_result() {
+    let m = loop_sum_module(100);
+    let mut golden = Interp::new(&m, opts(), NopHook).unwrap();
+    let (gr, snaps) = golden.run_with_snapshots(50);
+    assert!(gr.finished());
+    assert_eq!(gr.output, "4950\n");
+    assert!(
+        snaps.len() > 3,
+        "expected several snapshots, got {}",
+        snaps.len()
+    );
+    let mut last_steps = 0;
+    for snap in &snaps {
+        assert!(snap.steps() > last_steps, "snapshots strictly ordered");
+        last_steps = snap.steps();
+        let mut tail = Interp::restore(&m, opts(), NopHook, snap);
+        let r = tail.run();
+        assert_eq!(r.status, gr.status);
+        assert_eq!(r.steps, gr.steps, "step counter continues from snapshot");
+        assert_eq!(r.output, gr.output);
+    }
+}
+
+#[test]
+fn snapshot_counts_partition_the_event_stream() {
+    // For any snapshot, site events before it (counts vector) plus events
+    // observed by a hook on the restored tail equal the full-run total.
+    let m = loop_sum_module(100);
+    let site = first_add_site(&m);
+    let mut full = Interp::new(
+        &m,
+        opts(),
+        SiteCounter {
+            target: site,
+            seen: 0,
+        },
+    )
+    .unwrap();
+    let (_, snaps) = full.run_with_snapshots(37);
+    let total = full.into_hook().seen;
+    assert!(total > 0);
+    for snap in &snaps {
+        let mut tail = Interp::restore(
+            &m,
+            opts(),
+            SiteCounter {
+                target: site,
+                seen: 0,
+            },
+            snap,
+        );
+        tail.run();
+        assert_eq!(
+            snap.site_count(site) + tail.into_hook().seen,
+            total,
+            "snapshot at step {} must split the event stream exactly",
+            snap.steps()
+        );
+    }
+}
+
+#[test]
+fn snapshots_restore_mid_call_stack() {
+    // fact(12) recursion: snapshots taken while nested frames are live
+    // must restore (frames, sp) and still produce the golden answer.
+    let mut m = Module::new("fact");
+    let fact_id = m.add_func(Function::new("fact", vec![Type::i64()], Type::i64()));
+    {
+        let f = m.func_mut(fact_id);
+        let mut b = FuncBuilder::new(f);
+        let base = b.new_block();
+        let rec = b.new_block();
+        let p = b.alloca(Type::i64());
+        b.store(Value::Arg(0), p);
+        let c = b.icmp(ICmpPred::Sle, Value::Arg(0), Value::i64(1));
+        b.cond_br(c, base, rec);
+        b.switch_to(base);
+        b.ret(Some(Value::i64(1)));
+        b.switch_to(rec);
+        let n = b.load(Type::i64(), p);
+        let n1 = b.binary(BinOp::Sub, n, Value::i64(1));
+        let sub = b.call(Callee::Func(fact_id), vec![n1], Type::i64());
+        let out = b.binary(BinOp::Mul, n, sub);
+        b.ret(Some(out));
+    }
+    let mut f = Function::new("main", vec![], Type::Void);
+    let mut b = FuncBuilder::new(&mut f);
+    let v = b.call(Callee::Func(fact_id), vec![Value::i64(12)], Type::i64());
+    b.call(Callee::Intrinsic(Intrinsic::PrintI64), vec![v], Type::Void);
+    b.ret(None);
+    m.add_func(f);
+    fiq_ir::verify_module(&m).unwrap();
+
+    let mut golden = Interp::new(&m, opts(), NopHook).unwrap();
+    let (gr, snaps) = golden.run_with_snapshots(7);
+    assert!(gr.finished());
+    assert!(!snaps.is_empty());
+    for snap in &snaps {
+        let mut tail = Interp::restore(&m, opts(), NopHook, snap);
+        let r = tail.run();
+        assert_eq!(r.output, gr.output);
+        assert_eq!(r.steps, gr.steps);
+    }
+}
+
 #[test]
 fn narrow_int_memory_roundtrip() {
     // Store i8 0x1ff-truncated and load back: exercises canonicalization.

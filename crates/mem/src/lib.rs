@@ -25,5 +25,8 @@ mod memory;
 mod trap;
 
 pub use console::Console;
-pub use memory::{Memory, Region, RegionKind, DEFAULT_CAPACITY, DEFAULT_STACK_SIZE, NULL_GUARD};
+pub use memory::{
+    MemSnapshot, Memory, Region, RegionKind, DEFAULT_CAPACITY, DEFAULT_STACK_SIZE, NULL_GUARD,
+    SNAPSHOT_PAGE,
+};
 pub use trap::{RunStatus, Trap};

@@ -9,6 +9,7 @@
 //! [`Trap`] on failure.
 
 use crate::trap::Trap;
+use std::sync::Arc;
 
 /// What a region holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -284,6 +285,96 @@ impl Default for Memory {
     }
 }
 
+/// Granularity of snapshot page sharing (bytes).
+pub const SNAPSHOT_PAGE: usize = 4096;
+
+/// An immutable point-in-time copy of a [`Memory`], cheap to keep in
+/// series.
+///
+/// Checkpointed fast-forward execution captures one snapshot every K
+/// dynamic steps of the golden run, so consecutive snapshots are mostly
+/// identical. Rather than storing a full byte image per snapshot, the
+/// mapped bytes are chunked into [`SNAPSHOT_PAGE`]-sized pages and each
+/// page that is byte-identical to the corresponding page of the previous
+/// snapshot shares its allocation (`Arc`) instead of copying — a
+/// comparison-based copy-on-write that needs no write interception in the
+/// hot execution loop. A long-running program that touches only its stack
+/// and a few globals between checkpoints pays for just those dirty pages.
+#[derive(Debug, Clone)]
+pub struct MemSnapshot {
+    pages: Vec<Arc<[u8]>>,
+    len: usize,
+    regions: Vec<Region>,
+    next: u64,
+    capacity: u64,
+    stack: Option<Region>,
+}
+
+impl MemSnapshot {
+    /// Total mapped bytes captured.
+    pub fn mapped_len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of pages in the snapshot.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of pages physically shared (same allocation) with `other`.
+    pub fn shared_pages_with(&self, other: &MemSnapshot) -> usize {
+        self.pages
+            .iter()
+            .zip(&other.pages)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+}
+
+impl Memory {
+    /// Captures a snapshot of the current state.
+    ///
+    /// Pass the previous snapshot in the series (if any) so unchanged
+    /// pages are shared instead of copied.
+    pub fn snapshot(&self, prev: Option<&MemSnapshot>) -> MemSnapshot {
+        let mut pages = Vec::with_capacity(self.data.len().div_ceil(SNAPSHOT_PAGE));
+        for (i, chunk) in self.data.chunks(SNAPSHOT_PAGE).enumerate() {
+            let shared = prev
+                .and_then(|p| p.pages.get(i))
+                .filter(|page| page.as_ref() == chunk);
+            pages.push(match shared {
+                Some(page) => Arc::clone(page),
+                None => Arc::from(chunk),
+            });
+        }
+        MemSnapshot {
+            pages,
+            len: self.data.len(),
+            regions: self.regions.clone(),
+            next: self.next,
+            capacity: self.capacity,
+            stack: self.stack,
+        }
+    }
+
+    /// Reconstructs a memory identical to the one `snap` was captured
+    /// from (byte-for-byte, including region table and allocation cursor).
+    pub fn from_snapshot(snap: &MemSnapshot) -> Memory {
+        let mut data = Vec::with_capacity(snap.len);
+        for p in &snap.pages {
+            data.extend_from_slice(p);
+        }
+        debug_assert_eq!(data.len(), snap.len);
+        Memory {
+            data,
+            regions: snap.regions.clone(),
+            next: snap.next,
+            capacity: snap.capacity,
+            stack: snap.stack,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +446,73 @@ mod tests {
         assert_eq!(st.size, 4096);
         m.check(top - 8, 8).expect("top word usable");
         assert!(m.check(top, 8).is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_exactly() {
+        let mut m = Memory::new();
+        let a = m
+            .alloc(SNAPSHOT_PAGE as u64 * 3, 8, RegionKind::Global)
+            .unwrap();
+        let top = m.alloc_stack(SNAPSHOT_PAGE as u64 * 2).unwrap();
+        m.write_uint(a + 17, 0xfeed, 8).unwrap();
+        m.write_uint(top - 8, 0xdead, 8).unwrap();
+        let snap = m.snapshot(None);
+        let back = Memory::from_snapshot(&snap);
+        assert_eq!(back.read_uint(a + 17, 8).unwrap(), 0xfeed);
+        assert_eq!(back.read_uint(top - 8, 8).unwrap(), 0xdead);
+        assert_eq!(back.mapped_bytes(), m.mapped_bytes());
+        assert_eq!(back.regions(), m.regions());
+        assert_eq!(back.stack(), m.stack());
+        // Restored memory allocates at the same cursor.
+        let x = m.alloc(8, 8, RegionKind::Heap).unwrap();
+        let y = Memory::from_snapshot(&snap)
+            .alloc(8, 8, RegionKind::Heap)
+            .unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn snapshot_shares_clean_pages() {
+        let mut m = Memory::new();
+        let a = m
+            .alloc(SNAPSHOT_PAGE as u64 * 8, 8, RegionKind::Global)
+            .unwrap();
+        let first = m.snapshot(None);
+        // Dirty exactly one page, then snapshot against the previous one.
+        m.write_uint(a + 2 * SNAPSHOT_PAGE as u64 + 40, 1, 8)
+            .unwrap();
+        let second = m.snapshot(Some(&first));
+        assert_eq!(second.page_count(), first.page_count());
+        assert_eq!(
+            second.shared_pages_with(&first),
+            first.page_count() - 1,
+            "only the dirtied page is copied"
+        );
+        // Both snapshots still restore correctly.
+        assert_eq!(
+            Memory::from_snapshot(&first)
+                .read_uint(a + 2 * SNAPSHOT_PAGE as u64 + 40, 8)
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            Memory::from_snapshot(&second)
+                .read_uint(a + 2 * SNAPSHOT_PAGE as u64 + 40, 8)
+                .unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn snapshot_handles_partial_trailing_page() {
+        let mut m = Memory::new();
+        let a = m.alloc(100, 8, RegionKind::Global).unwrap();
+        m.write_uint(a + 92, 7, 8).unwrap();
+        let snap = m.snapshot(None);
+        assert_eq!(snap.mapped_len() as u64, m.mapped_bytes());
+        let back = Memory::from_snapshot(&snap);
+        assert_eq!(back.read_uint(a + 92, 8).unwrap(), 7);
     }
 
     #[test]

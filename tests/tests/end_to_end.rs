@@ -175,6 +175,7 @@ fn grid_cells<'a>(
                 module: m,
                 profile: lp,
             },
+            snapshots: None,
         });
         cells.push(CellSpec {
             label: "kernel".into(),
@@ -183,6 +184,7 @@ fn grid_cells<'a>(
                 prog: p,
                 profile: pp,
             },
+            snapshots: None,
         });
     }
     cells

@@ -1,0 +1,253 @@
+//! Fast-forward equivalence: restoring a profiling checkpoint and
+//! replaying only the tail must reproduce a full-replay campaign
+//! byte-for-byte — same cell reports, same record stream — at every
+//! thread count and snapshot interval, and resume must interoperate
+//! across the two modes.
+
+use fiq_asm::MachOptions;
+use fiq_backend::LowerOptions;
+use fiq_core::{
+    profile_llfi, profile_llfi_with_snapshots, profile_pinfi, profile_pinfi_with_snapshots,
+    run_campaign, CampaignConfig, Category, CellSpec, EngineOptions, SnapshotCache, Substrate,
+};
+use fiq_interp::InterpOptions;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Same kernel as the end-to-end suite: long enough that injections land
+/// deep in the run, so fast-forward actually skips work.
+const KERNEL: &str = "
+int keys[96];
+int vals[96];
+double acc[16];
+int main() {
+  int seed = 31415;
+  for (int i = 0; i < 96; i += 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    keys[i] = seed & 95;
+    vals[i] = (seed >> 8) & 1023;
+  }
+  int s = 0;
+  for (int r = 0; r < 12; r += 1) {
+    for (int i = 0; i < 96; i += 1) {
+      s += vals[keys[i]];
+      acc[i & 15] += (double)vals[i] * 0.0625;
+    }
+  }
+  double d = 0.0;
+  for (int i = 0; i < 16; i += 1) d += acc[i];
+  print_i64(s);
+  print_f64(d);
+  return 0;
+}";
+
+fn compiled() -> (fiq_ir::Module, fiq_asm::AsmProgram) {
+    let mut m = fiq_frontend::compile("kernel", KERNEL).expect("compiles");
+    fiq_opt::optimize_module(&mut m);
+    let p = fiq_backend::lower_module(&m, LowerOptions::default()).expect("lowers");
+    (m, p)
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fiq-ff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Both tools × two categories, optionally with snapshot caches attached.
+fn grid_cells<'a>(
+    m: &'a fiq_ir::Module,
+    p: &'a fiq_asm::AsmProgram,
+    lp: &'a fiq_core::LlfiProfile,
+    pp: &'a fiq_core::PinfiProfile,
+    snaps: Option<&(Arc<SnapshotCache>, Arc<SnapshotCache>)>,
+) -> Vec<CellSpec<'a>> {
+    let mut cells = Vec::new();
+    for cat in [Category::Arithmetic, Category::Load] {
+        cells.push(CellSpec {
+            label: "kernel".into(),
+            category: cat,
+            substrate: Substrate::Llfi {
+                module: m,
+                profile: lp,
+            },
+            snapshots: snaps.map(|(l, _)| Arc::clone(l)),
+        });
+        cells.push(CellSpec {
+            label: "kernel".into(),
+            category: cat,
+            substrate: Substrate::Pinfi {
+                prog: p,
+                profile: pp,
+            },
+            snapshots: snaps.map(|(_, r)| Arc::clone(r)),
+        });
+    }
+    cells
+}
+
+fn config(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        injections: 20,
+        seed: 77,
+        threads,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn snapshot_profiling_matches_plain_profiling() {
+    let (m, p) = compiled();
+    let lp = profile_llfi(&m, InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&p, MachOptions::default()).unwrap();
+    let (lps, ls) = profile_llfi_with_snapshots(&m, InterpOptions::default(), 97).unwrap();
+    let (pps, ps) = profile_pinfi_with_snapshots(&p, MachOptions::default(), 131).unwrap();
+    assert_eq!(lp.golden_output, lps.golden_output);
+    assert_eq!(lp.golden_steps, lps.golden_steps);
+    assert_eq!(lp.counts, lps.counts);
+    assert_eq!(pp.golden_output, pps.golden_output);
+    assert_eq!(pp.golden_steps, pps.golden_steps);
+    assert_eq!(pp.counts, pps.counts);
+    // Snapshots are spread across the run, strictly increasing in steps.
+    assert!(
+        ls.len() as u64 >= lp.golden_steps / (2 * 97),
+        "{}",
+        ls.len()
+    );
+    assert!(
+        ps.len() as u64 >= pp.golden_steps / (2 * 131),
+        "{}",
+        ps.len()
+    );
+    assert!(ls.windows(2).all(|w| w[0].steps() < w[1].steps()));
+    assert!(ps.windows(2).all(|w| w[0].steps() < w[1].steps()));
+}
+
+#[test]
+fn fast_forward_is_byte_identical_to_full_replay() {
+    let (m, p) = compiled();
+    let lp = profile_llfi(&m, InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&p, MachOptions::default()).unwrap();
+
+    // Baseline: full golden-prefix replay, single-threaded.
+    let base_path = temp_path("base.jsonl");
+    let cells = grid_cells(&m, &p, &lp, &pp, None);
+    let base = run_campaign(
+        &cells,
+        &config(1),
+        &EngineOptions {
+            records: Some(&base_path),
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    let base_stream = std::fs::read_to_string(&base_path).unwrap();
+    std::fs::remove_file(&base_path).unwrap();
+
+    // Dense, sparse, and beyond-golden intervals (the last captures zero
+    // snapshots, so fast-forward silently degrades to full replay).
+    for interval in [7u64, 97, 1 << 40] {
+        let (_, ls) = profile_llfi_with_snapshots(&m, InterpOptions::default(), interval).unwrap();
+        let (_, ps) = profile_pinfi_with_snapshots(&p, MachOptions::default(), interval).unwrap();
+        let snaps = (
+            Arc::new(SnapshotCache::Llfi(ls)),
+            Arc::new(SnapshotCache::Pinfi(ps)),
+        );
+        for threads in [1usize, 4] {
+            let path = temp_path(&format!("ff-i{interval}-t{threads}.jsonl"));
+            let cells = grid_cells(&m, &p, &lp, &pp, Some(&snaps));
+            let run = run_campaign(
+                &cells,
+                &config(threads),
+                &EngineOptions {
+                    records: Some(&path),
+                    fast_forward: true,
+                    ..EngineOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                run.cells, base.cells,
+                "interval {interval}, {threads} threads: reports must match full replay"
+            );
+            assert_eq!(
+                std::fs::read_to_string(&path).unwrap(),
+                base_stream,
+                "interval {interval}, {threads} threads: record stream must be byte-identical"
+            );
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+}
+
+#[test]
+fn resume_crosses_flush_batches_and_fast_forward_modes() {
+    let (m, p) = compiled();
+    let lp = profile_llfi(&m, InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&p, MachOptions::default()).unwrap();
+
+    // Fresh full-replay run: 4 cells × 20 injections = 80 records, so the
+    // batched writer flushes once at 64 and once when the pool drains.
+    let fresh_path = temp_path("resume-fresh.jsonl");
+    let cells = grid_cells(&m, &p, &lp, &pp, None);
+    let fresh = run_campaign(
+        &cells,
+        &config(2),
+        &EngineOptions {
+            records: Some(&fresh_path),
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    let fresh_stream = std::fs::read_to_string(&fresh_path).unwrap();
+    std::fs::remove_file(&fresh_path).unwrap();
+
+    let (_, ls) = profile_llfi_with_snapshots(&m, InterpOptions::default(), 53).unwrap();
+    let (_, ps) = profile_pinfi_with_snapshots(&p, MachOptions::default(), 53).unwrap();
+    let snaps = (
+        Arc::new(SnapshotCache::Llfi(ls)),
+        Arc::new(SnapshotCache::Pinfi(ps)),
+    );
+
+    // Kill points straddling the flush-batch boundary (64) plus the
+    // header-only and one-record edges; every truncation carries a torn
+    // partial line. The killed run used full replay; the resumed run uses
+    // fast-forward — outputs must still be byte-identical.
+    for keep in [0usize, 1, 63, 64, 79] {
+        let prefix: usize = fresh_stream
+            .split_inclusive('\n')
+            .take(1 + keep)
+            .map(str::len)
+            .sum();
+        let torn_path = temp_path(&format!("resume-torn-{keep}.jsonl"));
+        std::fs::write(
+            &torn_path,
+            format!(
+                "{}{}",
+                &fresh_stream[..prefix],
+                r#"{"record":"injection","task":99,"ou"#
+            ),
+        )
+        .unwrap();
+        let cells = grid_cells(&m, &p, &lp, &pp, Some(&snaps));
+        let resumed = run_campaign(
+            &cells,
+            &config(2),
+            &EngineOptions {
+                records: Some(&torn_path),
+                resume: true,
+                fast_forward: true,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed_tasks, keep, "truncated to {keep} records");
+        assert_eq!(resumed.cells, fresh.cells, "keep {keep}: reports match");
+        assert_eq!(
+            std::fs::read_to_string(&torn_path).unwrap(),
+            fresh_stream,
+            "keep {keep}: record stream rebuilt byte-identically"
+        );
+        std::fs::remove_file(&torn_path).unwrap();
+    }
+}
