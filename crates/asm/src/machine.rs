@@ -4,7 +4,7 @@ use crate::flags::{self, ALL_FLAGS};
 use crate::inst::{AluOp, ExtFn, Inst, MemRef, Operand, ShiftOp, SseOp, Width, XOperand};
 use crate::program::AsmProgram;
 use crate::regs::{Reg, Xmm};
-use fiq_mem::{Console, MemSnapshot, Memory, RunStatus, Trap};
+use fiq_mem::{Console, Hasher64, MemSnapshot, Memory, RunStatus, StateDigest, Trap};
 
 /// Sentinel return address marking the bottom of the call stack.
 pub const RET_SENTINEL: u64 = u64::MAX;
@@ -110,6 +110,7 @@ pub struct MachSnapshot {
     rip: usize,
     steps: u64,
     counts: Vec<u64>,
+    digest: StateDigest,
 }
 
 impl MachSnapshot {
@@ -127,6 +128,13 @@ impl MachSnapshot {
     /// The captured memory image (exposed for page-sharing diagnostics).
     pub fn mem(&self) -> &MemSnapshot {
         &self.mem
+    }
+
+    /// The cheap state digest captured alongside the snapshot (register
+    /// file + FLAGS + RIP hash, console length/hash). Memory is digested
+    /// per-page inside [`MachSnapshot::mem`].
+    pub fn digest(&self) -> &StateDigest {
+        &self.digest
     }
 }
 
@@ -271,6 +279,7 @@ impl<'p, H: AsmHook> Machine<'p, H> {
                     rip: self.rip,
                     steps: self.steps,
                     counts: counts.clone(),
+                    digest: StateDigest::new(self.arch_hash(), &self.st.console),
                 });
                 while next_at <= self.steps {
                     next_at += interval;
@@ -294,6 +303,35 @@ impl<'p, H: AsmHook> Machine<'p, H> {
         (result, snaps)
     }
 
+    /// Runs like [`Machine::run`], but pauses at the first instruction
+    /// boundary where the retired-instruction counter has reached `until`
+    /// — the same boundary rule [`Machine::run_with_snapshots`] captures
+    /// at, so a faulty run paused at a golden checkpoint's step count is
+    /// directly comparable to that checkpoint.
+    ///
+    /// Returns `None` if paused (the program is still live; call again
+    /// with a later target, or [`Machine::run`] to run to completion), or
+    /// `Some(result)` if the program finished/trapped/exhausted its budget
+    /// before reaching the pause point.
+    pub fn run_until(&mut self, until: u64) -> Option<RunResult> {
+        let status = loop {
+            if self.steps >= until {
+                return None;
+            }
+            match self.step() {
+                Ok(()) => {}
+                Err(Stop::Finished) => break RunStatus::Finished,
+                Err(Stop::Trap(t)) => break RunStatus::Trapped(t),
+                Err(Stop::Budget) => break RunStatus::BudgetExceeded,
+            }
+        };
+        Some(RunResult {
+            status,
+            steps: self.steps,
+            output: self.st.console.contents().to_string(),
+        })
+    }
+
     /// Instructions retired so far.
     pub fn steps(&self) -> u64 {
         self.steps
@@ -302,6 +340,55 @@ impl<'p, H: AsmHook> Machine<'p, H> {
     /// Consumes the machine, returning the hook.
     pub fn into_hook(self) -> H {
         self.hook
+    }
+
+    /// The hook, for mid-run inspection (e.g. between [`Machine::run_until`]
+    /// pauses, to decide whether a convergence check is worthwhile).
+    pub fn hook(&self) -> &H {
+        &self.hook
+    }
+
+    /// Cheap convergence check against a golden checkpoint: digests only
+    /// (register-file hash, console length/hash, per-page memory hashes).
+    /// `true` is necessary but not sufficient for state equality — confirm
+    /// with [`Machine::state_equals_snapshot`]; `false` is definitive.
+    pub fn state_matches_digest(&self, snap: &MachSnapshot) -> bool {
+        self.steps == snap.steps
+            && self.rip == snap.rip
+            && self.arch_hash() == snap.digest.arch
+            && snap.digest.console_matches(&self.st.console)
+            && self.st.mem.matches_snapshot_hashes(&snap.mem)
+    }
+
+    /// Exact convergence check: full comparison of the live architectural
+    /// state against a golden checkpoint (registers, XMM, FLAGS, RIP,
+    /// memory bytes, console, step counter). `true` here means the
+    /// remaining execution is step-for-step identical to the golden run
+    /// from this checkpoint on.
+    pub fn state_equals_snapshot(&self, snap: &MachSnapshot) -> bool {
+        self.steps == snap.steps
+            && self.rip == snap.rip
+            && self.st.regs == snap.regs
+            && self.st.xmm == snap.xmm
+            && self.st.flags == snap.flags
+            && self.st.console.contents() == snap.console.contents()
+            && self.st.mem.equals_snapshot(&snap.mem)
+    }
+
+    /// Hashes everything outside memory and console: GPRs, XMM halves,
+    /// FLAGS, and RIP.
+    fn arch_hash(&self) -> u64 {
+        let mut h = Hasher64::new();
+        for r in self.st.regs {
+            h.write_u64(r);
+        }
+        for x in self.st.xmm {
+            h.write_u64(x[0]);
+            h.write_u64(x[1]);
+        }
+        h.write_u64(self.st.flags);
+        h.write_u64(self.rip as u64);
+        h.finish()
     }
 
     #[allow(clippy::too_many_lines)]

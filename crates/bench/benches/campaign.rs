@@ -1,7 +1,8 @@
 //! Campaign-engine throughput: how fast the shared work-stealing pool
 //! drains a multi-cell campaign, at one worker versus all cores, with
-//! the per-injection JSONL record stream on versus off, and with
-//! checkpointed fast-forward on versus off.
+//! the per-injection JSONL record stream on versus off, with
+//! checkpointed fast-forward on versus off, and with golden-state
+//! convergence detection (early exit) on versus off.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fiq_asm::MachOptions;
@@ -177,5 +178,116 @@ fn bench_fast_forward(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_campaign, bench_fast_forward);
+/// The workload where convergence detection helps most: every
+/// `load`-category injection lands in the first ~3% of the run and is
+/// masked to one bit before use, so ~63/64 faults are benign, the
+/// corrupted slot is overwritten on the next iteration, and the long
+/// store-free tail — which full execution re-derives fault-free — is
+/// provably identical to golden from the first checkpoint onward.
+const EARLY_KERNEL: &str = "
+int data[64];
+int main() {
+  for (int i = 0; i < 64; i += 1) data[i] = i * 31 + 7;
+  int s = 0;
+  for (int i = 0; i < 64; i += 1) s += data[i] & 1;
+  for (int r = 0; r < 20000; r += 1) s = (s * 1103515245 + 12345) & 2147483647;
+  print_i64(s);
+  return 0;
+}";
+
+/// The composition workload: a long fault-free prefix (fast-forward skips
+/// it), masked loads in the middle, and a long benign tail (early exit
+/// skips it). Either optimization alone halves the work; both together
+/// reduce each injection to a short window around the fault.
+const COMBO_KERNEL: &str = "
+int data[64];
+int main() {
+  int s = 7;
+  for (int r = 0; r < 10000; r += 1) s = (s * 1103515245 + 12345) & 2147483647;
+  for (int i = 0; i < 64; i += 1) data[i] = s + i * 17;
+  int t = 0;
+  for (int i = 0; i < 64; i += 1) t += data[i] & 1;
+  for (int r = 0; r < 10000; r += 1) s = (s * 1103515245 + 12345) & 2147483647;
+  print_i64(s + t);
+  return 0;
+}";
+
+/// Benchmarks one kernel's `load`-category campaign under all four
+/// combinations of fast-forward × early-exit.
+fn bench_optimization_grid(c: &mut Criterion, group: &str, name: &str, source: &str) {
+    let mut module = fiq_frontend::compile(name, source).unwrap();
+    fiq_opt::optimize_module(&mut module);
+    let program = fiq_backend::lower_module(&module, fiq_backend::LowerOptions::default()).unwrap();
+    let interval = 2_000;
+    let (lp, ls) =
+        profile_llfi_with_snapshots(&module, InterpOptions::default(), interval).unwrap();
+    let (pp, ps) =
+        profile_pinfi_with_snapshots(&program, MachOptions::default(), interval).unwrap();
+    let llfi_snaps = Arc::new(SnapshotCache::Llfi(ls));
+    let pinfi_snaps = Arc::new(SnapshotCache::Pinfi(ps));
+
+    let cells = vec![
+        CellSpec {
+            label: name.into(),
+            category: Category::Load,
+            substrate: Substrate::Llfi {
+                module: &module,
+                profile: &lp,
+            },
+            snapshots: Some(Arc::clone(&llfi_snaps)),
+        },
+        CellSpec {
+            label: name.into(),
+            category: Category::Load,
+            substrate: Substrate::Pinfi {
+                prog: &program,
+                profile: &pp,
+            },
+            snapshots: Some(Arc::clone(&pinfi_snaps)),
+        },
+    ];
+    let cfg = CampaignConfig {
+        injections: 20,
+        seed: 7,
+        threads: 1,
+        ..CampaignConfig::default()
+    };
+
+    let mut g = c.benchmark_group(group);
+    g.throughput(Throughput::Elements(cfg.injections as u64 * 2));
+    for (label, fast_forward, early_exit) in [
+        ("full-replay", false, false),
+        ("fast-forward", true, false),
+        ("early-exit", false, true),
+        ("both", true, true),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let opts = EngineOptions {
+                    fast_forward,
+                    early_exit,
+                    ..EngineOptions::default()
+                };
+                run_campaign(&cells, &cfg, &opts).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_early_exit(c: &mut Criterion) {
+    bench_optimization_grid(c, "early-exit", "early-kernel", EARLY_KERNEL);
+}
+
+fn bench_combined(c: &mut Criterion) {
+    bench_optimization_grid(c, "combined", "combo-kernel", COMBO_KERNEL);
+}
+
+criterion_group!(
+    benches,
+    bench_campaign,
+    bench_fast_forward,
+    bench_early_exit,
+    bench_combined
+);
 criterion_main!(benches);

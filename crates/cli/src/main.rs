@@ -10,6 +10,7 @@
 //! fiq campaign <prog> --category <cat> [--injections N] [--seed S] [--threads N]
 //!              [--records FILE] [--resume] [--progress]
 //!              [--fast-forward] [--snapshot-interval K]
+//!              [--early-exit | --no-early-exit]
 //!              [--no-flag-pruning] [--no-xmm-pruning]
 //! ```
 //!
@@ -21,8 +22,11 @@
 //! each injection point instead of replaying the golden prefix (output
 //! is bit-identical either way); `--snapshot-interval K` sets the
 //! checkpoint spacing in dynamic instructions (default: golden ÷ 64,
-//! implies `--fast-forward`). `--no-flag-pruning`/`--no-xmm-pruning`
-//! disable PINFI's activation heuristics.
+//! implies `--fast-forward`). `--early-exit` stops a faulty run at the
+//! first checkpoint whose state it has provably converged to (on by
+//! default whenever checkpoints exist; `--no-early-exit` disables it;
+//! output is bit-identical either way). `--no-flag-pruning`/
+//! `--no-xmm-pruning` disable PINFI's activation heuristics.
 //!
 //! Flags are declared per subcommand: a flag that takes a value consumes
 //! the next argument (or use `--flag=value`), boolean flags never do, and
@@ -110,6 +114,8 @@ fn flag_spec(cmd: &str) -> Option<FlagSpec> {
                 "resume",
                 "progress",
                 "fast-forward",
+                "early-exit",
+                "no-early-exit",
                 "no-flag-pruning",
                 "no-xmm-pruning",
             ],
@@ -424,8 +430,15 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     // `--snapshot-interval 0` (and the default) means "auto": 64 evenly
     // spaced checkpoints across the golden run.
     let interval: u64 = args.num_flag("snapshot-interval", 0)?;
+    if args.has("early-exit") && args.has("no-early-exit") {
+        return Err("--early-exit and --no-early-exit are mutually exclusive".into());
+    }
     let fast_forward = args.has("fast-forward") || args.flag("snapshot-interval").is_some();
-    let (llfi_snaps, pinfi_snaps) = if fast_forward {
+    // Checkpoints serve both optimizations; early exit defaults to on
+    // whenever checkpoints exist, and `--early-exit` alone captures them.
+    let want_snapshots = fast_forward || (args.has("early-exit") && !args.has("no-early-exit"));
+    let early_exit = want_snapshots && !args.has("no-early-exit");
+    let (llfi_snaps, pinfi_snaps) = if want_snapshots {
         let l_iv = if interval > 0 {
             interval
         } else {
@@ -489,6 +502,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         records: records.as_deref(),
         resume: args.has("resume"),
         fast_forward,
+        early_exit,
         progress: if args.has("progress") {
             Some(&progress_cb)
         } else {
@@ -506,6 +520,12 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
                 .map(Path::display)
                 .map(|d| d.to_string())
                 .unwrap_or_default()
+        );
+    }
+    if run.early_exited_tasks > 0 {
+        eprintln!(
+            "campaign: {} of {} injections early-exited at a golden checkpoint",
+            run.early_exited_tasks, run.total_tasks
         );
     }
 

@@ -32,7 +32,7 @@ use crate::json::Json;
 use crate::llfi::{plan_llfi, run_llfi_detailed_from, LlfiInjection};
 use crate::outcome::{Outcome, OutcomeCounts};
 use crate::pinfi::{plan_pinfi, run_pinfi_detailed_from, PinfiInjection};
-use crate::profile::{LlfiProfile, PinfiProfile};
+use crate::profile::{GoldenRef, LlfiProfile, PinfiProfile};
 use fiq_asm::{AsmProgram, MachOptions, MachSnapshot};
 use fiq_interp::{InterpOptions, InterpSnapshot};
 use fiq_ir::Module;
@@ -40,7 +40,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufRead, BufReader, BufWriter, Seek, SeekFrom, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -105,9 +105,10 @@ pub struct CellSpec<'a> {
     pub category: Category,
     /// Program representation and profile.
     pub substrate: Substrate<'a>,
-    /// Profiling-run snapshots for checkpointed fast-forward; used only
-    /// when [`EngineOptions::fast_forward`] is set. `None` ⇒ every
-    /// injection replays the full golden prefix.
+    /// Profiling-run snapshots, used by checkpointed fast-forward
+    /// ([`EngineOptions::fast_forward`]) and by golden-state convergence
+    /// detection ([`EngineOptions::early_exit`]). `None` ⇒ every
+    /// injection replays the full golden prefix and runs to completion.
     pub snapshots: Option<Arc<SnapshotCache>>,
 }
 
@@ -137,6 +138,13 @@ pub struct EngineOptions<'a> {
     /// [`CellSpec::snapshots`] cache still replay in full). Campaign
     /// output is bit-identical either way; this only changes wall-clock.
     pub fast_forward: bool,
+    /// Stop a faulty run at the first golden checkpoint its state has
+    /// provably converged back to, instead of replaying the identical
+    /// suffix (cells without a [`CellSpec::snapshots`] cache run in
+    /// full). Campaign output — reports *and* record bytes — is
+    /// bit-identical either way; this only changes wall-clock. Composes
+    /// with [`EngineOptions::fast_forward`].
+    pub early_exit: bool,
 }
 
 /// The result of a full engine run.
@@ -148,6 +156,11 @@ pub struct CampaignRun {
     pub total_tasks: usize,
     /// Tasks restored from the record file instead of re-executed.
     pub resumed_tasks: usize,
+    /// Tasks cut short by golden-state convergence detection (always 0
+    /// when [`EngineOptions::early_exit`] is off; resumed tasks are not
+    /// counted). Observability only — outcomes and records are identical
+    /// to full runs.
+    pub early_exited_tasks: usize,
 }
 
 /// A planned injection, either level.
@@ -167,6 +180,7 @@ struct Task {
 struct TaskResult {
     outcome: Outcome,
     steps: u64,
+    early_exit: bool,
 }
 
 /// Reorder buffer + record writer; guarded by one mutex.
@@ -185,12 +199,14 @@ struct Shared<'a, 't> {
     budgets: &'t [u64],
     next: AtomicUsize,
     completed: AtomicUsize,
+    early_exited: AtomicUsize,
     stop: AtomicBool,
     sink: Mutex<Sink>,
     error: Mutex<Option<String>>,
     progress: Option<&'a (dyn Fn(Progress) + Sync)>,
     resumed: usize,
     fast_forward: bool,
+    early_exit: bool,
 }
 
 fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
@@ -299,6 +315,7 @@ pub fn run_campaign(
         budgets: &budgets,
         next: AtomicUsize::new(resumed),
         completed: AtomicUsize::new(resumed),
+        early_exited: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
         sink: Mutex::new(Sink {
             outcomes,
@@ -311,15 +328,15 @@ pub fn run_campaign(
         progress: opts.progress,
         resumed,
         fast_forward: opts.fast_forward,
+        early_exit: opts.early_exit,
     };
     let remaining = tasks.len() - resumed;
     let workers = cfg.worker_count().max(1).min(remaining.max(1));
+    // Default thread stacks suffice: guest recursion lives on the
+    // interpreter's explicit heap-allocated frame stack, not host frames.
     std::thread::scope(|s| {
         for _ in 0..workers {
-            std::thread::Builder::new()
-                .stack_size(16 << 20) // guest recursion nests host frames
-                .spawn_scoped(s, || worker(&shared))
-                .expect("spawn worker");
+            s.spawn(|| worker(&shared));
         }
     });
     if let Some(e) = lock(&shared.error).take() {
@@ -354,6 +371,7 @@ pub fn run_campaign(
         cells: reports,
         total_tasks: tasks.len(),
         resumed_tasks: resumed,
+        early_exited_tasks: shared.early_exited.load(Ordering::Relaxed),
     })
 }
 
@@ -369,7 +387,13 @@ fn worker(shared: &Shared<'_, '_>) {
         let cell = &shared.cells[task.cell];
         let budget = shared.budgets[task.cell];
         let run = catch_unwind(AssertUnwindSafe(|| {
-            execute(cell, budget, task.plan, shared.fast_forward)
+            execute(
+                cell,
+                budget,
+                task.plan,
+                shared.fast_forward,
+                shared.early_exit,
+            )
         }));
         let result = match run {
             Ok(Ok(r)) => r,
@@ -394,6 +418,9 @@ fn worker(shared: &Shared<'_, '_>) {
                 return;
             }
         };
+        if result.early_exit {
+            shared.early_exited.fetch_add(1, Ordering::Relaxed);
+        }
         if let Err(e) = deliver(shared, i, result) {
             fail(shared, e);
             return;
@@ -414,8 +441,12 @@ fn execute(
     budget: u64,
     plan: Plan,
     fast_forward: bool,
+    early_exit: bool,
 ) -> Result<TaskResult, String> {
-    let cache = if fast_forward {
+    // The same snapshot cache serves both optimizations: fast-forward
+    // restores the latest pre-injection checkpoint; early exit compares
+    // the post-injection run against later checkpoints.
+    let cache = if fast_forward || early_exit {
         cell.snapshots.as_deref()
     } else {
         None
@@ -427,7 +458,7 @@ fn execute(
                 ..InterpOptions::default()
             };
             let snap = match cache {
-                Some(SnapshotCache::Llfi(snaps)) => {
+                Some(SnapshotCache::Llfi(snaps)) if fast_forward => {
                     // Last snapshot strictly before the injection
                     // occurrence (per-site counts are monotone across the
                     // list) that the budget-limited run would reach.
@@ -438,7 +469,14 @@ fn execute(
                 }
                 _ => None,
             };
-            run_llfi_detailed_from(module, opts, inj, &profile.golden_output, snap)
+            let golden = match cache {
+                Some(SnapshotCache::Llfi(snaps)) if early_exit => Some(GoldenRef {
+                    snapshots: snaps.as_slice(),
+                    golden_steps: profile.golden_steps,
+                }),
+                _ => None,
+            };
+            run_llfi_detailed_from(module, opts, inj, &profile.golden_output, snap, golden)
         }
         (Substrate::Pinfi { prog, profile }, Plan::Pinfi(inj)) => {
             let opts = MachOptions {
@@ -446,7 +484,7 @@ fn execute(
                 ..MachOptions::default()
             };
             let snap = match cache {
-                Some(SnapshotCache::Pinfi(snaps)) => {
+                Some(SnapshotCache::Pinfi(snaps)) if fast_forward => {
                     let pos = snaps.partition_point(|s| {
                         s.site_count(inj.idx) < inj.instance && s.steps() <= budget
                     });
@@ -454,13 +492,21 @@ fn execute(
                 }
                 _ => None,
             };
-            run_pinfi_detailed_from(prog, opts, inj, &profile.golden_output, snap)
+            let golden = match cache {
+                Some(SnapshotCache::Pinfi(snaps)) if early_exit => Some(GoldenRef {
+                    snapshots: snaps.as_slice(),
+                    golden_steps: profile.golden_steps,
+                }),
+                _ => None,
+            };
+            run_pinfi_detailed_from(prog, opts, inj, &profile.golden_output, snap, golden)
         }
         _ => Err("internal error: plan/substrate mismatch".into()),
     }
     .map(|d| TaskResult {
         outcome: d.outcome,
         steps: d.steps,
+        early_exit: d.early_exit,
     })
 }
 
@@ -581,17 +627,21 @@ struct ResumePrefix {
 /// contiguous from task 0. A torn final line (from a kill mid-write) is
 /// dropped, as is anything after the first malformed record.
 fn load_resume(path: &Path, expected_header: &str) -> Result<ResumePrefix, String> {
-    let mut text = String::new();
-    File::open(path)
-        .and_then(|mut f| f.read_to_string(&mut text))
-        .map_err(|e| format!("read record file {}: {e}", path.display()))?;
-    let Some(first_len) = text.find('\n') else {
+    // Stream line by line instead of slurping the whole file: resume files
+    // grow with the campaign (one line per injection) and only the tiny
+    // parsed prefix needs to stay in memory.
+    let file = File::open(path).map_err(|e| format!("read record file {}: {e}", path.display()))?;
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    let read_err = |e: std::io::Error| format!("read record file {}: {e}", path.display());
+    reader.read_line(&mut line).map_err(read_err)?;
+    if !line.ends_with('\n') {
         return Err(format!(
             "record file {} has no complete header line; delete it to start over",
             path.display()
         ));
-    };
-    if &text[..first_len] != expected_header {
+    }
+    if line.trim_end_matches('\n') != expected_header {
         return Err(format!(
             "record file {} belongs to a different campaign (seed, cells, or config \
              changed); delete it or pick another --records path",
@@ -599,10 +649,12 @@ fn load_resume(path: &Path, expected_header: &str) -> Result<ResumePrefix, Strin
         ));
     }
     let mut outcomes = Vec::new();
-    let mut valid = first_len + 1;
-    for line in text[valid..].split_inclusive('\n') {
-        if !line.ends_with('\n') {
-            break; // torn final line
+    let mut valid = line.len();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(read_err)?;
+        if n == 0 || !line.ends_with('\n') {
+            break; // end of file, or torn final line
         }
         let Some(record) = parse_record(line.trim_end_matches('\n'), outcomes.len()) else {
             break;

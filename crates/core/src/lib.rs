@@ -71,7 +71,7 @@ pub use pinfi::{
 };
 pub use profile::{
     locate, profile_llfi, profile_llfi_with_snapshots, profile_pinfi, profile_pinfi_with_snapshots,
-    LlfiProfile, PinfiProfile,
+    GoldenRef, LlfiProfile, PinfiProfile,
 };
 pub use stats::{normal_ci95_half_width, overlaps, wilson_ci95};
 pub use trace::{trace_llfi, PropagationReport};

@@ -7,8 +7,10 @@
 
 use crate::category::Category;
 use crate::outcome::{classify, Outcome};
-use crate::profile::{locate, LlfiProfile};
-use fiq_interp::{InstSite, Interp, InterpHook, InterpOptions, InterpSnapshot, RtVal};
+use crate::profile::{locate, GoldenRef, LlfiProfile};
+use fiq_interp::{
+    ExecResult, ExecStatus, InstSite, Interp, InterpHook, InterpOptions, InterpSnapshot, RtVal,
+};
 use fiq_ir::Module;
 use rand::Rng;
 
@@ -93,6 +95,17 @@ impl InterpHook for LlfiHook {
     }
 }
 
+impl LlfiHook {
+    /// True once the run's eventual `activated` verdict can no longer
+    /// change: the fault is in (injected) and is either already activated
+    /// (the flag is monotone) or dead (overwritten slot — no future use
+    /// can see it). Convergence checks are gated on this so an early exit
+    /// freezes exactly the activation verdict the full run would report.
+    fn outcome_settled(&self) -> bool {
+        self.injected && (self.activated || self.live_frame.is_none())
+    }
+}
+
 /// Runs one LLFI injection and classifies the outcome.
 ///
 /// # Errors
@@ -119,19 +132,29 @@ pub fn run_llfi_detailed(
     inj: LlfiInjection,
     golden_output: &str,
 ) -> Result<crate::outcome::InjectionRun, String> {
-    run_llfi_detailed_from(module, opts, inj, golden_output, None)
+    run_llfi_detailed_from(module, opts, inj, golden_output, None, None)
 }
 
-/// [`run_llfi_detailed`], optionally fast-forwarded: when `snapshot` is
-/// given, the interpreter restores it and replays only the tail instead
-/// of re-executing the golden prefix.
+/// [`run_llfi_detailed`], optionally fast-forwarded and/or
+/// convergence-checked.
 ///
-/// The snapshot must have been captured during this module's profiling
-/// run *strictly before* the planned injection occurrence (i.e.
+/// When `snapshot` is given, the interpreter restores it and replays only
+/// the tail instead of re-executing the golden prefix. The snapshot must
+/// have been captured during this module's profiling run *strictly
+/// before* the planned injection occurrence (i.e.
 /// `snapshot.site_count(inj.site) < inj.instance`). Because pre-injection
 /// hooks only observe, the restored run is bit-identical to a full run:
 /// the hook's instance counter starts from the snapshot's count for the
 /// target site and the step counter continues from the snapshot value.
+///
+/// When `golden` is given, the run additionally pauses at every golden
+/// checkpoint step it crosses and — once the fault's activation verdict
+/// is settled — compares its state against the checkpoint (digests first,
+/// full byte compare on a digest match). An exact match proves the
+/// remaining execution identical to golden, so the run returns
+/// immediately with the outcome and reconstructed step count the full
+/// run would have produced. Output is bit-identical with or without
+/// `golden`; only wall-clock changes.
 ///
 /// # Errors
 ///
@@ -142,6 +165,7 @@ pub fn run_llfi_detailed_from(
     inj: LlfiInjection,
     golden_output: &str,
     snapshot: Option<&InterpSnapshot>,
+    golden: Option<GoldenRef<'_, InterpSnapshot>>,
 ) -> Result<crate::outcome::InjectionRun, String> {
     let seen = snapshot.map_or(0, |s| s.site_count(inj.site));
     debug_assert!(
@@ -161,7 +185,8 @@ pub fn run_llfi_detailed_from(
         Some(s) => Interp::restore(module, opts, hook, s),
         None => Interp::new(module, opts, hook).map_err(|t| t.to_string())?,
     };
-    let result = interp.run();
+
+    let (result, early_exit) = drive_llfi(&mut interp, opts, golden_output, golden);
     let hook = interp.into_hook();
     debug_assert!(
         hook.injected,
@@ -170,5 +195,70 @@ pub fn run_llfi_detailed_from(
     Ok(crate::outcome::InjectionRun {
         outcome: classify(result.status, &result.output, golden_output, hook.activated),
         steps: result.steps,
+        early_exit,
     })
+}
+
+/// Runs the interpreter to completion, early-exiting at the first golden
+/// checkpoint whose state the faulty run has provably converged to.
+/// Returns the (possibly reconstructed) result and whether it came from
+/// an early exit.
+fn drive_llfi(
+    interp: &mut Interp<'_, LlfiHook>,
+    opts: InterpOptions,
+    golden_output: &str,
+    golden: Option<GoldenRef<'_, InterpSnapshot>>,
+) -> (ExecResult, bool) {
+    let Some(g) = golden else {
+        return (interp.run(), false);
+    };
+    loop {
+        // First checkpoint not yet reached. Checkpoints at or below the
+        // current step count can never compare equal again (the step
+        // counter only grows), so each is considered at most once.
+        let next = g.snapshots.partition_point(|s| s.steps() <= interp.steps());
+        let Some(snap) = g.snapshots.get(next) else {
+            // Past the last checkpoint: no convergence opportunities left.
+            return (interp.run(), false);
+        };
+        if let Some(result) = interp.run_until(snap.steps()) {
+            return (result, false); // ended before the checkpoint
+        }
+        // Paused. A diverged run may overshoot the checkpoint's step count
+        // inside an atomic φ-batch; then steps differ and the compare is
+        // skipped (the partition_point above advances past it).
+        if interp.hook().outcome_settled()
+            && interp.state_matches_digest(snap)
+            && interp.state_equals_snapshot(snap)
+        {
+            // State identical to golden at this step ⇒ the remaining
+            // execution mirrors golden exactly (deterministic guest).
+            let remaining = g.golden_steps - snap.steps();
+            let total = interp.steps() + remaining;
+            if total <= opts.max_steps {
+                // The mirrored suffix finishes within budget; its console
+                // already matches golden at the checkpoint, so the final
+                // output is exactly the golden output.
+                return (
+                    ExecResult {
+                        status: ExecStatus::Finished,
+                        steps: total,
+                        output: golden_output.to_string(),
+                    },
+                    true,
+                );
+            }
+            // The mirrored suffix is longer than the remaining budget:
+            // the full run would exhaust it mid-suffix and classify as a
+            // hang (steps stop at max_steps + 1).
+            return (
+                ExecResult {
+                    status: ExecStatus::BudgetExceeded,
+                    steps: opts.max_steps + 1,
+                    output: String::new(), // unused: hangs ignore output
+                },
+                true,
+            );
+        }
+    }
 }

@@ -153,8 +153,15 @@ fn percentage(part: u64, whole: u64) -> f64 {
 pub struct InjectionRun {
     /// The coarse classification.
     pub outcome: Outcome,
-    /// Dynamic instructions executed by the faulty run.
+    /// Dynamic instructions executed by the faulty run. When the run
+    /// early-exited, this is the *reconstructed* full count
+    /// (`faulty_steps + golden_steps − checkpoint_steps`), identical to
+    /// what the full run would have reported.
     pub steps: u64,
+    /// The run was cut short by golden-state convergence detection (the
+    /// outcome and steps are provably those of the full run; this flag is
+    /// observability only and is never written to records).
+    pub early_exit: bool,
 }
 
 /// Keeps the trap detail alongside the coarse outcome (for diagnostics).

@@ -13,11 +13,12 @@
 
 use crate::category::{injection_dest, Category};
 use crate::outcome::{classify, Outcome};
-use crate::profile::{locate, PinfiProfile};
+use crate::profile::{locate, GoldenRef, PinfiProfile};
 use fiq_asm::{
     AsmHook, AsmProgram, ExtFn, Inst, MachOptions, MachSnapshot, MachState, Machine, Reg, RegId,
-    ALL_FLAGS,
+    RunResult, ALL_FLAGS,
 };
+use fiq_mem::RunStatus;
 use rand::Rng;
 
 /// PINFI configuration (paper §IV heuristics).
@@ -144,6 +145,15 @@ impl PinfiHook<'_> {
         }
     }
 
+    /// True once the run's eventual `activated` verdict can no longer
+    /// change: the fault is in (injected) and is either already activated
+    /// (the flag is monotone) or overwritten (no future read can see it).
+    /// Convergence checks are gated on this so an early exit freezes
+    /// exactly the activation verdict the full run would report.
+    fn outcome_settled(&self) -> bool {
+        self.injected && (self.activated || !self.live)
+    }
+
     fn apply(&self, st: &mut MachState) {
         match self.inj.dest {
             RegId::Gpr(r) => {
@@ -214,19 +224,29 @@ pub fn run_pinfi_detailed(
     inj: PinfiInjection,
     golden_output: &str,
 ) -> Result<crate::outcome::InjectionRun, String> {
-    run_pinfi_detailed_from(prog, opts, inj, golden_output, None)
+    run_pinfi_detailed_from(prog, opts, inj, golden_output, None, None)
 }
 
-/// [`run_pinfi_detailed`], optionally fast-forwarded: when `snapshot` is
-/// given, the machine restores it and replays only the tail instead of
-/// re-executing the golden prefix.
+/// [`run_pinfi_detailed`], optionally fast-forwarded and/or
+/// convergence-checked.
 ///
-/// The snapshot must have been captured during this program's profiling
-/// run *strictly before* the planned injection occurrence (i.e.
+/// When `snapshot` is given, the machine restores it and replays only the
+/// tail instead of re-executing the golden prefix. The snapshot must have
+/// been captured during this program's profiling run *strictly before*
+/// the planned injection occurrence (i.e.
 /// `snapshot.site_count(inj.idx) < inj.instance`). The hook's instance
 /// counter starts from the snapshot's retire count for the target
 /// instruction and the step counter continues from the snapshot value,
 /// so the restored run is bit-identical to a full run.
+///
+/// When `golden` is given, the run additionally pauses at every golden
+/// checkpoint step it crosses and — once the fault's activation verdict
+/// is settled — compares its architectural state against the checkpoint
+/// (digests first, full compare on a digest match). An exact match proves
+/// the remaining execution identical to golden, so the run returns
+/// immediately with the outcome and reconstructed step count the full run
+/// would have produced. Output is bit-identical with or without `golden`;
+/// only wall-clock changes.
 ///
 /// # Errors
 ///
@@ -237,6 +257,7 @@ pub fn run_pinfi_detailed_from(
     inj: PinfiInjection,
     golden_output: &str,
     snapshot: Option<&MachSnapshot>,
+    golden: Option<GoldenRef<'_, MachSnapshot>>,
 ) -> Result<crate::outcome::InjectionRun, String> {
     let seen = snapshot.map_or(0, |s| s.site_count(inj.idx));
     debug_assert!(
@@ -255,11 +276,69 @@ pub fn run_pinfi_detailed_from(
         Some(s) => Machine::restore(prog, opts, hook, s),
         None => Machine::new(prog, opts, hook).map_err(|t| t.to_string())?,
     };
-    let result = machine.run();
+    let (result, early_exit) = drive_pinfi(&mut machine, opts, golden_output, golden);
     let hook = machine.into_hook();
     debug_assert!(hook.injected, "planned instance must be reached");
     Ok(crate::outcome::InjectionRun {
         outcome: classify(result.status, &result.output, golden_output, hook.activated),
         steps: result.steps,
+        early_exit,
     })
+}
+
+/// Runs the machine to completion, early-exiting at the first golden
+/// checkpoint whose state the faulty run has provably converged to.
+/// Returns the (possibly reconstructed) result and whether it came from
+/// an early exit.
+fn drive_pinfi(
+    machine: &mut Machine<'_, PinfiHook<'_>>,
+    opts: MachOptions,
+    golden_output: &str,
+    golden: Option<GoldenRef<'_, MachSnapshot>>,
+) -> (RunResult, bool) {
+    let Some(g) = golden else {
+        return (machine.run(), false);
+    };
+    loop {
+        // First checkpoint not yet reached; each checkpoint is considered
+        // at most once because the step counter only grows.
+        let next = g
+            .snapshots
+            .partition_point(|s| s.steps() <= machine.steps());
+        let Some(snap) = g.snapshots.get(next) else {
+            return (machine.run(), false);
+        };
+        if let Some(result) = machine.run_until(snap.steps()) {
+            return (result, false); // ended before the checkpoint
+        }
+        if machine.hook().outcome_settled()
+            && machine.state_matches_digest(snap)
+            && machine.state_equals_snapshot(snap)
+        {
+            // State identical to golden at this step ⇒ the remaining
+            // execution mirrors golden exactly (deterministic guest).
+            let remaining = g.golden_steps - snap.steps();
+            let total = machine.steps() + remaining;
+            if total <= opts.max_steps {
+                return (
+                    RunResult {
+                        status: RunStatus::Finished,
+                        steps: total,
+                        output: golden_output.to_string(),
+                    },
+                    true,
+                );
+            }
+            // The mirrored suffix outlives the budget: the full run would
+            // hang at max_steps + 1.
+            return (
+                RunResult {
+                    status: RunStatus::BudgetExceeded,
+                    steps: opts.max_steps + 1,
+                    output: String::new(), // unused: hangs ignore output
+                },
+                true,
+            );
+        }
+    }
 }

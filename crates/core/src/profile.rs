@@ -249,6 +249,33 @@ impl PinfiProfile {
     }
 }
 
+/// A borrowed view of one cell's golden run used for convergence
+/// detection: the profiling checkpoints (with their state digests) and
+/// the golden step count.
+///
+/// Passed to `run_llfi_detailed_from` / `run_pinfi_detailed_from` to
+/// enable early exit: whenever the faulty run's step counter crosses a
+/// checkpoint's step count with the fault settled, its state is compared
+/// against the checkpoint, and an exact match proves the remaining
+/// execution identical to golden — so the run can stop right there with
+/// `steps = faulty_steps + (golden_steps − checkpoint_steps)`.
+pub struct GoldenRef<'a, S> {
+    /// Profiling snapshots, ordered by capture step.
+    pub snapshots: &'a [S],
+    /// Dynamic instruction count of the full golden run.
+    pub golden_steps: u64,
+}
+
+// Manual impls: the derive would needlessly require `S: Copy`, but this
+// is a borrow plus an integer whatever the snapshot type is.
+impl<S> Clone for GoldenRef<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<S> Copy for GoldenRef<'_, S> {}
+
 /// Samples the `k`-th (1-based) dynamic instance from a cumulative
 /// distribution: returns the element and the instance number *within* that
 /// element.

@@ -12,7 +12,7 @@ use fiq_ir::{
     BlockId, Callee, Constant, FloatTy, FuncId, GlobalInit, InstId, InstKind, Intrinsic, Module,
     Type, Value,
 };
-use fiq_mem::{Console, MemSnapshot, Memory, RegionKind, Trap};
+use fiq_mem::{Console, Hasher64, MemSnapshot, Memory, RegionKind, StateDigest, Trap};
 
 /// Interpreter configuration.
 #[derive(Debug, Clone, Copy)]
@@ -114,6 +114,67 @@ struct Frame {
     ip: usize,
 }
 
+/// Mixes a runtime value into `h` *bitwise*: floats by their bit pattern
+/// (so NaN payloads participate), with a type tag so `Int(I64, x)`,
+/// `Ptr(x)`, and `F64(from_bits(x))` hash differently.
+fn hash_rtval(h: &mut Hasher64, v: &RtVal) {
+    match v {
+        RtVal::Int(t, raw) => {
+            h.write_u64(u64::from(t.bits()));
+            h.write_u64(*raw);
+        }
+        RtVal::F32(f) => {
+            h.write_u64(100);
+            h.write_u64(u64::from(f.to_bits()));
+        }
+        RtVal::F64(f) => {
+            h.write_u64(101);
+            h.write_u64(f.to_bits());
+        }
+        RtVal::Ptr(p) => {
+            h.write_u64(102);
+            h.write_u64(*p);
+        }
+    }
+}
+
+/// Bitwise value equality. Deliberately *not* `PartialEq`: convergence
+/// detection must treat `NaN` as equal to the same `NaN` (identical bits ⇒
+/// identical future behaviour) and `-0.0` as different from `0.0`.
+fn rtval_bits_eq(a: &RtVal, b: &RtVal) -> bool {
+    match (a, b) {
+        (RtVal::Int(ta, va), RtVal::Int(tb, vb)) => ta == tb && va == vb,
+        (RtVal::F32(x), RtVal::F32(y)) => x.to_bits() == y.to_bits(),
+        (RtVal::F64(x), RtVal::F64(y)) => x.to_bits() == y.to_bits(),
+        (RtVal::Ptr(x), RtVal::Ptr(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn frames_bits_eq(a: &[Frame], b: &[Frame]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(fa, fb)| {
+            fa.fid == fb.fid
+                && fa.frame_id == fb.frame_id
+                && fa.saved_sp == fb.saved_sp
+                && fa.cur == fb.cur
+                && fa.prev == fb.prev
+                && fa.ip == fb.ip
+                && fa.args.len() == fb.args.len()
+                && fa
+                    .args
+                    .iter()
+                    .zip(&fb.args)
+                    .all(|(x, y)| rtval_bits_eq(x, y))
+                && fa.slots.len() == fb.slots.len()
+                && fa.slots.iter().zip(&fb.slots).all(|(x, y)| match (x, y) {
+                    (None, None) => true,
+                    (Some(x), Some(y)) => rtval_bits_eq(x, y),
+                    _ => false,
+                })
+        })
+}
+
 /// A point-in-time capture of a running [`Interp`], taken at a dynamic
 /// instruction boundary by [`Interp::run_with_snapshots`].
 ///
@@ -133,6 +194,7 @@ pub struct InterpSnapshot {
     steps: u64,
     frame_counter: u64,
     counts: Vec<Vec<u64>>,
+    digest: StateDigest,
 }
 
 impl InterpSnapshot {
@@ -150,6 +212,13 @@ impl InterpSnapshot {
     /// The captured memory image (exposed for page-sharing diagnostics).
     pub fn mem(&self) -> &MemSnapshot {
         &self.mem
+    }
+
+    /// The cheap state digest captured alongside the snapshot (frame
+    /// stack + registers hash, console length/hash). Memory is digested
+    /// per-page inside [`InterpSnapshot::mem`].
+    pub fn digest(&self) -> &StateDigest {
+        &self.digest
     }
 }
 
@@ -177,6 +246,7 @@ pub struct Interp<'m, H> {
     frame_counter: u64,
     frames: Vec<Frame>,
     snap: Option<SnapState>,
+    pause_at: Option<u64>,
 }
 
 impl<'m, H: InterpHook> Interp<'m, H> {
@@ -203,6 +273,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             frame_counter: 0,
             frames: Vec::new(),
             snap: None,
+            pause_at: None,
         })
     }
 
@@ -233,6 +304,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             frame_counter: snap.frame_counter,
             frames: snap.frames.clone(),
             snap: None,
+            pause_at: None,
         }
     }
 
@@ -278,6 +350,37 @@ impl<'m, H: InterpHook> Interp<'m, H> {
         (result, snap.snapshots)
     }
 
+    /// Runs like [`Interp::run`], but pauses at the first instruction
+    /// boundary where the step counter has reached `until` — the same
+    /// boundary rule [`Interp::run_with_snapshots`] captures at, so a
+    /// faulty run paused at a golden checkpoint's step count is directly
+    /// comparable to that checkpoint.
+    ///
+    /// Returns `None` if paused (the program is still live; call again
+    /// with a later target, or [`Interp::run`] to run to completion), or
+    /// `Some(result)` if the program finished/trapped/exhausted its
+    /// budget before reaching the pause point.
+    pub fn run_until(&mut self, until: u64) -> Option<ExecResult> {
+        self.pause_at = Some(until);
+        let out = self.exec();
+        self.pause_at = None;
+        let status = match out {
+            Ok(()) => {
+                if !self.frames.is_empty() {
+                    return None; // paused at the boundary
+                }
+                ExecStatus::Finished
+            }
+            Err(Stop::Trap(t)) => ExecStatus::Trapped(t),
+            Err(Stop::Budget) => ExecStatus::BudgetExceeded,
+        };
+        Some(ExecResult {
+            status,
+            steps: self.steps,
+            output: self.console.contents().to_string(),
+        })
+    }
+
     /// The console (program output so far).
     pub fn console(&self) -> &Console {
         &self.console
@@ -299,12 +402,82 @@ impl<'m, H: InterpHook> Interp<'m, H> {
         self.hook
     }
 
+    /// The hook, for mid-run inspection (e.g. between [`Interp::run_until`]
+    /// pauses, to decide whether a convergence check is worthwhile).
+    pub fn hook(&self) -> &H {
+        &self.hook
+    }
+
+    /// Cheap convergence check against a golden checkpoint: digests only
+    /// (architectural-state hash, console length/hash, per-page memory
+    /// hashes). `true` is necessary but not sufficient for state equality —
+    /// confirm with [`Interp::state_equals_snapshot`]; `false` is definitive.
+    pub fn state_matches_digest(&self, snap: &InterpSnapshot) -> bool {
+        self.steps == snap.steps
+            && self.sp == snap.sp
+            && self.frame_counter == snap.frame_counter
+            && self.arch_hash() == snap.digest.arch
+            && snap.digest.console_matches(&self.console)
+            && self.mem.matches_snapshot_hashes(&snap.mem)
+    }
+
+    /// Exact convergence check: full bitwise comparison of the live state
+    /// against a golden checkpoint (frame stack with NaN-safe value
+    /// equality, memory bytes, console, stack pointer, step counter).
+    /// `true` here means the remaining execution is step-for-step
+    /// identical to the golden run from this checkpoint on.
+    pub fn state_equals_snapshot(&self, snap: &InterpSnapshot) -> bool {
+        self.steps == snap.steps
+            && self.sp == snap.sp
+            && self.stack_start == snap.stack_start
+            && self.frame_counter == snap.frame_counter
+            && self.global_addrs == snap.global_addrs
+            && self.console.contents() == snap.console.contents()
+            && frames_bits_eq(&self.frames, &snap.frames)
+            && self.mem.equals_snapshot(&snap.mem)
+    }
+
+    /// Hashes everything outside memory and console: the frame stack
+    /// (bitwise values), stack pointer, and frame counter.
+    fn arch_hash(&self) -> u64 {
+        let mut h = Hasher64::new();
+        h.write_u64(self.sp);
+        h.write_u64(self.stack_start);
+        h.write_u64(self.frame_counter);
+        h.write_u64(self.frames.len() as u64);
+        for f in &self.frames {
+            h.write_u64(f.fid.index() as u64);
+            h.write_u64(f.frame_id);
+            h.write_u64(f.saved_sp);
+            h.write_u64(f.cur.index() as u64);
+            h.write_u64(f.prev.map_or(u64::MAX, |b| b.index() as u64));
+            h.write_u64(f.ip as u64);
+            h.write_u64(f.args.len() as u64);
+            for v in &f.args {
+                hash_rtval(&mut h, v);
+            }
+            for s in &f.slots {
+                match s {
+                    None => h.write_u64(0),
+                    Some(v) => {
+                        h.write_u64(1);
+                        hash_rtval(&mut h, v);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
     fn exec(&mut self) -> Result<(), Stop> {
         if self.frames.is_empty() {
             let main = self.module.main_func().expect("module has a main function");
             self.push_frame(main, Vec::new())?;
         }
         while !self.frames.is_empty() {
+            if self.pause_at.is_some_and(|p| self.steps >= p) {
+                return Ok(());
+            }
             self.maybe_snapshot();
             self.step()?;
         }
@@ -337,10 +510,11 @@ impl<'m, H: InterpHook> Interp<'m, H> {
     /// instruction boundaries (between [`Interp::step`] slices), so every
     /// snapshot is a consistent, resumable state.
     fn maybe_snapshot(&mut self) {
-        let Some(snap) = &mut self.snap else { return };
-        if self.steps < snap.next_at {
+        if !matches!(&self.snap, Some(s) if self.steps >= s.next_at) {
             return;
         }
+        let digest = StateDigest::new(self.arch_hash(), &self.console);
+        let snap = self.snap.as_mut().expect("checked above");
         let prev_mem = snap.snapshots.last().map(|s| &s.mem);
         let snapshot = InterpSnapshot {
             frames: self.frames.clone(),
@@ -352,6 +526,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             steps: self.steps,
             frame_counter: self.frame_counter,
             counts: snap.counts.clone(),
+            digest,
         };
         snap.snapshots.push(snapshot);
         while snap.next_at <= self.steps {
@@ -366,7 +541,12 @@ impl<'m, H: InterpHook> Interp<'m, H> {
         let mut frame = self.frames.pop().expect("step with a live frame");
         let fid = frame.fid;
         let func = self.module.func(fid);
-        let snap_due = self.snap.as_ref().map(|s| s.next_at);
+        // Break the slice at the nearer of the next snapshot point and the
+        // pause point; both are handled by `exec` at the boundary.
+        let snap_due = match (self.snap.as_ref().map(|s| s.next_at), self.pause_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
 
         loop {
             if let Some(at) = snap_due {

@@ -1,0 +1,156 @@
+//! Cheap 64-bit content hashing for golden-state convergence detection.
+//!
+//! A faulty run that wants to early-exit compares its live state against
+//! a golden checkpoint many times per run, so the hash here is optimized
+//! for raw throughput over cryptographic strength: an FxHash-style
+//! rotate-xor-multiply over 64-bit lanes. Collisions are harmless — every
+//! hash match is confirmed by a full byte comparison before a run is
+//! declared converged — but a *missed* match only costs speed, so the
+//! same function must be used on both the capture and the check side.
+
+/// Multiplier from FxHash (a.k.a. the Firefox hasher): odd, high entropy.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FNV-64 offset basis, used as the initial state.
+const INIT: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// An incremental 64-bit hasher over 64-bit lanes.
+///
+/// Not a `std::hash::Hasher`: the only inputs are `u64` words (and
+/// zero-padded byte tails via [`hash_bytes`]), which keeps the inner loop
+/// branch-free.
+#[derive(Debug, Clone, Copy)]
+pub struct Hasher64 {
+    h: u64,
+}
+
+impl Hasher64 {
+    /// Creates a hasher in its initial state.
+    pub fn new() -> Hasher64 {
+        Hasher64 { h: INIT }
+    }
+
+    /// Mixes one 64-bit word into the state.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.h = (self.h.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+
+    /// Mixes a byte slice (eight bytes per lane, zero-padded tail, length
+    /// folded in so `[1]` and `[1, 0]` hash differently).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.write_u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+        self.write_u64(bytes.len() as u64);
+    }
+
+    /// Finalizes the hash (one extra avalanche round).
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        let mut h = self.h;
+        h ^= h >> 32;
+        h = h.wrapping_mul(K);
+        h ^= h >> 29;
+        h
+    }
+}
+
+impl Default for Hasher64 {
+    fn default() -> Hasher64 {
+        Hasher64::new()
+    }
+}
+
+/// Hashes one byte slice from the initial state.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Hasher64::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// A digest of one captured execution state, stored alongside each
+/// profiling snapshot and compared against the live state of a faulty
+/// run to detect convergence back to the golden execution.
+///
+/// Memory is covered separately by the per-page hashes inside
+/// [`crate::MemSnapshot`] (so clean pages reuse the previous snapshot's
+/// digest); this struct covers everything else: the level-specific
+/// architectural state (registers/FLAGS/RIP at the assembly level, the
+/// frame stack and SSA slots at the IR level) and the console.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateDigest {
+    /// Hash of the level-specific architectural state.
+    pub arch: u64,
+    /// Console bytes written at the capture point.
+    pub console_len: u64,
+    /// Hash of the console contents at the capture point.
+    pub console_hash: u64,
+}
+
+impl StateDigest {
+    /// Builds a digest from a finished architectural hasher and the
+    /// console at the capture point.
+    pub fn new(arch: u64, console: &crate::Console) -> StateDigest {
+        StateDigest {
+            arch,
+            console_len: console.len() as u64,
+            console_hash: hash_bytes(console.contents().as_bytes()),
+        }
+    }
+
+    /// True if `console`'s length and content hash match the capture.
+    pub fn console_matches(&self, console: &crate::Console) -> bool {
+        console.len() as u64 == self.console_len
+            && hash_bytes(console.contents().as_bytes()) == self.console_hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_is_part_of_the_hash() {
+        assert_ne!(hash_bytes(&[1]), hash_bytes(&[1, 0]));
+        assert_ne!(hash_bytes(&[]), hash_bytes(&[0]));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(hash_bytes(&data), hash_bytes(&data.clone()));
+        let mut tweaked = data.clone();
+        tweaked[200] ^= 1;
+        assert_ne!(hash_bytes(&data), hash_bytes(&tweaked));
+    }
+
+    #[test]
+    fn incremental_words_differ_by_order() {
+        let mut a = Hasher64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Hasher64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn console_digest_matches_only_identical_output() {
+        let mut c = crate::Console::new();
+        c.print_i64(7);
+        let d = StateDigest::new(0, &c);
+        assert!(d.console_matches(&c));
+        let mut other = crate::Console::new();
+        other.print_i64(8);
+        assert!(!d.console_matches(&other));
+    }
+}

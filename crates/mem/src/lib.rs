@@ -21,10 +21,12 @@
 #![warn(missing_docs)]
 
 mod console;
+mod digest;
 mod memory;
 mod trap;
 
 pub use console::Console;
+pub use digest::{hash_bytes, Hasher64, StateDigest};
 pub use memory::{
     MemSnapshot, Memory, Region, RegionKind, DEFAULT_CAPACITY, DEFAULT_STACK_SIZE, NULL_GUARD,
     SNAPSHOT_PAGE,

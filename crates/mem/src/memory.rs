@@ -8,6 +8,7 @@
 //! Every access is checked against the live regions and produces a
 //! [`Trap`] on failure.
 
+use crate::digest::hash_bytes;
 use crate::trap::Trap;
 use std::sync::Arc;
 
@@ -113,7 +114,11 @@ impl Memory {
     /// the stack (stack underflow then faults instead of silently
     /// corrupting globals).
     pub fn reserve_guard(&mut self, size: u64) {
-        self.next += size;
+        // Saturating: an absurd guard size must not wrap the cursor back
+        // into mapped space or push it past the capacity end — either way
+        // the next alloc must see an exhausted arena, not corrupt state.
+        let cap_end = NULL_GUARD.saturating_add(self.capacity);
+        self.next = self.next.saturating_add(size).min(cap_end);
     }
 
     /// Allocates the stack region (call once). Returns its *top* address
@@ -303,6 +308,7 @@ pub const SNAPSHOT_PAGE: usize = 4096;
 #[derive(Debug, Clone)]
 pub struct MemSnapshot {
     pages: Vec<Arc<[u8]>>,
+    page_hashes: Vec<u64>,
     len: usize,
     regions: Vec<Region>,
     next: u64,
@@ -321,6 +327,13 @@ impl MemSnapshot {
         self.pages.len()
     }
 
+    /// Per-page content hashes, parallel to the page vector. Used by
+    /// convergence detection as the cheap first-stage comparison against a
+    /// live memory ([`Memory::matches_snapshot_hashes`]).
+    pub fn page_hashes(&self) -> &[u64] {
+        &self.page_hashes
+    }
+
     /// Number of pages physically shared (same allocation) with `other`.
     pub fn shared_pages_with(&self, other: &MemSnapshot) -> usize {
         self.pages
@@ -337,18 +350,30 @@ impl Memory {
     /// Pass the previous snapshot in the series (if any) so unchanged
     /// pages are shared instead of copied.
     pub fn snapshot(&self, prev: Option<&MemSnapshot>) -> MemSnapshot {
-        let mut pages = Vec::with_capacity(self.data.len().div_ceil(SNAPSHOT_PAGE));
+        let page_count = self.data.len().div_ceil(SNAPSHOT_PAGE);
+        let mut pages = Vec::with_capacity(page_count);
+        let mut page_hashes = Vec::with_capacity(page_count);
         for (i, chunk) in self.data.chunks(SNAPSHOT_PAGE).enumerate() {
             let shared = prev
                 .and_then(|p| p.pages.get(i))
                 .filter(|page| page.as_ref() == chunk);
-            pages.push(match shared {
-                Some(page) => Arc::clone(page),
-                None => Arc::from(chunk),
-            });
+            match shared {
+                Some(page) => {
+                    // The byte-compare above proved the page clean, so the
+                    // previous snapshot's digest is still valid — reuse it
+                    // instead of rehashing 4 KiB.
+                    pages.push(Arc::clone(page));
+                    page_hashes.push(prev.expect("shared implies prev").page_hashes[i]);
+                }
+                None => {
+                    pages.push(Arc::from(chunk));
+                    page_hashes.push(hash_bytes(chunk));
+                }
+            }
         }
         MemSnapshot {
             pages,
+            page_hashes,
             len: self.data.len(),
             regions: self.regions.clone(),
             next: self.next,
@@ -372,6 +397,39 @@ impl Memory {
             capacity: snap.capacity,
             stack: snap.stack,
         }
+    }
+
+    /// Cheap first-stage convergence check: true if this memory's layout
+    /// matches `snap` and every 4 KiB page hashes to the captured digest.
+    ///
+    /// A `true` here is *necessary but not sufficient* for equality (hash
+    /// collisions exist); callers must confirm with [`Memory::equals_snapshot`]
+    /// before acting on a match. A `false` is definitive.
+    pub fn matches_snapshot_hashes(&self, snap: &MemSnapshot) -> bool {
+        self.data.len() == snap.len
+            && self.next == snap.next
+            && self.stack == snap.stack
+            && self.regions == snap.regions
+            && self
+                .data
+                .chunks(SNAPSHOT_PAGE)
+                .zip(&snap.page_hashes)
+                .all(|(chunk, &h)| hash_bytes(chunk) == h)
+    }
+
+    /// Exact second-stage convergence check: full byte comparison of the
+    /// mapped range plus the allocation metadata. This is what rules out
+    /// hash collisions after [`Memory::matches_snapshot_hashes`] passes.
+    pub fn equals_snapshot(&self, snap: &MemSnapshot) -> bool {
+        self.data.len() == snap.len
+            && self.next == snap.next
+            && self.stack == snap.stack
+            && self.regions == snap.regions
+            && self
+                .data
+                .chunks(SNAPSHOT_PAGE)
+                .zip(&snap.pages)
+                .all(|(chunk, page)| chunk == page.as_ref())
     }
 }
 
@@ -513,6 +571,86 @@ mod tests {
         assert_eq!(snap.mapped_len() as u64, m.mapped_bytes());
         let back = Memory::from_snapshot(&snap);
         assert_eq!(back.read_uint(a + 92, 8).unwrap(), 7);
+    }
+
+    #[test]
+    fn reserve_guard_saturates_instead_of_overflowing() {
+        let mut m = Memory::with_capacity(1024);
+        m.alloc(128, 8, RegionKind::Global).unwrap();
+        // A guard so large the old `+=` would wrap u64; the cursor must
+        // clamp to the capacity end and the next alloc must fail cleanly.
+        m.reserve_guard(u64::MAX);
+        assert_eq!(m.alloc(8, 8, RegionKind::Global), Err(Trap::OutOfMemory));
+        m.reserve_guard(u64::MAX); // idempotent at the clamp
+        assert_eq!(m.alloc(8, 8, RegionKind::Heap), Err(Trap::OutOfMemory));
+    }
+
+    #[test]
+    fn reserve_guard_normal_gap_still_traps_as_unmapped() {
+        let mut m = Memory::new();
+        let a = m.alloc(16, 8, RegionKind::Global).unwrap();
+        m.reserve_guard(4096);
+        let b = m.alloc(16, 8, RegionKind::Global).unwrap();
+        assert!(b >= a + 16 + 4096);
+        let gap = a + 16 + 100;
+        assert_eq!(m.check(gap, 1), Err(Trap::Unmapped { addr: gap }));
+    }
+
+    #[test]
+    fn snapshot_reuses_clean_page_hashes() {
+        let mut m = Memory::new();
+        let a = m
+            .alloc(SNAPSHOT_PAGE as u64 * 8, 8, RegionKind::Global)
+            .unwrap();
+        m.write_uint(a + 7 * SNAPSHOT_PAGE as u64, 0xaaaa, 8)
+            .unwrap();
+        let first = m.snapshot(None);
+        m.write_uint(a + 2 * SNAPSHOT_PAGE as u64 + 40, 1, 8)
+            .unwrap();
+        let second = m.snapshot(Some(&first));
+        assert_eq!(second.page_hashes().len(), second.page_count());
+        // Clean pages carry the identical digest; the dirty page differs.
+        for i in 0..first.page_count() {
+            if i == 2 {
+                assert_ne!(second.page_hashes()[i], first.page_hashes()[i]);
+            } else {
+                assert_eq!(second.page_hashes()[i], first.page_hashes()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn convergence_checks_match_only_identical_state() {
+        let mut m = Memory::new();
+        let a = m
+            .alloc(SNAPSHOT_PAGE as u64 * 3, 8, RegionKind::Global)
+            .unwrap();
+        m.write_uint(a + 100, 0xbeef, 8).unwrap();
+        let snap = m.snapshot(None);
+        assert!(m.matches_snapshot_hashes(&snap));
+        assert!(m.equals_snapshot(&snap));
+
+        // A restored copy matches too.
+        let back = Memory::from_snapshot(&snap);
+        assert!(back.matches_snapshot_hashes(&snap));
+        assert!(back.equals_snapshot(&snap));
+
+        // Corrupt one byte: both stages reject.
+        m.write_uint(a + 2 * SNAPSHOT_PAGE as u64, 1, 1).unwrap();
+        assert!(!m.matches_snapshot_hashes(&snap));
+        assert!(!m.equals_snapshot(&snap));
+
+        // Overwrite it back to the captured value: both stages match again
+        // (this is exactly the convergence scenario).
+        m.write_uint(a + 2 * SNAPSHOT_PAGE as u64, 0, 1).unwrap();
+        assert!(m.matches_snapshot_hashes(&snap));
+        assert!(m.equals_snapshot(&snap));
+
+        // Different layout (extra region) rejects even with same bytes.
+        let mut grown = Memory::from_snapshot(&snap);
+        grown.alloc(8, 8, RegionKind::Heap).unwrap();
+        assert!(!grown.matches_snapshot_hashes(&snap));
+        assert!(!grown.equals_snapshot(&snap));
     }
 
     #[test]

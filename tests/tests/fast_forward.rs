@@ -251,3 +251,99 @@ fn resume_crosses_flush_batches_and_fast_forward_modes() {
         std::fs::remove_file(&torn_path).unwrap();
     }
 }
+
+/// A record file well past the resume reader's internal buffer (the
+/// header alone exceeds it thanks to a long workload label) must stream
+/// through intact: every record parsed, the torn tail truncated, and the
+/// rebuilt file byte-identical to an uninterrupted run.
+#[test]
+fn resume_streams_record_files_larger_than_the_read_buffer() {
+    const TINY: &str = "
+int main() {
+  int s = 0;
+  for (int i = 0; i < 40; i += 1) s += i * 3;
+  print_i64(s);
+  return 0;
+}";
+    let mut m = fiq_frontend::compile("tiny", TINY).expect("compiles");
+    fiq_opt::optimize_module(&mut m);
+    let p = fiq_backend::lower_module(&m, LowerOptions::default()).expect("lowers");
+    let lp = profile_llfi(&m, InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&p, MachOptions::default()).unwrap();
+
+    // An 8 KiB+ label makes even the header line larger than BufReader's
+    // default buffer, so a single read_line must loop internally.
+    let label = "t".repeat(10_000);
+    let cells = vec![
+        CellSpec {
+            label: label.clone(),
+            category: fiq_core::Category::Arithmetic,
+            substrate: Substrate::Llfi {
+                module: &m,
+                profile: &lp,
+            },
+            snapshots: None,
+        },
+        CellSpec {
+            label,
+            category: fiq_core::Category::Arithmetic,
+            substrate: Substrate::Pinfi {
+                prog: &p,
+                profile: &pp,
+            },
+            snapshots: None,
+        },
+    ];
+    let cfg = CampaignConfig {
+        injections: 150,
+        seed: 5,
+        threads: 2,
+        ..CampaignConfig::default()
+    };
+
+    let fresh_path = temp_path("large-fresh.jsonl");
+    let fresh = run_campaign(
+        &cells,
+        &cfg,
+        &EngineOptions {
+            records: Some(&fresh_path),
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    let fresh_stream = std::fs::read_to_string(&fresh_path).unwrap();
+    assert!(
+        fresh_stream.len() > 16 * 1024,
+        "file must dwarf the 8 KiB read buffer, got {} bytes",
+        fresh_stream.len()
+    );
+    std::fs::remove_file(&fresh_path).unwrap();
+
+    // Kill deep into the record stream, with a torn final line.
+    let keep = 217usize;
+    let prefix: usize = fresh_stream
+        .split_inclusive('\n')
+        .take(1 + keep)
+        .map(str::len)
+        .sum();
+    let torn_path = temp_path("large-torn.jsonl");
+    std::fs::write(
+        &torn_path,
+        format!("{}{}", &fresh_stream[..prefix], r#"{"record":"inj"#),
+    )
+    .unwrap();
+    let resumed = run_campaign(
+        &cells,
+        &cfg,
+        &EngineOptions {
+            records: Some(&torn_path),
+            resume: true,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed_tasks, keep);
+    assert_eq!(resumed.cells, fresh.cells);
+    assert_eq!(std::fs::read_to_string(&torn_path).unwrap(), fresh_stream);
+    std::fs::remove_file(&torn_path).unwrap();
+}

@@ -12,9 +12,15 @@
 //! [`Throughput`] was configured. There are no statistics, plots, or
 //! baselines — this exists so `cargo bench` produces useful numbers
 //! offline.
+//!
+//! When `FIQ_BENCH_JSON` names a file, every completed benchmark also
+//! appends one JSON object line to it (`group`, `bench`, `ms_per_iter`,
+//! `iters`, and `elems_per_s`/`bytes_per_s` when a throughput was set),
+//! so CI can archive machine-readable results.
 
 #![warn(missing_docs)]
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -99,6 +105,63 @@ impl Bencher {
     }
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends one benchmark result line to the `FIQ_BENCH_JSON` file, if set.
+fn append_json(group: &str, bench: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("FIQ_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let mut line = format!(
+        r#"{{"group":"{}","bench":"{}","ms_per_iter":{:.6},"iters":{}"#,
+        json_escape(group),
+        json_escape(bench),
+        b.ns_per_iter / 1e6,
+        b.iters
+    );
+    if b.ns_per_iter > 0.0 {
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!(
+                    r#","elems_per_s":{:.1}"#,
+                    n as f64 * 1e9 / b.ns_per_iter
+                ));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!(
+                    r#","bytes_per_s":{:.1}"#,
+                    n as f64 * 1e9 / b.ns_per_iter
+                ));
+            }
+            None => {}
+        }
+    }
+    line.push('}');
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = written {
+        eprintln!("criterion: cannot append to {path}: {e}");
+    }
+}
+
 fn human_time(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.3} s", ns / 1e9)
@@ -163,6 +226,7 @@ impl BenchmarkGroup<'_> {
             _ => {}
         }
         println!("{line}");
+        append_json(&self.name, &id, &b, self.throughput);
         self
     }
 
@@ -234,5 +298,25 @@ mod tests {
         let mut b2 = Bencher::default();
         b2.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
         assert!(b2.iters > 0);
+    }
+
+    #[test]
+    fn json_lines_are_appended_when_requested() {
+        let path =
+            std::env::temp_dir().join(format!("fiq-bench-json-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("FIQ_BENCH_MS", "1");
+        std::env::set_var("FIQ_BENCH_JSON", &path);
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("fast \"quoted\"", |b| b.iter(|| 1 + 1));
+        g.finish();
+        std::env::remove_var("FIQ_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(r#""group":"grp""#));
+        assert!(text.contains(r#"\"quoted\""#));
+        assert!(text.contains("elems_per_s"));
+        std::fs::remove_file(&path).unwrap();
     }
 }
