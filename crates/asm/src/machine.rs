@@ -170,6 +170,7 @@ pub struct Machine<'p, H> {
     opts: MachOptions,
     rip: usize,
     steps: u64,
+    restored_steps: u64,
 }
 
 impl<'p, H: AsmHook> Machine<'p, H> {
@@ -207,6 +208,7 @@ impl<'p, H: AsmHook> Machine<'p, H> {
             opts,
             rip: main.entry as usize,
             steps: 0,
+            restored_steps: 0,
         })
     }
 
@@ -237,6 +239,7 @@ impl<'p, H: AsmHook> Machine<'p, H> {
             opts,
             rip: snap.rip,
             steps: snap.steps,
+            restored_steps: snap.steps,
         }
     }
 
@@ -335,6 +338,14 @@ impl<'p, H: AsmHook> Machine<'p, H> {
     /// Instructions retired so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// The step count inherited from the snapshot this machine was
+    /// [`Machine::restore`]d from (0 for a fresh machine). The difference
+    /// `steps() - restored_steps()` is the work this machine actually
+    /// executed.
+    pub fn restored_steps(&self) -> u64 {
+        self.restored_steps
     }
 
     /// Consumes the machine, returning the hook.

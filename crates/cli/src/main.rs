@@ -9,15 +9,24 @@
 //! fiq trace <prog> --category <cat> [--seed S]      LLFI injection + propagation report
 //! fiq campaign <prog> --category <cat> [--injections N] [--seed S] [--threads N]
 //!              [--records FILE] [--resume] [--progress]
+//!              [--telemetry FILE]
 //!              [--fast-forward] [--snapshot-interval K]
 //!              [--early-exit | --no-early-exit]
 //!              [--no-flag-pruning] [--no-xmm-pruning]
+//! fiq report <records.jsonl> [--telemetry FILE] [--json]
 //! ```
 //!
 //! `campaign` runs both tools on the shared work-stealing engine.
 //! `--records FILE` streams one JSONL record per injection; `--resume`
 //! continues a killed campaign from that file; `--progress` reports
-//! completion and throughput on stderr. `--fast-forward` captures
+//! completion, throughput, an ETA, and live fast-forward/early-exit
+//! counts on stderr (throttled to one redraw per 100 ms, with a
+//! guaranteed final line). `--telemetry FILE` writes the sharded
+//! campaign telemetry (counters, histograms, per-task events) as JSONL;
+//! it never changes campaign output. `report` joins a record file with
+//! its telemetry stream into outcome tables (Wilson 95% CIs) plus
+//! speedup attribution; `--json` emits the machine-readable form.
+//! `--fast-forward` captures
 //! checkpoints during the profiling run and restores the one nearest
 //! each injection point instead of replaying the golden prefix (output
 //! is bit-identical either way); `--snapshot-interval K` sets the
@@ -105,6 +114,7 @@ fn flag_spec(cmd: &str) -> Option<FlagSpec> {
                 "injections",
                 "threads",
                 "records",
+                "telemetry",
                 "snapshot-interval",
             ],
             boolean: &[
@@ -119,6 +129,10 @@ fn flag_spec(cmd: &str) -> Option<FlagSpec> {
                 "no-flag-pruning",
                 "no-xmm-pruning",
             ],
+        },
+        "report" => FlagSpec {
+            value: &["records", "telemetry"],
+            boolean: &["json"],
         },
         _ => return None,
     })
@@ -218,7 +232,9 @@ impl Args {
 fn real_main() -> Result<(), String> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw[0].starts_with("--") {
-        return Err("usage: fiq <workloads|compile|run|profile|inject|trace|campaign> …".into());
+        return Err(
+            "usage: fiq <workloads|compile|run|profile|inject|trace|campaign|report> …".into(),
+        );
     }
     let cmd = raw.remove(0);
     let spec = flag_spec(&cmd).ok_or_else(|| format!("unknown command `{cmd}`"))?;
@@ -243,6 +259,7 @@ fn real_main() -> Result<(), String> {
         "inject" => cmd_inject(&args),
         "trace" => cmd_trace(&args),
         "campaign" => cmd_campaign(&args),
+        "report" => cmd_report(&args),
         _ => unreachable!("flag_spec vetted the command"),
     }
 }
@@ -481,25 +498,47 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     ];
 
     let records = args.flag("records").map(PathBuf::from);
+    let telemetry = args.flag("telemetry").map(PathBuf::from);
     let started = Instant::now();
-    let last_print = Mutex::new(started);
+    // (last redraw instant, completed count at that redraw). The engine
+    // guarantees one final callback after the pool drains, so the last
+    // task landing inside a throttle window still gets its line; the
+    // completed count dedupes that final emission against a worker
+    // callback that already printed `total/total`.
+    let last_print = Mutex::new((started, usize::MAX));
     let progress_cb = |p: Progress| {
-        let mut last = last_print.lock().unwrap_or_else(|e| e.into_inner());
+        let mut st = last_print.lock().unwrap_or_else(|e| e.into_inner());
         let now = Instant::now();
-        if p.completed != p.total && now.duration_since(*last).as_millis() < 500 {
+        let done = p.completed == p.total;
+        if done && st.1 == p.completed {
             return;
         }
-        *last = now;
+        if !done && now.duration_since(st.0).as_millis() < 100 {
+            return;
+        }
+        *st = (now, p.completed);
         let fresh = p.completed - p.resumed;
         let secs = started.elapsed().as_secs_f64();
         let rate = if secs > 0.0 { fresh as f64 / secs } else { 0.0 };
+        let pct = if p.total > 0 {
+            p.completed as f64 * 100.0 / p.total as f64
+        } else {
+            100.0
+        };
+        let eta = if rate > 0.0 {
+            (p.total - p.completed) as f64 / rate
+        } else {
+            0.0
+        };
         eprintln!(
-            "campaign: {}/{} injections done ({rate:.0}/s)",
-            p.completed, p.total
+            "campaign: {}/{} injections done ({pct:.0}%), {rate:.0}/s, \
+             eta {eta:.0}s, {} fast-forwarded, {} early-exited",
+            p.completed, p.total, p.fast_forwarded, p.early_exited
         );
     };
     let opts = EngineOptions {
         records: records.as_deref(),
+        telemetry: telemetry.as_deref(),
         resume: args.has("resume"),
         fast_forward,
         early_exit,
@@ -555,6 +594,24 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
             c.hang_pct(),
             c.not_activated
         );
+    }
+    Ok(())
+}
+
+/// `fiq report <records.jsonl> [--telemetry FILE] [--json]` — join a
+/// campaign record stream with its telemetry stream and summarize.
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let records = args
+        .flag("records")
+        .map(PathBuf::from)
+        .or_else(|| args.positional.first().map(PathBuf::from))
+        .ok_or("usage: fiq report <records.jsonl> [--telemetry FILE] [--json]")?;
+    let telemetry = args.flag("telemetry").map(PathBuf::from);
+    let report = fiq_core::CampaignReport::build(&records, telemetry.as_deref())?;
+    if args.has("json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
     }
     Ok(())
 }

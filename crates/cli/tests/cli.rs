@@ -196,6 +196,85 @@ fn fast_forward_campaign_matches_full_replay() {
 }
 
 #[test]
+fn telemetry_campaign_and_report_round_trip() {
+    let dir = std::env::temp_dir().join(format!("fiq-cli-report-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let rec = dir.join("records.jsonl");
+    let tel = dir.join("telemetry.jsonl");
+    let (ok, _, err) = fiq(&[
+        "campaign",
+        "libquantum",
+        "--category",
+        "cmp",
+        "--injections",
+        "8",
+        "--seed",
+        "3",
+        "--fast-forward",
+        "--progress",
+        "--records",
+        rec.to_str().unwrap(),
+        "--telemetry",
+        tel.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    // The upgraded progress line carries throughput, ETA, and live
+    // optimization counts, and always ends on the final done == planned
+    // snapshot.
+    assert!(err.contains("16/16 injections done (100%)"), "{err}");
+    assert!(
+        err.contains("eta") && err.contains("fast-forwarded"),
+        "{err}"
+    );
+
+    let (ok, human, err) = fiq(&[
+        "report",
+        rec.to_str().unwrap(),
+        "--telemetry",
+        tel.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(
+        human.contains("outcome") && human.contains("95% CI"),
+        "{human}"
+    );
+    assert!(
+        human.contains("speedup:") && human.contains("fast-forwarded"),
+        "{human}"
+    );
+
+    let (ok, json, err) = fiq(&[
+        "report",
+        "--records",
+        rec.to_str().unwrap(),
+        "--telemetry",
+        tel.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(ok, "{err}");
+    assert!(
+        json.starts_with('{') && json.contains("\"report\":\"campaign\""),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"ci95\":") && json.contains("\"attribution\":"),
+        "{json}"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn report_errors_cleanly() {
+    let (ok, _, err) = fiq(&["report"]);
+    assert!(!ok);
+    assert!(err.contains("usage: fiq report"), "{err}");
+    let (ok, _, err) = fiq(&["report", "/nonexistent/records.jsonl"]);
+    assert!(!ok);
+    assert!(err.contains("fiq:"), "{err}");
+}
+
+#[test]
 fn compiles_a_source_file() {
     let dir = std::env::temp_dir().join("fiq-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -29,13 +29,18 @@
 use crate::campaign::{cell_seed, CampaignConfig, CellReport};
 use crate::category::Category;
 use crate::json::Json;
-use crate::llfi::{plan_llfi, run_llfi_detailed_from, LlfiInjection};
+use crate::llfi::{plan_llfi, run_llfi_observed, LlfiInjection};
 use crate::outcome::{Outcome, OutcomeCounts};
-use crate::pinfi::{plan_pinfi, run_pinfi_detailed_from, PinfiInjection};
+use crate::pinfi::{plan_pinfi, run_pinfi_observed, PinfiInjection};
 use crate::profile::{GoldenRef, LlfiProfile, PinfiProfile};
+use crate::telemetry::{
+    cell_counter, cell_hist, engine_counter, engine_hist, telemetry_header_line, RunTotals,
+    TaskTel, TelemetryFile, HUB_SPEC,
+};
 use fiq_asm::{AsmProgram, MachOptions, MachSnapshot};
 use fiq_interp::{InterpOptions, InterpSnapshot};
 use fiq_ir::Module;
+use fiq_telemetry::{EvVal, TelemetryHub, WorkerHandle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -45,6 +50,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Record-stream format version (bumped on schema changes).
 pub const RECORD_VERSION: u64 = 1;
@@ -113,6 +119,12 @@ pub struct CellSpec<'a> {
 }
 
 /// Progress snapshot passed to the [`EngineOptions::progress`] callback.
+///
+/// Emitted after every completed task from worker threads, plus exactly
+/// once after the pool drains — so a throttling consumer always receives
+/// a final snapshot with `completed == total`, even when the last task
+/// lands inside its throttle window (and even when every task was
+/// resumed and no worker ran at all).
 #[derive(Debug, Clone, Copy)]
 pub struct Progress {
     /// Tasks finished so far (including resumed ones).
@@ -121,6 +133,12 @@ pub struct Progress {
     pub total: usize,
     /// Tasks restored from the record file rather than executed.
     pub resumed: usize,
+    /// Tasks that restored a pre-injection snapshot so far (live
+    /// fast-forward count).
+    pub fast_forwarded: usize,
+    /// Tasks cut short by golden-state convergence so far (live
+    /// early-exit count).
+    pub early_exited: usize,
 }
 
 /// Engine knobs beyond [`CampaignConfig`].
@@ -145,6 +163,11 @@ pub struct EngineOptions<'a> {
     /// bit-identical either way; this only changes wall-clock. Composes
     /// with [`EngineOptions::fast_forward`].
     pub early_exit: bool,
+    /// Write sharded campaign telemetry (counters, histograms, and the
+    /// structured event stream) to this path as JSONL. Telemetry is
+    /// observational only: campaign output — reports *and* record
+    /// bytes — is byte-identical with telemetry on or off.
+    pub telemetry: Option<&'a Path>,
 }
 
 /// The result of a full engine run.
@@ -161,6 +184,10 @@ pub struct CampaignRun {
     /// counted). Observability only — outcomes and records are identical
     /// to full runs.
     pub early_exited_tasks: usize,
+    /// Tasks that restored a pre-injection snapshot instead of replaying
+    /// the golden prefix (always 0 when [`EngineOptions::fast_forward`]
+    /// is off; resumed tasks are not counted). Observability only.
+    pub fast_forwarded_tasks: usize,
 }
 
 /// A planned injection, either level.
@@ -181,6 +208,7 @@ struct TaskResult {
     outcome: Outcome,
     steps: u64,
     early_exit: bool,
+    fast_forwarded: bool,
 }
 
 /// Reorder buffer + record writer; guarded by one mutex.
@@ -200,6 +228,7 @@ struct Shared<'a, 't> {
     next: AtomicUsize,
     completed: AtomicUsize,
     early_exited: AtomicUsize,
+    fast_forwarded: AtomicUsize,
     stop: AtomicBool,
     sink: Mutex<Sink>,
     error: Mutex<Option<String>>,
@@ -207,6 +236,7 @@ struct Shared<'a, 't> {
     resumed: usize,
     fast_forward: bool,
     early_exit: bool,
+    tel: Option<&'t TelemetryHub>,
 }
 
 fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
@@ -309,6 +339,32 @@ pub fn run_campaign(
     };
 
     // 3. Drain the task list with one shared worker pool.
+    let remaining = tasks.len() - resumed;
+    let workers = cfg.worker_count().max(1).min(remaining.max(1));
+    let tel_file = match opts.telemetry {
+        Some(path) => Some(TelemetryFile::create(
+            path,
+            &telemetry_header_line(cells, cfg, &planned, workers),
+        )?),
+        None => None,
+    };
+    let hub = tel_file
+        .as_ref()
+        .map(|f| TelemetryHub::new(&HUB_SPEC, workers, cells.len(), Some(f.sink())));
+    if let Some(hub) = &hub {
+        let h = hub.worker(0);
+        h.add(engine_counter::RESUMED_TASKS, resumed as u64);
+        if resumed > 0 {
+            h.event(
+                "resume",
+                vec![
+                    ("restored", EvVal::U64(resumed as u64)),
+                    ("total", EvVal::U64(tasks.len() as u64)),
+                ],
+            );
+        }
+        record_snapshot_reuse(hub, cells);
+    }
     let shared = Shared {
         cells,
         tasks: &tasks,
@@ -316,6 +372,7 @@ pub fn run_campaign(
         next: AtomicUsize::new(resumed),
         completed: AtomicUsize::new(resumed),
         early_exited: AtomicUsize::new(0),
+        fast_forwarded: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
         sink: Mutex::new(Sink {
             outcomes,
@@ -329,27 +386,66 @@ pub fn run_campaign(
         resumed,
         fast_forward: opts.fast_forward,
         early_exit: opts.early_exit,
+        tel: hub.as_ref(),
     };
-    let remaining = tasks.len() - resumed;
-    let workers = cfg.worker_count().max(1).min(remaining.max(1));
     // Default thread stacks suffice: guest recursion lives on the
     // interpreter's explicit heap-allocated frame stack, not host frames.
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| worker(&shared));
+        let shared = &shared;
+        for w in 0..workers {
+            s.spawn(move || worker(shared, w));
         }
     });
     if let Some(e) = lock(&shared.error).take() {
         return Err(e);
     }
+    // Guaranteed final progress emission: the per-task callbacks race the
+    // caller's throttle window, and a fully-resumed campaign never runs a
+    // worker at all — so the completion snapshot is emitted here, after
+    // the pool drains, where `completed == total` is a settled fact.
+    if let Some(cb) = opts.progress {
+        cb(Progress {
+            completed: shared.completed.load(Ordering::Relaxed),
+            total: tasks.len(),
+            resumed,
+            fast_forwarded: shared.fast_forwarded.load(Ordering::Relaxed),
+            early_exited: shared.early_exited.load(Ordering::Relaxed),
+        });
+    }
 
     // 4. Tally per cell (commutative, so thread order is irrelevant).
+    let completed = shared.completed.load(Ordering::Relaxed);
+    let early_exited = shared.early_exited.load(Ordering::Relaxed);
+    let fast_forwarded = shared.fast_forwarded.load(Ordering::Relaxed);
     let mut sink = shared
         .sink
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(w) = sink.writer.as_mut() {
         w.flush().map_err(|e| format!("flush record file: {e}"))?;
+    }
+    if let (Some(hub), Some(file)) = (&hub, &tel_file) {
+        if sink.unflushed > 0 {
+            // Account the trailing partial flush issued just above.
+            let h = hub.worker(0);
+            h.add(engine_counter::RECORD_FLUSHES, 1);
+            h.record(engine_hist::RECORD_FLUSH_BATCH, sink.unflushed as u64);
+        }
+        hub.flush_events();
+        if let Some(e) = hub.take_error() {
+            return Err(e);
+        }
+        file.write_summary(
+            hub,
+            cells,
+            &RunTotals {
+                total: tasks.len(),
+                done: completed,
+                resumed,
+                fast_forwarded,
+                early_exited,
+            },
+        )?;
     }
     let mut reports: Vec<CellReport> = planned
         .iter()
@@ -371,11 +467,46 @@ pub fn run_campaign(
         cells: reports,
         total_tasks: tasks.len(),
         resumed_tasks: resumed,
-        early_exited_tasks: shared.early_exited.load(Ordering::Relaxed),
+        early_exited_tasks: early_exited,
+        fast_forwarded_tasks: fast_forwarded,
     })
 }
 
-fn worker(shared: &Shared<'_, '_>) {
+/// Replays each cell's snapshot-cache capture history into the telemetry
+/// hub: how many pages each incremental snapshot reused (allocation and
+/// hash shared with its predecessor) versus copied and rehashed. The
+/// cache is immutable after profiling, so this is exact and can be
+/// recorded once up front, on worker 0's shard.
+fn record_snapshot_reuse(hub: &TelemetryHub, cells: &[CellSpec<'_>]) {
+    fn tally<'s, S, M>(snaps: impl Iterator<Item = &'s S>, mem: M) -> (u64, u64)
+    where
+        S: 's,
+        M: Fn(&S) -> &fiq_mem::MemSnapshot,
+    {
+        let (mut reused, mut hashed) = (0u64, 0u64);
+        let mut prev: Option<&S> = None;
+        for s in snaps {
+            let (r, h) = mem(s).page_reuse_from(prev.map(&mem));
+            reused += r as u64;
+            hashed += h as u64;
+            prev = Some(s);
+        }
+        (reused, hashed)
+    }
+    let h = hub.worker(0);
+    for (ci, cell) in cells.iter().enumerate() {
+        let (reused, hashed) = match cell.snapshots.as_deref() {
+            Some(SnapshotCache::Llfi(snaps)) => tally(snaps.iter(), |s: &InterpSnapshot| s.mem()),
+            Some(SnapshotCache::Pinfi(snaps)) => tally(snaps.iter(), |s: &MachSnapshot| s.mem()),
+            None => continue,
+        };
+        h.cell_add(ci, cell_counter::SNAP_PAGES_REUSED, reused);
+        h.cell_add(ci, cell_counter::SNAP_PAGES_HASHED, hashed);
+    }
+}
+
+fn worker(shared: &Shared<'_, '_>, index: usize) {
+    let handle = shared.tel.map(|hub| hub.worker(index));
     loop {
         if shared.stop.load(Ordering::Relaxed) {
             return;
@@ -386,6 +517,13 @@ fn worker(shared: &Shared<'_, '_>) {
         };
         let cell = &shared.cells[task.cell];
         let budget = shared.budgets[task.cell];
+        // Clock reads only happen with telemetry on, keeping the
+        // disabled path identical to the un-instrumented engine.
+        let start = handle.map(|_| Instant::now());
+        let tel = match handle {
+            Some(h) => TaskTel::new(h, task.cell),
+            None => TaskTel::off(),
+        };
         let run = catch_unwind(AssertUnwindSafe(|| {
             execute(
                 cell,
@@ -393,6 +531,7 @@ fn worker(shared: &Shared<'_, '_>) {
                 task.plan,
                 shared.fast_forward,
                 shared.early_exit,
+                tel,
             )
         }));
         let result = match run {
@@ -421,7 +560,34 @@ fn worker(shared: &Shared<'_, '_>) {
         if result.early_exit {
             shared.early_exited.fetch_add(1, Ordering::Relaxed);
         }
-        if let Err(e) = deliver(shared, i, result) {
+        if result.fast_forwarded {
+            shared.fast_forwarded.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(h) = handle {
+            let latency_us = start.expect("set with handle").elapsed().as_micros() as u64;
+            h.add(engine_counter::TASKS, 1);
+            h.cell_add(task.cell, cell_counter::TASKS, 1);
+            h.cell_record(task.cell, cell_hist::TASK_LATENCY_US, latency_us);
+            if result.fast_forwarded {
+                h.cell_add(task.cell, cell_counter::FAST_FORWARDED, 1);
+            }
+            if result.early_exit {
+                h.cell_add(task.cell, cell_counter::EARLY_EXITED, 1);
+            }
+            h.event(
+                "task",
+                vec![
+                    ("task", EvVal::U64(i as u64)),
+                    ("cell", EvVal::U64(task.cell as u64)),
+                    ("outcome", EvVal::Str(result.outcome.name().to_string())),
+                    ("steps", EvVal::U64(result.steps)),
+                    ("fast_forwarded", EvVal::Bool(result.fast_forwarded)),
+                    ("early_exit", EvVal::Bool(result.early_exit)),
+                    ("latency_us", EvVal::U64(latency_us)),
+                ],
+            );
+        }
+        if let Err(e) = deliver(shared, i, result, handle) {
             fail(shared, e);
             return;
         }
@@ -431,6 +597,8 @@ fn worker(shared: &Shared<'_, '_>) {
                 completed,
                 total: shared.tasks.len(),
                 resumed: shared.resumed,
+                fast_forwarded: shared.fast_forwarded.load(Ordering::Relaxed),
+                early_exited: shared.early_exited.load(Ordering::Relaxed),
             });
         }
     }
@@ -442,6 +610,7 @@ fn execute(
     plan: Plan,
     fast_forward: bool,
     early_exit: bool,
+    tel: TaskTel<'_>,
 ) -> Result<TaskResult, String> {
     // The same snapshot cache serves both optimizations: fast-forward
     // restores the latest pre-injection checkpoint; early exit compares
@@ -451,6 +620,7 @@ fn execute(
     } else {
         None
     };
+    let mut fast_forwarded = false;
     match (&cell.substrate, plan) {
         (Substrate::Llfi { module, profile }, Plan::Llfi(inj)) => {
             let opts = InterpOptions {
@@ -476,7 +646,8 @@ fn execute(
                 }),
                 _ => None,
             };
-            run_llfi_detailed_from(module, opts, inj, &profile.golden_output, snap, golden)
+            fast_forwarded = snap.is_some();
+            run_llfi_observed(module, opts, inj, &profile.golden_output, snap, golden, tel)
         }
         (Substrate::Pinfi { prog, profile }, Plan::Pinfi(inj)) => {
             let opts = MachOptions {
@@ -499,7 +670,8 @@ fn execute(
                 }),
                 _ => None,
             };
-            run_pinfi_detailed_from(prog, opts, inj, &profile.golden_output, snap, golden)
+            fast_forwarded = snap.is_some();
+            run_pinfi_observed(prog, opts, inj, &profile.golden_output, snap, golden, tel)
         }
         _ => Err("internal error: plan/substrate mismatch".into()),
     }
@@ -507,6 +679,7 @@ fn execute(
         outcome: d.outcome,
         steps: d.steps,
         early_exit: d.early_exit,
+        fast_forwarded,
     })
 }
 
@@ -517,7 +690,12 @@ fn execute(
 /// engine's hottest lock); [`run_campaign`] issues a final flush after
 /// the pool drains, and a kill between flushes at worst loses buffered
 /// trailing lines that resume's torn-tail truncation already handles.
-fn deliver(shared: &Shared<'_, '_>, index: usize, result: TaskResult) -> Result<(), String> {
+fn deliver(
+    shared: &Shared<'_, '_>,
+    index: usize,
+    result: TaskResult,
+    handle: Option<WorkerHandle<'_>>,
+) -> Result<(), String> {
     let mut sink = lock(&shared.sink);
     sink.outcomes[index] = Some(result.outcome);
     sink.pending.insert(index, result);
@@ -532,8 +710,15 @@ fn deliver(shared: &Shared<'_, '_>, index: usize, result: TaskResult) -> Result<
             let line = record_line(&shared.cells[task.cell], task, flush_index, &res);
             let w = sink.writer.as_mut().expect("checked above");
             writeln!(w, "{line}").map_err(|e| format!("write record: {e}"))?;
+            if let Some(h) = handle {
+                h.add(engine_counter::RECORDS_WRITTEN, 1);
+            }
             sink.unflushed += 1;
             if sink.unflushed >= FLUSH_EVERY {
+                if let Some(h) = handle {
+                    h.add(engine_counter::RECORD_FLUSHES, 1);
+                    h.record(engine_hist::RECORD_FLUSH_BATCH, sink.unflushed as u64);
+                }
                 sink.unflushed = 0;
                 let w = sink.writer.as_mut().expect("checked above");
                 w.flush().map_err(|e| format!("write record: {e}"))?;

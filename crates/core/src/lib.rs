@@ -48,7 +48,9 @@ mod llfi;
 mod outcome;
 mod pinfi;
 mod profile;
+pub mod report;
 mod stats;
+pub mod telemetry;
 mod trace;
 
 pub use calibration::{
@@ -63,15 +65,20 @@ pub use engine::{
     run_campaign, CampaignRun, CellSpec, EngineOptions, Progress, SnapshotCache, Substrate,
     RECORD_VERSION,
 };
-pub use llfi::{plan_llfi, run_llfi, run_llfi_detailed, run_llfi_detailed_from, LlfiInjection};
+pub use llfi::{
+    plan_llfi, run_llfi, run_llfi_detailed, run_llfi_detailed_from, run_llfi_observed,
+    LlfiInjection,
+};
 pub use outcome::{classify, DetailedOutcome, InjectionRun, Outcome, OutcomeCounts};
 pub use pinfi::{
-    plan_pinfi, run_pinfi, run_pinfi_detailed, run_pinfi_detailed_from, PinfiInjection,
-    PinfiOptions,
+    plan_pinfi, run_pinfi, run_pinfi_detailed, run_pinfi_detailed_from, run_pinfi_observed,
+    PinfiInjection, PinfiOptions,
 };
 pub use profile::{
     locate, profile_llfi, profile_llfi_with_snapshots, profile_pinfi, profile_pinfi_with_snapshots,
     GoldenRef, LlfiProfile, PinfiProfile,
 };
+pub use report::CampaignReport;
 pub use stats::{normal_ci95_half_width, overlaps, wilson_ci95};
+pub use telemetry::{TaskTel, HUB_SPEC, TELEMETRY_VERSION};
 pub use trace::{trace_llfi, PropagationReport};

@@ -8,6 +8,7 @@
 use crate::category::Category;
 use crate::outcome::{classify, Outcome};
 use crate::profile::{locate, GoldenRef, LlfiProfile};
+use crate::telemetry::{cell_counter, cell_hist, TaskTel};
 use fiq_interp::{
     ExecResult, ExecStatus, InstSite, Interp, InterpHook, InterpOptions, InterpSnapshot, RtVal,
 };
@@ -167,6 +168,36 @@ pub fn run_llfi_detailed_from(
     snapshot: Option<&InterpSnapshot>,
     golden: Option<GoldenRef<'_, InterpSnapshot>>,
 ) -> Result<crate::outcome::InjectionRun, String> {
+    run_llfi_observed(
+        module,
+        opts,
+        inj,
+        golden_output,
+        snapshot,
+        golden,
+        TaskTel::off(),
+    )
+}
+
+/// [`run_llfi_detailed_from`] with campaign telemetry: records the
+/// step-attribution split (skipped / executed / reconstructed), snapshot
+/// restore cost, convergence-compare counts, and the fault's activation
+/// verdict into `tel`. Passing [`TaskTel::off`] makes this identical to
+/// [`run_llfi_detailed_from`].
+///
+/// # Errors
+///
+/// Returns an error string if interpreter setup fails.
+#[allow(clippy::too_many_arguments)]
+pub fn run_llfi_observed(
+    module: &Module,
+    opts: InterpOptions,
+    inj: LlfiInjection,
+    golden_output: &str,
+    snapshot: Option<&InterpSnapshot>,
+    golden: Option<GoldenRef<'_, InterpSnapshot>>,
+    tel: TaskTel<'_>,
+) -> Result<crate::outcome::InjectionRun, String> {
     let seen = snapshot.map_or(0, |s| s.site_count(inj.site));
     debug_assert!(
         seen < inj.instance,
@@ -182,16 +213,42 @@ pub fn run_llfi_detailed_from(
         activated: false,
     };
     let mut interp = match snapshot {
-        Some(s) => Interp::restore(module, opts, hook, s),
+        Some(s) => {
+            let t0 = tel.enabled().then(std::time::Instant::now);
+            let interp = Interp::restore(module, opts, hook, s);
+            if let Some(t0) = t0 {
+                tel.hist(cell_hist::RESTORE_NS, t0.elapsed().as_nanos() as u64);
+            }
+            interp
+        }
         None => Interp::new(module, opts, hook).map_err(|t| t.to_string())?,
     };
 
-    let (result, early_exit) = drive_llfi(&mut interp, opts, golden_output, golden);
+    let (result, early_exit) = drive_llfi(&mut interp, opts, golden_output, golden, tel);
+    // Step attribution: what the record reports = steps skipped by the
+    // fast-forward restore + steps actually executed + steps an early
+    // exit reconstructed without executing.
+    let skipped = interp.restored_steps();
+    let executed = interp.steps() - skipped;
+    let reconstructed = result.steps.saturating_sub(interp.steps());
+    tel.count(cell_counter::STEPS_REPORTED, result.steps);
+    tel.count(cell_counter::STEPS_SKIPPED_FF, skipped);
+    tel.count(cell_counter::STEPS_EXECUTED, executed);
+    tel.count(cell_counter::STEPS_RECONSTRUCTED_EE, reconstructed);
+    tel.hist(cell_hist::TASK_STEPS, result.steps);
     let hook = interp.into_hook();
     debug_assert!(
         hook.injected,
         "planned instance must be reached (deterministic prefix)"
     );
+    let verdict = if hook.activated {
+        cell_counter::VERDICT_ACTIVATED
+    } else if hook.live_frame.is_none() {
+        cell_counter::VERDICT_OVERWRITTEN
+    } else {
+        cell_counter::VERDICT_DORMANT
+    };
+    tel.count(verdict, 1);
     Ok(crate::outcome::InjectionRun {
         outcome: classify(result.status, &result.output, golden_output, hook.activated),
         steps: result.steps,
@@ -208,6 +265,7 @@ fn drive_llfi(
     opts: InterpOptions,
     golden_output: &str,
     golden: Option<GoldenRef<'_, InterpSnapshot>>,
+    tel: TaskTel<'_>,
 ) -> (ExecResult, bool) {
     let Some(g) = golden else {
         return (interp.run(), false);
@@ -227,10 +285,19 @@ fn drive_llfi(
         // Paused. A diverged run may overshoot the checkpoint's step count
         // inside an atomic φ-batch; then steps differ and the compare is
         // skipped (the partition_point above advances past it).
-        if interp.hook().outcome_settled()
-            && interp.state_matches_digest(snap)
-            && interp.state_equals_snapshot(snap)
-        {
+        if !interp.hook().outcome_settled() {
+            tel.count(cell_counter::PAUSES_UNSETTLED, 1);
+            continue;
+        }
+        tel.count(cell_counter::DIGEST_COMPARES, 1);
+        if !interp.state_matches_digest(snap) {
+            continue;
+        }
+        tel.count(cell_counter::DIGEST_MATCHES, 1);
+        if interp.state_equals_snapshot(snap) {
+            tel.count(cell_counter::CONVERGED, 1);
+            tel.hist(cell_hist::EXIT_CHECKPOINT, next as u64);
+            tel.hist(cell_hist::EXIT_STEP, interp.steps());
             // State identical to golden at this step ⇒ the remaining
             // execution mirrors golden exactly (deterministic guest).
             let remaining = g.golden_steps - snap.steps();

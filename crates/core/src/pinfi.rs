@@ -14,6 +14,7 @@
 use crate::category::{injection_dest, Category};
 use crate::outcome::{classify, Outcome};
 use crate::profile::{locate, GoldenRef, PinfiProfile};
+use crate::telemetry::{cell_counter, cell_hist, TaskTel};
 use fiq_asm::{
     AsmHook, AsmProgram, ExtFn, Inst, MachOptions, MachSnapshot, MachState, Machine, Reg, RegId,
     RunResult, ALL_FLAGS,
@@ -259,6 +260,36 @@ pub fn run_pinfi_detailed_from(
     snapshot: Option<&MachSnapshot>,
     golden: Option<GoldenRef<'_, MachSnapshot>>,
 ) -> Result<crate::outcome::InjectionRun, String> {
+    run_pinfi_observed(
+        prog,
+        opts,
+        inj,
+        golden_output,
+        snapshot,
+        golden,
+        TaskTel::off(),
+    )
+}
+
+/// [`run_pinfi_detailed_from`] with campaign telemetry: records the
+/// step-attribution split (skipped / executed / reconstructed), snapshot
+/// restore cost, convergence-compare counts, and the fault's activation
+/// verdict into `tel`. Passing [`TaskTel::off`] makes this identical to
+/// [`run_pinfi_detailed_from`].
+///
+/// # Errors
+///
+/// Returns an error string if machine setup fails.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pinfi_observed(
+    prog: &AsmProgram,
+    opts: MachOptions,
+    inj: PinfiInjection,
+    golden_output: &str,
+    snapshot: Option<&MachSnapshot>,
+    golden: Option<GoldenRef<'_, MachSnapshot>>,
+    tel: TaskTel<'_>,
+) -> Result<crate::outcome::InjectionRun, String> {
     let seen = snapshot.map_or(0, |s| s.site_count(inj.idx));
     debug_assert!(
         seen < inj.instance,
@@ -273,12 +304,38 @@ pub fn run_pinfi_detailed_from(
         activated: false,
     };
     let mut machine = match snapshot {
-        Some(s) => Machine::restore(prog, opts, hook, s),
+        Some(s) => {
+            let t0 = tel.enabled().then(std::time::Instant::now);
+            let machine = Machine::restore(prog, opts, hook, s);
+            if let Some(t0) = t0 {
+                tel.hist(cell_hist::RESTORE_NS, t0.elapsed().as_nanos() as u64);
+            }
+            machine
+        }
         None => Machine::new(prog, opts, hook).map_err(|t| t.to_string())?,
     };
-    let (result, early_exit) = drive_pinfi(&mut machine, opts, golden_output, golden);
+    let (result, early_exit) = drive_pinfi(&mut machine, opts, golden_output, golden, tel);
+    // Step attribution: what the record reports = steps skipped by the
+    // fast-forward restore + steps actually executed + steps an early
+    // exit reconstructed without executing.
+    let skipped = machine.restored_steps();
+    let executed = machine.steps() - skipped;
+    let reconstructed = result.steps.saturating_sub(machine.steps());
+    tel.count(cell_counter::STEPS_REPORTED, result.steps);
+    tel.count(cell_counter::STEPS_SKIPPED_FF, skipped);
+    tel.count(cell_counter::STEPS_EXECUTED, executed);
+    tel.count(cell_counter::STEPS_RECONSTRUCTED_EE, reconstructed);
+    tel.hist(cell_hist::TASK_STEPS, result.steps);
     let hook = machine.into_hook();
     debug_assert!(hook.injected, "planned instance must be reached");
+    let verdict = if hook.activated {
+        cell_counter::VERDICT_ACTIVATED
+    } else if !hook.live {
+        cell_counter::VERDICT_OVERWRITTEN
+    } else {
+        cell_counter::VERDICT_DORMANT
+    };
+    tel.count(verdict, 1);
     Ok(crate::outcome::InjectionRun {
         outcome: classify(result.status, &result.output, golden_output, hook.activated),
         steps: result.steps,
@@ -295,6 +352,7 @@ fn drive_pinfi(
     opts: MachOptions,
     golden_output: &str,
     golden: Option<GoldenRef<'_, MachSnapshot>>,
+    tel: TaskTel<'_>,
 ) -> (RunResult, bool) {
     let Some(g) = golden else {
         return (machine.run(), false);
@@ -311,10 +369,19 @@ fn drive_pinfi(
         if let Some(result) = machine.run_until(snap.steps()) {
             return (result, false); // ended before the checkpoint
         }
-        if machine.hook().outcome_settled()
-            && machine.state_matches_digest(snap)
-            && machine.state_equals_snapshot(snap)
-        {
+        if !machine.hook().outcome_settled() {
+            tel.count(cell_counter::PAUSES_UNSETTLED, 1);
+            continue;
+        }
+        tel.count(cell_counter::DIGEST_COMPARES, 1);
+        if !machine.state_matches_digest(snap) {
+            continue;
+        }
+        tel.count(cell_counter::DIGEST_MATCHES, 1);
+        if machine.state_equals_snapshot(snap) {
+            tel.count(cell_counter::CONVERGED, 1);
+            tel.hist(cell_hist::EXIT_CHECKPOINT, next as u64);
+            tel.hist(cell_hist::EXIT_STEP, machine.steps());
             // State identical to golden at this step ⇒ the remaining
             // execution mirrors golden exactly (deterministic guest).
             let remaining = g.golden_steps - snap.steps();

@@ -1,0 +1,658 @@
+//! The `fiq report` analyzer: joins a campaign's `records.jsonl`
+//! (per-injection ground truth) with its optional `telemetry.jsonl`
+//! (sharded counters, histograms, events) into one summary — outcome
+//! tables with Wilson 95% CIs, and speedup attribution showing what
+//! fraction of each cell's reported steps were skipped by fast-forward
+//! versus reconstructed by early exit versus actually executed.
+//!
+//! Outcome counts come *only* from the record stream, so the report's
+//! tables are exact with or without telemetry; telemetry adds the
+//! attribution and engine sections. When both files are given they must
+//! describe the same campaign (seed and cell grid), which is validated.
+
+use crate::json::Json;
+use crate::outcome::{Outcome, OutcomeCounts};
+use crate::stats::wilson_ci95;
+use crate::telemetry::TELEMETRY_VERSION;
+use fiq_telemetry::{HistData, HIST_BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// One cell's summary: record-stream ground truth plus (optionally) its
+/// telemetry counters and histograms.
+#[derive(Debug, Clone)]
+pub struct CellSummary {
+    /// Workload label.
+    pub label: String,
+    /// Injector ("llfi" / "pinfi").
+    pub tool: String,
+    /// Instruction category name.
+    pub category: String,
+    /// Injections planned per the campaign header.
+    pub planned: u64,
+    /// Outcome tallies parsed from the record lines.
+    pub counts: OutcomeCounts,
+    /// Sum of the per-record reported step counts.
+    pub steps_recorded: u64,
+    /// This cell's telemetry counters by name (empty without telemetry).
+    pub counters: BTreeMap<String, u64>,
+    /// This cell's telemetry histograms by name (empty without
+    /// telemetry).
+    pub hists: BTreeMap<String, HistData>,
+}
+
+impl CellSummary {
+    /// A telemetry counter by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Fraction of this cell's reported steps attributed to `name`
+    /// (`steps_skipped_ff`, `steps_executed`, or
+    /// `steps_reconstructed_ee`); 0 without telemetry or steps.
+    pub fn step_fraction(&self, name: &str) -> f64 {
+        let total = self.counter("steps_reported");
+        if total == 0 {
+            0.0
+        } else {
+            self.counter(name) as f64 / total as f64
+        }
+    }
+}
+
+/// End-of-run totals parsed from the telemetry `summary` line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TelemetryTotals {
+    /// Total tasks in the campaign.
+    pub total: u64,
+    /// Tasks finished (including resumed).
+    pub done: u64,
+    /// Tasks restored from the record file.
+    pub resumed: u64,
+    /// Tasks that restored a fast-forward snapshot.
+    pub fast_forwarded: u64,
+    /// Tasks cut short by convergence detection.
+    pub early_exited: u64,
+}
+
+/// The engine-scope slice of the telemetry stream.
+#[derive(Debug, Clone, Default)]
+pub struct EngineSummary {
+    /// Engine counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Engine histograms by name.
+    pub hists: BTreeMap<String, HistData>,
+    /// Tasks executed per worker (the steal distribution).
+    pub worker_tasks: Vec<u64>,
+    /// End-of-run totals.
+    pub totals: TelemetryTotals,
+    /// Streamed events seen, by kind.
+    pub events: BTreeMap<String, u64>,
+}
+
+/// A full campaign summary built from `records.jsonl` and (optionally)
+/// `telemetry.jsonl`.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign seed from the record header.
+    pub seed: u64,
+    /// Injections requested per cell.
+    pub injections: u64,
+    /// Hang budget factor.
+    pub hang_factor: u64,
+    /// Per-cell summaries, in header order.
+    pub cells: Vec<CellSummary>,
+    /// Engine telemetry (`None` when no telemetry stream was given).
+    pub engine: Option<EngineSummary>,
+}
+
+fn read_lines(path: &Path) -> Result<impl Iterator<Item = Result<String, String>> + '_, String> {
+    let file = File::open(path).map_err(|e| format!("open {}: {e}", path.display()))?;
+    let mut reader = BufReader::new(file);
+    Ok(std::iter::from_fn(move || {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Err(e) => Some(Err(format!("read {}: {e}", path.display()))),
+            Ok(0) => None,
+            // A torn final line (kill mid-write) is silently dropped, the
+            // same tolerance resume applies.
+            Ok(_) if !line.ends_with('\n') => None,
+            Ok(_) => {
+                line.truncate(line.trim_end().len());
+                Some(Ok(line))
+            }
+        }
+    }))
+}
+
+fn get_u64(v: &Json, key: &str, what: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{what}: missing or non-integer field {key:?}"))
+}
+
+fn get_str<'j>(v: &'j Json, key: &str, what: &str) -> Result<&'j str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{what}: missing or non-string field {key:?}"))
+}
+
+fn parse_header_cells(header: &Json, what: &str) -> Result<Vec<CellSummary>, String> {
+    header
+        .get("cells")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{what}: missing cells array"))?
+        .iter()
+        .map(|c| {
+            Ok(CellSummary {
+                label: get_str(c, "label", what)?.to_string(),
+                tool: get_str(c, "tool", what)?.to_string(),
+                category: get_str(c, "category", what)?.to_string(),
+                planned: get_u64(c, "planned", what)?,
+                counts: OutcomeCounts::default(),
+                steps_recorded: 0,
+                counters: BTreeMap::new(),
+                hists: BTreeMap::new(),
+            })
+        })
+        .collect()
+}
+
+impl CampaignReport {
+    /// Builds the report from a record file and an optional telemetry
+    /// file produced by the same campaign run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either file is unreadable or malformed, or
+    /// when the two streams describe different campaigns (seed or cell
+    /// grid mismatch).
+    pub fn build(records: &Path, telemetry: Option<&Path>) -> Result<CampaignReport, String> {
+        let mut report = CampaignReport::from_records(records)?;
+        if let Some(tel) = telemetry {
+            report.merge_telemetry(tel)?;
+        }
+        Ok(report)
+    }
+
+    fn from_records(path: &Path) -> Result<CampaignReport, String> {
+        let what = "record file";
+        let mut lines = read_lines(path)?;
+        let header_text = lines
+            .next()
+            .ok_or_else(|| format!("{}: empty record file", path.display()))??;
+        let header = Json::parse(&header_text).map_err(|e| format!("{what} header: {e}"))?;
+        if header.get("record").and_then(Json::as_str) != Some("campaign") {
+            return Err(format!("{}: not a campaign record file", path.display()));
+        }
+        let mut cells = parse_header_cells(&header, what)?;
+        // Cell identity is (label, tool, category) — the key every
+        // injection line carries.
+        let index: BTreeMap<(String, String, String), usize> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ((c.label.clone(), c.tool.clone(), c.category.clone()), i))
+            .collect();
+        for line in lines {
+            let line = line?;
+            let v = Json::parse(&line).map_err(|e| format!("{what}: bad record line: {e}"))?;
+            if v.get("record").and_then(Json::as_str) != Some("injection") {
+                continue;
+            }
+            let key = (
+                get_str(&v, "cell", what)?.to_string(),
+                get_str(&v, "tool", what)?.to_string(),
+                get_str(&v, "category", what)?.to_string(),
+            );
+            let &ci = index.get(&key).ok_or_else(|| {
+                format!(
+                    "{what}: record for unknown cell {}/{}/{}",
+                    key.0, key.1, key.2
+                )
+            })?;
+            let outcome = Outcome::from_name(get_str(&v, "outcome", what)?)
+                .ok_or_else(|| format!("{what}: unknown outcome"))?;
+            cells[ci].counts.record(outcome);
+            cells[ci].steps_recorded += get_u64(&v, "steps", what)?;
+        }
+        Ok(CampaignReport {
+            seed: get_u64(&header, "seed", what)?,
+            injections: get_u64(&header, "injections", what)?,
+            hang_factor: get_u64(&header, "hang_factor", what)?,
+            cells,
+            engine: None,
+        })
+    }
+
+    fn merge_telemetry(&mut self, path: &Path) -> Result<(), String> {
+        let what = "telemetry file";
+        let mut lines = read_lines(path)?;
+        let header_text = lines
+            .next()
+            .ok_or_else(|| format!("{}: empty telemetry file", path.display()))??;
+        let header = Json::parse(&header_text).map_err(|e| format!("{what} header: {e}"))?;
+        if header.get("record").and_then(Json::as_str) != Some("telemetry") {
+            return Err(format!("{}: not a telemetry file", path.display()));
+        }
+        let version = get_u64(&header, "version", what)?;
+        if version != TELEMETRY_VERSION {
+            return Err(format!(
+                "{what}: version {version} unsupported (expected {TELEMETRY_VERSION})"
+            ));
+        }
+        let seed = get_u64(&header, "seed", what)?;
+        if seed != self.seed {
+            return Err(format!(
+                "telemetry stream (seed {seed}) does not belong to this record \
+                 file (seed {})",
+                self.seed
+            ));
+        }
+        let tel_cells = parse_header_cells(&header, what)?;
+        if tel_cells.len() != self.cells.len()
+            || tel_cells
+                .iter()
+                .zip(&self.cells)
+                .any(|(t, r)| t.label != r.label || t.tool != r.tool || t.category != r.category)
+        {
+            return Err("telemetry stream describes a different cell grid".into());
+        }
+        let mut engine = EngineSummary::default();
+        for line in lines {
+            let line = line?;
+            let v = Json::parse(&line).map_err(|e| format!("{what}: bad line: {e}"))?;
+            match v.get("record").and_then(Json::as_str) {
+                Some("event") => {
+                    let kind = get_str(&v, "kind", what)?.to_string();
+                    *engine.events.entry(kind).or_insert(0) += 1;
+                }
+                Some("counter") => {
+                    let name = get_str(&v, "name", what)?.to_string();
+                    let value = get_u64(&v, "value", what)?;
+                    match get_str(&v, "scope", what)? {
+                        "engine" => {
+                            engine.counters.insert(name, value);
+                        }
+                        "cell" => {
+                            let ci = self.cell_index(&v, what)?;
+                            self.cells[ci].counters.insert(name, value);
+                        }
+                        s => return Err(format!("{what}: unknown scope {s:?}")),
+                    }
+                }
+                Some("hist") => {
+                    let name = get_str(&v, "name", what)?.to_string();
+                    let data = parse_hist(&v, what)?;
+                    match get_str(&v, "scope", what)? {
+                        "engine" => {
+                            engine.hists.insert(name, data);
+                        }
+                        "cell" => {
+                            let ci = self.cell_index(&v, what)?;
+                            self.cells[ci].hists.insert(name, data);
+                        }
+                        s => return Err(format!("{what}: unknown scope {s:?}")),
+                    }
+                }
+                Some("worker") => {
+                    let w = get_u64(&v, "worker", what)? as usize;
+                    if engine.worker_tasks.len() <= w {
+                        engine.worker_tasks.resize(w + 1, 0);
+                    }
+                    engine.worker_tasks[w] = get_u64(&v, "tasks", what)?;
+                }
+                Some("summary") => {
+                    engine.totals = TelemetryTotals {
+                        total: get_u64(&v, "total", what)?,
+                        done: get_u64(&v, "done", what)?,
+                        resumed: get_u64(&v, "resumed", what)?,
+                        fast_forwarded: get_u64(&v, "fast_forwarded", what)?,
+                        early_exited: get_u64(&v, "early_exited", what)?,
+                    };
+                }
+                _ => return Err(format!("{what}: unknown line {line}")),
+            }
+        }
+        // Cross-check: executed task counters must cover exactly the
+        // non-resumed portion of the campaign.
+        let tasks: u64 = self.cells.iter().map(|c| c.counter("tasks")).sum();
+        let expected = engine.totals.done - engine.totals.resumed;
+        if tasks != expected {
+            return Err(format!(
+                "telemetry stream is inconsistent: cell task counters sum to \
+                 {tasks} but the summary reports {expected} executed tasks"
+            ));
+        }
+        self.engine = Some(engine);
+        Ok(())
+    }
+
+    fn cell_index(&self, v: &Json, what: &str) -> Result<usize, String> {
+        let ci = get_u64(v, "cell", what)? as usize;
+        if ci >= self.cells.len() {
+            return Err(format!("{what}: cell index {ci} out of range"));
+        }
+        Ok(ci)
+    }
+
+    /// The machine-readable (`--json`) form of the report.
+    pub fn to_json(&self) -> Json {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                let n = c.counts.activated();
+                let rate = |successes: u64| {
+                    let (lo, hi) = wilson_ci95(successes, n);
+                    Json::Obj(vec![
+                        ("count".into(), Json::u64(successes)),
+                        (
+                            "pct".into(),
+                            Json::f64(if n == 0 {
+                                0.0
+                            } else {
+                                100.0 * successes as f64 / n as f64
+                            }),
+                        ),
+                        ("ci95".into(), Json::Arr(vec![Json::f64(lo), Json::f64(hi)])),
+                    ])
+                };
+                let mut fields = vec![
+                    ("label".into(), Json::str(c.label.clone())),
+                    ("tool".into(), Json::str(c.tool.clone())),
+                    ("category".into(), Json::str(c.category.clone())),
+                    ("planned".into(), Json::u64(c.planned)),
+                    ("executed".into(), Json::u64(c.counts.total())),
+                    ("activated".into(), Json::u64(n)),
+                    ("not_activated".into(), Json::u64(c.counts.not_activated)),
+                    ("benign".into(), rate(c.counts.benign)),
+                    ("sdc".into(), rate(c.counts.sdc)),
+                    ("crash".into(), rate(c.counts.crash)),
+                    ("hang".into(), rate(c.counts.hang)),
+                    ("steps_recorded".into(), Json::u64(c.steps_recorded)),
+                ];
+                if !c.counters.is_empty() {
+                    let counters = c
+                        .counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::u64(*v)))
+                        .collect();
+                    fields.push(("counters".into(), Json::Obj(counters)));
+                    fields.push((
+                        "attribution".into(),
+                        Json::Obj(vec![
+                            (
+                                "skipped_ff_frac".into(),
+                                Json::f64(c.step_fraction("steps_skipped_ff")),
+                            ),
+                            (
+                                "executed_frac".into(),
+                                Json::f64(c.step_fraction("steps_executed")),
+                            ),
+                            (
+                                "reconstructed_ee_frac".into(),
+                                Json::f64(c.step_fraction("steps_reconstructed_ee")),
+                            ),
+                        ]),
+                    ));
+                }
+                if !c.hists.is_empty() {
+                    let hists = c
+                        .hists
+                        .iter()
+                        .map(|(k, d)| (k.clone(), hist_json(d)))
+                        .collect();
+                    fields.push(("hists".into(), Json::Obj(hists)));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        let mut fields = vec![
+            ("report".into(), Json::str("campaign")),
+            ("seed".into(), Json::u64(self.seed)),
+            ("injections".into(), Json::u64(self.injections)),
+            ("hang_factor".into(), Json::u64(self.hang_factor)),
+            ("cells".into(), Json::Arr(cells)),
+        ];
+        if let Some(e) = &self.engine {
+            let counters = e
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::u64(*v)))
+                .collect();
+            let hists = e
+                .hists
+                .iter()
+                .map(|(k, d)| (k.clone(), hist_json(d)))
+                .collect();
+            let events = e
+                .events
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::u64(*v)))
+                .collect();
+            fields.push((
+                "engine".into(),
+                Json::Obj(vec![
+                    ("counters".into(), Json::Obj(counters)),
+                    ("hists".into(), Json::Obj(hists)),
+                    ("events".into(), Json::Obj(events)),
+                    (
+                        "worker_tasks".into(),
+                        Json::Arr(e.worker_tasks.iter().map(|&t| Json::u64(t)).collect()),
+                    ),
+                    (
+                        "summary".into(),
+                        Json::Obj(vec![
+                            ("total".into(), Json::u64(e.totals.total)),
+                            ("done".into(), Json::u64(e.totals.done)),
+                            ("resumed".into(), Json::u64(e.totals.resumed)),
+                            ("fast_forwarded".into(), Json::u64(e.totals.fast_forwarded)),
+                            ("early_exited".into(), Json::u64(e.totals.early_exited)),
+                        ]),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
+    }
+
+    /// The human-readable form of the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign report: seed {}, {} injections/cell, {} cell(s)",
+            self.seed,
+            self.injections,
+            self.cells.len()
+        );
+        for c in &self.cells {
+            let n = c.counts.activated();
+            let _ = writeln!(
+                out,
+                "\ncell {}/{}/{}: {} executed of {} planned, {} activated",
+                c.label,
+                c.tool,
+                c.category,
+                c.counts.total(),
+                c.planned,
+                n
+            );
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>7} {:>7}  95% CI",
+                "outcome", "count", "pct"
+            );
+            for (name, count) in [
+                ("benign", c.counts.benign),
+                ("sdc", c.counts.sdc),
+                ("crash", c.counts.crash),
+                ("hang", c.counts.hang),
+            ] {
+                let pct = if n == 0 {
+                    0.0
+                } else {
+                    100.0 * count as f64 / n as f64
+                };
+                let (lo, hi) = wilson_ci95(count, n);
+                let _ = writeln!(
+                    out,
+                    "  {name:<14} {count:>7} {pct:>6.1}%  [{lo:.1}, {hi:.1}]"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>7}       -  -",
+                "not-activated", c.counts.not_activated
+            );
+            if c.counters.is_empty() {
+                continue;
+            }
+            let tasks = c.counter("tasks");
+            let pct_of = |part: u64, whole: u64| {
+                if whole == 0 {
+                    0.0
+                } else {
+                    100.0 * part as f64 / whole as f64
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  speedup: {} of {} tasks fast-forwarded ({:.1}%), {} early-exited ({:.1}%)",
+                c.counter("fast_forwarded"),
+                tasks,
+                pct_of(c.counter("fast_forwarded"), tasks),
+                c.counter("early_exited"),
+                pct_of(c.counter("early_exited"), tasks),
+            );
+            let _ = writeln!(
+                out,
+                "  steps: {} reported = {:.1}% skipped (fast-forward) + {:.1}% executed \
+                 + {:.1}% reconstructed (early-exit)",
+                c.counter("steps_reported"),
+                100.0 * c.step_fraction("steps_skipped_ff"),
+                100.0 * c.step_fraction("steps_executed"),
+                100.0 * c.step_fraction("steps_reconstructed_ee"),
+            );
+            let _ = writeln!(
+                out,
+                "  convergence: {} digest compares, {} matches, {} confirmed \
+                 ({} collisions), {} unsettled pauses",
+                c.counter("digest_compares"),
+                c.counter("digest_matches"),
+                c.counter("converged"),
+                c.counter("digest_matches") - c.counter("converged"),
+                c.counter("pauses_unsettled"),
+            );
+            let _ = writeln!(
+                out,
+                "  verdicts: {} activated, {} overwritten, {} dormant",
+                c.counter("verdict_activated"),
+                c.counter("verdict_overwritten"),
+                c.counter("verdict_dormant"),
+            );
+            let hashed = c.counter("snap_pages_hashed");
+            let reused = c.counter("snap_pages_reused");
+            if hashed + reused > 0 {
+                let _ = writeln!(
+                    out,
+                    "  snapshots: {} of {} pages reused clean hashes ({:.1}%)",
+                    reused,
+                    hashed + reused,
+                    pct_of(reused, hashed + reused),
+                );
+            }
+            if let Some(lat) = c.hists.get("task_latency_us") {
+                let _ = writeln!(
+                    out,
+                    "  latency/task: mean {:.0} µs, p50 ≤ {} µs, p99 ≤ {} µs",
+                    lat.mean(),
+                    lat.quantile(0.5),
+                    lat.quantile(0.99),
+                );
+            }
+        }
+        if let Some(e) = &self.engine {
+            let (min, max) = (
+                e.worker_tasks.iter().min().copied().unwrap_or(0),
+                e.worker_tasks.iter().max().copied().unwrap_or(0),
+            );
+            let _ = writeln!(
+                out,
+                "\nengine: {}/{} tasks done ({} resumed) on {} worker(s) \
+                 (min {min} / max {max} per worker)",
+                e.totals.done,
+                e.totals.total,
+                e.totals.resumed,
+                e.worker_tasks.len(),
+            );
+            let _ = writeln!(
+                out,
+                "  records: {} written in {} flushes; events: {}",
+                e.counters.get("records_written").copied().unwrap_or(0),
+                e.counters.get("record_flushes").copied().unwrap_or(0),
+                e.events.values().sum::<u64>(),
+            );
+        }
+        out
+    }
+}
+
+fn parse_hist(v: &Json, what: &str) -> Result<HistData, String> {
+    let mut data = HistData {
+        sum: get_u64(v, "sum", what)?,
+        ..HistData::default()
+    };
+    let count = get_u64(v, "count", what)?;
+    for pair in v
+        .get("buckets")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{what}: hist missing buckets"))?
+    {
+        let pair = pair
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("{what}: malformed hist bucket"))?;
+        let (i, c) = (
+            pair[0]
+                .as_u64()
+                .ok_or_else(|| format!("{what}: malformed hist bucket"))? as usize,
+            pair[1]
+                .as_u64()
+                .ok_or_else(|| format!("{what}: malformed hist bucket"))?,
+        );
+        if i >= HIST_BUCKETS {
+            return Err(format!("{what}: hist bucket index {i} out of range"));
+        }
+        data.buckets[i] = c;
+    }
+    if data.count() != count {
+        return Err(format!(
+            "{what}: hist bucket counts sum to {} but count field says {count}",
+            data.count()
+        ));
+    }
+    Ok(data)
+}
+
+fn hist_json(d: &HistData) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::u64(d.count())),
+        ("sum".into(), Json::u64(d.sum)),
+        ("mean".into(), Json::f64(d.mean())),
+        ("p50".into(), Json::u64(d.quantile(0.5))),
+        ("p99".into(), Json::u64(d.quantile(0.99))),
+        ("max".into(), Json::u64(d.max_bound())),
+        (
+            "buckets".into(),
+            Json::Arr(
+                d.nonempty()
+                    .map(|(i, c)| Json::Arr(vec![Json::u64(i as u64), Json::u64(c)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}

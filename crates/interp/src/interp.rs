@@ -243,6 +243,7 @@ pub struct Interp<'m, H> {
     stack_start: u64,
     sp: u64,
     steps: u64,
+    restored_steps: u64,
     frame_counter: u64,
     frames: Vec<Frame>,
     snap: Option<SnapState>,
@@ -270,6 +271,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             stack_start,
             sp,
             steps: 0,
+            restored_steps: 0,
             frame_counter: 0,
             frames: Vec::new(),
             snap: None,
@@ -301,6 +303,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             stack_start: snap.stack_start,
             sp: snap.sp,
             steps: snap.steps,
+            restored_steps: snap.steps,
             frame_counter: snap.frame_counter,
             frames: snap.frames.clone(),
             snap: None,
@@ -394,6 +397,14 @@ impl<'m, H: InterpHook> Interp<'m, H> {
     /// Dynamic instructions executed so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// The step count inherited from the snapshot this interpreter was
+    /// [`Interp::restore`]d from (0 for a fresh interpreter). The
+    /// difference `steps() - restored_steps()` is the work this
+    /// interpreter actually executed.
+    pub fn restored_steps(&self) -> u64 {
+        self.restored_steps
     }
 
     /// Consumes the interpreter, returning the hook (e.g. to read

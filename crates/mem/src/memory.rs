@@ -342,6 +342,16 @@ impl MemSnapshot {
             .filter(|(a, b)| Arc::ptr_eq(a, b))
             .count()
     }
+
+    /// Incremental-capture cost of this snapshot relative to the one it
+    /// was taken against: `(reused, hashed)` page counts, where reused
+    /// pages kept `prev`'s allocation (and its hash, skipping a rehash)
+    /// and the remaining `hashed` pages were copied and rehashed. With no
+    /// predecessor every page was hashed.
+    pub fn page_reuse_from(&self, prev: Option<&MemSnapshot>) -> (usize, usize) {
+        let reused = prev.map_or(0, |p| self.shared_pages_with(p));
+        (reused, self.page_count() - reused)
+    }
 }
 
 impl Memory {

@@ -1,0 +1,52 @@
+//! The structured event stream: small, self-describing records emitted
+//! from worker threads into bounded per-worker buffers, handed to a
+//! caller-provided sink in batches.
+//!
+//! The crate deliberately does not know how events are serialized — the
+//! sink decides (the campaign engine writes JSONL through its own codec)
+//! — so this module stays dependency-free.
+
+/// One field value of an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvVal {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+/// One structured event: a kind tag plus ordered key/value fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Index of the worker shard that emitted the event.
+    pub worker: usize,
+    /// Event kind (a short static tag like `"task"` or `"resume"`).
+    pub kind: &'static str,
+    /// Ordered key/value payload.
+    pub fields: Vec<(&'static str, EvVal)>,
+}
+
+/// Where flushed event batches go. Implementations serialize and write;
+/// errors are captured by the hub and surfaced once at the end of the
+/// run instead of panicking a worker.
+pub trait EventSink: Send {
+    /// Writes one batch of events.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the write failure.
+    fn write_batch(&mut self, batch: &[Event]) -> Result<(), String>;
+}
+
+impl<F> EventSink for F
+where
+    F: FnMut(&[Event]) -> Result<(), String> + Send,
+{
+    fn write_batch(&mut self, batch: &[Event]) -> Result<(), String> {
+        self(batch)
+    }
+}

@@ -1,0 +1,213 @@
+//! Log2-bucketed histograms: a fixed 65-bucket layout (one bucket per
+//! power of two, plus a dedicated zero bucket) that makes recording a
+//! single relaxed atomic increment and merging a plain element-wise sum —
+//! associative and commutative by construction, so per-worker shards can
+//! be combined at read time in any order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)` (bucket 64 is the open-ended top).
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+pub fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// One worker shard's histogram: written lock-free by its owning worker,
+/// summed across shards at read time.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (two relaxed atomic adds, no locks).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of this shard's data.
+    pub fn snapshot(&self) -> HistData {
+        let mut out = HistData::default();
+        for (i, b) in self.buckets.iter().enumerate() {
+            out.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        out.sum = self.sum.load(Ordering::Relaxed);
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// A plain (non-atomic) histogram value: the unit snapshots and merges
+/// operate on. Merging is element-wise addition, so it forms a
+/// commutative monoid with [`HistData::default`] as the identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistData {
+    /// Per-bucket observation counts (see [`bucket_of`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Sum of all recorded values (wrapping on overflow).
+    pub sum: u64,
+}
+
+impl Default for HistData {
+    fn default() -> HistData {
+        HistData {
+            buckets: [0; HIST_BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistData {
+    /// Records one observation (the non-atomic twin of
+    /// [`Histogram::record`]).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    /// Adds another histogram's observations into this one.
+    pub fn merge(&mut self, other: &HistData) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`); 0 when empty. Log2 buckets bound the estimate
+    /// to within a factor of two of the true quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_hi(i);
+            }
+        }
+        bucket_hi(HIST_BUCKETS - 1)
+    }
+
+    /// Upper bound of the highest non-empty bucket (0 when empty).
+    pub fn max_bound(&self) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &c)| c > 0)
+            .map_or(0, |(i, _)| bucket_hi(i))
+    }
+
+    /// The non-empty buckets as `(bucket index, count)` pairs — the wire
+    /// representation used by the telemetry stream.
+    pub fn nonempty(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_total_and_ordered() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            assert!(bucket_lo(i) <= bucket_hi(i));
+            assert_eq!(bucket_of(bucket_lo(i)), i);
+            assert_eq!(bucket_of(bucket_hi(i)), i);
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        let d = h.snapshot();
+        assert_eq!(d.count(), 5);
+        assert_eq!(d.sum, 1007);
+        assert_eq!(d.buckets[0], 1);
+        assert_eq!(d.buckets[1], 2);
+        assert!((d.mean() - 201.4).abs() < 1e-9);
+        assert_eq!(d.quantile(0.5), bucket_hi(bucket_of(1)));
+        assert_eq!(d.max_bound(), bucket_hi(bucket_of(1000)));
+    }
+
+    #[test]
+    fn quantiles_of_empty_are_zero() {
+        let d = HistData::default();
+        assert_eq!(d.quantile(0.5), 0);
+        assert_eq!(d.max_bound(), 0);
+        assert_eq!(d.mean(), 0.0);
+    }
+}

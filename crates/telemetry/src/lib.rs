@@ -1,0 +1,414 @@
+//! # fiq-telemetry — sharded campaign metrics
+//!
+//! Observability primitives for the campaign engine, built for the
+//! work-stealing hot path:
+//!
+//! * **Sharded counters and histograms** — every worker owns a private
+//!   shard and records with relaxed atomic increments; there are no
+//!   hot-path locks and no cross-core cache-line ping-pong. Totals are
+//!   computed at *read* time by summing shards, which is exact because
+//!   addition is commutative.
+//! * **Two scopes** — `engine` metrics (one instance) and `cell` metrics
+//!   (one instance per experiment cell), both declared up front in a
+//!   [`HubSpec`] so the wire format is self-describing.
+//! * **A bounded structured event stream** — per-worker buffers of
+//!   [`Event`]s flushed to an [`EventSink`] in batches, so event volume
+//!   is O(batch) in memory no matter how large the campaign is.
+//!
+//! The crate is dependency-free (std only) and does not serialize
+//! anything itself: sinks own the encoding.
+
+#![warn(missing_docs)]
+
+mod event;
+mod hist;
+
+pub use event::{EvVal, Event, EventSink};
+pub use hist::{bucket_hi, bucket_lo, bucket_of, HistData, Histogram, HIST_BUCKETS};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default number of events buffered per worker before a batch is handed
+/// to the sink.
+pub const DEFAULT_EVENT_BATCH: usize = 256;
+
+/// The metric schema: counter and histogram names for both scopes,
+/// fixed for the lifetime of a hub. Indices into these slices are the
+/// metric identifiers used by [`WorkerHandle`].
+#[derive(Debug, Clone, Copy)]
+pub struct HubSpec {
+    /// Engine-scope counter names.
+    pub counters: &'static [&'static str],
+    /// Engine-scope histogram names.
+    pub hists: &'static [&'static str],
+    /// Cell-scope counter names (one instance per cell).
+    pub cell_counters: &'static [&'static str],
+    /// Cell-scope histogram names (one instance per cell).
+    pub cell_hists: &'static [&'static str],
+}
+
+/// One worker's private shard: counters, histograms, and an event
+/// buffer. Only the owning worker writes it; readers sum across shards.
+struct Shard {
+    counters: Box<[AtomicU64]>,
+    hists: Box<[Histogram]>,
+    /// Flattened `[cell][metric]` cell counters.
+    cell_counters: Box<[AtomicU64]>,
+    /// Flattened `[cell][metric]` cell histograms.
+    cell_hists: Box<[Histogram]>,
+    /// Pending events; drained into the sink when `event_batch` is hit.
+    /// The mutex is uncontended (only the owning worker locks it, except
+    /// for the final drain after the pool has exited).
+    events: Mutex<Vec<Event>>,
+}
+
+impl Shard {
+    fn new(spec: &HubSpec, cells: usize) -> Shard {
+        let atomic = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect();
+        let hists = |n: usize| (0..n).map(|_| Histogram::new()).collect();
+        Shard {
+            counters: atomic(spec.counters.len()),
+            hists: hists(spec.hists.len()),
+            cell_counters: atomic(spec.cell_counters.len() * cells),
+            cell_hists: hists(spec.cell_hists.len() * cells),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+struct SinkState {
+    sink: Option<Box<dyn EventSink>>,
+    error: Option<String>,
+}
+
+/// The campaign-wide telemetry hub: one shard per worker plus the shared
+/// event sink. Create it sized to the worker pool, hand each worker its
+/// [`WorkerHandle`], then read merged totals during or after the run.
+pub struct TelemetryHub {
+    spec: &'static HubSpec,
+    cells: usize,
+    shards: Vec<Shard>,
+    sink: Mutex<SinkState>,
+    has_sink: bool,
+    event_batch: usize,
+}
+
+impl TelemetryHub {
+    /// Creates a hub with `workers` shards covering `cells` cells.
+    /// `sink` receives event batches (pass `None` to drop events).
+    pub fn new(
+        spec: &'static HubSpec,
+        workers: usize,
+        cells: usize,
+        sink: Option<Box<dyn EventSink>>,
+    ) -> TelemetryHub {
+        let workers = workers.max(1);
+        TelemetryHub {
+            spec,
+            cells,
+            shards: (0..workers).map(|_| Shard::new(spec, cells)).collect(),
+            has_sink: sink.is_some(),
+            sink: Mutex::new(SinkState { sink, error: None }),
+            event_batch: DEFAULT_EVENT_BATCH,
+        }
+    }
+
+    /// The metric schema this hub was created with.
+    pub fn spec(&self) -> &'static HubSpec {
+        self.spec
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// The recording handle for worker `w` (indices past the shard count
+    /// alias the last shard rather than panicking).
+    pub fn worker(&self, w: usize) -> WorkerHandle<'_> {
+        WorkerHandle {
+            hub: self,
+            worker: w.min(self.shards.len() - 1),
+        }
+    }
+
+    /// Live total of one engine-scope counter (sum over shards).
+    pub fn counter_total(&self, counter: usize) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.counters[counter].load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Live total of one cell-scope counter.
+    pub fn cell_counter_total(&self, cell: usize, counter: usize) -> u64 {
+        let idx = cell * self.spec.cell_counters.len() + counter;
+        self.shards
+            .iter()
+            .map(|s| s.cell_counters[idx].load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Per-worker values of one engine-scope counter (e.g. tasks claimed
+    /// per worker — the campaign's steal distribution).
+    pub fn per_worker(&self, counter: usize) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.counters[counter].load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Merges every shard into a point-in-time snapshot.
+    pub fn merged(&self) -> HubSnapshot {
+        let nc = self.spec.cell_counters.len();
+        let nh = self.spec.cell_hists.len();
+        let mut snap = HubSnapshot {
+            counters: vec![0; self.spec.counters.len()],
+            hists: vec![HistData::default(); self.spec.hists.len()],
+            cells: (0..self.cells)
+                .map(|_| CellSnapshot {
+                    counters: vec![0; nc],
+                    hists: vec![HistData::default(); nh],
+                })
+                .collect(),
+        };
+        for shard in &self.shards {
+            for (total, c) in snap.counters.iter_mut().zip(shard.counters.iter()) {
+                *total += c.load(Ordering::Relaxed);
+            }
+            for (total, h) in snap.hists.iter_mut().zip(shard.hists.iter()) {
+                total.merge(&h.snapshot());
+            }
+            for (cell, out) in snap.cells.iter_mut().enumerate() {
+                for m in 0..nc {
+                    out.counters[m] += shard.cell_counters[cell * nc + m].load(Ordering::Relaxed);
+                }
+                for m in 0..nh {
+                    out.hists[m].merge(&shard.cell_hists[cell * nh + m].snapshot());
+                }
+            }
+        }
+        snap
+    }
+
+    /// Drains every worker's pending events into the sink. Call after
+    /// the pool exits (and before reading the sink's output).
+    pub fn flush_events(&self) {
+        for w in 0..self.shards.len() {
+            self.drain_worker(w);
+        }
+    }
+
+    /// The first sink error, if any write failed.
+    pub fn take_error(&self) -> Option<String> {
+        lock(&self.sink).error.take()
+    }
+
+    fn drain_worker(&self, w: usize) {
+        let batch = std::mem::take(&mut *lock(&self.shards[w].events));
+        if batch.is_empty() {
+            return;
+        }
+        let mut sink = lock(&self.sink);
+        if let Some(s) = sink.sink.as_mut() {
+            if let Err(e) = s.write_batch(&batch) {
+                sink.error.get_or_insert(e);
+            }
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A worker's recording handle: cheap to copy, all methods are lock-free
+/// except event emission (which locks only the worker's own buffer).
+#[derive(Clone, Copy)]
+pub struct WorkerHandle<'a> {
+    hub: &'a TelemetryHub,
+    worker: usize,
+}
+
+impl WorkerHandle<'_> {
+    fn shard(&self) -> &Shard {
+        &self.hub.shards[self.worker]
+    }
+
+    /// This handle's worker index.
+    pub fn index(&self) -> usize {
+        self.worker
+    }
+
+    /// Adds to an engine-scope counter.
+    #[inline]
+    pub fn add(&self, counter: usize, n: u64) {
+        self.shard().counters[counter].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records into an engine-scope histogram.
+    #[inline]
+    pub fn record(&self, hist: usize, v: u64) {
+        self.shard().hists[hist].record(v);
+    }
+
+    /// Adds to a cell-scope counter.
+    #[inline]
+    pub fn cell_add(&self, cell: usize, counter: usize, n: u64) {
+        let idx = cell * self.hub.spec.cell_counters.len() + counter;
+        self.shard().cell_counters[idx].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records into a cell-scope histogram.
+    #[inline]
+    pub fn cell_record(&self, cell: usize, hist: usize, v: u64) {
+        let idx = cell * self.hub.spec.cell_hists.len() + hist;
+        self.shard().cell_hists[idx].record(v);
+    }
+
+    /// Emits one structured event. Events are buffered per worker and
+    /// flushed to the sink once the batch size is reached; without a
+    /// sink this is a no-op.
+    pub fn event(&self, kind: &'static str, fields: Vec<(&'static str, EvVal)>) {
+        if !self.hub.has_sink {
+            return;
+        }
+        let full = {
+            let mut buf = lock(&self.shard().events);
+            buf.push(Event {
+                worker: self.worker,
+                kind,
+                fields,
+            });
+            buf.len() >= self.hub.event_batch
+        };
+        if full {
+            self.hub.drain_worker(self.worker);
+        }
+    }
+}
+
+/// A merged point-in-time view of every shard.
+#[derive(Debug, Clone)]
+pub struct HubSnapshot {
+    /// Engine-scope counter totals, parallel to [`HubSpec::counters`].
+    pub counters: Vec<u64>,
+    /// Engine-scope histograms, parallel to [`HubSpec::hists`].
+    pub hists: Vec<HistData>,
+    /// Per-cell metrics.
+    pub cells: Vec<CellSnapshot>,
+}
+
+/// One cell's merged metrics.
+#[derive(Debug, Clone)]
+pub struct CellSnapshot {
+    /// Counter totals, parallel to [`HubSpec::cell_counters`].
+    pub counters: Vec<u64>,
+    /// Histograms, parallel to [`HubSpec::cell_hists`].
+    pub hists: Vec<HistData>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    static SPEC: HubSpec = HubSpec {
+        counters: &["tasks"],
+        hists: &["batch"],
+        cell_counters: &["hits", "misses"],
+        cell_hists: &["lat"],
+    };
+
+    #[test]
+    fn shards_merge_to_exact_totals() {
+        let hub = TelemetryHub::new(&SPEC, 3, 2, None);
+        for w in 0..3 {
+            let h = hub.worker(w);
+            h.add(0, 10 + w as u64);
+            h.cell_add(1, 0, 2);
+            h.cell_record(0, 0, 1 << w);
+            h.record(0, 64);
+        }
+        assert_eq!(hub.counter_total(0), 33);
+        assert_eq!(hub.cell_counter_total(1, 0), 6);
+        assert_eq!(hub.per_worker(0), vec![10, 11, 12]);
+        let snap = hub.merged();
+        assert_eq!(snap.counters[0], 33);
+        assert_eq!(snap.cells[1].counters[0], 6);
+        assert_eq!(snap.cells[1].counters[1], 0);
+        assert_eq!(snap.cells[0].hists[0].count(), 3);
+        assert_eq!(snap.cells[0].hists[0].sum, 1 + 2 + 4);
+        assert_eq!(snap.hists[0].count(), 3);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let hub = Arc::new(TelemetryHub::new(&SPEC, 4, 1, None));
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let hub = Arc::clone(&hub);
+                s.spawn(move || {
+                    let h = hub.worker(w);
+                    for i in 0..10_000u64 {
+                        h.add(0, 1);
+                        h.cell_add(0, 1, 1);
+                        if i % 100 == 0 {
+                            h.cell_record(0, 0, i);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(hub.counter_total(0), 40_000);
+        assert_eq!(hub.cell_counter_total(0, 1), 40_000);
+        assert_eq!(hub.merged().cells[0].hists[0].count(), 400);
+    }
+
+    #[test]
+    fn events_flush_in_batches_and_stay_bounded() {
+        let seen: Arc<Mutex<Vec<Event>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = Arc::clone(&seen);
+        let sink = move |batch: &[Event]| -> Result<(), String> {
+            sink_seen.lock().unwrap().extend_from_slice(batch);
+            Ok(())
+        };
+        let hub = TelemetryHub::new(&SPEC, 1, 1, Some(Box::new(sink)));
+        let h = hub.worker(0);
+        let total = DEFAULT_EVENT_BATCH * 2 + 7;
+        for i in 0..total {
+            h.event("tick", vec![("i", EvVal::U64(i as u64))]);
+            // The buffer never exceeds the batch size.
+            assert!(lock(&hub.shards[0].events).len() <= DEFAULT_EVENT_BATCH);
+        }
+        assert_eq!(seen.lock().unwrap().len(), DEFAULT_EVENT_BATCH * 2);
+        hub.flush_events();
+        assert_eq!(seen.lock().unwrap().len(), total);
+        assert!(hub.take_error().is_none());
+    }
+
+    #[test]
+    fn sink_errors_are_captured_not_propagated() {
+        let sink = |_: &[Event]| -> Result<(), String> { Err("disk full".into()) };
+        let hub = TelemetryHub::new(&SPEC, 1, 1, Some(Box::new(sink)));
+        hub.worker(0).event("tick", Vec::new());
+        hub.flush_events();
+        assert_eq!(hub.take_error().as_deref(), Some("disk full"));
+        assert!(hub.take_error().is_none(), "error is taken once");
+    }
+
+    #[test]
+    fn without_a_sink_events_are_dropped_cheaply() {
+        let hub = TelemetryHub::new(&SPEC, 1, 1, None);
+        for _ in 0..10 * DEFAULT_EVENT_BATCH {
+            hub.worker(0).event("tick", Vec::new());
+        }
+        assert!(lock(&hub.shards[0].events).is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the histogram monoid: merge must be associative
+//! and commutative with the empty histogram as identity, and merging
+//! per-shard recordings must equal recording everything into one
+//! histogram — the exact property the hub's read-time shard merge
+//! relies on.
+
+use fiq_telemetry::{bucket_hi, bucket_lo, bucket_of, HistData, Histogram, HIST_BUCKETS};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> HistData {
+    let mut h = HistData::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(a: &HistData, b: &HistData) -> HistData {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..64),
+        b in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        prop_assert_eq!(merged(&ha, &hb), merged(&hb, &ha));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(any::<u64>(), 0..64),
+        b in prop::collection::vec(any::<u64>(), 0..64),
+        c in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        prop_assert_eq!(
+            merged(&merged(&ha, &hb), &hc),
+            merged(&ha, &merged(&hb, &hc))
+        );
+    }
+
+    #[test]
+    fn empty_is_the_identity(a in prop::collection::vec(any::<u64>(), 0..64)) {
+        let ha = hist_of(&a);
+        prop_assert_eq!(merged(&ha, &HistData::default()), ha.clone());
+        prop_assert_eq!(merged(&HistData::default(), &ha), ha);
+    }
+
+    #[test]
+    fn sharded_recording_equals_single_histogram(
+        values in prop::collection::vec(any::<u64>(), 0..128),
+        shards in 1usize..5,
+    ) {
+        // Deal values round-robin across shards, then merge the shards.
+        let mut parts = vec![HistData::default(); shards];
+        let atomic = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % shards].record(v);
+            atomic.record(v);
+        }
+        let mut combined = HistData::default();
+        for p in &parts {
+            combined.merge(p);
+        }
+        let single = hist_of(&values);
+        prop_assert_eq!(&combined, &single);
+        // The atomic shard histogram snapshots to the same data.
+        prop_assert_eq!(&atomic.snapshot(), &single);
+        prop_assert_eq!(combined.count(), values.len() as u64);
+    }
+
+    #[test]
+    fn every_value_lands_in_a_consistent_bucket(v in any::<u64>()) {
+        let i = bucket_of(v);
+        prop_assert!(i < HIST_BUCKETS);
+        prop_assert!(bucket_lo(i) <= v && v <= bucket_hi(i));
+    }
+}
