@@ -550,7 +550,13 @@ impl<'a> Isel<'a> {
             }
             Value::Arg(n) => VOperand::Reg(VR::V(self.arg_int[&n])),
             Value::Const(c) => match c {
-                Constant::Int(t, raw) => VOperand::Imm(t.sext(raw)),
+                // Narrow values are held zero-extended in registers (the
+                // same canonical form `mask_narrow` maintains), so narrow
+                // constants must materialize zero-extended too. Sign
+                // extension here turned `true` into `-1`: stores of it
+                // wrote 0xff, and `(int)true` printed -1 on the machine
+                // while the interpreter printed 1.
+                Constant::Int(t, raw) => VOperand::Imm(t.truncate(raw) as i64),
                 Constant::Undef(_) => VOperand::Imm(0),
                 Constant::NullPtr => VOperand::Imm(0),
                 Constant::Global(g) => VOperand::Imm(self.global_addrs[g.index()] as i64),
@@ -1267,6 +1273,13 @@ impl<'a> Isel<'a> {
                     other => return Err(self.err(format!("gep into {other}"))),
                 }
             };
+            // Constant indices fold into the displacement. Indices are
+            // *signed*, so narrow constants sign-extend here even though
+            // `int_operand` hands them out zero-extended.
+            if let Some(Constant::Int(t, raw)) = idx.as_const() {
+                const_disp = const_disp.wrapping_add(t.sext(raw).wrapping_mul(stride as i64));
+                continue;
+            }
             match self.int_operand(*idx)? {
                 VOperand::Imm(c) => {
                     const_disp = const_disp.wrapping_add(c.wrapping_mul(stride as i64));

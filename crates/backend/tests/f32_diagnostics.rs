@@ -1,0 +1,133 @@
+//! Every reachable f32-rejection path in instruction selection must
+//! produce a user-legible `LowerError` naming the offending function —
+//! never a panic. (The frontend has no `float` type — `float` lexes to
+//! `double` per the documented deviation — so these modules are built
+//! directly in IR, the only way f32 reaches the backend.)
+//!
+//! Two further diagnostics ("f32 loads", "f32 results") are defensive
+//! dead ends: any instruction *producing* an f32 is caught first by the
+//! vreg-assignment pre-pass ("f32 values"), so they cannot be reached
+//! through `lower_module` and are not asserted here.
+
+use fiq_backend::{lower_module, LowerOptions};
+use fiq_ir::{Callee, CastOp, Constant, FuncBuilder, Function, Intrinsic, Module, Type, Value};
+
+fn lower(module: &Module) -> Result<fiq_asm::AsmProgram, fiq_backend::LowerError> {
+    lower_module(module, LowerOptions::default())
+}
+
+/// A module holding `main` plus the function under test.
+fn module_with(f: Function) -> Module {
+    let mut m = Module::new("f32_diag");
+    m.add_func(f);
+    m
+}
+
+fn expect_rejection(m: &Module, needle: &str) {
+    let err = lower(m).expect_err("f32 module must be rejected, not lowered");
+    let msg = err.to_string();
+    assert!(
+        msg.contains(needle),
+        "diagnostic must mention {needle:?}: {msg}"
+    );
+    assert!(
+        msg.starts_with("lowering failed: "),
+        "diagnostic must be the standard legible form: {msg}"
+    );
+    assert!(
+        msg.contains("main"),
+        "diagnostic must name the offending function: {msg}"
+    );
+}
+
+#[test]
+fn f32_parameters_are_rejected_legibly() {
+    let f = Function::new("main", vec![Type::f32()], Type::Void);
+    let mut f = f;
+    FuncBuilder::new(&mut f).ret(None);
+    expect_rejection(&module_with(f), "f32 parameters");
+}
+
+#[test]
+fn f32_values_are_rejected_legibly() {
+    // Any f32-producing instruction trips the vreg-assignment pre-pass:
+    // here, a load of f32 from an alloca.
+    let mut f = Function::new("main", vec![], Type::Void);
+    {
+        let mut b = FuncBuilder::new(&mut f);
+        let slot = b.alloca(Type::f32());
+        let _v = b.load(Type::f32(), slot);
+        b.ret(None);
+    }
+    expect_rejection(&module_with(f), "f32 values");
+}
+
+#[test]
+fn f32_stores_are_rejected_legibly() {
+    // A store has no result, so it slips past the pre-pass; the store
+    // lowering itself must reject the f32 constant operand.
+    let mut f = Function::new("main", vec![], Type::Void);
+    {
+        let mut b = FuncBuilder::new(&mut f);
+        let slot = b.alloca(Type::f32());
+        b.store(Value::Const(Constant::f32(1.5)), slot);
+        b.ret(None);
+    }
+    expect_rejection(&module_with(f), "f32 stores");
+}
+
+#[test]
+fn f32_conversions_are_rejected_legibly() {
+    // FpExt from an f32 *constant* produces an f64 result, so the
+    // pre-pass passes it through and the cast lowering must reject.
+    let mut f = Function::new("main", vec![], Type::Void);
+    {
+        let mut b = FuncBuilder::new(&mut f);
+        let widened = b.cast(CastOp::FpExt, Value::Const(Constant::f32(1.5)), Type::f64());
+        b.call(
+            Callee::Intrinsic(Intrinsic::PrintF64),
+            vec![widened],
+            Type::Void,
+        );
+        b.ret(None);
+    }
+    expect_rejection(&module_with(f), "f32 conversions");
+}
+
+#[test]
+fn f32_arguments_are_rejected_legibly() {
+    // Passing an f32 constant to a call: the call's own result type is
+    // fine, so the argument-marshalling path must reject it.
+    let mut m = Module::new("f32_diag");
+    let mut callee = Function::new("takes_nothing", vec![], Type::Void);
+    FuncBuilder::new(&mut callee).ret(None);
+    let callee_id = m.add_func(callee);
+    let mut f = Function::new("main", vec![], Type::Void);
+    {
+        let mut b = FuncBuilder::new(&mut f);
+        b.call(
+            Callee::Func(callee_id),
+            vec![Value::Const(Constant::f32(2.5))],
+            Type::Void,
+        );
+        b.ret(None);
+    }
+    m.add_func(f);
+    expect_rejection(&m, "f32 arguments");
+}
+
+#[test]
+fn f64_only_modules_still_lower() {
+    // Sanity: the rejections above are about f32, not floats generally.
+    let mut f = Function::new("main", vec![], Type::Void);
+    {
+        let mut b = FuncBuilder::new(&mut f);
+        let slot = b.alloca(Type::f64());
+        b.store(Value::f64(1.5), slot);
+        let v = b.load(Type::f64(), slot);
+        b.call(Callee::Intrinsic(Intrinsic::PrintF64), vec![v], Type::Void);
+        b.ret(None);
+    }
+    let m = module_with(f);
+    lower(&m).expect("pure-f64 module lowers");
+}

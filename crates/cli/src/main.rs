@@ -14,6 +14,8 @@
 //!              [--early-exit | --no-early-exit]
 //!              [--no-flag-pruning] [--no-xmm-pruning]
 //! fiq report <records.jsonl> [--telemetry FILE] [--json]
+//! fiq fuzz [--seed S] [--count N] [--opt-level 0..3] [--oracle NAME]
+//!          [--max-steps N] [--corpus-dir DIR] [--no-reduce]
 //! ```
 //!
 //! `campaign` runs both tools on the shared work-stealing engine.
@@ -134,6 +136,17 @@ fn flag_spec(cmd: &str) -> Option<FlagSpec> {
             value: &["records", "telemetry"],
             boolean: &["json"],
         },
+        "fuzz" => FlagSpec {
+            value: &[
+                "seed",
+                "count",
+                "opt-level",
+                "oracle",
+                "max-steps",
+                "corpus-dir",
+            ],
+            boolean: &["no-reduce"],
+        },
         _ => return None,
     })
 }
@@ -233,7 +246,7 @@ fn real_main() -> Result<(), String> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw[0].starts_with("--") {
         return Err(
-            "usage: fiq <workloads|compile|run|profile|inject|trace|campaign|report> …".into(),
+            "usage: fiq <workloads|compile|run|profile|inject|trace|campaign|report|fuzz> …".into(),
         );
     }
     let cmd = raw.remove(0);
@@ -260,6 +273,7 @@ fn real_main() -> Result<(), String> {
         "trace" => cmd_trace(&args),
         "campaign" => cmd_campaign(&args),
         "report" => cmd_report(&args),
+        "fuzz" => cmd_fuzz(&args),
         _ => unreachable!("flag_spec vetted the command"),
     }
 }
@@ -299,7 +313,18 @@ fn category(args: &Args) -> Result<Category, String> {
 }
 
 fn seed(args: &Args) -> Result<u64, String> {
-    args.num_flag("seed", 42)
+    match args.flag("seed") {
+        None => Ok(42),
+        // Seeds are u64, but a negative literal is a perfectly clear
+        // request — wrap it rather than rejecting `--seed -1`.
+        Some(s) if s.starts_with('-') => s
+            .parse::<i64>()
+            .map(|v| v as u64)
+            .map_err(|_| format!("--seed expects a number, got `{s}`")),
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("--seed expects a number, got `{s}`")),
+    }
 }
 
 fn cmd_compile(args: &Args) -> Result<(), String> {
@@ -596,6 +621,85 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `fiq fuzz` — differential fuzzing of the two execution levels.
+/// Generates `--count` seeded Mini-C programs and checks each against
+/// the cross-pipeline, cross-level, snapshot-replay, and
+/// digest-integrity oracles at every optimization level (or just
+/// `--opt-level`). Stops at the first failure, shrinks it (unless
+/// `--no-reduce`), optionally writes the reduced reproducer into
+/// `--corpus-dir`, and exits nonzero. Fully deterministic for a fixed
+/// seed.
+fn cmd_fuzz(args: &Args) -> Result<(), String> {
+    let base_seed = seed(args)?;
+    let count: u64 = args.num_flag("count", 100)?;
+    let mut cfg = fiq_fuzz::FuzzConfig::default();
+    cfg.max_steps = args.num_flag("max-steps", cfg.max_steps)?;
+    if let Some(l) = args.flag("opt-level") {
+        let level: u8 = l
+            .parse()
+            .ok()
+            .filter(|l| *l <= 3)
+            .ok_or_else(|| format!("--opt-level expects 0..=3, got `{l}`"))?;
+        cfg.levels = vec![level];
+    }
+    if let Some(name) = args.flag("oracle") {
+        cfg.oracles = fiq_fuzz::OracleSet::only(name).ok_or_else(|| {
+            format!(
+                "unknown --oracle `{name}` \
+                 (opt-agreement|cross-level|snapshot-replay|digest-integrity)"
+            )
+        })?;
+    }
+    if args.has("no-reduce") {
+        cfg.reduce_budget = 0;
+    }
+
+    // A panic inside a pass or substrate is reported as a finding; the
+    // default hook would spray a backtrace per reducer evaluation.
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = fiq_fuzz::run_fuzz(base_seed, count, &cfg, |done, total| {
+        if total >= 100 && done % 100 == 0 {
+            eprintln!("fuzz: {done}/{total} programs clean");
+        }
+    });
+    std::panic::set_hook(quiet);
+
+    match outcome.failure {
+        None => {
+            let levels: Vec<String> = cfg.levels.iter().map(|l| format!("O{l}")).collect();
+            println!(
+                "fuzz: {count} programs clean at {} (seed {base_seed})",
+                levels.join(",")
+            );
+            Ok(())
+        }
+        Some(f) => {
+            println!(
+                "fuzz: seed {} diverged after {} clean programs",
+                f.seed, outcome.passed
+            );
+            println!("  {}", f.failure);
+            println!(
+                "--- reduced reproducer ({} -> {} bytes, {} oracle evaluations) ---",
+                f.source.len(),
+                f.reduced.len(),
+                f.reduce_evals
+            );
+            print!("{}", f.reduced);
+            if let Some(dir) = args.flag("corpus-dir") {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+                let path = Path::new(dir).join(format!("fuzz-seed-{}.mc", f.seed));
+                let header = format!("// fiq-fuzz regression: seed {}, {}\n", f.seed, f.failure);
+                std::fs::write(&path, format!("{header}{}", f.reduced))
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                println!("--- wrote {} ---", path.display());
+            }
+            Err(format!("fuzz: divergence found at seed {}", f.seed))
+        }
+    }
 }
 
 /// `fiq report <records.jsonl> [--telemetry FILE] [--json]` — join a

@@ -157,6 +157,55 @@ fn rejects_malformed_flag_values() {
 }
 
 #[test]
+fn numeric_flag_values_that_look_like_flags() {
+    // Regression: a numeric value opening with `-` must be accepted as
+    // the flag's value (a value flag consumes the next argument
+    // unconditionally), not mistaken for a flag — and it must never
+    // swallow the following positional.
+    let neg = ["inject", "mcf", "--seed", "-1", "--category", "load"];
+    let (ok1, a, err) = fiq(&neg);
+    assert!(ok1, "{err}");
+    let (ok2, b, _) = fiq(&neg);
+    assert!(ok2);
+    assert_eq!(a, b, "negative seed is deterministic");
+    assert!(a.contains("outcome:"), "{a}");
+
+    // `=` form of the same negative value parses identically.
+    let (ok, c, err) = fiq(&["inject", "mcf", "--seed=-1", "--category", "load"]);
+    assert!(ok, "{err}");
+    assert_eq!(a, c, "space and = forms agree");
+
+    // A negative seed is a different seed, not a silent default.
+    let (ok, d, err) = fiq(&["inject", "mcf", "--seed", "-2", "--category", "load"]);
+    assert!(ok, "{err}");
+    assert_ne!(a, d, "distinct negative seeds give distinct plans");
+
+    // Garbage stays rejected with a clear error naming the flag.
+    let (ok, _, err) = fiq(&["inject", "mcf", "--seed", "-"]);
+    assert!(!ok);
+    assert!(err.contains("--seed expects a number"), "{err}");
+    let (ok, _, err) = fiq(&["inject", "mcf", "--seed", "-1.5"]);
+    assert!(!ok);
+    assert!(err.contains("--seed expects a number"), "{err}");
+    // Counts are unsigned: a negative injection count is malformed, and
+    // the error names the value so the user sees what was consumed.
+    let (ok, _, err) = fiq(&["campaign", "libquantum", "--injections", "-4"]);
+    assert!(!ok);
+    assert!(
+        err.contains("--injections expects a number, got `-4`"),
+        "{err}"
+    );
+    // A flag-looking token after a value flag is consumed as its value
+    // and reported back, never resolved as the next flag or positional.
+    let (ok, _, err) = fiq(&["inject", "mcf", "--seed", "--category"]);
+    assert!(!ok);
+    assert!(
+        err.contains("--seed expects a number, got `--category`"),
+        "{err}"
+    );
+}
+
+#[test]
 fn accepts_equals_style_flag_values() {
     let (ok, out, err) = fiq(&[
         "campaign",
@@ -272,6 +321,39 @@ fn report_errors_cleanly() {
     let (ok, _, err) = fiq(&["report", "/nonexistent/records.jsonl"]);
     assert!(!ok);
     assert!(err.contains("fiq:"), "{err}");
+}
+
+#[test]
+fn fuzz_subcommand_is_deterministic_and_clean() {
+    let args = ["fuzz", "--seed", "1", "--count", "5"];
+    let (ok, a, err) = fiq(&args);
+    assert!(ok, "{err}");
+    assert!(
+        a.contains("5 programs clean at O0,O1,O2,O3 (seed 1)"),
+        "{a}"
+    );
+    let (ok, b, _) = fiq(&args);
+    assert!(ok);
+    assert_eq!(a, b, "fixed seed, byte-identical run");
+
+    let (ok, out, err) = fiq(&[
+        "fuzz",
+        "--seed=4",
+        "--count=2",
+        "--opt-level",
+        "2",
+        "--oracle",
+        "cross-level",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("2 programs clean at O2 (seed 4)"), "{out}");
+
+    let (ok, _, err) = fiq(&["fuzz", "--oracle", "vibes"]);
+    assert!(!ok);
+    assert!(err.contains("unknown --oracle `vibes`"), "{err}");
+    let (ok, _, err) = fiq(&["fuzz", "--opt-level", "7"]);
+    assert!(!ok);
+    assert!(err.contains("--opt-level expects 0..=3"), "{err}");
 }
 
 #[test]

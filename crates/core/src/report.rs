@@ -319,7 +319,10 @@ impl CampaignReport {
         // Cross-check: executed task counters must cover exactly the
         // non-resumed portion of the campaign.
         let tasks: u64 = self.cells.iter().map(|c| c.counter("tasks")).sum();
-        let expected = engine.totals.done - engine.totals.resumed;
+        // saturating: a truncated or hand-edited stream can report more
+        // resumed than done; that must surface as the inconsistency error
+        // below, not as a u64 underflow panic.
+        let expected = engine.totals.done.saturating_sub(engine.totals.resumed);
         if tasks != expected {
             return Err(format!(
                 "telemetry stream is inconsistent: cell task counters sum to \
@@ -544,7 +547,11 @@ impl CampaignReport {
                 c.counter("digest_compares"),
                 c.counter("digest_matches"),
                 c.counter("converged"),
-                c.counter("digest_matches") - c.counter("converged"),
+                // saturating: a partial stream (killed campaign, empty
+                // resume) can carry `converged` without the matching
+                // `digest_matches` counter flush.
+                c.counter("digest_matches")
+                    .saturating_sub(c.counter("converged")),
                 c.counter("pauses_unsettled"),
             );
             let _ = writeln!(

@@ -1,0 +1,8 @@
+//! Prints the generated Mini-C program for a seed (argv[1], default 1).
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    print!("{}", fiq_fuzz::generate(seed));
+}

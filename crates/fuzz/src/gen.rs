@@ -1,0 +1,1377 @@
+//! Seeded Mini-C program generator.
+//!
+//! Programs are built as a small AST (so the reducer can shrink them
+//! structurally) and rendered to Mini-C source. Every program is safe by
+//! construction — the differential oracles must only ever see *defined*
+//! divergences, never undefined behavior:
+//!
+//! * integer division and remainder go through emitted guard helpers
+//!   (`fz_sdiv`/`fz_srem`) that route the two trapping operand pairs
+//!   (zero divisor, `INT_MIN / -1`) around the raw instruction,
+//! * array subscripts are masked with `idx & (len - 1)` on power-of-two
+//!   lengths, so any index expression stays in bounds (an `i64` AND with
+//!   a small positive mask is non-negative),
+//! * loops have literal bounds and never write their induction variable;
+//!   functions form a call DAG with bounded loop nesting, so worst-case
+//!   dynamic instruction counts stay far below the oracle budget,
+//! * addresses never flow into output: pointers are compared or
+//!   dereferenced only within a single object, and nothing casts a
+//!   pointer to an integer (stack layouts legitimately differ between
+//!   the IR interpreter and the machine),
+//! * every local is initialized before use (globals are zero-initialized
+//!   identically on both substrates).
+//!
+//! Floating point needs no guards: IR floating-point ops never trap, and
+//! `double → int` conversion has defined x86 `cvttsd2si` semantics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Mini-C scalar types the generator deals in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ty {
+    /// 64-bit signed `int`.
+    Int,
+    /// 8-bit `byte`.
+    Byte,
+    /// 1-bit `bool`.
+    Bool,
+    /// 64-bit `double`.
+    Double,
+}
+
+impl Ty {
+    fn name(self) -> &'static str {
+        match self {
+            Ty::Int => "int",
+            Ty::Byte => "byte",
+            Ty::Bool => "bool",
+            Ty::Double => "double",
+        }
+    }
+}
+
+/// An expression. Rendering parenthesizes everything, so precedence never
+/// has to be modeled.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Finite, non-negative double literal.
+    Dbl(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// `arr[(idx) & mask]` — masked, always in-bounds subscript.
+    Index {
+        /// Array or pointer variable.
+        arr: String,
+        /// Index expression (any int).
+        idx: Box<Expr>,
+        /// Power-of-two-minus-one mask keeping the subscript in bounds.
+        mask: i64,
+    },
+    /// `base.field` or `base->field`.
+    Member {
+        /// Struct (or struct-pointer) variable.
+        base: String,
+        /// Field name.
+        field: &'static str,
+        /// `->` instead of `.`.
+        arrow: bool,
+    },
+    /// `(*p)`.
+    Deref(String),
+    /// `(&arr[off])` — address of an element, constant in-bounds offset.
+    AddrIndex {
+        /// Array variable.
+        arr: String,
+        /// Constant element offset.
+        off: i64,
+    },
+    /// `(&v)`.
+    Addr(String),
+    /// Unary operator application.
+    Un {
+        /// `-`, `!`, or `~`.
+        op: &'static str,
+        /// Operand.
+        a: Box<Expr>,
+    },
+    /// Binary operator application.
+    Bin {
+        /// Operator token.
+        op: &'static str,
+        /// Left operand.
+        a: Box<Expr>,
+        /// Right operand.
+        b: Box<Expr>,
+    },
+    /// Function or intrinsic call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// `(ty)(a)`.
+    Cast {
+        /// Target type.
+        ty: Ty,
+        /// Operand.
+        a: Box<Expr>,
+    },
+}
+
+impl Expr {
+    fn int(v: i64) -> Expr {
+        Expr::Int(v)
+    }
+
+    fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    fn boxed(self) -> Box<Expr> {
+        Box::new(self)
+    }
+}
+
+/// A statement (possibly a composite rendered as several source lines).
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `ty name = init;`
+    Decl {
+        /// Declared type.
+        ty: Ty,
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Expr,
+    },
+    /// `elem name[len];` followed by an init loop filling every element.
+    DeclArray {
+        /// Element type (`Int` or `Double`).
+        elem: Ty,
+        /// Array name.
+        name: String,
+        /// Power-of-two length.
+        len: i64,
+        /// Per-element initializer; may reference the loop variable
+        /// `<name>_i`.
+        init: Expr,
+    },
+    /// `int *name = arr;`
+    DeclPtr {
+        /// Pointer name.
+        name: String,
+        /// Array whose base it takes (by decay).
+        arr: String,
+    },
+    /// `struct S1 name;` followed by initialization of all three fields.
+    DeclStruct {
+        /// Variable name.
+        name: String,
+        /// `.a` initializer (int).
+        a: Expr,
+        /// `.b` initializer (double).
+        b: Expr,
+        /// `.c` initializer (byte).
+        c: Expr,
+    },
+    /// `target op value;` where `op` is `=`, `+=`, `-=`, or `*=`.
+    Assign {
+        /// Assignment target (an lvalue-shaped expression).
+        target: Expr,
+        /// Assignment operator token.
+        op: &'static str,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (cond) { then } else { els }`.
+    If {
+        /// Condition (bool).
+        cond: Expr,
+        /// Then-branch statements.
+        then: Vec<Stmt>,
+        /// Else-branch statements (empty → no else).
+        els: Vec<Stmt>,
+    },
+    /// `for (int var = 0; var < bound; var += 1) { body }`.
+    For {
+        /// Induction variable (never written by the body).
+        var: String,
+        /// Literal iteration bound.
+        bound: i64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `int var = 0; while (var < bound) { body; var += 1; }`.
+    While {
+        /// Counter variable (never written by the body).
+        var: String,
+        /// Literal iteration bound.
+        bound: i64,
+        /// Loop body (the counter increment is rendered after it).
+        body: Vec<Stmt>,
+    },
+    /// `print_i64(arg);` / `print_f64(arg);` depending on `ty`.
+    Print {
+        /// Printed expression.
+        arg: Expr,
+        /// `Int` or `Double`.
+        ty: Ty,
+    },
+    /// `break;` (generated only inside loop bodies).
+    Break,
+    /// `continue;` (generated only inside `for` bodies, where the step
+    /// still runs).
+    Continue,
+    /// `return value;`
+    Ret {
+        /// Returned expression (`None` only for `main`'s implicit path).
+        value: Option<Expr>,
+    },
+}
+
+/// What a generated function parameter is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParamKind {
+    /// A scalar of the given type.
+    Scalar(Ty),
+    /// `int *p` pointing at least 8 elements.
+    IntPtr,
+    /// `struct S1 *s`.
+    StructPtr,
+}
+
+/// A generated function.
+#[derive(Clone, Debug)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Ty,
+    /// Parameters in order.
+    pub params: Vec<(String, ParamKind)>,
+    /// Body statements (the generator guarantees a trailing `return`).
+    pub body: Vec<Stmt>,
+    /// True if the body contains a loop (restricts who may call it from
+    /// inside their own loops, bounding worst-case dynamic steps).
+    pub has_loop: bool,
+}
+
+/// A whole generated program. Globals and the struct definition are
+/// fixed; functions and `main` vary.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Helper + generated functions, in definition (call-DAG) order.
+    pub funcs: Vec<FuncDef>,
+    /// Body of `main` (renderer appends `return 0;`).
+    pub main: Vec<Stmt>,
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+fn render_int(v: i64) -> String {
+    if v == i64::MIN {
+        // The lexer parses only non-negative literals.
+        "(-9223372036854775807 - 1)".to_string()
+    } else if v < 0 {
+        format!("(-{})", -v)
+    } else {
+        v.to_string()
+    }
+}
+
+fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => render_int(*v),
+        Expr::Dbl(v) => format!("{v:?}"),
+        Expr::Bool(b) => if *b { "true" } else { "false" }.to_string(),
+        Expr::Var(n) => n.clone(),
+        Expr::Index { arr, idx, mask } => {
+            format!("{arr}[({}) & {mask}]", render_expr(idx))
+        }
+        Expr::Member { base, field, arrow } => {
+            format!("{base}{}{field}", if *arrow { "->" } else { "." })
+        }
+        Expr::Deref(n) => format!("(*{n})"),
+        Expr::AddrIndex { arr, off } => format!("(&{arr}[{off}])"),
+        Expr::Addr(n) => format!("(&{n})"),
+        Expr::Un { op, a } => format!("({op}{})", render_expr(a)),
+        Expr::Bin { op, a, b } => {
+            format!("({} {op} {})", render_expr(a), render_expr(b))
+        }
+        Expr::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(render_expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Cast { ty, a } => format!("(({})({}))", ty.name(), render_expr(a)),
+    }
+}
+
+fn render_block(stmts: &[Stmt], indent: usize, out: &mut String) {
+    for s in stmts {
+        render_stmt(s, indent, out);
+    }
+}
+
+fn render_stmt(s: &Stmt, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match s {
+        Stmt::Decl { ty, name, init } => {
+            out.push_str(&format!(
+                "{pad}{} {name} = {};\n",
+                ty.name(),
+                render_expr(init)
+            ));
+        }
+        Stmt::DeclArray {
+            elem,
+            name,
+            len,
+            init,
+        } => {
+            out.push_str(&format!("{pad}{} {name}[{len}];\n", elem.name()));
+            out.push_str(&format!(
+                "{pad}for (int {name}_i = 0; {name}_i < {len}; {name}_i += 1) {{ \
+                 {name}[{name}_i] = {}; }}\n",
+                render_expr(init)
+            ));
+        }
+        Stmt::DeclPtr { name, arr } => {
+            out.push_str(&format!("{pad}int *{name} = {arr};\n"));
+        }
+        Stmt::DeclStruct { name, a, b, c } => {
+            out.push_str(&format!("{pad}struct S1 {name};\n"));
+            out.push_str(&format!("{pad}{name}.a = {};\n", render_expr(a)));
+            out.push_str(&format!("{pad}{name}.b = {};\n", render_expr(b)));
+            out.push_str(&format!("{pad}{name}.c = {};\n", render_expr(c)));
+        }
+        Stmt::Assign { target, op, value } => {
+            out.push_str(&format!(
+                "{pad}{} {op} {};\n",
+                render_expr(target),
+                render_expr(value)
+            ));
+        }
+        Stmt::If { cond, then, els } => {
+            out.push_str(&format!("{pad}if ({}) {{\n", render_expr(cond)));
+            render_block(then, indent + 1, out);
+            if els.is_empty() {
+                out.push_str(&format!("{pad}}}\n"));
+            } else {
+                out.push_str(&format!("{pad}}} else {{\n"));
+                render_block(els, indent + 1, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+        Stmt::For { var, bound, body } => {
+            out.push_str(&format!(
+                "{pad}for (int {var} = 0; {var} < {bound}; {var} += 1) {{\n"
+            ));
+            render_block(body, indent + 1, out);
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        Stmt::While { var, bound, body } => {
+            out.push_str(&format!("{pad}int {var} = 0;\n"));
+            out.push_str(&format!("{pad}while ({var} < {bound}) {{\n"));
+            render_block(body, indent + 1, out);
+            out.push_str(&format!("{}{var} += 1;\n", "  ".repeat(indent + 1)));
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        Stmt::Print { arg, ty } => {
+            let f = if *ty == Ty::Double {
+                "print_f64"
+            } else {
+                "print_i64"
+            };
+            out.push_str(&format!("{pad}{f}({});\n", render_expr(arg)));
+        }
+        Stmt::Break => out.push_str(&format!("{pad}break;\n")),
+        Stmt::Continue => out.push_str(&format!("{pad}continue;\n")),
+        Stmt::Ret { value } => match value {
+            Some(v) => out.push_str(&format!("{pad}return {};\n", render_expr(v))),
+            None => out.push_str(&format!("{pad}return;\n")),
+        },
+    }
+}
+
+fn render_param(p: &(String, ParamKind)) -> String {
+    match p.1 {
+        ParamKind::Scalar(ty) => format!("{} {}", ty.name(), p.0),
+        ParamKind::IntPtr => format!("int *{}", p.0),
+        ParamKind::StructPtr => format!("struct S1 *{}", p.0),
+    }
+}
+
+/// Renders a program to Mini-C source.
+pub fn render(p: &Program) -> String {
+    let mut out = String::new();
+    out.push_str("struct S1 { int a; double b; byte c; };\n");
+    out.push_str("int g_acc;\n");
+    out.push_str("double g_facc;\n");
+    out.push_str("int g_ints[16];\n");
+    out.push_str("int g_ints2[8];\n");
+    out.push_str("double g_dbls[8];\n");
+    out.push_str("struct S1 g_s;\n\n");
+    for f in &p.funcs {
+        let params: Vec<String> = f.params.iter().map(render_param).collect();
+        out.push_str(&format!(
+            "{} {}({}) {{\n",
+            f.ret.name(),
+            f.name,
+            params.join(", ")
+        ));
+        render_block(&f.body, 1, &mut out);
+        out.push_str("}\n\n");
+    }
+    out.push_str("int main() {\n");
+    render_block(&p.main, 1, &mut out);
+    out.push_str("  return 0;\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------
+
+/// Signature of a callable function, as seen by later call sites.
+#[derive(Clone, Debug)]
+struct FuncSig {
+    name: String,
+    ret: Ty,
+    params: Vec<ParamKind>,
+    has_loop: bool,
+}
+
+/// Variables visible at a generation point. Cloned for nested blocks so
+/// inner declarations stay block-scoped.
+#[derive(Clone, Default)]
+struct Scope {
+    /// Readable scalars.
+    vars: Vec<(String, Ty)>,
+    /// Writable scalars (excludes loop counters).
+    assignable: Vec<(String, Ty)>,
+    /// Int arrays: (name, power-of-two length).
+    int_arrays: Vec<(String, i64)>,
+    /// Double arrays: (name, power-of-two length).
+    dbl_arrays: Vec<(String, i64)>,
+    /// `int *` variables: (name, pointee length).
+    ptrs: Vec<(String, i64)>,
+    /// Direct `struct S1` variables (`.field` access).
+    structs: Vec<String>,
+    /// `struct S1 *` variables (`->field` access).
+    struct_ptrs: Vec<String>,
+    /// Current loop nesting.
+    loop_depth: u32,
+    /// Maximum loop nesting allowed here.
+    max_loop_depth: u32,
+    /// Inside a generated function (restricts calls; `false` in `main`).
+    in_function: bool,
+}
+
+impl Scope {
+    fn vars_of(&self, ty: Ty) -> Vec<&str> {
+        self.vars
+            .iter()
+            .filter(|(_, t)| *t == ty)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    fn assignable_of(&self, ty: Ty) -> Vec<&str> {
+        self.assignable
+            .iter()
+            .filter(|(_, t)| *t == ty)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+/// The generator: one seeded RNG plus a unique-name counter.
+pub struct Gen {
+    rng: StdRng,
+    next_id: u32,
+    funcs: Vec<FuncSig>,
+}
+
+const STRUCT_FIELDS: [(&str, Ty); 3] = [("a", Ty::Int), ("b", Ty::Double), ("c", Ty::Byte)];
+
+const INT_BINOPS: [&str; 6] = ["+", "-", "*", "&", "|", "^"];
+const CMP_OPS: [&str; 6] = ["==", "!=", "<", "<=", ">", ">="];
+const DBL_UNARY_INTRINSICS: [&str; 7] = ["sqrt", "fabs", "floor", "sin", "cos", "exp", "log"];
+
+impl Gen {
+    /// Creates a generator for one program.
+    pub fn new(seed: u64) -> Gen {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            funcs: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        format!("{prefix}{id}")
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.rng.gen_range(0..items.len())]
+    }
+
+    fn pick_copy<T: Copy>(&mut self, items: &[T]) -> T {
+        *self.pick(items)
+    }
+
+    // -- literals -----------------------------------------------------
+
+    fn int_literal(&mut self) -> i64 {
+        match self.rng.gen_range(0u32..100) {
+            0..=39 => self.rng.gen_range(0i64..=16),
+            40..=59 => self.rng.gen_range(-64i64..=64),
+            60..=74 => 1i64 << self.rng.gen_range(0u32..63),
+            75..=84 => self.rng.gen_range(-100_000i64..=100_000),
+            85..=89 => i64::from(self.rng.gen_range(i32::MIN..=i32::MAX)),
+            90..=93 => i64::MAX,
+            94..=96 => i64::MIN,
+            _ => self.rng.gen_range(i64::MIN..=i64::MAX),
+        }
+    }
+
+    fn dbl_literal(&mut self) -> f64 {
+        match self.rng.gen_range(0u32..100) {
+            0..=29 => f64::from(self.rng.gen_range(0u32..=16)),
+            30..=54 => f64::from(self.rng.gen_range(0u32..=4096)) / 64.0,
+            55..=69 => f64::from(self.rng.gen_range(1u32..=1000)) * 1e-6,
+            70..=84 => f64::from(self.rng.gen_range(1u32..=1000)) * 1e6,
+            85..=92 => 0.0,
+            93..=96 => 1e300,
+            _ => 1e-300,
+        }
+    }
+
+    // -- expressions ----------------------------------------------------
+
+    fn gen_expr(&mut self, sc: &Scope, ty: Ty, depth: u32) -> Expr {
+        match ty {
+            Ty::Int => self.gen_int(sc, depth),
+            Ty::Byte => self.gen_byte(sc, depth),
+            Ty::Bool => self.gen_bool(sc, depth),
+            Ty::Double => self.gen_dbl(sc, depth),
+        }
+    }
+
+    fn gen_int_leaf(&mut self, sc: &Scope) -> Expr {
+        let vars = sc.vars_of(Ty::Int);
+        match self.rng.gen_range(0u32..10) {
+            0..=2 if !vars.is_empty() => Expr::var(self.pick_copy(&vars)),
+            3..=4 if !sc.int_arrays.is_empty() => {
+                let (arr, len) = self.pick(&sc.int_arrays).clone();
+                Expr::Index {
+                    arr,
+                    idx: self.gen_int_shallow(sc).boxed(),
+                    mask: len - 1,
+                }
+            }
+            5 if !sc.structs.is_empty() => Expr::Member {
+                base: self.pick(&sc.structs).clone(),
+                field: "a",
+                arrow: false,
+            },
+            6 if !sc.struct_ptrs.is_empty() => Expr::Member {
+                base: self.pick(&sc.struct_ptrs).clone(),
+                field: "a",
+                arrow: true,
+            },
+            7 if !sc.ptrs.is_empty() => {
+                let (p, len) = self.pick(&sc.ptrs).clone();
+                if self.rng.gen_bool(0.5) {
+                    Expr::Deref(p)
+                } else {
+                    Expr::Index {
+                        arr: p,
+                        idx: self.gen_int_shallow(sc).boxed(),
+                        mask: len - 1,
+                    }
+                }
+            }
+            _ => Expr::int(self.int_literal()),
+        }
+    }
+
+    /// A cheap int expression for subscripts (depth ≤ 1).
+    fn gen_int_shallow(&mut self, sc: &Scope) -> Expr {
+        let vars = sc.vars_of(Ty::Int);
+        match self.rng.gen_range(0u32..4) {
+            0..=1 if !vars.is_empty() => Expr::var(self.pick_copy(&vars)),
+            2 if !vars.is_empty() => Expr::Bin {
+                op: self.pick_copy(&INT_BINOPS),
+                a: Expr::var(self.pick_copy(&vars)).boxed(),
+                b: Expr::int(self.int_literal()).boxed(),
+            },
+            _ => Expr::int(self.int_literal()),
+        }
+    }
+
+    fn gen_int(&mut self, sc: &Scope, depth: u32) -> Expr {
+        if depth == 0 {
+            return self.gen_int_leaf(sc);
+        }
+        match self.rng.gen_range(0u32..20) {
+            0..=5 => self.gen_int_leaf(sc),
+            6..=9 => Expr::Bin {
+                op: self.pick_copy(&INT_BINOPS),
+                a: self.gen_int(sc, depth - 1).boxed(),
+                b: self.gen_int(sc, depth - 1).boxed(),
+            },
+            10 => {
+                // Shift: count is usually masked or a literal in range,
+                // occasionally an out-of-width literal — the IR defines
+                // shifts by masking the count, so even 70 is meaningful
+                // and must agree across substrates and pipelines.
+                let op = if self.rng.gen_bool(0.5) { "<<" } else { ">>" };
+                let count = match self.rng.gen_range(0u32..10) {
+                    0..=5 => Expr::Bin {
+                        op: "&",
+                        a: self.gen_int(sc, depth - 1).boxed(),
+                        b: Expr::int(63).boxed(),
+                    },
+                    6..=8 => Expr::int(self.rng.gen_range(0i64..=63)),
+                    _ => Expr::int(self.rng.gen_range(64i64..=70)),
+                };
+                Expr::Bin {
+                    op,
+                    a: self.gen_int(sc, depth - 1).boxed(),
+                    b: count.boxed(),
+                }
+            }
+            11..=12 => {
+                // Guarded division/remainder through the helper DAG.
+                let name = if self.rng.gen_bool(0.5) {
+                    "fz_sdiv"
+                } else {
+                    "fz_srem"
+                };
+                Expr::Call {
+                    name: name.to_string(),
+                    args: vec![self.gen_int(sc, depth - 1), self.gen_int(sc, depth - 1)],
+                }
+            }
+            13 => Expr::Un {
+                op: if self.rng.gen_bool(0.5) { "-" } else { "~" },
+                a: self.gen_int(sc, depth - 1).boxed(),
+            },
+            14 => Expr::Cast {
+                ty: Ty::Int,
+                a: self.gen_dbl(sc, depth - 1).boxed(),
+            },
+            15 => Expr::Cast {
+                ty: Ty::Int,
+                a: self.gen_byte(sc, depth - 1).boxed(),
+            },
+            16 => Expr::Cast {
+                ty: Ty::Int,
+                a: self.gen_bool(sc, depth - 1).boxed(),
+            },
+            _ => match self.gen_call(sc, Ty::Int, depth) {
+                Some(call) => call,
+                None => self.gen_int_leaf(sc),
+            },
+        }
+    }
+
+    fn gen_byte(&mut self, sc: &Scope, depth: u32) -> Expr {
+        let vars = sc.vars_of(Ty::Byte);
+        match self.rng.gen_range(0u32..4) {
+            0 if !vars.is_empty() => Expr::var(self.pick_copy(&vars)),
+            1 if !sc.structs.is_empty() => Expr::Member {
+                base: self.pick(&sc.structs).clone(),
+                field: "c",
+                arrow: false,
+            },
+            _ => Expr::Cast {
+                ty: Ty::Byte,
+                a: self.gen_int(sc, depth.saturating_sub(1)).boxed(),
+            },
+        }
+    }
+
+    fn gen_bool(&mut self, sc: &Scope, depth: u32) -> Expr {
+        let vars = sc.vars_of(Ty::Bool);
+        if depth == 0 {
+            return if vars.is_empty() || self.rng.gen_bool(0.3) {
+                Expr::Bool(self.rng.gen_bool(0.5))
+            } else {
+                Expr::var(self.pick_copy(&vars))
+            };
+        }
+        match self.rng.gen_range(0u32..10) {
+            0 if !vars.is_empty() => Expr::var(self.pick_copy(&vars)),
+            1..=4 => Expr::Bin {
+                op: self.pick_copy(&CMP_OPS),
+                a: self.gen_int(sc, depth - 1).boxed(),
+                b: self.gen_int(sc, depth - 1).boxed(),
+            },
+            5..=6 => Expr::Bin {
+                op: self.pick_copy(&CMP_OPS),
+                a: self.gen_dbl(sc, depth - 1).boxed(),
+                b: self.gen_dbl(sc, depth - 1).boxed(),
+            },
+            7 => Expr::Bin {
+                op: if self.rng.gen_bool(0.5) { "&&" } else { "||" },
+                a: self.gen_bool(sc, depth - 1).boxed(),
+                b: self.gen_bool(sc, depth - 1).boxed(),
+            },
+            8 => Expr::Un {
+                op: "!",
+                a: self.gen_bool(sc, depth - 1).boxed(),
+            },
+            _ => {
+                // Same-object pointer comparison: element addresses within
+                // one array order identically on both substrates.
+                if sc.int_arrays.is_empty() {
+                    Expr::Bool(self.rng.gen_bool(0.5))
+                } else {
+                    let (arr, len) = self.pick(&sc.int_arrays).clone();
+                    Expr::Bin {
+                        op: self.pick_copy(&CMP_OPS),
+                        a: Expr::AddrIndex {
+                            arr: arr.clone(),
+                            off: self.rng.gen_range(0i64..len),
+                        }
+                        .boxed(),
+                        b: Expr::AddrIndex {
+                            arr,
+                            off: self.rng.gen_range(0i64..len),
+                        }
+                        .boxed(),
+                    }
+                }
+            }
+        }
+    }
+
+    fn gen_dbl(&mut self, sc: &Scope, depth: u32) -> Expr {
+        let vars = sc.vars_of(Ty::Double);
+        if depth == 0 {
+            return match self.rng.gen_range(0u32..5) {
+                0..=1 if !vars.is_empty() => Expr::var(self.pick_copy(&vars)),
+                2 if !sc.dbl_arrays.is_empty() => {
+                    let (arr, len) = self.pick(&sc.dbl_arrays).clone();
+                    Expr::Index {
+                        arr,
+                        idx: self.gen_int_shallow(sc).boxed(),
+                        mask: len - 1,
+                    }
+                }
+                _ => Expr::Dbl(self.dbl_literal()),
+            };
+        }
+        match self.rng.gen_range(0u32..12) {
+            0..=2 => {
+                let leaf_depth = 0;
+                self.gen_dbl(sc, leaf_depth)
+            }
+            3..=6 => Expr::Bin {
+                // FP division never traps (±inf / NaN are defined and
+                // propagate identically), so the raw operator is safe.
+                op: self.pick_copy(&["+", "-", "*", "/"]),
+                a: self.gen_dbl(sc, depth - 1).boxed(),
+                b: self.gen_dbl(sc, depth - 1).boxed(),
+            },
+            7 => Expr::Un {
+                op: "-",
+                a: self.gen_dbl(sc, depth - 1).boxed(),
+            },
+            8 => Expr::Cast {
+                ty: Ty::Double,
+                a: self.gen_int(sc, depth - 1).boxed(),
+            },
+            9 => Expr::Call {
+                name: self.pick_copy(&DBL_UNARY_INTRINSICS).to_string(),
+                args: vec![self.gen_dbl(sc, depth - 1)],
+            },
+            10 if !sc.structs.is_empty() => Expr::Member {
+                base: self.pick(&sc.structs).clone(),
+                field: "b",
+                arrow: false,
+            },
+            _ => match self.gen_call(sc, Ty::Double, depth) {
+                Some(call) => call,
+                None => Expr::Dbl(self.dbl_literal()),
+            },
+        }
+    }
+
+    /// A call to a previously generated function returning `ty`, or
+    /// `None` when no callee fits the current context.
+    fn gen_call(&mut self, sc: &Scope, ty: Ty, depth: u32) -> Option<Expr> {
+        // Inside a generated function's loop, only loop-free callees keep
+        // the worst-case dynamic step count bounded.
+        let loopy_ok = !sc.in_function || sc.loop_depth == 0;
+        let fits = |f: &&FuncSig| f.ret == ty && (loopy_ok || !f.has_loop);
+        let candidates: Vec<FuncSig> = self.funcs.iter().filter(fits).cloned().collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let f = self.pick(&candidates).clone();
+        let args = f
+            .params
+            .iter()
+            .map(|p| self.gen_arg(sc, *p, depth.saturating_sub(1)))
+            .collect::<Option<Vec<Expr>>>()?;
+        Some(Expr::Call { name: f.name, args })
+    }
+
+    fn gen_arg(&mut self, sc: &Scope, p: ParamKind, depth: u32) -> Option<Expr> {
+        match p {
+            ParamKind::Scalar(ty) => Some(self.gen_expr(sc, ty, depth)),
+            ParamKind::IntPtr => {
+                // Any int object with at least 8 elements: the callee
+                // masks subscripts with `& 7`.
+                let mut bases: Vec<String> = sc
+                    .int_arrays
+                    .iter()
+                    .filter(|(_, len)| *len >= 8)
+                    .map(|(n, _)| n.clone())
+                    .collect();
+                bases.extend(
+                    sc.ptrs
+                        .iter()
+                        .filter(|(_, len)| *len >= 8)
+                        .map(|(n, _)| n.clone()),
+                );
+                if bases.is_empty() {
+                    return None;
+                }
+                Some(Expr::Var(self.pick(&bases).clone()))
+            }
+            ParamKind::StructPtr => {
+                let mut opts: Vec<Expr> =
+                    sc.structs.iter().map(|n| Expr::Addr(n.clone())).collect();
+                opts.extend(sc.struct_ptrs.iter().map(|n| Expr::var(n)));
+                if opts.is_empty() {
+                    return None;
+                }
+                Some(self.pick(&opts).clone())
+            }
+        }
+    }
+
+    // -- statements -----------------------------------------------------
+
+    /// One statement appended to `body`; may extend `sc` with new
+    /// declarations.
+    fn gen_stmt(&mut self, sc: &mut Scope, body: &mut Vec<Stmt>) {
+        let in_loop = sc.loop_depth > 0;
+        let depth = self.rng.gen_range(1u32..=3);
+        match self.rng.gen_range(0u32..24) {
+            // Scalar declaration.
+            0..=3 => {
+                let ty = self.pick_copy(&[Ty::Int, Ty::Int, Ty::Double, Ty::Byte, Ty::Bool]);
+                let name = self.fresh("v");
+                let init = self.gen_expr(sc, ty, depth);
+                body.push(Stmt::Decl {
+                    ty,
+                    name: clone_str(&name),
+                    init,
+                });
+                sc.vars.push((clone_str(&name), ty));
+                sc.assignable.push((name, ty));
+            }
+            // Local array declaration (+ init loop).
+            4 if sc.loop_depth < sc.max_loop_depth => {
+                let elem = if self.rng.gen_bool(0.7) {
+                    Ty::Int
+                } else {
+                    Ty::Double
+                };
+                let name = self.fresh("a");
+                let len = self.pick_copy(&[8i64, 16]);
+                let mut inner = sc.clone();
+                inner.vars.push((format!("{name}_i"), Ty::Int));
+                let init = self.gen_expr(&inner, elem, 2);
+                body.push(Stmt::DeclArray {
+                    elem,
+                    name: clone_str(&name),
+                    len,
+                    init,
+                });
+                match elem {
+                    Ty::Int => sc.int_arrays.push((name, len)),
+                    _ => sc.dbl_arrays.push((name, len)),
+                }
+            }
+            // Pointer declaration.
+            5 if !sc.int_arrays.is_empty() => {
+                let (arr, len) = self.pick(&sc.int_arrays).clone();
+                let name = self.fresh("p");
+                body.push(Stmt::DeclPtr {
+                    name: clone_str(&name),
+                    arr,
+                });
+                sc.ptrs.push((name, len));
+            }
+            // Local struct declaration.
+            6 => {
+                let name = self.fresh("s");
+                let a = self.gen_int(sc, 2);
+                let b = self.gen_dbl(sc, 2);
+                let c = self.gen_byte(sc, 2);
+                body.push(Stmt::DeclStruct {
+                    name: clone_str(&name),
+                    a,
+                    b,
+                    c,
+                });
+                sc.structs.push(name);
+            }
+            // Scalar assignment.
+            7..=10 => {
+                let ty = self.pick_copy(&[Ty::Int, Ty::Int, Ty::Double, Ty::Byte, Ty::Bool]);
+                let targets = sc.assignable_of(ty);
+                if targets.is_empty() {
+                    return self.gen_accumulate(sc, body, depth);
+                }
+                let target = Expr::var(self.pick_copy(&targets));
+                let op = if ty == Ty::Int || ty == Ty::Double {
+                    self.pick_copy(&["=", "+=", "-=", "*="])
+                } else {
+                    "="
+                };
+                let value = self.gen_expr(sc, ty, depth);
+                body.push(Stmt::Assign { target, op, value });
+            }
+            // Memory store: array element, struct field, or through a
+            // pointer.
+            11..=13 => {
+                let value;
+                let target = match self.rng.gen_range(0u32..4) {
+                    0 if !sc.dbl_arrays.is_empty() => {
+                        let (arr, len) = self.pick(&sc.dbl_arrays).clone();
+                        value = self.gen_dbl(sc, depth);
+                        Expr::Index {
+                            arr,
+                            idx: self.gen_int_shallow(sc).boxed(),
+                            mask: len - 1,
+                        }
+                    }
+                    1 if !sc.structs.is_empty() => {
+                        let (field, fty) = self.pick_copy(&STRUCT_FIELDS);
+                        value = self.gen_expr(sc, fty, depth);
+                        Expr::Member {
+                            base: self.pick(&sc.structs).clone(),
+                            field,
+                            arrow: false,
+                        }
+                    }
+                    2 if !sc.ptrs.is_empty() => {
+                        let (p, len) = self.pick(&sc.ptrs).clone();
+                        value = self.gen_int(sc, depth);
+                        if self.rng.gen_bool(0.3) {
+                            Expr::Deref(p)
+                        } else {
+                            Expr::Index {
+                                arr: p,
+                                idx: self.gen_int_shallow(sc).boxed(),
+                                mask: len - 1,
+                            }
+                        }
+                    }
+                    _ => {
+                        if sc.int_arrays.is_empty() {
+                            return self.gen_accumulate(sc, body, depth);
+                        }
+                        let (arr, len) = self.pick(&sc.int_arrays).clone();
+                        value = self.gen_int(sc, depth);
+                        Expr::Index {
+                            arr,
+                            idx: self.gen_int_shallow(sc).boxed(),
+                            mask: len - 1,
+                        }
+                    }
+                };
+                let op = self.pick_copy(&["=", "=", "+="]);
+                body.push(Stmt::Assign { target, op, value });
+            }
+            // If / else.
+            14..=16 => {
+                let cond = self.gen_bool(sc, depth);
+                let mut then_sc = sc.clone();
+                let mut then = Vec::new();
+                for _ in 0..self.rng.gen_range(1u32..=3) {
+                    self.gen_stmt(&mut then_sc, &mut then);
+                }
+                let mut els = Vec::new();
+                if self.rng.gen_bool(0.4) {
+                    let mut els_sc = sc.clone();
+                    for _ in 0..self.rng.gen_range(1u32..=2) {
+                        self.gen_stmt(&mut els_sc, &mut els);
+                    }
+                }
+                if in_loop && self.rng.gen_bool(0.15) {
+                    then.push(Stmt::Break);
+                }
+                body.push(Stmt::If { cond, then, els });
+            }
+            // Loop.
+            17..=19 if sc.loop_depth < sc.max_loop_depth => {
+                let is_for = self.rng.gen_bool(0.7);
+                let var = self.fresh("i");
+                let bound = self.rng.gen_range(1i64..=8);
+                let mut inner = sc.clone();
+                inner.loop_depth += 1;
+                inner.vars.push((clone_str(&var), Ty::Int));
+                // The continue guard goes at position 0, so its
+                // condition may only use the scope as it is *here* —
+                // not variables the body declares after it.
+                let guard_scope = inner.clone();
+                let mut inner_body = Vec::new();
+                for _ in 0..self.rng.gen_range(1u32..=4) {
+                    self.gen_stmt(&mut inner, &mut inner_body);
+                }
+                // `continue` is safe only where the induction step still
+                // runs: the `for` step clause.
+                if is_for && self.rng.gen_bool(0.15) {
+                    let cond = self.gen_bool(&guard_scope, 1);
+                    inner_body.insert(
+                        0,
+                        Stmt::If {
+                            cond,
+                            then: vec![Stmt::Continue],
+                            els: vec![],
+                        },
+                    );
+                }
+                body.push(if is_for {
+                    Stmt::For {
+                        var,
+                        bound,
+                        body: inner_body,
+                    }
+                } else {
+                    Stmt::While {
+                        var,
+                        bound,
+                        body: inner_body,
+                    }
+                });
+            }
+            // Print.
+            20..=21 => {
+                if self.rng.gen_bool(0.7) {
+                    let arg = self.gen_int(sc, depth);
+                    body.push(Stmt::Print { arg, ty: Ty::Int });
+                } else {
+                    let arg = self.gen_dbl(sc, depth);
+                    body.push(Stmt::Print {
+                        arg,
+                        ty: Ty::Double,
+                    });
+                }
+            }
+            // Accumulate into the observability globals.
+            _ => self.gen_accumulate(sc, body, depth),
+        }
+    }
+
+    /// `g_acc = g_acc * 31 + (e);` or `g_facc += (e);` — folds any
+    /// expression's value into the printed end-of-run checksum.
+    fn gen_accumulate(&mut self, sc: &Scope, body: &mut Vec<Stmt>, depth: u32) {
+        if self.rng.gen_bool(0.6) {
+            let e = self.gen_int(sc, depth);
+            body.push(Stmt::Assign {
+                target: Expr::var("g_acc"),
+                op: "=",
+                value: Expr::Bin {
+                    op: "+",
+                    a: Expr::Bin {
+                        op: "*",
+                        a: Expr::var("g_acc").boxed(),
+                        b: Expr::int(31).boxed(),
+                    }
+                    .boxed(),
+                    b: e.boxed(),
+                },
+            });
+        } else {
+            let e = self.gen_dbl(sc, depth);
+            body.push(Stmt::Assign {
+                target: Expr::var("g_facc"),
+                op: "+=",
+                value: e,
+            });
+        }
+    }
+
+    // -- functions ------------------------------------------------------
+
+    /// The two division guard helpers, as reducible AST.
+    fn div_helpers() -> Vec<FuncDef> {
+        let guard = |name: &str, neg_case: Expr| FuncDef {
+            name: name.to_string(),
+            ret: Ty::Int,
+            params: vec![
+                ("da".to_string(), ParamKind::Scalar(Ty::Int)),
+                ("db".to_string(), ParamKind::Scalar(Ty::Int)),
+            ],
+            body: vec![
+                Stmt::If {
+                    cond: Expr::Bin {
+                        op: "==",
+                        a: Expr::var("db").boxed(),
+                        b: Expr::int(0).boxed(),
+                    },
+                    then: vec![Stmt::Ret {
+                        value: Some(Expr::var("da")),
+                    }],
+                    els: vec![],
+                },
+                Stmt::If {
+                    cond: Expr::Bin {
+                        op: "==",
+                        a: Expr::var("db").boxed(),
+                        b: Expr::int(-1).boxed(),
+                    },
+                    then: vec![Stmt::Ret {
+                        value: Some(neg_case),
+                    }],
+                    els: vec![],
+                },
+                Stmt::Ret {
+                    value: Some(Expr::Bin {
+                        op: if name == "fz_sdiv" { "/" } else { "%" },
+                        a: Expr::var("da").boxed(),
+                        b: Expr::var("db").boxed(),
+                    }),
+                },
+            ],
+            has_loop: false,
+        };
+        vec![
+            guard(
+                "fz_sdiv",
+                // Wrapping negate is defined: `-INT_MIN == INT_MIN`,
+                // which is what the hardware quotient would be.
+                Expr::Un {
+                    op: "-",
+                    a: Expr::var("da").boxed(),
+                },
+            ),
+            guard("fz_srem", Expr::int(0)),
+        ]
+    }
+
+    fn global_scope(in_function: bool, max_loop_depth: u32) -> Scope {
+        Scope {
+            vars: vec![("g_acc".into(), Ty::Int), ("g_facc".into(), Ty::Double)],
+            assignable: vec![("g_acc".into(), Ty::Int), ("g_facc".into(), Ty::Double)],
+            int_arrays: vec![("g_ints".into(), 16), ("g_ints2".into(), 8)],
+            dbl_arrays: vec![("g_dbls".into(), 8)],
+            ptrs: vec![],
+            structs: vec!["g_s".into()],
+            struct_ptrs: vec![],
+            loop_depth: 0,
+            max_loop_depth,
+            in_function,
+        }
+    }
+
+    fn gen_function(&mut self) -> FuncDef {
+        let name = self.fresh("fn");
+        let ret = if self.rng.gen_bool(0.7) {
+            Ty::Int
+        } else {
+            Ty::Double
+        };
+        // Leaf functions are straight-line; the rest may hold one loop.
+        let leaf = self.rng.gen_bool(0.4);
+        let max_loop_depth = u32::from(!leaf);
+        let mut sc = Gen::global_scope(true, max_loop_depth);
+
+        let mut params = Vec::new();
+        for _ in 0..self.rng.gen_range(0u32..=3) {
+            let kind = match self.rng.gen_range(0u32..8) {
+                0..=3 => ParamKind::Scalar(self.pick_copy(&[
+                    Ty::Int,
+                    Ty::Int,
+                    Ty::Double,
+                    Ty::Byte,
+                    Ty::Bool,
+                ])),
+                4..=5 => ParamKind::Scalar(Ty::Int),
+                6 => ParamKind::IntPtr,
+                _ => ParamKind::StructPtr,
+            };
+            let pname = self.fresh("q");
+            match kind {
+                ParamKind::Scalar(ty) => {
+                    sc.vars.push((clone_str(&pname), ty));
+                    sc.assignable.push((clone_str(&pname), ty));
+                }
+                ParamKind::IntPtr => sc.ptrs.push((clone_str(&pname), 8)),
+                ParamKind::StructPtr => sc.struct_ptrs.push(clone_str(&pname)),
+            }
+            params.push((pname, kind));
+        }
+
+        // Temporarily hide loopy callees from leaf bodies by generation
+        // order: a leaf body is generated with loop_depth forced past the
+        // cap, so gen_call only offers loop-free functions.
+        let mut body = Vec::new();
+        for _ in 0..self.rng.gen_range(3u32..=8) {
+            self.gen_stmt(&mut sc, &mut body);
+        }
+        let ret_val = self.gen_expr(&sc, ret, 2);
+        body.push(Stmt::Ret {
+            value: Some(ret_val),
+        });
+        let has_loop = body_has_loop(&body);
+        FuncDef {
+            name,
+            ret,
+            params,
+            body,
+            has_loop,
+        }
+    }
+
+    /// Generates a whole program.
+    pub fn program(&mut self) -> Program {
+        let mut funcs = Gen::div_helpers();
+        self.funcs = vec![
+            FuncSig {
+                name: "fz_sdiv".into(),
+                ret: Ty::Int,
+                params: vec![ParamKind::Scalar(Ty::Int), ParamKind::Scalar(Ty::Int)],
+                has_loop: false,
+            },
+            FuncSig {
+                name: "fz_srem".into(),
+                ret: Ty::Int,
+                params: vec![ParamKind::Scalar(Ty::Int), ParamKind::Scalar(Ty::Int)],
+                has_loop: false,
+            },
+        ];
+        for _ in 0..self.rng.gen_range(1u32..=4) {
+            let f = self.gen_function();
+            self.funcs.push(FuncSig {
+                name: clone_str(&f.name),
+                ret: f.ret,
+                params: f.params.iter().map(|(_, k)| *k).collect(),
+                has_loop: f.has_loop,
+            });
+            funcs.push(f);
+        }
+
+        let mut sc = Gen::global_scope(false, 2);
+        let mut main = Vec::new();
+        for _ in 0..self.rng.gen_range(6u32..=16) {
+            self.gen_stmt(&mut sc, &mut main);
+        }
+        // Epilogue: print every observable — the checksum globals, all
+        // global array contents, and the global struct — so any memory
+        // effect anywhere shows up in the compared output.
+        main.push(Stmt::Print {
+            arg: Expr::var("g_acc"),
+            ty: Ty::Int,
+        });
+        main.push(Stmt::Print {
+            arg: Expr::var("g_facc"),
+            ty: Ty::Double,
+        });
+        for (arr, len, ty) in [
+            ("g_ints", 16i64, Ty::Int),
+            ("g_ints2", 8, Ty::Int),
+            ("g_dbls", 8, Ty::Double),
+        ] {
+            let var = self.fresh("e");
+            main.push(Stmt::For {
+                var: clone_str(&var),
+                bound: len,
+                body: vec![Stmt::Print {
+                    arg: Expr::Index {
+                        arr: arr.to_string(),
+                        idx: Expr::var(&var).boxed(),
+                        mask: len - 1,
+                    },
+                    ty,
+                }],
+            });
+        }
+        main.push(Stmt::Print {
+            arg: Expr::Member {
+                base: "g_s".into(),
+                field: "a",
+                arrow: false,
+            },
+            ty: Ty::Int,
+        });
+        main.push(Stmt::Print {
+            arg: Expr::Member {
+                base: "g_s".into(),
+                field: "b",
+                arrow: false,
+            },
+            ty: Ty::Double,
+        });
+        main.push(Stmt::Print {
+            arg: Expr::Cast {
+                ty: Ty::Int,
+                a: Expr::Member {
+                    base: "g_s".into(),
+                    field: "c",
+                    arrow: false,
+                }
+                .boxed(),
+            },
+            ty: Ty::Int,
+        });
+        Program { funcs, main }
+    }
+}
+
+fn clone_str(s: &str) -> String {
+    s.to_string()
+}
+
+fn body_has_loop(body: &[Stmt]) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::For { .. } | Stmt::While { .. } | Stmt::DeclArray { .. } => true,
+        Stmt::If { then, els, .. } => body_has_loop(then) || body_has_loop(els),
+        _ => false,
+    })
+}
+
+/// Generates the Mini-C source for one program seed.
+pub fn generate(seed: u64) -> String {
+    render(&Gen::new(seed).program())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..20 {
+            assert_eq!(generate(seed), generate(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_programs_compile() {
+        for seed in 0..40 {
+            let src = generate(seed);
+            fiq_frontend::compile("fuzz", &src)
+                .unwrap_or_else(|e| panic!("seed {seed} fails to compile: {e}\n{src}"));
+        }
+    }
+}

@@ -1,0 +1,638 @@
+//! Differential oracles over one generated program.
+//!
+//! Every program is checked at each requested optimization level, and at
+//! each level against four oracles:
+//!
+//! * **opt-agreement** — the interpreted result (exit status + console
+//!   output) is identical across all optimization pipelines, from
+//!   no-opt to the full module pipeline,
+//! * **cross-level** — the IR interpreter ("LLFI level") and the lowered
+//!   machine run ("PINFI level") produce identical output,
+//! * **snapshot-replay** — `run_with_snapshots` reproduces the plain run
+//!   bit-for-bit, and resuming from *every* checkpoint replays the rest
+//!   of the run to the same status, step count, and output — on both
+//!   substrates,
+//! * **digest-integrity** — the cheap [`fiq_mem::StateDigest`]-based
+//!   comparison agrees with exact state equality at every checkpoint
+//!   boundary: exact-equal states must digest-equal, and a replayed
+//!   state paused at checkpoint `j` must *not* digest-match any other
+//!   checkpoint (those states differ at least in their step counts).
+//!
+//! A panic inside any compiler stage or substrate is converted into a
+//! finding too ([`OracleKind::Panic`]) rather than tearing down the fuzz
+//! loop: a compiler pass that panics on a valid program is exactly the
+//! kind of bug differential fuzzing exists to surface.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fiq_asm::{AsmProgram, MachOptions, Machine, NopAsmHook, RunResult};
+use fiq_backend::LowerOptions;
+use fiq_interp::{run_module, ExecResult, ExecStatus, Interp, InterpOptions, NopHook};
+use fiq_ir::Module;
+
+/// Which oracle flagged a divergence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OracleKind {
+    /// Interpreted result differs between optimization pipelines.
+    OptAgreement,
+    /// Interpreter and lowered machine disagree.
+    CrossLevel,
+    /// Checkpoint restore + replay does not reproduce the straight run.
+    SnapshotReplay,
+    /// The cheap state digest disagrees with exact state comparison.
+    DigestIntegrity,
+    /// A compiler stage or substrate panicked on a valid program.
+    Panic,
+}
+
+impl OracleKind {
+    /// Stable lowercase name (CLI `--oracle` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::OptAgreement => "opt-agreement",
+            OracleKind::CrossLevel => "cross-level",
+            OracleKind::SnapshotReplay => "snapshot-replay",
+            OracleKind::DigestIntegrity => "digest-integrity",
+            OracleKind::Panic => "panic",
+        }
+    }
+}
+
+/// Which oracles to run (the panic trap is always armed).
+#[derive(Clone, Copy, Debug)]
+pub struct OracleSet {
+    /// Run the opt-agreement oracle.
+    pub opt_agreement: bool,
+    /// Run the cross-level oracle.
+    pub cross_level: bool,
+    /// Run the snapshot-replay oracle.
+    pub snapshot_replay: bool,
+    /// Run the digest-integrity oracle (piggybacks on replay pauses).
+    pub digest_integrity: bool,
+}
+
+impl Default for OracleSet {
+    fn default() -> OracleSet {
+        OracleSet {
+            opt_agreement: true,
+            cross_level: true,
+            snapshot_replay: true,
+            digest_integrity: true,
+        }
+    }
+}
+
+impl OracleSet {
+    /// Enables only the named oracle. `None` for an unknown name.
+    pub fn only(name: &str) -> Option<OracleSet> {
+        let mut s = OracleSet {
+            opt_agreement: false,
+            cross_level: false,
+            snapshot_replay: false,
+            digest_integrity: false,
+        };
+        match name {
+            "opt-agreement" => s.opt_agreement = true,
+            "cross-level" => s.cross_level = true,
+            // Replay drives the pauses the digest checks happen at, so
+            // selecting either runs the replay machinery.
+            "snapshot-replay" => s.snapshot_replay = true,
+            "digest-integrity" => s.digest_integrity = true,
+            _ => return None,
+        }
+        Some(s)
+    }
+}
+
+/// A confirmed cross-pipeline / cross-level disagreement.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Which oracle fired.
+    pub oracle: OracleKind,
+    /// Optimization level (0–3) the program was running at.
+    pub opt_level: u8,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{} @ O{}] {}",
+            self.oracle.name(),
+            self.opt_level,
+            self.detail
+        )
+    }
+}
+
+/// Why a program failed its check.
+#[derive(Clone, Debug)]
+pub enum CheckFailure {
+    /// The source did not compile — a generator (or reducer-mutation)
+    /// defect, not an oracle finding. The reducer uses this to reject
+    /// ill-typed mutations.
+    Compile(String),
+    /// An oracle fired.
+    Divergence(Divergence),
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckFailure::Compile(e) => write!(f, "compile error: {e}"),
+            CheckFailure::Divergence(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// Every optimization level the oracles distinguish.
+pub const ALL_OPT_LEVELS: [u8; 4] = [0, 1, 2, 3];
+
+/// Applies one optimization level in place. `0` = none; `1` = mem2reg +
+/// DCE per function; `2` = the full per-function pipeline; `3` = the
+/// module pipeline (adds inlining).
+pub fn apply_opt(module: &mut Module, level: u8) {
+    match level {
+        0 => {}
+        1 => {
+            for f in &mut module.funcs {
+                fiq_opt::mem2reg(f);
+                fiq_opt::dce(f);
+            }
+        }
+        2 => {
+            for f in &mut module.funcs {
+                fiq_opt::optimize_function(f);
+            }
+        }
+        _ => {
+            fiq_opt::optimize_module(module);
+        }
+    }
+}
+
+fn interp_opts(max_steps: u64) -> InterpOptions {
+    InterpOptions {
+        max_steps,
+        ..InterpOptions::default()
+    }
+}
+
+fn mach_opts(max_steps: u64) -> MachOptions {
+    MachOptions {
+        max_steps,
+        ..MachOptions::default()
+    }
+}
+
+fn status_str(s: ExecStatus) -> String {
+    match s {
+        ExecStatus::Finished => "finished".to_string(),
+        ExecStatus::Trapped(t) => format!("trapped: {t}"),
+        ExecStatus::BudgetExceeded => "budget exceeded (hang)".to_string(),
+    }
+}
+
+fn first_diff(a: &str, b: &str) -> String {
+    let line = a
+        .lines()
+        .zip(b.lines())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.lines().count().min(b.lines().count()));
+    let la = a.lines().nth(line).unwrap_or("<eof>");
+    let lb = b.lines().nth(line).unwrap_or("<eof>");
+    format!("first differing line {}: {la:?} vs {lb:?}", line + 1)
+}
+
+fn diverge(oracle: OracleKind, opt_level: u8, detail: String) -> CheckFailure {
+    CheckFailure::Divergence(Divergence {
+        oracle,
+        opt_level,
+        detail,
+    })
+}
+
+/// Checks one Mini-C source against the configured oracles at every
+/// requested optimization level. Panics anywhere inside the pipeline are
+/// reported as [`OracleKind::Panic`] divergences.
+pub fn check_source(
+    source: &str,
+    levels: &[u8],
+    oracles: OracleSet,
+    max_steps: u64,
+) -> Result<(), CheckFailure> {
+    let source = source.to_string();
+    let levels = levels.to_vec();
+    let caught = catch_unwind(AssertUnwindSafe(move || {
+        check_inner(&source, &levels, oracles, max_steps)
+    }));
+    match caught {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Err(diverge(
+                OracleKind::Panic,
+                u8::MAX,
+                format!("panicked: {msg}"),
+            ))
+        }
+    }
+}
+
+fn check_inner(
+    source: &str,
+    levels: &[u8],
+    oracles: OracleSet,
+    max_steps: u64,
+) -> Result<(), CheckFailure> {
+    let base =
+        fiq_frontend::compile("fuzz", source).map_err(|e| CheckFailure::Compile(e.to_string()))?;
+
+    // Baseline: the unoptimized interpreted run. Everything else is
+    // compared against it.
+    let baseline = run_module(&base, interp_opts(max_steps))
+        .map_err(|t| diverge(OracleKind::OptAgreement, 0, format!("setup trap: {t}")))?;
+    if !baseline.finished() {
+        return Err(diverge(
+            OracleKind::OptAgreement,
+            0,
+            format!(
+                "unoptimized run did not finish: {}",
+                status_str(baseline.status)
+            ),
+        ));
+    }
+
+    for &level in levels {
+        let mut module = base.clone();
+        apply_opt(&mut module, level);
+
+        let ir_run = run_module(&module, interp_opts(max_steps))
+            .map_err(|t| diverge(OracleKind::OptAgreement, level, format!("setup trap: {t}")))?;
+        if oracles.opt_agreement {
+            if !ir_run.finished() {
+                return Err(diverge(
+                    OracleKind::OptAgreement,
+                    level,
+                    format!(
+                        "optimized run did not finish: {}",
+                        status_str(ir_run.status)
+                    ),
+                ));
+            }
+            if ir_run.output != baseline.output {
+                return Err(diverge(
+                    OracleKind::OptAgreement,
+                    level,
+                    format!(
+                        "interpreted output differs from the unoptimized run; {}",
+                        first_diff(&baseline.output, &ir_run.output)
+                    ),
+                ));
+            }
+        }
+
+        let needs_machine =
+            oracles.cross_level || oracles.snapshot_replay || oracles.digest_integrity;
+        let prog = if needs_machine {
+            Some(
+                fiq_backend::lower_module(&module, LowerOptions::default()).map_err(|e| {
+                    diverge(
+                        OracleKind::CrossLevel,
+                        level,
+                        format!("lowering rejected valid IR: {e}"),
+                    )
+                })?,
+            )
+        } else {
+            None
+        };
+
+        if oracles.cross_level {
+            let prog = prog.as_ref().expect("lowered");
+            let mach_run = fiq_asm::run_program(prog, mach_opts(max_steps)).map_err(|t| {
+                diverge(
+                    OracleKind::CrossLevel,
+                    level,
+                    format!("machine setup trap: {t}"),
+                )
+            })?;
+            if !mach_run.status.finished() {
+                return Err(diverge(
+                    OracleKind::CrossLevel,
+                    level,
+                    format!(
+                        "machine run did not finish: {}",
+                        status_str(mach_run.status)
+                    ),
+                ));
+            }
+            if mach_run.output != baseline.output {
+                return Err(diverge(
+                    OracleKind::CrossLevel,
+                    level,
+                    format!(
+                        "machine output differs from interpreter; {}",
+                        first_diff(&baseline.output, &mach_run.output)
+                    ),
+                ));
+            }
+        }
+
+        if oracles.snapshot_replay || oracles.digest_integrity {
+            interp_snapshot_oracle(&module, level, oracles, max_steps, &ir_run)?;
+            if let Some(prog) = prog.as_ref() {
+                machine_snapshot_oracle(prog, level, oracles, max_steps)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// How many checkpoints the replay oracles aim for. Replaying from each
+/// checkpoint once and pausing at every later one keeps the whole check
+/// O(checkpoints) full runs.
+const TARGET_CHECKPOINTS: u64 = 4;
+
+fn interp_snapshot_oracle(
+    module: &Module,
+    level: u8,
+    oracles: OracleSet,
+    max_steps: u64,
+    plain: &ExecResult,
+) -> Result<(), CheckFailure> {
+    let opts = interp_opts(max_steps);
+    let interval = (plain.steps / TARGET_CHECKPOINTS).max(1);
+    let mut interp = Interp::new(module, opts, NopHook).map_err(|t| {
+        diverge(
+            OracleKind::SnapshotReplay,
+            level,
+            format!("setup trap: {t}"),
+        )
+    })?;
+    let (gold, snaps) = interp.run_with_snapshots(interval);
+    if oracles.snapshot_replay
+        && (gold.status != plain.status || gold.steps != plain.steps || gold.output != plain.output)
+    {
+        return Err(diverge(
+            OracleKind::SnapshotReplay,
+            level,
+            format!(
+                "interp: snapshotting perturbed the run: {} in {} steps vs {} in {} steps",
+                status_str(gold.status),
+                gold.steps,
+                status_str(plain.status),
+                plain.steps
+            ),
+        ));
+    }
+
+    for (i, snap) in snaps.iter().enumerate() {
+        let mut it = Interp::restore(module, opts, NopHook, snap);
+        if oracles.snapshot_replay && !it.state_equals_snapshot(snap) {
+            return Err(diverge(
+                OracleKind::SnapshotReplay,
+                level,
+                format!("interp: restore from checkpoint {i} is lossy"),
+            ));
+        }
+        if oracles.digest_integrity && !it.state_matches_digest(snap) {
+            return Err(diverge(
+                OracleKind::DigestIntegrity,
+                level,
+                format!("interp: restored state does not digest-match its own checkpoint {i}"),
+            ));
+        }
+        for (j, later) in snaps.iter().enumerate().skip(i + 1) {
+            match it.run_until(later.steps()) {
+                None => {
+                    let exact = it.state_equals_snapshot(later);
+                    let digest = it.state_matches_digest(later);
+                    if oracles.digest_integrity && digest && !exact {
+                        return Err(diverge(
+                            OracleKind::DigestIntegrity,
+                            level,
+                            format!(
+                                "interp: digest collision — replay from checkpoint {i} paused \
+                                 at {j} digest-matches it but differs bitwise"
+                            ),
+                        ));
+                    }
+                    if oracles.snapshot_replay && !exact {
+                        return Err(diverge(
+                            OracleKind::SnapshotReplay,
+                            level,
+                            format!(
+                                "interp: replay from checkpoint {i} diverged by checkpoint {j}"
+                            ),
+                        ));
+                    }
+                    if oracles.digest_integrity && !digest {
+                        return Err(diverge(
+                            OracleKind::DigestIntegrity,
+                            level,
+                            format!(
+                                "interp: exact-equal state at checkpoint {j} fails the digest check"
+                            ),
+                        ));
+                    }
+                    if oracles.digest_integrity {
+                        for (m, other) in snaps.iter().enumerate() {
+                            if m != j && it.state_matches_digest(other) {
+                                return Err(diverge(
+                                    OracleKind::DigestIntegrity,
+                                    level,
+                                    format!(
+                                        "interp: state at checkpoint {j} digest-matches \
+                                         unrelated checkpoint {m}"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                Some(res) => {
+                    return Err(diverge(
+                        OracleKind::SnapshotReplay,
+                        level,
+                        format!(
+                            "interp: replay from checkpoint {i} ended ({}, {} steps) before \
+                             reaching checkpoint {j} at step {}",
+                            status_str(res.status),
+                            res.steps,
+                            later.steps()
+                        ),
+                    ));
+                }
+            }
+        }
+        let fin = it.run();
+        if oracles.snapshot_replay
+            && (fin.status != gold.status || fin.steps != gold.steps || fin.output != gold.output)
+        {
+            return Err(diverge(
+                OracleKind::SnapshotReplay,
+                level,
+                format!(
+                    "interp: run resumed from checkpoint {i} finished {} in {} steps with {} \
+                     output bytes; straight run finished {} in {} steps with {} bytes",
+                    status_str(fin.status),
+                    fin.steps,
+                    fin.output.len(),
+                    status_str(gold.status),
+                    gold.steps,
+                    gold.output.len()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn machine_snapshot_oracle(
+    prog: &AsmProgram,
+    level: u8,
+    oracles: OracleSet,
+    max_steps: u64,
+) -> Result<(), CheckFailure> {
+    let opts = mach_opts(max_steps);
+    let plain: RunResult = fiq_asm::run_program(prog, opts).map_err(|t| {
+        diverge(
+            OracleKind::SnapshotReplay,
+            level,
+            format!("setup trap: {t}"),
+        )
+    })?;
+    let interval = (plain.steps / TARGET_CHECKPOINTS).max(1);
+    let mut mach = Machine::new(prog, opts, NopAsmHook).map_err(|t| {
+        diverge(
+            OracleKind::SnapshotReplay,
+            level,
+            format!("setup trap: {t}"),
+        )
+    })?;
+    let (gold, snaps) = mach.run_with_snapshots(interval);
+    if oracles.snapshot_replay
+        && (gold.status != plain.status || gold.steps != plain.steps || gold.output != plain.output)
+    {
+        return Err(diverge(
+            OracleKind::SnapshotReplay,
+            level,
+            format!(
+                "machine: snapshotting perturbed the run: {} in {} steps vs {} in {} steps",
+                status_str(gold.status),
+                gold.steps,
+                status_str(plain.status),
+                plain.steps
+            ),
+        ));
+    }
+
+    for (i, snap) in snaps.iter().enumerate() {
+        let mut m = Machine::restore(prog, opts, NopAsmHook, snap);
+        if oracles.snapshot_replay && !m.state_equals_snapshot(snap) {
+            return Err(diverge(
+                OracleKind::SnapshotReplay,
+                level,
+                format!("machine: restore from checkpoint {i} is lossy"),
+            ));
+        }
+        if oracles.digest_integrity && !m.state_matches_digest(snap) {
+            return Err(diverge(
+                OracleKind::DigestIntegrity,
+                level,
+                format!("machine: restored state does not digest-match its own checkpoint {i}"),
+            ));
+        }
+        for (j, later) in snaps.iter().enumerate().skip(i + 1) {
+            match m.run_until(later.steps()) {
+                None => {
+                    let exact = m.state_equals_snapshot(later);
+                    let digest = m.state_matches_digest(later);
+                    if oracles.digest_integrity && digest && !exact {
+                        return Err(diverge(
+                            OracleKind::DigestIntegrity,
+                            level,
+                            format!(
+                                "machine: digest collision — replay from checkpoint {i} paused \
+                                 at {j} digest-matches it but differs bitwise"
+                            ),
+                        ));
+                    }
+                    if oracles.snapshot_replay && !exact {
+                        return Err(diverge(
+                            OracleKind::SnapshotReplay,
+                            level,
+                            format!(
+                                "machine: replay from checkpoint {i} diverged by checkpoint {j}"
+                            ),
+                        ));
+                    }
+                    if oracles.digest_integrity && !digest {
+                        return Err(diverge(
+                            OracleKind::DigestIntegrity,
+                            level,
+                            format!(
+                                "machine: exact-equal state at checkpoint {j} fails the digest \
+                                 check"
+                            ),
+                        ));
+                    }
+                    if oracles.digest_integrity {
+                        for (k, other) in snaps.iter().enumerate() {
+                            if k != j && m.state_matches_digest(other) {
+                                return Err(diverge(
+                                    OracleKind::DigestIntegrity,
+                                    level,
+                                    format!(
+                                        "machine: state at checkpoint {j} digest-matches \
+                                         unrelated checkpoint {k}"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                Some(res) => {
+                    return Err(diverge(
+                        OracleKind::SnapshotReplay,
+                        level,
+                        format!(
+                            "machine: replay from checkpoint {i} ended ({}, {} steps) before \
+                             reaching checkpoint {j} at step {}",
+                            status_str(res.status),
+                            res.steps,
+                            later.steps()
+                        ),
+                    ));
+                }
+            }
+        }
+        let fin = m.run();
+        if oracles.snapshot_replay
+            && (fin.status != gold.status || fin.steps != gold.steps || fin.output != gold.output)
+        {
+            return Err(diverge(
+                OracleKind::SnapshotReplay,
+                level,
+                format!(
+                    "machine: run resumed from checkpoint {i} finished {} in {} steps with {} \
+                     output bytes; straight run finished {} in {} steps with {} bytes",
+                    status_str(fin.status),
+                    fin.steps,
+                    fin.output.len(),
+                    status_str(gold.status),
+                    gold.steps,
+                    gold.output.len()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}

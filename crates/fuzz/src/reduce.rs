@@ -1,0 +1,213 @@
+//! Greedy structural reducer for failing generated programs.
+//!
+//! Works on the generator AST, never on raw text, so every mutation
+//! preserves well-formedness by construction — the only way a mutation
+//! produces an invalid program is a dangling reference (e.g. deleting a
+//! declaration whose variable is still used), and those are rejected
+//! because the mutated program stops compiling.
+//!
+//! Mutations only ever *remove or simplify* structure:
+//!
+//! * delete a whole function (call sites would dangle → compile error
+//!   rejects the mutation unless the function was genuinely unused),
+//! * delete one statement anywhere in the statement tree,
+//! * hoist a compound statement's body over the statement itself
+//!   (`if`/`for`/`while` → their contents),
+//! * shrink a loop bound to 1.
+//!
+//! A mutation is kept only if the reduced program still fails the *same*
+//! oracle. The process repeats to a fixpoint or until the evaluation
+//! budget is exhausted.
+
+use crate::gen::{Program, Stmt};
+use crate::oracle::{check_source, CheckFailure, OracleKind, OracleSet};
+
+/// Where a statement lives: which body, then the index path down through
+/// nested blocks.
+#[derive(Clone, Debug)]
+struct Path {
+    /// `None` = `main`, `Some(i)` = `funcs[i]`.
+    func: Option<usize>,
+    /// Indices from the body root to the statement.
+    steps: Vec<usize>,
+}
+
+fn collect_paths(body: &[Stmt], func: Option<usize>, prefix: &mut Vec<usize>, out: &mut Vec<Path>) {
+    for (i, s) in body.iter().enumerate() {
+        prefix.push(i);
+        out.push(Path {
+            func,
+            steps: prefix.clone(),
+        });
+        match s {
+            Stmt::If { then, els, .. } => {
+                // Mark the two arms with a discriminator step so a path
+                // can address statements inside either arm: even = then,
+                // odd = else.
+                prefix.push(0);
+                collect_paths(then, func, prefix, out);
+                prefix.pop();
+                prefix.push(1);
+                collect_paths(els, func, prefix, out);
+                prefix.pop();
+            }
+            Stmt::For { body: b, .. } | Stmt::While { body: b, .. } => {
+                prefix.push(0);
+                collect_paths(b, func, prefix, out);
+                prefix.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Resolves the owning block of `path` and the statement index within
+/// it. Paths alternate statement-index / arm-discriminator levels.
+fn resolve<'p>(prog: &'p mut Program, path: &Path) -> Option<(&'p mut Vec<Stmt>, usize)> {
+    let mut body: &'p mut Vec<Stmt> = match path.func {
+        None => &mut prog.main,
+        Some(i) => &mut prog.funcs.get_mut(i)?.body,
+    };
+    let mut k = 0;
+    while k + 2 < path.steps.len() {
+        let idx = path.steps[k];
+        let arm = path.steps[k + 1];
+        let stmt = body.get_mut(idx)?;
+        body = match stmt {
+            Stmt::If { then, els, .. } => {
+                if arm == 0 {
+                    then
+                } else {
+                    els
+                }
+            }
+            Stmt::For { body: b, .. } | Stmt::While { body: b, .. } if arm == 0 => b,
+            _ => return None,
+        };
+        k += 2;
+    }
+    let idx = *path.steps.get(k)?;
+    if idx < body.len() {
+        Some((body, idx))
+    } else {
+        None
+    }
+}
+
+enum Mutation {
+    DropFunc(usize),
+    DropStmt(Path),
+    /// Replace a compound statement with the statements it contains.
+    Hoist(Path),
+    ShrinkBound(Path),
+}
+
+fn apply(prog: &Program, m: &Mutation) -> Option<Program> {
+    let mut p = prog.clone();
+    match m {
+        Mutation::DropFunc(i) => {
+            if *i >= p.funcs.len() {
+                return None;
+            }
+            p.funcs.remove(*i);
+        }
+        Mutation::DropStmt(path) => {
+            let (body, idx) = resolve(&mut p, path)?;
+            body.remove(idx);
+        }
+        Mutation::Hoist(path) => {
+            let (body, idx) = resolve(&mut p, path)?;
+            let inner: Vec<Stmt> = match &body[idx] {
+                Stmt::If { then, els, .. } => {
+                    let mut v = then.clone();
+                    v.extend(els.iter().cloned());
+                    v
+                }
+                Stmt::For { body: b, .. } | Stmt::While { body: b, .. } => b
+                    .iter()
+                    // A hoisted loop body may not keep loop-only control
+                    // flow or references to the induction variable; the
+                    // compile check rejects the latter, this rejects the
+                    // former.
+                    .filter(|s| !matches!(s, Stmt::Break | Stmt::Continue))
+                    .cloned()
+                    .collect(),
+                _ => return None,
+            };
+            body.splice(idx..=idx, inner);
+        }
+        Mutation::ShrinkBound(path) => {
+            let (body, idx) = resolve(&mut p, path)?;
+            match &mut body[idx] {
+                Stmt::For { bound, .. } | Stmt::While { bound, .. } if *bound > 1 => *bound = 1,
+                _ => return None,
+            }
+        }
+    }
+    Some(p)
+}
+
+fn mutations(prog: &Program) -> Vec<Mutation> {
+    let mut out = Vec::new();
+    for i in (0..prog.funcs.len()).rev() {
+        out.push(Mutation::DropFunc(i));
+    }
+    let mut paths = Vec::new();
+    let mut prefix = Vec::new();
+    collect_paths(&prog.main, None, &mut prefix, &mut paths);
+    for (fi, f) in prog.funcs.iter().enumerate() {
+        let mut prefix = Vec::new();
+        collect_paths(&f.body, Some(fi), &mut prefix, &mut paths);
+    }
+    // Try dropping later statements first: epilogue prints and trailing
+    // statements usually go without masking the divergence.
+    for p in paths.iter().rev() {
+        out.push(Mutation::DropStmt(p.clone()));
+    }
+    for p in paths.iter().rev() {
+        out.push(Mutation::Hoist(p.clone()));
+        out.push(Mutation::ShrinkBound(p.clone()));
+    }
+    out
+}
+
+/// Shrinks `prog` while it keeps failing oracle `want` at the given
+/// levels/config. Returns the smallest program found and the number of
+/// oracle evaluations spent.
+pub fn reduce(
+    prog: &Program,
+    want: OracleKind,
+    levels: &[u8],
+    oracles: OracleSet,
+    max_steps: u64,
+    budget: usize,
+) -> (Program, usize) {
+    let still_fails = |p: &Program| {
+        matches!(
+            check_source(&crate::gen::render(p), levels, oracles, max_steps),
+            Err(CheckFailure::Divergence(d)) if d.oracle == want
+        )
+    };
+    let mut best = prog.clone();
+    let mut spent = 0usize;
+    loop {
+        let mut improved = false;
+        for m in mutations(&best) {
+            if spent >= budget {
+                return (best, spent);
+            }
+            let Some(candidate) = apply(&best, &m) else {
+                continue;
+            };
+            spent += 1;
+            if still_fails(&candidate) {
+                best = candidate;
+                improved = true;
+                break; // restart enumeration on the smaller program
+            }
+        }
+        if !improved {
+            return (best, spent);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Replays every shrunken fuzz regression in `tests/corpus/` through
+//! all four differential oracles at every optimization level. A program
+//! lands here when `fiq fuzz` caught a divergence and the reducer
+//! shrank it; replaying the corpus on every `cargo test` keeps the
+//! fixed bugs fixed.
+
+use fiq_fuzz::{check_source, OracleSet, ALL_OPT_LEVELS};
+
+#[test]
+fn corpus_replays_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|e| e.expect("read corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mc"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "corpus at {} must hold at least one regression",
+        dir.display()
+    );
+    for path in entries {
+        let source = std::fs::read_to_string(&path).expect("read corpus program");
+        check_source(&source, &ALL_OPT_LEVELS, OracleSet::default(), 20_000_000)
+            .unwrap_or_else(|e| panic!("{} regressed: {e}", path.display()));
+    }
+}

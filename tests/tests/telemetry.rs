@@ -14,7 +14,7 @@ use fiq_core::telemetry::DETERMINISTIC_CELL_HISTS;
 use fiq_core::{
     profile_llfi, profile_llfi_with_snapshots, profile_pinfi, profile_pinfi_with_snapshots,
     run_campaign, CampaignConfig, CampaignReport, CampaignRun, Category, CellSpec, EngineOptions,
-    Progress, SnapshotCache, Substrate, HUB_SPEC,
+    Progress, SnapshotCache, Substrate, HUB_SPEC, TELEMETRY_VERSION,
 };
 use fiq_interp::InterpOptions;
 use std::collections::BTreeMap;
@@ -426,6 +426,94 @@ fn report_reproduces_record_ground_truth() {
 
     std::fs::remove_file(&rec).unwrap();
     std::fs::remove_file(&tel_path).unwrap();
+}
+
+/// A report over a degenerate campaign — a cell where every injection was
+/// dormant (zero activated faults), a cell that never executed anything
+/// (fully-resumed / empty cell), and telemetry counters from a killed run
+/// where `converged` outlives its matching `digest_matches` flush — must
+/// produce zeros, not divide-by-zero NaNs or u64-underflow panics.
+#[test]
+fn report_survives_zero_activated_cells() {
+    let rec = temp_path("zero-act.jsonl");
+    let tel = temp_path("zero-act-tel.jsonl");
+    let header_cells = r#"[{"label":"k","tool":"llfi","category":"load","planned":4},{"label":"k","tool":"pinfi","category":"load","planned":4}]"#;
+    let mut records = format!(
+        "{{\"record\":\"campaign\",\"version\":1,\"seed\":5,\"injections\":4,\
+         \"hang_factor\":10,\"cells\":{header_cells}}}\n"
+    );
+    // Cell 0: all four injections executed but dormant. Cell 1: nothing
+    // executed at all (the empty-resume shape).
+    for task in 0..4 {
+        records.push_str(&format!(
+            "{{\"record\":\"injection\",\"task\":{task},\"cell\":\"k\",\"tool\":\"llfi\",\
+             \"category\":\"load\",\"outcome\":\"not-activated\",\"steps\":100}}\n"
+        ));
+    }
+    std::fs::write(&rec, records).unwrap();
+    let mut telemetry = format!(
+        "{{\"record\":\"telemetry\",\"version\":{TELEMETRY_VERSION},\"seed\":5,\
+         \"cells\":{header_cells}}}\n"
+    );
+    for (name, value) in [
+        ("tasks", 4u64),
+        ("verdict_dormant", 4),
+        ("steps_reported", 0),
+        // A killed run can flush `converged` without the matching
+        // `digest_matches` update; the collision count must saturate.
+        ("digest_matches", 0),
+        ("converged", 2),
+    ] {
+        telemetry.push_str(&format!(
+            "{{\"record\":\"counter\",\"scope\":\"cell\",\"cell\":0,\
+             \"name\":\"{name}\",\"value\":{value}}}\n"
+        ));
+    }
+    telemetry.push_str(
+        "{\"record\":\"summary\",\"total\":8,\"done\":8,\"resumed\":4,\
+         \"fast_forwarded\":0,\"early_exited\":0}\n",
+    );
+    std::fs::write(&tel, telemetry).unwrap();
+
+    let report = CampaignReport::build(&rec, Some(&tel)).unwrap();
+    let rendered = report.render();
+    assert!(rendered.contains("0 activated"), "{rendered}");
+    assert!(!rendered.contains("NaN"), "{rendered}");
+    let json = report.to_json().to_string();
+    assert!(!json.contains("NaN") && !json.contains("null"), "{json}");
+    for cell in report
+        .to_json()
+        .get("cells")
+        .and_then(Json::as_array)
+        .unwrap()
+    {
+        for outcome in ["benign", "sdc", "crash", "hang"] {
+            let rate = cell.get(outcome).unwrap();
+            assert_eq!(rate.get("pct").and_then(Json::as_f64), Some(0.0));
+        }
+    }
+
+    // A summary claiming more resumed than done (torn stream) must be a
+    // clean inconsistency error, not an integer-underflow panic.
+    let torn = temp_path("zero-act-torn.jsonl");
+    std::fs::write(
+        &torn,
+        format!(
+            "{{\"record\":\"telemetry\",\"version\":{TELEMETRY_VERSION},\"seed\":5,\
+             \"cells\":{header_cells}}}\n\
+             {{\"record\":\"counter\",\"scope\":\"cell\",\"cell\":0,\
+             \"name\":\"tasks\",\"value\":4}}\n\
+             {{\"record\":\"summary\",\"total\":8,\"done\":2,\"resumed\":6,\
+             \"fast_forwarded\":0,\"early_exited\":0}}\n"
+        ),
+    )
+    .unwrap();
+    let err = CampaignReport::build(&rec, Some(&torn)).unwrap_err();
+    assert!(err.contains("inconsistent"), "{err}");
+
+    for p in [&rec, &tel, &torn] {
+        std::fs::remove_file(p).unwrap();
+    }
 }
 
 #[test]

@@ -56,7 +56,14 @@ pub trait Rng: RngCore {
     /// Panics if `p` is not in `[0, 1]`.
     fn gen_bool(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
-        (self.next_u64() as f64 / u64::MAX as f64) < p
+        // Integer-threshold compare: scale `p` into [0, 2^64] and accept
+        // draws strictly below the threshold. `p == 1.0` scales to 2^64,
+        // above every possible u64 draw, so certainty really is certain;
+        // `p == 0.0` scales to 0, below none. The old float-ratio compare
+        // `(draw as f64 / u64::MAX as f64) < p` rounded draws near
+        // u64::MAX up to exactly 1.0 and returned `false` for `p == 1.0`.
+        let threshold = (p * (1u128 << 64) as f64) as u128;
+        (self.next_u64() as u128) < threshold
     }
 }
 
@@ -196,6 +203,33 @@ mod tests {
         let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1000)).collect();
         let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1000)).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_bool_certainty_includes_the_max_draw() {
+        use super::RngCore;
+        // Regression: the float-ratio compare rounded a u64::MAX draw up
+        // to exactly 1.0, so `gen_bool(1.0)` returned false once every
+        // ~2^64 draws — and deterministically false for this stream.
+        struct MaxRng;
+        impl RngCore for MaxRng {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        assert!(MaxRng.gen_bool(1.0), "p = 1 must accept the max draw");
+        assert!(!MaxRng.gen_bool(0.0), "p = 0 must reject every draw");
+
+        let mut r = StdRng::seed_from_u64(11);
+        let mut hits = 0u32;
+        for _ in 0..10_000 {
+            assert!(r.gen_bool(1.0));
+            assert!(!r.gen_bool(0.0));
+            if r.gen_bool(0.25) {
+                hits += 1;
+            }
+        }
+        assert!((2_100..2_900).contains(&hits), "p = 0.25 hit {hits}/10000");
     }
 
     #[test]
