@@ -1,0 +1,207 @@
+//! Pre-decoded threaded-dispatch execution core for the machine emulator.
+//!
+//! [`DecodedProgram::decode`] flattens each [`Inst`] into a `Copy`
+//! [`DecInst`] with operand addressing pre-resolved: the hot register and
+//! immediate forms of mov/alu/cmp/test/branch get dedicated variants
+//! (immediates pre-masked to their destination width), memory forms keep
+//! their [`MemRef`], and everything else falls back to [`DecInst::Generic`],
+//! which re-executes the original instruction at the same index through
+//! the shared legacy semantics. A fusion pass rewrites adjacent
+//! compare+conditional-branch pairs into superinstructions.
+//!
+//! Observable semantics are identical to the legacy core: the same retire
+//! counts at the same instruction indices, the same `on_retire` event
+//! sequence, the same traps and console bytes. FLAGS are always fully
+//! materialized — they are architectural state (digest input and a PINFI
+//! injection target), so no flags computation is ever pruned; what is
+//! precomputed is only the operand *addressing*. A fused pair is atomic:
+//! it charges two steps and fires both retire events, but a pause or
+//! snapshot boundary can no longer land between its halves (both cores
+//! still only capture at consistent boundaries).
+
+use crate::flags::Cond;
+use crate::inst::{AluOp, Inst, MemRef, Operand, Width};
+use crate::program::AsmProgram;
+use crate::regs::Reg;
+
+/// One pre-decoded instruction. `Copy`, so the dispatch loop lifts it out
+/// of the shared table without holding a borrow across execution.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DecInst {
+    /// 64-bit `mov dst, src` between registers.
+    MovRR { dst: Reg, src: Reg },
+    /// `mov dst, imm` with the immediate pre-masked to the write width.
+    MovRI { dst: Reg, imm: u64 },
+    /// `mov dst, [m]` (zero-extending load of `width` bytes).
+    MovLoad { width: Width, dst: Reg, m: MemRef },
+    /// `mov [m], src` (store of `width` bytes).
+    MovStoreR { width: Width, m: MemRef, src: Reg },
+    /// `mov [m], imm` (store of `width` bytes; raw immediate, the write
+    /// truncates exactly like the legacy operand path).
+    MovStoreI { width: Width, m: MemRef, imm: u64 },
+    /// `lea dst, [m]`.
+    Lea { dst: Reg, m: MemRef },
+    /// ALU op with a register source.
+    AluRR { op: AluOp, dst: Reg, src: Reg },
+    /// ALU op with an immediate source.
+    AluRI { op: AluOp, dst: Reg, imm: u64 },
+    /// `cmp lhs, rhs` between registers.
+    CmpRR { lhs: Reg, rhs: Reg },
+    /// `cmp lhs, imm`.
+    CmpRI { lhs: Reg, imm: u64 },
+    /// `test lhs, rhs` between registers.
+    TestRR { lhs: Reg, rhs: Reg },
+    /// Unconditional jump.
+    Jmp { target: u32 },
+    /// Conditional jump.
+    Jcc { cond: Cond, target: u32 },
+    /// Superinstruction: `cmp lhs, rhs` + adjacent `jcc`.
+    FusedCmpJccRR {
+        lhs: Reg,
+        rhs: Reg,
+        cond: Cond,
+        target: u32,
+    },
+    /// Superinstruction: `cmp lhs, imm` + adjacent `jcc`.
+    FusedCmpJccRI {
+        lhs: Reg,
+        imm: u64,
+        cond: Cond,
+        target: u32,
+    },
+    /// Superinstruction: `test lhs, rhs` + adjacent `jcc`.
+    FusedTestJccRR {
+        lhs: Reg,
+        rhs: Reg,
+        cond: Cond,
+        target: u32,
+    },
+    /// Everything else: execute `prog.insts[idx]` through the legacy
+    /// semantics (the index is the current rip, so no payload is needed).
+    Generic,
+}
+
+/// A program pre-decoded for threaded dispatch, indexed by rip in lockstep
+/// with `prog.insts`. Decode once, share via `Arc` across every machine
+/// running the same program.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    pub(crate) insts: Box<[DecInst]>,
+    pub(crate) fusion: bool,
+}
+
+impl DecodedProgram {
+    /// Decodes `prog` for threaded dispatch, with superinstruction fusion
+    /// on or off. Fusion changes wall-clock only, never output.
+    pub fn decode(prog: &AsmProgram, fusion: bool) -> DecodedProgram {
+        let mut insts: Vec<DecInst> = prog.insts.iter().map(decode_inst).collect();
+        if fusion {
+            // Heads (cmp/test) and the tail (jcc) are disjoint variants,
+            // so a greedy left-to-right scan cannot miss an overlapping
+            // pair. The tail keeps its plain decode: a jump landing on it
+            // executes it standalone, exactly as before.
+            let mut i = 0;
+            while i + 1 < insts.len() {
+                if let Some(f) = fuse_pair(insts[i], insts[i + 1]) {
+                    insts[i] = f;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        DecodedProgram {
+            insts: insts.into(),
+            fusion,
+        }
+    }
+
+    /// Whether this decode was built with superinstruction fusion.
+    pub fn fusion(&self) -> bool {
+        self.fusion
+    }
+}
+
+/// Masks `v` to `width` the way a narrow register write does.
+fn mask_to_width(width: Width, v: u64) -> u64 {
+    match width {
+        Width::B8 => v,
+        w => v & ((1u64 << (w.bytes() * 8)) - 1),
+    }
+}
+
+fn decode_inst(inst: &Inst) -> DecInst {
+    match *inst {
+        Inst::Mov { width, dst, src } => match (dst, src) {
+            (Operand::Reg(d), Operand::Reg(s)) if width == Width::B8 => {
+                DecInst::MovRR { dst: d, src: s }
+            }
+            (Operand::Reg(d), Operand::Imm(v)) => DecInst::MovRI {
+                dst: d,
+                imm: mask_to_width(width, v as u64),
+            },
+            (Operand::Reg(d), Operand::Mem(m)) => DecInst::MovLoad { width, dst: d, m },
+            (Operand::Mem(m), Operand::Reg(s)) => DecInst::MovStoreR { width, m, src: s },
+            (Operand::Mem(m), Operand::Imm(v)) => DecInst::MovStoreI {
+                width,
+                m,
+                imm: v as u64,
+            },
+            _ => DecInst::Generic,
+        },
+        Inst::Lea { dst, addr } => DecInst::Lea { dst, m: addr },
+        Inst::Alu { op, dst, src } => match src {
+            Operand::Reg(s) => DecInst::AluRR { op, dst, src: s },
+            Operand::Imm(v) => DecInst::AluRI {
+                op,
+                dst,
+                imm: v as u64,
+            },
+            Operand::Mem(_) => DecInst::Generic,
+        },
+        Inst::Cmp { lhs, rhs } => match (lhs, rhs) {
+            (Operand::Reg(a), Operand::Reg(b)) => DecInst::CmpRR { lhs: a, rhs: b },
+            (Operand::Reg(a), Operand::Imm(v)) => DecInst::CmpRI {
+                lhs: a,
+                imm: v as u64,
+            },
+            _ => DecInst::Generic,
+        },
+        Inst::Test { lhs, rhs } => match (lhs, rhs) {
+            (Operand::Reg(a), Operand::Reg(b)) => DecInst::TestRR { lhs: a, rhs: b },
+            _ => DecInst::Generic,
+        },
+        Inst::Jmp { target } => DecInst::Jmp { target },
+        Inst::Jcc { cond, target } => DecInst::Jcc { cond, target },
+        _ => DecInst::Generic,
+    }
+}
+
+/// Builds the superinstruction for an adjacent (head, tail) pair, or
+/// `None` if they don't form a fusable compare+branch idiom.
+fn fuse_pair(head: DecInst, tail: DecInst) -> Option<DecInst> {
+    let DecInst::Jcc { cond, target } = tail else {
+        return None;
+    };
+    match head {
+        DecInst::CmpRR { lhs, rhs } => Some(DecInst::FusedCmpJccRR {
+            lhs,
+            rhs,
+            cond,
+            target,
+        }),
+        DecInst::CmpRI { lhs, imm } => Some(DecInst::FusedCmpJccRI {
+            lhs,
+            imm,
+            cond,
+            target,
+        }),
+        DecInst::TestRR { lhs, rhs } => Some(DecInst::FusedTestJccRR {
+            lhs,
+            rhs,
+            cond,
+            target,
+        }),
+        _ => None,
+    }
+}

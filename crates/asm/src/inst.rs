@@ -466,122 +466,129 @@ impl Inst {
         }
     }
 
-    /// Register-like locations this instruction reads (used for fault
-    /// activation tracking: an injected register is *activated* when read
-    /// before being overwritten).
-    pub fn reads(&self) -> Vec<RegId> {
-        fn push_op(out: &mut Vec<RegId>, o: &Operand) {
+    /// Calls `f` with each register-like location this instruction reads,
+    /// in operand order — the allocation-free form of [`Inst::reads`],
+    /// for per-retire fault-activation tracking.
+    pub fn for_each_read(&self, f: &mut impl FnMut(RegId)) {
+        fn push_op(f: &mut impl FnMut(RegId), o: &Operand) {
             match o {
-                Operand::Reg(r) => out.push(RegId::Gpr(*r)),
+                Operand::Reg(r) => f(RegId::Gpr(*r)),
                 Operand::Mem(m) => {
                     for r in m.regs_read() {
-                        out.push(RegId::Gpr(r));
+                        f(RegId::Gpr(r));
                     }
                 }
                 Operand::Imm(_) => {}
             }
         }
-        let mut out = Vec::new();
         match self {
             Inst::Mov { dst, src, .. } => {
-                push_op(&mut out, src);
+                push_op(f, src);
                 if let Operand::Mem(m) = dst {
                     for r in m.regs_read() {
-                        out.push(RegId::Gpr(r));
+                        f(RegId::Gpr(r));
                     }
                 }
             }
-            Inst::Movsx { src, .. } => push_op(&mut out, src),
+            Inst::Movsx { src, .. } => push_op(f, src),
             Inst::Lea { addr, .. } => {
                 for r in addr.regs_read() {
-                    out.push(RegId::Gpr(r));
+                    f(RegId::Gpr(r));
                 }
             }
             Inst::Alu { dst, src, .. } | Inst::Shift { dst, src, .. } => {
-                out.push(RegId::Gpr(*dst));
-                push_op(&mut out, src);
+                f(RegId::Gpr(*dst));
+                push_op(f, src);
             }
-            Inst::Neg { dst } => out.push(RegId::Gpr(*dst)),
-            Inst::Cqo => out.push(RegId::Gpr(Reg::Rax)),
+            Inst::Neg { dst } => f(RegId::Gpr(*dst)),
+            Inst::Cqo => f(RegId::Gpr(Reg::Rax)),
             Inst::Idiv { src } => {
-                out.push(RegId::Gpr(Reg::Rax));
-                out.push(RegId::Gpr(Reg::Rdx));
-                push_op(&mut out, src);
+                f(RegId::Gpr(Reg::Rax));
+                f(RegId::Gpr(Reg::Rdx));
+                push_op(f, src);
             }
             Inst::Cmp { lhs, rhs } | Inst::Test { lhs, rhs } => {
-                push_op(&mut out, lhs);
-                push_op(&mut out, rhs);
+                push_op(f, lhs);
+                push_op(f, rhs);
             }
-            Inst::Setcc { cond, .. } => out.push(RegId::Flags(cond.depends_mask())),
-            Inst::Jcc { cond, .. } => out.push(RegId::Flags(cond.depends_mask())),
+            Inst::Setcc { cond, .. } => f(RegId::Flags(cond.depends_mask())),
+            Inst::Jcc { cond, .. } => f(RegId::Flags(cond.depends_mask())),
             Inst::Jmp { .. } => {}
             Inst::Call { .. } | Inst::Ret => {
-                out.push(RegId::Gpr(Reg::Rsp));
+                f(RegId::Gpr(Reg::Rsp));
             }
             Inst::CallExt { ext } => {
                 // The runtime call reads its argument registers.
                 match ext {
-                    ExtFn::PrintI64 | ExtFn::PrintChar => out.push(RegId::Gpr(Reg::Rdi)),
+                    ExtFn::PrintI64 | ExtFn::PrintChar => f(RegId::Gpr(Reg::Rdi)),
                     ExtFn::Abort => {}
-                    _ => out.push(RegId::Xmm(Xmm(0))), // float fns and print_f64
+                    _ => f(RegId::Xmm(Xmm(0))), // float fns and print_f64
                 }
             }
             Inst::Push { src } => {
-                push_op(&mut out, src);
-                out.push(RegId::Gpr(Reg::Rsp));
+                push_op(f, src);
+                f(RegId::Gpr(Reg::Rsp));
             }
-            Inst::Pop { .. } => out.push(RegId::Gpr(Reg::Rsp)),
+            Inst::Pop { .. } => f(RegId::Gpr(Reg::Rsp)),
             Inst::Movsd { dst, src } => {
                 match src {
-                    XOperand::Xmm(x) => out.push(RegId::Xmm(*x)),
+                    XOperand::Xmm(x) => f(RegId::Xmm(*x)),
                     XOperand::Mem(m) => {
                         for r in m.regs_read() {
-                            out.push(RegId::Gpr(r));
+                            f(RegId::Gpr(r));
                         }
                     }
                 }
                 if let XOperand::Mem(m) = dst {
                     for r in m.regs_read() {
-                        out.push(RegId::Gpr(r));
+                        f(RegId::Gpr(r));
                     }
                 }
             }
             Inst::Sse { op: o, dst, src } => {
                 if *o != SseOp::Sqrtsd {
-                    out.push(RegId::Xmm(*dst));
+                    f(RegId::Xmm(*dst));
                 }
                 match src {
-                    XOperand::Xmm(x) => out.push(RegId::Xmm(*x)),
+                    XOperand::Xmm(x) => f(RegId::Xmm(*x)),
                     XOperand::Mem(m) => {
                         for r in m.regs_read() {
-                            out.push(RegId::Gpr(r));
+                            f(RegId::Gpr(r));
                         }
                     }
                 }
             }
             Inst::Ucomisd { lhs, rhs } => {
-                out.push(RegId::Xmm(*lhs));
+                f(RegId::Xmm(*lhs));
                 match rhs {
-                    XOperand::Xmm(x) => out.push(RegId::Xmm(*x)),
+                    XOperand::Xmm(x) => f(RegId::Xmm(*x)),
                     XOperand::Mem(m) => {
                         for r in m.regs_read() {
-                            out.push(RegId::Gpr(r));
+                            f(RegId::Gpr(r));
                         }
                     }
                 }
             }
-            Inst::Cvtsi2sd { src, .. } => push_op(&mut out, src),
+            Inst::Cvtsi2sd { src, .. } => push_op(f, src),
             Inst::Cvttsd2si { src, .. } => match src {
-                XOperand::Xmm(x) => out.push(RegId::Xmm(*x)),
+                XOperand::Xmm(x) => f(RegId::Xmm(*x)),
                 XOperand::Mem(m) => {
                     for r in m.regs_read() {
-                        out.push(RegId::Gpr(r));
+                        f(RegId::Gpr(r));
                     }
                 }
             },
-            Inst::MovqRX { src, .. } => out.push(RegId::Gpr(*src)),
-            Inst::MovqXR { src, .. } => out.push(RegId::Xmm(*src)),
+            Inst::MovqRX { src, .. } => f(RegId::Gpr(*src)),
+            Inst::MovqXR { src, .. } => f(RegId::Xmm(*src)),
         }
+    }
+
+    /// Register-like locations this instruction reads (used for fault
+    /// activation tracking: an injected register is *activated* when read
+    /// before being overwritten).
+    pub fn reads(&self) -> Vec<RegId> {
+        let mut out = Vec::new();
+        self.for_each_read(&mut |r| out.push(r));
         out
     }
 

@@ -20,12 +20,15 @@
 
 #![warn(missing_docs)]
 
+mod decoded;
 mod flags;
 mod inst;
 mod machine;
 mod program;
 mod regs;
 
+pub use decoded::DecodedProgram;
+pub use fiq_mem::Dispatch;
 pub use flags::{
     add_flags, logic_flags, sub_flags, ucomisd_flags, Cond, ALL_FLAGS, CF, OF, PF, SF, ZF,
 };

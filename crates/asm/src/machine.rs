@@ -1,10 +1,12 @@
 //! The machine emulator.
 
+use crate::decoded::{DecInst, DecodedProgram};
 use crate::flags::{self, ALL_FLAGS};
 use crate::inst::{AluOp, ExtFn, Inst, MemRef, Operand, ShiftOp, SseOp, Width, XOperand};
 use crate::program::AsmProgram;
 use crate::regs::{Reg, Xmm};
-use fiq_mem::{Console, Hasher64, MemSnapshot, Memory, RunStatus, StateDigest, Trap};
+use fiq_mem::{Console, Dispatch, Hasher64, MemSnapshot, Memory, RunStatus, StateDigest, Trap};
+use std::sync::Arc;
 
 /// Sentinel return address marking the bottom of the call stack.
 pub const RET_SENTINEL: u64 = u64::MAX;
@@ -20,6 +22,12 @@ pub struct MachOptions {
     pub guard_size: u64,
     /// Simulated memory capacity.
     pub mem_capacity: u64,
+    /// Which execution core steps the program. Both cores have identical
+    /// observable semantics; this only moves wall-clock.
+    pub dispatch: Dispatch,
+    /// Superinstruction fusion for the threaded core (ignored by the
+    /// legacy core). Never changes output, only speed.
+    pub fusion: bool,
 }
 
 impl Default for MachOptions {
@@ -29,8 +37,35 @@ impl Default for MachOptions {
             stack_size: fiq_mem::DEFAULT_STACK_SIZE,
             guard_size: 4096,
             mem_capacity: fiq_mem::DEFAULT_CAPACITY,
+            dispatch: Dispatch::default(),
+            fusion: true,
         }
     }
+}
+
+/// Resolves the decoded-program handle for the chosen dispatch mode:
+/// `Legacy` needs none, `Threaded` reuses the shared handle or decodes
+/// inline. The decode is pure, so a shared handle is interchangeable with
+/// an inline decode.
+fn ensure_decoded(
+    prog: &AsmProgram,
+    decoded: Option<Arc<DecodedProgram>>,
+    opts: MachOptions,
+) -> Option<Arc<DecodedProgram>> {
+    if opts.dispatch != Dispatch::Threaded {
+        return None;
+    }
+    let dec = decoded.unwrap_or_else(|| Arc::new(DecodedProgram::decode(prog, opts.fusion)));
+    debug_assert_eq!(
+        dec.insts.len(),
+        prog.insts.len(),
+        "decoded program was built for a different program"
+    );
+    debug_assert_eq!(
+        dec.fusion, opts.fusion,
+        "decoded program fusion setting disagrees with options"
+    );
+    Some(dec)
 }
 
 /// The architectural state: registers, FLAGS, memory, console. Hooks may
@@ -171,11 +206,19 @@ pub struct Machine<'p, H> {
     rip: usize,
     steps: u64,
     restored_steps: u64,
+    decoded: Option<Arc<DecodedProgram>>,
+    /// Per-instruction retire counts, tracked inside the step loop while
+    /// [`Machine::run_with_snapshots`] is active. Internal (rather than
+    /// counted by the caller around `step`) because a fused
+    /// superinstruction retires two instructions in one step call.
+    counts: Option<Vec<u64>>,
 }
 
 impl<'p, H: AsmHook> Machine<'p, H> {
     /// Creates a machine: materializes globals, the guard gap, and the
-    /// stack, and points `rip` at `main`.
+    /// stack, and points `rip` at `main`. Under [`Dispatch::Threaded`]
+    /// (the default) the program is decoded inline; use
+    /// [`Machine::with_decoded`] to share one decode across many runs.
     ///
     /// # Errors
     ///
@@ -185,6 +228,25 @@ impl<'p, H: AsmHook> Machine<'p, H> {
     ///
     /// Panics if the program has no functions.
     pub fn new(prog: &'p AsmProgram, opts: MachOptions, hook: H) -> Result<Machine<'p, H>, Trap> {
+        Machine::with_decoded(prog, None, opts, hook)
+    }
+
+    /// Like [`Machine::new`], but reusing a shared pre-decoded program
+    /// (pass `None` to decode inline when the dispatch mode needs one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::OutOfMemory`] if globals plus stack exceed capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no functions.
+    pub fn with_decoded(
+        prog: &'p AsmProgram,
+        decoded: Option<Arc<DecodedProgram>>,
+        opts: MachOptions,
+        hook: H,
+    ) -> Result<Machine<'p, H>, Trap> {
         let mut mem = Memory::with_capacity(opts.mem_capacity);
         prog.materialize_globals(&mut mem)?;
         mem.reserve_guard(opts.guard_size);
@@ -201,6 +263,7 @@ impl<'p, H: AsmHook> Machine<'p, H> {
         st.mem.write_uint(rsp, RET_SENTINEL, 8)?;
         st.set_reg(Reg::Rsp, rsp);
         let main = &prog.funcs[prog.main as usize];
+        let decoded = ensure_decoded(prog, decoded, opts);
         Ok(Machine {
             prog,
             st,
@@ -209,6 +272,8 @@ impl<'p, H: AsmHook> Machine<'p, H> {
             rip: main.entry as usize,
             steps: 0,
             restored_steps: 0,
+            decoded,
+            counts: None,
         })
     }
 
@@ -226,6 +291,19 @@ impl<'p, H: AsmHook> Machine<'p, H> {
         hook: H,
         snap: &MachSnapshot,
     ) -> Machine<'p, H> {
+        Machine::restore_with_decoded(prog, None, opts, hook, snap)
+    }
+
+    /// Like [`Machine::restore`], but reusing a shared pre-decoded program
+    /// (pass `None` to decode inline when the dispatch mode needs one).
+    pub fn restore_with_decoded(
+        prog: &'p AsmProgram,
+        decoded: Option<Arc<DecodedProgram>>,
+        opts: MachOptions,
+        hook: H,
+        snap: &MachSnapshot,
+    ) -> Machine<'p, H> {
+        let decoded = ensure_decoded(prog, decoded, opts);
         Machine {
             prog,
             st: MachState {
@@ -240,24 +318,60 @@ impl<'p, H: AsmHook> Machine<'p, H> {
             rip: snap.rip,
             steps: snap.steps,
             restored_steps: snap.steps,
+            decoded,
+            counts: None,
         }
     }
 
     /// Runs to completion, trap, or budget exhaustion.
     pub fn run(&mut self) -> RunResult {
-        let status = loop {
-            match self.step() {
-                Ok(()) => {}
-                Err(Stop::Finished) => break RunStatus::Finished,
-                Err(Stop::Trap(t)) => break RunStatus::Trapped(t),
-                Err(Stop::Budget) => break RunStatus::BudgetExceeded,
-            }
-        };
+        let status = self
+            .drive(u64::MAX)
+            .expect("a u64::MAX pause point is unreachable");
         RunResult {
             status,
             steps: self.steps,
             output: self.st.console.contents().to_string(),
         }
+    }
+
+    /// Runs until `pause_at` instructions have retired or the program
+    /// stops; `None` means paused at the boundary. The dispatch mode is
+    /// resolved once and the threaded core's decoded table is fetched
+    /// once, outside the loop — both are loop-invariant, so the hot path
+    /// pays neither the per-step mode match nor the `Option<Arc>` deref.
+    fn drive(&mut self, pause_at: u64) -> Option<RunStatus> {
+        let stop = match self.opts.dispatch {
+            Dispatch::Legacy => loop {
+                if self.steps >= pause_at {
+                    return None;
+                }
+                match self.step() {
+                    Ok(()) => {}
+                    Err(s) => break s,
+                }
+            },
+            Dispatch::Threaded => {
+                let dec = self
+                    .decoded
+                    .clone()
+                    .expect("threaded dispatch requires a decoded program");
+                loop {
+                    if self.steps >= pause_at {
+                        return None;
+                    }
+                    match self.step_decoded(&dec) {
+                        Ok(()) => {}
+                        Err(s) => break s,
+                    }
+                }
+            }
+        };
+        Some(match stop {
+            Stop::Finished => RunStatus::Finished,
+            Stop::Trap(t) => RunStatus::Trapped(t),
+            Stop::Budget => RunStatus::BudgetExceeded,
+        })
     }
 
     /// Runs like [`Machine::run`], capturing a snapshot at the first
@@ -268,7 +382,10 @@ impl<'p, H: AsmHook> Machine<'p, H> {
     pub fn run_with_snapshots(&mut self, interval: u64) -> (RunResult, Vec<MachSnapshot>) {
         let interval = interval.max(1);
         let mut next_at = interval;
-        let mut counts = vec![0u64; self.prog.insts.len()];
+        // Counting happens inside the step loop (at each retire point):
+        // a fused superinstruction retires two instructions per step
+        // call, which an external per-call count could not attribute.
+        self.counts = Some(vec![0u64; self.prog.insts.len()]);
         let mut snaps: Vec<MachSnapshot> = Vec::new();
         let status = loop {
             if self.steps >= next_at {
@@ -281,23 +398,21 @@ impl<'p, H: AsmHook> Machine<'p, H> {
                     console: self.st.console.clone(),
                     rip: self.rip,
                     steps: self.steps,
-                    counts: counts.clone(),
+                    counts: self.counts.as_ref().expect("counting enabled").clone(),
                     digest: StateDigest::new(self.arch_hash(), &self.st.console),
                 });
                 while next_at <= self.steps {
                     next_at += interval;
                 }
             }
-            let idx = self.rip;
-            match self.step() {
-                // `step` only reaches `on_retire` on the Ok path, so the
-                // count vector tracks retires exactly.
-                Ok(()) => counts[idx] += 1,
+            match self.step_dispatch() {
+                Ok(()) => {}
                 Err(Stop::Finished) => break RunStatus::Finished,
                 Err(Stop::Trap(t)) => break RunStatus::Trapped(t),
                 Err(Stop::Budget) => break RunStatus::BudgetExceeded,
             }
         };
+        self.counts = None;
         let result = RunResult {
             status,
             steps: self.steps,
@@ -317,17 +432,7 @@ impl<'p, H: AsmHook> Machine<'p, H> {
     /// `Some(result)` if the program finished/trapped/exhausted its budget
     /// before reaching the pause point.
     pub fn run_until(&mut self, until: u64) -> Option<RunResult> {
-        let status = loop {
-            if self.steps >= until {
-                return None;
-            }
-            match self.step() {
-                Ok(()) => {}
-                Err(Stop::Finished) => break RunStatus::Finished,
-                Err(Stop::Trap(t)) => break RunStatus::Trapped(t),
-                Err(Stop::Budget) => break RunStatus::BudgetExceeded,
-            }
-        };
+        let status = self.drive(until)?;
         Some(RunResult {
             status,
             steps: self.steps,
@@ -386,6 +491,13 @@ impl<'p, H: AsmHook> Machine<'p, H> {
             && self.st.mem.equals_snapshot(&snap.mem)
     }
 
+    /// The live state's digest (register-file hash plus console
+    /// length/hash), in the same form a snapshot captures — exposed so
+    /// differential tests can compare final states across dispatch modes.
+    pub fn state_digest(&self) -> StateDigest {
+        StateDigest::new(self.arch_hash(), &self.st.console)
+    }
+
     /// Hashes everything outside memory and console: GPRs, XMM halves,
     /// FLAGS, and RIP.
     fn arch_hash(&self) -> u64 {
@@ -402,18 +514,53 @@ impl<'p, H: AsmHook> Machine<'p, H> {
         h.finish()
     }
 
-    #[allow(clippy::too_many_lines)]
+    /// Bumps the retire-count vector (when counting) and delivers the
+    /// retire event — the single retire point shared by both cores.
+    #[inline]
+    fn retire(&mut self, idx: usize) {
+        if let Some(c) = &mut self.counts {
+            c[idx] += 1;
+        }
+        self.hook.on_retire(idx, &mut self.st);
+    }
+
+    /// One step through the core selected by `opts.dispatch`.
+    #[inline]
+    fn step_dispatch(&mut self) -> Result<(), Stop> {
+        match self.opts.dispatch {
+            Dispatch::Legacy => self.step(),
+            Dispatch::Threaded => {
+                let dec = self
+                    .decoded
+                    .clone()
+                    .expect("threaded dispatch requires a decoded program");
+                self.step_decoded(&dec)
+            }
+        }
+    }
+
     fn step(&mut self) -> Result<(), Stop> {
         self.steps += 1;
         if self.steps > self.opts.max_steps {
             return Err(Stop::Budget);
         }
         let idx = self.rip;
-        let Some(inst) = self.prog.insts.get(idx) else {
+        let prog = self.prog;
+        let Some(inst) = prog.insts.get(idx) else {
             return Err(Trap::BadJump { target: idx as u64 }.into());
         };
         self.rip += 1; // default fall-through; control flow overrides
-        match inst.clone() {
+        self.exec_inst(inst)?;
+        self.retire(idx);
+        Ok(())
+    }
+
+    /// Executes one instruction's state transition (everything between
+    /// fetch and retire) — the reference semantics, shared by the legacy
+    /// core and the threaded core's `Generic` fallback.
+    #[allow(clippy::too_many_lines)]
+    fn exec_inst(&mut self, inst: &Inst) -> Result<(), Stop> {
+        match *inst {
             Inst::Mov { width, dst, src } => {
                 let v = self.read_operand(width, &src)?;
                 self.write_operand(width, &dst, v)?;
@@ -435,37 +582,7 @@ impl<'p, H: AsmHook> Machine<'p, H> {
             Inst::Alu { op, dst, src } => {
                 let a = self.st.reg(dst);
                 let b = self.read_operand(Width::B8, &src)?;
-                let (result, fl) = match op {
-                    AluOp::Add => {
-                        let r = a.wrapping_add(b);
-                        (r, flags::add_flags(a, b, r))
-                    }
-                    AluOp::Sub => {
-                        let r = a.wrapping_sub(b);
-                        (r, flags::sub_flags(a, b, r))
-                    }
-                    AluOp::Imul => {
-                        let wide = i128::from(a as i64) * i128::from(b as i64);
-                        let r = wide as u64;
-                        let mut fl = flags::logic_flags(r);
-                        if wide != i128::from(r as i64) {
-                            fl |= (1 << flags::CF) | (1 << flags::OF);
-                        }
-                        (r, fl)
-                    }
-                    AluOp::And => {
-                        let r = a & b;
-                        (r, flags::logic_flags(r))
-                    }
-                    AluOp::Or => {
-                        let r = a | b;
-                        (r, flags::logic_flags(r))
-                    }
-                    AluOp::Xor => {
-                        let r = a ^ b;
-                        (r, flags::logic_flags(r))
-                    }
-                };
+                let (result, fl) = alu_exec(op, a, b);
                 self.st.set_reg(dst, result);
                 self.st.flags = fl;
             }
@@ -619,7 +736,150 @@ impl<'p, H: AsmHook> Machine<'p, H> {
                 self.st.set_reg(dst, bits);
             }
         }
-        self.hook.on_retire(idx, &mut self.st);
+        Ok(())
+    }
+
+    /// The threaded-dispatch twin of `Machine::step`: one step through
+    /// the pre-decoded table. A fused superinstruction executes both
+    /// halves (two step charges, two retires at the original indices) in
+    /// one call. Observable semantics are identical to the legacy core.
+    #[inline]
+    fn step_decoded(&mut self, dec: &DecodedProgram) -> Result<(), Stop> {
+        self.steps += 1;
+        if self.steps > self.opts.max_steps {
+            return Err(Stop::Budget);
+        }
+        let idx = self.rip;
+        let Some(&d) = dec.insts.get(idx) else {
+            return Err(Trap::BadJump { target: idx as u64 }.into());
+        };
+        self.rip += 1; // default fall-through; control flow overrides
+        match d {
+            DecInst::MovRR { dst, src } => {
+                let v = self.st.reg(src);
+                self.st.set_reg(dst, v);
+            }
+            DecInst::MovRI { dst, imm } => {
+                self.st.set_reg(dst, imm);
+            }
+            DecInst::MovLoad { width, dst, m } => {
+                let a = self.effective_addr(&m);
+                // `read_uint` zero-extends from `width` bytes, so the
+                // narrow-write mask is already satisfied.
+                let v = self.st.mem.read_uint(a, width.bytes())?;
+                self.st.set_reg(dst, v);
+            }
+            DecInst::MovStoreR { width, m, src } => {
+                let a = self.effective_addr(&m);
+                let v = self.st.reg(src);
+                self.st.mem.write_uint(a, v, width.bytes())?;
+            }
+            DecInst::MovStoreI { width, m, imm } => {
+                let a = self.effective_addr(&m);
+                self.st.mem.write_uint(a, imm, width.bytes())?;
+            }
+            DecInst::Lea { dst, m } => {
+                let a = self.effective_addr(&m);
+                self.st.set_reg(dst, a);
+            }
+            DecInst::AluRR { op, dst, src } => {
+                let a = self.st.reg(dst);
+                let b = self.st.reg(src);
+                let (result, fl) = alu_exec(op, a, b);
+                self.st.set_reg(dst, result);
+                self.st.flags = fl;
+            }
+            DecInst::AluRI { op, dst, imm } => {
+                let a = self.st.reg(dst);
+                let (result, fl) = alu_exec(op, a, imm);
+                self.st.set_reg(dst, result);
+                self.st.flags = fl;
+            }
+            DecInst::CmpRR { lhs, rhs } => {
+                let a = self.st.reg(lhs);
+                let b = self.st.reg(rhs);
+                self.st.flags = flags::sub_flags(a, b, a.wrapping_sub(b));
+            }
+            DecInst::CmpRI { lhs, imm } => {
+                let a = self.st.reg(lhs);
+                self.st.flags = flags::sub_flags(a, imm, a.wrapping_sub(imm));
+            }
+            DecInst::TestRR { lhs, rhs } => {
+                let a = self.st.reg(lhs);
+                let b = self.st.reg(rhs);
+                self.st.flags = flags::logic_flags(a & b);
+            }
+            DecInst::Jmp { target } => {
+                self.jump(target)?;
+            }
+            DecInst::Jcc { cond, target } => {
+                if cond.eval(self.st.flags & ALL_FLAGS) {
+                    self.jump(target)?;
+                }
+            }
+            DecInst::FusedCmpJccRR {
+                lhs,
+                rhs,
+                cond,
+                target,
+            } => {
+                let a = self.st.reg(lhs);
+                let b = self.st.reg(rhs);
+                self.st.flags = flags::sub_flags(a, b, a.wrapping_sub(b));
+                return self.fused_jcc_half(idx, cond, target);
+            }
+            DecInst::FusedCmpJccRI {
+                lhs,
+                imm,
+                cond,
+                target,
+            } => {
+                let a = self.st.reg(lhs);
+                self.st.flags = flags::sub_flags(a, imm, a.wrapping_sub(imm));
+                return self.fused_jcc_half(idx, cond, target);
+            }
+            DecInst::FusedTestJccRR {
+                lhs,
+                rhs,
+                cond,
+                target,
+            } => {
+                let a = self.st.reg(lhs);
+                let b = self.st.reg(rhs);
+                self.st.flags = flags::logic_flags(a & b);
+                return self.fused_jcc_half(idx, cond, target);
+            }
+            DecInst::Generic => {
+                let prog = self.prog;
+                let inst = &prog.insts[idx];
+                self.exec_inst(inst)?;
+            }
+        }
+        self.retire(idx);
+        Ok(())
+    }
+
+    /// The branch half of a fused compare+jcc pair: retires the compare,
+    /// then charges and executes the adjacent conditional jump. FLAGS are
+    /// re-read after the compare's retire event so a hook mutating them
+    /// (a FLAGS-targeted injection) steers the branch exactly as it would
+    /// between two legacy steps.
+    fn fused_jcc_half(
+        &mut self,
+        idx: usize,
+        cond: crate::flags::Cond,
+        target: u32,
+    ) -> Result<(), Stop> {
+        self.retire(idx);
+        self.steps += 1;
+        if self.steps > self.opts.max_steps {
+            return Err(Stop::Budget);
+        }
+        self.rip += 1;
+        if cond.eval(self.st.flags & ALL_FLAGS) {
+            self.jump(target)?;
+        }
+        self.retire(idx + 1);
         Ok(())
     }
 
@@ -753,6 +1013,43 @@ impl<'p, H: AsmHook> Machine<'p, H> {
 
 /// x86 `cvttsd2si` semantics: truncate toward zero; NaN and out-of-range
 /// produce the integer-indefinite value `i64::MIN`.
+/// Computes an ALU op's result and resulting FLAGS — the one definition
+/// shared by the legacy `Inst::Alu` arm and the decoded `AluRR`/`AluRI`
+/// variants, so the two cores cannot drift.
+fn alu_exec(op: AluOp, a: u64, b: u64) -> (u64, u64) {
+    match op {
+        AluOp::Add => {
+            let r = a.wrapping_add(b);
+            (r, flags::add_flags(a, b, r))
+        }
+        AluOp::Sub => {
+            let r = a.wrapping_sub(b);
+            (r, flags::sub_flags(a, b, r))
+        }
+        AluOp::Imul => {
+            let wide = i128::from(a as i64) * i128::from(b as i64);
+            let r = wide as u64;
+            let mut fl = flags::logic_flags(r);
+            if wide != i128::from(r as i64) {
+                fl |= (1 << flags::CF) | (1 << flags::OF);
+            }
+            (r, fl)
+        }
+        AluOp::And => {
+            let r = a & b;
+            (r, flags::logic_flags(r))
+        }
+        AluOp::Or => {
+            let r = a | b;
+            (r, flags::logic_flags(r))
+        }
+        AluOp::Xor => {
+            let r = a ^ b;
+            (r, flags::logic_flags(r))
+        }
+    }
+}
+
 fn cvttsd2si(v: f64) -> i64 {
     if v.is_nan() {
         return i64::MIN;

@@ -13,6 +13,7 @@
 //!              [--fast-forward] [--snapshot-interval K]
 //!              [--early-exit | --no-early-exit]
 //!              [--no-flag-pruning] [--no-xmm-pruning]
+//!              [--dispatch legacy|threaded] [--no-fusion]
 //! fiq report <records.jsonl> [--telemetry FILE] [--json]
 //! fiq fuzz [--seed S] [--count N] [--opt-level 0..3] [--oracle NAME]
 //!          [--max-steps N] [--corpus-dir DIR] [--no-reduce]
@@ -38,6 +39,11 @@
 //! default whenever checkpoints exist; `--no-early-exit` disables it;
 //! output is bit-identical either way). `--no-flag-pruning`/
 //! `--no-xmm-pruning` disable PINFI's activation heuristics.
+//! `--dispatch legacy|threaded` selects the execution core (default:
+//! threaded, the pre-decoded fast core; legacy is the reference core)
+//! and `--no-fusion` disables superinstruction fusion in the threaded
+//! core — campaign output is byte-identical under every combination,
+//! only wall-clock changes.
 //!
 //! Flags are declared per subcommand: a flag that takes a value consumes
 //! the next argument (or use `--flag=value`), boolean flags never do, and
@@ -54,7 +60,7 @@ use fiq_core::{
     profile_pinfi_with_snapshots, run_llfi, run_pinfi, CampaignConfig, Category, CellSpec,
     EngineOptions, PinfiOptions, Progress, SnapshotCache, Substrate,
 };
-use fiq_interp::InterpOptions;
+use fiq_interp::{Dispatch, InterpOptions};
 use fiq_ir::Module;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -118,6 +124,7 @@ fn flag_spec(cmd: &str) -> Option<FlagSpec> {
                 "records",
                 "telemetry",
                 "snapshot-interval",
+                "dispatch",
             ],
             boolean: &[
                 "no-opt",
@@ -130,6 +137,7 @@ fn flag_spec(cmd: &str) -> Option<FlagSpec> {
                 "no-early-exit",
                 "no-flag-pruning",
                 "no-xmm-pruning",
+                "no-fusion",
             ],
         },
         "report" => FlagSpec {
@@ -522,6 +530,11 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         },
     ];
 
+    let dispatch = match args.flag("dispatch") {
+        None => Dispatch::default(),
+        Some(s) => Dispatch::parse(s)
+            .ok_or_else(|| format!("unknown --dispatch `{s}` (legacy|threaded)"))?,
+    };
     let records = args.flag("records").map(PathBuf::from);
     let telemetry = args.flag("telemetry").map(PathBuf::from);
     let started = Instant::now();
@@ -542,24 +555,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
             return;
         }
         *st = (now, p.completed);
-        let fresh = p.completed - p.resumed;
-        let secs = started.elapsed().as_secs_f64();
-        let rate = if secs > 0.0 { fresh as f64 / secs } else { 0.0 };
-        let pct = if p.total > 0 {
-            p.completed as f64 * 100.0 / p.total as f64
-        } else {
-            100.0
-        };
-        let eta = if rate > 0.0 {
-            (p.total - p.completed) as f64 / rate
-        } else {
-            0.0
-        };
-        eprintln!(
-            "campaign: {}/{} injections done ({pct:.0}%), {rate:.0}/s, \
-             eta {eta:.0}s, {} fast-forwarded, {} early-exited",
-            p.completed, p.total, p.fast_forwarded, p.early_exited
-        );
+        eprintln!("{}", progress_line(p, started.elapsed().as_secs_f64()));
     };
     let opts = EngineOptions {
         records: records.as_deref(),
@@ -572,6 +568,8 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         } else {
             None
         },
+        dispatch,
+        fusion: !args.has("no-fusion"),
     };
     let run = fiq_core::run_campaign(&cells, &cfg, &opts)?;
     if run.resumed_tasks > 0 {
@@ -702,6 +700,41 @@ fn cmd_fuzz(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Formats one `--progress` line from a snapshot and the elapsed wall
+/// clock.
+///
+/// The rate is only reported once the measurement window is long enough
+/// to mean something (≥ 100 ms, one full throttle window) *and* at least
+/// one non-resumed task has finished — otherwise an early callback
+/// extrapolates a single task over microseconds into an absurd rate (and
+/// a near-zero ETA), and a fully-resumed campaign (elapsed ≈ 0,
+/// done == planned) divides by zero. Unknown rate prints as `--/s`; the
+/// ETA is `--s` while unknown and `0s` once everything is done.
+fn progress_line(p: Progress, secs: f64) -> String {
+    let fresh = p.completed.saturating_sub(p.resumed);
+    let pct = if p.total > 0 {
+        p.completed as f64 * 100.0 / p.total as f64
+    } else {
+        100.0
+    };
+    let rate = (secs >= 0.1 && fresh > 0).then(|| fresh as f64 / secs);
+    let rate_s = rate.map_or_else(|| "--".to_string(), |r| format!("{r:.0}"));
+    let remaining = p.total.saturating_sub(p.completed);
+    let eta_s = if remaining == 0 {
+        "0".to_string()
+    } else {
+        match rate {
+            Some(r) => format!("{:.0}", remaining as f64 / r),
+            None => "--".to_string(),
+        }
+    };
+    format!(
+        "campaign: {}/{} injections done ({pct:.0}%), {rate_s}/s, \
+         eta {eta_s}s, {} fast-forwarded, {} early-exited",
+        p.completed, p.total, p.fast_forwarded, p.early_exited
+    )
+}
+
 /// `fiq report <records.jsonl> [--telemetry FILE] [--json]` — join a
 /// campaign record stream with its telemetry stream and summarize.
 fn cmd_report(args: &Args) -> Result<(), String> {
@@ -718,4 +751,78 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         print!("{}", report.render());
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn progress(completed: usize, total: usize, resumed: usize) -> Progress {
+        Progress {
+            completed,
+            total,
+            resumed,
+            fast_forwarded: 0,
+            early_exited: 0,
+        }
+    }
+
+    /// The first callback lands microseconds into the run: no rate spike,
+    /// no near-zero ETA — both must read as unknown.
+    #[test]
+    fn progress_first_window_has_no_rate_spike() {
+        let line = progress_line(progress(1, 1000, 0), 0.000_02);
+        assert_eq!(
+            line,
+            "campaign: 1/1000 injections done (0%), --/s, eta --s, \
+             0 fast-forwarded, 0 early-exited"
+        );
+    }
+
+    /// A fully-resumed campaign never runs a worker: elapsed ≈ 0 and
+    /// done == planned. The final line must not divide by zero and must
+    /// settle the ETA at 0.
+    #[test]
+    fn progress_fully_resumed_campaign() {
+        let line = progress_line(progress(500, 500, 500), 0.0);
+        assert_eq!(
+            line,
+            "campaign: 500/500 injections done (100%), --/s, eta 0s, \
+             0 fast-forwarded, 0 early-exited"
+        );
+    }
+
+    /// Steady state: rate and ETA from fresh (non-resumed) completions.
+    #[test]
+    fn progress_steady_state_rate_and_eta() {
+        let line = progress_line(progress(300, 500, 100), 4.0);
+        assert_eq!(
+            line,
+            "campaign: 300/500 injections done (60%), 50/s, eta 4s, \
+             0 fast-forwarded, 0 early-exited"
+        );
+    }
+
+    /// Completion with a measured rate: ETA settles at 0 even though the
+    /// rate stays known.
+    #[test]
+    fn progress_complete_with_known_rate() {
+        let line = progress_line(progress(500, 500, 0), 10.0);
+        assert_eq!(
+            line,
+            "campaign: 500/500 injections done (100%), 50/s, eta 0s, \
+             0 fast-forwarded, 0 early-exited"
+        );
+    }
+
+    /// An empty campaign (zero planned injections) reports 100% done.
+    #[test]
+    fn progress_empty_campaign() {
+        let line = progress_line(progress(0, 0, 0), 0.0);
+        assert_eq!(
+            line,
+            "campaign: 0/0 injections done (100%), --/s, eta 0s, \
+             0 fast-forwarded, 0 early-exited"
+        );
+    }
 }

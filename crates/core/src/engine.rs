@@ -29,16 +29,16 @@
 use crate::campaign::{cell_seed, CampaignConfig, CellReport};
 use crate::category::Category;
 use crate::json::Json;
-use crate::llfi::{plan_llfi, run_llfi_observed, LlfiInjection};
+use crate::llfi::{plan_llfi_from, run_llfi_observed, LlfiInjection};
 use crate::outcome::{Outcome, OutcomeCounts};
-use crate::pinfi::{plan_pinfi, run_pinfi_observed, PinfiInjection};
+use crate::pinfi::{plan_pinfi_from, run_pinfi_observed, PinfiInjection};
 use crate::profile::{GoldenRef, LlfiProfile, PinfiProfile};
 use crate::telemetry::{
     cell_counter, cell_hist, engine_counter, engine_hist, telemetry_header_line, RunTotals,
     TaskTel, TelemetryFile, HUB_SPEC,
 };
-use fiq_asm::{AsmProgram, MachOptions, MachSnapshot};
-use fiq_interp::{InterpOptions, InterpSnapshot};
+use fiq_asm::{AsmProgram, DecodedProgram, MachOptions, MachSnapshot};
+use fiq_interp::{DecodedModule, Dispatch, InterpOptions, InterpSnapshot};
 use fiq_ir::Module;
 use fiq_telemetry::{EvVal, TelemetryHub, WorkerHandle};
 use rand::rngs::StdRng;
@@ -142,7 +142,6 @@ pub struct Progress {
 }
 
 /// Engine knobs beyond [`CampaignConfig`].
-#[derive(Default)]
 pub struct EngineOptions<'a> {
     /// Write one JSONL record per injection to this path.
     pub records: Option<&'a Path>,
@@ -168,6 +167,39 @@ pub struct EngineOptions<'a> {
     /// observational only: campaign output — reports *and* record
     /// bytes — is byte-identical with telemetry on or off.
     pub telemetry: Option<&'a Path>,
+    /// Execution core both substrates step with. Under
+    /// [`Dispatch::Threaded`] each cell's program is decoded once up
+    /// front and the table is shared across every worker. Campaign
+    /// output is byte-identical under either core; only wall-clock
+    /// changes.
+    pub dispatch: Dispatch,
+    /// Superinstruction fusion for the threaded core (ignored under
+    /// [`Dispatch::Legacy`]). Output-invariant; wall-clock only.
+    pub fusion: bool,
+}
+
+impl Default for EngineOptions<'_> {
+    fn default() -> Self {
+        EngineOptions {
+            records: None,
+            resume: false,
+            progress: None,
+            fast_forward: false,
+            early_exit: false,
+            telemetry: None,
+            dispatch: Dispatch::default(),
+            fusion: true,
+        }
+    }
+}
+
+/// A cell's shared pre-decoded program, built once before the pool
+/// starts so workers never decode (or contend on decoding) per task.
+enum DecodedCell {
+    Llfi(Arc<DecodedModule>),
+    Pinfi(Arc<DecodedProgram>),
+    /// Legacy dispatch: no decode needed.
+    None,
 }
 
 /// The result of a full engine run.
@@ -197,10 +229,12 @@ enum Plan {
     Pinfi(PinfiInjection),
 }
 
-/// One unit of work: a single injection run.
+/// One unit of work: a single injection run. `injection` is the index
+/// within the cell, kept as u64 so the record field can never silently
+/// truncate an oversized plan.
 struct Task {
     cell: usize,
-    injection: u32,
+    injection: u64,
     plan: Plan,
 }
 
@@ -225,6 +259,9 @@ struct Shared<'a, 't> {
     cells: &'a [CellSpec<'a>],
     tasks: &'t [Task],
     budgets: &'t [u64],
+    decoded: &'t [DecodedCell],
+    dispatch: Dispatch,
+    fusion: bool,
     next: AtomicUsize,
     completed: AtomicUsize,
     early_exited: AtomicUsize,
@@ -270,13 +307,15 @@ pub fn run_campaign(
         let before = tasks.len();
         match &cell.substrate {
             Substrate::Llfi { module, profile } => {
+                // One cumulative site table per cell, not per injection.
+                let cum = profile.cumulative(module, cell.category);
                 tasks.extend(
                     (0..cfg.injections)
-                        .filter_map(|_| plan_llfi(module, profile, cell.category, &mut rng))
+                        .filter_map(|_| plan_llfi_from(module, &cum, &mut rng))
                         .enumerate()
                         .map(|(i, p)| Task {
                             cell: ci,
-                            injection: i as u32,
+                            injection: i as u64,
                             plan: Plan::Llfi(p),
                         }),
                 );
@@ -284,15 +323,14 @@ pub fn run_campaign(
                 populations.push(profile.category_count(module, cell.category));
             }
             Substrate::Pinfi { prog, profile } => {
+                let cum = profile.cumulative(prog, cell.category);
                 tasks.extend(
                     (0..cfg.injections)
-                        .filter_map(|_| {
-                            plan_pinfi(prog, profile, cell.category, cfg.pinfi, &mut rng)
-                        })
+                        .filter_map(|_| plan_pinfi_from(prog, &cum, cfg.pinfi, &mut rng))
                         .enumerate()
                         .map(|(i, p)| Task {
                             cell: ci,
-                            injection: i as u32,
+                            injection: i as u64,
                             plan: Plan::Pinfi(p),
                         }),
                 );
@@ -300,8 +338,29 @@ pub fn run_campaign(
                 populations.push(profile.category_count(prog, cell.category));
             }
         }
-        planned.push((tasks.len() - before) as u32);
+        let cell_planned = u32::try_from(tasks.len() - before).map_err(|_| {
+            format!(
+                "cell {ci} ({}/{}): planned injection count exceeds the record format's \
+                 u32 per-cell limit",
+                cell.label, cell.category
+            )
+        })?;
+        planned.push(cell_planned);
     }
+
+    // Pre-decode each cell's program once; workers share the tables.
+    let decoded: Vec<DecodedCell> = cells
+        .iter()
+        .map(|cell| match (opts.dispatch, &cell.substrate) {
+            (Dispatch::Legacy, _) => DecodedCell::None,
+            (Dispatch::Threaded, Substrate::Llfi { module, .. }) => {
+                DecodedCell::Llfi(Arc::new(DecodedModule::decode(module, opts.fusion)))
+            }
+            (Dispatch::Threaded, Substrate::Pinfi { prog, .. }) => {
+                DecodedCell::Pinfi(Arc::new(DecodedProgram::decode(prog, opts.fusion)))
+            }
+        })
+        .collect();
 
     // 2. Open the record stream, replaying any resumable prefix.
     let header = header_line(cells, cfg, &planned);
@@ -369,6 +428,9 @@ pub fn run_campaign(
         cells,
         tasks: &tasks,
         budgets: &budgets,
+        decoded: &decoded,
+        dispatch: opts.dispatch,
+        fusion: opts.fusion,
         next: AtomicUsize::new(resumed),
         completed: AtomicUsize::new(resumed),
         early_exited: AtomicUsize::new(0),
@@ -390,12 +452,19 @@ pub fn run_campaign(
     };
     // Default thread stacks suffice: guest recursion lives on the
     // interpreter's explicit heap-allocated frame stack, not host frames.
-    std::thread::scope(|s| {
-        let shared = &shared;
-        for w in 0..workers {
-            s.spawn(move || worker(shared, w));
-        }
-    });
+    // A one-worker pool drains inline on the caller thread: same drain
+    // order, no spawn/join, and the caller's warm task-buffer pool is
+    // reused instead of starting cold on a fresh thread every campaign.
+    if workers == 1 {
+        worker(&shared, 0);
+    } else {
+        std::thread::scope(|s| {
+            let shared = &shared;
+            for w in 0..workers {
+                s.spawn(move || worker(shared, w));
+            }
+        });
+    }
     if let Some(e) = lock(&shared.error).take() {
         return Err(e);
     }
@@ -529,6 +598,9 @@ fn worker(shared: &Shared<'_, '_>, index: usize) {
                 cell,
                 budget,
                 task.plan,
+                &shared.decoded[task.cell],
+                shared.dispatch,
+                shared.fusion,
                 shared.fast_forward,
                 shared.early_exit,
                 tel,
@@ -604,10 +676,14 @@ fn worker(shared: &Shared<'_, '_>, index: usize) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute(
     cell: &CellSpec<'_>,
     budget: u64,
     plan: Plan,
+    decoded: &DecodedCell,
+    dispatch: Dispatch,
+    fusion: bool,
     fast_forward: bool,
     early_exit: bool,
     tel: TaskTel<'_>,
@@ -625,6 +701,8 @@ fn execute(
         (Substrate::Llfi { module, profile }, Plan::Llfi(inj)) => {
             let opts = InterpOptions {
                 max_steps: budget,
+                dispatch,
+                fusion,
                 ..InterpOptions::default()
             };
             let snap = match cache {
@@ -647,11 +725,26 @@ fn execute(
                 _ => None,
             };
             fast_forwarded = snap.is_some();
-            run_llfi_observed(module, opts, inj, &profile.golden_output, snap, golden, tel)
+            let dec = match decoded {
+                DecodedCell::Llfi(d) => Some(Arc::clone(d)),
+                _ => None,
+            };
+            run_llfi_observed(
+                module,
+                opts,
+                inj,
+                &profile.golden_output,
+                snap,
+                golden,
+                dec,
+                tel,
+            )
         }
         (Substrate::Pinfi { prog, profile }, Plan::Pinfi(inj)) => {
             let opts = MachOptions {
                 max_steps: budget,
+                dispatch,
+                fusion,
                 ..MachOptions::default()
             };
             let snap = match cache {
@@ -671,7 +764,20 @@ fn execute(
                 _ => None,
             };
             fast_forwarded = snap.is_some();
-            run_pinfi_observed(prog, opts, inj, &profile.golden_output, snap, golden, tel)
+            let dec = match decoded {
+                DecodedCell::Pinfi(d) => Some(Arc::clone(d)),
+                _ => None,
+            };
+            run_pinfi_observed(
+                prog,
+                opts,
+                inj,
+                &profile.golden_output,
+                snap,
+                golden,
+                dec,
+                tel,
+            )
         }
         _ => Err("internal error: plan/substrate mismatch".into()),
     }
@@ -789,7 +895,7 @@ fn record_line(cell: &CellSpec<'_>, task: &Task, index: usize, res: &TaskResult)
         ("record".into(), Json::str("injection")),
         ("task".into(), Json::u64(index as u64)),
         ("cell".into(), Json::str(cell.label.clone())),
-        ("injection".into(), Json::u64(u64::from(task.injection))),
+        ("injection".into(), Json::u64(task.injection)),
         ("tool".into(), Json::str(cell.substrate.tool())),
         ("category".into(), Json::str(cell.category.name())),
         ("plan".into(), plan),
@@ -863,4 +969,55 @@ fn parse_record(line: &str, expected_index: usize) -> Option<Outcome> {
         return None;
     }
     Outcome::from_name(v.get("outcome")?.as_str()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::LlfiProfile;
+    use fiq_interp::InstSite;
+    use fiq_ir::{FuncId, InstId};
+
+    /// A per-cell injection index past `u32::MAX` must survive the record
+    /// line verbatim: the field is u64 end to end, never cast down.
+    #[test]
+    fn record_line_preserves_oversized_injection_index() {
+        let module = Module::new("boundary");
+        let profile = LlfiProfile {
+            golden_output: String::new(),
+            golden_steps: 0,
+            counts: Vec::new(),
+        };
+        let cell = CellSpec {
+            label: "boundary".into(),
+            category: Category::All,
+            substrate: Substrate::Llfi {
+                module: &module,
+                profile: &profile,
+            },
+            snapshots: None,
+        };
+        let big = u64::from(u32::MAX) + 7;
+        let task = Task {
+            cell: 0,
+            injection: big,
+            plan: Plan::Llfi(LlfiInjection {
+                site: InstSite {
+                    func: FuncId(0),
+                    inst: InstId(0),
+                },
+                instance: 1,
+                bit: 0,
+            }),
+        };
+        let res = TaskResult {
+            outcome: Outcome::Benign,
+            steps: 1,
+            early_exit: false,
+            fast_forwarded: false,
+        };
+        let line = record_line(&cell, &task, 0, &res);
+        let v = Json::parse(&line).expect("record line parses");
+        assert_eq!(v.get("injection").and_then(Json::as_u64), Some(big));
+    }
 }

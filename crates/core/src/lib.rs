@@ -66,13 +66,13 @@ pub use engine::{
     RECORD_VERSION,
 };
 pub use llfi::{
-    plan_llfi, run_llfi, run_llfi_detailed, run_llfi_detailed_from, run_llfi_observed,
-    LlfiInjection,
+    plan_llfi, plan_llfi_from, run_llfi, run_llfi_detailed, run_llfi_detailed_from,
+    run_llfi_observed, LlfiInjection,
 };
 pub use outcome::{classify, DetailedOutcome, InjectionRun, Outcome, OutcomeCounts};
 pub use pinfi::{
-    plan_pinfi, run_pinfi, run_pinfi_detailed, run_pinfi_detailed_from, run_pinfi_observed,
-    PinfiInjection, PinfiOptions,
+    plan_pinfi, plan_pinfi_from, run_pinfi, run_pinfi_detailed, run_pinfi_detailed_from,
+    run_pinfi_observed, PinfiInjection, PinfiOptions,
 };
 pub use profile::{
     locate, profile_llfi, profile_llfi_with_snapshots, profile_pinfi, profile_pinfi_with_snapshots,

@@ -10,10 +10,12 @@ use crate::outcome::{classify, Outcome};
 use crate::profile::{locate, GoldenRef, LlfiProfile};
 use crate::telemetry::{cell_counter, cell_hist, TaskTel};
 use fiq_interp::{
-    ExecResult, ExecStatus, InstSite, Interp, InterpHook, InterpOptions, InterpSnapshot, RtVal,
+    DecodedModule, ExecResult, ExecStatus, InstSite, Interp, InterpHook, InterpOptions,
+    InterpSnapshot, RtVal,
 };
 use fiq_ir::Module;
 use rand::Rng;
+use std::sync::Arc;
 
 /// A fully planned LLFI injection: *which* dynamic instance of *which*
 /// instruction, and which bit of its destination.
@@ -35,10 +37,21 @@ pub fn plan_llfi(
     cat: Category,
     rng: &mut impl Rng,
 ) -> Option<LlfiInjection> {
-    let cum = profile.cumulative(module, cat);
+    plan_llfi_from(module, &profile.cumulative(module, cat), rng)
+}
+
+/// [`plan_llfi`] from a precomputed cumulative site table
+/// ([`LlfiProfile::cumulative`]): the table depends only on (module,
+/// profile, category), so a campaign hoists it out of its per-injection
+/// planning loop. Consumes `rng` draws exactly as [`plan_llfi`] does.
+pub fn plan_llfi_from(
+    module: &Module,
+    cum: &[(InstSite, u64)],
+    rng: &mut impl Rng,
+) -> Option<LlfiInjection> {
     let total = cum.last()?.1;
     let k = rng.gen_range(1..=total);
-    let (site, instance) = locate(&cum, k);
+    let (site, instance) = locate(cum, k);
     let width = module.func(site.func).inst(site.inst).ty.size() as u32 * 8;
     let width = width.clamp(1, 64);
     // i1 destinations have exactly one bit.
@@ -175,15 +188,19 @@ pub fn run_llfi_detailed_from(
         golden_output,
         snapshot,
         golden,
+        None,
         TaskTel::off(),
     )
 }
 
-/// [`run_llfi_detailed_from`] with campaign telemetry: records the
-/// step-attribution split (skipped / executed / reconstructed), snapshot
-/// restore cost, convergence-compare counts, and the fault's activation
-/// verdict into `tel`. Passing [`TaskTel::off`] makes this identical to
-/// [`run_llfi_detailed_from`].
+/// [`run_llfi_detailed_from`] with campaign telemetry and an optional
+/// shared pre-decoded module: records the step-attribution split
+/// (skipped / executed / reconstructed), snapshot restore cost,
+/// convergence-compare counts, and the fault's activation verdict into
+/// `tel`. `decoded` lets the campaign engine decode the module once per
+/// cell and share the table across every injection run (`None` decodes
+/// inline when the dispatch mode needs one). Passing [`TaskTel::off`] and
+/// `None` makes this identical to [`run_llfi_detailed_from`].
 ///
 /// # Errors
 ///
@@ -196,6 +213,7 @@ pub fn run_llfi_observed(
     golden_output: &str,
     snapshot: Option<&InterpSnapshot>,
     golden: Option<GoldenRef<'_, InterpSnapshot>>,
+    decoded: Option<Arc<DecodedModule>>,
     tel: TaskTel<'_>,
 ) -> Result<crate::outcome::InjectionRun, String> {
     let seen = snapshot.map_or(0, |s| s.site_count(inj.site));
@@ -215,13 +233,13 @@ pub fn run_llfi_observed(
     let mut interp = match snapshot {
         Some(s) => {
             let t0 = tel.enabled().then(std::time::Instant::now);
-            let interp = Interp::restore(module, opts, hook, s);
+            let interp = Interp::restore_with_decoded(module, decoded, opts, hook, s);
             if let Some(t0) = t0 {
                 tel.hist(cell_hist::RESTORE_NS, t0.elapsed().as_nanos() as u64);
             }
             interp
         }
-        None => Interp::new(module, opts, hook).map_err(|t| t.to_string())?,
+        None => Interp::with_decoded(module, decoded, opts, hook).map_err(|t| t.to_string())?,
     };
 
     let (result, early_exit) = drive_llfi(&mut interp, opts, golden_output, golden, tel);

@@ -16,11 +16,12 @@ use crate::outcome::{classify, Outcome};
 use crate::profile::{locate, GoldenRef, PinfiProfile};
 use crate::telemetry::{cell_counter, cell_hist, TaskTel};
 use fiq_asm::{
-    AsmHook, AsmProgram, ExtFn, Inst, MachOptions, MachSnapshot, MachState, Machine, Reg, RegId,
-    RunResult, ALL_FLAGS,
+    AsmHook, AsmProgram, DecodedProgram, ExtFn, Inst, MachOptions, MachSnapshot, MachState,
+    Machine, Reg, RegId, RunResult, ALL_FLAGS,
 };
 use fiq_mem::RunStatus;
 use rand::Rng;
+use std::sync::Arc;
 
 /// PINFI configuration (paper §IV heuristics).
 #[derive(Debug, Clone, Copy)]
@@ -63,10 +64,22 @@ pub fn plan_pinfi(
     opts: PinfiOptions,
     rng: &mut impl Rng,
 ) -> Option<PinfiInjection> {
-    let cum = profile.cumulative(prog, cat);
+    plan_pinfi_from(prog, &profile.cumulative(prog, cat), opts, rng)
+}
+
+/// [`plan_pinfi`] from a precomputed cumulative site table
+/// ([`PinfiProfile::cumulative`]): the table depends only on (program,
+/// profile, category), so a campaign hoists it out of its per-injection
+/// planning loop. Consumes `rng` draws exactly as [`plan_pinfi`] does.
+pub fn plan_pinfi_from(
+    prog: &AsmProgram,
+    cum: &[(usize, u64)],
+    opts: PinfiOptions,
+    rng: &mut impl Rng,
+) -> Option<PinfiInjection> {
     let total = cum.last()?.1;
     let k = rng.gen_range(1..=total);
-    let (idx, instance) = locate(&cum, k);
+    let (idx, instance) = locate(cum, k);
     let dest = injection_dest(prog, idx).expect("candidates have destinations");
     let (dest, bit) = match dest {
         RegId::Flags(mask) => {
@@ -101,8 +114,11 @@ struct PinfiHook<'p> {
 
 impl PinfiHook<'_> {
     fn reads_fault(&self, inst: &Inst) -> bool {
-        for r in inst.reads() {
-            let hit = match (r, self.inj.dest) {
+        // Allocation-free read-set walk: this runs on every retired
+        // instruction while the fault is live.
+        let mut hit = false;
+        inst.for_each_read(&mut |r| {
+            hit |= match (r, self.inj.dest) {
                 (RegId::Gpr(a), RegId::Gpr(b)) => a == b,
                 (RegId::Flags(read_mask), RegId::Flags(_)) => read_mask & (1 << self.inj.bit) != 0,
                 // All double-precision operations read only the low XMM
@@ -110,11 +126,8 @@ impl PinfiHook<'_> {
                 (RegId::Xmm(a), RegId::Xmm(b)) => a == b && self.inj.bit < 64,
                 _ => false,
             };
-            if hit {
-                return true;
-            }
-        }
-        false
+        });
+        hit
     }
 
     fn overwrites_fault(&self, inst: &Inst, idx: usize) -> bool {
@@ -178,8 +191,11 @@ impl PinfiHook<'_> {
 impl AsmHook for PinfiHook<'_> {
     fn on_retire(&mut self, idx: usize, st: &mut MachState) {
         // Track the existing fault first: this retired instruction may
-        // have read (activated) and/or overwritten it.
-        if self.injected && self.live {
+        // have read (activated) and/or overwritten it. Once activated the
+        // verdict is frozen (the flag is monotone and `live` is only
+        // consulted when the fault never activated), so the per-retire
+        // read/overwrite walk stops paying for the rest of the run.
+        if self.injected && self.live && !self.activated {
             let inst = &self.prog.insts[idx];
             if self.reads_fault(inst) {
                 self.activated = true;
@@ -267,15 +283,19 @@ pub fn run_pinfi_detailed_from(
         golden_output,
         snapshot,
         golden,
+        None,
         TaskTel::off(),
     )
 }
 
-/// [`run_pinfi_detailed_from`] with campaign telemetry: records the
-/// step-attribution split (skipped / executed / reconstructed), snapshot
-/// restore cost, convergence-compare counts, and the fault's activation
-/// verdict into `tel`. Passing [`TaskTel::off`] makes this identical to
-/// [`run_pinfi_detailed_from`].
+/// [`run_pinfi_detailed_from`] with campaign telemetry and an optional
+/// shared pre-decoded program: records the step-attribution split
+/// (skipped / executed / reconstructed), snapshot restore cost,
+/// convergence-compare counts, and the fault's activation verdict into
+/// `tel`. `decoded` lets the campaign engine decode the program once per
+/// cell and share the table across every injection run (`None` decodes
+/// inline when the dispatch mode needs one). Passing [`TaskTel::off`] and
+/// `None` makes this identical to [`run_pinfi_detailed_from`].
 ///
 /// # Errors
 ///
@@ -288,6 +308,7 @@ pub fn run_pinfi_observed(
     golden_output: &str,
     snapshot: Option<&MachSnapshot>,
     golden: Option<GoldenRef<'_, MachSnapshot>>,
+    decoded: Option<Arc<DecodedProgram>>,
     tel: TaskTel<'_>,
 ) -> Result<crate::outcome::InjectionRun, String> {
     let seen = snapshot.map_or(0, |s| s.site_count(inj.idx));
@@ -306,13 +327,13 @@ pub fn run_pinfi_observed(
     let mut machine = match snapshot {
         Some(s) => {
             let t0 = tel.enabled().then(std::time::Instant::now);
-            let machine = Machine::restore(prog, opts, hook, s);
+            let machine = Machine::restore_with_decoded(prog, decoded, opts, hook, s);
             if let Some(t0) = t0 {
                 tel.hist(cell_hist::RESTORE_NS, t0.elapsed().as_nanos() as u64);
             }
             machine
         }
-        None => Machine::new(prog, opts, hook).map_err(|t| t.to_string())?,
+        None => Machine::with_decoded(prog, decoded, opts, hook).map_err(|t| t.to_string())?,
     };
     let (result, early_exit) = drive_pinfi(&mut machine, opts, golden_output, golden, tel);
     // Step attribution: what the record reports = steps skipped by the

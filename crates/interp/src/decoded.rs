@@ -1,0 +1,1072 @@
+//! Pre-decoded threaded-dispatch execution core for the IR interpreter.
+//!
+//! [`DecodedModule::decode`] runs once per module and resolves everything
+//! the legacy per-step `match` re-derives on every dynamic instruction:
+//! operand kinds ([`Opnd`] — slot index, argument index, or a fully
+//! materialized [`RtVal`] constant, with globals resolved to their
+//! deterministic addresses), result types, load/store widths, alloca
+//! sizes, and GEP strides (constant indices folded into flat byte
+//! offsets). A fusion pass then rewrites hot adjacent pairs
+//! (compare+branch, GEP+load, GEP+store) into superinstructions.
+//!
+//! The decoded core implements *identical observable semantics* to the
+//! legacy core in `interp.rs`: the same step counts, the same
+//! `on_result`/`on_use`/`on_load`/`on_store` event sequence with the same
+//! original [`InstId`]s, the same traps, and the same console bytes.
+//! Campaign output is therefore byte-identical under either core. The one
+//! intentional difference is *pause granularity*: a fused pair is atomic
+//! (like a φ-batch), so a snapshot or pause boundary can land after the
+//! pair where the legacy core could have stopped between its halves. Both
+//! cores only ever capture at consistent boundaries, so this changes
+//! which checkpoints get compared, never what any run outputs.
+
+use crate::hook::{InstSite, InterpHook};
+use crate::interp::{Frame, Interp, Stop};
+use crate::ops;
+use crate::rtval::RtVal;
+use fiq_ir::{
+    BinOp, BlockId, Callee, CastOp, Constant, FCmpPred, FloatTy, FuncId, ICmpPred, InstId,
+    InstKind, IntTy, Intrinsic, Module, Type, Value,
+};
+use fiq_mem::{Memory, Trap};
+
+/// A pre-resolved operand: everything `Value` evaluation needs, with
+/// constants (including globals and function addresses) materialized at
+/// decode time. Only `Slot` reads fire an `on_use` event, exactly like
+/// `Value::Inst` in the legacy core.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Opnd {
+    /// Read the SSA slot of instruction `InstId(n)` in the current frame.
+    Slot(u32),
+    /// Read argument `n` of the current frame.
+    Arg(u32),
+    /// A fully materialized constant.
+    Const(RtVal),
+}
+
+/// The scalar type of a load destination, pre-resolved from `inst.ty`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LoadKind {
+    Int(IntTy),
+    F32,
+    F64,
+    Ptr,
+}
+
+impl LoadKind {
+    fn of(ty: &Type) -> LoadKind {
+        match ty {
+            Type::Int(t) => LoadKind::Int(*t),
+            Type::Float(FloatTy::F32) => LoadKind::F32,
+            Type::Float(FloatTy::F64) => LoadKind::F64,
+            Type::Ptr => LoadKind::Ptr,
+            other => panic!("load of non-first-class type {other}"),
+        }
+    }
+
+    fn size(self) -> u64 {
+        match self {
+            LoadKind::Int(t) => t.bytes(),
+            LoadKind::F32 => 4,
+            LoadKind::F64 | LoadKind::Ptr => 8,
+        }
+    }
+}
+
+/// One pre-computed GEP address step. Constant indices (and constant
+/// struct-field offsets) are folded into `Const` byte offsets at decode
+/// time; this is invisible to hooks because constant operands never fire
+/// events in the legacy core either.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum GepStep {
+    /// `addr += sext(idx) * stride`.
+    Scale { idx: Opnd, stride: u64 },
+    /// `addr += off` (pre-folded constant indices / field offsets).
+    Const(u64),
+}
+
+/// A decoded instruction body. Field meanings mirror `InstKind`, with
+/// operands resolved and per-execution type walks hoisted to decode time.
+#[derive(Debug, Clone)]
+pub(crate) enum DecOp {
+    IntBin {
+        op: BinOp,
+        ty: IntTy,
+        lhs: Opnd,
+        rhs: Opnd,
+    },
+    FloatBin {
+        op: BinOp,
+        lhs: Opnd,
+        rhs: Opnd,
+    },
+    ICmp {
+        pred: ICmpPred,
+        lhs: Opnd,
+        rhs: Opnd,
+    },
+    FCmp {
+        pred: FCmpPred,
+        lhs: Opnd,
+        rhs: Opnd,
+    },
+    Cast {
+        op: CastOp,
+        val: Opnd,
+        ty: Type,
+    },
+    Alloca {
+        size: u64,
+        align: u64,
+    },
+    Load {
+        ptr: Opnd,
+        kind: LoadKind,
+    },
+    Store {
+        val: Opnd,
+        ptr: Opnd,
+    },
+    Gep {
+        base: Opnd,
+        steps: Box<[GepStep]>,
+    },
+    /// Fallback for a GEP with a *dynamic* struct index (the stride walk
+    /// depends on runtime values): runs the reference algorithm, but over
+    /// type references instead of per-step clones.
+    GepDyn {
+        elem_ty: Type,
+        base: Opnd,
+        indices: Box<[Opnd]>,
+    },
+    Select {
+        cond: Opnd,
+        then_val: Opnd,
+        else_val: Opnd,
+    },
+    CallFunc {
+        target: FuncId,
+        args: Box<[Opnd]>,
+        has_result: bool,
+    },
+    CallIntr {
+        intr: Intrinsic,
+        args: Box<[Opnd]>,
+        has_result: bool,
+    },
+    Br {
+        target: BlockId,
+    },
+    CondBr {
+        cond: Opnd,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+    Ret {
+        val: Option<Opnd>,
+    },
+    Unreachable,
+    /// Superinstruction: integer compare immediately consumed by the
+    /// adjacent conditional branch. Atomic pair; charges two steps and
+    /// fires both instructions' events with their original ids.
+    FusedICmpBr {
+        pred: ICmpPred,
+        lhs: Opnd,
+        rhs: Opnd,
+        br_id: InstId,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+    /// Superinstruction: float compare + adjacent conditional branch.
+    FusedFCmpBr {
+        pred: FCmpPred,
+        lhs: Opnd,
+        rhs: Opnd,
+        br_id: InstId,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+    /// Superinstruction: GEP whose address is immediately loaded by the
+    /// next instruction.
+    FusedGepLoad {
+        base: Opnd,
+        steps: Box<[GepStep]>,
+        load_id: InstId,
+        kind: LoadKind,
+    },
+    /// Superinstruction: GEP whose address is immediately stored through
+    /// by the next instruction.
+    FusedGepStore {
+        base: Opnd,
+        steps: Box<[GepStep]>,
+        store_id: InstId,
+        val: Opnd,
+    },
+}
+
+/// A decoded instruction: the original [`InstId`] (hooks and slots are
+/// keyed by it) plus the pre-resolved body.
+#[derive(Debug, Clone)]
+pub(crate) struct DecInst {
+    pub(crate) id: InstId,
+    pub(crate) op: DecOp,
+}
+
+/// A decoded basic block: the leading φ-batch (ids plus, per predecessor,
+/// one pre-resolved operand per φ in order) and the remaining code, laid
+/// out so `code[j]` decodes `block.insts[phi_ids.len() + j]` — `frame.ip`
+/// means the same thing under both cores, keeping snapshots portable.
+#[derive(Debug, Clone)]
+pub(crate) struct DecodedBlock {
+    pub(crate) phi_ids: Box<[InstId]>,
+    pub(crate) phi_preds: Box<[(BlockId, Box<[Opnd]>)]>,
+    pub(crate) code: Box<[DecInst]>,
+}
+
+/// One decoded function: blocks indexed by `BlockId`.
+#[derive(Debug, Clone)]
+pub(crate) struct DecodedFunc {
+    pub(crate) blocks: Box<[DecodedBlock]>,
+}
+
+/// A module pre-decoded for threaded dispatch. Decode once (it is pure:
+/// the global layout is deterministic), then share via `Arc` across every
+/// interpreter running the same module — the campaign engine decodes each
+/// cell's module once for all its injections.
+#[derive(Debug, Clone)]
+pub struct DecodedModule {
+    pub(crate) funcs: Box<[DecodedFunc]>,
+    pub(crate) global_addrs: Vec<u64>,
+    pub(crate) fusion: bool,
+}
+
+impl DecodedModule {
+    /// Decodes `module` for threaded dispatch, with superinstruction
+    /// fusion on or off. Fusion changes wall-clock only, never output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module's globals exceed the simulated address space
+    /// (an interpreter for such a module cannot be constructed either).
+    pub fn decode(module: &Module, fusion: bool) -> DecodedModule {
+        // The global layout is capacity-independent (packed from the null
+        // guard upward), so a dry run against an unbounded memory yields
+        // the same addresses every real interpreter will compute.
+        let mut mem = Memory::with_capacity(u64::MAX / 2);
+        let global_addrs = crate::interp::materialize_globals(module, &mut mem)
+            .expect("global layout exceeds simulated address space");
+        let funcs = module
+            .funcs
+            .iter()
+            .map(|f| decode_func(f, &global_addrs, fusion))
+            .collect();
+        DecodedModule {
+            funcs,
+            global_addrs,
+            fusion,
+        }
+    }
+
+    /// Whether this decode was built with superinstruction fusion.
+    pub fn fusion(&self) -> bool {
+        self.fusion
+    }
+}
+
+/// Resolves one `Value` operand against the decode-time global layout.
+fn opnd(v: Value, global_addrs: &[u64]) -> Opnd {
+    match v {
+        Value::Inst(id) => Opnd::Slot(id.0),
+        Value::Arg(n) => Opnd::Arg(n),
+        Value::Const(c) => Opnd::Const(match c {
+            Constant::Int(t, raw) => RtVal::Int(t, raw),
+            Constant::Float(FloatTy::F32, bits) => RtVal::F32(f32::from_bits(bits as u32)),
+            Constant::Float(FloatTy::F64, bits) => RtVal::F64(f64::from_bits(bits)),
+            Constant::NullPtr => RtVal::Ptr(0),
+            Constant::Global(g) => RtVal::Ptr(global_addrs[g.index()]),
+            Constant::Func(f) => RtVal::Ptr(0x4000_0000_0000_0000 | u64::from(f.0)),
+            Constant::Undef(t) => RtVal::Int(t, 0),
+        }),
+    }
+}
+
+/// Pre-computes a GEP's address steps, folding constant indices into flat
+/// byte offsets. Falls back to [`DecOp::GepDyn`] when a struct is indexed
+/// by a non-constant (the stride walk then depends on runtime values).
+fn decode_gep(elem_ty: &Type, base: Value, indices: &[Value], ga: &[u64]) -> DecOp {
+    let mut steps: Vec<GepStep> = Vec::new();
+    let mut pending: u64 = 0;
+    let mut cur_ty = elem_ty;
+    for (i, idx) in indices.iter().enumerate() {
+        let stride = if i == 0 {
+            cur_ty.size()
+        } else {
+            match cur_ty {
+                Type::Array(elem, _) => {
+                    cur_ty = elem;
+                    cur_ty.size()
+                }
+                Type::Struct(fields) => {
+                    let Opnd::Const(c) = opnd(*idx, ga) else {
+                        return DecOp::GepDyn {
+                            elem_ty: elem_ty.clone(),
+                            base: opnd(base, ga),
+                            indices: indices.iter().map(|v| opnd(*v, ga)).collect(),
+                        };
+                    };
+                    let field = c.as_sint() as usize;
+                    pending = pending.wrapping_add(cur_ty.struct_field_offset(field));
+                    cur_ty = &fields[field];
+                    continue;
+                }
+                other => panic!("verified gep walks aggregate, got {other}"),
+            }
+        };
+        match opnd(*idx, ga) {
+            Opnd::Const(c) => {
+                pending = pending.wrapping_add((c.as_sint() as u64).wrapping_mul(stride));
+            }
+            o => {
+                if pending != 0 {
+                    steps.push(GepStep::Const(pending));
+                    pending = 0;
+                }
+                steps.push(GepStep::Scale { idx: o, stride });
+            }
+        }
+    }
+    if pending != 0 {
+        steps.push(GepStep::Const(pending));
+    }
+    DecOp::Gep {
+        base: opnd(base, ga),
+        steps: steps.into(),
+    }
+}
+
+fn decode_inst(func: &fiq_ir::Function, id: InstId, ga: &[u64]) -> DecOp {
+    let inst = func.inst(id);
+    match &inst.kind {
+        InstKind::Phi { .. } => unreachable!("phi decoded via the block's phi table"),
+        InstKind::Binary { op, lhs, rhs } => {
+            if op.is_float() {
+                DecOp::FloatBin {
+                    op: *op,
+                    lhs: opnd(*lhs, ga),
+                    rhs: opnd(*rhs, ga),
+                }
+            } else {
+                DecOp::IntBin {
+                    op: *op,
+                    ty: inst.ty.as_int().expect("verified int binop"),
+                    lhs: opnd(*lhs, ga),
+                    rhs: opnd(*rhs, ga),
+                }
+            }
+        }
+        InstKind::ICmp { pred, lhs, rhs } => DecOp::ICmp {
+            pred: *pred,
+            lhs: opnd(*lhs, ga),
+            rhs: opnd(*rhs, ga),
+        },
+        InstKind::FCmp { pred, lhs, rhs } => DecOp::FCmp {
+            pred: *pred,
+            lhs: opnd(*lhs, ga),
+            rhs: opnd(*rhs, ga),
+        },
+        InstKind::Cast { op, val } => DecOp::Cast {
+            op: *op,
+            val: opnd(*val, ga),
+            ty: inst.ty.clone(),
+        },
+        InstKind::Alloca { ty } => DecOp::Alloca {
+            size: ty.size().max(1),
+            align: ty.align().max(1),
+        },
+        InstKind::Load { ptr } => DecOp::Load {
+            ptr: opnd(*ptr, ga),
+            kind: LoadKind::of(&inst.ty),
+        },
+        InstKind::Store { val, ptr } => DecOp::Store {
+            val: opnd(*val, ga),
+            ptr: opnd(*ptr, ga),
+        },
+        InstKind::Gep {
+            elem_ty,
+            base,
+            indices,
+        } => decode_gep(elem_ty, *base, indices, ga),
+        InstKind::Select {
+            cond,
+            then_val,
+            else_val,
+        } => DecOp::Select {
+            cond: opnd(*cond, ga),
+            then_val: opnd(*then_val, ga),
+            else_val: opnd(*else_val, ga),
+        },
+        InstKind::Call { callee, args } => {
+            let args: Box<[Opnd]> = args.iter().map(|a| opnd(*a, ga)).collect();
+            let has_result = inst.has_result();
+            match callee {
+                Callee::Func(target) => DecOp::CallFunc {
+                    target: *target,
+                    args,
+                    has_result,
+                },
+                Callee::Intrinsic(i) => DecOp::CallIntr {
+                    intr: *i,
+                    args,
+                    has_result,
+                },
+            }
+        }
+        InstKind::Br { target } => DecOp::Br { target: *target },
+        InstKind::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => DecOp::CondBr {
+            cond: opnd(*cond, ga),
+            then_bb: *then_bb,
+            else_bb: *else_bb,
+        },
+        InstKind::Ret { val } => DecOp::Ret {
+            val: val.map(|v| opnd(v, ga)),
+        },
+        InstKind::Unreachable => DecOp::Unreachable,
+    }
+}
+
+/// Builds the superinstruction for an adjacent (head, tail) pair, or
+/// `None` if they don't form a fusable idiom. The tail must consume the
+/// head's result directly (`Opnd::Slot` of the head's id).
+fn fuse_pair(head: &DecInst, tail: &DecInst) -> Option<DecOp> {
+    let feeds = |o: &Opnd| matches!(o, Opnd::Slot(s) if *s == head.id.0);
+    match (&head.op, &tail.op) {
+        (
+            DecOp::ICmp { pred, lhs, rhs },
+            DecOp::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            },
+        ) if feeds(cond) => Some(DecOp::FusedICmpBr {
+            pred: *pred,
+            lhs: *lhs,
+            rhs: *rhs,
+            br_id: tail.id,
+            then_bb: *then_bb,
+            else_bb: *else_bb,
+        }),
+        (
+            DecOp::FCmp { pred, lhs, rhs },
+            DecOp::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            },
+        ) if feeds(cond) => Some(DecOp::FusedFCmpBr {
+            pred: *pred,
+            lhs: *lhs,
+            rhs: *rhs,
+            br_id: tail.id,
+            then_bb: *then_bb,
+            else_bb: *else_bb,
+        }),
+        (DecOp::Gep { base, steps }, DecOp::Load { ptr, kind }) if feeds(ptr) => {
+            Some(DecOp::FusedGepLoad {
+                base: *base,
+                steps: steps.clone(),
+                load_id: tail.id,
+                kind: *kind,
+            })
+        }
+        (DecOp::Gep { base, steps }, DecOp::Store { val, ptr }) if feeds(ptr) => {
+            Some(DecOp::FusedGepStore {
+                base: *base,
+                steps: steps.clone(),
+                store_id: tail.id,
+                val: *val,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn decode_func(func: &fiq_ir::Function, ga: &[u64], fusion: bool) -> DecodedFunc {
+    let blocks = func
+        .block_ids()
+        .map(|bb| {
+            let insts = &func.block(bb).insts;
+            let phi_count = insts
+                .iter()
+                .take_while(|&&id| matches!(func.inst(id).kind, InstKind::Phi { .. }))
+                .count();
+            let phi_ids: Box<[InstId]> = insts[..phi_count].iter().copied().collect();
+            // Regroup per-φ incoming lists into per-predecessor operand
+            // rows so the hot path resolves the predecessor once per
+            // batch instead of once per φ.
+            let preds: Vec<BlockId> = phi_ids
+                .first()
+                .map(|&id| {
+                    let InstKind::Phi { incomings } = &func.inst(id).kind else {
+                        unreachable!()
+                    };
+                    incomings.iter().map(|(pb, _)| *pb).collect()
+                })
+                .unwrap_or_default();
+            let phi_preds: Box<[(BlockId, Box<[Opnd]>)]> = preds
+                .iter()
+                .map(|&pred| {
+                    let row: Box<[Opnd]> = phi_ids
+                        .iter()
+                        .map(|&id| {
+                            let InstKind::Phi { incomings } = &func.inst(id).kind else {
+                                unreachable!()
+                            };
+                            let (_, v) = incomings
+                                .iter()
+                                .find(|(pb, _)| *pb == pred)
+                                .expect("verified phi has incoming for every predecessor");
+                            opnd(*v, ga)
+                        })
+                        .collect();
+                    (pred, row)
+                })
+                .collect();
+            let mut code: Vec<DecInst> = insts[phi_count..]
+                .iter()
+                .map(|&id| DecInst {
+                    id,
+                    op: decode_inst(func, id, ga),
+                })
+                .collect();
+            if fusion {
+                // Heads (cmp/GEP) and tails (branch/load/store) are
+                // disjoint op sets, so a greedy left-to-right scan cannot
+                // miss an overlapping pair. The tail keeps its plain
+                // decode: threaded execution never enters it (pairs are
+                // atomic), but a snapshot captured by the legacy core can
+                // resume there.
+                let mut j = 0;
+                while j + 1 < code.len() {
+                    if let Some(f) = fuse_pair(&code[j], &code[j + 1]) {
+                        code[j].op = f;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+            }
+            DecodedBlock {
+                phi_ids,
+                phi_preds,
+                code: code.into(),
+            }
+        })
+        .collect();
+    DecodedFunc { blocks }
+}
+
+impl<'m, H: InterpHook> Interp<'m, H> {
+    /// Evaluates one pre-resolved operand, firing the same `on_use` event
+    /// the legacy core fires for `Value::Inst`.
+    #[inline]
+    fn eval_opnd(&mut self, frame: &Frame, consumer: InstId, o: &Opnd) -> RtVal {
+        match o {
+            Opnd::Slot(i) => {
+                self.hook.on_use(
+                    InstSite {
+                        func: frame.fid,
+                        inst: InstId(*i),
+                    },
+                    InstSite {
+                        func: frame.fid,
+                        inst: consumer,
+                    },
+                    frame.frame_id,
+                );
+                match frame.slots[*i as usize] {
+                    Some(v) => v,
+                    None => unwritten_slot(&self.module.func(frame.fid).name, InstId(*i)),
+                }
+            }
+            Opnd::Arg(n) => frame.args[*n as usize],
+            Opnd::Const(v) => *v,
+        }
+    }
+
+    fn load_kind(&self, addr: u64, k: LoadKind) -> Result<RtVal, Trap> {
+        Ok(match k {
+            LoadKind::Int(t) => RtVal::Int(t, t.truncate(self.mem.read_uint(addr, t.bytes())?)),
+            LoadKind::F32 => RtVal::F32(self.mem.read_f32(addr)?),
+            LoadKind::F64 => RtVal::F64(self.mem.read_f64(addr)?),
+            LoadKind::Ptr => RtVal::Ptr(self.mem.read_uint(addr, 8)?),
+        })
+    }
+
+    /// Walks pre-computed GEP steps, firing `on_use` for dynamic indices
+    /// in original operand order (constant steps fire nothing, exactly
+    /// like constant operands in the legacy core).
+    #[inline]
+    fn gep_addr(&mut self, frame: &Frame, id: InstId, base: &Opnd, steps: &[GepStep]) -> u64 {
+        let mut addr = self.eval_opnd(frame, id, base).as_ptr();
+        for s in steps {
+            match s {
+                GepStep::Scale { idx, stride } => {
+                    let iv = self.eval_opnd(frame, id, idx);
+                    addr = addr.wrapping_add((iv.as_sint() as u64).wrapping_mul(*stride));
+                }
+                GepStep::Const(off) => addr = addr.wrapping_add(*off),
+            }
+        }
+        addr
+    }
+
+    /// The threaded-dispatch twin of `Interp::step`: executes decoded
+    /// instructions in the top frame until a control transfer or a
+    /// pending snapshot/pause point hands control back. Observable
+    /// semantics are identical to the legacy core (see module docs).
+    #[allow(clippy::too_many_lines)]
+    pub(crate) fn step_decoded(&mut self, dec: &DecodedModule) -> Result<(), Stop> {
+        let mut frame = self.frames.pop().expect("step with a live frame");
+        let fid = frame.fid;
+        let dfunc = &dec.funcs[fid.index()];
+        let snap_due = match (self.snap.as_ref().map(|s| s.next_at), self.pause_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+
+        // The current block is re-resolved only at control transfers; every
+        // straight-line instruction reuses this borrow (and the hoisted
+        // φ-count, so the hot path does not reload it per instruction).
+        let mut dblock = &dfunc.blocks[frame.cur.index()];
+        let mut phi_len = dblock.phi_ids.len();
+        loop {
+            if let Some(at) = snap_due {
+                if self.steps >= at {
+                    self.frames.push(frame);
+                    return Ok(());
+                }
+            }
+
+            if frame.ip == 0 && phi_len != 0 {
+                // Parallel φ-batch: reads before writes, atomic within
+                // the slice. Small batches (the overwhelmingly common
+                // case — loop headers carry a φ or two) stage through a
+                // stack array; larger ones fall back to a reusable buffer.
+                let pred = frame.prev.expect("phi in entry block");
+                let (_, row) = dblock
+                    .phi_preds
+                    .iter()
+                    .find(|(pb, _)| *pb == pred)
+                    .expect("verified phi has incoming for every predecessor");
+                if phi_len <= 4 {
+                    let mut staged = [RtVal::Ptr(0); 4];
+                    for (k, &id) in dblock.phi_ids.iter().enumerate() {
+                        self.budget()?;
+                        let mut val = self.eval_opnd(&frame, id, &row[k]);
+                        self.result(
+                            InstSite {
+                                func: fid,
+                                inst: id,
+                            },
+                            frame.frame_id,
+                            &mut val,
+                        );
+                        staged[k] = val;
+                    }
+                    for (k, &id) in dblock.phi_ids.iter().enumerate() {
+                        frame.slots[id.index()] = Some(staged[k]);
+                    }
+                } else {
+                    let mut staged = std::mem::take(&mut self.phi_buf);
+                    staged.clear();
+                    for (k, &id) in dblock.phi_ids.iter().enumerate() {
+                        self.budget()?;
+                        let mut val = self.eval_opnd(&frame, id, &row[k]);
+                        self.result(
+                            InstSite {
+                                func: fid,
+                                inst: id,
+                            },
+                            frame.frame_id,
+                            &mut val,
+                        );
+                        staged.push(val);
+                    }
+                    for (k, &id) in dblock.phi_ids.iter().enumerate() {
+                        frame.slots[id.index()] = Some(staged[k]);
+                    }
+                    self.phi_buf = staged;
+                }
+                frame.ip = phi_len;
+            }
+
+            let d = &dblock.code[frame.ip - phi_len];
+            self.budget()?;
+            let id = d.id;
+            let site = InstSite {
+                func: fid,
+                inst: id,
+            };
+            match &d.op {
+                DecOp::IntBin { op, ty, lhs, rhs } => {
+                    let l = self.eval_opnd(&frame, id, lhs);
+                    let r = self.eval_opnd(&frame, id, rhs);
+                    let mut val =
+                        RtVal::Int(*ty, ops::eval_int_binop(*op, *ty, l.as_int(), r.as_int())?);
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                DecOp::FloatBin { op, lhs, rhs } => {
+                    let l = self.eval_opnd(&frame, id, lhs);
+                    let r = self.eval_opnd(&frame, id, rhs);
+                    let mut val = match (l, r) {
+                        (RtVal::F64(a), RtVal::F64(b)) => {
+                            RtVal::F64(ops::eval_float_binop(*op, a, b))
+                        }
+                        (RtVal::F32(a), RtVal::F32(b)) => {
+                            RtVal::F32(ops::eval_float_binop(*op, f64::from(a), f64::from(b)) as f32)
+                        }
+                        _ => panic!("verified float binop on non-floats"),
+                    };
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                DecOp::ICmp { pred, lhs, rhs } => {
+                    let l = self.eval_opnd(&frame, id, lhs);
+                    let r = self.eval_opnd(&frame, id, rhs);
+                    let mut val = RtVal::bool(icmp_vals(*pred, l, r));
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                DecOp::FCmp { pred, lhs, rhs } => {
+                    let l = self.eval_opnd(&frame, id, lhs);
+                    let r = self.eval_opnd(&frame, id, rhs);
+                    let mut val = RtVal::bool(fcmp_vals(*pred, l, r));
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                DecOp::Cast { op, val, ty } => {
+                    let v = self.eval_opnd(&frame, id, val);
+                    let mut out = ops::eval_cast(*op, v, ty);
+                    self.result(site, frame.frame_id, &mut out);
+                    frame.slots[id.index()] = Some(out);
+                    frame.ip += 1;
+                }
+                DecOp::Alloca { size, align } => {
+                    let new_sp = self
+                        .sp
+                        .checked_sub(*size)
+                        .map(|s| s / align * align)
+                        .ok_or(Trap::StackOverflow)?;
+                    if new_sp < self.stack_start {
+                        return Err(Trap::StackOverflow.into());
+                    }
+                    self.sp = new_sp;
+                    let mut val = RtVal::Ptr(new_sp);
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                DecOp::Load { ptr, kind } => {
+                    let p = self.eval_opnd(&frame, id, ptr).as_ptr();
+                    self.hook.on_load(site, frame.frame_id, p, kind.size());
+                    let mut val = self.load_kind(p, *kind)?;
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                DecOp::Store { val, ptr } => {
+                    let v = self.eval_opnd(&frame, id, val);
+                    let p = self.eval_opnd(&frame, id, ptr).as_ptr();
+                    let size = v.ty().size();
+                    self.store_typed(p, v)?;
+                    self.hook.on_store(site, frame.frame_id, p, size);
+                    frame.ip += 1;
+                }
+                DecOp::Gep { base, steps } => {
+                    let addr = self.gep_addr(&frame, id, base, steps);
+                    let mut val = RtVal::Ptr(addr);
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                DecOp::GepDyn {
+                    elem_ty,
+                    base,
+                    indices,
+                } => {
+                    let mut addr = self.eval_opnd(&frame, id, base).as_ptr();
+                    let mut cur: &Type = elem_ty;
+                    for (i, idx) in indices.iter().enumerate() {
+                        let sidx = self.eval_opnd(&frame, id, idx).as_sint();
+                        if i == 0 {
+                            addr = addr.wrapping_add((sidx as u64).wrapping_mul(cur.size()));
+                        } else {
+                            match cur {
+                                Type::Array(elem, _) => {
+                                    addr =
+                                        addr.wrapping_add((sidx as u64).wrapping_mul(elem.size()));
+                                    cur = elem;
+                                }
+                                Type::Struct(fields) => {
+                                    addr =
+                                        addr.wrapping_add(cur.struct_field_offset(sidx as usize));
+                                    cur = &fields[sidx as usize];
+                                }
+                                other => panic!("verified gep walks aggregate, got {other}"),
+                            }
+                        }
+                    }
+                    let mut val = RtVal::Ptr(addr);
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                DecOp::Select {
+                    cond,
+                    then_val,
+                    else_val,
+                } => {
+                    let c = self.eval_opnd(&frame, id, cond).as_bool();
+                    let t = self.eval_opnd(&frame, id, then_val);
+                    let e = self.eval_opnd(&frame, id, else_val);
+                    let mut val = if c { t } else { e };
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    frame.ip += 1;
+                }
+                DecOp::CallFunc { target, args, .. } => {
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args.iter() {
+                        vals.push(self.eval_opnd(&frame, id, a));
+                    }
+                    let target = *target;
+                    self.frames.push(frame);
+                    self.push_frame(target, vals)?;
+                    return Ok(());
+                }
+                DecOp::CallIntr {
+                    intr,
+                    args,
+                    has_result,
+                } => {
+                    let mut buf = [RtVal::Ptr(0); 2];
+                    let vals: &[RtVal] = if args.len() <= 2 {
+                        for (k, a) in args.iter().enumerate() {
+                            buf[k] = self.eval_opnd(&frame, id, a);
+                        }
+                        &buf[..args.len()]
+                    } else {
+                        unreachable!("no intrinsic takes more than two arguments")
+                    };
+                    let ret = self.intrinsic(*intr, vals)?;
+                    if *has_result {
+                        let mut val = ret.expect("non-void call returned a value");
+                        self.result(site, frame.frame_id, &mut val);
+                        frame.slots[id.index()] = Some(val);
+                    }
+                    frame.ip += 1;
+                }
+                DecOp::Br { target } => {
+                    frame.prev = Some(frame.cur);
+                    frame.cur = *target;
+                    frame.ip = 0;
+                    dblock = &dfunc.blocks[frame.cur.index()];
+                    phi_len = dblock.phi_ids.len();
+                }
+                DecOp::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = self.eval_opnd(&frame, id, cond).as_bool();
+                    frame.prev = Some(frame.cur);
+                    frame.cur = if c { *then_bb } else { *else_bb };
+                    frame.ip = 0;
+                    dblock = &dfunc.blocks[frame.cur.index()];
+                    phi_len = dblock.phi_ids.len();
+                }
+                DecOp::Ret { val } => {
+                    let out = val.as_ref().map(|o| self.eval_opnd(&frame, id, o));
+                    self.sp = frame.saved_sp;
+                    drop(frame);
+                    let Some(caller) = self.frames.last() else {
+                        // `main` returned; its value (if any) is ignored.
+                        return Ok(());
+                    };
+                    let (cfid, c_frame_id, c_cur, c_ip) =
+                        (caller.fid, caller.frame_id, caller.cur, caller.ip);
+                    let cblock = &dec.funcs[cfid.index()].blocks[c_cur.index()];
+                    let cinst = &cblock.code[c_ip - cblock.phi_ids.len()];
+                    let DecOp::CallFunc { has_result, .. } = &cinst.op else {
+                        unreachable!("return delivery into a non-call instruction")
+                    };
+                    if *has_result {
+                        let mut val = out.expect("non-void call returned a value");
+                        self.result(
+                            InstSite {
+                                func: cfid,
+                                inst: cinst.id,
+                            },
+                            c_frame_id,
+                            &mut val,
+                        );
+                        let caller = self.frames.last_mut().expect("caller frame");
+                        caller.slots[cinst.id.index()] = Some(val);
+                    }
+                    self.frames.last_mut().expect("caller frame").ip += 1;
+                    return Ok(());
+                }
+                DecOp::Unreachable => {
+                    return Err(Trap::UnreachableExecuted.into());
+                }
+                DecOp::FusedICmpBr {
+                    pred,
+                    lhs,
+                    rhs,
+                    br_id,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let l = self.eval_opnd(&frame, id, lhs);
+                    let r = self.eval_opnd(&frame, id, rhs);
+                    let mut val = RtVal::bool(icmp_vals(*pred, l, r));
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    // Branch half: atomic with the compare. The branch
+                    // reads the *stored* (possibly hook-mutated) result.
+                    self.budget()?;
+                    self.hook.on_use(
+                        site,
+                        InstSite {
+                            func: fid,
+                            inst: *br_id,
+                        },
+                        frame.frame_id,
+                    );
+                    frame.prev = Some(frame.cur);
+                    frame.cur = if val.as_bool() { *then_bb } else { *else_bb };
+                    frame.ip = 0;
+                    dblock = &dfunc.blocks[frame.cur.index()];
+                    phi_len = dblock.phi_ids.len();
+                }
+                DecOp::FusedFCmpBr {
+                    pred,
+                    lhs,
+                    rhs,
+                    br_id,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let l = self.eval_opnd(&frame, id, lhs);
+                    let r = self.eval_opnd(&frame, id, rhs);
+                    let mut val = RtVal::bool(fcmp_vals(*pred, l, r));
+                    self.result(site, frame.frame_id, &mut val);
+                    frame.slots[id.index()] = Some(val);
+                    self.budget()?;
+                    self.hook.on_use(
+                        site,
+                        InstSite {
+                            func: fid,
+                            inst: *br_id,
+                        },
+                        frame.frame_id,
+                    );
+                    frame.prev = Some(frame.cur);
+                    frame.cur = if val.as_bool() { *then_bb } else { *else_bb };
+                    frame.ip = 0;
+                    dblock = &dfunc.blocks[frame.cur.index()];
+                    phi_len = dblock.phi_ids.len();
+                }
+                DecOp::FusedGepLoad {
+                    base,
+                    steps,
+                    load_id,
+                    kind,
+                } => {
+                    let addr = self.gep_addr(&frame, id, base, steps);
+                    let mut pv = RtVal::Ptr(addr);
+                    self.result(site, frame.frame_id, &mut pv);
+                    frame.slots[id.index()] = Some(pv);
+                    // Load half: reads the stored (possibly hook-mutated)
+                    // address, exactly as the standalone load would.
+                    self.budget()?;
+                    let lsite = InstSite {
+                        func: fid,
+                        inst: *load_id,
+                    };
+                    self.hook.on_use(site, lsite, frame.frame_id);
+                    let p = pv.as_ptr();
+                    self.hook.on_load(lsite, frame.frame_id, p, kind.size());
+                    let mut val = self.load_kind(p, *kind)?;
+                    self.result(lsite, frame.frame_id, &mut val);
+                    frame.slots[load_id.index()] = Some(val);
+                    frame.ip += 2;
+                }
+                DecOp::FusedGepStore {
+                    base,
+                    steps,
+                    store_id,
+                    val,
+                } => {
+                    let addr = self.gep_addr(&frame, id, base, steps);
+                    let mut pv = RtVal::Ptr(addr);
+                    self.result(site, frame.frame_id, &mut pv);
+                    frame.slots[id.index()] = Some(pv);
+                    // Store half: value first, then the address use, in
+                    // the standalone store's operand order.
+                    self.budget()?;
+                    let ssite = InstSite {
+                        func: fid,
+                        inst: *store_id,
+                    };
+                    let v = self.eval_opnd(&frame, *store_id, val);
+                    self.hook.on_use(site, ssite, frame.frame_id);
+                    let p = pv.as_ptr();
+                    let size = v.ty().size();
+                    self.store_typed(p, v)?;
+                    self.hook.on_store(ssite, frame.frame_id, p, size);
+                    frame.ip += 2;
+                }
+            }
+        }
+    }
+}
+
+/// Out-of-line panic for the unwritten-slot case, keeping the format
+/// machinery off the hot operand path.
+#[cold]
+#[inline(never)]
+fn unwritten_slot(func_name: &str, id: InstId) -> ! {
+    panic!("read of unwritten slot {id} in {func_name}")
+}
+
+/// Compare dispatch shared by the plain and fused icmp paths.
+#[inline]
+fn icmp_vals(pred: ICmpPred, l: RtVal, r: RtVal) -> bool {
+    let (ty, lv, rv) = match (l, r) {
+        (RtVal::Int(t, a), RtVal::Int(_, b)) => (Some(t), a, b),
+        (RtVal::Ptr(a), RtVal::Ptr(b)) => (None, a, b),
+        _ => panic!("verified icmp operands"),
+    };
+    ops::eval_icmp(pred, ty, lv, rv)
+}
+
+/// Compare dispatch shared by the plain and fused fcmp paths.
+#[inline]
+fn fcmp_vals(pred: FCmpPred, l: RtVal, r: RtVal) -> bool {
+    let (a, b) = match (l, r) {
+        (RtVal::F64(a), RtVal::F64(b)) => (a, b),
+        (RtVal::F32(a), RtVal::F32(b)) => (f64::from(a), f64::from(b)),
+        _ => panic!("verified fcmp operands"),
+    };
+    ops::eval_fcmp(pred, a, b)
+}

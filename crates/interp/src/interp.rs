@@ -5,6 +5,7 @@
 //! state of a paused program is the frame stack plus memory, console,
 //! stack pointer, and step counter, all of which are plain data.
 
+use crate::decoded::DecodedModule;
 use crate::hook::{InstSite, InterpHook};
 use crate::ops;
 use crate::rtval::RtVal;
@@ -12,7 +13,8 @@ use fiq_ir::{
     BlockId, Callee, Constant, FloatTy, FuncId, GlobalInit, InstId, InstKind, Intrinsic, Module,
     Type, Value,
 };
-use fiq_mem::{Console, Hasher64, MemSnapshot, Memory, RegionKind, StateDigest, Trap};
+use fiq_mem::{Console, Dispatch, Hasher64, MemSnapshot, Memory, RegionKind, StateDigest, Trap};
+use std::sync::Arc;
 
 /// Interpreter configuration.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +31,12 @@ pub struct InterpOptions {
     pub stack_size: u64,
     /// Simulated memory capacity in bytes.
     pub mem_capacity: u64,
+    /// Which execution core steps the program. Both cores have identical
+    /// observable semantics; this only moves wall-clock.
+    pub dispatch: Dispatch,
+    /// Superinstruction fusion for the threaded core (ignored by the
+    /// legacy core). Never changes output, only speed.
+    pub fusion: bool,
 }
 
 impl Default for InterpOptions {
@@ -38,6 +46,8 @@ impl Default for InterpOptions {
             max_call_depth: 256,
             stack_size: fiq_mem::DEFAULT_STACK_SIZE,
             mem_capacity: fiq_mem::DEFAULT_CAPACITY,
+            dispatch: Dispatch::default(),
+            fusion: true,
         }
     }
 }
@@ -64,7 +74,7 @@ impl ExecResult {
     }
 }
 
-enum Stop {
+pub(crate) enum Stop {
     Trap(Trap),
     Budget,
 }
@@ -103,15 +113,15 @@ pub fn materialize_globals(module: &Module, mem: &mut Memory) -> Result<Vec<u64>
 
 /// One guest activation record on the explicit frame stack.
 #[derive(Debug, Clone)]
-struct Frame {
-    fid: FuncId,
-    frame_id: u64,
-    saved_sp: u64,
-    args: Vec<RtVal>,
-    slots: Vec<Option<RtVal>>,
-    cur: BlockId,
-    prev: Option<BlockId>,
-    ip: usize,
+pub(crate) struct Frame {
+    pub(crate) fid: FuncId,
+    pub(crate) frame_id: u64,
+    pub(crate) saved_sp: u64,
+    pub(crate) args: Vec<RtVal>,
+    pub(crate) slots: Vec<Option<RtVal>>,
+    pub(crate) cur: BlockId,
+    pub(crate) prev: Option<BlockId>,
+    pub(crate) ip: usize,
 }
 
 /// Mixes a runtime value into `h` *bitwise*: floats by their bit pattern
@@ -224,43 +234,89 @@ impl InterpSnapshot {
 
 /// Internal snapshot-capture state, present only during
 /// [`Interp::run_with_snapshots`].
-struct SnapState {
+pub(crate) struct SnapState {
     interval: u64,
-    next_at: u64,
+    pub(crate) next_at: u64,
     counts: Vec<Vec<u64>>,
     snapshots: Vec<InterpSnapshot>,
+}
+
+/// Resolves the decoded-module handle for the chosen dispatch mode:
+/// `Legacy` needs none, `Threaded` reuses the shared handle or decodes
+/// inline. The decode is pure and its global layout deterministic, so a
+/// shared handle is interchangeable with an inline decode.
+fn ensure_decoded(
+    module: &Module,
+    decoded: Option<Arc<DecodedModule>>,
+    opts: InterpOptions,
+    global_addrs: &[u64],
+) -> Option<Arc<DecodedModule>> {
+    if opts.dispatch != Dispatch::Threaded {
+        return None;
+    }
+    let dec = decoded.unwrap_or_else(|| Arc::new(DecodedModule::decode(module, opts.fusion)));
+    debug_assert_eq!(
+        dec.global_addrs, global_addrs,
+        "decoded module was built for a different module or layout"
+    );
+    debug_assert_eq!(
+        dec.fusion, opts.fusion,
+        "decoded module fusion setting disagrees with options"
+    );
+    Some(dec)
 }
 
 /// The IR interpreter. Create with [`Interp::new`], run with
 /// [`Interp::run`], then inspect the console or memory.
 pub struct Interp<'m, H> {
-    module: &'m Module,
-    opts: InterpOptions,
-    mem: Memory,
-    console: Console,
-    hook: H,
-    global_addrs: Vec<u64>,
-    stack_start: u64,
-    sp: u64,
-    steps: u64,
-    restored_steps: u64,
-    frame_counter: u64,
-    frames: Vec<Frame>,
-    snap: Option<SnapState>,
-    pause_at: Option<u64>,
+    pub(crate) module: &'m Module,
+    pub(crate) opts: InterpOptions,
+    pub(crate) mem: Memory,
+    pub(crate) console: Console,
+    pub(crate) hook: H,
+    pub(crate) global_addrs: Vec<u64>,
+    pub(crate) stack_start: u64,
+    pub(crate) sp: u64,
+    pub(crate) steps: u64,
+    pub(crate) restored_steps: u64,
+    pub(crate) frame_counter: u64,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) snap: Option<SnapState>,
+    pub(crate) pause_at: Option<u64>,
+    pub(crate) decoded: Option<Arc<DecodedModule>>,
+    /// Reusable staging buffer for φ-batches (reads before writes).
+    pub(crate) phi_buf: Vec<RtVal>,
 }
 
 impl<'m, H: InterpHook> Interp<'m, H> {
-    /// Creates an interpreter: materializes globals and the stack.
+    /// Creates an interpreter: materializes globals and the stack. Under
+    /// [`Dispatch::Threaded`] (the default) the module is decoded inline;
+    /// use [`Interp::with_decoded`] to share one decode across many runs.
     ///
     /// # Errors
     ///
     /// Returns [`Trap::OutOfMemory`] if globals plus stack exceed capacity.
     pub fn new(module: &'m Module, opts: InterpOptions, hook: H) -> Result<Interp<'m, H>, Trap> {
+        Interp::with_decoded(module, None, opts, hook)
+    }
+
+    /// Like [`Interp::new`], but reusing a shared pre-decoded module
+    /// (pass `None` to decode inline when the dispatch mode needs one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::OutOfMemory`] if globals plus stack exceed capacity.
+    pub fn with_decoded(
+        module: &'m Module,
+        decoded: Option<Arc<DecodedModule>>,
+        opts: InterpOptions,
+        hook: H,
+    ) -> Result<Interp<'m, H>, Trap> {
         let mut mem = Memory::with_capacity(opts.mem_capacity);
         let global_addrs = materialize_globals(module, &mut mem)?;
         let sp = mem.alloc_stack(opts.stack_size)?;
         let stack_start = sp - opts.stack_size;
+        let decoded = ensure_decoded(module, decoded, opts, &global_addrs);
         Ok(Interp {
             module,
             opts,
@@ -276,6 +332,8 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             frames: Vec::new(),
             snap: None,
             pause_at: None,
+            decoded,
+            phi_buf: Vec::new(),
         })
     }
 
@@ -293,6 +351,19 @@ impl<'m, H: InterpHook> Interp<'m, H> {
         hook: H,
         snap: &InterpSnapshot,
     ) -> Interp<'m, H> {
+        Interp::restore_with_decoded(module, None, opts, hook, snap)
+    }
+
+    /// Like [`Interp::restore`], but reusing a shared pre-decoded module
+    /// (pass `None` to decode inline when the dispatch mode needs one).
+    pub fn restore_with_decoded(
+        module: &'m Module,
+        decoded: Option<Arc<DecodedModule>>,
+        opts: InterpOptions,
+        hook: H,
+        snap: &InterpSnapshot,
+    ) -> Interp<'m, H> {
+        let decoded = ensure_decoded(module, decoded, opts, &snap.global_addrs);
         Interp {
             module,
             opts,
@@ -308,6 +379,8 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             frames: snap.frames.clone(),
             snap: None,
             pause_at: None,
+            decoded,
+            phi_buf: Vec::new(),
         }
     }
 
@@ -448,6 +521,13 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             && self.mem.equals_snapshot(&snap.mem)
     }
 
+    /// The live state's digest (architectural-state hash plus console
+    /// length/hash), in the same form a snapshot captures — exposed so
+    /// differential tests can compare final states across dispatch modes.
+    pub fn state_digest(&self) -> StateDigest {
+        StateDigest::new(self.arch_hash(), &self.console)
+    }
+
     /// Hashes everything outside memory and console: the frame stack
     /// (bitwise values), stack pointer, and frame counter.
     fn arch_hash(&self) -> u64 {
@@ -485,12 +565,31 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             let main = self.module.main_func().expect("module has a main function");
             self.push_frame(main, Vec::new())?;
         }
-        while !self.frames.is_empty() {
-            if self.pause_at.is_some_and(|p| self.steps >= p) {
-                return Ok(());
+        // The dispatch mode and the threaded core's decoded table are
+        // loop-invariant: resolve both once instead of per block slice.
+        match self.opts.dispatch {
+            Dispatch::Legacy => {
+                while !self.frames.is_empty() {
+                    if self.pause_at.is_some_and(|p| self.steps >= p) {
+                        return Ok(());
+                    }
+                    self.maybe_snapshot();
+                    self.step()?;
+                }
             }
-            self.maybe_snapshot();
-            self.step()?;
+            Dispatch::Threaded => {
+                let dec = self
+                    .decoded
+                    .clone()
+                    .expect("threaded dispatch requires a decoded module");
+                while !self.frames.is_empty() {
+                    if self.pause_at.is_some_and(|p| self.steps >= p) {
+                        return Ok(());
+                    }
+                    self.maybe_snapshot();
+                    self.step_decoded(&dec)?;
+                }
+            }
         }
         Ok(())
     }
@@ -498,7 +597,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
     /// Pushes an activation record for `fid`. The depth check mirrors the
     /// old recursive implementation: the frame about to be pushed sits at
     /// depth `frames.len()`.
-    fn push_frame(&mut self, fid: FuncId, args: Vec<RtVal>) -> Result<(), Stop> {
+    pub(crate) fn push_frame(&mut self, fid: FuncId, args: Vec<RtVal>) -> Result<(), Stop> {
         if self.frames.len() >= self.opts.max_call_depth as usize {
             return Err(Trap::CallDepthExceeded.into());
         }
@@ -844,7 +943,8 @@ impl<'m, H: InterpHook> Interp<'m, H> {
         }
     }
 
-    fn budget(&mut self) -> Result<(), Stop> {
+    #[inline]
+    pub(crate) fn budget(&mut self) -> Result<(), Stop> {
         self.steps += 1;
         if self.steps > self.opts.max_steps {
             return Err(Stop::Budget);
@@ -855,7 +955,8 @@ impl<'m, H: InterpHook> Interp<'m, H> {
     /// Delivers an instruction result to the hook, bumping the snapshot
     /// count vector first so snapshots agree with what profiling hooks
     /// have observed.
-    fn result(&mut self, site: InstSite, frame_id: u64, val: &mut RtVal) {
+    #[inline]
+    pub(crate) fn result(&mut self, site: InstSite, frame_id: u64, val: &mut RtVal) {
         if let Some(snap) = &mut self.snap {
             snap.counts[site.func.index()][site.inst.index()] += 1;
         }
@@ -908,7 +1009,8 @@ impl<'m, H: InterpHook> Interp<'m, H> {
         })
     }
 
-    fn store_typed(&mut self, addr: u64, v: RtVal) -> Result<(), Trap> {
+    #[inline]
+    pub(crate) fn store_typed(&mut self, addr: u64, v: RtVal) -> Result<(), Trap> {
         match v {
             RtVal::Int(t, raw) => self.mem.write_uint(addr, raw, t.bytes()),
             RtVal::F32(f) => self.mem.write_f32(addr, f),
@@ -917,7 +1019,11 @@ impl<'m, H: InterpHook> Interp<'m, H> {
         }
     }
 
-    fn intrinsic(&mut self, i: Intrinsic, args: &[RtVal]) -> Result<Option<RtVal>, Stop> {
+    pub(crate) fn intrinsic(
+        &mut self,
+        i: Intrinsic,
+        args: &[RtVal],
+    ) -> Result<Option<RtVal>, Stop> {
         Ok(match i {
             Intrinsic::PrintI64 => {
                 self.console.print_i64(args[0].as_sint());

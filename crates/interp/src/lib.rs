@@ -27,11 +27,14 @@
 
 #![warn(missing_docs)]
 
+mod decoded;
 mod hook;
 mod interp;
 mod ops;
 mod rtval;
 
+pub use decoded::DecodedModule;
+pub use fiq_mem::Dispatch;
 pub use hook::{InstSite, InterpHook, NopHook};
 pub use interp::{
     materialize_globals, run_module, ExecResult, ExecStatus, Interp, InterpOptions, InterpSnapshot,

@@ -70,9 +70,43 @@ impl Default for Hasher64 {
 }
 
 /// Hashes one byte slice from the initial state.
+///
+/// Bulk input (snapshot pages, console buffers) is consumed 32 bytes per
+/// iteration over four independent rotate-xor-multiply lanes, breaking the
+/// serial multiply dependency of [`Hasher64`] so the loop fills the
+/// multiplier pipeline (and vectorizes where the target has 64-bit SIMD
+/// multiplies). The lanes are folded and the tail + length finished with
+/// the scalar hasher. This function is its own capture *and* check side
+/// (page hashes live only in memory), so changing the mixing scheme is
+/// safe as long as both sides keep using it.
 pub fn hash_bytes(bytes: &[u8]) -> u64 {
-    let mut h = Hasher64::new();
-    h.write_bytes(bytes);
+    /// Distinct lane seeds so a 32-byte chunk hashes differently when its
+    /// words are permuted across lanes.
+    const SEEDS: [u64; 4] = [INIT, INIT ^ K, INIT.rotate_left(17), INIT.wrapping_add(K)];
+    let mut lanes = SEEDS;
+    let mut chunks = bytes.chunks_exact(32);
+    for c in chunks.by_ref() {
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let v = u64::from_le_bytes(c[i * 8..i * 8 + 8].try_into().expect("8-byte lane"));
+            *lane = (lane.rotate_left(5) ^ v).wrapping_mul(K);
+        }
+    }
+    let mut h = Hasher64 { h: lanes[0] };
+    h.write_u64(lanes[1]);
+    h.write_u64(lanes[2]);
+    h.write_u64(lanes[3]);
+    let rem = chunks.remainder();
+    let mut words = rem.chunks_exact(8);
+    for w in words.by_ref() {
+        h.write_u64(u64::from_le_bytes(w.try_into().expect("8-byte chunk")));
+    }
+    let tail = words.remainder();
+    if !tail.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..tail.len()].copy_from_slice(tail);
+        h.write_u64(u64::from_le_bytes(buf));
+    }
+    h.write_u64(bytes.len() as u64);
     h.finish()
 }
 
@@ -130,6 +164,23 @@ mod tests {
         let mut tweaked = data.clone();
         tweaked[200] ^= 1;
         assert_ne!(hash_bytes(&data), hash_bytes(&tweaked));
+    }
+
+    #[test]
+    fn lane_boundaries_are_length_sensitive() {
+        // Lengths straddling the 32-byte lane width and the 8-byte word
+        // width must all hash differently for the same byte prefix.
+        let data: Vec<u8> = (1..=97).collect();
+        let hashes: Vec<u64> = (0..data.len()).map(|n| hash_bytes(&data[..n])).collect();
+        for (i, a) in hashes.iter().enumerate() {
+            for b in &hashes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Word permutations within one 32-byte chunk hash differently.
+        let mut swapped = data.clone();
+        swapped[..32].rotate_left(8);
+        assert_ne!(hash_bytes(&data[..32]), hash_bytes(&swapped[..32]));
     }
 
     #[test]

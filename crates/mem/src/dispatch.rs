@@ -1,0 +1,54 @@
+//! Execution-core dispatch selection, shared by both substrates.
+//!
+//! Both the IR interpreter and the assembly emulator carry two execution
+//! cores: the original per-step `match` over the source instruction
+//! encoding (*legacy*), and a pre-decoded core that resolves operands,
+//! strides, and jump targets into a dense opcode table at program-load
+//! time (*threaded*). The cores implement identical observable semantics —
+//! same step counts, hook event sequences, traps, and console bytes — so
+//! campaign output is byte-identical under either; the choice only moves
+//! wall-clock. The legacy core is kept as the differential-testing oracle.
+
+/// Which execution core a substrate steps with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// Per-step `match` dispatch over the source instruction encoding
+    /// (the reference core).
+    Legacy,
+    /// Pre-decoded threaded dispatch over a load-time opcode table.
+    #[default]
+    Threaded,
+}
+
+impl Dispatch {
+    /// The name used by CLI flags and bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dispatch::Legacy => "legacy",
+            Dispatch::Threaded => "threaded",
+        }
+    }
+
+    /// Parses a CLI flag value.
+    pub fn parse(s: &str) -> Option<Dispatch> {
+        match s {
+            "legacy" => Some(Dispatch::Legacy),
+            "threaded" => Some(Dispatch::Threaded),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for d in [Dispatch::Legacy, Dispatch::Threaded] {
+            assert_eq!(Dispatch::parse(d.name()), Some(d));
+        }
+        assert_eq!(Dispatch::parse("jit"), None);
+        assert_eq!(Dispatch::default(), Dispatch::Threaded);
+    }
+}

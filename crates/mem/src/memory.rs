@@ -10,6 +10,7 @@
 
 use crate::digest::hash_bytes;
 use crate::trap::Trap;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 /// What a region holds.
@@ -59,10 +60,93 @@ pub const DEFAULT_STACK_SIZE: u64 = 1 << 20;
 #[derive(Debug, Clone)]
 pub struct Memory {
     data: Vec<u8>,
+    /// Bitmap of [`DIRTY_CHUNK`]-sized chunks of `data` that may hold
+    /// nonzero bytes (bit `c` covers `[c*DIRTY_CHUNK, (c+1)*DIRTY_CHUNK)`).
+    /// Lets [`Drop`] recycle the backing buffer through the thread-local
+    /// pool by re-zeroing only what a run actually touched — a campaign
+    /// task dirties a couple of chunks of its 1 MiB stack, so this turns
+    /// a full-buffer memset per task into a small one.
+    dirty: Vec<u64>,
     regions: Vec<Region>, // sorted by start (allocation is monotonic)
+    /// Index of the region the last successful lookup hit. Accesses
+    /// cluster heavily (a loop hammers one array, the stack pointer stays
+    /// in the stack region), so checking this first skips the binary
+    /// search on the hot path. Purely a cache: never observable.
+    last_hit: Cell<usize>,
     next: u64,
     capacity: u64,
     stack: Option<Region>,
+}
+
+/// Granularity of dirty tracking for buffer recycling (bytes).
+const DIRTY_CHUNK: usize = 64 * 1024;
+
+/// Buffers smaller than this are not worth pooling.
+const POOL_MIN_LEN: usize = DIRTY_CHUNK;
+
+/// Per-thread cap on retained buffers.
+const POOL_MAX_ENTRIES: usize = 4;
+
+thread_local! {
+    /// Recycled backing buffers. Invariant: every byte of `buf[..len]` is
+    /// zero except possibly inside chunks whose bit is set in the paired
+    /// dirty bitmap (which always covers the full length).
+    static BUF_POOL: RefCell<Vec<(Vec<u8>, Vec<u64>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Number of bitmap words needed to cover `len` bytes.
+fn dirty_words(len: usize) -> usize {
+    len.div_ceil(DIRTY_CHUNK).div_ceil(64)
+}
+
+/// Fetches a recycled all-zero buffer of exactly `new_len` bytes, or
+/// allocates a fresh zeroed one. Pooled buffers are scrubbed lazily here:
+/// only the chunks their previous owner dirtied (clipped to the reused
+/// prefix) are re-zeroed. Matching is by capacity, not length, so the two
+/// substrates' slightly different memory layouts (the machine maps an
+/// extra guard gap) recycle each other's buffers: a shorter buffer is
+/// zero-extended, which only memsets the small length delta.
+fn acquire_zeroed(new_len: usize) -> Vec<u8> {
+    let pooled = BUF_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let pos = p.iter().position(|(b, _)| b.capacity() >= new_len)?;
+        Some(p.swap_remove(pos))
+    });
+    let Some((mut buf, dirty)) = pooled else {
+        return vec![0u8; new_len];
+    };
+    let scrub = buf.len().min(new_len);
+    for (w, &bits) in dirty.iter().enumerate() {
+        let mut bits = bits;
+        while bits != 0 {
+            let c = w * 64 + bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let start = c * DIRTY_CHUNK;
+            if start >= scrub {
+                break;
+            }
+            let end = ((c + 1) * DIRTY_CHUNK).min(scrub);
+            buf[start..end].fill(0);
+        }
+    }
+    buf.resize(new_len, 0);
+    buf
+}
+
+impl Drop for Memory {
+    fn drop(&mut self) {
+        if self.data.len() < POOL_MIN_LEN {
+            return;
+        }
+        let buf = std::mem::take(&mut self.data);
+        let dirty = std::mem::take(&mut self.dirty);
+        BUF_POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < POOL_MAX_ENTRIES {
+                p.push((buf, dirty));
+            }
+        });
+    }
 }
 
 impl Memory {
@@ -75,10 +159,25 @@ impl Memory {
     pub fn with_capacity(capacity: u64) -> Memory {
         Memory {
             data: Vec::new(),
+            dirty: Vec::new(),
             regions: Vec::new(),
+            last_hit: Cell::new(0),
             next: NULL_GUARD,
             capacity,
             stack: None,
+        }
+    }
+
+    /// Marks the chunks covering `[off, off+len)` as possibly nonzero.
+    #[inline]
+    fn mark_dirty(&mut self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let c0 = off / DIRTY_CHUNK;
+        let c1 = (off + len - 1) / DIRTY_CHUNK;
+        for c in c0..=c1 {
+            self.dirty[c / 64] |= 1 << (c % 64);
         }
     }
 
@@ -94,7 +193,7 @@ impl Memory {
         if end - NULL_GUARD > self.capacity {
             return Err(Trap::OutOfMemory);
         }
-        self.data.resize((end - NULL_GUARD) as usize, 0);
+        grow_zeroed(&mut self.data, &mut self.dirty, (end - NULL_GUARD) as usize);
         let region = Region {
             start,
             size: size.max(1),
@@ -148,13 +247,23 @@ impl Memory {
     }
 
     /// Finds the region containing `addr`.
+    #[inline]
     fn region_of(&self, addr: u64) -> Option<&Region> {
+        if let Some(r) = self.regions.get(self.last_hit.get()) {
+            if r.contains(addr) {
+                return Some(r);
+            }
+        }
         let idx = self.regions.partition_point(|r| r.start <= addr);
         if idx == 0 {
             return None;
         }
         let r = &self.regions[idx - 1];
-        r.contains(addr).then_some(r)
+        if r.contains(addr) {
+            self.last_hit.set(idx - 1);
+            return Some(r);
+        }
+        None
     }
 
     /// Checks that `[addr, addr+size)` is a valid access.
@@ -166,6 +275,7 @@ impl Memory {
     /// * [`Trap::OutOfBounds`] if the access crosses the region end into
     ///   unmapped space (crossing into an *adjacent mapped region* is
     ///   allowed, as on real paged hardware).
+    #[inline]
     pub fn check(&self, addr: u64, size: u64) -> Result<(), Trap> {
         if addr < NULL_GUARD {
             return Err(Trap::NullDeref { addr });
@@ -192,6 +302,7 @@ impl Memory {
     /// # Errors
     ///
     /// Propagates [`Memory::check`] failures.
+    #[inline]
     pub fn read_bytes(&self, addr: u64, len: u64) -> Result<&[u8], Trap> {
         self.check(addr, len)?;
         let off = (addr - NULL_GUARD) as usize;
@@ -203,9 +314,11 @@ impl Memory {
     /// # Errors
     ///
     /// Propagates [`Memory::check`] failures.
+    #[inline]
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Trap> {
         self.check(addr, bytes.len() as u64)?;
         let off = (addr - NULL_GUARD) as usize;
+        self.mark_dirty(off, bytes.len());
         self.data[off..off + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
@@ -219,6 +332,7 @@ impl Memory {
     /// # Panics
     ///
     /// Panics if `size` is not 1, 2, 4, or 8.
+    #[inline]
     pub fn read_uint(&self, addr: u64, size: u64) -> Result<u64, Trap> {
         let b = self.read_bytes(addr, size)?;
         Ok(match size {
@@ -239,6 +353,7 @@ impl Memory {
     /// # Panics
     ///
     /// Panics if `size` is not 1, 2, 4, or 8.
+    #[inline]
     pub fn write_uint(&mut self, addr: u64, val: u64, size: u64) -> Result<(), Trap> {
         let bytes = val.to_le_bytes();
         match size {
@@ -252,6 +367,7 @@ impl Memory {
     /// # Errors
     ///
     /// Propagates [`Memory::check`] failures.
+    #[inline]
     pub fn read_f64(&self, addr: u64) -> Result<f64, Trap> {
         Ok(f64::from_bits(self.read_uint(addr, 8)?))
     }
@@ -261,6 +377,7 @@ impl Memory {
     /// # Errors
     ///
     /// Propagates [`Memory::check`] failures.
+    #[inline]
     pub fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), Trap> {
         self.write_uint(addr, v.to_bits(), 8)
     }
@@ -270,6 +387,7 @@ impl Memory {
     /// # Errors
     ///
     /// Propagates [`Memory::check`] failures.
+    #[inline]
     pub fn read_f32(&self, addr: u64) -> Result<f32, Trap> {
         Ok(f32::from_bits(self.read_uint(addr, 4)? as u32))
     }
@@ -279,6 +397,7 @@ impl Memory {
     /// # Errors
     ///
     /// Propagates [`Memory::check`] failures.
+    #[inline]
     pub fn write_f32(&mut self, addr: u64, v: f32) -> Result<(), Trap> {
         self.write_uint(addr, u64::from(v.to_bits()), 4)
     }
@@ -287,6 +406,32 @@ impl Memory {
 impl Default for Memory {
     fn default() -> Memory {
         Memory::new()
+    }
+}
+
+/// Zero-extends `data` to `new_len` bytes, keeping `dirty` covering it.
+///
+/// Large growth steps (the 1 MiB stack region, mapped once per
+/// interpreter) swap in an all-zero buffer from the thread-local recycling
+/// pool ([`acquire_zeroed`]) with the live prefix copied over — the
+/// prefix bytes land at their old offsets, so the existing dirty marks
+/// remain accurate and no fresh marks are needed. Small steps (packed
+/// globals) memset in place, where swapping buffers would cost more than
+/// it saves. Appended zeros never dirty anything.
+fn grow_zeroed(data: &mut Vec<u8>, dirty: &mut Vec<u64>, new_len: usize) {
+    const FRESH_ALLOC_MIN_GROWTH: usize = 64 * 1024;
+    if new_len <= data.len() {
+        return;
+    }
+    if new_len - data.len() >= FRESH_ALLOC_MIN_GROWTH {
+        let mut fresh = acquire_zeroed(new_len);
+        fresh[..data.len()].copy_from_slice(data);
+        *data = fresh;
+    } else {
+        data.resize(new_len, 0);
+    }
+    if dirty.len() < dirty_words(new_len) {
+        dirty.resize(dirty_words(new_len), 0);
     }
 }
 
@@ -400,9 +545,13 @@ impl Memory {
             data.extend_from_slice(p);
         }
         debug_assert_eq!(data.len(), snap.len);
+        // Every byte was written from the snapshot, so the whole range is
+        // conservatively dirty for buffer-recycling purposes.
         Memory {
+            dirty: vec![u64::MAX; dirty_words(data.len())],
             data,
             regions: snap.regions.clone(),
+            last_hit: Cell::new(0),
             next: snap.next,
             capacity: snap.capacity,
             stack: snap.stack,

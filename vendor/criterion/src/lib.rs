@@ -16,7 +16,11 @@
 //! When `FIQ_BENCH_JSON` names a file, every completed benchmark also
 //! appends one JSON object line to it (`group`, `bench`, `ms_per_iter`,
 //! `iters`, and `elems_per_s`/`bytes_per_s` when a throughput was set),
-//! so CI can archive machine-readable results.
+//! so CI can archive machine-readable results. Benches can attach
+//! configuration labels ([`BenchmarkGroup::label`], e.g. the dispatch
+//! mode and whether a run is the baseline or the optimized member of a
+//! comparison pair); labels are emitted as extra string fields on every
+//! JSON line and echoed on the console line.
 
 #![warn(missing_docs)]
 
@@ -120,7 +124,13 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Appends one benchmark result line to the `FIQ_BENCH_JSON` file, if set.
-fn append_json(group: &str, bench: &str, b: &Bencher, throughput: Option<Throughput>) {
+fn append_json(
+    group: &str,
+    bench: &str,
+    b: &Bencher,
+    throughput: Option<Throughput>,
+    labels: &[(String, String)],
+) {
     let Ok(path) = std::env::var("FIQ_BENCH_JSON") else {
         return;
     };
@@ -134,6 +144,9 @@ fn append_json(group: &str, bench: &str, b: &Bencher, throughput: Option<Through
         b.ns_per_iter / 1e6,
         b.iters
     );
+    for (k, v) in labels {
+        line.push_str(&format!(r#","{}":"{}""#, json_escape(k), json_escape(v)));
+    }
     if b.ns_per_iter > 0.0 {
         match throughput {
             Some(Throughput::Elements(n)) => {
@@ -190,6 +203,7 @@ fn human_rate(per_sec: f64, unit: &str) -> String {
 pub struct BenchmarkGroup<'c> {
     name: String,
     throughput: Option<Throughput>,
+    labels: Vec<(String, String)>,
     _criterion: &'c mut Criterion,
 }
 
@@ -197,6 +211,21 @@ impl BenchmarkGroup<'_> {
     /// Sets the throughput annotation for subsequent benchmarks.
     pub fn throughput(&mut self, t: Throughput) {
         self.throughput = Some(t);
+    }
+
+    /// Attaches (or replaces) a configuration label recorded with every
+    /// subsequent benchmark in this group — as an extra string field on
+    /// each `FIQ_BENCH_JSON` line and echoed on the console line. Used
+    /// to tag comparison pairs, e.g. `label("dispatch", "legacy")` +
+    /// `label("role", "baseline")` versus the optimized member.
+    pub fn label(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        let key = key.into();
+        let value = value.into();
+        match self.labels.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => self.labels.push((key, value)),
+        }
+        self
     }
 
     /// Runs one benchmark and prints its result.
@@ -225,8 +254,16 @@ impl BenchmarkGroup<'_> {
             }
             _ => {}
         }
+        if !self.labels.is_empty() {
+            let tags: Vec<String> = self
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            line.push_str(&format!("  [{}]", tags.join(" ")));
+        }
         println!("{line}");
-        append_json(&self.name, &id, &b, self.throughput);
+        append_json(&self.name, &id, &b, self.throughput, &self.labels);
         self
     }
 
@@ -244,6 +281,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             throughput: None,
+            labels: Vec::new(),
             _criterion: self,
         }
     }
@@ -256,6 +294,7 @@ impl Criterion {
         let mut g = BenchmarkGroup {
             name: "bench".into(),
             throughput: None,
+            labels: Vec::new(),
             _criterion: self,
         };
         g.bench_function(id, f);
