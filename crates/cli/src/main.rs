@@ -14,6 +14,8 @@
 //!              [--early-exit | --no-early-exit]
 //!              [--no-flag-pruning] [--no-xmm-pruning]
 //!              [--dispatch legacy|threaded] [--no-fusion]
+//!              [--collapse sampled|exact]
+//! fiq collapse-check <prog> [--category <cat>] [--json FILE]
 //! fiq report <records.jsonl> [--telemetry FILE] [--json]
 //! fiq fuzz [--seed S] [--count N] [--opt-level 0..3] [--oracle NAME]
 //!          [--max-steps N] [--corpus-dir DIR] [--no-reduce]
@@ -43,7 +45,15 @@
 //! threaded, the pre-decoded fast core; legacy is the reference core)
 //! and `--no-fusion` disables superinstruction fusion in the threaded
 //! core — campaign output is byte-identical under every combination,
-//! only wall-clock changes.
+//! only wall-clock changes. `--collapse exact` switches the cell from
+//! sampling to exhaustive coverage: the fault space is partitioned into
+//! equivalence classes up front, one representative per class runs, and
+//! outcomes are weighted by class size — the resulting distribution is
+//! exact (zero-width CIs in `fiq report`), not an estimate.
+//! `collapse-check` brute-force-validates that guarantee on a small
+//! program: it enumerates every fault-space point at both levels,
+//! injects them all, and asserts the class-weighted tallies match;
+//! `--json FILE` writes the comparison artifact.
 //!
 //! Flags are declared per subcommand: a flag that takes a value consumes
 //! the next argument (or use `--flag=value`), boolean flags never do, and
@@ -55,10 +65,12 @@
 
 use fiq_asm::MachOptions;
 use fiq_backend::LowerOptions;
+use fiq_core::json::Json;
 use fiq_core::{
-    plan_llfi, plan_pinfi, profile_llfi, profile_llfi_with_snapshots, profile_pinfi,
-    profile_pinfi_with_snapshots, run_llfi, run_pinfi, CampaignConfig, Category, CellSpec,
-    EngineOptions, PinfiOptions, Progress, SnapshotCache, Substrate,
+    cross_check_llfi, cross_check_pinfi, plan_llfi, plan_pinfi, profile_llfi,
+    profile_llfi_with_snapshots, profile_pinfi, profile_pinfi_with_snapshots, run_llfi, run_pinfi,
+    CampaignConfig, Category, CellSpec, Collapse, CollapseCheck, EngineOptions, PinfiOptions,
+    Progress, SnapshotCache, Substrate,
 };
 use fiq_interp::{Dispatch, InterpOptions};
 use fiq_ir::Module;
@@ -125,6 +137,7 @@ fn flag_spec(cmd: &str) -> Option<FlagSpec> {
                 "telemetry",
                 "snapshot-interval",
                 "dispatch",
+                "collapse",
             ],
             boolean: &[
                 "no-opt",
@@ -139,6 +152,10 @@ fn flag_spec(cmd: &str) -> Option<FlagSpec> {
                 "no-xmm-pruning",
                 "no-fusion",
             ],
+        },
+        "collapse-check" => FlagSpec {
+            value: &["category", "json"],
+            boolean: &COMPILE_BOOLS,
         },
         "report" => FlagSpec {
             value: &["records", "telemetry"],
@@ -254,7 +271,8 @@ fn real_main() -> Result<(), String> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw[0].starts_with("--") {
         return Err(
-            "usage: fiq <workloads|compile|run|profile|inject|trace|campaign|report|fuzz> …".into(),
+            "usage: fiq <workloads|compile|run|profile|inject|trace|campaign|collapse-check|report|fuzz> …"
+                .into(),
         );
     }
     let cmd = raw.remove(0);
@@ -280,6 +298,7 @@ fn real_main() -> Result<(), String> {
         "inject" => cmd_inject(&args),
         "trace" => cmd_trace(&args),
         "campaign" => cmd_campaign(&args),
+        "collapse-check" => cmd_collapse_check(&args),
         "report" => cmd_report(&args),
         "fuzz" => cmd_fuzz(&args),
         _ => unreachable!("flag_spec vetted the command"),
@@ -535,6 +554,12 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         Some(s) => Dispatch::parse(s)
             .ok_or_else(|| format!("unknown --dispatch `{s}` (legacy|threaded)"))?,
     };
+    let collapse = match args.flag("collapse") {
+        None => Collapse::default(),
+        Some(s) => {
+            Collapse::parse(s).ok_or_else(|| format!("unknown --collapse `{s}` (sampled|exact)"))?
+        }
+    };
     let records = args.flag("records").map(PathBuf::from);
     let telemetry = args.flag("telemetry").map(PathBuf::from);
     let started = Instant::now();
@@ -570,6 +595,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         },
         dispatch,
         fusion: !args.has("no-fusion"),
+        collapse,
     };
     let run = fiq_core::run_campaign(&cells, &cfg, &opts)?;
     if run.resumed_tasks > 0 {
@@ -617,6 +643,115 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
             c.hang_pct(),
             c.not_activated
         );
+    }
+    if collapse == Collapse::Exact {
+        for (name, rep) in [("llfi", run.cells[0]), ("pinfi", run.cells[1])] {
+            println!(
+                "{name}: exact — {} fault-space points covered by {} representatives",
+                rep.fault_space, rep.executed
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `fiq collapse-check <prog> [--category <cat>] [--json FILE]` —
+/// brute-force validation of exact collapse. Enumerates the complete
+/// dynamic fault space of the program at both levels, injects every
+/// point, and asserts the class-weighted collapsed distribution equals
+/// the full enumeration bit for bit. Exits nonzero on any mismatch.
+fn cmd_collapse_check(args: &Args) -> Result<(), String> {
+    let module = load_program(args)?;
+    let cat = category(args)?;
+    let cfg = CampaignConfig::default();
+    let prog =
+        fiq_backend::lower_module(&module, lower_options(args)).map_err(|e| e.to_string())?;
+    let lp = profile_llfi(&module, InterpOptions::default())?;
+    let pp = profile_pinfi(&prog, MachOptions::default())?;
+
+    let checks = [
+        (
+            "llfi",
+            cross_check_llfi(&module, &lp, cat, cfg.hang_budget(lp.golden_steps))?,
+        ),
+        (
+            "pinfi",
+            cross_check_pinfi(
+                &prog,
+                &pp,
+                cat,
+                PinfiOptions::default(),
+                cfg.hang_budget(pp.golden_steps),
+            )?,
+        ),
+    ];
+
+    println!(
+        "{:<6} {:>12} {:>9} {:>9} {:>9} {:>9} {:>8} {:<5}",
+        "tool", "fault-space", "dormant", "masked", "residual", "executed", "ratio", "match"
+    );
+    for (name, chk) in &checks {
+        let space = chk.stats.space();
+        let ratio = if space > 0 {
+            100.0 * chk.executed as f64 / space as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<6} {:>12} {:>9} {:>9} {:>9} {:>9} {:>7.1}% {:<5}",
+            name,
+            space,
+            chk.stats.dormant,
+            chk.stats.masked,
+            chk.stats.residual,
+            chk.executed,
+            ratio,
+            if chk.matches() { "yes" } else { "NO" }
+        );
+    }
+
+    if let Some(path) = args.flag("json") {
+        let counts_json = |c: &fiq_core::OutcomeCounts| {
+            Json::Obj(vec![
+                ("benign".into(), Json::u64(c.benign)),
+                ("sdc".into(), Json::u64(c.sdc)),
+                ("crash".into(), Json::u64(c.crash)),
+                ("hang".into(), Json::u64(c.hang)),
+                ("not_activated".into(), Json::u64(c.not_activated)),
+            ])
+        };
+        let tool_json = |chk: &CollapseCheck| {
+            Json::Obj(vec![
+                ("space".into(), Json::u64(chk.stats.space())),
+                ("dormant".into(), Json::u64(chk.stats.dormant)),
+                ("masked".into(), Json::u64(chk.stats.masked)),
+                ("residual".into(), Json::u64(chk.stats.residual)),
+                ("executed".into(), Json::u64(chk.executed)),
+                ("collapsed".into(), counts_json(&chk.collapsed)),
+                ("collapsed_steps".into(), Json::u64(chk.collapsed_steps)),
+                ("brute".into(), counts_json(&chk.brute)),
+                ("brute_steps".into(), Json::u64(chk.brute_steps)),
+                ("match".into(), Json::Bool(chk.matches())),
+            ])
+        };
+        let artifact = Json::Obj(vec![
+            ("report".into(), Json::str("collapse-check")),
+            ("category".into(), Json::str(cat.name())),
+            (
+                "program".into(),
+                Json::str(args.positional.first().map_or("", String::as_str)),
+            ),
+            ("llfi".into(), tool_json(&checks[0].1)),
+            ("pinfi".into(), tool_json(&checks[1].1)),
+        ]);
+        std::fs::write(path, format!("{artifact}\n")).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+
+    if let Some((name, _)) = checks.iter().find(|(_, chk)| !chk.matches()) {
+        return Err(format!(
+            "collapse-check: {name} collapsed distribution diverges from brute force"
+        ));
     }
     Ok(())
 }

@@ -173,6 +173,7 @@ pub fn llfi_campaign_calibrated(
         planned: cfg.injections,
         executed,
         dynamic_population: calibrated_count(profile, &bits),
+        fault_space: 0,
     })
 }
 

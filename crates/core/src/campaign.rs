@@ -79,6 +79,11 @@ pub struct CellReport {
     pub executed: u32,
     /// Dynamic population of the category (Table IV numbers).
     pub dynamic_population: u64,
+    /// Enumerated fault-space points this cell's counts cover (exact
+    /// collapse only; 0 in sampled campaigns). When nonzero,
+    /// `counts.total()` equals this — the distribution is exact, not a
+    /// sample.
+    pub fault_space: u64,
 }
 
 impl CellReport {
@@ -90,6 +95,7 @@ impl CellReport {
             planned: 0,
             executed: 0,
             dynamic_population: 0,
+            fault_space: 0,
         }
     }
 }

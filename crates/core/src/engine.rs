@@ -28,6 +28,10 @@
 
 use crate::campaign::{cell_seed, CampaignConfig, CellReport};
 use crate::category::Category;
+use crate::collapse::{
+    analyze_llfi, analyze_pinfi, collapse_llfi, collapse_pinfi, Collapse, CollapseStats,
+    LlfiAnalysis, PinfiAnalysis,
+};
 use crate::json::Json;
 use crate::llfi::{plan_llfi_from, run_llfi_observed, LlfiInjection};
 use crate::outcome::{Outcome, OutcomeCounts};
@@ -54,6 +58,13 @@ use std::time::Instant;
 
 /// Record-stream format version (bumped on schema changes).
 pub const RECORD_VERSION: u64 = 1;
+
+/// Record-stream format version written by exact-collapse campaigns:
+/// the header gains `collapse`/per-cell `space` fields and every record
+/// carries a `class_size` weight. Sampled campaigns keep writing
+/// [`RECORD_VERSION`] byte-identically, and the differing headers make
+/// cross-mode resume a refused mismatch instead of a silent miscount.
+pub const EXACT_RECORD_VERSION: u64 = 2;
 
 /// Flush the record stream every this many buffered records (plus once
 /// after the pool drains). Between flushes a kill can lose at most this
@@ -176,6 +187,16 @@ pub struct EngineOptions<'a> {
     /// Superinstruction fusion for the threaded core (ignored under
     /// [`Dispatch::Legacy`]). Output-invariant; wall-clock only.
     pub fusion: bool,
+    /// Planning mode. [`Collapse::Sampled`] (the default) draws
+    /// `cfg.injections` random points per cell exactly as before —
+    /// reports and record bytes are untouched. [`Collapse::Exact`]
+    /// enumerates each cell's full dynamic fault space, partitions it
+    /// into equivalence classes (dormant / masked / residual, see
+    /// [`crate::collapse`]), executes one representative per class, and
+    /// weights every outcome by its class size — the resulting
+    /// distribution equals brute-force full enumeration with zero
+    /// sampling error.
+    pub collapse: Collapse,
 }
 
 impl Default for EngineOptions<'_> {
@@ -189,6 +210,7 @@ impl Default for EngineOptions<'_> {
             telemetry: None,
             dispatch: Dispatch::default(),
             fusion: true,
+            collapse: Collapse::default(),
         }
     }
 }
@@ -236,6 +258,9 @@ struct Task {
     cell: usize,
     injection: u64,
     plan: Plan,
+    /// Fault-space points this task stands for: 1 in sampled campaigns,
+    /// the equivalence-class size under exact collapse.
+    class_size: u64,
 }
 
 struct TaskResult {
@@ -262,6 +287,7 @@ struct Shared<'a, 't> {
     decoded: &'t [DecodedCell],
     dispatch: Dispatch,
     fusion: bool,
+    collapse: Collapse,
     next: AtomicUsize,
     completed: AtomicUsize,
     early_exited: AtomicUsize,
@@ -301,39 +327,100 @@ pub fn run_campaign(
     let mut budgets = Vec::with_capacity(cells.len());
     let mut planned = Vec::with_capacity(cells.len());
     let mut populations = Vec::with_capacity(cells.len());
+    // Per-cell collapse accounting (`None` for every sampled cell).
+    let mut spaces: Vec<Option<CollapseStats>> = Vec::with_capacity(cells.len());
+    // FastFlip-style reuse: one propagation analysis per distinct
+    // program (keyed by reference identity), shared by every category
+    // cell of the campaign that injects into it.
+    let mut llfi_analyses: Vec<(usize, LlfiAnalysis)> = Vec::new();
+    let mut pinfi_analyses: Vec<(usize, PinfiAnalysis)> = Vec::new();
     for (ci, cell) in cells.iter().enumerate() {
         let mut rng =
             StdRng::seed_from_u64(cell_seed(cfg.seed, cell.substrate.tool(), cell.category));
         let before = tasks.len();
+        let cell_err = |e: String| format!("cell {ci} ({}/{}): {e}", cell.label, cell.category);
         match &cell.substrate {
             Substrate::Llfi { module, profile } => {
-                // One cumulative site table per cell, not per injection.
-                let cum = profile.cumulative(module, cell.category);
-                tasks.extend(
-                    (0..cfg.injections)
-                        .filter_map(|_| plan_llfi_from(module, &cum, &mut rng))
-                        .enumerate()
-                        .map(|(i, p)| Task {
+                match opts.collapse {
+                    Collapse::Sampled => {
+                        // One cumulative site table per cell, not per injection.
+                        let cum = profile.cumulative(module, cell.category);
+                        tasks.extend(
+                            (0..cfg.injections)
+                                .filter_map(|_| plan_llfi_from(module, &cum, &mut rng))
+                                .enumerate()
+                                .map(|(i, p)| Task {
+                                    cell: ci,
+                                    injection: i as u64,
+                                    plan: Plan::Llfi(p),
+                                    class_size: 1,
+                                }),
+                        );
+                        spaces.push(None);
+                    }
+                    Collapse::Exact => {
+                        let key = *module as *const Module as usize;
+                        if !llfi_analyses.iter().any(|(k, _)| *k == key) {
+                            let a = analyze_llfi(module, profile).map_err(cell_err)?;
+                            llfi_analyses.push((key, a));
+                        }
+                        let analysis = &llfi_analyses
+                            .iter()
+                            .find(|(k, _)| *k == key)
+                            .expect("inserted above")
+                            .1;
+                        let (plan, stats) = collapse_llfi(module, profile, cell.category, analysis);
+                        tasks.extend(plan.into_iter().enumerate().map(|(i, (p, n))| Task {
                             cell: ci,
                             injection: i as u64,
                             plan: Plan::Llfi(p),
-                        }),
-                );
+                            class_size: n,
+                        }));
+                        spaces.push(Some(stats));
+                    }
+                }
                 budgets.push(cfg.hang_budget(profile.golden_steps));
                 populations.push(profile.category_count(module, cell.category));
             }
             Substrate::Pinfi { prog, profile } => {
-                let cum = profile.cumulative(prog, cell.category);
-                tasks.extend(
-                    (0..cfg.injections)
-                        .filter_map(|_| plan_pinfi_from(prog, &cum, cfg.pinfi, &mut rng))
-                        .enumerate()
-                        .map(|(i, p)| Task {
+                match opts.collapse {
+                    Collapse::Sampled => {
+                        let cum = profile.cumulative(prog, cell.category);
+                        tasks.extend(
+                            (0..cfg.injections)
+                                .filter_map(|_| plan_pinfi_from(prog, &cum, cfg.pinfi, &mut rng))
+                                .enumerate()
+                                .map(|(i, p)| Task {
+                                    cell: ci,
+                                    injection: i as u64,
+                                    plan: Plan::Pinfi(p),
+                                    class_size: 1,
+                                }),
+                        );
+                        spaces.push(None);
+                    }
+                    Collapse::Exact => {
+                        let key = *prog as *const AsmProgram as usize;
+                        if !pinfi_analyses.iter().any(|(k, _)| *k == key) {
+                            let a = analyze_pinfi(prog, profile).map_err(cell_err)?;
+                            pinfi_analyses.push((key, a));
+                        }
+                        let analysis = &pinfi_analyses
+                            .iter()
+                            .find(|(k, _)| *k == key)
+                            .expect("inserted above")
+                            .1;
+                        let (plan, stats) =
+                            collapse_pinfi(prog, profile, cell.category, cfg.pinfi, analysis);
+                        tasks.extend(plan.into_iter().enumerate().map(|(i, (p, n))| Task {
                             cell: ci,
                             injection: i as u64,
                             plan: Plan::Pinfi(p),
-                        }),
-                );
+                            class_size: n,
+                        }));
+                        spaces.push(Some(stats));
+                    }
+                }
                 budgets.push(cfg.hang_budget(profile.golden_steps));
                 populations.push(profile.category_count(prog, cell.category));
             }
@@ -363,7 +450,7 @@ pub fn run_campaign(
         .collect();
 
     // 2. Open the record stream, replaying any resumable prefix.
-    let header = header_line(cells, cfg, &planned);
+    let header = header_line(cells, cfg, &planned, opts.collapse, &spaces);
     let mut outcomes: Vec<Option<Outcome>> = vec![None; tasks.len()];
     let mut resumed = 0usize;
     let writer = match opts.records {
@@ -423,6 +510,17 @@ pub fn run_campaign(
             );
         }
         record_snapshot_reuse(hub, cells);
+        // Collapse accounting is fixed at planning time, so (like the
+        // snapshot-reuse tally) it is recorded once, on worker 0's shard.
+        let h = hub.worker(0);
+        for (ci, stats) in spaces.iter().enumerate() {
+            if let Some(s) = stats {
+                h.cell_add(ci, cell_counter::FAULT_SPACE, s.space());
+                h.cell_add(ci, cell_counter::COLLAPSE_DORMANT, s.dormant);
+                h.cell_add(ci, cell_counter::COLLAPSE_MASKED, s.masked);
+                h.cell_add(ci, cell_counter::COLLAPSE_RESIDUAL, s.residual);
+            }
+        }
     }
     let shared = Shared {
         cells,
@@ -431,6 +529,7 @@ pub fn run_campaign(
         decoded: &decoded,
         dispatch: opts.dispatch,
         fusion: opts.fusion,
+        collapse: opts.collapse,
         next: AtomicUsize::new(resumed),
         completed: AtomicUsize::new(resumed),
         early_exited: AtomicUsize::new(0),
@@ -518,18 +617,25 @@ pub fn run_campaign(
     }
     let mut reports: Vec<CellReport> = planned
         .iter()
-        .zip(&populations)
-        .map(|(&p, &pop)| CellReport {
+        .zip(populations.iter().zip(&spaces))
+        .map(|(&p, (&pop, stats))| CellReport {
             counts: OutcomeCounts::default(),
-            requested: if p > 0 { cfg.injections } else { 0 },
+            // Exact collapse plans the whole fault space; `injections`
+            // plays no role, so "requested" is the plan itself.
+            requested: match stats {
+                Some(_) => p,
+                None if p > 0 => cfg.injections,
+                None => 0,
+            },
             planned: p,
             executed: 0,
             dynamic_population: pop,
+            fault_space: stats.map_or(0, |s| s.space()),
         })
         .collect();
     for (task, outcome) in tasks.iter().zip(&sink.outcomes) {
         let outcome = outcome.ok_or("internal error: campaign task missing an outcome")?;
-        reports[task.cell].counts.record(outcome);
+        reports[task.cell].counts.record_n(outcome, task.class_size);
         reports[task.cell].executed += 1;
     }
     Ok(CampaignRun {
@@ -813,7 +919,13 @@ fn deliver(
         sink.next_flush += 1;
         if sink.writer.is_some() {
             let task = &shared.tasks[flush_index];
-            let line = record_line(&shared.cells[task.cell], task, flush_index, &res);
+            let line = record_line(
+                &shared.cells[task.cell],
+                task,
+                flush_index,
+                &res,
+                shared.collapse,
+            );
             let w = sink.writer.as_mut().expect("checked above");
             writeln!(w, "{line}").map_err(|e| format!("write record: {e}"))?;
             if let Some(h) = handle {
@@ -850,33 +962,59 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 }
 
 /// The campaign header line: identifies the campaign a record file
-/// belongs to, so resume can refuse a mismatched file.
-fn header_line(cells: &[CellSpec<'_>], cfg: &CampaignConfig, planned: &[u32]) -> String {
+/// belongs to, so resume can refuse a mismatched file. Sampled
+/// campaigns keep the version-1 layout byte for byte; exact campaigns
+/// bump the version and add the `collapse` and per-cell `space` fields
+/// (the header difference is what blocks cross-mode resume).
+fn header_line(
+    cells: &[CellSpec<'_>],
+    cfg: &CampaignConfig,
+    planned: &[u32],
+    collapse: Collapse,
+    spaces: &[Option<CollapseStats>],
+) -> String {
     let cell_objs = cells
         .iter()
-        .zip(planned)
-        .map(|(c, &p)| {
-            Json::Obj(vec![
+        .zip(planned.iter().zip(spaces))
+        .map(|(c, (&p, stats))| {
+            let mut fields = vec![
                 ("label".into(), Json::str(c.label.clone())),
                 ("tool".into(), Json::str(c.substrate.tool())),
                 ("category".into(), Json::str(c.category.name())),
                 ("planned".into(), Json::u64(u64::from(p))),
-            ])
+            ];
+            if let Some(s) = stats {
+                fields.push(("space".into(), Json::u64(s.space())));
+            }
+            Json::Obj(fields)
         })
         .collect();
-    Json::Obj(vec![
-        ("record".into(), Json::str("campaign")),
-        ("version".into(), Json::u64(RECORD_VERSION)),
+    let mut fields = vec![("record".into(), Json::str("campaign"))];
+    match collapse {
+        Collapse::Sampled => fields.push(("version".into(), Json::u64(RECORD_VERSION))),
+        Collapse::Exact => {
+            fields.push(("version".into(), Json::u64(EXACT_RECORD_VERSION)));
+            fields.push(("collapse".into(), Json::str("exact")));
+        }
+    }
+    fields.extend([
         ("seed".into(), Json::u64(cfg.seed)),
         ("injections".into(), Json::u64(u64::from(cfg.injections))),
         ("hang_factor".into(), Json::u64(cfg.hang_factor)),
         ("cells".into(), Json::Arr(cell_objs)),
-    ])
-    .to_string()
+    ]);
+    Json::Obj(fields).to_string()
 }
 
-/// One per-injection record line.
-fn record_line(cell: &CellSpec<'_>, task: &Task, index: usize, res: &TaskResult) -> String {
+/// One per-injection record line. Exact-collapse records append the
+/// class weight; sampled records stay byte-identical to version 1.
+fn record_line(
+    cell: &CellSpec<'_>,
+    task: &Task,
+    index: usize,
+    res: &TaskResult,
+    collapse: Collapse,
+) -> String {
     let plan = match task.plan {
         Plan::Llfi(inj) => Json::Obj(vec![
             ("func".into(), Json::u64(inj.site.func.index() as u64)),
@@ -891,7 +1029,7 @@ fn record_line(cell: &CellSpec<'_>, task: &Task, index: usize, res: &TaskResult)
             ("bit".into(), Json::u64(u64::from(inj.bit))),
         ]),
     };
-    Json::Obj(vec![
+    let mut fields = vec![
         ("record".into(), Json::str("injection")),
         ("task".into(), Json::u64(index as u64)),
         ("cell".into(), Json::str(cell.label.clone())),
@@ -901,8 +1039,11 @@ fn record_line(cell: &CellSpec<'_>, task: &Task, index: usize, res: &TaskResult)
         ("plan".into(), plan),
         ("outcome".into(), Json::str(res.outcome.name())),
         ("steps".into(), Json::u64(res.steps)),
-    ])
-    .to_string()
+    ];
+    if collapse == Collapse::Exact {
+        fields.push(("class_size".into(), Json::u64(task.class_size)));
+    }
+    Json::Obj(fields).to_string()
 }
 
 struct ResumePrefix {
@@ -1009,6 +1150,7 @@ mod tests {
                 instance: 1,
                 bit: 0,
             }),
+            class_size: 1,
         };
         let res = TaskResult {
             outcome: Outcome::Benign,
@@ -1016,8 +1158,13 @@ mod tests {
             early_exit: false,
             fast_forwarded: false,
         };
-        let line = record_line(&cell, &task, 0, &res);
+        let line = record_line(&cell, &task, 0, &res, Collapse::Sampled);
         let v = Json::parse(&line).expect("record line parses");
         assert_eq!(v.get("injection").and_then(Json::as_u64), Some(big));
+        // Sampled records must not leak the collapse-only field.
+        assert!(v.get("class_size").is_none());
+        let exact = record_line(&cell, &task, 0, &res, Collapse::Exact);
+        let v = Json::parse(&exact).expect("record line parses");
+        assert_eq!(v.get("class_size").and_then(Json::as_u64), Some(1));
     }
 }

@@ -42,6 +42,7 @@
 mod calibration;
 mod campaign;
 mod category;
+mod collapse;
 mod engine;
 pub mod json;
 mod llfi;
@@ -61,9 +62,14 @@ pub use category::{
     injection_dest, llfi_candidates, llfi_matches, pinfi_candidates, pinfi_matches, site_in,
     Category,
 };
+pub use collapse::{
+    analyze_llfi, analyze_pinfi, collapse_llfi, collapse_pinfi, cross_check_llfi,
+    cross_check_pinfi, enumerate_llfi, enumerate_pinfi, Collapse, CollapseCheck, CollapseStats,
+    LlfiAnalysis, PinfiAnalysis, MAX_EXACT_INSTANCES,
+};
 pub use engine::{
     run_campaign, CampaignRun, CellSpec, EngineOptions, Progress, SnapshotCache, Substrate,
-    RECORD_VERSION,
+    EXACT_RECORD_VERSION, RECORD_VERSION,
 };
 pub use llfi::{
     plan_llfi, plan_llfi_from, run_llfi, run_llfi_detailed, run_llfi_detailed_from,

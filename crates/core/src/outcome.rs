@@ -98,6 +98,18 @@ impl OutcomeCounts {
         }
     }
 
+    /// Adds `n` occurrences of one outcome (class-weighted recording for
+    /// exact collapsed campaigns; `record_n(o, 1)` ≡ `record(o)`).
+    pub fn record_n(&mut self, o: Outcome, n: u64) {
+        match o {
+            Outcome::Benign => self.benign += n,
+            Outcome::Sdc => self.sdc += n,
+            Outcome::Crash => self.crash += n,
+            Outcome::Hang => self.hang += n,
+            Outcome::NotActivated => self.not_activated += n,
+        }
+    }
+
     /// Number of *activated* runs (the percentage denominator).
     pub fn activated(&self) -> u64 {
         self.benign + self.sdc + self.crash + self.hang

@@ -33,9 +33,16 @@ pub struct CellSummary {
     pub category: String,
     /// Injections planned per the campaign header.
     pub planned: u64,
-    /// Outcome tallies parsed from the record lines.
+    /// Enumerated fault-space points per the campaign header (exact
+    /// collapse only; 0 in sampled campaigns).
+    pub space: u64,
+    /// Outcome tallies parsed from the record lines, weighted by each
+    /// record's class size (1 unless the campaign ran exact collapse).
     pub counts: OutcomeCounts,
-    /// Sum of the per-record reported step counts.
+    /// Record lines seen for this cell — the representatives actually
+    /// executed, unweighted.
+    pub records: u64,
+    /// Sum of the per-record reported step counts, class-weighted.
     pub steps_recorded: u64,
     /// This cell's telemetry counters by name (empty without telemetry).
     pub counters: BTreeMap<String, u64>,
@@ -97,6 +104,9 @@ pub struct EngineSummary {
 /// `telemetry.jsonl`.
 #[derive(Debug, Clone)]
 pub struct CampaignReport {
+    /// The campaign ran exact fault-space collapse: counts are the full
+    /// enumerated distribution and every CI is zero-width.
+    pub exact: bool,
     /// Campaign seed from the record header.
     pub seed: u64,
     /// Injections requested per cell.
@@ -152,7 +162,9 @@ fn parse_header_cells(header: &Json, what: &str) -> Result<Vec<CellSummary>, Str
                 tool: get_str(c, "tool", what)?.to_string(),
                 category: get_str(c, "category", what)?.to_string(),
                 planned: get_u64(c, "planned", what)?,
+                space: c.get("space").and_then(Json::as_u64).unwrap_or(0),
                 counts: OutcomeCounts::default(),
+                records: 0,
                 steps_recorded: 0,
                 counters: BTreeMap::new(),
                 hists: BTreeMap::new(),
@@ -215,10 +227,18 @@ impl CampaignReport {
             })?;
             let outcome = Outcome::from_name(get_str(&v, "outcome", what)?)
                 .ok_or_else(|| format!("{what}: unknown outcome"))?;
-            cells[ci].counts.record(outcome);
-            cells[ci].steps_recorded += get_u64(&v, "steps", what)?;
+            // Sampled records carry no class_size; each stands for
+            // itself. Saturating arithmetic keeps a hand-edited stream
+            // from panicking the reporter.
+            let class = v.get("class_size").and_then(Json::as_u64).unwrap_or(1);
+            cells[ci].counts.record_n(outcome, class);
+            cells[ci].records += 1;
+            cells[ci].steps_recorded = cells[ci]
+                .steps_recorded
+                .saturating_add(get_u64(&v, "steps", what)?.saturating_mul(class));
         }
         Ok(CampaignReport {
+            exact: header.get("collapse").and_then(Json::as_str) == Some("exact"),
             seed: get_u64(&header, "seed", what)?,
             injections: get_u64(&header, "injections", what)?,
             hang_factor: get_u64(&header, "hang_factor", what)?,
@@ -349,17 +369,21 @@ impl CampaignReport {
             .map(|c| {
                 let n = c.counts.activated();
                 let rate = |successes: u64| {
-                    let (lo, hi) = wilson_ci95(successes, n);
+                    let pct = if n == 0 {
+                        0.0
+                    } else {
+                        100.0 * successes as f64 / n as f64
+                    };
+                    // An exact distribution has no sampling error: the
+                    // interval collapses onto the point estimate.
+                    let (lo, hi) = if self.exact {
+                        (pct, pct)
+                    } else {
+                        wilson_ci95(successes, n)
+                    };
                     Json::Obj(vec![
                         ("count".into(), Json::u64(successes)),
-                        (
-                            "pct".into(),
-                            Json::f64(if n == 0 {
-                                0.0
-                            } else {
-                                100.0 * successes as f64 / n as f64
-                            }),
-                        ),
+                        ("pct".into(), Json::f64(pct)),
                         ("ci95".into(), Json::Arr(vec![Json::f64(lo), Json::f64(hi)])),
                     ])
                 };
@@ -377,6 +401,10 @@ impl CampaignReport {
                     ("hang".into(), rate(c.counts.hang)),
                     ("steps_recorded".into(), Json::u64(c.steps_recorded)),
                 ];
+                if self.exact {
+                    fields.push(("space".into(), Json::u64(c.space)));
+                    fields.push(("representatives".into(), Json::u64(c.records)));
+                }
                 if !c.counters.is_empty() {
                     let counters = c
                         .counters
@@ -415,6 +443,10 @@ impl CampaignReport {
             .collect();
         let mut fields = vec![
             ("report".into(), Json::str("campaign")),
+            (
+                "collapse".into(),
+                Json::str(if self.exact { "exact" } else { "sampled" }),
+            ),
             ("seed".into(), Json::u64(self.seed)),
             ("injections".into(), Json::u64(self.injections)),
             ("hang_factor".into(), Json::u64(self.hang_factor)),
@@ -465,25 +497,47 @@ impl CampaignReport {
     /// The human-readable form of the report.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "campaign report: seed {}, {} injections/cell, {} cell(s)",
-            self.seed,
-            self.injections,
-            self.cells.len()
-        );
-        for c in &self.cells {
-            let n = c.counts.activated();
+        if self.exact {
             let _ = writeln!(
                 out,
-                "\ncell {}/{}/{}: {} executed of {} planned, {} activated",
-                c.label,
-                c.tool,
-                c.category,
-                c.counts.total(),
-                c.planned,
-                n
+                "campaign report (exact collapse): seed {}, {} cell(s)",
+                self.seed,
+                self.cells.len()
             );
+        } else {
+            let _ = writeln!(
+                out,
+                "campaign report: seed {}, {} injections/cell, {} cell(s)",
+                self.seed,
+                self.injections,
+                self.cells.len()
+            );
+        }
+        for c in &self.cells {
+            let n = c.counts.activated();
+            if self.exact {
+                let _ = writeln!(
+                    out,
+                    "\ncell {}/{}/{}: {} fault-space points via {} representatives, {} activated",
+                    c.label,
+                    c.tool,
+                    c.category,
+                    c.counts.total(),
+                    c.records,
+                    n
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "\ncell {}/{}/{}: {} executed of {} planned, {} activated",
+                    c.label,
+                    c.tool,
+                    c.category,
+                    c.counts.total(),
+                    c.planned,
+                    n
+                );
+            }
             let _ = writeln!(
                 out,
                 "  {:<14} {:>7} {:>7}  95% CI",
@@ -500,10 +554,28 @@ impl CampaignReport {
                 } else {
                     100.0 * count as f64 / n as f64
                 };
-                let (lo, hi) = wilson_ci95(count, n);
+                // Exact distributions carry no sampling noise, so the
+                // interval degenerates to the point estimate.
+                let (lo, hi) = if self.exact {
+                    (pct, pct)
+                } else {
+                    wilson_ci95(count, n)
+                };
                 let _ = writeln!(
                     out,
                     "  {name:<14} {count:>7} {pct:>6.1}%  [{lo:.1}, {hi:.1}]"
+                );
+            }
+            if self.exact {
+                let ratio = if c.space == 0 {
+                    0.0
+                } else {
+                    100.0 * c.records as f64 / c.space as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "  collapse: {} of {} points executed ({ratio:.1}%), CI width 0",
+                    c.records, c.space
                 );
             }
             let _ = writeln!(

@@ -92,6 +92,14 @@ pub mod cell_counter {
     /// Snapshot pages reused (allocation + hash shared with the previous
     /// snapshot) during this cell's profiling capture.
     pub const SNAP_PAGES_REUSED: usize = 15;
+    /// Enumerated fault-space points (exact collapse only; 0 otherwise).
+    pub const FAULT_SPACE: usize = 16;
+    /// Points proven dormant by the collapse analyzer.
+    pub const COLLAPSE_DORMANT: usize = 17;
+    /// Points proven masked/benign by the collapse analyzer.
+    pub const COLLAPSE_MASKED: usize = 18;
+    /// Points executed individually (residual singletons).
+    pub const COLLAPSE_RESIDUAL: usize = 19;
 }
 
 /// Cell-scope histogram indices into [`HUB_SPEC`].
@@ -142,6 +150,10 @@ pub static HUB_SPEC: HubSpec = HubSpec {
         "verdict_dormant",
         "snap_pages_hashed",
         "snap_pages_reused",
+        "fault_space",
+        "collapse_dormant",
+        "collapse_masked",
+        "collapse_residual",
     ],
     cell_hists: &[
         "task_latency_us",

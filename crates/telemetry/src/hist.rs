@@ -210,4 +210,67 @@ mod tests {
         assert_eq!(d.max_bound(), 0);
         assert_eq!(d.mean(), 0.0);
     }
+
+    /// The open-ended top bucket boundary: bucket `i ≥ 1` holds
+    /// `[2^(i-1), 2^i)`, so `2^63 - 1` is the last value of bucket 63
+    /// and `2^63` opens bucket 64, which runs to `u64::MAX`.
+    #[test]
+    fn top_bucket_boundary_is_exact() {
+        assert_eq!(bucket_of((1u64 << 63) - 1), 63);
+        assert_eq!(bucket_of(1u64 << 63), 64);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_lo(64), 1u64 << 63);
+        assert_eq!(bucket_hi(64), u64::MAX);
+        assert_eq!(bucket_hi(63), (1u64 << 63) - 1);
+
+        // Recording at the boundary lands in the right buckets and the
+        // stats stay total (no shift overflow panic at the top).
+        let mut d = HistData::default();
+        d.record((1u64 << 63) - 1);
+        d.record(1u64 << 63);
+        d.record(u64::MAX);
+        assert_eq!(d.buckets[63], 1);
+        assert_eq!(d.buckets[64], 2);
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.quantile(1.0), u64::MAX);
+        assert_eq!(d.max_bound(), u64::MAX);
+    }
+
+    /// Merge stays a commutative monoid when the open-ended top bucket
+    /// is populated: identity, commutativity, and plain element-wise
+    /// addition at bucket 64 (with the wrapping sum documented).
+    #[test]
+    fn merge_is_a_monoid_at_the_top_bucket() {
+        let mut a = HistData::default();
+        a.record(u64::MAX);
+        a.record(1u64 << 63);
+        let mut b = HistData::default();
+        b.record(u64::MAX);
+        b.record((1u64 << 63) - 1);
+
+        // Identity on both sides.
+        let mut a_id = a.clone();
+        a_id.merge(&HistData::default());
+        assert_eq!(a_id, a);
+        let mut id_a = HistData::default();
+        id_a.merge(&a);
+        assert_eq!(id_a, a);
+
+        // Commutative, counts additive at bucket 64, sum wraps.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.buckets[64], 3);
+        assert_eq!(ab.buckets[63], 1);
+        assert_eq!(ab.count(), 4);
+        assert_eq!(
+            ab.sum,
+            u64::MAX
+                .wrapping_add(1u64 << 63)
+                .wrapping_add(u64::MAX)
+                .wrapping_add((1u64 << 63) - 1)
+        );
+    }
 }

@@ -1,0 +1,440 @@
+//! Exact-campaign collapse: class-weighted distributions must equal
+//! brute-force enumeration of the full fault space, bit for bit, while
+//! executing only a fraction of it.
+
+use fiq_asm::MachOptions;
+use fiq_backend::LowerOptions;
+use fiq_core::json::Json;
+use fiq_core::{
+    cross_check_llfi, cross_check_pinfi, profile_llfi, profile_pinfi, run_campaign, CampaignConfig,
+    CampaignReport, Category, CellSpec, Collapse, EngineOptions, PinfiOptions, Substrate,
+    EXACT_RECORD_VERSION,
+};
+use fiq_interp::InterpOptions;
+use fiq_ir::Module;
+use std::path::PathBuf;
+
+/// A mask-heavy accumulator: every stage of the per-iteration chain is
+/// re-narrowed through an `and`, so the influence fixpoint proves the
+/// high bits of each intermediate benign. Only the loop counter (which
+/// feeds the branch compare) stays fully influential.
+const MASKY: &str = r"
+int main() {
+    int s = 0;
+    for (int i = 0; i < 12; i += 1) {
+        int t = (s * 3 + i) & 255;
+        int u = t * t + 9;
+        int v = (u * 5 + t) & 511;
+        int w = v * 3 - u;
+        int x = (w + v) & 1023;
+        int y = x * 7 - w;
+        s = (s + x + y) & 1023;
+    }
+    print_i64(s & 1023);
+    return 0;
+}
+";
+
+/// Shift/xor flavored masking: exercises the constant-shift and
+/// or/xor transfer rules of the influence fixpoint.
+const SHIFTY: &str = r"
+int main() {
+    int s = 5;
+    for (int i = 0; i < 10; i += 1) {
+        int a = ((s << 2) ^ (s >> 3)) & 511;
+        int b = (a * 5 + s) & 255;
+        int c = (b | 48) - (a & 63);
+        int d = (c * 9 + b) & 511;
+        int e = (d << 1) & 1022;
+        s = (s + e + c) & 511;
+    }
+    print_i64(s & 511);
+    return 0;
+}
+";
+
+/// Branch- and memory-heavy: computed indices, comparisons, and a store
+/// loop exercise flags, GPR, and address faults. Nearly every value here
+/// reaches a store, branch, or call, so almost nothing is maskable —
+/// this is the correctness stress test, not a reduction showcase.
+const BRANCHY: &str = r"
+int main() {
+    int a[8];
+    for (int i = 0; i < 8; i += 1) { a[i] = i * 7; }
+    int odd = 0;
+    for (int i = 0; i < 8; i += 1) {
+        if ((a[i] & 1) == 1) { odd += 1; } else { odd -= 2; }
+    }
+    print_i64(odd);
+    return 0;
+}
+";
+
+/// Float arithmetic reaches the XMM/Ucomisd paths of the asm level.
+const FLOATY: &str = r"
+int main() {
+    double x = 1.5;
+    for (int i = 0; i < 6; i += 1) { x = x * 1.25 + 0.125; }
+    if (x > 5.0) { print_i64(1); } else { print_i64(0); }
+    return 0;
+}
+";
+
+fn compile(name: &str, source: &str) -> Module {
+    let mut m = fiq_frontend::compile(name, source).unwrap();
+    fiq_opt::optimize_module(&mut m);
+    m
+}
+
+fn hang_budget(golden_steps: u64) -> u64 {
+    golden_steps.saturating_mul(10).saturating_add(10_000)
+}
+
+/// One workload, both tools, a couple of categories: the collapsed
+/// distribution must equal full enumeration exactly, with a real
+/// (≥ 4x) reduction in executed points.
+fn check_workload(name: &str, source: &str, require_reduction: bool) {
+    let module = compile(name, source);
+    let prog = fiq_backend::lower_module(&module, LowerOptions::default()).unwrap();
+    let lp = profile_llfi(&module, InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&prog, MachOptions::default()).unwrap();
+    for cat in [Category::Arithmetic, Category::All] {
+        let check = cross_check_llfi(&module, &lp, cat, hang_budget(lp.golden_steps)).unwrap();
+        assert!(
+            check.matches(),
+            "{name}/llfi/{cat:?}: collapsed {:?} ({} steps) != brute {:?} ({} steps)",
+            check.collapsed,
+            check.collapsed_steps,
+            check.brute,
+            check.brute_steps
+        );
+        assert_eq!(check.collapsed.total(), check.stats.space());
+        if require_reduction {
+            assert!(
+                check.executed * 4 <= check.stats.space(),
+                "{name}/llfi/{cat:?}: executed {} of {} points",
+                check.executed,
+                check.stats.space()
+            );
+        }
+
+        let check = cross_check_pinfi(
+            &prog,
+            &pp,
+            cat,
+            PinfiOptions::default(),
+            hang_budget(pp.golden_steps),
+        )
+        .unwrap();
+        assert!(
+            check.matches(),
+            "{name}/pinfi/{cat:?}: collapsed {:?} ({} steps) != brute {:?} ({} steps)",
+            check.collapsed,
+            check.collapsed_steps,
+            check.brute,
+            check.brute_steps
+        );
+        assert_eq!(check.collapsed.total(), check.stats.space());
+        if require_reduction {
+            assert!(
+                check.executed * 4 <= check.stats.space(),
+                "{name}/pinfi/{cat:?}: executed {} of {} points",
+                check.executed,
+                check.stats.space()
+            );
+        }
+    }
+}
+
+#[test]
+fn collapse_matches_brute_force_masky() {
+    check_workload("masky", MASKY, true);
+}
+
+#[test]
+fn collapse_matches_brute_force_shifty() {
+    check_workload("shifty", SHIFTY, true);
+}
+
+#[test]
+fn collapse_matches_brute_force_branchy() {
+    // Store/branch-dominated code keeps (almost) every bit influential;
+    // correctness is the point here, not the reduction ratio.
+    check_workload("branchy", BRANCHY, false);
+}
+
+#[test]
+fn collapse_matches_brute_force_floaty() {
+    // Float cells are small; correctness is the point here, not the
+    // reduction ratio.
+    check_workload("floaty", FLOATY, false);
+}
+
+/// Disabling the PINFI pruning heuristics widens the enumerated space
+/// (full FLAGS mask, 128-bit XMM); the exactness guarantee must hold
+/// there too.
+#[test]
+fn collapse_matches_brute_force_unpruned() {
+    let module = compile("floaty", FLOATY);
+    let prog = fiq_backend::lower_module(&module, LowerOptions::default()).unwrap();
+    let pp = profile_pinfi(&prog, MachOptions::default()).unwrap();
+    let opts = PinfiOptions {
+        flag_pruning: false,
+        xmm_pruning: false,
+    };
+    let check = cross_check_pinfi(
+        &prog,
+        &pp,
+        Category::All,
+        opts,
+        hang_budget(pp.golden_steps),
+    )
+    .unwrap();
+    assert!(
+        check.matches(),
+        "unpruned: collapsed {:?} ({} steps) != brute {:?} ({} steps)",
+        check.collapsed,
+        check.collapsed_steps,
+        check.brute,
+        check.brute_steps
+    );
+    assert_eq!(check.collapsed.total(), check.stats.space());
+}
+
+// ---------------------------------------------------------------------
+// Engine integration: `--collapse exact` end to end.
+// ---------------------------------------------------------------------
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fiq-collapse-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+struct Fixture {
+    module: Module,
+    prog: fiq_asm::AsmProgram,
+    lp: fiq_core::LlfiProfile,
+    pp: fiq_core::PinfiProfile,
+}
+
+impl Fixture {
+    fn new(name: &str, source: &str) -> Fixture {
+        let module = compile(name, source);
+        let prog = fiq_backend::lower_module(&module, LowerOptions::default()).unwrap();
+        let lp = profile_llfi(&module, InterpOptions::default()).unwrap();
+        let pp = profile_pinfi(&prog, MachOptions::default()).unwrap();
+        Fixture {
+            module,
+            prog,
+            lp,
+            pp,
+        }
+    }
+
+    fn cells(&self) -> Vec<CellSpec<'_>> {
+        vec![
+            CellSpec {
+                label: "masky".into(),
+                category: Category::Arithmetic,
+                substrate: Substrate::Llfi {
+                    module: &self.module,
+                    profile: &self.lp,
+                },
+                snapshots: None,
+            },
+            CellSpec {
+                label: "masky".into(),
+                category: Category::Arithmetic,
+                substrate: Substrate::Pinfi {
+                    prog: &self.prog,
+                    profile: &self.pp,
+                },
+                snapshots: None,
+            },
+        ]
+    }
+
+    fn cfg(&self, threads: usize) -> CampaignConfig {
+        CampaignConfig {
+            injections: 16,
+            seed: 9,
+            threads,
+            ..CampaignConfig::default()
+        }
+    }
+}
+
+/// The full loop: an exact campaign on the engine reproduces brute-force
+/// enumeration of the fault space in its weighted cell counts, stamps
+/// the schema-versioned record stream with class sizes, and resumes
+/// byte-identically.
+#[test]
+fn exact_campaign_reproduces_brute_force_on_the_engine() {
+    let fx = Fixture::new("masky", MASKY);
+    let rec = temp_path("exact.jsonl");
+    let opts = EngineOptions {
+        records: Some(&rec),
+        collapse: Collapse::Exact,
+        ..EngineOptions::default()
+    };
+    let run = run_campaign(&fx.cells(), &fx.cfg(4), &opts).unwrap();
+
+    // Ground truth: the cross-checker's brute-force pass over the same
+    // space with the same hang budget.
+    let cfg = fx.cfg(4);
+    let truth = [
+        cross_check_llfi(
+            &fx.module,
+            &fx.lp,
+            Category::Arithmetic,
+            cfg.hang_budget(fx.lp.golden_steps),
+        )
+        .unwrap(),
+        cross_check_pinfi(
+            &fx.prog,
+            &fx.pp,
+            Category::Arithmetic,
+            PinfiOptions::default(),
+            cfg.hang_budget(fx.pp.golden_steps),
+        )
+        .unwrap(),
+    ];
+    for (i, check) in truth.iter().enumerate() {
+        let cell = &run.cells[i];
+        assert_eq!(
+            cell.counts, check.brute,
+            "cell {i}: engine weighted counts must equal full enumeration"
+        );
+        assert_eq!(cell.fault_space, check.stats.space(), "cell {i}");
+        assert_eq!(cell.counts.total(), cell.fault_space, "cell {i}");
+        assert_eq!(cell.executed as u64, check.executed, "cell {i}");
+        assert!(
+            (cell.executed as u64) * 4 <= cell.fault_space,
+            "cell {i}: executed {} of {} points",
+            cell.executed,
+            cell.fault_space
+        );
+    }
+
+    // Record stream schema: version 2 header carrying the collapse mode
+    // and per-cell spaces; every record carries its class size, and the
+    // class sizes of a cell sum back to the full space.
+    let stream = std::fs::read_to_string(&rec).unwrap();
+    let header = Json::parse(stream.lines().next().unwrap()).unwrap();
+    assert_eq!(
+        header.get("version").and_then(Json::as_u64),
+        Some(EXACT_RECORD_VERSION)
+    );
+    assert_eq!(header.get("collapse").and_then(Json::as_str), Some("exact"));
+    let cells = header.get("cells").and_then(Json::as_array).unwrap();
+    let mut space_by_tool = std::collections::BTreeMap::new();
+    for c in cells {
+        space_by_tool.insert(
+            c.get("tool").and_then(Json::as_str).unwrap().to_string(),
+            c.get("space").and_then(Json::as_u64).unwrap(),
+        );
+    }
+    assert_eq!(space_by_tool["llfi"], truth[0].stats.space());
+    assert_eq!(space_by_tool["pinfi"], truth[1].stats.space());
+    let mut class_sum = std::collections::BTreeMap::new();
+    let mut saw_multi = false;
+    for line in stream.lines().skip(1) {
+        let j = Json::parse(line).unwrap();
+        if j.get("record").and_then(Json::as_str) != Some("injection") {
+            continue;
+        }
+        let class = j.get("class_size").and_then(Json::as_u64).unwrap();
+        assert!(class >= 1);
+        saw_multi |= class > 1;
+        *class_sum
+            .entry(j.get("tool").and_then(Json::as_str).unwrap().to_string())
+            .or_insert(0u64) += class;
+    }
+    assert!(saw_multi, "collapse must produce at least one real class");
+    assert_eq!(class_sum["llfi"], truth[0].stats.space());
+    assert_eq!(class_sum["pinfi"], truth[1].stats.space());
+
+    // Resume: the exact plan is deterministic, so a resumed run replays
+    // the identical classes and leaves the stream byte-identical.
+    let resumed = run_campaign(
+        &fx.cells(),
+        &fx.cfg(2),
+        &EngineOptions {
+            records: Some(&rec),
+            resume: true,
+            collapse: Collapse::Exact,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.resumed_tasks, resumed.total_tasks);
+    assert_eq!(resumed.cells, run.cells);
+    assert_eq!(std::fs::read_to_string(&rec).unwrap(), stream);
+
+    // `fiq report` over the exact stream: the distribution is a census,
+    // not an estimate — every CI must be zero-width at the point rate.
+    let report = CampaignReport::build(&rec, None).unwrap();
+    let json = report.to_json();
+    assert_eq!(json.get("collapse").and_then(Json::as_str), Some("exact"));
+    for cell in json.get("cells").and_then(Json::as_array).unwrap() {
+        assert_eq!(
+            cell.get("space").and_then(Json::as_u64),
+            Some(space_by_tool[cell.get("tool").and_then(Json::as_str).unwrap()])
+        );
+        for outcome in ["benign", "sdc", "crash", "hang"] {
+            let rate = cell.get(outcome).unwrap();
+            let pct = rate.get("pct").and_then(Json::as_f64).unwrap();
+            let ci = rate.get("ci95").and_then(Json::as_array).unwrap();
+            assert_eq!(ci[0].as_f64().unwrap(), pct, "exact CIs are zero-width");
+            assert_eq!(ci[1].as_f64().unwrap(), pct, "exact CIs are zero-width");
+        }
+    }
+    let rendered = report.render();
+    assert!(rendered.contains("exact collapse"), "{rendered}");
+    assert!(rendered.contains("CI width 0"), "{rendered}");
+
+    std::fs::remove_file(&rec).unwrap();
+}
+
+/// The exact and sampled record schemas are deliberately incompatible:
+/// resuming across modes silently misweights every record, so the header
+/// check must refuse it in both directions.
+#[test]
+fn cross_mode_resume_is_refused() {
+    let fx = Fixture::new("masky", MASKY);
+    for (write_mode, resume_mode) in [
+        (Collapse::Sampled, Collapse::Exact),
+        (Collapse::Exact, Collapse::Sampled),
+    ] {
+        let rec = temp_path(&format!("xmode-{}.jsonl", write_mode.name()));
+        run_campaign(
+            &fx.cells(),
+            &fx.cfg(2),
+            &EngineOptions {
+                records: Some(&rec),
+                collapse: write_mode,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        let err = run_campaign(
+            &fx.cells(),
+            &fx.cfg(2),
+            &EngineOptions {
+                records: Some(&rec),
+                resume: true,
+                collapse: resume_mode,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("different campaign"),
+            "{} -> {}: {err}",
+            write_mode.name(),
+            resume_mode.name()
+        );
+        std::fs::remove_file(&rec).unwrap();
+    }
+}

@@ -11,6 +11,10 @@
 
 use fiq_asm::{AsmProgram, MachOptions, Machine, NopAsmHook};
 use fiq_backend::LowerOptions;
+use fiq_core::{
+    profile_llfi, profile_pinfi, run_campaign, CampaignConfig, Category, CellSpec, EngineOptions,
+    Substrate,
+};
 use fiq_interp::{Dispatch, Interp, InterpOptions, NopHook};
 use fiq_ir::Module;
 use fiq_mem::StateDigest;
@@ -119,4 +123,184 @@ fn generated_programs_lockstep_across_dispatch_modes() {
         let source = fiq_fuzz::render(&program);
         check_lockstep(&format!("gen-seed-{seed}"), &source, 500_000);
     }
+}
+
+/// A negative row index sign-extends to near `u64::MAX` before the GEP
+/// stride multiply: the pre-decoded core folds index scaling into
+/// `GepStep::Scale` with wrapping arithmetic, and that wrap-through-zero
+/// address computation must land on exactly the same (in-bounds) final
+/// address as the legacy core's element-by-element walk. The
+/// compensating column index brings every access back inside the array,
+/// so the run finishes and the cores must agree on output and digest,
+/// not merely both trap.
+#[test]
+fn gep_negative_index_wraps_identically_across_cores() {
+    check_lockstep(
+        "gep-negative-index",
+        r"
+        int m[4][4];
+        int main() {
+          for (int r = 0; r < 4; r += 1) {
+            for (int c = 0; c < 4; c += 1) {
+              m[r][c] = r * 4 + c;
+            }
+          }
+          int s = 0;
+          for (int k = 1; k < 4; k += 1) {
+            int i = 0 - k;
+            int j = k * 4 + k;
+            s += m[i][j];
+          }
+          print_i64(s);
+          return 0;
+        }",
+        1_000_000,
+    );
+}
+
+/// A record file is a contract, not a cache: records written under
+/// `--dispatch legacy` must resume byte-identically under `--dispatch
+/// threaded` and vice versa. The cores are observationally identical,
+/// so the record header carries no dispatch field and a killed campaign
+/// can finish on either core — this pins that down across the header,
+/// mid-stream, and fully-written kill points, each with a torn tail.
+#[test]
+fn resume_crosses_dispatch_modes_byte_identically() {
+    let source = "
+        int vals[32];
+        int main() {
+          int seed = 3;
+          for (int i = 0; i < 32; i += 1) {
+            seed = (seed * 1103515245 + 12345) & 2147483647;
+            vals[i] = seed;
+          }
+          int s = 0;
+          for (int r = 0; r < 10; r += 1) {
+            for (int i = 0; i < 32; i += 1) { s += vals[i] & 1; }
+          }
+          print_i64(s);
+          return 0;
+        }";
+    let mut module = fiq_frontend::compile("kernel", source).unwrap();
+    fiq_opt::optimize_module(&mut module);
+    let prog = fiq_backend::lower_module(&module, LowerOptions::default()).unwrap();
+    let lp = profile_llfi(&module, InterpOptions::default()).unwrap();
+    let pp = profile_pinfi(&prog, MachOptions::default()).unwrap();
+    let cells = vec![
+        CellSpec {
+            label: "kernel".into(),
+            category: Category::Load,
+            substrate: Substrate::Llfi {
+                module: &module,
+                profile: &lp,
+            },
+            snapshots: None,
+        },
+        CellSpec {
+            label: "kernel".into(),
+            category: Category::Load,
+            substrate: Substrate::Pinfi {
+                prog: &prog,
+                profile: &pp,
+            },
+            snapshots: None,
+        },
+    ];
+    let cfg = CampaignConfig {
+        injections: 12,
+        seed: 31,
+        threads: 2,
+        ..CampaignConfig::default()
+    };
+    let dir = std::env::temp_dir().join(format!("fiq-dispatch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    for (writer, resumer) in [
+        (Dispatch::Legacy, Dispatch::Threaded),
+        (Dispatch::Threaded, Dispatch::Legacy),
+    ] {
+        let fresh_path = dir.join(format!("xresume-{}.jsonl", writer.name()));
+        let fresh = run_campaign(
+            &cells,
+            &cfg,
+            &EngineOptions {
+                records: Some(&fresh_path),
+                dispatch: writer,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        let stream = std::fs::read_to_string(&fresh_path).unwrap();
+        std::fs::remove_file(&fresh_path).unwrap();
+
+        for keep in [0usize, 7, 24] {
+            let prefix: usize = stream
+                .split_inclusive('\n')
+                .take(1 + keep)
+                .map(str::len)
+                .sum();
+            let torn_path = dir.join(format!(
+                "xresume-{}-to-{}-{keep}.jsonl",
+                writer.name(),
+                resumer.name()
+            ));
+            std::fs::write(
+                &torn_path,
+                format!(
+                    "{}{}",
+                    &stream[..prefix],
+                    r#"{"record":"injection","task":99,"ou"#
+                ),
+            )
+            .unwrap();
+            let resumed = run_campaign(
+                &cells,
+                &cfg,
+                &EngineOptions {
+                    records: Some(&torn_path),
+                    resume: true,
+                    dispatch: resumer,
+                    ..EngineOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(resumed.resumed_tasks, keep);
+            assert_eq!(
+                resumed.cells,
+                fresh.cells,
+                "{} -> {} keep {keep}: reports match",
+                writer.name(),
+                resumer.name()
+            );
+            assert_eq!(
+                std::fs::read_to_string(&torn_path).unwrap(),
+                stream,
+                "{} -> {} keep {keep}: stream rebuilt byte-identically",
+                writer.name(),
+                resumer.name()
+            );
+            std::fs::remove_file(&torn_path).unwrap();
+        }
+    }
+}
+
+/// The same wrap driven fully out of bounds: a computed index near
+/// `u64::MAX` whose final address falls outside every allocation. Both
+/// cores must classify it as the same trap after the same number of
+/// steps — a divergence here is exactly the kind of silent address
+/// miscomputation the wrapping stride rules exist to prevent.
+#[test]
+fn gep_out_of_bounds_wrap_traps_identically_across_cores() {
+    check_lockstep(
+        "gep-oob-wrap",
+        r"
+        int a[8];
+        int main() {
+          for (int i = 0; i < 8; i += 1) { a[i] = i; }
+          int k = a[3] - 9;
+          print_i64(a[k]);
+          return 0;
+        }",
+        1_000_000,
+    );
 }

@@ -238,6 +238,7 @@ fn engine_matches_sequential_reference_at_every_thread_count() {
                         planned,
                         executed: planned,
                         dynamic_population: profile.category_count(module, cell.category),
+                        fault_space: 0,
                     }
                 }
                 Substrate::Pinfi { prog, profile } => {
@@ -257,6 +258,7 @@ fn engine_matches_sequential_reference_at_every_thread_count() {
                         planned,
                         executed: planned,
                         dynamic_population: profile.category_count(prog, cell.category),
+                        fault_space: 0,
                     }
                 }
             }

@@ -516,6 +516,54 @@ fn report_survives_zero_activated_cells() {
     }
 }
 
+/// A campaign resumed to 100% from a complete record file spawns no
+/// worker tasks: its fresh telemetry stream reports every task as
+/// resumed and all execution counters as zero. `fiq report` over that
+/// records + telemetry pair must join cleanly — identical outcome
+/// tables to the original run, no NaN from dividing by the zero
+/// executed count, and no misattribution of the resumed tasks to any
+/// cell's execution counters.
+#[test]
+fn report_joins_fully_resumed_telemetry() {
+    let fx = Fixture::new();
+    let rec = temp_path("full-resume.jsonl");
+    let tel_first = temp_path("full-resume-tel1.jsonl");
+    let tel_second = temp_path("full-resume-tel2.jsonl");
+    fx.run(2, &rec, Some(&tel_first), false);
+    let baseline = CampaignReport::build(&rec, Some(&tel_first)).unwrap();
+
+    let run = fx.run(2, &rec, Some(&tel_second), true);
+    assert_eq!(
+        run.resumed_tasks, run.total_tasks,
+        "fixture must fully resume"
+    );
+
+    let report = CampaignReport::build(&rec, Some(&tel_second)).unwrap();
+    for (a, b) in report.cells.iter().zip(&baseline.cells) {
+        assert_eq!(
+            a.counts, b.counts,
+            "outcome tables come from the record stream and must survive \
+             a fully-resumed telemetry join"
+        );
+        assert_eq!(
+            a.counter("tasks"),
+            0,
+            "no task executed, so nothing may be attributed"
+        );
+    }
+    let engine = report.engine.as_ref().expect("telemetry merged");
+    assert_eq!(engine.totals.resumed, engine.totals.done);
+
+    let rendered = report.render();
+    assert!(!rendered.contains("NaN"), "{rendered}");
+    let json = report.to_json().to_string();
+    assert!(!json.contains("NaN") && !json.contains("null"), "{json}");
+
+    for p in [&rec, &tel_first, &tel_second] {
+        std::fs::remove_file(p).unwrap();
+    }
+}
+
 #[test]
 fn final_progress_is_always_emitted() {
     let fx = Fixture::new();
