@@ -7,7 +7,8 @@
 //! their [`MemRef`], and everything else falls back to [`DecInst::Generic`],
 //! which re-executes the original instruction at the same index through
 //! the shared legacy semantics. A fusion pass rewrites adjacent
-//! compare+conditional-branch pairs into superinstructions.
+//! FLAGS-producer + conditional-branch pairs (cmp/test/ALU heads) and
+//! 64-bit register mov ↔ register ALU pairs into superinstructions.
 //!
 //! Observable semantics are identical to the legacy core: the same retire
 //! counts at the same instruction indices, the same `on_retire` event
@@ -75,6 +76,41 @@ pub(crate) enum DecInst {
         rhs: Reg,
         cond: Cond,
         target: u32,
+    },
+    /// Superinstruction: register ALU op + adjacent `jcc` reading the
+    /// FLAGS the ALU op just set (the `sub`/`and`-as-compare idiom).
+    FusedAluJccRR {
+        op: AluOp,
+        dst: Reg,
+        src: Reg,
+        cond: Cond,
+        target: u32,
+    },
+    /// Superinstruction: immediate ALU op + adjacent `jcc`.
+    FusedAluJccRI {
+        op: AluOp,
+        dst: Reg,
+        imm: u64,
+        cond: Cond,
+        target: u32,
+    },
+    /// Superinstruction: 64-bit register `mov` + adjacent register ALU op
+    /// (the copy-then-accumulate idiom).
+    FusedMovAluRR {
+        mov_dst: Reg,
+        mov_src: Reg,
+        op: AluOp,
+        dst: Reg,
+        src: Reg,
+    },
+    /// Superinstruction: register ALU op + adjacent 64-bit register `mov`
+    /// (the compute-then-copy idiom; the mov preserves FLAGS).
+    FusedAluMovRR {
+        op: AluOp,
+        dst: Reg,
+        src: Reg,
+        mov_dst: Reg,
+        mov_src: Reg,
     },
     /// Everything else: execute `prog.insts[idx]` through the legacy
     /// semantics (the index is the current rip, so no payload is needed).
@@ -178,29 +214,81 @@ fn decode_inst(inst: &Inst) -> DecInst {
 }
 
 /// Builds the superinstruction for an adjacent (head, tail) pair, or
-/// `None` if they don't form a fusable compare+branch idiom.
+/// `None` if they don't form a fusable idiom: a FLAGS producer
+/// (cmp/test/ALU) feeding an adjacent `jcc`, or a 64-bit register mov
+/// adjacent to a register ALU op in either order. Every fused pair
+/// executes both halves through the same state transitions as two
+/// standalone steps, with the tail re-reading architectural state after
+/// the head's retire event.
 fn fuse_pair(head: DecInst, tail: DecInst) -> Option<DecInst> {
-    let DecInst::Jcc { cond, target } = tail else {
-        return None;
-    };
-    match head {
-        DecInst::CmpRR { lhs, rhs } => Some(DecInst::FusedCmpJccRR {
-            lhs,
-            rhs,
-            cond,
-            target,
+    match (head, tail) {
+        (DecInst::CmpRR { lhs, rhs }, DecInst::Jcc { cond, target }) => {
+            Some(DecInst::FusedCmpJccRR {
+                lhs,
+                rhs,
+                cond,
+                target,
+            })
+        }
+        (DecInst::CmpRI { lhs, imm }, DecInst::Jcc { cond, target }) => {
+            Some(DecInst::FusedCmpJccRI {
+                lhs,
+                imm,
+                cond,
+                target,
+            })
+        }
+        (DecInst::TestRR { lhs, rhs }, DecInst::Jcc { cond, target }) => {
+            Some(DecInst::FusedTestJccRR {
+                lhs,
+                rhs,
+                cond,
+                target,
+            })
+        }
+        (DecInst::AluRR { op, dst, src }, DecInst::Jcc { cond, target }) => {
+            Some(DecInst::FusedAluJccRR {
+                op,
+                dst,
+                src,
+                cond,
+                target,
+            })
+        }
+        (DecInst::AluRI { op, dst, imm }, DecInst::Jcc { cond, target }) => {
+            Some(DecInst::FusedAluJccRI {
+                op,
+                dst,
+                imm,
+                cond,
+                target,
+            })
+        }
+        (
+            DecInst::MovRR {
+                dst: mov_dst,
+                src: mov_src,
+            },
+            DecInst::AluRR { op, dst, src },
+        ) => Some(DecInst::FusedMovAluRR {
+            mov_dst,
+            mov_src,
+            op,
+            dst,
+            src,
         }),
-        DecInst::CmpRI { lhs, imm } => Some(DecInst::FusedCmpJccRI {
-            lhs,
-            imm,
-            cond,
-            target,
-        }),
-        DecInst::TestRR { lhs, rhs } => Some(DecInst::FusedTestJccRR {
-            lhs,
-            rhs,
-            cond,
-            target,
+        (
+            DecInst::AluRR { op, dst, src },
+            DecInst::MovRR {
+                dst: mov_dst,
+                src: mov_src,
+            },
+        ) => Some(DecInst::FusedAluMovRR {
+            op,
+            dst,
+            src,
+            mov_dst,
+            mov_src,
         }),
         _ => None,
     }

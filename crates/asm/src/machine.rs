@@ -5,7 +5,9 @@ use crate::flags::{self, ALL_FLAGS};
 use crate::inst::{AluOp, ExtFn, Inst, MemRef, Operand, ShiftOp, SseOp, Width, XOperand};
 use crate::program::AsmProgram;
 use crate::regs::{Reg, Xmm};
-use fiq_mem::{Console, Dispatch, Hasher64, MemSnapshot, Memory, RunStatus, StateDigest, Trap};
+use fiq_mem::{
+    Console, Dispatch, Hasher64, MemSnapshot, Memory, Quiescence, RunStatus, StateDigest, Trap,
+};
 use std::sync::Arc;
 
 /// Sentinel return address marking the bottom of the call stack.
@@ -28,6 +30,12 @@ pub struct MachOptions {
     /// Superinstruction fusion for the threaded core (ignored by the
     /// legacy core). Never changes output, only speed.
     pub fusion: bool,
+    /// Phase-specialized execution for the threaded core: when the hook
+    /// reports itself inert (see [`fiq_mem::Quiescence`]) the machine
+    /// runs a monomorphized fast loop with hook dispatch compiled out.
+    /// Disabled automatically while retire counting (snapshot capture)
+    /// is active. Never changes output, only speed.
+    pub quiescent: bool,
 }
 
 impl Default for MachOptions {
@@ -39,6 +47,7 @@ impl Default for MachOptions {
             mem_capacity: fiq_mem::DEFAULT_CAPACITY,
             dispatch: Dispatch::default(),
             fusion: true,
+            quiescent: true,
         }
     }
 }
@@ -118,13 +127,27 @@ pub trait AsmHook {
     fn on_retire(&mut self, idx: usize, st: &mut MachState) {
         let _ = (idx, st);
     }
+
+    /// The hook's current instrumentation phase (see [`Quiescence`]); the
+    /// site type is a static instruction index. Queried by the threaded
+    /// core between steps; reporting anything other than `Active` lets
+    /// the core run a monomorphized fast loop with retire dispatch
+    /// compiled out. The default keeps full instrumentation, which is
+    /// always correct.
+    fn quiescence(&self) -> Quiescence<usize> {
+        Quiescence::Active
+    }
 }
 
 /// A hook that does nothing.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NopAsmHook;
 
-impl AsmHook for NopAsmHook {}
+impl AsmHook for NopAsmHook {
+    fn quiescence(&self) -> Quiescence<usize> {
+        Quiescence::Forever
+    }
+}
 
 /// A point-in-time capture of a running [`Machine`], taken at an
 /// instruction boundary by [`Machine::run_with_snapshots`].
@@ -206,6 +229,8 @@ pub struct Machine<'p, H> {
     rip: usize,
     steps: u64,
     restored_steps: u64,
+    /// Steps retired inside the quiescent fast loop (telemetry).
+    steps_quiescent: u64,
     decoded: Option<Arc<DecodedProgram>>,
     /// Per-instruction retire counts, tracked inside the step loop while
     /// [`Machine::run_with_snapshots`] is active. Internal (rather than
@@ -272,6 +297,7 @@ impl<'p, H: AsmHook> Machine<'p, H> {
             rip: main.entry as usize,
             steps: 0,
             restored_steps: 0,
+            steps_quiescent: 0,
             decoded,
             counts: None,
         })
@@ -318,6 +344,7 @@ impl<'p, H: AsmHook> Machine<'p, H> {
             rip: snap.rip,
             steps: snap.steps,
             restored_steps: snap.steps,
+            steps_quiescent: 0,
             decoded,
             counts: None,
         }
@@ -356,11 +383,34 @@ impl<'p, H: AsmHook> Machine<'p, H> {
                     .decoded
                     .clone()
                     .expect("threaded dispatch requires a decoded program");
+                // The quiescent fast loop is only legal while retire
+                // counting is off: counts are bumped inside retire(),
+                // which the fast loop compiles out.
+                let quiescent_ok = self.opts.quiescent && self.counts.is_none();
                 loop {
                     if self.steps >= pause_at {
                         return None;
                     }
-                    match self.step_decoded(&dec) {
+                    let r = if !quiescent_ok {
+                        self.step_decoded(&dec)
+                    } else {
+                        match self.hook.quiescence() {
+                            Quiescence::Active => self.step_decoded(&dec),
+                            Quiescence::Forever => {
+                                self.step_quiescent(&dec, pause_at, None).map(|_| ())
+                            }
+                            Quiescence::UntilSite(s) => {
+                                match self.step_quiescent(&dec, pause_at, Some(s)) {
+                                    // Stopped just before the watched
+                                    // site: replay one evented step, then
+                                    // re-query the hook's phase.
+                                    Ok(true) => self.step_decoded(&dec),
+                                    other => other.map(|_| ()),
+                                }
+                            }
+                        }
+                    };
+                    match r {
                         Ok(()) => {}
                         Err(s) => break s,
                     }
@@ -443,6 +493,12 @@ impl<'p, H: AsmHook> Machine<'p, H> {
     /// Instructions retired so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Steps retired through the quiescent fast loop (0 when quiescence
+    /// is disabled or the hook never reported itself inert).
+    pub fn steps_quiescent(&self) -> u64 {
+        self.steps_quiescent
     }
 
     /// The step count inherited from the snapshot this machine was
@@ -745,6 +801,43 @@ impl<'p, H: AsmHook> Machine<'p, H> {
     /// one call. Observable semantics are identical to the legacy core.
     #[inline]
     fn step_decoded(&mut self, dec: &DecodedProgram) -> Result<(), Stop> {
+        self.step_decoded_impl::<true>(dec)
+    }
+
+    /// The quiescent fast loop: `step_decoded` monomorphized with retire
+    /// dispatch (hook calls and retire counting) compiled out — legal
+    /// exactly while the hook reports itself inert (see [`Quiescence`])
+    /// and counting is off. Runs until the pause boundary or a stop. With
+    /// a watch index, stops *just before* any unit that could retire it
+    /// (every fusion spans at most two adjacent instructions, so a unit
+    /// starting at `w` or `w - 1` is conservatively replayed evented) and
+    /// returns `true`.
+    fn step_quiescent(
+        &mut self,
+        dec: &DecodedProgram,
+        pause_at: u64,
+        watch: Option<usize>,
+    ) -> Result<bool, Stop> {
+        let s0 = self.steps;
+        let r = loop {
+            if self.steps >= pause_at {
+                break Ok(false);
+            }
+            if let Some(w) = watch {
+                if self.rip == w || self.rip + 1 == w {
+                    break Ok(true);
+                }
+            }
+            if let Err(e) = self.step_decoded_impl::<false>(dec) {
+                break Err(e);
+            }
+        };
+        self.steps_quiescent += self.steps - s0;
+        r
+    }
+
+    #[inline]
+    fn step_decoded_impl<const EVENTS: bool>(&mut self, dec: &DecodedProgram) -> Result<(), Stop> {
         self.steps += 1;
         if self.steps > self.opts.max_steps {
             return Err(Stop::Budget);
@@ -826,7 +919,7 @@ impl<'p, H: AsmHook> Machine<'p, H> {
                 let a = self.st.reg(lhs);
                 let b = self.st.reg(rhs);
                 self.st.flags = flags::sub_flags(a, b, a.wrapping_sub(b));
-                return self.fused_jcc_half(idx, cond, target);
+                return self.fused_jcc_half::<EVENTS>(idx, cond, target);
             }
             DecInst::FusedCmpJccRI {
                 lhs,
@@ -836,7 +929,7 @@ impl<'p, H: AsmHook> Machine<'p, H> {
             } => {
                 let a = self.st.reg(lhs);
                 self.st.flags = flags::sub_flags(a, imm, a.wrapping_sub(imm));
-                return self.fused_jcc_half(idx, cond, target);
+                return self.fused_jcc_half::<EVENTS>(idx, cond, target);
             }
             DecInst::FusedTestJccRR {
                 lhs,
@@ -847,7 +940,59 @@ impl<'p, H: AsmHook> Machine<'p, H> {
                 let a = self.st.reg(lhs);
                 let b = self.st.reg(rhs);
                 self.st.flags = flags::logic_flags(a & b);
-                return self.fused_jcc_half(idx, cond, target);
+                return self.fused_jcc_half::<EVENTS>(idx, cond, target);
+            }
+            DecInst::FusedAluJccRR {
+                op,
+                dst,
+                src,
+                cond,
+                target,
+            } => {
+                let a = self.st.reg(dst);
+                let b = self.st.reg(src);
+                let (result, fl) = alu_exec(op, a, b);
+                self.st.set_reg(dst, result);
+                self.st.flags = fl;
+                return self.fused_jcc_half::<EVENTS>(idx, cond, target);
+            }
+            DecInst::FusedAluJccRI {
+                op,
+                dst,
+                imm,
+                cond,
+                target,
+            } => {
+                let a = self.st.reg(dst);
+                let (result, fl) = alu_exec(op, a, imm);
+                self.st.set_reg(dst, result);
+                self.st.flags = fl;
+                return self.fused_jcc_half::<EVENTS>(idx, cond, target);
+            }
+            DecInst::FusedMovAluRR {
+                mov_dst,
+                mov_src,
+                op,
+                dst,
+                src,
+            } => {
+                let v = self.st.reg(mov_src);
+                self.st.set_reg(mov_dst, v);
+                return self.fused_alu_half::<EVENTS>(idx, op, dst, src);
+            }
+            DecInst::FusedAluMovRR {
+                op,
+                dst,
+                src,
+                mov_dst,
+                mov_src,
+            } => {
+                let a = self.st.reg(dst);
+                let b = self.st.reg(src);
+                let (result, fl) = alu_exec(op, a, b);
+                self.st.set_reg(dst, result);
+                self.st.flags = fl;
+                return self.fused_mov_half::<EVENTS>(idx, mov_dst, mov_src);
             }
             DecInst::Generic => {
                 let prog = self.prog;
@@ -855,22 +1000,26 @@ impl<'p, H: AsmHook> Machine<'p, H> {
                 self.exec_inst(inst)?;
             }
         }
-        self.retire(idx);
+        if EVENTS {
+            self.retire(idx);
+        }
         Ok(())
     }
 
-    /// The branch half of a fused compare+jcc pair: retires the compare,
-    /// then charges and executes the adjacent conditional jump. FLAGS are
-    /// re-read after the compare's retire event so a hook mutating them
-    /// (a FLAGS-targeted injection) steers the branch exactly as it would
-    /// between two legacy steps.
-    fn fused_jcc_half(
+    /// The branch half of a fused FLAGS-producer+jcc pair: retires the
+    /// head, then charges and executes the adjacent conditional jump.
+    /// FLAGS are re-read after the head's retire event so a hook mutating
+    /// them (a FLAGS-targeted injection) steers the branch exactly as it
+    /// would between two legacy steps.
+    fn fused_jcc_half<const EVENTS: bool>(
         &mut self,
         idx: usize,
         cond: crate::flags::Cond,
         target: u32,
     ) -> Result<(), Stop> {
-        self.retire(idx);
+        if EVENTS {
+            self.retire(idx);
+        }
         self.steps += 1;
         if self.steps > self.opts.max_steps {
             return Err(Stop::Budget);
@@ -879,7 +1028,66 @@ impl<'p, H: AsmHook> Machine<'p, H> {
         if cond.eval(self.st.flags & ALL_FLAGS) {
             self.jump(target)?;
         }
-        self.retire(idx + 1);
+        if EVENTS {
+            self.retire(idx + 1);
+        }
+        Ok(())
+    }
+
+    /// The ALU half of a fused mov+ALU pair: retires the mov, then
+    /// charges and executes the adjacent register ALU op. Operands are
+    /// re-read after the mov's retire event, so a register-targeted
+    /// injection between the halves is observed exactly as between two
+    /// legacy steps.
+    fn fused_alu_half<const EVENTS: bool>(
+        &mut self,
+        idx: usize,
+        op: AluOp,
+        dst: Reg,
+        src: Reg,
+    ) -> Result<(), Stop> {
+        if EVENTS {
+            self.retire(idx);
+        }
+        self.steps += 1;
+        if self.steps > self.opts.max_steps {
+            return Err(Stop::Budget);
+        }
+        self.rip += 1;
+        let a = self.st.reg(dst);
+        let b = self.st.reg(src);
+        let (result, fl) = alu_exec(op, a, b);
+        self.st.set_reg(dst, result);
+        self.st.flags = fl;
+        if EVENTS {
+            self.retire(idx + 1);
+        }
+        Ok(())
+    }
+
+    /// The mov half of a fused ALU+mov pair: retires the ALU op, then
+    /// charges and executes the adjacent register mov (which preserves
+    /// FLAGS, as on x86). The source is re-read after the ALU's retire
+    /// event for the same reason as [`Machine::fused_alu_half`].
+    fn fused_mov_half<const EVENTS: bool>(
+        &mut self,
+        idx: usize,
+        dst: Reg,
+        src: Reg,
+    ) -> Result<(), Stop> {
+        if EVENTS {
+            self.retire(idx);
+        }
+        self.steps += 1;
+        if self.steps > self.opts.max_steps {
+            return Err(Stop::Budget);
+        }
+        self.rip += 1;
+        let v = self.st.reg(src);
+        self.st.set_reg(dst, v);
+        if EVENTS {
+            self.retire(idx + 1);
+        }
         Ok(())
     }
 

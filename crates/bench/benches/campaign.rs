@@ -73,6 +73,12 @@ fn bench_campaign(c: &mut Criterion) {
         g.throughput(Throughput::Elements(total));
         g.label("dispatch", dispatch.name());
         g.label("role", role);
+        // Resolve each thread setting to its worker count up front and
+        // dedupe: on a single-core host `threads: 0` (all cores) also
+        // resolves to one worker, and without the dedupe the same
+        // benchmark was emitted twice under two labels ("…/1 worker"
+        // and "…/1 workers").
+        let mut seen_workers = Vec::new();
         for threads in [1usize, 0] {
             let cfg = CampaignConfig {
                 injections: INJECTIONS,
@@ -80,11 +86,15 @@ fn bench_campaign(c: &mut Criterion) {
                 threads,
                 ..CampaignConfig::default()
             };
-            let name = if threads == 1 {
-                "grid 6 cells/1 worker".to_string()
-            } else {
-                format!("grid 6 cells/{} workers", cfg.worker_count())
-            };
+            let workers = cfg.worker_count();
+            if seen_workers.contains(&workers) {
+                continue;
+            }
+            seen_workers.push(workers);
+            let name = format!(
+                "grid 6 cells/{workers} worker{}",
+                if workers == 1 { "" } else { "s" }
+            );
             g.bench_function(name, |b| {
                 b.iter(|| {
                     let opts = EngineOptions {

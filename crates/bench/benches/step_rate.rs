@@ -1,0 +1,89 @@
+//! Raw step rate (ns per dynamic instruction) of both execution
+//! substrates under each core configuration: the legacy reference core,
+//! the threaded core with full hook dispatch, and the threaded core's
+//! quiescent fast loop (entered here for the whole run, since the no-op
+//! hook reports itself inert forever), each with superinstruction fusion
+//! on and off where it applies.
+//!
+//! Every benchmark is annotated with `Throughput::Elements(steps)`, so
+//! the emitted `elems_per_s` is steps/s and `1e9 / elems_per_s` is
+//! ns/step — the number the CI perf-smoke gate tracks. Labels identify
+//! the cell: `substrate=interp|asm`, `dispatch=legacy|threaded`,
+//! `quiescent=on|off`, `fusion=on|off`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fiq_asm::{run_program, MachOptions};
+use fiq_interp::{run_module, Dispatch, InterpOptions};
+
+const KERNEL: &str = "
+int data[256];
+int main() {
+  for (int i = 0; i < 256; i += 1) data[i] = i * 7 + 3;
+  int s = 0;
+  for (int r = 0; r < 40; r += 1)
+    for (int i = 0; i < 256; i += 1)
+      s += (data[i] ^ r) + (r & 15);
+  print_i64(s);
+  return 0;
+}";
+
+/// The core configurations swept per substrate. Legacy ignores fusion
+/// and quiescence, so it appears once.
+const CONFIGS: &[(Dispatch, bool, bool, &str)] = &[
+    (Dispatch::Legacy, false, false, "legacy"),
+    (Dispatch::Threaded, false, false, "threaded"),
+    (Dispatch::Threaded, true, false, "threaded+fusion"),
+    (Dispatch::Threaded, false, true, "quiescent"),
+    (Dispatch::Threaded, true, true, "quiescent+fusion"),
+];
+
+fn on_off(v: bool) -> &'static str {
+    if v {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+fn bench_step_rate(c: &mut Criterion) {
+    let mut module = fiq_frontend::compile("step-kernel", KERNEL).unwrap();
+    fiq_opt::optimize_module(&mut module);
+    let program = fiq_backend::lower_module(&module, fiq_backend::LowerOptions::default()).unwrap();
+
+    let ir_steps = run_module(&module, InterpOptions::default()).unwrap().steps;
+    let asm_steps = run_program(&program, MachOptions::default()).unwrap().steps;
+
+    let mut g = c.benchmark_group("step-rate");
+    for &(dispatch, fusion, quiescent, name) in CONFIGS {
+        g.throughput(Throughput::Elements(ir_steps));
+        g.label("substrate", "interp");
+        g.label("dispatch", dispatch.name());
+        g.label("fusion", on_off(fusion));
+        g.label("quiescent", on_off(quiescent));
+        let opts = InterpOptions {
+            dispatch,
+            fusion,
+            quiescent,
+            ..InterpOptions::default()
+        };
+        g.bench_function(format!("interp/{name}"), |b| {
+            b.iter(|| run_module(&module, opts).unwrap())
+        });
+
+        g.throughput(Throughput::Elements(asm_steps));
+        g.label("substrate", "asm");
+        let opts = MachOptions {
+            dispatch,
+            fusion,
+            quiescent,
+            ..MachOptions::default()
+        };
+        g.bench_function(format!("asm/{name}"), |b| {
+            b.iter(|| run_program(&program, opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_step_rate);
+criterion_main!(benches);

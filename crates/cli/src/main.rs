@@ -13,7 +13,7 @@
 //!              [--fast-forward] [--snapshot-interval K]
 //!              [--early-exit | --no-early-exit]
 //!              [--no-flag-pruning] [--no-xmm-pruning]
-//!              [--dispatch legacy|threaded] [--no-fusion]
+//!              [--dispatch legacy|threaded] [--no-fusion] [--no-quiescent]
 //!              [--collapse sampled|exact]
 //! fiq collapse-check <prog> [--category <cat>] [--json FILE]
 //! fiq report <records.jsonl> [--telemetry FILE] [--json]
@@ -44,8 +44,10 @@
 //! `--dispatch legacy|threaded` selects the execution core (default:
 //! threaded, the pre-decoded fast core; legacy is the reference core)
 //! and `--no-fusion` disables superinstruction fusion in the threaded
-//! core — campaign output is byte-identical under every combination,
-//! only wall-clock changes. `--collapse exact` switches the cell from
+//! core; `--no-quiescent` disables the phase-specialized fast loops the
+//! threaded core enters while a run's fault hook is inert — campaign
+//! output is byte-identical under every combination, only wall-clock
+//! changes. `--collapse exact` switches the cell from
 //! sampling to exhaustive coverage: the fault space is partitioned into
 //! equivalence classes up front, one representative per class runs, and
 //! outcomes are weighted by class size — the resulting distribution is
@@ -151,6 +153,7 @@ fn flag_spec(cmd: &str) -> Option<FlagSpec> {
                 "no-flag-pruning",
                 "no-xmm-pruning",
                 "no-fusion",
+                "no-quiescent",
             ],
         },
         "collapse-check" => FlagSpec {
@@ -595,6 +598,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         },
         dispatch,
         fusion: !args.has("no-fusion"),
+        quiescent: !args.has("no-quiescent"),
         collapse,
     };
     let run = fiq_core::run_campaign(&cells, &cfg, &opts)?;

@@ -187,6 +187,12 @@ pub struct EngineOptions<'a> {
     /// Superinstruction fusion for the threaded core (ignored under
     /// [`Dispatch::Legacy`]). Output-invariant; wall-clock only.
     pub fusion: bool,
+    /// Phase-specialized (quiescent) fast loops for the threaded core
+    /// (ignored under [`Dispatch::Legacy`]): while a run's fault hook
+    /// reports itself inert, the substrate steps through a monomorphized
+    /// loop with hook dispatch compiled out. Output-invariant;
+    /// wall-clock only.
+    pub quiescent: bool,
     /// Planning mode. [`Collapse::Sampled`] (the default) draws
     /// `cfg.injections` random points per cell exactly as before —
     /// reports and record bytes are untouched. [`Collapse::Exact`]
@@ -210,6 +216,7 @@ impl Default for EngineOptions<'_> {
             telemetry: None,
             dispatch: Dispatch::default(),
             fusion: true,
+            quiescent: true,
             collapse: Collapse::default(),
         }
     }
@@ -287,6 +294,7 @@ struct Shared<'a, 't> {
     decoded: &'t [DecodedCell],
     dispatch: Dispatch,
     fusion: bool,
+    quiescent: bool,
     collapse: Collapse,
     next: AtomicUsize,
     completed: AtomicUsize,
@@ -529,6 +537,7 @@ pub fn run_campaign(
         decoded: &decoded,
         dispatch: opts.dispatch,
         fusion: opts.fusion,
+        quiescent: opts.quiescent,
         collapse: opts.collapse,
         next: AtomicUsize::new(resumed),
         completed: AtomicUsize::new(resumed),
@@ -707,6 +716,7 @@ fn worker(shared: &Shared<'_, '_>, index: usize) {
                 &shared.decoded[task.cell],
                 shared.dispatch,
                 shared.fusion,
+                shared.quiescent,
                 shared.fast_forward,
                 shared.early_exit,
                 tel,
@@ -790,6 +800,7 @@ fn execute(
     decoded: &DecodedCell,
     dispatch: Dispatch,
     fusion: bool,
+    quiescent: bool,
     fast_forward: bool,
     early_exit: bool,
     tel: TaskTel<'_>,
@@ -809,6 +820,7 @@ fn execute(
                 max_steps: budget,
                 dispatch,
                 fusion,
+                quiescent,
                 ..InterpOptions::default()
             };
             let snap = match cache {
@@ -851,6 +863,7 @@ fn execute(
                 max_steps: budget,
                 dispatch,
                 fusion,
+                quiescent,
                 ..MachOptions::default()
             };
             let snap = match cache {

@@ -14,6 +14,7 @@ use fiq_interp::{
     InterpSnapshot, RtVal,
 };
 use fiq_ir::Module;
+use fiq_mem::Quiescence;
 use rand::Rng;
 use std::sync::Arc;
 
@@ -105,6 +106,23 @@ impl InterpHook for LlfiHook {
     fn on_use(&mut self, def: InstSite, _consumer: InstSite, frame: u64) {
         if def == self.site && self.live_frame == Some(frame) {
             self.activated = true;
+        }
+    }
+
+    /// Pre-injection the hook only acts on `on_result` at the target site
+    /// (consumer `on_use` events need `live_frame`, which is still
+    /// `None`), so it is inert until execution reaches the site. Once the
+    /// verdict is settled (activation is monotone and checked before
+    /// `live_frame` in the final classification), no future event can
+    /// change anything the hook reports. In between, full instrumentation
+    /// is required for activation/overwrite tracking.
+    fn quiescence(&self) -> Quiescence<InstSite> {
+        if !self.injected {
+            Quiescence::UntilSite(self.site)
+        } else if self.outcome_settled() {
+            Quiescence::Forever
+        } else {
+            Quiescence::Active
         }
     }
 }
@@ -253,6 +271,7 @@ pub fn run_llfi_observed(
     tel.count(cell_counter::STEPS_SKIPPED_FF, skipped);
     tel.count(cell_counter::STEPS_EXECUTED, executed);
     tel.count(cell_counter::STEPS_RECONSTRUCTED_EE, reconstructed);
+    tel.count(cell_counter::STEPS_QUIESCENT, interp.steps_quiescent());
     tel.hist(cell_hist::TASK_STEPS, result.steps);
     let hook = interp.into_hook();
     debug_assert!(

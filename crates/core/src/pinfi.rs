@@ -19,7 +19,7 @@ use fiq_asm::{
     AsmHook, AsmProgram, DecodedProgram, ExtFn, Inst, MachOptions, MachSnapshot, MachState,
     Machine, Reg, RegId, RunResult, ALL_FLAGS,
 };
-use fiq_mem::RunStatus;
+use fiq_mem::{Quiescence, RunStatus};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -213,6 +213,22 @@ impl AsmHook for PinfiHook<'_> {
             }
         }
     }
+
+    /// Pre-injection the hook only acts on retires of the target
+    /// instruction index, so it is inert until execution reaches it. Once
+    /// the verdict is settled (activation is monotone and checked before
+    /// `live` in the final classification), no future retire can change
+    /// anything the hook reports. In between, every retire must be
+    /// delivered for the read/overwrite walk.
+    fn quiescence(&self) -> Quiescence<usize> {
+        if !self.injected {
+            Quiescence::UntilSite(self.inj.idx)
+        } else if self.outcome_settled() {
+            Quiescence::Forever
+        } else {
+            Quiescence::Active
+        }
+    }
 }
 
 /// Runs one PINFI injection and classifies the outcome.
@@ -346,6 +362,7 @@ pub fn run_pinfi_observed(
     tel.count(cell_counter::STEPS_SKIPPED_FF, skipped);
     tel.count(cell_counter::STEPS_EXECUTED, executed);
     tel.count(cell_counter::STEPS_RECONSTRUCTED_EE, reconstructed);
+    tel.count(cell_counter::STEPS_QUIESCENT, machine.steps_quiescent());
     tel.hist(cell_hist::TASK_STEPS, result.steps);
     let hook = machine.into_hook();
     debug_assert!(hook.injected, "planned instance must be reached");

@@ -100,6 +100,9 @@ pub mod cell_counter {
     pub const COLLAPSE_MASKED: usize = 18;
     /// Points executed individually (residual singletons).
     pub const COLLAPSE_RESIDUAL: usize = 19;
+    /// Steps executed inside the quiescent fast loops (subset of
+    /// `STEPS_EXECUTED`; measures phase-specialization coverage).
+    pub const STEPS_QUIESCENT: usize = 20;
 }
 
 /// Cell-scope histogram indices into [`HUB_SPEC`].
@@ -154,6 +157,7 @@ pub static HUB_SPEC: HubSpec = HubSpec {
         "collapse_dormant",
         "collapse_masked",
         "collapse_residual",
+        "steps_quiescent",
     ],
     cell_hists: &[
         "task_latency_us",

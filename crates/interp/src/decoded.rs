@@ -36,15 +36,18 @@ use fiq_mem::{Memory, Trap};
 /// `Value::Inst` in the legacy core.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Opnd {
-    /// Read the SSA slot of instruction `InstId(n)` in the current frame.
-    Slot(u32),
+    /// Read the SSA slot of instruction `InstId(n)` in the current frame,
+    /// retagging the raw image with the decode-time scalar kind (the
+    /// defining instruction's static result type).
+    Slot(u32, LoadKind),
     /// Read argument `n` of the current frame.
     Arg(u32),
     /// A fully materialized constant.
     Const(RtVal),
 }
 
-/// The scalar type of a load destination, pre-resolved from `inst.ty`.
+/// The scalar type of a load destination or SSA slot, pre-resolved from
+/// `inst.ty`.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum LoadKind {
     Int(IntTy),
@@ -54,7 +57,7 @@ pub(crate) enum LoadKind {
 }
 
 impl LoadKind {
-    fn of(ty: &Type) -> LoadKind {
+    pub(crate) fn of(ty: &Type) -> LoadKind {
         match ty {
             Type::Int(t) => LoadKind::Int(*t),
             Type::Float(FloatTy::F32) => LoadKind::F32,
@@ -70,6 +73,61 @@ impl LoadKind {
             LoadKind::F32 => 4,
             LoadKind::F64 | LoadKind::Ptr => 8,
         }
+    }
+}
+
+/// The raw 64-bit image of a runtime value, as stored in the untagged
+/// SSA slot array. Integers keep their canonical (zero-extended) raw
+/// bits, floats their IEEE bit patterns, pointers their address — so
+/// `val_of_raw(kind, raw_of(v)) == v` bitwise whenever `kind` matches
+/// `v`'s scalar type, which decode guarantees per slot.
+#[inline]
+pub(crate) fn raw_of(v: RtVal) -> u64 {
+    match v {
+        RtVal::Int(_, raw) => raw,
+        RtVal::F32(f) => u64::from(f.to_bits()),
+        RtVal::F64(f) => f.to_bits(),
+        RtVal::Ptr(p) => p,
+    }
+}
+
+/// Retags a raw slot image with its static scalar kind (the inverse of
+/// [`raw_of`] for a matching kind).
+#[inline]
+pub(crate) fn val_of_raw(kind: LoadKind, raw: u64) -> RtVal {
+    match kind {
+        LoadKind::Int(t) => RtVal::Int(t, raw),
+        LoadKind::F32 => RtVal::F32(f32::from_bits(raw as u32)),
+        LoadKind::F64 => RtVal::F64(f64::from_bits(raw)),
+        LoadKind::Ptr => RtVal::Ptr(raw),
+    }
+}
+
+/// Reads an operand's raw 64-bit image without constructing a tagged
+/// `RtVal`: the event-free twin of `eval_opnd` for the quiescent loop.
+/// Only sound with `EVENTS = false` (slot reads fire no `on_use`) and
+/// only for operand positions whose consumers want the canonical raw
+/// bits — integer payloads and pointer addresses, where `raw_of ∘
+/// val_of_raw` is the identity and the tag/retag round trip (with its
+/// unfoldable wrong-tag panic branches) is pure overhead.
+#[inline]
+fn raw_opnd(frame: &Frame, o: &Opnd) -> u64 {
+    match o {
+        Opnd::Slot(i, _) => frame.slots[*i as usize],
+        Opnd::Arg(n) => raw_of(frame.args[*n as usize]),
+        Opnd::Const(v) => raw_of(*v),
+    }
+}
+
+/// [`raw_opnd`] sign-extended by the operand's static integer kind —
+/// the event-free twin of `eval_opnd(..).as_sint()` for GEP indices.
+#[inline]
+fn sraw_opnd(frame: &Frame, o: &Opnd) -> i64 {
+    match o {
+        Opnd::Slot(i, LoadKind::Int(t)) => t.sext(frame.slots[*i as usize]),
+        Opnd::Slot(i, _) => frame.slots[*i as usize] as i64,
+        Opnd::Arg(n) => frame.args[*n as usize].as_sint(),
+        Opnd::Const(v) => v.as_sint(),
     }
 }
 
@@ -202,6 +260,62 @@ pub(crate) enum DecOp {
         store_id: InstId,
         val: Opnd,
     },
+    /// Superinstruction: a single-use integer ALU chain — an integer
+    /// binop head whose result feeds exactly one consumer, the adjacent
+    /// integer binop, for one or two links. Atomic like the other fused
+    /// forms; charges one step per member and fires every member's
+    /// events with its original id and in the standalone operand order.
+    FusedIntChain(Box<IntChain>),
+    /// Superinstruction: an integer binop feeding (as its only reader)
+    /// the adjacent integer compare, itself consumed by the adjacent
+    /// conditional branch — the ubiquitous loop-latch idiom
+    /// (`i' = add i, 1; c = icmp i', n; br c, …`). Atomic triple;
+    /// charges three steps and fires all three members' events with
+    /// their original ids and operand order.
+    FusedBinICmpBr(Box<BinICmpBr>),
+}
+
+/// The decoded body of a fused binop + compare + branch latch. The
+/// compare consumes the binop result as exactly one operand
+/// (`bin_is_lhs` records which); both compare operands share the binop's
+/// integer type (IR typing), so the compare needs no extra kind data.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BinICmpBr {
+    pub(crate) op: BinOp,
+    pub(crate) ty: IntTy,
+    pub(crate) lhs: Opnd,
+    pub(crate) rhs: Opnd,
+    pub(crate) cmp_id: InstId,
+    pub(crate) pred: ICmpPred,
+    pub(crate) other: Opnd,
+    pub(crate) bin_is_lhs: bool,
+    pub(crate) br_id: InstId,
+    pub(crate) then_bb: BlockId,
+    pub(crate) else_bb: BlockId,
+}
+
+/// One fused ALU-chain link: an integer binop consuming the previous
+/// member's result as exactly one operand (`head_is_lhs` records which),
+/// with the other operand pre-resolved.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IntLink {
+    pub(crate) id: InstId,
+    pub(crate) op: BinOp,
+    pub(crate) ty: IntTy,
+    pub(crate) other: Opnd,
+    pub(crate) head_is_lhs: bool,
+}
+
+/// A fused single-use integer ALU chain: the head binop plus `len`
+/// (1 or 2) links, each consuming its predecessor's result.
+#[derive(Debug, Clone)]
+pub(crate) struct IntChain {
+    pub(crate) op: BinOp,
+    pub(crate) ty: IntTy,
+    pub(crate) lhs: Opnd,
+    pub(crate) rhs: Opnd,
+    pub(crate) links: [IntLink; 2],
+    pub(crate) len: u8,
 }
 
 /// A decoded instruction: the original [`InstId`] (hooks and slots are
@@ -273,10 +387,12 @@ impl DecodedModule {
     }
 }
 
-/// Resolves one `Value` operand against the decode-time global layout.
-fn opnd(v: Value, global_addrs: &[u64]) -> Opnd {
+/// Resolves one `Value` operand against the decode-time global layout;
+/// slot reads carry the defining instruction's static scalar kind so the
+/// untagged raw image can be retagged without consulting the module.
+fn opnd(func: &fiq_ir::Function, v: Value, global_addrs: &[u64]) -> Opnd {
     match v {
-        Value::Inst(id) => Opnd::Slot(id.0),
+        Value::Inst(id) => Opnd::Slot(id.0, LoadKind::of(&func.inst(id).ty)),
         Value::Arg(n) => Opnd::Arg(n),
         Value::Const(c) => Opnd::Const(match c {
             Constant::Int(t, raw) => RtVal::Int(t, raw),
@@ -293,7 +409,13 @@ fn opnd(v: Value, global_addrs: &[u64]) -> Opnd {
 /// Pre-computes a GEP's address steps, folding constant indices into flat
 /// byte offsets. Falls back to [`DecOp::GepDyn`] when a struct is indexed
 /// by a non-constant (the stride walk then depends on runtime values).
-fn decode_gep(elem_ty: &Type, base: Value, indices: &[Value], ga: &[u64]) -> DecOp {
+fn decode_gep(
+    func: &fiq_ir::Function,
+    elem_ty: &Type,
+    base: Value,
+    indices: &[Value],
+    ga: &[u64],
+) -> DecOp {
     let mut steps: Vec<GepStep> = Vec::new();
     let mut pending: u64 = 0;
     let mut cur_ty = elem_ty;
@@ -307,11 +429,11 @@ fn decode_gep(elem_ty: &Type, base: Value, indices: &[Value], ga: &[u64]) -> Dec
                     cur_ty.size()
                 }
                 Type::Struct(fields) => {
-                    let Opnd::Const(c) = opnd(*idx, ga) else {
+                    let Opnd::Const(c) = opnd(func, *idx, ga) else {
                         return DecOp::GepDyn {
                             elem_ty: elem_ty.clone(),
-                            base: opnd(base, ga),
-                            indices: indices.iter().map(|v| opnd(*v, ga)).collect(),
+                            base: opnd(func, base, ga),
+                            indices: indices.iter().map(|v| opnd(func, *v, ga)).collect(),
                         };
                     };
                     let field = c.as_sint() as usize;
@@ -322,7 +444,7 @@ fn decode_gep(elem_ty: &Type, base: Value, indices: &[Value], ga: &[u64]) -> Dec
                 other => panic!("verified gep walks aggregate, got {other}"),
             }
         };
-        match opnd(*idx, ga) {
+        match opnd(func, *idx, ga) {
             Opnd::Const(c) => {
                 pending = pending.wrapping_add((c.as_sint() as u64).wrapping_mul(stride));
             }
@@ -339,7 +461,7 @@ fn decode_gep(elem_ty: &Type, base: Value, indices: &[Value], ga: &[u64]) -> Dec
         steps.push(GepStep::Const(pending));
     }
     DecOp::Gep {
-        base: opnd(base, ga),
+        base: opnd(func, base, ga),
         steps: steps.into(),
     }
 }
@@ -352,31 +474,31 @@ fn decode_inst(func: &fiq_ir::Function, id: InstId, ga: &[u64]) -> DecOp {
             if op.is_float() {
                 DecOp::FloatBin {
                     op: *op,
-                    lhs: opnd(*lhs, ga),
-                    rhs: opnd(*rhs, ga),
+                    lhs: opnd(func, *lhs, ga),
+                    rhs: opnd(func, *rhs, ga),
                 }
             } else {
                 DecOp::IntBin {
                     op: *op,
                     ty: inst.ty.as_int().expect("verified int binop"),
-                    lhs: opnd(*lhs, ga),
-                    rhs: opnd(*rhs, ga),
+                    lhs: opnd(func, *lhs, ga),
+                    rhs: opnd(func, *rhs, ga),
                 }
             }
         }
         InstKind::ICmp { pred, lhs, rhs } => DecOp::ICmp {
             pred: *pred,
-            lhs: opnd(*lhs, ga),
-            rhs: opnd(*rhs, ga),
+            lhs: opnd(func, *lhs, ga),
+            rhs: opnd(func, *rhs, ga),
         },
         InstKind::FCmp { pred, lhs, rhs } => DecOp::FCmp {
             pred: *pred,
-            lhs: opnd(*lhs, ga),
-            rhs: opnd(*rhs, ga),
+            lhs: opnd(func, *lhs, ga),
+            rhs: opnd(func, *rhs, ga),
         },
         InstKind::Cast { op, val } => DecOp::Cast {
             op: *op,
-            val: opnd(*val, ga),
+            val: opnd(func, *val, ga),
             ty: inst.ty.clone(),
         },
         InstKind::Alloca { ty } => DecOp::Alloca {
@@ -384,29 +506,29 @@ fn decode_inst(func: &fiq_ir::Function, id: InstId, ga: &[u64]) -> DecOp {
             align: ty.align().max(1),
         },
         InstKind::Load { ptr } => DecOp::Load {
-            ptr: opnd(*ptr, ga),
+            ptr: opnd(func, *ptr, ga),
             kind: LoadKind::of(&inst.ty),
         },
         InstKind::Store { val, ptr } => DecOp::Store {
-            val: opnd(*val, ga),
-            ptr: opnd(*ptr, ga),
+            val: opnd(func, *val, ga),
+            ptr: opnd(func, *ptr, ga),
         },
         InstKind::Gep {
             elem_ty,
             base,
             indices,
-        } => decode_gep(elem_ty, *base, indices, ga),
+        } => decode_gep(func, elem_ty, *base, indices, ga),
         InstKind::Select {
             cond,
             then_val,
             else_val,
         } => DecOp::Select {
-            cond: opnd(*cond, ga),
-            then_val: opnd(*then_val, ga),
-            else_val: opnd(*else_val, ga),
+            cond: opnd(func, *cond, ga),
+            then_val: opnd(func, *then_val, ga),
+            else_val: opnd(func, *else_val, ga),
         },
         InstKind::Call { callee, args } => {
-            let args: Box<[Opnd]> = args.iter().map(|a| opnd(*a, ga)).collect();
+            let args: Box<[Opnd]> = args.iter().map(|a| opnd(func, *a, ga)).collect();
             let has_result = inst.has_result();
             match callee {
                 Callee::Func(target) => DecOp::CallFunc {
@@ -427,12 +549,12 @@ fn decode_inst(func: &fiq_ir::Function, id: InstId, ga: &[u64]) -> DecOp {
             then_bb,
             else_bb,
         } => DecOp::CondBr {
-            cond: opnd(*cond, ga),
+            cond: opnd(func, *cond, ga),
             then_bb: *then_bb,
             else_bb: *else_bb,
         },
         InstKind::Ret { val } => DecOp::Ret {
-            val: val.map(|v| opnd(v, ga)),
+            val: val.map(|v| opnd(func, v, ga)),
         },
         InstKind::Unreachable => DecOp::Unreachable,
     }
@@ -442,7 +564,7 @@ fn decode_inst(func: &fiq_ir::Function, id: InstId, ga: &[u64]) -> DecOp {
 /// `None` if they don't form a fusable idiom. The tail must consume the
 /// head's result directly (`Opnd::Slot` of the head's id).
 fn fuse_pair(head: &DecInst, tail: &DecInst) -> Option<DecOp> {
-    let feeds = |o: &Opnd| matches!(o, Opnd::Slot(s) if *s == head.id.0);
+    let feeds = |o: &Opnd| matches!(o, Opnd::Slot(s, _) if *s == head.id.0);
     match (&head.op, &tail.op) {
         (
             DecOp::ICmp { pred, lhs, rhs },
@@ -494,7 +616,205 @@ fn fuse_pair(head: &DecInst, tail: &DecInst) -> Option<DecOp> {
     }
 }
 
+/// Whole-function use counts per defining instruction: how many operand
+/// positions (φ incomings included) read its SSA slot. This is the
+/// single-use test ALU-chain fusion relies on — a chain member whose
+/// result has exactly one reader, the adjacent link, can be fused
+/// without changing any other instruction's observable reads.
+fn slot_use_counts(func: &fiq_ir::Function) -> Vec<u32> {
+    let mut uses = vec![0u32; func.insts.len()];
+    let mut count = |v: &Value| {
+        if let Value::Inst(id) = v {
+            uses[id.index()] += 1;
+        }
+    };
+    for bb in func.block_ids() {
+        for &id in &func.block(bb).insts {
+            match &func.inst(id).kind {
+                InstKind::Phi { incomings } => {
+                    for (_, v) in incomings {
+                        count(v);
+                    }
+                }
+                InstKind::Binary { lhs, rhs, .. }
+                | InstKind::ICmp { lhs, rhs, .. }
+                | InstKind::FCmp { lhs, rhs, .. } => {
+                    count(lhs);
+                    count(rhs);
+                }
+                InstKind::Cast { val, .. } => count(val),
+                InstKind::Load { ptr } => count(ptr),
+                InstKind::Store { val, ptr } => {
+                    count(val);
+                    count(ptr);
+                }
+                InstKind::Gep { base, indices, .. } => {
+                    count(base);
+                    for i in indices {
+                        count(i);
+                    }
+                }
+                InstKind::Select {
+                    cond,
+                    then_val,
+                    else_val,
+                } => {
+                    count(cond);
+                    count(then_val);
+                    count(else_val);
+                }
+                InstKind::Call { args, .. } => {
+                    for a in args {
+                        count(a);
+                    }
+                }
+                InstKind::CondBr { cond, .. } => count(cond),
+                InstKind::Ret { val } => {
+                    if let Some(v) = val {
+                        count(v);
+                    }
+                }
+                InstKind::Alloca { .. } | InstKind::Br { .. } | InstKind::Unreachable => {}
+            }
+        }
+    }
+    uses
+}
+
+/// Builds a [`DecOp::FusedIntChain`] headed at `code[j]`, returning the
+/// superinstruction and the number of links consumed, or `None` if
+/// `code[j]` does not head a single-use integer ALU chain. A link is the
+/// adjacent integer binop consuming the previous member's result as
+/// exactly one operand, where that result has no other reader anywhere
+/// in the function (`uses[prev] == 1` — which also rules out a link
+/// reading its predecessor through both operands).
+fn fuse_chain(code: &[DecInst], j: usize, uses: &[u32]) -> Option<(DecOp, usize)> {
+    let DecOp::IntBin { op, ty, lhs, rhs } = code[j].op else {
+        return None;
+    };
+    let dummy = IntLink {
+        id: InstId(0),
+        op,
+        ty,
+        other: Opnd::Const(RtVal::Ptr(0)),
+        head_is_lhs: false,
+    };
+    let mut links = [dummy; 2];
+    let mut len = 0usize;
+    let mut prev = code[j].id;
+    while len < 2 {
+        let Some(next) = code.get(j + 1 + len) else {
+            break;
+        };
+        let DecOp::IntBin {
+            op: lop,
+            ty: lty,
+            lhs: llhs,
+            rhs: lrhs,
+        } = next.op
+        else {
+            break;
+        };
+        if uses[prev.index()] != 1 {
+            break;
+        }
+        let feeds = |o: Opnd| matches!(o, Opnd::Slot(s, _) if s as usize == prev.index());
+        let (other, head_is_lhs) = if feeds(llhs) {
+            (lrhs, true)
+        } else if feeds(lrhs) {
+            (llhs, false)
+        } else {
+            break;
+        };
+        links[len] = IntLink {
+            id: next.id,
+            op: lop,
+            ty: lty,
+            other,
+            head_is_lhs,
+        };
+        prev = next.id;
+        len += 1;
+    }
+    if len == 0 {
+        return None;
+    }
+    let chain = IntChain {
+        op,
+        ty,
+        lhs,
+        rhs,
+        links,
+        len: len as u8,
+    };
+    Some((DecOp::FusedIntChain(Box::new(chain)), len))
+}
+
+/// Builds a [`DecOp::FusedBinICmpBr`] headed at `code[j]`: an integer
+/// binop whose result feeds the adjacent compare, itself consumed by
+/// the adjacent conditional branch. Unlike ALU chains, no single-use
+/// test is needed (matching the cmp+br pair fusion): every member's
+/// result is still stored to its slot before anything else can read it,
+/// so additional readers — typically the loop-carried φ reading the
+/// increment — observe identical values. The compare's operands share
+/// the binop's integer type (IR typing forbids mixed compares, and a
+/// binop result is never a pointer), so execution can compare raw
+/// images with the head's `ty`.
+fn fuse_latch(code: &[DecInst], j: usize) -> Option<DecOp> {
+    let DecOp::IntBin { op, ty, lhs, rhs } = code[j].op else {
+        return None;
+    };
+    let bin_id = code[j].id;
+    let cmp = code.get(j + 1)?;
+    let br = code.get(j + 2)?;
+    let DecOp::ICmp {
+        pred,
+        lhs: clhs,
+        rhs: crhs,
+    } = cmp.op
+    else {
+        return None;
+    };
+    let DecOp::CondBr {
+        cond,
+        then_bb,
+        else_bb,
+    } = br.op
+    else {
+        return None;
+    };
+    let feeds = |o: Opnd, id: InstId| matches!(o, Opnd::Slot(s, _) if s as usize == id.index());
+    if !feeds(cond, cmp.id) {
+        return None;
+    }
+    let (other, bin_is_lhs) = if feeds(clhs, bin_id) {
+        (crhs, true)
+    } else if feeds(crhs, bin_id) {
+        (clhs, false)
+    } else {
+        return None;
+    };
+    Some(DecOp::FusedBinICmpBr(Box::new(BinICmpBr {
+        op,
+        ty,
+        lhs,
+        rhs,
+        cmp_id: cmp.id,
+        pred,
+        other,
+        bin_is_lhs,
+        br_id: br.id,
+        then_bb,
+        else_bb,
+    })))
+}
+
 fn decode_func(func: &fiq_ir::Function, ga: &[u64], fusion: bool) -> DecodedFunc {
+    let uses = if fusion {
+        slot_use_counts(func)
+    } else {
+        Vec::new()
+    };
     let blocks = func
         .block_ids()
         .map(|bb| {
@@ -529,7 +849,7 @@ fn decode_func(func: &fiq_ir::Function, ga: &[u64], fusion: bool) -> DecodedFunc
                                 .iter()
                                 .find(|(pb, _)| *pb == pred)
                                 .expect("verified phi has incoming for every predecessor");
-                            opnd(*v, ga)
+                            opnd(func, *v, ga)
                         })
                         .collect();
                     (pred, row)
@@ -543,17 +863,29 @@ fn decode_func(func: &fiq_ir::Function, ga: &[u64], fusion: bool) -> DecodedFunc
                 })
                 .collect();
             if fusion {
-                // Heads (cmp/GEP) and tails (branch/load/store) are
-                // disjoint op sets, so a greedy left-to-right scan cannot
-                // miss an overlapping pair. The tail keeps its plain
-                // decode: threaded execution never enters it (pairs are
-                // atomic), but a snapshot captured by the legacy core can
-                // resume there.
+                // Pair heads (cmp/GEP), chain heads (integer binop), and
+                // tails (branch/load/store/binop links) are matched by a
+                // greedy left-to-right scan; pair head kinds are disjoint
+                // from chain head kinds, so the scan cannot miss an
+                // overlapping idiom. Fused tails keep their plain
+                // decode: threaded execution never enters them (fused
+                // forms are atomic), but a snapshot captured by the
+                // legacy core can resume there.
                 let mut j = 0;
-                while j + 1 < code.len() {
-                    if let Some(f) = fuse_pair(&code[j], &code[j + 1]) {
+                while j < code.len() {
+                    if let Some(f) = fuse_latch(&code, j) {
                         code[j].op = f;
-                        j += 2;
+                        j += 3;
+                    } else if let Some((f, fused_links)) = fuse_chain(&code, j, &uses) {
+                        code[j].op = f;
+                        j += 1 + fused_links;
+                    } else if j + 1 < code.len() {
+                        if let Some(f) = fuse_pair(&code[j], &code[j + 1]) {
+                            code[j].op = f;
+                            j += 2;
+                        } else {
+                            j += 1;
+                        }
                     } else {
                         j += 1;
                     }
@@ -570,27 +902,34 @@ fn decode_func(func: &fiq_ir::Function, ga: &[u64], fusion: bool) -> DecodedFunc
 }
 
 impl<'m, H: InterpHook> Interp<'m, H> {
-    /// Evaluates one pre-resolved operand, firing the same `on_use` event
-    /// the legacy core fires for `Value::Inst`.
+    /// Evaluates one pre-resolved operand. Under `EVENTS`, slot reads
+    /// fire the same `on_use` event the legacy core fires for
+    /// `Value::Inst`; the quiescent instantiation compiles the hook call
+    /// out entirely. The raw slot image is retagged with the decode-time
+    /// scalar kind.
     #[inline]
-    fn eval_opnd(&mut self, frame: &Frame, consumer: InstId, o: &Opnd) -> RtVal {
+    fn eval_opnd<const EVENTS: bool>(
+        &mut self,
+        frame: &Frame,
+        consumer: InstId,
+        o: &Opnd,
+    ) -> RtVal {
         match o {
-            Opnd::Slot(i) => {
-                self.hook.on_use(
-                    InstSite {
-                        func: frame.fid,
-                        inst: InstId(*i),
-                    },
-                    InstSite {
-                        func: frame.fid,
-                        inst: consumer,
-                    },
-                    frame.frame_id,
-                );
-                match frame.slots[*i as usize] {
-                    Some(v) => v,
-                    None => unwritten_slot(&self.module.func(frame.fid).name, InstId(*i)),
+            Opnd::Slot(i, k) => {
+                if EVENTS {
+                    self.hook.on_use(
+                        InstSite {
+                            func: frame.fid,
+                            inst: InstId(*i),
+                        },
+                        InstSite {
+                            func: frame.fid,
+                            inst: consumer,
+                        },
+                        frame.frame_id,
+                    );
                 }
+                val_of_raw(*k, frame.slots[*i as usize])
             }
             Opnd::Arg(n) => frame.args[*n as usize],
             Opnd::Const(v) => *v,
@@ -607,16 +946,30 @@ impl<'m, H: InterpHook> Interp<'m, H> {
     }
 
     /// Walks pre-computed GEP steps, firing `on_use` for dynamic indices
-    /// in original operand order (constant steps fire nothing, exactly
-    /// like constant operands in the legacy core).
+    /// in original operand order under `EVENTS` (constant steps fire
+    /// nothing, exactly like constant operands in the legacy core).
     #[inline]
-    fn gep_addr(&mut self, frame: &Frame, id: InstId, base: &Opnd, steps: &[GepStep]) -> u64 {
-        let mut addr = self.eval_opnd(frame, id, base).as_ptr();
+    fn gep_addr<const EVENTS: bool>(
+        &mut self,
+        frame: &Frame,
+        id: InstId,
+        base: &Opnd,
+        steps: &[GepStep],
+    ) -> u64 {
+        let mut addr = if EVENTS {
+            self.eval_opnd::<EVENTS>(frame, id, base).as_ptr()
+        } else {
+            raw_opnd(frame, base)
+        };
         for s in steps {
             match s {
                 GepStep::Scale { idx, stride } => {
-                    let iv = self.eval_opnd(frame, id, idx);
-                    addr = addr.wrapping_add((iv.as_sint() as u64).wrapping_mul(*stride));
+                    let iv = if EVENTS {
+                        self.eval_opnd::<EVENTS>(frame, id, idx).as_sint()
+                    } else {
+                        sraw_opnd(frame, idx)
+                    };
+                    addr = addr.wrapping_add((iv as u64).wrapping_mul(*stride));
                 }
                 GepStep::Const(off) => addr = addr.wrapping_add(*off),
             }
@@ -628,14 +981,47 @@ impl<'m, H: InterpHook> Interp<'m, H> {
     /// instructions in the top frame until a control transfer or a
     /// pending snapshot/pause point hands control back. Observable
     /// semantics are identical to the legacy core (see module docs).
-    #[allow(clippy::too_many_lines)]
     pub(crate) fn step_decoded(&mut self, dec: &DecodedModule) -> Result<(), Stop> {
+        self.step_decoded_impl::<true, false>(dec, None).map(|_| ())
+    }
+
+    /// One quiescent fast slice: `step_decoded` monomorphized with hook
+    /// dispatch, per-use events, and result delivery to the hook compiled
+    /// out — legal exactly while the hook reports itself inert (see
+    /// [`fiq_mem::Quiescence`]). `run_until` boundaries and the step
+    /// budget are honored as usual. With a watch site, the slice stops
+    /// *just before* any unit that would produce one of the watched
+    /// site's own events and returns `true`; the caller then replays that
+    /// unit through the evented core.
+    pub(crate) fn step_quiescent(
+        &mut self,
+        dec: &DecodedModule,
+        watch: Option<InstSite>,
+    ) -> Result<bool, Stop> {
+        let s0 = self.steps;
+        let r = if watch.is_some() {
+            self.step_decoded_impl::<false, true>(dec, watch)
+        } else {
+            self.step_decoded_impl::<false, false>(dec, None)
+        };
+        self.steps_quiescent += self.steps - s0;
+        r
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step_decoded_impl<const EVENTS: bool, const WATCH: bool>(
+        &mut self,
+        dec: &DecodedModule,
+        watch: Option<InstSite>,
+    ) -> Result<bool, Stop> {
         let mut frame = self.frames.pop().expect("step with a live frame");
         let fid = frame.fid;
         let dfunc = &dec.funcs[fid.index()];
+        // `u64::MAX` sentinel keeps the per-instruction boundary test a
+        // single register compare with no `Option` unpacking.
         let snap_due = match (self.snap.as_ref().map(|s| s.next_at), self.pause_at) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+            (Some(a), Some(b)) => a.min(b),
+            (a, b) => a.or(b).unwrap_or(u64::MAX),
         };
 
         // The current block is re-resolved only at control transfers; every
@@ -644,14 +1030,20 @@ impl<'m, H: InterpHook> Interp<'m, H> {
         let mut dblock = &dfunc.blocks[frame.cur.index()];
         let mut phi_len = dblock.phi_ids.len();
         loop {
-            if let Some(at) = snap_due {
-                if self.steps >= at {
-                    self.frames.push(frame);
-                    return Ok(());
-                }
+            if self.steps >= snap_due {
+                self.frames.push(frame);
+                return Ok(false);
             }
 
             if frame.ip == 0 && phi_len != 0 {
+                if WATCH {
+                    if let Some(w) = watch {
+                        if w.func == fid && dblock.phi_ids.contains(&w.inst) {
+                            self.frames.push(frame);
+                            return Ok(true);
+                        }
+                    }
+                }
                 // Parallel φ-batch: reads before writes, atomic within
                 // the slice. Small batches (the overwhelmingly common
                 // case — loop headers carry a φ or two) stage through a
@@ -662,42 +1054,57 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     .iter()
                     .find(|(pb, _)| *pb == pred)
                     .expect("verified phi has incoming for every predecessor");
-                if phi_len <= 4 {
+                if !EVENTS && phi_len <= 4 {
+                    // Event-free twin of the small batch: raw images
+                    // staged directly, no tags to strip or re-apply.
+                    let mut staged = [0u64; 4];
+                    for (k, o) in row.iter().take(phi_len).enumerate() {
+                        self.budget()?;
+                        staged[k] = raw_opnd(&frame, o);
+                    }
+                    for (k, &id) in dblock.phi_ids.iter().enumerate() {
+                        frame.slots[id.index()] = staged[k];
+                    }
+                } else if phi_len <= 4 {
                     let mut staged = [RtVal::Ptr(0); 4];
                     for (k, &id) in dblock.phi_ids.iter().enumerate() {
                         self.budget()?;
-                        let mut val = self.eval_opnd(&frame, id, &row[k]);
-                        self.result(
-                            InstSite {
-                                func: fid,
-                                inst: id,
-                            },
-                            frame.frame_id,
-                            &mut val,
-                        );
+                        let mut val = self.eval_opnd::<EVENTS>(&frame, id, &row[k]);
+                        if EVENTS {
+                            self.result(
+                                InstSite {
+                                    func: fid,
+                                    inst: id,
+                                },
+                                frame.frame_id,
+                                &mut val,
+                            );
+                        }
                         staged[k] = val;
                     }
                     for (k, &id) in dblock.phi_ids.iter().enumerate() {
-                        frame.slots[id.index()] = Some(staged[k]);
+                        frame.slots[id.index()] = raw_of(staged[k]);
                     }
                 } else {
                     let mut staged = std::mem::take(&mut self.phi_buf);
                     staged.clear();
                     for (k, &id) in dblock.phi_ids.iter().enumerate() {
                         self.budget()?;
-                        let mut val = self.eval_opnd(&frame, id, &row[k]);
-                        self.result(
-                            InstSite {
-                                func: fid,
-                                inst: id,
-                            },
-                            frame.frame_id,
-                            &mut val,
-                        );
+                        let mut val = self.eval_opnd::<EVENTS>(&frame, id, &row[k]);
+                        if EVENTS {
+                            self.result(
+                                InstSite {
+                                    func: fid,
+                                    inst: id,
+                                },
+                                frame.frame_id,
+                                &mut val,
+                            );
+                        }
                         staged.push(val);
                     }
                     for (k, &id) in dblock.phi_ids.iter().enumerate() {
-                        frame.slots[id.index()] = Some(staged[k]);
+                        frame.slots[id.index()] = raw_of(staged[k]);
                     }
                     self.phi_buf = staged;
                 }
@@ -705,6 +1112,14 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             }
 
             let d = &dblock.code[frame.ip - phi_len];
+            if WATCH {
+                if let Some(w) = watch {
+                    if watch_hits(d, w, fid, &self.frames, dec) {
+                        self.frames.push(frame);
+                        return Ok(true);
+                    }
+                }
+            }
             self.budget()?;
             let id = d.id;
             let site = InstSite {
@@ -713,17 +1128,23 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             };
             match &d.op {
                 DecOp::IntBin { op, ty, lhs, rhs } => {
-                    let l = self.eval_opnd(&frame, id, lhs);
-                    let r = self.eval_opnd(&frame, id, rhs);
-                    let mut val =
-                        RtVal::Int(*ty, ops::eval_int_binop(*op, *ty, l.as_int(), r.as_int())?);
-                    self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    if EVENTS {
+                        let l = self.eval_opnd::<EVENTS>(&frame, id, lhs);
+                        let r = self.eval_opnd::<EVENTS>(&frame, id, rhs);
+                        let mut val =
+                            RtVal::Int(*ty, ops::eval_int_binop(*op, *ty, l.as_int(), r.as_int())?);
+                        self.result(site, frame.frame_id, &mut val);
+                        frame.slots[id.index()] = raw_of(val);
+                    } else {
+                        let l = raw_opnd(&frame, lhs);
+                        let r = raw_opnd(&frame, rhs);
+                        frame.slots[id.index()] = ops::eval_int_binop(*op, *ty, l, r)?;
+                    }
                     frame.ip += 1;
                 }
                 DecOp::FloatBin { op, lhs, rhs } => {
-                    let l = self.eval_opnd(&frame, id, lhs);
-                    let r = self.eval_opnd(&frame, id, rhs);
+                    let l = self.eval_opnd::<EVENTS>(&frame, id, lhs);
+                    let r = self.eval_opnd::<EVENTS>(&frame, id, rhs);
                     let mut val = match (l, r) {
                         (RtVal::F64(a), RtVal::F64(b)) => {
                             RtVal::F64(ops::eval_float_binop(*op, a, b))
@@ -733,31 +1154,39 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                         }
                         _ => panic!("verified float binop on non-floats"),
                     };
-                    self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut val);
+                    }
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 DecOp::ICmp { pred, lhs, rhs } => {
-                    let l = self.eval_opnd(&frame, id, lhs);
-                    let r = self.eval_opnd(&frame, id, rhs);
+                    let l = self.eval_opnd::<EVENTS>(&frame, id, lhs);
+                    let r = self.eval_opnd::<EVENTS>(&frame, id, rhs);
                     let mut val = RtVal::bool(icmp_vals(*pred, l, r));
-                    self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut val);
+                    }
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 DecOp::FCmp { pred, lhs, rhs } => {
-                    let l = self.eval_opnd(&frame, id, lhs);
-                    let r = self.eval_opnd(&frame, id, rhs);
+                    let l = self.eval_opnd::<EVENTS>(&frame, id, lhs);
+                    let r = self.eval_opnd::<EVENTS>(&frame, id, rhs);
                     let mut val = RtVal::bool(fcmp_vals(*pred, l, r));
-                    self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut val);
+                    }
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 DecOp::Cast { op, val, ty } => {
-                    let v = self.eval_opnd(&frame, id, val);
+                    let v = self.eval_opnd::<EVENTS>(&frame, id, val);
                     let mut out = ops::eval_cast(*op, v, ty);
-                    self.result(site, frame.frame_id, &mut out);
-                    frame.slots[id.index()] = Some(out);
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut out);
+                    }
+                    frame.slots[id.index()] = raw_of(out);
                     frame.ip += 1;
                 }
                 DecOp::Alloca { size, align } => {
@@ -771,31 +1200,48 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     }
                     self.sp = new_sp;
                     let mut val = RtVal::Ptr(new_sp);
-                    self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut val);
+                    }
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 DecOp::Load { ptr, kind } => {
-                    let p = self.eval_opnd(&frame, id, ptr).as_ptr();
-                    self.hook.on_load(site, frame.frame_id, p, kind.size());
+                    let p = if EVENTS {
+                        let p = self.eval_opnd::<EVENTS>(&frame, id, ptr).as_ptr();
+                        self.hook.on_load(site, frame.frame_id, p, kind.size());
+                        p
+                    } else {
+                        raw_opnd(&frame, ptr)
+                    };
                     let mut val = self.load_kind(p, *kind)?;
-                    self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut val);
+                    }
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 DecOp::Store { val, ptr } => {
-                    let v = self.eval_opnd(&frame, id, val);
-                    let p = self.eval_opnd(&frame, id, ptr).as_ptr();
+                    let v = self.eval_opnd::<EVENTS>(&frame, id, val);
+                    let p = if EVENTS {
+                        self.eval_opnd::<EVENTS>(&frame, id, ptr).as_ptr()
+                    } else {
+                        raw_opnd(&frame, ptr)
+                    };
                     let size = v.ty().size();
                     self.store_typed(p, v)?;
-                    self.hook.on_store(site, frame.frame_id, p, size);
+                    if EVENTS {
+                        self.hook.on_store(site, frame.frame_id, p, size);
+                    }
                     frame.ip += 1;
                 }
                 DecOp::Gep { base, steps } => {
-                    let addr = self.gep_addr(&frame, id, base, steps);
+                    let addr = self.gep_addr::<EVENTS>(&frame, id, base, steps);
                     let mut val = RtVal::Ptr(addr);
-                    self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut val);
+                    }
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 DecOp::GepDyn {
@@ -803,10 +1249,10 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     base,
                     indices,
                 } => {
-                    let mut addr = self.eval_opnd(&frame, id, base).as_ptr();
+                    let mut addr = self.eval_opnd::<EVENTS>(&frame, id, base).as_ptr();
                     let mut cur: &Type = elem_ty;
                     for (i, idx) in indices.iter().enumerate() {
-                        let sidx = self.eval_opnd(&frame, id, idx).as_sint();
+                        let sidx = self.eval_opnd::<EVENTS>(&frame, id, idx).as_sint();
                         if i == 0 {
                             addr = addr.wrapping_add((sidx as u64).wrapping_mul(cur.size()));
                         } else {
@@ -826,8 +1272,10 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                         }
                     }
                     let mut val = RtVal::Ptr(addr);
-                    self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut val);
+                    }
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 DecOp::Select {
@@ -835,23 +1283,25 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     then_val,
                     else_val,
                 } => {
-                    let c = self.eval_opnd(&frame, id, cond).as_bool();
-                    let t = self.eval_opnd(&frame, id, then_val);
-                    let e = self.eval_opnd(&frame, id, else_val);
+                    let c = self.eval_opnd::<EVENTS>(&frame, id, cond).as_bool();
+                    let t = self.eval_opnd::<EVENTS>(&frame, id, then_val);
+                    let e = self.eval_opnd::<EVENTS>(&frame, id, else_val);
                     let mut val = if c { t } else { e };
-                    self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut val);
+                    }
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 DecOp::CallFunc { target, args, .. } => {
                     let mut vals = Vec::with_capacity(args.len());
                     for a in args.iter() {
-                        vals.push(self.eval_opnd(&frame, id, a));
+                        vals.push(self.eval_opnd::<EVENTS>(&frame, id, a));
                     }
                     let target = *target;
                     self.frames.push(frame);
                     self.push_frame(target, vals)?;
-                    return Ok(());
+                    return Ok(false);
                 }
                 DecOp::CallIntr {
                     intr,
@@ -861,7 +1311,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     let mut buf = [RtVal::Ptr(0); 2];
                     let vals: &[RtVal] = if args.len() <= 2 {
                         for (k, a) in args.iter().enumerate() {
-                            buf[k] = self.eval_opnd(&frame, id, a);
+                            buf[k] = self.eval_opnd::<EVENTS>(&frame, id, a);
                         }
                         &buf[..args.len()]
                     } else {
@@ -870,8 +1320,10 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     let ret = self.intrinsic(*intr, vals)?;
                     if *has_result {
                         let mut val = ret.expect("non-void call returned a value");
-                        self.result(site, frame.frame_id, &mut val);
-                        frame.slots[id.index()] = Some(val);
+                        if EVENTS {
+                            self.result(site, frame.frame_id, &mut val);
+                        }
+                        frame.slots[id.index()] = raw_of(val);
                     }
                     frame.ip += 1;
                 }
@@ -887,7 +1339,11 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     then_bb,
                     else_bb,
                 } => {
-                    let c = self.eval_opnd(&frame, id, cond).as_bool();
+                    let c = if EVENTS {
+                        self.eval_opnd::<EVENTS>(&frame, id, cond).as_bool()
+                    } else {
+                        raw_opnd(&frame, cond) != 0
+                    };
                     frame.prev = Some(frame.cur);
                     frame.cur = if c { *then_bb } else { *else_bb };
                     frame.ip = 0;
@@ -895,12 +1351,14 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     phi_len = dblock.phi_ids.len();
                 }
                 DecOp::Ret { val } => {
-                    let out = val.as_ref().map(|o| self.eval_opnd(&frame, id, o));
+                    let out = val
+                        .as_ref()
+                        .map(|o| self.eval_opnd::<EVENTS>(&frame, id, o));
                     self.sp = frame.saved_sp;
                     drop(frame);
                     let Some(caller) = self.frames.last() else {
                         // `main` returned; its value (if any) is ignored.
-                        return Ok(());
+                        return Ok(false);
                     };
                     let (cfid, c_frame_id, c_cur, c_ip) =
                         (caller.fid, caller.frame_id, caller.cur, caller.ip);
@@ -911,19 +1369,21 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     };
                     if *has_result {
                         let mut val = out.expect("non-void call returned a value");
-                        self.result(
-                            InstSite {
-                                func: cfid,
-                                inst: cinst.id,
-                            },
-                            c_frame_id,
-                            &mut val,
-                        );
+                        if EVENTS {
+                            self.result(
+                                InstSite {
+                                    func: cfid,
+                                    inst: cinst.id,
+                                },
+                                c_frame_id,
+                                &mut val,
+                            );
+                        }
                         let caller = self.frames.last_mut().expect("caller frame");
-                        caller.slots[cinst.id.index()] = Some(val);
+                        caller.slots[cinst.id.index()] = raw_of(val);
                     }
                     self.frames.last_mut().expect("caller frame").ip += 1;
-                    return Ok(());
+                    return Ok(false);
                 }
                 DecOp::Unreachable => {
                     return Err(Trap::UnreachableExecuted.into());
@@ -936,22 +1396,26 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     then_bb,
                     else_bb,
                 } => {
-                    let l = self.eval_opnd(&frame, id, lhs);
-                    let r = self.eval_opnd(&frame, id, rhs);
+                    let l = self.eval_opnd::<EVENTS>(&frame, id, lhs);
+                    let r = self.eval_opnd::<EVENTS>(&frame, id, rhs);
                     let mut val = RtVal::bool(icmp_vals(*pred, l, r));
-                    self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut val);
+                    }
+                    frame.slots[id.index()] = raw_of(val);
                     // Branch half: atomic with the compare. The branch
                     // reads the *stored* (possibly hook-mutated) result.
                     self.budget()?;
-                    self.hook.on_use(
-                        site,
-                        InstSite {
-                            func: fid,
-                            inst: *br_id,
-                        },
-                        frame.frame_id,
-                    );
+                    if EVENTS {
+                        self.hook.on_use(
+                            site,
+                            InstSite {
+                                func: fid,
+                                inst: *br_id,
+                            },
+                            frame.frame_id,
+                        );
+                    }
                     frame.prev = Some(frame.cur);
                     frame.cur = if val.as_bool() { *then_bb } else { *else_bb };
                     frame.ip = 0;
@@ -966,20 +1430,24 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     then_bb,
                     else_bb,
                 } => {
-                    let l = self.eval_opnd(&frame, id, lhs);
-                    let r = self.eval_opnd(&frame, id, rhs);
+                    let l = self.eval_opnd::<EVENTS>(&frame, id, lhs);
+                    let r = self.eval_opnd::<EVENTS>(&frame, id, rhs);
                     let mut val = RtVal::bool(fcmp_vals(*pred, l, r));
-                    self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut val);
+                    }
+                    frame.slots[id.index()] = raw_of(val);
                     self.budget()?;
-                    self.hook.on_use(
-                        site,
-                        InstSite {
-                            func: fid,
-                            inst: *br_id,
-                        },
-                        frame.frame_id,
-                    );
+                    if EVENTS {
+                        self.hook.on_use(
+                            site,
+                            InstSite {
+                                func: fid,
+                                inst: *br_id,
+                            },
+                            frame.frame_id,
+                        );
+                    }
                     frame.prev = Some(frame.cur);
                     frame.cur = if val.as_bool() { *then_bb } else { *else_bb };
                     frame.ip = 0;
@@ -992,10 +1460,12 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     load_id,
                     kind,
                 } => {
-                    let addr = self.gep_addr(&frame, id, base, steps);
+                    let addr = self.gep_addr::<EVENTS>(&frame, id, base, steps);
                     let mut pv = RtVal::Ptr(addr);
-                    self.result(site, frame.frame_id, &mut pv);
-                    frame.slots[id.index()] = Some(pv);
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut pv);
+                    }
+                    frame.slots[id.index()] = raw_of(pv);
                     // Load half: reads the stored (possibly hook-mutated)
                     // address, exactly as the standalone load would.
                     self.budget()?;
@@ -1003,12 +1473,16 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                         func: fid,
                         inst: *load_id,
                     };
-                    self.hook.on_use(site, lsite, frame.frame_id);
                     let p = pv.as_ptr();
-                    self.hook.on_load(lsite, frame.frame_id, p, kind.size());
+                    if EVENTS {
+                        self.hook.on_use(site, lsite, frame.frame_id);
+                        self.hook.on_load(lsite, frame.frame_id, p, kind.size());
+                    }
                     let mut val = self.load_kind(p, *kind)?;
-                    self.result(lsite, frame.frame_id, &mut val);
-                    frame.slots[load_id.index()] = Some(val);
+                    if EVENTS {
+                        self.result(lsite, frame.frame_id, &mut val);
+                    }
+                    frame.slots[load_id.index()] = raw_of(val);
                     frame.ip += 2;
                 }
                 DecOp::FusedGepStore {
@@ -1017,10 +1491,12 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     store_id,
                     val,
                 } => {
-                    let addr = self.gep_addr(&frame, id, base, steps);
+                    let addr = self.gep_addr::<EVENTS>(&frame, id, base, steps);
                     let mut pv = RtVal::Ptr(addr);
-                    self.result(site, frame.frame_id, &mut pv);
-                    frame.slots[id.index()] = Some(pv);
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut pv);
+                    }
+                    frame.slots[id.index()] = raw_of(pv);
                     // Store half: value first, then the address use, in
                     // the standalone store's operand order.
                     self.budget()?;
@@ -1028,25 +1504,207 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                         func: fid,
                         inst: *store_id,
                     };
-                    let v = self.eval_opnd(&frame, *store_id, val);
-                    self.hook.on_use(site, ssite, frame.frame_id);
+                    let v = self.eval_opnd::<EVENTS>(&frame, *store_id, val);
+                    if EVENTS {
+                        self.hook.on_use(site, ssite, frame.frame_id);
+                    }
                     let p = pv.as_ptr();
                     let size = v.ty().size();
                     self.store_typed(p, v)?;
-                    self.hook.on_store(ssite, frame.frame_id, p, size);
+                    if EVENTS {
+                        self.hook.on_store(ssite, frame.frame_id, p, size);
+                    }
                     frame.ip += 2;
+                }
+                DecOp::FusedBinICmpBr(l) if !EVENTS => {
+                    // Event-free twin: raw binop, raw compare with the
+                    // head's type, branch — no tags anywhere.
+                    let a = raw_opnd(&frame, &l.lhs);
+                    let b = raw_opnd(&frame, &l.rhs);
+                    let bin = ops::eval_int_binop(l.op, l.ty, a, b)?;
+                    frame.slots[id.index()] = bin;
+                    self.budget()?;
+                    let o = raw_opnd(&frame, &l.other);
+                    let (cl, cr) = if l.bin_is_lhs { (bin, o) } else { (o, bin) };
+                    let c = ops::eval_icmp(l.pred, Some(l.ty), cl, cr);
+                    frame.slots[l.cmp_id.index()] = u64::from(c);
+                    self.budget()?;
+                    frame.prev = Some(frame.cur);
+                    frame.cur = if c { l.then_bb } else { l.else_bb };
+                    frame.ip = 0;
+                    dblock = &dfunc.blocks[frame.cur.index()];
+                    phi_len = dblock.phi_ids.len();
+                }
+                DecOp::FusedBinICmpBr(l) => {
+                    let la = self.eval_opnd::<EVENTS>(&frame, id, &l.lhs);
+                    let ra = self.eval_opnd::<EVENTS>(&frame, id, &l.rhs);
+                    let mut bin = RtVal::Int(
+                        l.ty,
+                        ops::eval_int_binop(l.op, l.ty, la.as_int(), ra.as_int())?,
+                    );
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut bin);
+                    }
+                    frame.slots[id.index()] = raw_of(bin);
+                    // Compare half: reads the stored (possibly
+                    // hook-mutated) binop result, firing uses in the
+                    // standalone operand order.
+                    self.budget()?;
+                    let csite = InstSite {
+                        func: fid,
+                        inst: l.cmp_id,
+                    };
+                    let (cl, cr) = if l.bin_is_lhs {
+                        if EVENTS {
+                            self.hook.on_use(site, csite, frame.frame_id);
+                        }
+                        let o = self.eval_opnd::<EVENTS>(&frame, l.cmp_id, &l.other);
+                        (bin, o)
+                    } else {
+                        let o = self.eval_opnd::<EVENTS>(&frame, l.cmp_id, &l.other);
+                        if EVENTS {
+                            self.hook.on_use(site, csite, frame.frame_id);
+                        }
+                        (o, bin)
+                    };
+                    let mut cval = RtVal::bool(icmp_vals(l.pred, cl, cr));
+                    if EVENTS {
+                        self.result(csite, frame.frame_id, &mut cval);
+                    }
+                    frame.slots[l.cmp_id.index()] = raw_of(cval);
+                    // Branch half: reads the stored compare result.
+                    self.budget()?;
+                    if EVENTS {
+                        self.hook.on_use(
+                            csite,
+                            InstSite {
+                                func: fid,
+                                inst: l.br_id,
+                            },
+                            frame.frame_id,
+                        );
+                    }
+                    frame.prev = Some(frame.cur);
+                    frame.cur = if cval.as_bool() { l.then_bb } else { l.else_bb };
+                    frame.ip = 0;
+                    dblock = &dfunc.blocks[frame.cur.index()];
+                    phi_len = dblock.phi_ids.len();
+                }
+                DecOp::FusedIntChain(chain) if !EVENTS => {
+                    // Event-free twin: pure raw-u64 arithmetic, no tag
+                    // round trips. Operand order is irrelevant without
+                    // events and operand evaluation has no side effects.
+                    let l = raw_opnd(&frame, &chain.lhs);
+                    let r = raw_opnd(&frame, &chain.rhs);
+                    let mut prev = ops::eval_int_binop(chain.op, chain.ty, l, r)?;
+                    frame.slots[id.index()] = prev;
+                    for link in &chain.links[..chain.len as usize] {
+                        self.budget()?;
+                        let o = raw_opnd(&frame, &link.other);
+                        let (l, r) = if link.head_is_lhs {
+                            (prev, o)
+                        } else {
+                            (o, prev)
+                        };
+                        prev = ops::eval_int_binop(link.op, link.ty, l, r)?;
+                        frame.slots[link.id.index()] = prev;
+                    }
+                    frame.ip += 1 + chain.len as usize;
+                }
+                DecOp::FusedIntChain(chain) => {
+                    let l = self.eval_opnd::<EVENTS>(&frame, id, &chain.lhs);
+                    let r = self.eval_opnd::<EVENTS>(&frame, id, &chain.rhs);
+                    let mut val = RtVal::Int(
+                        chain.ty,
+                        ops::eval_int_binop(chain.op, chain.ty, l.as_int(), r.as_int())?,
+                    );
+                    if EVENTS {
+                        self.result(site, frame.frame_id, &mut val);
+                    }
+                    frame.slots[id.index()] = raw_of(val);
+                    // Each link charges its own step and reads the stored
+                    // (possibly hook-mutated) predecessor result, firing
+                    // events in the standalone lhs-then-rhs operand order.
+                    let mut prev = val;
+                    let mut prev_site = site;
+                    for link in &chain.links[..chain.len as usize] {
+                        self.budget()?;
+                        let lsite = InstSite {
+                            func: fid,
+                            inst: link.id,
+                        };
+                        let (l, r) = if link.head_is_lhs {
+                            if EVENTS {
+                                self.hook.on_use(prev_site, lsite, frame.frame_id);
+                            }
+                            let o = self.eval_opnd::<EVENTS>(&frame, link.id, &link.other);
+                            (prev, o)
+                        } else {
+                            let o = self.eval_opnd::<EVENTS>(&frame, link.id, &link.other);
+                            if EVENTS {
+                                self.hook.on_use(prev_site, lsite, frame.frame_id);
+                            }
+                            (o, prev)
+                        };
+                        let mut lval = RtVal::Int(
+                            link.ty,
+                            ops::eval_int_binop(link.op, link.ty, l.as_int(), r.as_int())?,
+                        );
+                        if EVENTS {
+                            self.result(lsite, frame.frame_id, &mut lval);
+                        }
+                        frame.slots[link.id.index()] = raw_of(lval);
+                        prev = lval;
+                        prev_site = lsite;
+                    }
+                    frame.ip += 1 + chain.len as usize;
                 }
             }
         }
     }
 }
 
-/// Out-of-line panic for the unwritten-slot case, keeping the format
-/// machinery off the hot operand path.
-#[cold]
-#[inline(never)]
-fn unwritten_slot(func_name: &str, id: InstId) -> ! {
-    panic!("read of unwritten slot {id} in {func_name}")
+/// Whether executing decoded instruction `d` (in function `fid`) would
+/// produce an event at the watched site `w`: the instruction itself, a
+/// fused tail carrying the watched id, or — for returns — the caller's
+/// pending call instruction, which receives the return value's
+/// `on_result` during delivery. `on_use` events with the watched site as
+/// *def* are deliberately not matched: the [`fiq_mem::Quiescence`]
+/// `UntilSite` contract requires the hook to ignore those.
+fn watch_hits(
+    d: &DecInst,
+    w: InstSite,
+    fid: FuncId,
+    frames: &[Frame],
+    dec: &DecodedModule,
+) -> bool {
+    if w.func == fid {
+        if d.id == w.inst {
+            return true;
+        }
+        let tail_hit = match &d.op {
+            DecOp::FusedICmpBr { br_id, .. } | DecOp::FusedFCmpBr { br_id, .. } => *br_id == w.inst,
+            DecOp::FusedBinICmpBr(l) => l.cmp_id == w.inst || l.br_id == w.inst,
+            DecOp::FusedGepLoad { load_id, .. } => *load_id == w.inst,
+            DecOp::FusedGepStore { store_id, .. } => *store_id == w.inst,
+            DecOp::FusedIntChain(c) => c.links[..c.len as usize].iter().any(|l| l.id == w.inst),
+            _ => false,
+        };
+        if tail_hit {
+            return true;
+        }
+    }
+    if matches!(d.op, DecOp::Ret { .. }) {
+        // The executing frame is already popped, so `frames.last()` is
+        // the caller this return would deliver into.
+        if let Some(caller) = frames.last() {
+            if caller.fid == w.func {
+                let cblock = &dec.funcs[caller.fid.index()].blocks[caller.cur.index()];
+                return cblock.code[caller.ip - cblock.phi_ids.len()].id == w.inst;
+            }
+        }
+    }
+    false
 }
 
 /// Compare dispatch shared by the plain and fused icmp paths.

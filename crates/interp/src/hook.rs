@@ -9,6 +9,7 @@
 
 use crate::rtval::RtVal;
 use fiq_ir::{FuncId, InstId};
+use fiq_mem::Quiescence;
 
 /// A static instruction location (function + instruction id).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,10 +48,24 @@ pub trait InterpHook {
     fn on_store(&mut self, site: InstSite, frame: u64, addr: u64, size: u64) {
         let _ = (site, frame, addr, size);
     }
+
+    /// The hook's current instrumentation phase (see [`Quiescence`]).
+    ///
+    /// Queried by the threaded core between step slices; reporting
+    /// anything other than `Active` lets the core run a monomorphized
+    /// fast loop with hook dispatch compiled out. The default keeps
+    /// full instrumentation, which is always correct.
+    fn quiescence(&self) -> Quiescence<InstSite> {
+        Quiescence::Active
+    }
 }
 
 /// A hook that does nothing (plain execution).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NopHook;
 
-impl InterpHook for NopHook {}
+impl InterpHook for NopHook {
+    fn quiescence(&self) -> Quiescence<InstSite> {
+        Quiescence::Forever
+    }
+}

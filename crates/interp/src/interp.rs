@@ -5,7 +5,7 @@
 //! state of a paused program is the frame stack plus memory, console,
 //! stack pointer, and step counter, all of which are plain data.
 
-use crate::decoded::DecodedModule;
+use crate::decoded::{raw_of, val_of_raw, DecodedModule, LoadKind};
 use crate::hook::{InstSite, InterpHook};
 use crate::ops;
 use crate::rtval::RtVal;
@@ -37,6 +37,13 @@ pub struct InterpOptions {
     /// Superinstruction fusion for the threaded core (ignored by the
     /// legacy core). Never changes output, only speed.
     pub fusion: bool,
+    /// Phase-specialized execution for the threaded core: when the hook
+    /// reports itself inert (see [`fiq_mem::Quiescence`]), step through a
+    /// monomorphized fast loop with hook dispatch compiled out, exiting
+    /// at the next watched site or `run_until` boundary. Never changes
+    /// output, only speed; disabled automatically while snapshot capture
+    /// is active.
+    pub quiescent: bool,
 }
 
 impl Default for InterpOptions {
@@ -48,6 +55,7 @@ impl Default for InterpOptions {
             mem_capacity: fiq_mem::DEFAULT_CAPACITY,
             dispatch: Dispatch::default(),
             fusion: true,
+            quiescent: true,
         }
     }
 }
@@ -112,13 +120,21 @@ pub fn materialize_globals(module: &Module, mem: &mut Memory) -> Result<Vec<u64>
 }
 
 /// One guest activation record on the explicit frame stack.
+///
+/// SSA results live in `slots` as *untagged* raw 64-bit images (see
+/// [`crate::decoded::raw_of`]): each slot's scalar kind is static — it is
+/// the defining instruction's result type — so the tag is recovered at
+/// read time from decode-time kind tables instead of being stored and
+/// branch-checked per access. Unwritten slots read as raw 0, which
+/// verified-SSA execution can never observe: every read is dominated by
+/// its def, so the def has rewritten the slot on every path to the read.
 #[derive(Debug, Clone)]
 pub(crate) struct Frame {
     pub(crate) fid: FuncId,
     pub(crate) frame_id: u64,
     pub(crate) saved_sp: u64,
     pub(crate) args: Vec<RtVal>,
-    pub(crate) slots: Vec<Option<RtVal>>,
+    pub(crate) slots: Vec<u64>,
     pub(crate) cur: BlockId,
     pub(crate) prev: Option<BlockId>,
     pub(crate) ip: usize,
@@ -176,12 +192,13 @@ fn frames_bits_eq(a: &[Frame], b: &[Frame]) -> bool {
                     .iter()
                     .zip(&fb.args)
                     .all(|(x, y)| rtval_bits_eq(x, y))
-                && fa.slots.len() == fb.slots.len()
-                && fa.slots.iter().zip(&fb.slots).all(|(x, y)| match (x, y) {
-                    (None, None) => true,
-                    (Some(x), Some(y)) => rtval_bits_eq(x, y),
-                    _ => false,
-                })
+                // Raw slot images: kinds are static per slot, so bitwise
+                // equality is value equality. An unwritten slot and a
+                // written raw-0 compare equal, which is sound here: the
+                // surrounding fields pin both frames to the same control
+                // position, where SSA dominance guarantees any future
+                // read of the slot is preceded by its def on every path.
+                && fa.slots == fb.slots
         })
 }
 
@@ -279,6 +296,8 @@ pub struct Interp<'m, H> {
     pub(crate) sp: u64,
     pub(crate) steps: u64,
     pub(crate) restored_steps: u64,
+    /// Of `steps`, how many ran inside the quiescent fast loop.
+    pub(crate) steps_quiescent: u64,
     pub(crate) frame_counter: u64,
     pub(crate) frames: Vec<Frame>,
     pub(crate) snap: Option<SnapState>,
@@ -328,6 +347,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             sp,
             steps: 0,
             restored_steps: 0,
+            steps_quiescent: 0,
             frame_counter: 0,
             frames: Vec::new(),
             snap: None,
@@ -375,6 +395,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             sp: snap.sp,
             steps: snap.steps,
             restored_steps: snap.steps,
+            steps_quiescent: 0,
             frame_counter: snap.frame_counter,
             frames: snap.frames.clone(),
             snap: None,
@@ -480,6 +501,12 @@ impl<'m, H: InterpHook> Interp<'m, H> {
         self.restored_steps
     }
 
+    /// Of [`Interp::steps`], how many were executed by the quiescent
+    /// fast loop (0 unless the threaded core entered it).
+    pub fn steps_quiescent(&self) -> u64 {
+        self.steps_quiescent
+    }
+
     /// Consumes the interpreter, returning the hook (e.g. to read
     /// profiling counters out of it).
     pub fn into_hook(self) -> H {
@@ -547,14 +574,11 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             for v in &f.args {
                 hash_rtval(&mut h, v);
             }
-            for s in &f.slots {
-                match s {
-                    None => h.write_u64(0),
-                    Some(v) => {
-                        h.write_u64(1);
-                        hash_rtval(&mut h, v);
-                    }
-                }
+            // Slots hash as raw images: the kind of each slot is static
+            // (its defining instruction's result type), so tagging would
+            // add no information.
+            for &s in &f.slots {
+                h.write_u64(s);
             }
         }
         h.finish()
@@ -582,16 +606,52 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     .decoded
                     .clone()
                     .expect("threaded dispatch requires a decoded module");
+                // The fast loop skips the per-step snapshot bookkeeping,
+                // so it is only eligible when capture is off.
+                let quiescent_ok = self.opts.quiescent && self.snap.is_none();
                 while !self.frames.is_empty() {
                     if self.pause_at.is_some_and(|p| self.steps >= p) {
                         return Ok(());
                     }
                     self.maybe_snapshot();
-                    self.step_decoded(&dec)?;
+                    if !quiescent_ok {
+                        self.step_decoded(&dec)?;
+                        continue;
+                    }
+                    match self.hook.quiescence() {
+                        fiq_mem::Quiescence::Active => self.step_decoded(&dec)?,
+                        fiq_mem::Quiescence::Forever => {
+                            self.step_quiescent(&dec, None)?;
+                        }
+                        fiq_mem::Quiescence::UntilSite(s) => {
+                            if self.step_quiescent(&dec, Some(s))? {
+                                // The fast loop stopped just before the
+                                // watched site: replay exactly one evented
+                                // unit (a φ-batch plus one decoded
+                                // instruction at most) so the hook sees
+                                // its events, then re-query the phase.
+                                self.step_one_evented(&dec)?;
+                            }
+                        }
+                    }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Runs one evented step slice clipped to a single execution unit by
+    /// an artificial pause point one step ahead: every decoded unit
+    /// (φ-batch, instruction, or atomic superinstruction) charges at
+    /// least one step, so the slice loop breaks at the next boundary
+    /// check after the first unit — the standard handoff when a
+    /// quiescent fast loop stops at a watched site.
+    fn step_one_evented(&mut self, dec: &DecodedModule) -> Result<(), Stop> {
+        let saved = self.pause_at;
+        self.pause_at = Some(saved.map_or(self.steps + 1, |p| p.min(self.steps + 1)));
+        let r = self.step_decoded(dec);
+        self.pause_at = saved;
+        r
     }
 
     /// Pushes an activation record for `fid`. The depth check mirrors the
@@ -608,7 +668,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
             frame_id: self.frame_counter,
             saved_sp: self.sp,
             args,
-            slots: vec![None; func.insts.len()],
+            slots: vec![0u64; func.insts.len()],
             cur: func.entry(),
             prev: None,
             ip: 0,
@@ -704,7 +764,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                         staged.push((id, val));
                     }
                     for (id, val) in staged {
-                        frame.slots[id.index()] = Some(val);
+                        frame.slots[id.index()] = raw_of(val);
                     }
                     frame.ip = phi_end;
                 }
@@ -738,7 +798,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                             RtVal::Int(t, ops::eval_int_binop(*op, t, l.as_int(), r.as_int())?)
                         };
                     self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 InstKind::ICmp { pred, lhs, rhs } => {
@@ -751,7 +811,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     };
                     let mut val = RtVal::bool(ops::eval_icmp(*pred, ty, lv, rv));
                     self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 InstKind::FCmp { pred, lhs, rhs } => {
@@ -764,14 +824,14 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     };
                     let mut val = RtVal::bool(ops::eval_fcmp(*pred, a, b));
                     self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 InstKind::Cast { op, val } => {
                     let v = self.eval(func, &frame, id, *val)?;
                     let mut out = ops::eval_cast(*op, v, &inst.ty);
                     self.result(site, frame.frame_id, &mut out);
-                    frame.slots[id.index()] = Some(out);
+                    frame.slots[id.index()] = raw_of(out);
                     frame.ip += 1;
                 }
                 InstKind::Alloca { ty } => {
@@ -788,7 +848,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     self.sp = new_sp;
                     let mut val = RtVal::Ptr(new_sp);
                     self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 InstKind::Load { ptr } => {
@@ -796,7 +856,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     self.hook.on_load(site, frame.frame_id, p, inst.ty.size());
                     let mut val = self.load_typed(p, &inst.ty)?;
                     self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 InstKind::Store { val, ptr } => {
@@ -841,7 +901,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     }
                     let mut val = RtVal::Ptr(addr);
                     self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 InstKind::Select {
@@ -856,7 +916,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     let e = self.eval(func, &frame, id, *else_val)?;
                     let mut val = if c { t } else { e };
                     self.result(site, frame.frame_id, &mut val);
-                    frame.slots[id.index()] = Some(val);
+                    frame.slots[id.index()] = raw_of(val);
                     frame.ip += 1;
                 }
                 InstKind::Call {
@@ -881,7 +941,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                             if inst.has_result() {
                                 let mut val = ret.expect("non-void call returned a value");
                                 self.result(site, frame.frame_id, &mut val);
-                                frame.slots[id.index()] = Some(val);
+                                frame.slots[id.index()] = raw_of(val);
                             }
                             frame.ip += 1;
                         }
@@ -931,7 +991,7 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                             &mut val,
                         );
                         let caller = self.frames.last_mut().expect("caller frame");
-                        caller.slots[call_id.index()] = Some(val);
+                        caller.slots[call_id.index()] = raw_of(val);
                     }
                     self.frames.last_mut().expect("caller frame").ip += 1;
                     return Ok(());
@@ -983,8 +1043,9 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     },
                     frame.frame_id,
                 );
-                frame.slots[id.index()]
-                    .unwrap_or_else(|| panic!("read of unwritten slot {id} in {}", func.name))
+                // The raw slot image is retagged with the defining
+                // instruction's static result type.
+                val_of_raw(LoadKind::of(&func.inst(id).ty), frame.slots[id.index()])
             }
             Value::Arg(n) => frame.args[n as usize],
             Value::Const(c) => match c {

@@ -28,7 +28,7 @@ mod trap;
 
 pub use console::Console;
 pub use digest::{hash_bytes, Hasher64, StateDigest};
-pub use dispatch::Dispatch;
+pub use dispatch::{Dispatch, Quiescence};
 pub use memory::{
     MemSnapshot, Memory, Region, RegionKind, DEFAULT_CAPACITY, DEFAULT_STACK_SIZE, NULL_GUARD,
     SNAPSHOT_PAGE,

@@ -5,24 +5,39 @@
 //! observationally indistinguishable: identical step counts, identical
 //! final [`StateDigest`] (architectural state + console), identical
 //! stop status, and identical console bytes, with superinstruction
-//! fusion on or off. This suite runs every corpus regression and 200
-//! freshly generated fuzz programs through all core configurations on
-//! both substrates and compares them against the legacy reference.
+//! fusion on or off, and with the quiescent fast loops on or off. This
+//! suite runs every corpus regression and 200 freshly generated fuzz
+//! programs through all core configurations on both substrates and
+//! compares them against the legacy reference. On top of the
+//! state-equivalence sweep, two sharper contracts: the hook *event
+//! order* (not just final state) is identical across cores, including
+//! when a quiescence-aware hook lets the core fast-step between its
+//! watched sites, and a FLAGS-targeted injection delivered inside a
+//! fused ALU+jcc superinstruction steers the branch exactly as it does
+//! between two legacy steps.
 
-use fiq_asm::{AsmProgram, MachOptions, Machine, NopAsmHook};
+use fiq_asm::{
+    AluOp, AsmFunc, AsmHook, AsmProgram, Cond, Inst, MachOptions, MachState, Machine, NopAsmHook,
+    Operand, Reg, Width, ALL_FLAGS, ZF,
+};
 use fiq_backend::LowerOptions;
 use fiq_core::{
     profile_llfi, profile_pinfi, run_campaign, CampaignConfig, Category, CellSpec, EngineOptions,
     Substrate,
 };
-use fiq_interp::{Dispatch, Interp, InterpOptions, NopHook};
+use fiq_interp::{Dispatch, InstSite, Interp, InterpHook, InterpOptions, NopHook, RtVal};
 use fiq_ir::Module;
-use fiq_mem::StateDigest;
+use fiq_mem::{Quiescence, StateDigest};
 
-/// The non-reference configurations: threaded dispatch with fusion on
-/// and off. Legacy is the baseline they are compared against.
-const THREADED_CONFIGS: [(Dispatch, bool); 2] =
-    [(Dispatch::Threaded, true), (Dispatch::Threaded, false)];
+/// The non-reference configurations: threaded dispatch crossed with
+/// fusion and the quiescent fast loop, each on and off. Legacy is the
+/// baseline they are all compared against.
+const THREADED_CONFIGS: [(Dispatch, bool, bool); 4] = [
+    (Dispatch::Threaded, true, false),
+    (Dispatch::Threaded, false, false),
+    (Dispatch::Threaded, true, true),
+    (Dispatch::Threaded, false, true),
+];
 
 /// Everything the cores must agree on.
 #[derive(Debug, PartialEq, Eq)]
@@ -33,10 +48,17 @@ struct Observed {
     output: String,
 }
 
-fn run_interp(m: &Module, dispatch: Dispatch, fusion: bool, max_steps: u64) -> Observed {
+fn run_interp(
+    m: &Module,
+    dispatch: Dispatch,
+    fusion: bool,
+    quiescent: bool,
+    max_steps: u64,
+) -> Observed {
     let opts = InterpOptions {
         dispatch,
         fusion,
+        quiescent,
         max_steps,
         ..InterpOptions::default()
     };
@@ -50,10 +72,17 @@ fn run_interp(m: &Module, dispatch: Dispatch, fusion: bool, max_steps: u64) -> O
     }
 }
 
-fn run_machine(p: &AsmProgram, dispatch: Dispatch, fusion: bool, max_steps: u64) -> Observed {
+fn run_machine(
+    p: &AsmProgram,
+    dispatch: Dispatch,
+    fusion: bool,
+    quiescent: bool,
+    max_steps: u64,
+) -> Observed {
     let opts = MachOptions {
         dispatch,
         fusion,
+        quiescent,
         max_steps,
         ..MachOptions::default()
     };
@@ -77,21 +106,21 @@ fn check_lockstep(name: &str, source: &str, max_steps: u64) {
     let prog = fiq_backend::lower_module(&module, LowerOptions::default())
         .unwrap_or_else(|e| panic!("{name}: lower: {e}"));
 
-    let interp_ref = run_interp(&module, Dispatch::Legacy, true, max_steps);
-    let mach_ref = run_machine(&prog, Dispatch::Legacy, true, max_steps);
-    for (dispatch, fusion) in THREADED_CONFIGS {
-        let got = run_interp(&module, dispatch, fusion, max_steps);
+    let interp_ref = run_interp(&module, Dispatch::Legacy, true, false, max_steps);
+    let mach_ref = run_machine(&prog, Dispatch::Legacy, true, false, max_steps);
+    for (dispatch, fusion, quiescent) in THREADED_CONFIGS {
+        let got = run_interp(&module, dispatch, fusion, quiescent, max_steps);
         assert_eq!(
             got,
             interp_ref,
-            "{name}: interp {}/fusion={fusion} diverged from legacy",
+            "{name}: interp {}/fusion={fusion}/quiescent={quiescent} diverged from legacy",
             dispatch.name()
         );
-        let got = run_machine(&prog, dispatch, fusion, max_steps);
+        let got = run_machine(&prog, dispatch, fusion, quiescent, max_steps);
         assert_eq!(
             got,
             mach_ref,
-            "{name}: machine {}/fusion={fusion} diverged from legacy",
+            "{name}: machine {}/fusion={fusion}/quiescent={quiescent} diverged from legacy",
             dispatch.name()
         );
     }
@@ -281,6 +310,430 @@ fn resume_crosses_dispatch_modes_byte_identically() {
             );
             std::fs::remove_file(&torn_path).unwrap();
         }
+    }
+}
+
+/// Source for the event-order tests: nested loops over memory with a
+/// store in the inner body, so the event stream interleaves results,
+/// operand uses, loads, and stores across fusion candidates (latch
+/// compare+branch triples included).
+const EVENT_KERNEL: &str = "
+    int vals[16];
+    int main() {
+      int s = 3;
+      for (int i = 0; i < 16; i += 1) {
+        s = (s * 1103515245 + 12345) & 2147483647;
+        vals[i] = s;
+      }
+      int t = 0;
+      for (int r = 0; r < 6; r += 1) {
+        for (int i = 0; i < 16; i += 1) { t += vals[i] & 7; }
+      }
+      print_i64(t);
+      return 0;
+    }";
+
+/// Records every `on_result` site while fully active — used once, on the
+/// legacy core, to pick a mid-run target site for the phase recorder.
+#[derive(Default)]
+struct SiteCensus {
+    results: Vec<InstSite>,
+}
+
+impl InterpHook for SiteCensus {
+    fn on_result(&mut self, site: InstSite, _frame: u64, _val: &mut RtVal) {
+        self.results.push(site);
+    }
+}
+
+/// A quiescence-aware recording hook with the same phase structure as the
+/// fault hooks: inert-until-site (recording only its own site's results,
+/// which is all the contract lets it observe), then fully active for a
+/// fixed number of events once the watched dynamic instance retires, then
+/// inert forever. The recorded event log must be byte-identical whether
+/// the core honors the quiescence report (fast loops) or ignores it
+/// (legacy, or `quiescent: false`).
+struct PhaseRecorder {
+    target: InstSite,
+    /// Fire on this dynamic instance of `target` (1-based).
+    nth: u64,
+    seen: u64,
+    /// 0 = until-site, 1 = active, 2 = done.
+    phase: u8,
+    /// Events still to record while active.
+    remaining: u32,
+    events: Vec<String>,
+}
+
+impl PhaseRecorder {
+    fn new(target: InstSite, nth: u64, window: u32) -> PhaseRecorder {
+        PhaseRecorder {
+            target,
+            nth,
+            seen: 0,
+            phase: 0,
+            remaining: window,
+            events: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, ev: String) {
+        self.events.push(ev);
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            self.phase = 2;
+        }
+    }
+}
+
+impl InterpHook for PhaseRecorder {
+    fn on_result(&mut self, site: InstSite, frame: u64, _val: &mut RtVal) {
+        match self.phase {
+            0 if site == self.target => {
+                self.seen += 1;
+                self.events
+                    .push(format!("pre-result {site:?} f{frame} n{}", self.seen));
+                if self.seen == self.nth {
+                    self.phase = 1;
+                }
+            }
+            1 => self.record(format!("result {site:?} f{frame}")),
+            _ => {}
+        }
+    }
+
+    fn on_use(&mut self, def: InstSite, consumer: InstSite, frame: u64) {
+        if self.phase == 1 {
+            self.record(format!("use {def:?} -> {consumer:?} f{frame}"));
+        }
+    }
+
+    fn on_load(&mut self, site: InstSite, frame: u64, addr: u64, size: u64) {
+        if self.phase == 1 {
+            self.record(format!("load {site:?} f{frame} {addr:#x}+{size}"));
+        }
+    }
+
+    fn on_store(&mut self, site: InstSite, frame: u64, addr: u64, size: u64) {
+        if self.phase == 1 {
+            self.record(format!("store {site:?} f{frame} {addr:#x}+{size}"));
+        }
+    }
+
+    fn quiescence(&self) -> Quiescence<InstSite> {
+        match self.phase {
+            0 => Quiescence::UntilSite(self.target),
+            1 => Quiescence::Active,
+            _ => Quiescence::Forever,
+        }
+    }
+}
+
+/// The quiescent fast loop must not reorder, drop, or duplicate hook
+/// events: a hook that sleeps until a mid-run site, wakes for a window of
+/// full instrumentation, and then sleeps forever records the exact same
+/// event log on every core configuration.
+#[test]
+fn interp_hook_event_order_matches_across_cores() {
+    let mut module = fiq_frontend::compile("event-kernel", EVENT_KERNEL).unwrap();
+    fiq_opt::optimize_module(&mut module);
+
+    // Pick the site of the result event one third into the legacy run,
+    // and which dynamic instance of that site it is.
+    let mut census = Interp::new(
+        &module,
+        InterpOptions {
+            dispatch: Dispatch::Legacy,
+            ..InterpOptions::default()
+        },
+        SiteCensus::default(),
+    )
+    .unwrap();
+    census.run();
+    let results = census.into_hook().results;
+    assert!(
+        results.len() > 100,
+        "kernel too small to pick a mid-run site"
+    );
+    let pick = results.len() / 3;
+    let target = results[pick];
+    let nth = results[..=pick].iter().filter(|s| **s == target).count() as u64;
+
+    let run = |dispatch: Dispatch, fusion: bool, quiescent: bool| -> (Vec<String>, Observed) {
+        let opts = InterpOptions {
+            dispatch,
+            fusion,
+            quiescent,
+            ..InterpOptions::default()
+        };
+        let mut interp = Interp::new(&module, opts, PhaseRecorder::new(target, nth, 64)).unwrap();
+        let res = interp.run();
+        let obs = Observed {
+            steps: res.steps,
+            digest: interp.state_digest(),
+            status: format!("{:?}", res.status),
+            output: res.output,
+        };
+        (interp.into_hook().events, obs)
+    };
+
+    let (ref_events, ref_obs) = run(Dispatch::Legacy, true, false);
+    assert!(
+        ref_events.iter().any(|e| e.starts_with("result ")),
+        "active window never opened — bad target choice"
+    );
+    for (dispatch, fusion, quiescent) in THREADED_CONFIGS {
+        let (events, obs) = run(dispatch, fusion, quiescent);
+        assert_eq!(
+            events, ref_events,
+            "interp event order fusion={fusion}/quiescent={quiescent} diverged from legacy"
+        );
+        assert_eq!(
+            obs, ref_obs,
+            "interp state fusion={fusion}/quiescent={quiescent} diverged from legacy"
+        );
+    }
+}
+
+/// The asm-level twin of [`PhaseRecorder`]: retire events only, with the
+/// post-retire FLAGS image folded into the log so a fused pair that
+/// clobbered FLAGS between halves would be caught, not just one that
+/// reordered retires.
+struct AsmPhaseRecorder {
+    target: usize,
+    nth: u64,
+    seen: u64,
+    phase: u8,
+    remaining: u32,
+    events: Vec<String>,
+}
+
+impl AsmHook for AsmPhaseRecorder {
+    fn on_retire(&mut self, idx: usize, st: &mut MachState) {
+        match self.phase {
+            0 if idx == self.target => {
+                self.seen += 1;
+                self.events.push(format!(
+                    "pre-retire {idx} n{} flags={:#x}",
+                    self.seen,
+                    st.flags & ALL_FLAGS
+                ));
+                if self.seen == self.nth {
+                    self.phase = 1;
+                }
+            }
+            1 => {
+                self.events
+                    .push(format!("retire {idx} flags={:#x}", st.flags & ALL_FLAGS));
+                self.remaining -= 1;
+                if self.remaining == 0 {
+                    self.phase = 2;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn quiescence(&self) -> Quiescence<usize> {
+        match self.phase {
+            0 => Quiescence::UntilSite(self.target),
+            1 => Quiescence::Active,
+            _ => Quiescence::Forever,
+        }
+    }
+}
+
+/// Same contract at the asm level: the retire-event log of a hook that
+/// sleeps until a mid-loop compare, wakes for a window, and sleeps again
+/// is identical across every core configuration.
+#[test]
+fn machine_hook_event_order_matches_across_cores() {
+    let mut module = fiq_frontend::compile("event-kernel", EVENT_KERNEL).unwrap();
+    fiq_opt::optimize_module(&mut module);
+    let prog = fiq_backend::lower_module(&module, LowerOptions::default()).unwrap();
+
+    // Target the first flags-producer+jcc adjacency — a fusion candidate,
+    // so the quiescent loop has to stop inside a superinstruction.
+    let target = prog
+        .insts
+        .iter()
+        .zip(prog.insts.iter().skip(1))
+        .position(|(head, tail)| {
+            matches!(
+                head,
+                Inst::Cmp { .. } | Inst::Alu { .. } | Inst::Test { .. }
+            ) && matches!(tail, Inst::Jcc { .. })
+        })
+        .expect("kernel lowers with at least one fusable compare+branch");
+
+    let run = |dispatch: Dispatch, fusion: bool, quiescent: bool| -> (Vec<String>, Observed) {
+        let opts = MachOptions {
+            dispatch,
+            fusion,
+            quiescent,
+            ..MachOptions::default()
+        };
+        let hook = AsmPhaseRecorder {
+            target,
+            nth: 4,
+            seen: 0,
+            phase: 0,
+            remaining: 64,
+            events: Vec::new(),
+        };
+        let mut machine = Machine::new(&prog, opts, hook).unwrap();
+        let res = machine.run();
+        let obs = Observed {
+            steps: res.steps,
+            digest: machine.state_digest(),
+            status: format!("{:?}", res.status),
+            output: res.output,
+        };
+        (machine.into_hook().events, obs)
+    };
+
+    let (ref_events, ref_obs) = run(Dispatch::Legacy, true, false);
+    assert!(
+        ref_events.iter().any(|e| e.starts_with("retire ")),
+        "active window never opened — bad target choice"
+    );
+    for (dispatch, fusion, quiescent) in THREADED_CONFIGS {
+        let (events, obs) = run(dispatch, fusion, quiescent);
+        assert_eq!(
+            events, ref_events,
+            "machine event order fusion={fusion}/quiescent={quiescent} diverged from legacy"
+        );
+        assert_eq!(
+            obs, ref_obs,
+            "machine state fusion={fusion}/quiescent={quiescent} diverged from legacy"
+        );
+    }
+}
+
+/// Flips one FLAGS bit at the Nth retire of the targeted instruction,
+/// with the same quiescence phases as the real PINFI hook: inert until
+/// the site, inert forever once the fault is in.
+struct FlagInjector {
+    target: usize,
+    nth: u64,
+    seen: u64,
+    injected: bool,
+}
+
+impl AsmHook for FlagInjector {
+    fn on_retire(&mut self, idx: usize, st: &mut MachState) {
+        if !self.injected && idx == self.target {
+            self.seen += 1;
+            if self.seen == self.nth {
+                st.flags ^= 1 << ZF;
+                self.injected = true;
+            }
+        }
+    }
+
+    fn quiescence(&self) -> Quiescence<usize> {
+        if self.injected {
+            Quiescence::Forever
+        } else {
+            Quiescence::UntilSite(self.target)
+        }
+    }
+}
+
+/// A FLAGS-targeted injection delivered at the ALU half of a fused
+/// ALU+jcc superinstruction must steer the branch: the fused pair
+/// re-reads FLAGS after the head's retire event, so flipping ZF there
+/// behaves exactly as it does between two legacy steps. The backend
+/// always separates ALU ops from branches with an explicit compare, so
+/// the pair is hand-assembled: a countdown loop whose `sub rax, 1` feeds
+/// `jne` directly (the sub-as-compare idiom the fusion exists for).
+#[test]
+fn flag_injection_inside_fused_alu_jcc_steers_branch_identically() {
+    let insts = vec![
+        Inst::Mov {
+            width: Width::B8,
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(32),
+        },
+        Inst::Mov {
+            width: Width::B8,
+            dst: Operand::Reg(Reg::Rbx),
+            src: Operand::Imm(0),
+        },
+        // loop: rbx += rax; rax -= 1; jne loop
+        Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::Rbx,
+            src: Operand::Reg(Reg::Rax),
+        },
+        Inst::Alu {
+            op: AluOp::Sub,
+            dst: Reg::Rax,
+            src: Operand::Imm(1),
+        },
+        Inst::Jcc {
+            cond: Cond::Ne,
+            target: 2,
+        },
+        Inst::Ret,
+    ];
+    let prog = AsmProgram {
+        insts,
+        funcs: vec![AsmFunc {
+            name: "main".into(),
+            entry: 0,
+            end: 6,
+        }],
+        globals: vec![],
+        main: 0,
+    };
+    let sub_idx = 3;
+
+    let run = |dispatch: Dispatch, fusion: bool, quiescent: bool, nth: u64| -> Observed {
+        let opts = MachOptions {
+            dispatch,
+            fusion,
+            quiescent,
+            ..MachOptions::default()
+        };
+        let hook = FlagInjector {
+            target: sub_idx,
+            nth,
+            seen: 0,
+            injected: false,
+        };
+        let mut machine = Machine::new(&prog, opts, hook).unwrap();
+        let res = machine.run();
+        assert!(machine.hook().injected, "fault was never delivered");
+        Observed {
+            steps: res.steps,
+            digest: machine.state_digest(),
+            status: format!("{:?}", res.status),
+            output: res.output,
+        }
+    };
+
+    // Flip ZF at the 5th `sub rax, 1` (rax = 27, ZF would be clear):
+    // `jne` must fall through and the loop must exit 27 iterations early.
+    let faulty_ref = run(Dispatch::Legacy, true, false, 5);
+    let clean = run_machine(&prog, Dispatch::Legacy, true, false, 1_000_000);
+    assert!(
+        faulty_ref.steps < clean.steps,
+        "injection did not steer the branch: {} vs {} steps",
+        faulty_ref.steps,
+        clean.steps
+    );
+    for (dispatch, fusion, quiescent) in THREADED_CONFIGS {
+        let got = run(dispatch, fusion, quiescent, 5);
+        assert_eq!(
+            got, faulty_ref,
+            "steered branch fusion={fusion}/quiescent={quiescent} diverged from legacy"
+        );
+        let got = run_machine(&prog, dispatch, fusion, quiescent, 1_000_000);
+        assert_eq!(
+            got, clean,
+            "clean run fusion={fusion}/quiescent={quiescent} diverged from legacy"
+        );
     }
 }
 
