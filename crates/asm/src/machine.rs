@@ -6,7 +6,8 @@ use crate::inst::{AluOp, ExtFn, Inst, MemRef, Operand, ShiftOp, SseOp, Width, XO
 use crate::program::AsmProgram;
 use crate::regs::{Reg, Xmm};
 use fiq_mem::{
-    Console, Dispatch, Hasher64, MemSnapshot, Memory, Quiescence, RunStatus, StateDigest, Trap,
+    component, Console, Dispatch, Divergence, Hasher64, MemSnapshot, Memory, Quiescence, RunStatus,
+    StateDigest, Trap,
 };
 use std::sync::Arc;
 
@@ -391,7 +392,15 @@ impl<'p, H: AsmHook> Machine<'p, H> {
                     if self.steps >= pause_at {
                         return None;
                     }
-                    let r = if !quiescent_ok {
+                    // A fused pair retires two instructions atomically and
+                    // would overshoot a boundary landing between its
+                    // halves; route the final step through the scalar
+                    // stepper so every dispatch mode pauses at the same
+                    // instruction boundary (the tail keeps its plain
+                    // decode, so the threaded core resumes cleanly).
+                    let r = if pause_at - self.steps == 1 {
+                        self.step()
+                    } else if !quiescent_ok {
                         self.step_decoded(&dec)
                     } else {
                         match self.hook.quiescence() {
@@ -455,7 +464,15 @@ impl<'p, H: AsmHook> Machine<'p, H> {
                     next_at += interval;
                 }
             }
-            match self.step_dispatch() {
+            // Capture boundaries must be dispatch-invariant: take the
+            // step leading into one through the scalar stepper so a
+            // fused pair cannot carry the capture point past it.
+            let r = if next_at - self.steps == 1 {
+                self.step()
+            } else {
+                self.step_dispatch()
+            };
+            match r {
                 Ok(()) => {}
                 Err(Stop::Finished) => break RunStatus::Finished,
                 Err(Stop::Trap(t)) => break RunStatus::Trapped(t),
@@ -552,6 +569,55 @@ impl<'p, H: AsmHook> Machine<'p, H> {
     /// differential tests can compare final states across dispatch modes.
     pub fn state_digest(&self) -> StateDigest {
         StateDigest::new(self.arch_hash(), &self.st.console)
+    }
+
+    /// Component-granular divergence of the live state from a golden
+    /// checkpoint, for per-injection divergence timelines:
+    ///
+    /// * [`component::FRAMES`] — control position differs: RIP or the
+    ///   retired-instruction clock.
+    /// * [`component::REGS`] — a general-purpose or XMM register differs.
+    /// * [`component::FLAGS`] — the FLAGS word differs.
+    /// * [`component::CONSOLE`] — printed output differs.
+    /// * [`component::MEM`] — one or more 4 KiB pages or the allocation
+    ///   layout differ; `pages` counts the diverged pages.
+    ///
+    /// Register/FLAGS/RIP comparisons are exact; console and per-page
+    /// comparisons are hash-based (inequality is proof; see
+    /// [`fiq_mem::Divergence`]), and an apparently clean observation is
+    /// confirmed with the exact byte compare — [`Divergence::clean`]
+    /// means byte-identical state, never a hash-collision artifact.
+    pub fn divergence_from(&self, snap: &MachSnapshot) -> Divergence {
+        let mut components = 0u8;
+        if self.steps != snap.steps || self.rip != snap.rip {
+            components |= component::FRAMES;
+        }
+        if self.st.regs != snap.regs || self.st.xmm != snap.xmm {
+            components |= component::REGS;
+        }
+        if self.st.flags != snap.flags {
+            components |= component::FLAGS;
+        }
+        if !snap.digest.console_matches(&self.st.console) {
+            components |= component::CONSOLE;
+        }
+        let mut pages = self.st.mem.diverged_pages(&snap.mem);
+        if pages > 0 || !self.st.mem.layout_matches_snapshot(&snap.mem) {
+            components |= component::MEM;
+        }
+        if components == 0 {
+            // "Fully converged" ends a timeline, so rule out hash
+            // collisions (console/pages) with the exact compare.
+            if self.st.console.contents() != snap.console.contents() {
+                components |= component::CONSOLE;
+            }
+            let exact = self.st.mem.diverged_pages_exact(&snap.mem);
+            if exact > 0 {
+                components |= component::MEM;
+                pages = exact;
+            }
+        }
+        Divergence { components, pages }
     }
 
     /// Hashes everything outside memory and console: GPRs, XMM halves,
@@ -820,7 +886,10 @@ impl<'p, H: AsmHook> Machine<'p, H> {
     ) -> Result<bool, Stop> {
         let s0 = self.steps;
         let r = loop {
-            if self.steps >= pause_at {
+            // Yield one step early: a fused pair would overshoot the
+            // boundary, so the caller's drive loop takes the final step
+            // through the scalar stepper.
+            if pause_at.saturating_sub(self.steps) <= 1 {
                 break Ok(false);
             }
             if let Some(w) = watch {

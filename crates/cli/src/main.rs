@@ -6,17 +6,18 @@
 //! fiq run <prog> [--level ir|asm]           execute at either level
 //! fiq profile <prog>                        Table-III category counts, both levels
 //! fiq inject <prog> --tool llfi|pinfi --category <cat> [--seed S]
-//! fiq trace <prog> --category <cat> [--seed S]      LLFI injection + propagation report
+//! fiq trace <prog> [--category <cat>] [--seed S]     LLFI injection + propagation report
+//!           [--site F:I [--instance N] [--bit B]] [--json]
 //! fiq campaign <prog> --category <cat> [--injections N] [--seed S] [--threads N]
 //!              [--records FILE] [--resume] [--progress]
-//!              [--telemetry FILE]
+//!              [--telemetry FILE] [--divergence FILE]
 //!              [--fast-forward] [--snapshot-interval K]
 //!              [--early-exit | --no-early-exit]
 //!              [--no-flag-pruning] [--no-xmm-pruning]
 //!              [--dispatch legacy|threaded] [--no-fusion] [--no-quiescent]
 //!              [--collapse sampled|exact]
 //! fiq collapse-check <prog> [--category <cat>] [--json FILE]
-//! fiq report <records.jsonl> [--telemetry FILE] [--json]
+//! fiq report <records.jsonl> [--telemetry FILE] [--divergence FILE] [--json]
 //! fiq fuzz [--seed S] [--count N] [--opt-level 0..3] [--oracle NAME]
 //!          [--max-steps N] [--corpus-dir DIR] [--no-reduce]
 //! ```
@@ -28,9 +29,21 @@
 //! counts on stderr (throttled to one redraw per 100 ms, with a
 //! guaranteed final line). `--telemetry FILE` writes the sharded
 //! campaign telemetry (counters, histograms, per-task events) as JSONL;
-//! it never changes campaign output. `report` joins a record file with
+//! it never changes campaign output. `--divergence FILE` streams one
+//! JSONL divergence timeline per injection — which 4 KiB pages and
+//! which architectural-state components differ from the golden snapshot
+//! at every checkpoint the faulty run crosses after injection; it
+//! implies checkpoint capture and never changes the record stream.
+//! `report` joins a record file with
 //! its telemetry stream into outcome tables (Wilson 95% CIs) plus
-//! speedup attribution; `--json` emits the machine-readable form.
+//! speedup attribution, and with `--divergence` adds the propagation
+//! section (birth/masking funnels, per-cell propagation-distance
+//! histograms, LLFI-vs-PINFI spread comparison); `--json` emits the
+//! machine-readable form. `trace` replays one LLFI injection under the
+//! SSA taint tracer; `--site F:I` pins the static site (function F,
+//! instruction I) instead of random planning, `--instance`/`--bit`
+//! select the dynamic instance and destination bit, and `--json` emits
+//! the propagation report as one JSON object.
 //! `--fast-forward` captures
 //! checkpoints during the profiling run and restores the one nearest
 //! each injection point instead of replaying the golden prefix (output
@@ -126,8 +139,8 @@ fn flag_spec(cmd: &str) -> Option<FlagSpec> {
             boolean: &COMPILE_BOOLS,
         },
         "trace" => FlagSpec {
-            value: &["category", "seed"],
-            boolean: &COMPILE_BOOLS,
+            value: &["category", "seed", "site", "instance", "bit"],
+            boolean: &["no-opt", "no-fold-gep", "no-callee-saved", "json"],
         },
         "campaign" => FlagSpec {
             value: &[
@@ -137,6 +150,7 @@ fn flag_spec(cmd: &str) -> Option<FlagSpec> {
                 "threads",
                 "records",
                 "telemetry",
+                "divergence",
                 "snapshot-interval",
                 "dispatch",
                 "collapse",
@@ -161,7 +175,7 @@ fn flag_spec(cmd: &str) -> Option<FlagSpec> {
             boolean: &COMPILE_BOOLS,
         },
         "report" => FlagSpec {
-            value: &["records", "telemetry"],
+            value: &["records", "telemetry", "divergence"],
             boolean: &["json"],
         },
         "fuzz" => FlagSpec {
@@ -459,17 +473,94 @@ fn cmd_inject(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--site F:I` into a bounds-checked static instruction site.
+fn parse_site(module: &Module, spec: &str) -> Result<fiq_interp::InstSite, String> {
+    let (f, i) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("--site expects FUNC:INST (e.g. 0:7), got `{spec}`"))?;
+    let func: u32 = f
+        .parse()
+        .map_err(|_| format!("--site function index: expected a number, got `{f}`"))?;
+    let inst: u32 = i
+        .parse()
+        .map_err(|_| format!("--site instruction index: expected a number, got `{i}`"))?;
+    if func as usize >= module.funcs.len() {
+        return Err(format!(
+            "--site: function {func} out of range (module has {} functions)",
+            module.funcs.len()
+        ));
+    }
+    let insts = module.funcs[func as usize].insts.len();
+    if inst as usize >= insts {
+        return Err(format!(
+            "--site: instruction {inst} out of range (function {func} has {insts} instructions)"
+        ));
+    }
+    Ok(fiq_interp::InstSite {
+        func: fiq_ir::FuncId(func),
+        inst: fiq_ir::InstId(inst),
+    })
+}
+
 fn cmd_trace(args: &Args) -> Result<(), String> {
     let module = load_program(args)?;
-    let cat = category(args)?;
-    let mut rng = StdRng::seed_from_u64(seed(args)?);
     let lp = profile_llfi(&module, InterpOptions::default())?;
-    let inj = plan_llfi(&module, &lp, cat, &mut rng).ok_or("category has no dynamic instances")?;
+    let inj = match args.flag("site") {
+        Some(spec) => {
+            let bit: u32 = args.num_flag("bit", 0)?;
+            if bit >= 64 {
+                return Err(format!("--bit expects 0..=63, got {bit}"));
+            }
+            fiq_core::LlfiInjection {
+                site: parse_site(&module, spec)?,
+                instance: args.num_flag("instance", 1)?,
+                bit,
+            }
+        }
+        None => {
+            if args.has("instance") || args.has("bit") {
+                return Err("--instance/--bit require --site".into());
+            }
+            let cat = category(args)?;
+            let mut rng = StdRng::seed_from_u64(seed(args)?);
+            plan_llfi(&module, &lp, cat, &mut rng).ok_or("category has no dynamic instances")?
+        }
+    };
+    let rep = fiq_core::trace_llfi(&module, InterpOptions::default(), inj, &lp.golden_output)?;
+    if args.has("json") {
+        let j = Json::Obj(vec![
+            ("report".into(), Json::str("trace")),
+            (
+                "program".into(),
+                Json::str(args.positional.first().map_or("", String::as_str)),
+            ),
+            ("func".into(), Json::u64(u64::from(inj.site.func.0))),
+            ("inst".into(), Json::u64(u64::from(inj.site.inst.0))),
+            ("instance".into(), Json::u64(inj.instance)),
+            ("bit".into(), Json::u64(u64::from(inj.bit))),
+            ("outcome".into(), Json::str(rep.outcome.name())),
+            (
+                "tainted_instructions".into(),
+                Json::u64(rep.tainted_instructions),
+            ),
+            (
+                "tainted_static_sites".into(),
+                Json::u64(rep.tainted_static_sites as u64),
+            ),
+            (
+                "peak_tainted_memory".into(),
+                Json::u64(rep.peak_tainted_memory),
+            ),
+            ("tainted_branches".into(), Json::u64(rep.tainted_branches)),
+            ("tainted_outputs".into(), Json::u64(rep.tainted_outputs)),
+        ]);
+        println!("{j}");
+        return Ok(());
+    }
     println!(
         "plan: {}/{} instance {} bit {}",
         inj.site.func, inj.site.inst, inj.instance, inj.bit
     );
-    let rep = fiq_core::trace_llfi(&module, InterpOptions::default(), inj, &lp.golden_output)?;
     println!("outcome:              {}", rep.outcome);
     println!(
         "tainted instructions: {} dynamic / {} static sites",
@@ -506,9 +597,13 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         return Err("--early-exit and --no-early-exit are mutually exclusive".into());
     }
     let fast_forward = args.has("fast-forward") || args.flag("snapshot-interval").is_some();
-    // Checkpoints serve both optimizations; early exit defaults to on
-    // whenever checkpoints exist, and `--early-exit` alone captures them.
-    let want_snapshots = fast_forward || (args.has("early-exit") && !args.has("no-early-exit"));
+    let divergence = args.flag("divergence").map(PathBuf::from);
+    // Checkpoints serve both optimizations and the divergence observatory;
+    // early exit defaults to on whenever checkpoints exist, and
+    // `--early-exit` or `--divergence` alone captures them.
+    let want_snapshots = fast_forward
+        || divergence.is_some()
+        || (args.has("early-exit") && !args.has("no-early-exit"));
     let early_exit = want_snapshots && !args.has("no-early-exit");
     let (llfi_snaps, pinfi_snaps) = if want_snapshots {
         let l_iv = if interval > 0 {
@@ -588,6 +683,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     let opts = EngineOptions {
         records: records.as_deref(),
         telemetry: telemetry.as_deref(),
+        divergence: divergence.as_deref(),
         resume: args.has("resume"),
         fast_forward,
         early_exit,
@@ -874,16 +970,21 @@ fn progress_line(p: Progress, secs: f64) -> String {
     )
 }
 
-/// `fiq report <records.jsonl> [--telemetry FILE] [--json]` — join a
-/// campaign record stream with its telemetry stream and summarize.
+/// `fiq report <records.jsonl> [--telemetry FILE] [--divergence FILE]
+/// [--json]` — join a campaign record stream with its telemetry and
+/// divergence streams and summarize.
 fn cmd_report(args: &Args) -> Result<(), String> {
     let records = args
         .flag("records")
         .map(PathBuf::from)
         .or_else(|| args.positional.first().map(PathBuf::from))
-        .ok_or("usage: fiq report <records.jsonl> [--telemetry FILE] [--json]")?;
+        .ok_or(
+            "usage: fiq report <records.jsonl> [--telemetry FILE] [--divergence FILE] [--json]",
+        )?;
     let telemetry = args.flag("telemetry").map(PathBuf::from);
-    let report = fiq_core::CampaignReport::build(&records, telemetry.as_deref())?;
+    let divergence = args.flag("divergence").map(PathBuf::from);
+    let report =
+        fiq_core::CampaignReport::build(&records, telemetry.as_deref(), divergence.as_deref())?;
     if args.has("json") {
         println!("{}", report.to_json());
     } else {

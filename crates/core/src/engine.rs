@@ -32,6 +32,7 @@ use crate::collapse::{
     analyze_llfi, analyze_pinfi, collapse_llfi, collapse_pinfi, Collapse, CollapseStats,
     LlfiAnalysis, PinfiAnalysis,
 };
+use crate::divergence::{parse_timeline, timeline_line, Timeline, DIVERGENCE_VERSION};
 use crate::json::Json;
 use crate::llfi::{plan_llfi_from, run_llfi_observed, LlfiInjection};
 use crate::outcome::{Outcome, OutcomeCounts};
@@ -203,6 +204,17 @@ pub struct EngineOptions<'a> {
     /// distribution equals brute-force full enumeration with zero
     /// sampling error.
     pub collapse: Collapse,
+    /// Write one JSONL divergence timeline per injection to this path:
+    /// at every golden checkpoint a faulty run crosses after its fault
+    /// is applied, which state components and how many 4 KiB pages
+    /// diverge from the golden snapshot (cells without a
+    /// [`CellSpec::snapshots`] cache produce empty timelines).
+    /// Observation is passive — campaign output, record bytes, and every
+    /// telemetry counter shared with non-divergence runs are
+    /// byte-identical with this on or off. Composes with
+    /// [`EngineOptions::resume`]: both streams are truncated to their
+    /// common valid task prefix.
+    pub divergence: Option<&'a Path>,
 }
 
 impl Default for EngineOptions<'_> {
@@ -218,6 +230,7 @@ impl Default for EngineOptions<'_> {
             fusion: true,
             quiescent: true,
             collapse: Collapse::default(),
+            divergence: None,
         }
     }
 }
@@ -275,9 +288,12 @@ struct TaskResult {
     steps: u64,
     early_exit: bool,
     fast_forwarded: bool,
+    /// Divergence timeline; `Some` exactly when the engine runs with
+    /// [`EngineOptions::divergence`] (empty for cells without snapshots).
+    timeline: Option<Timeline>,
 }
 
-/// Reorder buffer + record writer; guarded by one mutex.
+/// Reorder buffer + record/divergence writers; guarded by one mutex.
 struct Sink {
     outcomes: Vec<Option<Outcome>>,
     pending: BTreeMap<usize, TaskResult>,
@@ -285,6 +301,13 @@ struct Sink {
     writer: Option<BufWriter<File>>,
     /// Records written since the last explicit flush.
     unflushed: usize,
+    /// Divergence-timeline stream, advancing in lockstep with the record
+    /// stream (same task order, same reorder buffer).
+    div_writer: Option<BufWriter<File>>,
+    /// Timeline lines written since the divergence stream's last
+    /// explicit flush (tracked separately so the record stream's flush
+    /// telemetry stays byte-identical with divergence on or off).
+    div_unflushed: usize,
 }
 
 struct Shared<'a, 't> {
@@ -307,6 +330,7 @@ struct Shared<'a, 't> {
     resumed: usize,
     fast_forward: bool,
     early_exit: bool,
+    divergence: bool,
     tel: Option<&'t TelemetryHub>,
 }
 
@@ -457,40 +481,61 @@ pub fn run_campaign(
         })
         .collect();
 
-    // 2. Open the record stream, replaying any resumable prefix.
+    // 2. Open the record stream (and the divergence stream when enabled),
+    //    replaying any resumable prefix. The two streams advance in task
+    //    lockstep, but a kill can tear them at different lengths — resume
+    //    reconciles by truncating both to the common valid task prefix.
     let header = header_line(cells, cfg, &planned, opts.collapse, &spaces);
+    let div_header = divergence_header_line(cells, cfg, &planned);
     let mut outcomes: Vec<Option<Outcome>> = vec![None; tasks.len()];
     let mut resumed = 0usize;
-    let writer = match opts.records {
-        None => None,
+    let mut writer = None;
+    let mut div_writer = None;
+    match opts.records {
+        None => {
+            // No record stream to resume from: a divergence stream always
+            // starts fresh.
+            if let Some(path) = opts.divergence {
+                div_writer = Some(create_stream(path, &div_header, "divergence")?);
+            }
+        }
         Some(path) => {
             if opts.resume && path.exists() {
-                let prefix = load_resume(path, &header)?;
-                resumed = prefix.outcomes.len();
+                let mut prefix = load_resume(path, &header)?;
+                let mut keep = prefix.outcomes.len();
+                let div_prefix = match opts.divergence {
+                    Some(div_path) => {
+                        if !div_path.exists() {
+                            return Err(format!(
+                                "cannot resume with --divergence: {} exists but {} does not; \
+                                 delete the record file to start over",
+                                path.display(),
+                                div_path.display()
+                            ));
+                        }
+                        let dp = load_div_resume(div_path, &div_header)?;
+                        keep = keep.min(dp.timelines);
+                        Some(dp)
+                    }
+                    None => None,
+                };
+                prefix.outcomes.truncate(keep);
+                resumed = keep;
+                writer = Some(reopen_stream(path, prefix.byte_len(keep), "record")?);
+                if let (Some(div_path), Some(dp)) = (opts.divergence, div_prefix) {
+                    div_writer = Some(reopen_stream(div_path, dp.byte_len(keep), "divergence")?);
+                }
                 for (i, o) in prefix.outcomes.into_iter().enumerate() {
                     outcomes[i] = Some(o);
                 }
-                let mut file = OpenOptions::new()
-                    .read(true)
-                    .write(true)
-                    .open(path)
-                    .map_err(|e| format!("open record file {}: {e}", path.display()))?;
-                // Drop any partial trailing line left by a kill.
-                file.set_len(prefix.valid_bytes)
-                    .map_err(|e| format!("truncate record file {}: {e}", path.display()))?;
-                file.seek(SeekFrom::End(0))
-                    .map_err(|e| format!("seek record file {}: {e}", path.display()))?;
-                Some(BufWriter::new(file))
             } else {
-                let file = File::create(path)
-                    .map_err(|e| format!("create record file {}: {e}", path.display()))?;
-                let mut w = BufWriter::new(file);
-                writeln!(w, "{header}").map_err(|e| format!("write record header: {e}"))?;
-                w.flush().map_err(|e| format!("write record header: {e}"))?;
-                Some(w)
+                writer = Some(create_stream(path, &header, "record")?);
+                if let Some(div_path) = opts.divergence {
+                    div_writer = Some(create_stream(div_path, &div_header, "divergence")?);
+                }
             }
         }
-    };
+    }
 
     // 3. Drain the task list with one shared worker pool.
     let remaining = tasks.len() - resumed;
@@ -550,12 +595,15 @@ pub fn run_campaign(
             next_flush: resumed,
             writer,
             unflushed: 0,
+            div_writer,
+            div_unflushed: 0,
         }),
         error: Mutex::new(None),
         progress: opts.progress,
         resumed,
         fast_forward: opts.fast_forward,
         early_exit: opts.early_exit,
+        divergence: opts.divergence.is_some(),
         tel: hub.as_ref(),
     };
     // Default thread stacks suffice: guest recursion lives on the
@@ -600,6 +648,10 @@ pub fn run_campaign(
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(w) = sink.writer.as_mut() {
         w.flush().map_err(|e| format!("flush record file: {e}"))?;
+    }
+    if let Some(w) = sink.div_writer.as_mut() {
+        w.flush()
+            .map_err(|e| format!("flush divergence file: {e}"))?;
     }
     if let (Some(hub), Some(file)) = (&hub, &tel_file) {
         if sink.unflushed > 0 {
@@ -719,6 +771,7 @@ fn worker(shared: &Shared<'_, '_>, index: usize) {
                 shared.quiescent,
                 shared.fast_forward,
                 shared.early_exit,
+                shared.divergence,
                 tel,
             )
         }));
@@ -762,6 +815,22 @@ fn worker(shared: &Shared<'_, '_>, index: usize) {
             if result.early_exit {
                 h.cell_add(task.cell, cell_counter::EARLY_EXITED, 1);
             }
+            if let Some(tl) = &result.timeline {
+                h.cell_add(task.cell, cell_counter::TIMELINES, 1);
+                h.cell_record(
+                    task.cell,
+                    cell_hist::DIV_PEAK_PAGES,
+                    u64::from(tl.peak_pages()),
+                );
+                h.cell_record(task.cell, cell_hist::DIV_DISTANCE, tl.distance());
+                if tl.birth().is_some() {
+                    h.cell_add(task.cell, cell_counter::DIV_BORN, 1);
+                }
+                if let Some(mt) = tl.mask_time() {
+                    h.cell_add(task.cell, cell_counter::DIV_MASKED, 1);
+                    h.cell_record(task.cell, cell_hist::DIV_MASK_TIME, mt);
+                }
+            }
             h.event(
                 "task",
                 vec![
@@ -803,17 +872,20 @@ fn execute(
     quiescent: bool,
     fast_forward: bool,
     early_exit: bool,
+    divergence: bool,
     tel: TaskTel<'_>,
 ) -> Result<TaskResult, String> {
-    // The same snapshot cache serves both optimizations: fast-forward
-    // restores the latest pre-injection checkpoint; early exit compares
-    // the post-injection run against later checkpoints.
-    let cache = if fast_forward || early_exit {
+    // The same snapshot cache serves all three uses: fast-forward
+    // restores the latest pre-injection checkpoint; early exit and
+    // divergence observation compare the post-injection run against
+    // later checkpoints.
+    let cache = if fast_forward || early_exit || divergence {
         cell.snapshots.as_deref()
     } else {
         None
     };
     let mut fast_forwarded = false;
+    let mut timeline = divergence.then(Timeline::new);
     match (&cell.substrate, plan) {
         (Substrate::Llfi { module, profile }, Plan::Llfi(inj)) => {
             let opts = InterpOptions {
@@ -836,7 +908,7 @@ fn execute(
                 _ => None,
             };
             let golden = match cache {
-                Some(SnapshotCache::Llfi(snaps)) if early_exit => Some(GoldenRef {
+                Some(SnapshotCache::Llfi(snaps)) if early_exit || divergence => Some(GoldenRef {
                     snapshots: snaps.as_slice(),
                     golden_steps: profile.golden_steps,
                 }),
@@ -854,6 +926,8 @@ fn execute(
                 &profile.golden_output,
                 snap,
                 golden,
+                early_exit,
+                timeline.as_mut(),
                 dec,
                 tel,
             )
@@ -876,7 +950,7 @@ fn execute(
                 _ => None,
             };
             let golden = match cache {
-                Some(SnapshotCache::Pinfi(snaps)) if early_exit => Some(GoldenRef {
+                Some(SnapshotCache::Pinfi(snaps)) if early_exit || divergence => Some(GoldenRef {
                     snapshots: snaps.as_slice(),
                     golden_steps: profile.golden_steps,
                 }),
@@ -894,6 +968,8 @@ fn execute(
                 &profile.golden_output,
                 snap,
                 golden,
+                early_exit,
+                timeline.as_mut(),
                 dec,
                 tel,
             )
@@ -905,6 +981,7 @@ fn execute(
         steps: d.steps,
         early_exit: d.early_exit,
         fast_forwarded,
+        timeline,
     })
 }
 
@@ -953,6 +1030,31 @@ fn deliver(
                 sink.unflushed = 0;
                 let w = sink.writer.as_mut().expect("checked above");
                 w.flush().map_err(|e| format!("write record: {e}"))?;
+            }
+        }
+        if sink.div_writer.is_some() {
+            let task = &shared.tasks[flush_index];
+            let cell = &shared.cells[task.cell];
+            let tl = res
+                .timeline
+                .as_ref()
+                .ok_or("internal error: divergence stream open without a timeline")?;
+            let line = timeline_line(
+                &cell.label,
+                cell.substrate.tool(),
+                cell.category.name(),
+                flush_index as u64,
+                task.injection,
+                res.outcome,
+                tl,
+            );
+            let w = sink.div_writer.as_mut().expect("checked above");
+            writeln!(w, "{line}").map_err(|e| format!("write divergence: {e}"))?;
+            sink.div_unflushed += 1;
+            if sink.div_unflushed >= FLUSH_EVERY {
+                sink.div_unflushed = 0;
+                let w = sink.div_writer.as_mut().expect("checked above");
+                w.flush().map_err(|e| format!("write divergence: {e}"))?;
             }
         }
     }
@@ -1019,6 +1121,33 @@ fn header_line(
     Json::Obj(fields).to_string()
 }
 
+/// The divergence-stream header line: identifies the campaign the stream
+/// belongs to, mirroring the record header, so resume can reconcile the
+/// two files and refuse a mismatched one.
+fn divergence_header_line(cells: &[CellSpec<'_>], cfg: &CampaignConfig, planned: &[u32]) -> String {
+    let cell_objs = cells
+        .iter()
+        .zip(planned)
+        .map(|(c, &p)| {
+            Json::Obj(vec![
+                ("label".into(), Json::str(c.label.clone())),
+                ("tool".into(), Json::str(c.substrate.tool())),
+                ("category".into(), Json::str(c.category.name())),
+                ("planned".into(), Json::u64(u64::from(p))),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("record".into(), Json::str("divergence")),
+        ("version".into(), Json::u64(DIVERGENCE_VERSION)),
+        ("seed".into(), Json::u64(cfg.seed)),
+        ("injections".into(), Json::u64(u64::from(cfg.injections))),
+        ("hang_factor".into(), Json::u64(cfg.hang_factor)),
+        ("cells".into(), Json::Arr(cell_objs)),
+    ])
+    .to_string()
+}
+
 /// One per-injection record line. Exact-collapse records append the
 /// class weight; sampled records stay byte-identical to version 1.
 fn record_line(
@@ -1059,11 +1188,49 @@ fn record_line(
     Json::Obj(fields).to_string()
 }
 
+/// Creates a JSONL stream file and writes its header line.
+fn create_stream(path: &Path, header: &str, what: &str) -> Result<BufWriter<File>, String> {
+    let file =
+        File::create(path).map_err(|e| format!("create {what} file {}: {e}", path.display()))?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "{header}").map_err(|e| format!("write {what} header: {e}"))?;
+    w.flush().map_err(|e| format!("write {what} header: {e}"))?;
+    Ok(w)
+}
+
+/// Reopens an interrupted stream for appending: truncates it to the valid
+/// prefix (dropping torn tail lines and, under divergence reconciliation,
+/// complete lines past the common task prefix) and seeks to its end.
+fn reopen_stream(path: &Path, valid_bytes: u64, what: &str) -> Result<BufWriter<File>, String> {
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .map_err(|e| format!("open {what} file {}: {e}", path.display()))?;
+    file.set_len(valid_bytes)
+        .map_err(|e| format!("truncate {what} file {}: {e}", path.display()))?;
+    file.seek(SeekFrom::End(0))
+        .map_err(|e| format!("seek {what} file {}: {e}", path.display()))?;
+    Ok(BufWriter::new(file))
+}
+
 struct ResumePrefix {
     /// Outcomes of tasks `0..outcomes.len()`, in task order.
     outcomes: Vec<Outcome>,
-    /// Byte length of the valid prefix (header + complete records).
-    valid_bytes: u64,
+    /// Byte length of the header line.
+    header_bytes: u64,
+    /// `offsets[i]` = byte length of the header plus records `0..=i`.
+    offsets: Vec<u64>,
+}
+
+impl ResumePrefix {
+    /// Byte length of the header plus the first `records` records.
+    fn byte_len(&self, records: usize) -> u64 {
+        match records.checked_sub(1) {
+            Some(last) => self.offsets[last],
+            None => self.header_bytes,
+        }
+    }
 }
 
 /// Parses the longest valid prefix of an existing record file.
@@ -1072,45 +1239,104 @@ struct ResumePrefix {
 /// contiguous from task 0. A torn final line (from a kill mid-write) is
 /// dropped, as is anything after the first malformed record.
 fn load_resume(path: &Path, expected_header: &str) -> Result<ResumePrefix, String> {
+    let (outcomes, header_bytes, offsets) =
+        load_prefix(path, expected_header, "record", "--records", parse_record)?;
+    Ok(ResumePrefix {
+        outcomes,
+        header_bytes,
+        offsets,
+    })
+}
+
+/// The valid prefix of an interrupted run's divergence stream.
+struct DivPrefix {
+    /// Complete, well-formed timeline lines, contiguous from task 0.
+    timelines: usize,
+    header_bytes: u64,
+    offsets: Vec<u64>,
+}
+
+impl DivPrefix {
+    /// Byte length of the header plus the first `timelines` lines.
+    fn byte_len(&self, timelines: usize) -> u64 {
+        match timelines.checked_sub(1) {
+            Some(last) => self.offsets[last],
+            None => self.header_bytes,
+        }
+    }
+}
+
+/// [`load_resume`] for the divergence stream: validates the header and
+/// the longest contiguous timeline prefix (torn-tail tolerant, like the
+/// records channel).
+fn load_div_resume(path: &Path, expected_header: &str) -> Result<DivPrefix, String> {
+    let (lines, header_bytes, offsets) = load_prefix(
+        path,
+        expected_header,
+        "divergence",
+        "--divergence",
+        |line, i| parse_timeline(line, i).then_some(()),
+    )?;
+    Ok(DivPrefix {
+        timelines: lines.len(),
+        header_bytes,
+        offsets,
+    })
+}
+
+/// Streams the longest valid prefix of a JSONL stream: the header line
+/// must equal `expected_header`, and `parse(line, index)` validates each
+/// subsequent line. Returns the parsed items, the header's byte length,
+/// and the cumulative byte offset after each item — the offsets let
+/// resume truncate the file back to any item count, not just the full
+/// valid prefix (needed when reconciling the record and divergence
+/// streams to their common task prefix).
+fn load_prefix<T>(
+    path: &Path,
+    expected_header: &str,
+    what: &str,
+    flag: &str,
+    parse: impl Fn(&str, usize) -> Option<T>,
+) -> Result<(Vec<T>, u64, Vec<u64>), String> {
     // Stream line by line instead of slurping the whole file: resume files
     // grow with the campaign (one line per injection) and only the tiny
     // parsed prefix needs to stay in memory.
-    let file = File::open(path).map_err(|e| format!("read record file {}: {e}", path.display()))?;
+    let file = File::open(path).map_err(|e| format!("read {what} file {}: {e}", path.display()))?;
     let mut reader = BufReader::new(file);
     let mut line = String::new();
-    let read_err = |e: std::io::Error| format!("read record file {}: {e}", path.display());
+    let read_err = |e: std::io::Error| format!("read {what} file {}: {e}", path.display());
     reader.read_line(&mut line).map_err(read_err)?;
     if !line.ends_with('\n') {
         return Err(format!(
-            "record file {} has no complete header line; delete it to start over",
+            "{what} file {} has no complete header line; delete it to start over",
             path.display()
         ));
     }
     if line.trim_end_matches('\n') != expected_header {
         return Err(format!(
-            "record file {} belongs to a different campaign (seed, cells, or config \
-             changed); delete it or pick another --records path",
+            "{what} file {} belongs to a different campaign (seed, cells, or config \
+             changed); delete it or pick another {flag} path",
             path.display()
         ));
     }
-    let mut outcomes = Vec::new();
-    let mut valid = line.len();
+    let header_bytes = line.len() as u64;
+    let mut items = Vec::new();
+    let mut offsets = Vec::new();
+    let mut valid = header_bytes;
     loop {
         line.clear();
         let n = reader.read_line(&mut line).map_err(read_err)?;
         if n == 0 || !line.ends_with('\n') {
             break; // end of file, or torn final line
         }
-        let Some(record) = parse_record(line.trim_end_matches('\n'), outcomes.len()) else {
+        let Some(item) = parse(line.trim_end_matches('\n'), items.len()) else {
             break;
         };
-        outcomes.push(record);
-        valid += line.len();
+        items.push(item);
+        valid += line.len() as u64;
+        offsets.push(valid);
     }
-    Ok(ResumePrefix {
-        outcomes,
-        valid_bytes: valid as u64,
-    })
+    Ok((items, header_bytes, offsets))
 }
 
 /// Parses one record line, requiring `task == expected_index`.
@@ -1170,6 +1396,7 @@ mod tests {
             steps: 1,
             early_exit: false,
             fast_forwarded: false,
+            timeline: None,
         };
         let line = record_line(&cell, &task, 0, &res, Collapse::Sampled);
         let v = Json::parse(&line).expect("record line parses");

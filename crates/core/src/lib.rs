@@ -43,6 +43,7 @@ mod calibration;
 mod campaign;
 mod category;
 mod collapse;
+mod divergence;
 mod engine;
 pub mod json;
 mod llfi;
@@ -67,6 +68,7 @@ pub use collapse::{
     cross_check_pinfi, enumerate_llfi, enumerate_pinfi, Collapse, CollapseCheck, CollapseStats,
     LlfiAnalysis, PinfiAnalysis, MAX_EXACT_INSTANCES,
 };
+pub use divergence::{Timeline, TimelineEntry, DIVERGENCE_VERSION};
 pub use engine::{
     run_campaign, CampaignRun, CellSpec, EngineOptions, Progress, SnapshotCache, Substrate,
     EXACT_RECORD_VERSION, RECORD_VERSION,

@@ -6,6 +6,7 @@
 //! corrupted value is ever read (fault activation).
 
 use crate::category::Category;
+use crate::divergence::Timeline;
 use crate::outcome::{classify, Outcome};
 use crate::profile::{locate, GoldenRef, LlfiProfile};
 use crate::telemetry::{cell_counter, cell_hist, TaskTel};
@@ -206,19 +207,30 @@ pub fn run_llfi_detailed_from(
         golden_output,
         snapshot,
         golden,
+        true,
+        None,
         None,
         TaskTel::off(),
     )
 }
 
-/// [`run_llfi_detailed_from`] with campaign telemetry and an optional
-/// shared pre-decoded module: records the step-attribution split
-/// (skipped / executed / reconstructed), snapshot restore cost,
-/// convergence-compare counts, and the fault's activation verdict into
-/// `tel`. `decoded` lets the campaign engine decode the module once per
-/// cell and share the table across every injection run (`None` decodes
-/// inline when the dispatch mode needs one). Passing [`TaskTel::off`] and
-/// `None` makes this identical to [`run_llfi_detailed_from`].
+/// [`run_llfi_detailed_from`] with campaign telemetry, an optional shared
+/// pre-decoded module, and an optional divergence [`Timeline`]: records
+/// the step-attribution split (skipped / executed / reconstructed),
+/// snapshot restore cost, convergence-compare counts, and the fault's
+/// activation verdict into `tel`. `decoded` lets the campaign engine
+/// decode the module once per cell and share the table across every
+/// injection run (`None` decodes inline when the dispatch mode needs
+/// one).
+///
+/// `early_exit` controls whether golden checkpoints are used for
+/// convergence truncation; `timeline` (which requires `golden`)
+/// additionally records a per-checkpoint divergence observation at every
+/// post-injection pause. Observation is passive — the returned
+/// [`InjectionRun`](crate::outcome::InjectionRun) and every `tel` counter
+/// are byte-identical with `timeline` present or absent. Passing `true`,
+/// `None`, `None`, [`TaskTel::off`] makes this identical to
+/// [`run_llfi_detailed_from`].
 ///
 /// # Errors
 ///
@@ -231,6 +243,8 @@ pub fn run_llfi_observed(
     golden_output: &str,
     snapshot: Option<&InterpSnapshot>,
     golden: Option<GoldenRef<'_, InterpSnapshot>>,
+    early_exit: bool,
+    timeline: Option<&mut Timeline>,
     decoded: Option<Arc<DecodedModule>>,
     tel: TaskTel<'_>,
 ) -> Result<crate::outcome::InjectionRun, String> {
@@ -260,7 +274,15 @@ pub fn run_llfi_observed(
         None => Interp::with_decoded(module, decoded, opts, hook).map_err(|t| t.to_string())?,
     };
 
-    let (result, early_exit) = drive_llfi(&mut interp, opts, golden_output, golden, tel);
+    let (result, early_exit) = drive_llfi(
+        &mut interp,
+        opts,
+        golden_output,
+        golden,
+        early_exit,
+        timeline,
+        tel,
+    );
     // Step attribution: what the record reports = steps skipped by the
     // fast-forward restore + steps actually executed + steps an early
     // exit reconstructed without executing.
@@ -293,21 +315,30 @@ pub fn run_llfi_observed(
     })
 }
 
-/// Runs the interpreter to completion, early-exiting at the first golden
-/// checkpoint whose state the faulty run has provably converged to.
-/// Returns the (possibly reconstructed) result and whether it came from
-/// an early exit.
+/// Runs the interpreter to completion, pausing at every golden checkpoint
+/// it crosses to (a) record a divergence-timeline observation and (b)
+/// early-exit at the first checkpoint whose state the faulty run has
+/// provably converged to. Returns the (possibly reconstructed) result and
+/// whether it came from an early exit.
 fn drive_llfi(
     interp: &mut Interp<'_, LlfiHook>,
     opts: InterpOptions,
     golden_output: &str,
     golden: Option<GoldenRef<'_, InterpSnapshot>>,
+    early_exit: bool,
+    mut timeline: Option<&mut Timeline>,
     tel: TaskTel<'_>,
 ) -> (ExecResult, bool) {
     let Some(g) = golden else {
         return (interp.run(), false);
     };
     loop {
+        // With convergence truncation off, pausing is only for timeline
+        // observation; once the timeline closes (a clean entry proves the
+        // suffix mirrors golden), the remaining run needs no pauses.
+        if !early_exit && !timeline.as_ref().is_some_and(|t| t.open()) {
+            return (interp.run(), false);
+        }
         // First checkpoint not yet reached. Checkpoints at or below the
         // current step count can never compare equal again (the step
         // counter only grows), so each is considered at most once.
@@ -318,6 +349,20 @@ fn drive_llfi(
         };
         if let Some(result) = interp.run_until(snap.steps()) {
             return (result, false); // ended before the checkpoint
+        }
+        // Observe before the early-exit machinery: recording is passive
+        // (reads the paused state, consumes no RNG, touches none of the
+        // counters below), so records and telemetry stay byte-identical
+        // with the timeline on or off. Pre-injection pauses are skipped —
+        // the run still equals golden there, which is also what makes
+        // timelines identical with and without fast-forward.
+        if interp.hook().injected {
+            if let Some(tl) = timeline.as_mut().filter(|t| t.open()) {
+                tl.record(next as u64, snap.steps(), interp.divergence_from(snap));
+            }
+        }
+        if !early_exit {
+            continue;
         }
         // Paused. A diverged run may overshoot the checkpoint's step count
         // inside an atomic φ-batch; then steps differ and the compare is

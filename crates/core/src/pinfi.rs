@@ -12,6 +12,7 @@
 //! effect on fault-activation rates (DESIGN.md ablation ✦4).
 
 use crate::category::{injection_dest, Category};
+use crate::divergence::Timeline;
 use crate::outcome::{classify, Outcome};
 use crate::profile::{locate, GoldenRef, PinfiProfile};
 use crate::telemetry::{cell_counter, cell_hist, TaskTel};
@@ -299,19 +300,30 @@ pub fn run_pinfi_detailed_from(
         golden_output,
         snapshot,
         golden,
+        true,
+        None,
         None,
         TaskTel::off(),
     )
 }
 
-/// [`run_pinfi_detailed_from`] with campaign telemetry and an optional
-/// shared pre-decoded program: records the step-attribution split
-/// (skipped / executed / reconstructed), snapshot restore cost,
-/// convergence-compare counts, and the fault's activation verdict into
-/// `tel`. `decoded` lets the campaign engine decode the program once per
-/// cell and share the table across every injection run (`None` decodes
-/// inline when the dispatch mode needs one). Passing [`TaskTel::off`] and
-/// `None` makes this identical to [`run_pinfi_detailed_from`].
+/// [`run_pinfi_detailed_from`] with campaign telemetry, an optional
+/// shared pre-decoded program, and an optional divergence [`Timeline`]:
+/// records the step-attribution split (skipped / executed /
+/// reconstructed), snapshot restore cost, convergence-compare counts, and
+/// the fault's activation verdict into `tel`. `decoded` lets the campaign
+/// engine decode the program once per cell and share the table across
+/// every injection run (`None` decodes inline when the dispatch mode
+/// needs one).
+///
+/// `early_exit` controls whether golden checkpoints are used for
+/// convergence truncation; `timeline` (which requires `golden`)
+/// additionally records a per-checkpoint divergence observation at every
+/// post-injection pause. Observation is passive — the returned
+/// [`InjectionRun`](crate::outcome::InjectionRun) and every `tel` counter
+/// are byte-identical with `timeline` present or absent. Passing `true`,
+/// `None`, `None`, [`TaskTel::off`] makes this identical to
+/// [`run_pinfi_detailed_from`].
 ///
 /// # Errors
 ///
@@ -324,6 +336,8 @@ pub fn run_pinfi_observed(
     golden_output: &str,
     snapshot: Option<&MachSnapshot>,
     golden: Option<GoldenRef<'_, MachSnapshot>>,
+    early_exit: bool,
+    timeline: Option<&mut Timeline>,
     decoded: Option<Arc<DecodedProgram>>,
     tel: TaskTel<'_>,
 ) -> Result<crate::outcome::InjectionRun, String> {
@@ -351,7 +365,15 @@ pub fn run_pinfi_observed(
         }
         None => Machine::with_decoded(prog, decoded, opts, hook).map_err(|t| t.to_string())?,
     };
-    let (result, early_exit) = drive_pinfi(&mut machine, opts, golden_output, golden, tel);
+    let (result, early_exit) = drive_pinfi(
+        &mut machine,
+        opts,
+        golden_output,
+        golden,
+        early_exit,
+        timeline,
+        tel,
+    );
     // Step attribution: what the record reports = steps skipped by the
     // fast-forward restore + steps actually executed + steps an early
     // exit reconstructed without executing.
@@ -381,21 +403,30 @@ pub fn run_pinfi_observed(
     })
 }
 
-/// Runs the machine to completion, early-exiting at the first golden
-/// checkpoint whose state the faulty run has provably converged to.
-/// Returns the (possibly reconstructed) result and whether it came from
-/// an early exit.
+/// Runs the machine to completion, pausing at every golden checkpoint it
+/// crosses to (a) record a divergence-timeline observation and (b)
+/// early-exit at the first checkpoint whose state the faulty run has
+/// provably converged to. Returns the (possibly reconstructed) result and
+/// whether it came from an early exit.
 fn drive_pinfi(
     machine: &mut Machine<'_, PinfiHook<'_>>,
     opts: MachOptions,
     golden_output: &str,
     golden: Option<GoldenRef<'_, MachSnapshot>>,
+    early_exit: bool,
+    mut timeline: Option<&mut Timeline>,
     tel: TaskTel<'_>,
 ) -> (RunResult, bool) {
     let Some(g) = golden else {
         return (machine.run(), false);
     };
     loop {
+        // With convergence truncation off, pausing is only for timeline
+        // observation; once the timeline closes (a clean entry proves the
+        // suffix mirrors golden), the remaining run needs no pauses.
+        if !early_exit && !timeline.as_ref().is_some_and(|t| t.open()) {
+            return (machine.run(), false);
+        }
         // First checkpoint not yet reached; each checkpoint is considered
         // at most once because the step counter only grows.
         let next = g
@@ -406,6 +437,20 @@ fn drive_pinfi(
         };
         if let Some(result) = machine.run_until(snap.steps()) {
             return (result, false); // ended before the checkpoint
+        }
+        // Observe before the early-exit machinery: recording is passive
+        // (reads the paused state, consumes no RNG, touches none of the
+        // counters below), so records and telemetry stay byte-identical
+        // with the timeline on or off. Pre-injection pauses are skipped —
+        // the run still equals golden there, which is also what makes
+        // timelines identical with and without fast-forward.
+        if machine.hook().injected {
+            if let Some(tl) = timeline.as_mut().filter(|t| t.open()) {
+                tl.record(next as u64, snap.steps(), machine.divergence_from(snap));
+            }
+        }
+        if !early_exit {
+            continue;
         }
         if !machine.hook().outcome_settled() {
             tel.count(cell_counter::PAUSES_UNSETTLED, 1);

@@ -7,9 +7,16 @@
 //!
 //! Outcome counts come *only* from the record stream, so the report's
 //! tables are exact with or without telemetry; telemetry adds the
-//! attribution and engine sections. When both files are given they must
-//! describe the same campaign (seed and cell grid), which is validated.
+//! attribution and engine sections, and a `--divergence` stream adds
+//! the propagation section (birth/masking funnels, per-cell
+//! propagation-distance and peak-spread histograms, and an
+//! LLFI-vs-PINFI spread comparison). When several files are given they
+//! must describe the same campaign (seed and cell grid), which is
+//! validated. All joins against the auxiliary streams saturate: a
+//! truncated or absent stream degrades to smaller counts, never to a
+//! panic or a NaN.
 
+use crate::divergence::DIVERGENCE_VERSION;
 use crate::json::Json;
 use crate::outcome::{Outcome, OutcomeCounts};
 use crate::stats::wilson_ci95;
@@ -49,6 +56,76 @@ pub struct CellSummary {
     /// This cell's telemetry histograms by name (empty without
     /// telemetry).
     pub hists: BTreeMap<String, HistData>,
+    /// Propagation summary from the divergence stream (`None` without
+    /// one).
+    pub propagation: Option<Propagation>,
+}
+
+/// One cell's slice of the divergence stream: how many injections ever
+/// visibly diverged from the golden run, how far the divergence spread,
+/// and how it resolved. All tallies saturate so a truncated stream
+/// yields smaller counts rather than arithmetic panics.
+#[derive(Debug, Clone, Default)]
+pub struct Propagation {
+    /// Timeline lines seen for this cell.
+    pub timelines: u64,
+    /// Timelines that were born: divergence observed at ≥ 1 checkpoint.
+    pub born: u64,
+    /// Born timelines later confirmed byte-identical to the golden
+    /// state again (the fault was architecturally masked).
+    pub masked: u64,
+    /// Final campaign outcomes among born timelines.
+    pub born_outcomes: OutcomeCounts,
+    /// Propagation distance in checkpoints → timeline count (born
+    /// timelines only; distance counts checkpoints from birth to the
+    /// last diverged observation inclusive).
+    pub distance: BTreeMap<u64, u64>,
+    /// Peak divergence spread in 4 KiB pages → timeline count (born
+    /// timelines only).
+    pub peak_pages: BTreeMap<u64, u64>,
+    /// Sum of propagation distances over born timelines.
+    pub distance_sum: u64,
+    /// Sum of peak page spreads over born timelines.
+    pub peak_pages_sum: u64,
+}
+
+impl Propagation {
+    /// Mean propagation distance over born timelines (0 when none).
+    pub fn mean_distance(&self) -> f64 {
+        if self.born == 0 {
+            0.0
+        } else {
+            self.distance_sum as f64 / self.born as f64
+        }
+    }
+
+    /// Mean peak page spread over born timelines (0 when none).
+    pub fn mean_peak_pages(&self) -> f64 {
+        if self.born == 0 {
+            0.0
+        } else {
+            self.peak_pages_sum as f64 / self.born as f64
+        }
+    }
+
+    /// Share of timelines that were born, in percent (0 when empty).
+    pub fn born_pct(&self) -> f64 {
+        if self.timelines == 0 {
+            0.0
+        } else {
+            100.0 * self.born as f64 / self.timelines as f64
+        }
+    }
+
+    /// Share of born timelines that were masked, in percent (0 when
+    /// none were born).
+    pub fn masked_pct(&self) -> f64 {
+        if self.born == 0 {
+            0.0
+        } else {
+            100.0 * self.masked as f64 / self.born as f64
+        }
+    }
 }
 
 impl CellSummary {
@@ -168,24 +245,32 @@ fn parse_header_cells(header: &Json, what: &str) -> Result<Vec<CellSummary>, Str
                 steps_recorded: 0,
                 counters: BTreeMap::new(),
                 hists: BTreeMap::new(),
+                propagation: None,
             })
         })
         .collect()
 }
 
 impl CampaignReport {
-    /// Builds the report from a record file and an optional telemetry
-    /// file produced by the same campaign run.
+    /// Builds the report from a record file and optional telemetry and
+    /// divergence files produced by the same campaign run.
     ///
     /// # Errors
     ///
-    /// Returns an error when either file is unreadable or malformed, or
-    /// when the two streams describe different campaigns (seed or cell
-    /// grid mismatch).
-    pub fn build(records: &Path, telemetry: Option<&Path>) -> Result<CampaignReport, String> {
+    /// Returns an error when any file is unreadable or malformed, or
+    /// when the streams describe different campaigns (seed or cell grid
+    /// mismatch).
+    pub fn build(
+        records: &Path,
+        telemetry: Option<&Path>,
+        divergence: Option<&Path>,
+    ) -> Result<CampaignReport, String> {
         let mut report = CampaignReport::from_records(records)?;
         if let Some(tel) = telemetry {
             report.merge_telemetry(tel)?;
+        }
+        if let Some(div) = divergence {
+            report.merge_divergence(div)?;
         }
         Ok(report)
     }
@@ -353,6 +438,96 @@ impl CampaignReport {
         Ok(())
     }
 
+    fn merge_divergence(&mut self, path: &Path) -> Result<(), String> {
+        let what = "divergence file";
+        let mut lines = read_lines(path)?;
+        let header_text = lines
+            .next()
+            .ok_or_else(|| format!("{}: empty divergence file", path.display()))??;
+        let header = Json::parse(&header_text).map_err(|e| format!("{what} header: {e}"))?;
+        if header.get("record").and_then(Json::as_str) != Some("divergence") {
+            return Err(format!("{}: not a divergence file", path.display()));
+        }
+        let version = get_u64(&header, "version", what)?;
+        if version != DIVERGENCE_VERSION {
+            return Err(format!(
+                "{what}: version {version} unsupported (expected {DIVERGENCE_VERSION})"
+            ));
+        }
+        let seed = get_u64(&header, "seed", what)?;
+        if seed != self.seed {
+            return Err(format!(
+                "divergence stream (seed {seed}) does not belong to this record \
+                 file (seed {})",
+                self.seed
+            ));
+        }
+        let div_cells = parse_header_cells(&header, what)?;
+        if div_cells.len() != self.cells.len()
+            || div_cells
+                .iter()
+                .zip(&self.cells)
+                .any(|(d, r)| d.label != r.label || d.tool != r.tool || d.category != r.category)
+        {
+            return Err("divergence stream describes a different cell grid".into());
+        }
+        // Every cell in the header gets a (possibly empty) summary: a
+        // campaign killed before any timeline flushed still reports a
+        // propagation section, just with zero counts.
+        for c in &mut self.cells {
+            c.propagation = Some(Propagation::default());
+        }
+        let index: BTreeMap<(String, String, String), usize> = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ((c.label.clone(), c.tool.clone(), c.category.clone()), i))
+            .collect();
+        for line in lines {
+            let line = line?;
+            let v = Json::parse(&line).map_err(|e| format!("{what}: bad timeline line: {e}"))?;
+            if v.get("record").and_then(Json::as_str) != Some("timeline") {
+                continue;
+            }
+            let key = (
+                get_str(&v, "cell", what)?.to_string(),
+                get_str(&v, "tool", what)?.to_string(),
+                get_str(&v, "category", what)?.to_string(),
+            );
+            let &ci = index.get(&key).ok_or_else(|| {
+                format!(
+                    "{what}: timeline for unknown cell {}/{}/{}",
+                    key.0, key.1, key.2
+                )
+            })?;
+            let outcome = Outcome::from_name(get_str(&v, "outcome", what)?)
+                .ok_or_else(|| format!("{what}: unknown outcome"))?;
+            let p = self.cells[ci]
+                .propagation
+                .as_mut()
+                .expect("initialized above");
+            p.timelines = p.timelines.saturating_add(1);
+            // `birth`/`masked` are JSON null for never-born /
+            // never-masked timelines; any number means the event
+            // happened at that checkpoint index.
+            if v.get("birth").and_then(Json::as_u64).is_none() {
+                continue;
+            }
+            p.born = p.born.saturating_add(1);
+            p.born_outcomes.record_n(outcome, 1);
+            if v.get("masked").and_then(Json::as_u64).is_some() {
+                p.masked = p.masked.saturating_add(1);
+            }
+            let distance = v.get("distance").and_then(Json::as_u64).unwrap_or(0);
+            let peak = v.get("peak_pages").and_then(Json::as_u64).unwrap_or(0);
+            *p.distance.entry(distance).or_insert(0) += 1;
+            *p.peak_pages.entry(peak).or_insert(0) += 1;
+            p.distance_sum = p.distance_sum.saturating_add(distance);
+            p.peak_pages_sum = p.peak_pages_sum.saturating_add(peak);
+        }
+        Ok(())
+    }
+
     fn cell_index(&self, v: &Json, what: &str) -> Result<usize, String> {
         let ci = get_u64(v, "cell", what)? as usize;
         if ci >= self.cells.len() {
@@ -437,6 +612,9 @@ impl CampaignReport {
                         .map(|(k, d)| (k.clone(), hist_json(d)))
                         .collect();
                     fields.push(("hists".into(), Json::Obj(hists)));
+                }
+                if let Some(p) = &c.propagation {
+                    fields.push(("propagation".into(), propagation_json(p)));
                 }
                 Json::Obj(fields)
             })
@@ -583,6 +761,44 @@ impl CampaignReport {
                 "  {:<14} {:>7}       -  -",
                 "not-activated", c.counts.not_activated
             );
+            if let Some(p) = &c.propagation {
+                let _ = writeln!(
+                    out,
+                    "  propagation: {} timelines, {} born ({:.1}%), {} masked ({:.1}% of born)",
+                    p.timelines,
+                    p.born,
+                    p.born_pct(),
+                    p.masked,
+                    p.masked_pct(),
+                );
+                let _ = writeln!(
+                    out,
+                    "  funnel: born→masked {}, born→sdc {}, born→crash {}, born→hang {}, \
+                     born→benign-unmasked {}",
+                    p.masked,
+                    p.born_outcomes.sdc,
+                    p.born_outcomes.crash,
+                    p.born_outcomes.hang,
+                    // Masked timelines settle benign, so the unmasked
+                    // benign remainder is the difference; saturating
+                    // because a truncated stream can break the identity.
+                    p.born_outcomes.benign.saturating_sub(p.masked),
+                );
+                if p.born > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  distance (checkpoints): mean {:.1}, hist {}",
+                        p.mean_distance(),
+                        spread_hist(&p.distance),
+                    );
+                    let _ = writeln!(
+                        out,
+                        "  peak spread (pages): mean {:.1}, hist {}",
+                        p.mean_peak_pages(),
+                        spread_hist(&p.peak_pages),
+                    );
+                }
+            }
             if c.counters.is_empty() {
                 continue;
             }
@@ -654,6 +870,50 @@ impl CampaignReport {
                 );
             }
         }
+        // LLFI-vs-PINFI spread comparison: for every (label, category)
+        // pair present under both tools, put their propagation means
+        // side by side — the paper's accuracy question restated in
+        // pages and checkpoints.
+        let pairs: Vec<(&CellSummary, &CellSummary)> = self
+            .cells
+            .iter()
+            .filter(|c| c.tool == "llfi" && c.propagation.is_some())
+            .filter_map(|l| {
+                self.cells
+                    .iter()
+                    .find(|p| {
+                        p.tool == "pinfi"
+                            && p.label == l.label
+                            && p.category == l.category
+                            && p.propagation.is_some()
+                    })
+                    .map(|p| (l, p))
+            })
+            .collect();
+        if !pairs.is_empty() {
+            let _ = writeln!(out, "\npropagation, llfi vs pinfi:");
+            for (l, p) in pairs {
+                let (lp, pp) = (
+                    l.propagation.as_ref().expect("filtered above"),
+                    p.propagation.as_ref().expect("filtered above"),
+                );
+                let _ = writeln!(
+                    out,
+                    "  {}/{}: born {:.1}% vs {:.1}%, masked {:.1}% vs {:.1}%, \
+                     mean spread {:.1} vs {:.1} pages, mean distance {:.1} vs {:.1} checkpoints",
+                    l.label,
+                    l.category,
+                    lp.born_pct(),
+                    pp.born_pct(),
+                    lp.masked_pct(),
+                    pp.masked_pct(),
+                    lp.mean_peak_pages(),
+                    pp.mean_peak_pages(),
+                    lp.mean_distance(),
+                    pp.mean_distance(),
+                );
+            }
+        }
         if let Some(e) = &self.engine {
             let (min, max) = (
                 e.worker_tasks.iter().min().copied().unwrap_or(0),
@@ -715,6 +975,45 @@ fn parse_hist(v: &Json, what: &str) -> Result<HistData, String> {
         ));
     }
     Ok(data)
+}
+
+/// Renders a value→count map as `v:c v:c …` (or `-` when empty).
+fn spread_hist(map: &BTreeMap<u64, u64>) -> String {
+    if map.is_empty() {
+        return "-".into();
+    }
+    map.iter()
+        .map(|(v, c)| format!("{v}:{c}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn propagation_json(p: &Propagation) -> Json {
+    let pairs = |map: &BTreeMap<u64, u64>| {
+        Json::Arr(
+            map.iter()
+                .map(|(&v, &c)| Json::Arr(vec![Json::u64(v), Json::u64(c)]))
+                .collect(),
+        )
+    };
+    Json::Obj(vec![
+        ("timelines".into(), Json::u64(p.timelines)),
+        ("born".into(), Json::u64(p.born)),
+        ("masked".into(), Json::u64(p.masked)),
+        (
+            "born_outcomes".into(),
+            Json::Obj(vec![
+                ("benign".into(), Json::u64(p.born_outcomes.benign)),
+                ("sdc".into(), Json::u64(p.born_outcomes.sdc)),
+                ("crash".into(), Json::u64(p.born_outcomes.crash)),
+                ("hang".into(), Json::u64(p.born_outcomes.hang)),
+            ]),
+        ),
+        ("mean_distance".into(), Json::f64(p.mean_distance())),
+        ("mean_peak_pages".into(), Json::f64(p.mean_peak_pages())),
+        ("distance_hist".into(), pairs(&p.distance)),
+        ("peak_pages_hist".into(), pairs(&p.peak_pages)),
+    ])
 }
 
 fn hist_json(d: &HistData) -> Json {

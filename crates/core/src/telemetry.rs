@@ -103,6 +103,14 @@ pub mod cell_counter {
     /// Steps executed inside the quiescent fast loops (subset of
     /// `STEPS_EXECUTED`; measures phase-specialization coverage).
     pub const STEPS_QUIESCENT: usize = 20;
+    /// Divergence timelines collected (tasks run with `--divergence`).
+    pub const TIMELINES: usize = 21;
+    /// Timelines whose fault was born: divergence observed at one or more
+    /// golden checkpoints.
+    pub const DIV_BORN: usize = 22;
+    /// Born timelines that were observed provably clean again (masked at
+    /// a checkpoint).
+    pub const DIV_MASKED: usize = 23;
 }
 
 /// Cell-scope histogram indices into [`HUB_SPEC`].
@@ -117,6 +125,13 @@ pub mod cell_hist {
     pub const EXIT_CHECKPOINT: usize = 3;
     /// Step count each early exit converged at (deterministic).
     pub const EXIT_STEP: usize = 4;
+    /// Peak diverged-page spread per timeline (deterministic).
+    pub const DIV_PEAK_PAGES: usize = 5;
+    /// Propagation distance in checkpoints per timeline (deterministic).
+    pub const DIV_DISTANCE: usize = 6;
+    /// Checkpoints from birth to masking, per masked timeline
+    /// (deterministic).
+    pub const DIV_MASK_TIME: usize = 7;
 }
 
 /// Cell-scope histograms covered by the determinism contract (indices
@@ -125,6 +140,9 @@ pub const DETERMINISTIC_CELL_HISTS: &[usize] = &[
     cell_hist::TASK_STEPS,
     cell_hist::EXIT_CHECKPOINT,
     cell_hist::EXIT_STEP,
+    cell_hist::DIV_PEAK_PAGES,
+    cell_hist::DIV_DISTANCE,
+    cell_hist::DIV_MASK_TIME,
 ];
 
 /// The campaign engine's metric schema.
@@ -158,6 +176,9 @@ pub static HUB_SPEC: HubSpec = HubSpec {
         "collapse_masked",
         "collapse_residual",
         "steps_quiescent",
+        "timelines",
+        "div_born",
+        "div_masked",
     ],
     cell_hists: &[
         "task_latency_us",
@@ -165,6 +186,9 @@ pub static HUB_SPEC: HubSpec = HubSpec {
         "task_steps",
         "exit_checkpoint",
         "exit_step",
+        "div_peak_pages",
+        "div_distance",
+        "div_mask_time",
     ],
 };
 

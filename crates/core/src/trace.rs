@@ -161,6 +161,17 @@ impl TraceHook<'_> {
 
 impl InterpHook for TraceHook<'_> {
     fn on_result(&mut self, site: InstSite, frame: u64, val: &mut RtVal) {
+        // A result from a different instruction means any pending
+        // terminator/call consumer is complete — account it before its
+        // taint flag is cleared. Without this, a tainted branch followed
+        // by an instruction with only constant operands (e.g. a φ whose
+        // incoming is a constant: no on_use fires) would never be
+        // counted, since terminators have no on_result of their own.
+        if self.cur_consumer != Some((site, frame)) {
+            self.flush_consumer();
+            self.cur_consumer = None;
+            self.cur_tainted = false;
+        }
         // Injection point.
         if !self.injected && site == self.inj.site {
             self.seen += 1;

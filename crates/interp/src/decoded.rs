@@ -13,12 +13,15 @@
 //! legacy core in `interp.rs`: the same step counts, the same
 //! `on_result`/`on_use`/`on_load`/`on_store` event sequence with the same
 //! original [`InstId`]s, the same traps, and the same console bytes.
-//! Campaign output is therefore byte-identical under either core. The one
-//! intentional difference is *pause granularity*: a fused pair is atomic
-//! (like a φ-batch), so a snapshot or pause boundary can land after the
-//! pair where the legacy core could have stopped between its halves. Both
-//! cores only ever capture at consistent boundaries, so this changes
-//! which checkpoints get compared, never what any run outputs.
+//! Campaign output is therefore byte-identical under either core — and so
+//! is *pause granularity*: a fused superinstruction is atomic (like a
+//! φ-batch), so within [`MAX_FUSED_RETIRE`] steps of a snapshot or pause
+//! boundary the slice loop hands control back and `Interp::exec` walks up
+//! to the boundary through the legacy core, whose units are single
+//! instructions. Snapshots and `run_until` pauses therefore land on the
+//! same instruction boundary under either core, which divergence
+//! timelines (observing the paused microstate) rely on. φ-batches remain
+//! atomic under both cores, so any batch overshoot is dispatch-invariant.
 
 use crate::hook::{InstSite, InterpHook};
 use crate::interp::{Frame, Interp, Stop};
@@ -29,6 +32,13 @@ use fiq_ir::{
     InstKind, IntTy, Intrinsic, Module, Type, Value,
 };
 use fiq_mem::{Memory, Trap};
+
+/// The widest superinstruction's retire count: a [`DecOp::FusedIntChain`]
+/// (head plus two links) and a [`DecOp::FusedBinICmpBr`] (binop, compare,
+/// branch) both charge three steps atomically. The decoded slice yields
+/// within this many steps of a snapshot/pause boundary so the legacy core
+/// can walk up to it exactly (see the module docs).
+pub(crate) const MAX_FUSED_RETIRE: u64 = 3;
 
 /// A pre-resolved operand: everything `Value` evaluation needs, with
 /// constants (including globals and function addresses) materialized at
@@ -1030,7 +1040,10 @@ impl<'m, H: InterpHook> Interp<'m, H> {
         let mut dblock = &dfunc.blocks[frame.cur.index()];
         let mut phi_len = dblock.phi_ids.len();
         loop {
-            if self.steps >= snap_due {
+            // Yield while a superinstruction could still straddle the
+            // boundary; `Interp::exec` walks the last few steps through
+            // the legacy core so the pause lands exactly on it.
+            if snap_due.saturating_sub(self.steps) < MAX_FUSED_RETIRE {
                 self.frames.push(frame);
                 return Ok(false);
             }
@@ -1109,6 +1122,15 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                     self.phi_buf = staged;
                 }
                 frame.ip = phi_len;
+                // The batch may have crossed the boundary or eaten the
+                // fusion headroom the loop-top check guaranteed; yield so
+                // `Interp::exec` walks the fall-through instruction(s)
+                // through the legacy core, which pauses exactly where the
+                // legacy dispatch mode would.
+                if snap_due.saturating_sub(self.steps) < MAX_FUSED_RETIRE {
+                    self.frames.push(frame);
+                    return Ok(false);
+                }
             }
 
             let d = &dblock.code[frame.ip - phi_len];

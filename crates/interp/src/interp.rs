@@ -13,7 +13,10 @@ use fiq_ir::{
     BlockId, Callee, Constant, FloatTy, FuncId, GlobalInit, InstId, InstKind, Intrinsic, Module,
     Type, Value,
 };
-use fiq_mem::{Console, Dispatch, Hasher64, MemSnapshot, Memory, RegionKind, StateDigest, Trap};
+use fiq_mem::{
+    component, Console, Dispatch, Divergence, Hasher64, MemSnapshot, Memory, RegionKind,
+    StateDigest, Trap,
+};
 use std::sync::Arc;
 
 /// Interpreter configuration.
@@ -555,6 +558,67 @@ impl<'m, H: InterpHook> Interp<'m, H> {
         StateDigest::new(self.arch_hash(), &self.console)
     }
 
+    /// Component-granular divergence of the live state from a golden
+    /// checkpoint, for per-injection divergence timelines:
+    ///
+    /// * [`component::FRAMES`] — control position differs: step clock,
+    ///   stack pointer, frame counter, or the frame-stack structure
+    ///   (function, block, instruction pointer per frame).
+    /// * [`component::REGS`] — same control position, but an SSA slot or
+    ///   argument value differs (bitwise, NaN-safe).
+    /// * [`component::CONSOLE`] — printed output differs.
+    /// * [`component::MEM`] — one or more 4 KiB pages or the allocation
+    ///   layout differ; `pages` counts the diverged pages.
+    ///
+    /// Per-page and console comparisons are hash-based (inequality is
+    /// proof; see [`fiq_mem::Divergence`]), the frame comparisons are
+    /// exact. An apparently clean observation is confirmed with the exact
+    /// byte compare, so [`Divergence::clean`] means byte-identical state —
+    /// never a hash-collision artifact.
+    pub fn divergence_from(&self, snap: &InterpSnapshot) -> Divergence {
+        let mut components = 0u8;
+        let structure_eq = self.steps == snap.steps
+            && self.sp == snap.sp
+            && self.stack_start == snap.stack_start
+            && self.frame_counter == snap.frame_counter
+            && self.frames.len() == snap.frames.len()
+            && self.frames.iter().zip(&snap.frames).all(|(a, b)| {
+                a.fid == b.fid
+                    && a.frame_id == b.frame_id
+                    && a.saved_sp == b.saved_sp
+                    && a.cur == b.cur
+                    && a.prev == b.prev
+                    && a.ip == b.ip
+            });
+        if !structure_eq {
+            components |= component::FRAMES;
+        } else if !frames_bits_eq(&self.frames, &snap.frames) {
+            // Structure matches, so the remaining difference is in slot
+            // or argument values — the IR level's register file.
+            components |= component::REGS;
+        }
+        if !snap.digest.console_matches(&self.console) {
+            components |= component::CONSOLE;
+        }
+        let mut pages = self.mem.diverged_pages(&snap.mem);
+        if pages > 0 || !self.mem.layout_matches_snapshot(&snap.mem) {
+            components |= component::MEM;
+        }
+        if components == 0 {
+            // "Fully converged" ends a timeline, so rule out hash
+            // collisions (console/pages) with the exact compare.
+            if self.console.contents() != snap.console.contents() {
+                components |= component::CONSOLE;
+            }
+            let exact = self.mem.diverged_pages_exact(&snap.mem);
+            if exact > 0 {
+                components |= component::MEM;
+                pages = exact;
+            }
+        }
+        Divergence { components, pages }
+    }
+
     /// Hashes everything outside memory and console: the frame stack
     /// (bitwise values), stack pointer, and frame counter.
     fn arch_hash(&self) -> u64 {
@@ -614,6 +678,22 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                         return Ok(());
                     }
                     self.maybe_snapshot();
+                    // Superinstructions retire up to MAX_FUSED_RETIRE
+                    // steps atomically; within that reach of a snapshot
+                    // or pause boundary, step through the legacy core
+                    // (whose units are single instructions, φ-batches
+                    // aside) so both dispatch modes stop at identical
+                    // instruction boundaries.
+                    let due = match (self.snap.as_ref().map(|s| s.next_at), self.pause_at) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    if due.is_some_and(|d| {
+                        d.saturating_sub(self.steps) < crate::decoded::MAX_FUSED_RETIRE
+                    }) {
+                        self.step()?;
+                        continue;
+                    }
                     if !quiescent_ok {
                         self.step_decoded(&dec)?;
                         continue;
@@ -627,10 +707,9 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                             if self.step_quiescent(&dec, Some(s))? {
                                 // The fast loop stopped just before the
                                 // watched site: replay exactly one evented
-                                // unit (a φ-batch plus one decoded
-                                // instruction at most) so the hook sees
-                                // its events, then re-query the phase.
-                                self.step_one_evented(&dec)?;
+                                // unit so the hook sees its events, then
+                                // re-query the phase.
+                                self.step_one_evented()?;
                             }
                         }
                     }
@@ -641,15 +720,17 @@ impl<'m, H: InterpHook> Interp<'m, H> {
     }
 
     /// Runs one evented step slice clipped to a single execution unit by
-    /// an artificial pause point one step ahead: every decoded unit
-    /// (φ-batch, instruction, or atomic superinstruction) charges at
-    /// least one step, so the slice loop breaks at the next boundary
-    /// check after the first unit — the standard handoff when a
-    /// quiescent fast loop stops at a watched site.
-    fn step_one_evented(&mut self, dec: &DecodedModule) -> Result<(), Stop> {
+    /// an artificial pause point one step ahead — the standard handoff
+    /// when a quiescent fast loop stops at a watched site. The slice runs
+    /// through the legacy core: it fires the identical event sequence,
+    /// and its units are at most one instruction (or one φ-batch) wide,
+    /// so the one-step pause clips it to exactly one unit — while the
+    /// decoded slice would refuse a pause budget narrower than its widest
+    /// superinstruction and make no progress.
+    fn step_one_evented(&mut self) -> Result<(), Stop> {
         let saved = self.pause_at;
         self.pause_at = Some(saved.map_or(self.steps + 1, |p| p.min(self.steps + 1)));
-        let r = self.step_decoded(dec);
+        let r = self.step();
         self.pause_at = saved;
         r
     }
@@ -767,6 +848,16 @@ impl<'m, H: InterpHook> Interp<'m, H> {
                         frame.slots[id.index()] = raw_of(val);
                     }
                     frame.ip = phi_end;
+                    // The batch may have crossed the boundary; re-check
+                    // before the fall-through instruction so pauses land
+                    // between the batch and the instruction under every
+                    // dispatch mode (the decoded core yields here too).
+                    if let Some(at) = snap_due {
+                        if self.steps >= at {
+                            self.frames.push(frame);
+                            return Ok(());
+                        }
+                    }
                 }
             }
 

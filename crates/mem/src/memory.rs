@@ -590,11 +590,109 @@ impl Memory {
                 .zip(&snap.pages)
                 .all(|(chunk, page)| chunk == page.as_ref())
     }
+
+    /// True when the allocation metadata (mapped length, cursor, region
+    /// table, stack mapping) matches `snap`. Page *contents* are covered
+    /// separately by [`Memory::diverged_pages`].
+    pub fn layout_matches_snapshot(&self, snap: &MemSnapshot) -> bool {
+        self.data.len() == snap.len
+            && self.next == snap.next
+            && self.stack == snap.stack
+            && self.regions == snap.regions
+    }
+
+    /// Counts the 4 KiB pages whose content provably differs from `snap`:
+    /// every page whose live hash disagrees with the captured page hash,
+    /// plus every page mapped on only one side. Hash inequality is proof
+    /// of byte inequality (both sides hash with [`hash_bytes`]); a page
+    /// the hash calls clean *may* still differ (collision), so a zero
+    /// result is confirmed with [`Memory::diverged_pages_exact`] by
+    /// callers for whom "no divergence" is load-bearing. The final page
+    /// is a partial chunk whenever the mapped length is not page-aligned;
+    /// [`hash_bytes`] folds the length in, so partial pages compare just
+    /// like full ones.
+    pub fn diverged_pages(&self, snap: &MemSnapshot) -> u32 {
+        self.count_diverged(snap, |chunk, i| {
+            snap.page_hashes.get(i) != Some(&hash_bytes(chunk))
+        })
+    }
+
+    /// Byte-exact variant of [`Memory::diverged_pages`]: immune to hash
+    /// collisions, used to confirm an apparently-clean hash diff.
+    pub fn diverged_pages_exact(&self, snap: &MemSnapshot) -> u32 {
+        self.count_diverged(snap, |chunk, i| {
+            snap.pages.get(i).map(|p| p.as_ref()) != Some(chunk)
+        })
+    }
+
+    fn count_diverged(&self, snap: &MemSnapshot, differs: impl Fn(&[u8], usize) -> bool) -> u32 {
+        let live_pages = self.data.len().div_ceil(SNAPSHOT_PAGE);
+        let common = live_pages.min(snap.pages.len());
+        let mut n = 0u32;
+        for (i, chunk) in self.data.chunks(SNAPSHOT_PAGE).take(common).enumerate() {
+            // When the mapped lengths differ, the last common page may be
+            // partial on one side only; the hash/byte compare still flags
+            // it because the chunk length is part of both comparisons.
+            if differs(chunk, i) {
+                n += 1;
+            }
+        }
+        // Pages mapped on only one side are all diverged.
+        n + live_pages.abs_diff(snap.pages.len()) as u32
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn diverged_pages_covers_the_final_partial_page() {
+        let mut m = Memory::new();
+        // Map a region ending mid-page so the last snapshot chunk is
+        // partial — the historical blind spot for page-granular diffs.
+        let a = m
+            .alloc(SNAPSHOT_PAGE as u64 + 100, 8, RegionKind::Global)
+            .unwrap();
+        assert_ne!(m.data.len() % SNAPSHOT_PAGE, 0, "layout must end mid-page");
+        let snap = m.snapshot(None);
+        assert_eq!(m.diverged_pages(&snap), 0);
+        assert_eq!(m.diverged_pages_exact(&snap), 0);
+        // Flip a byte that lives in the trailing partial page.
+        let tail = a + SNAPSHOT_PAGE as u64 + 90;
+        assert_eq!(
+            (tail - NULL_GUARD) as usize / SNAPSHOT_PAGE,
+            (m.data.len() - 1) / SNAPSHOT_PAGE,
+            "target byte must land in the final partial page"
+        );
+        m.write_uint(tail, 0xAB, 1).unwrap();
+        assert_eq!(m.diverged_pages(&snap), 1);
+        assert_eq!(m.diverged_pages_exact(&snap), 1);
+        assert!(!m.matches_snapshot_hashes(&snap));
+        assert!(m.layout_matches_snapshot(&snap));
+        // Revert to identical bytes: the hash must re-match, not stay
+        // stuck on the historical divergence.
+        m.write_uint(tail, 0, 1).unwrap();
+        assert_eq!(m.diverged_pages(&snap), 0);
+        assert_eq!(m.diverged_pages_exact(&snap), 0);
+        assert!(m.matches_snapshot_hashes(&snap));
+        assert!(m.equals_snapshot(&snap));
+    }
+
+    #[test]
+    fn pages_mapped_on_one_side_count_as_diverged() {
+        let mut m = Memory::new();
+        m.alloc(100, 8, RegionKind::Global).unwrap();
+        let snap = m.snapshot(None);
+        let before = m.data.len().div_ceil(SNAPSHOT_PAGE);
+        m.alloc(3 * SNAPSHOT_PAGE as u64, 8, RegionKind::Global)
+            .unwrap();
+        let after = m.data.len().div_ceil(SNAPSHOT_PAGE);
+        assert!(after > before, "allocation must map new pages");
+        assert!(m.diverged_pages(&snap) >= (after - before) as u32);
+        assert!(m.diverged_pages_exact(&snap) >= (after - before) as u32);
+        assert!(!m.layout_matches_snapshot(&snap));
+    }
 
     #[test]
     fn alloc_and_rw_roundtrip() {

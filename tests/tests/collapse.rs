@@ -374,7 +374,7 @@ fn exact_campaign_reproduces_brute_force_on_the_engine() {
 
     // `fiq report` over the exact stream: the distribution is a census,
     // not an estimate — every CI must be zero-width at the point rate.
-    let report = CampaignReport::build(&rec, None).unwrap();
+    let report = CampaignReport::build(&rec, None, None).unwrap();
     let json = report.to_json();
     assert_eq!(json.get("collapse").and_then(Json::as_str), Some("exact"));
     for cell in json.get("cells").and_then(Json::as_array).unwrap() {

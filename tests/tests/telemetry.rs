@@ -369,7 +369,7 @@ fn report_reproduces_record_ground_truth() {
         *steps.entry(tool).or_default() += u(&j, "steps");
     }
 
-    let report = CampaignReport::build(&rec, Some(&tel_path)).unwrap();
+    let report = CampaignReport::build(&rec, Some(&tel_path), None).unwrap();
     let json = report.to_json();
     assert_eq!(s(&json, "report"), "campaign");
     assert_eq!(u(&json, "seed"), 77);
@@ -475,7 +475,7 @@ fn report_survives_zero_activated_cells() {
     );
     std::fs::write(&tel, telemetry).unwrap();
 
-    let report = CampaignReport::build(&rec, Some(&tel)).unwrap();
+    let report = CampaignReport::build(&rec, Some(&tel), None).unwrap();
     let rendered = report.render();
     assert!(rendered.contains("0 activated"), "{rendered}");
     assert!(!rendered.contains("NaN"), "{rendered}");
@@ -508,7 +508,7 @@ fn report_survives_zero_activated_cells() {
         ),
     )
     .unwrap();
-    let err = CampaignReport::build(&rec, Some(&torn)).unwrap_err();
+    let err = CampaignReport::build(&rec, Some(&torn), None).unwrap_err();
     assert!(err.contains("inconsistent"), "{err}");
 
     for p in [&rec, &tel, &torn] {
@@ -530,7 +530,7 @@ fn report_joins_fully_resumed_telemetry() {
     let tel_first = temp_path("full-resume-tel1.jsonl");
     let tel_second = temp_path("full-resume-tel2.jsonl");
     fx.run(2, &rec, Some(&tel_first), false);
-    let baseline = CampaignReport::build(&rec, Some(&tel_first)).unwrap();
+    let baseline = CampaignReport::build(&rec, Some(&tel_first), None).unwrap();
 
     let run = fx.run(2, &rec, Some(&tel_second), true);
     assert_eq!(
@@ -538,7 +538,7 @@ fn report_joins_fully_resumed_telemetry() {
         "fixture must fully resume"
     );
 
-    let report = CampaignReport::build(&rec, Some(&tel_second)).unwrap();
+    let report = CampaignReport::build(&rec, Some(&tel_second), None).unwrap();
     for (a, b) in report.cells.iter().zip(&baseline.cells) {
         assert_eq!(
             a.counts, b.counts,
