@@ -20,6 +20,13 @@
 //! fiq report <records.jsonl> [--telemetry FILE] [--divergence FILE] [--json]
 //! fiq fuzz [--seed S] [--count N] [--opt-level 0..3] [--oracle NAME]
 //!          [--max-steps N] [--corpus-dir DIR] [--no-reduce]
+//! fiq serve [--addr A] [--data-dir DIR] [--executors N]
+//! fiq submit <prog> [--addr A] [--category <cat>] [--injections N]
+//!            [--seed S] [--threads N] [--shards N] [--priority P]
+//!            [--collapse sampled|exact] [--divergence] [--fast-forward]
+//!            [--name LABEL]
+//! fiq status [--addr A] [--campaign ID] [--json]
+//! fiq report --follow --campaign ID [--addr A] [--interval MS]
 //! ```
 //!
 //! `campaign` runs both tools on the shared work-stealing engine.
@@ -70,6 +77,20 @@
 //! injects them all, and asserts the class-weighted tallies match;
 //! `--json FILE` writes the comparison artifact.
 //!
+//! `serve` starts the campaign daemon: a local HTTP JSON API plus a
+//! pool of `--executors` shard workers draining a priority queue
+//! (higher `--priority` first, FIFO within a priority). `submit` sends
+//! a campaign — the program is resolved client-side and inlined, so the
+//! daemon never reads client paths — split into `--shards` contiguous
+//! shards whose merged record/divergence streams are byte-identical to
+//! a single-process run at any shard count. `status` prints the fleet
+//! summary or, with `--campaign ID`, one campaign's per-shard detail
+//! (state, attempts, task range). `report --follow --campaign ID`
+//! polls until the campaign completes, narrating shard completion on
+//! stderr, then prints the merged report JSON. A killed shard worker is
+//! retried from its spooled prefix (crash-only recovery, at most 5
+//! attempts per shard).
+//!
 //! Flags are declared per subcommand: a flag that takes a value consumes
 //! the next argument (or use `--flag=value`), boolean flags never do, and
 //! unknown flags are an error listing the subcommand's valid flags.
@@ -94,7 +115,7 @@ use rand::SeedableRng;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     match real_main() {
@@ -175,7 +196,36 @@ fn flag_spec(cmd: &str) -> Option<FlagSpec> {
             boolean: &COMPILE_BOOLS,
         },
         "report" => FlagSpec {
-            value: &["records", "telemetry", "divergence"],
+            value: &[
+                "records",
+                "telemetry",
+                "divergence",
+                "addr",
+                "campaign",
+                "interval",
+            ],
+            boolean: &["json", "follow"],
+        },
+        "serve" => FlagSpec {
+            value: &["addr", "data-dir", "executors"],
+            boolean: &[],
+        },
+        "submit" => FlagSpec {
+            value: &[
+                "addr",
+                "category",
+                "seed",
+                "injections",
+                "threads",
+                "shards",
+                "priority",
+                "collapse",
+                "name",
+            ],
+            boolean: &["divergence", "fast-forward"],
+        },
+        "status" => FlagSpec {
+            value: &["addr", "campaign"],
             boolean: &["json"],
         },
         "fuzz" => FlagSpec {
@@ -288,7 +338,8 @@ fn real_main() -> Result<(), String> {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw[0].starts_with("--") {
         return Err(
-            "usage: fiq <workloads|compile|run|profile|inject|trace|campaign|collapse-check|report|fuzz> …"
+            "usage: fiq <workloads|compile|run|profile|inject|trace|campaign|collapse-check|\
+             report|serve|submit|status|fuzz> …"
                 .into(),
         );
     }
@@ -317,6 +368,9 @@ fn real_main() -> Result<(), String> {
         "campaign" => cmd_campaign(&args),
         "collapse-check" => cmd_collapse_check(&args),
         "report" => cmd_report(&args),
+        "serve" => cmd_serve(&args),
+        "submit" => cmd_submit(&args),
+        "status" => cmd_status(&args),
         "fuzz" => cmd_fuzz(&args),
         _ => unreachable!("flag_spec vetted the command"),
     }
@@ -696,6 +750,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         fusion: !args.has("no-fusion"),
         quiescent: !args.has("no-quiescent"),
         collapse,
+        cancel: None,
     };
     let run = fiq_core::run_campaign(&cells, &cfg, &opts)?;
     if run.resumed_tasks > 0 {
@@ -973,7 +1028,203 @@ fn progress_line(p: Progress, secs: f64) -> String {
 /// `fiq report <records.jsonl> [--telemetry FILE] [--divergence FILE]
 /// [--json]` — join a campaign record stream with its telemetry and
 /// divergence streams and summarize.
+/// Default daemon address shared by `serve`, `submit`, `status`, and
+/// `report --follow`.
+const DEFAULT_ADDR: &str = "127.0.0.1:4816";
+
+fn addr(args: &Args) -> String {
+    args.flag("addr").unwrap_or(DEFAULT_ADDR).to_string()
+}
+
+/// `fiq serve [--addr A] [--data-dir DIR] [--executors N]` — run the
+/// campaign daemon in the foreground until `POST /api/shutdown`.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let opts = fiq_serve::ServeOptions {
+        addr: addr(args),
+        data_dir: PathBuf::from(args.flag("data-dir").unwrap_or("fiq-serve-data")),
+        executors: args.num_flag("executors", 2)?,
+    };
+    fiq_serve::serve(&opts)
+}
+
+/// `fiq submit <prog> [--addr A] [--category C] [--injections N]
+/// [--seed S] [--threads N] [--shards N] [--priority P]
+/// [--collapse sampled|exact] [--divergence] [--fast-forward]
+/// [--name LABEL]` — submit a campaign to a running daemon.
+fn cmd_submit(args: &Args) -> Result<(), String> {
+    let Some(prog) = args.positional.first() else {
+        return Err("missing program (file path or workload name)".into());
+    };
+    // Resolve the program on the client side: workloads by name, files
+    // inlined as source text (the daemon never reads client paths). The
+    // name defaults to the argument as given — the same label `fiq
+    // campaign` uses — so daemon-merged streams stay byte-identical to
+    // a single-process reference run.
+    let source = match fiq_workloads::by_name(prog) {
+        Some(w) => w.source.to_string(),
+        None => std::fs::read_to_string(prog).map_err(|e| format!("{prog}: {e}"))?,
+    };
+    let name = prog.clone();
+    let sub = fiq_serve::Submission {
+        name: args.flag("name").map(str::to_string).unwrap_or(name),
+        source,
+        category: category(args)?,
+        injections: args.num_flag("injections", 200)?,
+        seed: seed(args)?,
+        threads: args.num_flag("threads", 1)?,
+        shards: args.num_flag("shards", 1)?,
+        priority: args.num_flag("priority", 0)?,
+        collapse: match args.flag("collapse") {
+            None => Collapse::default(),
+            Some(s) => Collapse::parse(s)
+                .ok_or_else(|| format!("unknown --collapse `{s}` (sampled|exact)"))?,
+        },
+        divergence: args.has("divergence"),
+        fast_forward: args.has("fast-forward"),
+    };
+    let resp = fiq_serve::client::submit(&addr(args), &sub)?;
+    let g = |k: &str| resp.get(k).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "submitted campaign {} ({} tasks across {} shards)",
+        g("id"),
+        g("total_tasks"),
+        g("shards")
+    );
+    Ok(())
+}
+
+/// `fiq status [--addr A] [--campaign ID] [--json]` — fleet summary or
+/// one campaign's per-shard detail.
+fn cmd_status(args: &Args) -> Result<(), String> {
+    let addr = addr(args);
+    match args.flag("campaign") {
+        Some(id) => {
+            let id: u64 = id
+                .parse()
+                .map_err(|_| format!("--campaign expects a number, got `{id}`"))?;
+            let detail = fiq_serve::client::campaign(&addr, id)?;
+            if args.has("json") {
+                println!("{detail}");
+                return Ok(());
+            }
+            print_campaign_row_header();
+            print_campaign_row(&detail);
+            for sh in detail
+                .get("shard_states")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+            {
+                let g = |k: &str| sh.get(k).and_then(Json::as_u64).unwrap_or(0);
+                println!(
+                    "  shard {} tasks {}..{} {:<8} attempts {}{}",
+                    g("shard"),
+                    g("task_lo"),
+                    g("task_hi"),
+                    sh.get("status").and_then(Json::as_str).unwrap_or("?"),
+                    g("attempts"),
+                    sh.get("error")
+                        .and_then(Json::as_str)
+                        .map(|e| format!(" — {e}"))
+                        .unwrap_or_default()
+                );
+            }
+            Ok(())
+        }
+        None => {
+            let status = fiq_serve::client::status(&addr)?;
+            if args.has("json") {
+                println!("{status}");
+                return Ok(());
+            }
+            print_campaign_row_header();
+            for c in status
+                .get("campaigns")
+                .and_then(Json::as_array)
+                .unwrap_or(&[])
+            {
+                print_campaign_row(c);
+            }
+            Ok(())
+        }
+    }
+}
+
+fn print_campaign_row_header() {
+    println!(
+        "{:<4} {:<12} {:<8} {:>8} {:>12} {:>10}",
+        "id", "name", "status", "priority", "shards-done", "tasks"
+    );
+}
+
+fn print_campaign_row(c: &Json) {
+    let g = |k: &str| c.get(k).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "{:<4} {:<12} {:<8} {:>8} {:>9}/{:<2} {:>10}{}",
+        g("id"),
+        c.get("name").and_then(Json::as_str).unwrap_or("?"),
+        c.get("status").and_then(Json::as_str).unwrap_or("?"),
+        g("priority"),
+        g("shards_done"),
+        g("shards"),
+        g("total_tasks"),
+        c.get("error")
+            .and_then(Json::as_str)
+            .map(|e| format!(" — {e}"))
+            .unwrap_or_default()
+    );
+}
+
+/// `fiq report --follow --campaign ID [--addr A] [--interval MS]` —
+/// poll a running campaign, narrating shard completion on stderr, then
+/// print the merged report when it settles.
+fn cmd_report_follow(args: &Args) -> Result<(), String> {
+    let addr = addr(args);
+    let id: u64 = args
+        .flag("campaign")
+        .ok_or("--follow requires --campaign <id>")?
+        .parse()
+        .map_err(|_| "--campaign expects a number".to_string())?;
+    let interval = Duration::from_millis(args.num_flag("interval", 250)?);
+    let mut last = u64::MAX;
+    loop {
+        let detail = fiq_serve::client::campaign(&addr, id)?;
+        let status = detail
+            .get("status")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let done = detail
+            .get("shards_done")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if done != last {
+            let total = detail.get("shards").and_then(Json::as_u64).unwrap_or(0);
+            eprintln!("campaign {id}: {status}, {done}/{total} shards done");
+            last = done;
+        }
+        match status.as_str() {
+            "done" => break,
+            "failed" => {
+                return Err(format!(
+                    "campaign {id} failed: {}",
+                    detail
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown error")
+                ))
+            }
+            _ => std::thread::sleep(interval),
+        }
+    }
+    let report = fiq_serve::client::report(&addr, id)?;
+    println!("{report}");
+    Ok(())
+}
+
 fn cmd_report(args: &Args) -> Result<(), String> {
+    if args.has("follow") {
+        return cmd_report_follow(args);
+    }
     let records = args
         .flag("records")
         .map(PathBuf::from)

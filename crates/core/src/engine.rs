@@ -25,6 +25,19 @@
 //!
 //! Worker errors (and panics) are captured and returned as `Err` from
 //! [`run_campaign`] instead of crossing thread boundaries as panics.
+//!
+//! ## Scheduler/executor split
+//!
+//! Planning and execution are separate phases with a public seam:
+//! [`plan_campaign`] produces a [`CampaignPlan`] (the scheduler half —
+//! every cell's task list, drawn sequentially), and
+//! [`run_campaign_shard`] executes any contiguous global task range of
+//! that plan (the executor half). Record and divergence lines carry
+//! *global* task indices, so a shard's stream body is byte-identical to
+//! the same lines of a single-process run — concatenating shard spools
+//! in shard order reproduces the single-process stream exactly. This is
+//! what the `fiq serve` daemon schedules across its worker fleet;
+//! [`run_campaign`] is simply "plan, then execute the full range".
 
 use crate::campaign::{cell_seed, CampaignConfig, CellReport};
 use crate::category::Category;
@@ -215,6 +228,13 @@ pub struct EngineOptions<'a> {
     /// [`EngineOptions::resume`]: both streams are truncated to their
     /// common valid task prefix.
     pub divergence: Option<&'a Path>,
+    /// Cooperative cancellation: workers re-check this flag before
+    /// claiming each task, and the run fails with an error containing
+    /// [`CANCELLED`] once it is raised. Buffered stream writers flush on
+    /// the way out, so the record/telemetry/divergence files are left as
+    /// a clean resumable prefix — this is how the serve daemon "kills" a
+    /// shard mid-run (crash-only recovery re-queues it with `resume`).
+    pub cancel: Option<&'a AtomicBool>,
 }
 
 impl Default for EngineOptions<'_> {
@@ -231,9 +251,16 @@ impl Default for EngineOptions<'_> {
             quiescent: true,
             collapse: Collapse::default(),
             divergence: None,
+            cancel: None,
         }
     }
 }
+
+/// Error message fragment of a run stopped through
+/// [`EngineOptions::cancel`]. Callers (the serve daemon's crash-only
+/// shard recovery) match on this to tell a deliberate cancel — spool
+/// files left as a resumable prefix — from a real worker failure.
+pub const CANCELLED: &str = "campaign cancelled";
 
 /// A cell's shared pre-decoded program, built once before the pool
 /// starts so workers never decode (or contend on decoding) per task.
@@ -319,11 +346,16 @@ struct Shared<'a, 't> {
     fusion: bool,
     quiescent: bool,
     collapse: Collapse,
+    /// First global task index of the range this run executes.
+    lo: usize,
+    /// Past-the-end global task index of the range.
+    hi: usize,
     next: AtomicUsize,
     completed: AtomicUsize,
     early_exited: AtomicUsize,
     fast_forwarded: AtomicUsize,
     stop: AtomicBool,
+    cancel: Option<&'a AtomicBool>,
     sink: Mutex<Sink>,
     error: Mutex<Option<String>>,
     progress: Option<&'a (dyn Fn(Progress) + Sync)>,
@@ -338,11 +370,133 @@ fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// A contiguous range of a planned campaign's global task list — the
+/// unit of work the serve daemon schedules across its worker fleet.
+///
+/// `lo..hi` are *global* task indices into the [`CampaignPlan`], so the
+/// record and divergence lines a shard writes are byte-identical to the
+/// same lines of a single-process run; concatenating shard spool bodies
+/// in shard order reproduces the single-process stream exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Shard ordinal within the campaign, `0..count`.
+    pub index: usize,
+    /// Total shards the campaign was split into.
+    pub count: usize,
+    /// First global task index (inclusive).
+    pub lo: usize,
+    /// Past-the-end global task index.
+    pub hi: usize,
+}
+
+/// The scheduler half of the engine: every cell's injection plan, drawn
+/// sequentially up front exactly as the single-process engine draws it.
+///
+/// A plan is immutable and borrows nothing, so a daemon can compute it
+/// once per campaign and hand ranges of it ([`CampaignPlan::shards`]) to
+/// executors ([`run_campaign_shard`]) as workers free up. The plan also
+/// owns the campaign's stream headers, which carry the shard identity
+/// for shard spools — resuming a spool under the wrong shard range is a
+/// refused header mismatch, not a silent miscount.
+pub struct CampaignPlan {
+    tasks: Vec<Task>,
+    budgets: Vec<u64>,
+    planned: Vec<u32>,
+    populations: Vec<u64>,
+    spaces: Vec<Option<CollapseStats>>,
+    collapse: Collapse,
+}
+
+impl CampaignPlan {
+    /// Total injection tasks across every cell.
+    pub fn total_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The planning mode this plan was drawn under.
+    pub fn collapse(&self) -> Collapse {
+        self.collapse
+    }
+
+    /// Planned injections per cell, in cell order.
+    pub fn planned(&self) -> &[u32] {
+        &self.planned
+    }
+
+    /// Splits the plan into `count` contiguous shards of near-equal
+    /// size (the first `total % count` shards are one task larger).
+    /// Always returns exactly `count` shards; trailing ones are empty
+    /// when the plan has fewer tasks than shards, and an empty shard
+    /// executes trivially (header-only spool), keeping the merge
+    /// protocol uniform.
+    pub fn shards(&self, count: usize) -> Vec<ShardSpec> {
+        let count = count.max(1);
+        let total = self.tasks.len();
+        let (base, extra) = (total / count, total % count);
+        let mut lo = 0;
+        (0..count)
+            .map(|index| {
+                let hi = lo + base + usize::from(index < extra);
+                let s = ShardSpec {
+                    index,
+                    count,
+                    lo,
+                    hi,
+                };
+                lo = hi;
+                s
+            })
+            .collect()
+    }
+
+    /// The record-stream header for this plan: the campaign header when
+    /// `shard` is `None`, the shard-annotated spool header otherwise.
+    pub fn record_header(
+        &self,
+        cells: &[CellSpec<'_>],
+        cfg: &CampaignConfig,
+        shard: Option<ShardSpec>,
+    ) -> String {
+        header_line(
+            cells,
+            cfg,
+            &self.planned,
+            self.collapse,
+            &self.spaces,
+            shard,
+        )
+    }
+
+    /// The divergence-stream header for this plan (see
+    /// [`CampaignPlan::record_header`]).
+    pub fn divergence_header(
+        &self,
+        cells: &[CellSpec<'_>],
+        cfg: &CampaignConfig,
+        shard: Option<ShardSpec>,
+    ) -> String {
+        divergence_header_line(cells, cfg, &self.planned, shard)
+    }
+
+    /// The telemetry-stream header for this plan (see
+    /// [`CampaignPlan::record_header`]).
+    pub fn telemetry_header(
+        &self,
+        cells: &[CellSpec<'_>],
+        cfg: &CampaignConfig,
+        workers: usize,
+        shard: Option<ShardSpec>,
+    ) -> String {
+        telemetry_header_line(cells, cfg, &self.planned, workers, shard)
+    }
+}
+
 /// Runs a multi-cell campaign on the shared worker pool.
 ///
 /// Returns one [`CellReport`] per cell, bit-identical to running each
 /// cell through the sequential per-cell planner/runner, for any thread
-/// count.
+/// count. Equivalent to [`plan_campaign`] followed by executing the
+/// full task range.
 ///
 /// # Errors
 ///
@@ -354,7 +508,64 @@ pub fn run_campaign(
     cfg: &CampaignConfig,
     opts: &EngineOptions<'_>,
 ) -> Result<CampaignRun, String> {
-    // 1. Plan every cell sequentially (determinism lives here).
+    let plan = plan_campaign(cells, cfg, opts.collapse)?;
+    run_planned(cells, cfg, opts, &plan, None)
+}
+
+/// Executes one contiguous task range of a planned campaign — the
+/// executor half of the scheduler/executor split.
+///
+/// `cells` and `cfg` must be the ones the plan was drawn from. The
+/// shard's streams ([`EngineOptions::records`] and friends) are spool
+/// files whose headers carry the shard identity; resume reconciliation
+/// works per shard exactly as it does for whole campaigns, which is what
+/// makes crash-only shard recovery a re-queue with `resume` set. The
+/// returned [`CampaignRun`] covers only this shard's range (per-cell
+/// `planned`/populations stay campaign-wide; `executed` and counts are
+/// shard-local).
+///
+/// # Errors
+///
+/// Everything [`run_campaign`] can return, plus a mismatched
+/// `opts.collapse`, an out-of-range shard, or cancellation through
+/// [`EngineOptions::cancel`] (an error containing [`CANCELLED`]).
+pub fn run_campaign_shard(
+    cells: &[CellSpec<'_>],
+    cfg: &CampaignConfig,
+    opts: &EngineOptions<'_>,
+    plan: &CampaignPlan,
+    shard: ShardSpec,
+) -> Result<CampaignRun, String> {
+    if opts.collapse != plan.collapse {
+        return Err("shard options disagree with the plan's collapse mode".into());
+    }
+    if shard.lo > shard.hi || shard.hi > plan.tasks.len() || shard.index >= shard.count {
+        return Err(format!(
+            "invalid shard {}/{} covering tasks {}..{} of {}",
+            shard.index,
+            shard.count,
+            shard.lo,
+            shard.hi,
+            plan.tasks.len()
+        ));
+    }
+    run_planned(cells, cfg, opts, plan, Some(shard))
+}
+
+/// Plans every cell of a campaign sequentially (determinism lives
+/// here): per-cell RNG streams, collapse analysis, budgets, and
+/// populations — everything execution needs except the substrate
+/// decode, which depends on per-run [`EngineOptions`].
+///
+/// # Errors
+///
+/// Returns an error when collapse analysis fails or a cell's plan
+/// exceeds the record format's per-cell u32 limit.
+pub fn plan_campaign(
+    cells: &[CellSpec<'_>],
+    cfg: &CampaignConfig,
+    collapse: Collapse,
+) -> Result<CampaignPlan, String> {
     let mut tasks = Vec::new();
     let mut budgets = Vec::with_capacity(cells.len());
     let mut planned = Vec::with_capacity(cells.len());
@@ -373,7 +584,7 @@ pub fn run_campaign(
         let cell_err = |e: String| format!("cell {ci} ({}/{}): {e}", cell.label, cell.category);
         match &cell.substrate {
             Substrate::Llfi { module, profile } => {
-                match opts.collapse {
+                match collapse {
                     Collapse::Sampled => {
                         // One cumulative site table per cell, not per injection.
                         let cum = profile.cumulative(module, cell.category);
@@ -415,7 +626,7 @@ pub fn run_campaign(
                 populations.push(profile.category_count(module, cell.category));
             }
             Substrate::Pinfi { prog, profile } => {
-                match opts.collapse {
+                match collapse {
                     Collapse::Sampled => {
                         let cum = profile.cumulative(prog, cell.category);
                         tasks.extend(
@@ -466,6 +677,36 @@ pub fn run_campaign(
         })?;
         planned.push(cell_planned);
     }
+    Ok(CampaignPlan {
+        tasks,
+        budgets,
+        planned,
+        populations,
+        spaces,
+        collapse,
+    })
+}
+
+/// Executes `shard` (or the full plan when `None`) on the worker pool:
+/// the executor half shared by [`run_campaign`] and
+/// [`run_campaign_shard`].
+fn run_planned(
+    cells: &[CellSpec<'_>],
+    cfg: &CampaignConfig,
+    opts: &EngineOptions<'_>,
+    plan: &CampaignPlan,
+    shard: Option<ShardSpec>,
+) -> Result<CampaignRun, String> {
+    let (lo, hi) = shard.map_or((0, plan.tasks.len()), |s| (s.lo, s.hi));
+    let range_len = hi - lo;
+    let CampaignPlan {
+        tasks,
+        budgets,
+        planned,
+        populations,
+        spaces,
+        ..
+    } = plan;
 
     // Pre-decode each cell's program once; workers share the tables.
     let decoded: Vec<DecodedCell> = cells
@@ -482,13 +723,16 @@ pub fn run_campaign(
         .collect();
 
     // 2. Open the record stream (and the divergence stream when enabled),
-    //    replaying any resumable prefix. The two streams advance in task
+    //    replaying any resumable prefix. The streams advance in task
     //    lockstep, but a kill can tear them at different lengths — resume
-    //    reconciles by truncating both to the common valid task prefix.
-    let header = header_line(cells, cfg, &planned, opts.collapse, &spaces);
-    let div_header = divergence_header_line(cells, cfg, &planned);
-    let mut outcomes: Vec<Option<Outcome>> = vec![None; tasks.len()];
+    //    reconciles every present stream (records, divergence, and the
+    //    telemetry event stream below) to the minimum consistent task
+    //    prefix.
+    let header = plan.record_header(cells, cfg, shard);
+    let div_header = plan.divergence_header(cells, cfg, shard);
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; range_len];
     let mut resumed = 0usize;
+    let mut resumed_streams = false;
     let mut writer = None;
     let mut div_writer = None;
     match opts.records {
@@ -501,7 +745,7 @@ pub fn run_campaign(
         }
         Some(path) => {
             if opts.resume && path.exists() {
-                let mut prefix = load_resume(path, &header)?;
+                let mut prefix = load_resume(path, &header, lo, range_len)?;
                 let mut keep = prefix.outcomes.len();
                 let div_prefix = match opts.divergence {
                     Some(div_path) => {
@@ -513,7 +757,7 @@ pub fn run_campaign(
                                 div_path.display()
                             ));
                         }
-                        let dp = load_div_resume(div_path, &div_header)?;
+                        let dp = load_div_resume(div_path, &div_header, lo, range_len)?;
                         keep = keep.min(dp.timelines);
                         Some(dp)
                     }
@@ -521,6 +765,7 @@ pub fn run_campaign(
                 };
                 prefix.outcomes.truncate(keep);
                 resumed = keep;
+                resumed_streams = true;
                 writer = Some(reopen_stream(path, prefix.byte_len(keep), "record")?);
                 if let (Some(div_path), Some(dp)) = (opts.divergence, div_prefix) {
                     div_writer = Some(reopen_stream(div_path, dp.byte_len(keep), "divergence")?);
@@ -537,14 +782,23 @@ pub fn run_campaign(
         }
     }
 
-    // 3. Drain the task list with one shared worker pool.
-    let remaining = tasks.len() - resumed;
+    // 3. Drain the task range with one shared worker pool.
+    let remaining = range_len - resumed;
     let workers = cfg.worker_count().max(1).min(remaining.max(1));
     let tel_file = match opts.telemetry {
-        Some(path) => Some(TelemetryFile::create(
-            path,
-            &telemetry_header_line(cells, cfg, &planned, workers),
-        )?),
+        Some(path) => {
+            let tel_header = plan.telemetry_header(cells, cfg, workers, shard);
+            // The telemetry stream participates in resume reconciliation:
+            // a prior attempt's surviving per-task events are cut back to
+            // the kept task prefix (tasks past it re-execute and re-log),
+            // so no task is double-counted across attempts and the three
+            // streams agree after a crash between flushes.
+            Some(if resumed_streams && path.exists() {
+                TelemetryFile::reconcile(path, &tel_header, (lo + resumed) as u64)?
+            } else {
+                TelemetryFile::create(path, &tel_header)?
+            })
+        }
         None => None,
     };
     let hub = tel_file
@@ -558,41 +812,52 @@ pub fn run_campaign(
                 "resume",
                 vec![
                     ("restored", EvVal::U64(resumed as u64)),
-                    ("total", EvVal::U64(tasks.len() as u64)),
+                    ("total", EvVal::U64(range_len as u64)),
                 ],
             );
         }
-        record_snapshot_reuse(hub, cells);
-        // Collapse accounting is fixed at planning time, so (like the
-        // snapshot-reuse tally) it is recorded once, on worker 0's shard.
-        let h = hub.worker(0);
-        for (ci, stats) in spaces.iter().enumerate() {
-            if let Some(s) = stats {
-                h.cell_add(ci, cell_counter::FAULT_SPACE, s.space());
-                h.cell_add(ci, cell_counter::COLLAPSE_DORMANT, s.dormant);
-                h.cell_add(ci, cell_counter::COLLAPSE_MASKED, s.masked);
-                h.cell_add(ci, cell_counter::COLLAPSE_RESIDUAL, s.residual);
+        // Planning-time constants (snapshot reuse, collapse census) are
+        // campaign-wide facts, not per-task tallies: in a sharded run
+        // only shard 0 records them, so the aggregator's monoid merge
+        // reproduces the single-process totals instead of multiplying
+        // them by the shard count.
+        if shard.is_none_or(|sh| sh.index == 0) {
+            record_snapshot_reuse(hub, cells);
+            // Collapse accounting is fixed at planning time, so (like the
+            // snapshot-reuse tally) it is recorded once, on worker 0's
+            // shard.
+            let h = hub.worker(0);
+            for (ci, stats) in spaces.iter().enumerate() {
+                if let Some(s) = stats {
+                    h.cell_add(ci, cell_counter::FAULT_SPACE, s.space());
+                    h.cell_add(ci, cell_counter::COLLAPSE_DORMANT, s.dormant);
+                    h.cell_add(ci, cell_counter::COLLAPSE_MASKED, s.masked);
+                    h.cell_add(ci, cell_counter::COLLAPSE_RESIDUAL, s.residual);
+                }
             }
         }
     }
     let shared = Shared {
         cells,
-        tasks: &tasks,
-        budgets: &budgets,
+        tasks: tasks.as_slice(),
+        budgets: budgets.as_slice(),
         decoded: &decoded,
         dispatch: opts.dispatch,
         fusion: opts.fusion,
         quiescent: opts.quiescent,
         collapse: opts.collapse,
-        next: AtomicUsize::new(resumed),
+        lo,
+        hi,
+        next: AtomicUsize::new(lo + resumed),
         completed: AtomicUsize::new(resumed),
         early_exited: AtomicUsize::new(0),
         fast_forwarded: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
+        cancel: opts.cancel,
         sink: Mutex::new(Sink {
             outcomes,
             pending: BTreeMap::new(),
-            next_flush: resumed,
+            next_flush: lo + resumed,
             writer,
             unflushed: 0,
             div_writer,
@@ -631,7 +896,7 @@ pub fn run_campaign(
     if let Some(cb) = opts.progress {
         cb(Progress {
             completed: shared.completed.load(Ordering::Relaxed),
-            total: tasks.len(),
+            total: range_len,
             resumed,
             fast_forwarded: shared.fast_forwarded.load(Ordering::Relaxed),
             early_exited: shared.early_exited.load(Ordering::Relaxed),
@@ -668,7 +933,7 @@ pub fn run_campaign(
             hub,
             cells,
             &RunTotals {
-                total: tasks.len(),
+                total: range_len,
                 done: completed,
                 resumed,
                 fast_forwarded,
@@ -678,7 +943,7 @@ pub fn run_campaign(
     }
     let mut reports: Vec<CellReport> = planned
         .iter()
-        .zip(populations.iter().zip(&spaces))
+        .zip(populations.iter().zip(spaces.iter()))
         .map(|(&p, (&pop, stats))| CellReport {
             counts: OutcomeCounts::default(),
             // Exact collapse plans the whole fault space; `injections`
@@ -694,14 +959,14 @@ pub fn run_campaign(
             fault_space: stats.map_or(0, |s| s.space()),
         })
         .collect();
-    for (task, outcome) in tasks.iter().zip(&sink.outcomes) {
+    for (task, outcome) in tasks[lo..hi].iter().zip(&sink.outcomes) {
         let outcome = outcome.ok_or("internal error: campaign task missing an outcome")?;
         reports[task.cell].counts.record_n(outcome, task.class_size);
         reports[task.cell].executed += 1;
     }
     Ok(CampaignRun {
         cells: reports,
-        total_tasks: tasks.len(),
+        total_tasks: range_len,
         resumed_tasks: resumed,
         early_exited_tasks: early_exited,
         fast_forwarded_tasks: fast_forwarded,
@@ -747,10 +1012,18 @@ fn worker(shared: &Shared<'_, '_>, index: usize) {
         if shared.stop.load(Ordering::Relaxed) {
             return;
         }
-        let i = shared.next.fetch_add(1, Ordering::Relaxed);
-        let Some(task) = shared.tasks.get(i) else {
+        // Cooperative cancellation: checked before each claim, so a
+        // cancelled run stops at a task boundary and its streams stay a
+        // clean resumable prefix.
+        if shared.cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            fail(shared, CANCELLED.into());
             return;
-        };
+        }
+        let i = shared.next.fetch_add(1, Ordering::Relaxed);
+        if i >= shared.hi {
+            return;
+        }
+        let task = &shared.tasks[i];
         let cell = &shared.cells[task.cell];
         let budget = shared.budgets[task.cell];
         // Clock reads only happen with telemetry on, keeping the
@@ -805,10 +1078,23 @@ fn worker(shared: &Shared<'_, '_>, index: usize) {
             shared.fast_forwarded.fetch_add(1, Ordering::Relaxed);
         }
         if let Some(h) = handle {
-            let latency_us = start.expect("set with handle").elapsed().as_micros() as u64;
+            // A worker can complete a task after the daemon has begun
+            // telemetry shutdown, losing the start-of-task clock sample.
+            // Degrade by dropping the latency observation (and counting
+            // the drop) instead of panicking mid-drain — the task's
+            // deterministic counters and its record line are unaffected.
+            let latency_us = match start {
+                Some(t0) => Some(t0.elapsed().as_micros() as u64),
+                None => {
+                    h.add(engine_counter::LATENCY_DROPPED, 1);
+                    None
+                }
+            };
             h.add(engine_counter::TASKS, 1);
             h.cell_add(task.cell, cell_counter::TASKS, 1);
-            h.cell_record(task.cell, cell_hist::TASK_LATENCY_US, latency_us);
+            if let Some(us) = latency_us {
+                h.cell_record(task.cell, cell_hist::TASK_LATENCY_US, us);
+            }
             if result.fast_forwarded {
                 h.cell_add(task.cell, cell_counter::FAST_FORWARDED, 1);
             }
@@ -831,18 +1117,18 @@ fn worker(shared: &Shared<'_, '_>, index: usize) {
                     h.cell_record(task.cell, cell_hist::DIV_MASK_TIME, mt);
                 }
             }
-            h.event(
-                "task",
-                vec![
-                    ("task", EvVal::U64(i as u64)),
-                    ("cell", EvVal::U64(task.cell as u64)),
-                    ("outcome", EvVal::Str(result.outcome.name().to_string())),
-                    ("steps", EvVal::U64(result.steps)),
-                    ("fast_forwarded", EvVal::Bool(result.fast_forwarded)),
-                    ("early_exit", EvVal::Bool(result.early_exit)),
-                    ("latency_us", EvVal::U64(latency_us)),
-                ],
-            );
+            let mut fields = vec![
+                ("task", EvVal::U64(i as u64)),
+                ("cell", EvVal::U64(task.cell as u64)),
+                ("outcome", EvVal::Str(result.outcome.name().to_string())),
+                ("steps", EvVal::U64(result.steps)),
+                ("fast_forwarded", EvVal::Bool(result.fast_forwarded)),
+                ("early_exit", EvVal::Bool(result.early_exit)),
+            ];
+            if let Some(us) = latency_us {
+                fields.push(("latency_us", EvVal::U64(us)));
+            }
+            h.event("task", fields);
         }
         if let Err(e) = deliver(shared, i, result, handle) {
             fail(shared, e);
@@ -852,7 +1138,7 @@ fn worker(shared: &Shared<'_, '_>, index: usize) {
         if let Some(cb) = shared.progress {
             cb(Progress {
                 completed,
-                total: shared.tasks.len(),
+                total: shared.hi - shared.lo,
                 resumed: shared.resumed,
                 fast_forwarded: shared.fast_forwarded.load(Ordering::Relaxed),
                 early_exited: shared.early_exited.load(Ordering::Relaxed),
@@ -999,7 +1285,7 @@ fn deliver(
     handle: Option<WorkerHandle<'_>>,
 ) -> Result<(), String> {
     let mut sink = lock(&shared.sink);
-    sink.outcomes[index] = Some(result.outcome);
+    sink.outcomes[index - shared.lo] = Some(result.outcome);
     sink.pending.insert(index, result);
     loop {
         let flush_index = sink.next_flush;
@@ -1081,12 +1367,24 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 /// campaigns keep the version-1 layout byte for byte; exact campaigns
 /// bump the version and add the `collapse` and per-cell `space` fields
 /// (the header difference is what blocks cross-mode resume).
+fn shard_fields(shard: Option<ShardSpec>, fields: &mut Vec<(String, Json)>) {
+    if let Some(sh) = shard {
+        fields.extend([
+            ("shard".into(), Json::u64(sh.index as u64)),
+            ("shards".into(), Json::u64(sh.count as u64)),
+            ("task_lo".into(), Json::u64(sh.lo as u64)),
+            ("task_hi".into(), Json::u64(sh.hi as u64)),
+        ]);
+    }
+}
+
 fn header_line(
     cells: &[CellSpec<'_>],
     cfg: &CampaignConfig,
     planned: &[u32],
     collapse: Collapse,
     spaces: &[Option<CollapseStats>],
+    shard: Option<ShardSpec>,
 ) -> String {
     let cell_objs = cells
         .iter()
@@ -1118,13 +1416,19 @@ fn header_line(
         ("hang_factor".into(), Json::u64(cfg.hang_factor)),
         ("cells".into(), Json::Arr(cell_objs)),
     ]);
+    shard_fields(shard, &mut fields);
     Json::Obj(fields).to_string()
 }
 
 /// The divergence-stream header line: identifies the campaign the stream
 /// belongs to, mirroring the record header, so resume can reconcile the
 /// two files and refuse a mismatched one.
-fn divergence_header_line(cells: &[CellSpec<'_>], cfg: &CampaignConfig, planned: &[u32]) -> String {
+fn divergence_header_line(
+    cells: &[CellSpec<'_>],
+    cfg: &CampaignConfig,
+    planned: &[u32],
+    shard: Option<ShardSpec>,
+) -> String {
     let cell_objs = cells
         .iter()
         .zip(planned)
@@ -1137,15 +1441,16 @@ fn divergence_header_line(cells: &[CellSpec<'_>], cfg: &CampaignConfig, planned:
             ])
         })
         .collect();
-    Json::Obj(vec![
+    let mut fields = vec![
         ("record".into(), Json::str("divergence")),
         ("version".into(), Json::u64(DIVERGENCE_VERSION)),
         ("seed".into(), Json::u64(cfg.seed)),
         ("injections".into(), Json::u64(u64::from(cfg.injections))),
         ("hang_factor".into(), Json::u64(cfg.hang_factor)),
         ("cells".into(), Json::Arr(cell_objs)),
-    ])
-    .to_string()
+    ];
+    shard_fields(shard, &mut fields);
+    Json::Obj(fields).to_string()
 }
 
 /// One per-injection record line. Exact-collapse records append the
@@ -1238,9 +1543,18 @@ impl ResumePrefix {
 /// The file must start with exactly `expected_header`; records must be
 /// contiguous from task 0. A torn final line (from a kill mid-write) is
 /// dropped, as is anything after the first malformed record.
-fn load_resume(path: &Path, expected_header: &str) -> Result<ResumePrefix, String> {
+fn load_resume(
+    path: &Path,
+    expected_header: &str,
+    lo: usize,
+    max_items: usize,
+) -> Result<ResumePrefix, String> {
     let (outcomes, header_bytes, offsets) =
-        load_prefix(path, expected_header, "record", "--records", parse_record)?;
+        load_prefix(path, expected_header, "record", "--records", |line, i| {
+            (i < max_items)
+                .then(|| parse_record(line, lo + i))
+                .flatten()
+        })?;
     Ok(ResumePrefix {
         outcomes,
         header_bytes,
@@ -1269,13 +1583,18 @@ impl DivPrefix {
 /// [`load_resume`] for the divergence stream: validates the header and
 /// the longest contiguous timeline prefix (torn-tail tolerant, like the
 /// records channel).
-fn load_div_resume(path: &Path, expected_header: &str) -> Result<DivPrefix, String> {
+fn load_div_resume(
+    path: &Path,
+    expected_header: &str,
+    lo: usize,
+    max_items: usize,
+) -> Result<DivPrefix, String> {
     let (lines, header_bytes, offsets) = load_prefix(
         path,
         expected_header,
         "divergence",
         "--divergence",
-        |line, i| parse_timeline(line, i).then_some(()),
+        |line, i| (i < max_items && parse_timeline(line, lo + i)).then_some(()),
     )?;
     Ok(DivPrefix {
         timelines: lines.len(),

@@ -70,8 +70,9 @@ pub use collapse::{
 };
 pub use divergence::{Timeline, TimelineEntry, DIVERGENCE_VERSION};
 pub use engine::{
-    run_campaign, CampaignRun, CellSpec, EngineOptions, Progress, SnapshotCache, Substrate,
-    EXACT_RECORD_VERSION, RECORD_VERSION,
+    plan_campaign, run_campaign, run_campaign_shard, CampaignPlan, CampaignRun, CellSpec,
+    EngineOptions, Progress, ShardSpec, SnapshotCache, Substrate, CANCELLED, EXACT_RECORD_VERSION,
+    RECORD_VERSION,
 };
 pub use llfi::{
     plan_llfi, plan_llfi_from, run_llfi, run_llfi_detailed, run_llfi_detailed_from,

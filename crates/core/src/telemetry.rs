@@ -26,7 +26,7 @@ use crate::engine::CellSpec;
 use crate::json::Json;
 use fiq_telemetry::{EvVal, EventSink, HistData, HubSpec, TelemetryHub, WorkerHandle};
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -45,6 +45,10 @@ pub mod engine_counter {
     pub const RECORDS_WRITTEN: usize = 2;
     /// Explicit flushes of the record stream.
     pub const RECORD_FLUSHES: usize = 3;
+    /// Task-latency samples dropped because the start-of-task clock was
+    /// never read (e.g. the task completed after telemetry shutdown
+    /// during daemon cancellation). The task itself still counts.
+    pub const LATENCY_DROPPED: usize = 4;
 }
 
 /// Engine-scope histogram indices into [`HUB_SPEC`].
@@ -152,6 +156,7 @@ pub static HUB_SPEC: HubSpec = HubSpec {
         "resumed_tasks",
         "records_written",
         "record_flushes",
+        "latency_dropped",
     ],
     hists: &["record_flush_batch"],
     cell_counters: &[
@@ -271,6 +276,57 @@ impl TelemetryFile {
         })
     }
 
+    /// Reconciles an existing telemetry file into a resumed attempt: the
+    /// prior attempt's `task` event lines at indices below `keep_below`
+    /// (the minimum consistent prefix the record/divergence streams
+    /// agreed on) are preserved, everything else — counter, hist, worker
+    /// and summary lines, plus task events past the kept prefix — is
+    /// dropped, and the stream continues from there under a fresh
+    /// header. This makes telemetry the third participant in resume
+    /// reconciliation: after a crash the three streams describe the same
+    /// task prefix, and each task index appears in at most one `task`
+    /// event across all attempts.
+    ///
+    /// The old header must describe the same campaign shard; only its
+    /// `workers` field may differ (a resumed attempt caps workers at the
+    /// remaining task count).
+    pub(crate) fn reconcile(
+        path: &Path,
+        expected_header: &str,
+        keep_below: u64,
+    ) -> Result<TelemetryFile, String> {
+        let file =
+            File::open(path).map_err(|e| format!("open telemetry file {}: {e}", path.display()))?;
+        let mut lines = BufReader::new(file).lines();
+        let found = lines
+            .next()
+            .transpose()
+            .map_err(|e| format!("read telemetry file {}: {e}", path.display()))?
+            .unwrap_or_default();
+        if !headers_match_ignoring_workers(&found, expected_header) {
+            return Err(format!(
+                "telemetry file {} belongs to a different campaign; \
+                 delete it or pass a fresh --telemetry path",
+                path.display()
+            ));
+        }
+        let kept: Vec<String> = lines
+            .map_while(Result::ok)
+            .filter(|l| keep_event_line(l, keep_below))
+            .collect();
+        let out = File::create(path)
+            .map_err(|e| format!("create telemetry file {}: {e}", path.display()))?;
+        let mut w = BufWriter::new(out);
+        let werr = |e: std::io::Error| format!("write telemetry: {e}");
+        writeln!(w, "{expected_header}").map_err(werr)?;
+        for line in &kept {
+            writeln!(w, "{line}").map_err(werr)?;
+        }
+        Ok(TelemetryFile {
+            writer: Arc::new(Mutex::new(w)),
+        })
+    }
+
     /// An event sink appending `record: "event"` lines to this file.
     pub(crate) fn sink(&self) -> Box<dyn EventSink> {
         let writer = Arc::clone(&self.writer);
@@ -344,6 +400,7 @@ pub(crate) fn telemetry_header_line(
     cfg: &CampaignConfig,
     planned: &[u32],
     workers: usize,
+    shard: Option<crate::engine::ShardSpec>,
 ) -> String {
     let cell_objs = cells
         .iter()
@@ -357,7 +414,7 @@ pub(crate) fn telemetry_header_line(
             ])
         })
         .collect();
-    Json::Obj(vec![
+    let mut fields = vec![
         ("record".into(), Json::str("telemetry")),
         ("version".into(), Json::u64(TELEMETRY_VERSION)),
         ("seed".into(), Json::u64(cfg.seed)),
@@ -365,8 +422,55 @@ pub(crate) fn telemetry_header_line(
         ("hang_factor".into(), Json::u64(cfg.hang_factor)),
         ("workers".into(), Json::u64(workers as u64)),
         ("cells".into(), Json::Arr(cell_objs)),
-    ])
-    .to_string()
+    ];
+    if let Some(sh) = shard {
+        fields.extend([
+            ("shard".into(), Json::u64(sh.index as u64)),
+            ("shards".into(), Json::u64(sh.count as u64)),
+            ("task_lo".into(), Json::u64(sh.lo as u64)),
+            ("task_hi".into(), Json::u64(sh.hi as u64)),
+        ]);
+    }
+    Json::Obj(fields).to_string()
+}
+
+/// True when two telemetry headers describe the same campaign shard,
+/// ignoring the `workers` field: the worker count is `min(threads,
+/// remaining-tasks)`, so a resumed attempt legitimately runs with fewer
+/// workers than the attempt it reconciles against.
+fn headers_match_ignoring_workers(found: &str, expected: &str) -> bool {
+    let strip = |line: &str| {
+        Json::parse(line).ok().map(|v| match v {
+            Json::Obj(fields) => {
+                Json::Obj(fields.into_iter().filter(|(k, _)| k != "workers").collect())
+            }
+            other => other,
+        })
+    };
+    match (strip(found), strip(expected)) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// True for event lines the resume reconciliation keeps: non-task events
+/// always survive (they narrate prior attempts), task events only below
+/// the kept task prefix — so across any number of crash/resume cycles
+/// every task index appears in at most one `task` event.
+fn keep_event_line(line: &str, keep_below: u64) -> bool {
+    let Ok(v) = Json::parse(line) else {
+        return false;
+    };
+    if v.get("record").and_then(Json::as_str) != Some("event") {
+        return false;
+    }
+    if v.get("kind").and_then(Json::as_str) != Some("task") {
+        return true;
+    }
+    v.get("fields")
+        .and_then(|f| f.get("task"))
+        .and_then(Json::as_u64)
+        .is_some_and(|t| t < keep_below)
 }
 
 fn counter_line(scope: &str, cell: Option<(usize, &str)>, name: &str, value: u64) -> String {

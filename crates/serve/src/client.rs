@@ -1,0 +1,64 @@
+//! Thin client helpers over the daemon's JSON API — what `fiq submit`,
+//! `fiq status`, and `fiq report --follow` call, and what the
+//! integration tests drive the daemon with.
+
+use crate::http::{expect_ok, request};
+use crate::prepare::Submission;
+use fiq_core::json::Json;
+use std::time::{Duration, Instant};
+
+/// Submits a campaign; returns `{id, shards, total_tasks}`.
+pub fn submit(addr: &str, sub: &Submission) -> Result<Json, String> {
+    expect_ok(request(addr, "POST", "/api/submit", Some(&sub.to_json()))?)
+}
+
+/// Fetches the fleet summary: `{campaigns: [...]}`.
+pub fn status(addr: &str) -> Result<Json, String> {
+    expect_ok(request(addr, "GET", "/api/status", None)?)
+}
+
+/// Fetches one campaign's detail, including per-shard state.
+pub fn campaign(addr: &str, id: u64) -> Result<Json, String> {
+    expect_ok(request(addr, "GET", &format!("/api/campaign/{id}"), None)?)
+}
+
+/// Fetches a completed campaign's merged report (`fiq report --json`
+/// form). Errors while the campaign is still running.
+pub fn report(addr: &str, id: u64) -> Result<Json, String> {
+    expect_ok(request(addr, "GET", &format!("/api/report/{id}"), None)?)
+}
+
+/// Raises a shard's cancellation flag (crash simulation / kill).
+pub fn kill(addr: &str, id: u64, shard: u64) -> Result<Json, String> {
+    let body = Json::Obj(vec![
+        ("id".into(), Json::u64(id)),
+        ("shard".into(), Json::u64(shard)),
+    ]);
+    expect_ok(request(addr, "POST", "/api/kill", Some(&body))?)
+}
+
+/// Asks the daemon to shut down (queue closes, executors drain).
+pub fn shutdown(addr: &str) -> Result<(), String> {
+    expect_ok(request(addr, "POST", "/api/shutdown", None)?).map(|_| ())
+}
+
+/// Polls a campaign until it settles (`done` or `failed`), returning
+/// its final detail object. `interval` is the poll period.
+pub fn wait_settled(
+    addr: &str,
+    id: u64,
+    interval: Duration,
+    timeout: Duration,
+) -> Result<Json, String> {
+    let start = Instant::now();
+    loop {
+        let detail = campaign(addr, id)?;
+        match detail.get("status").and_then(Json::as_str) {
+            Some("done" | "failed") => return Ok(detail),
+            _ if start.elapsed() > timeout => {
+                return Err(format!("campaign {id} did not settle within {timeout:?}"))
+            }
+            _ => std::thread::sleep(interval),
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! A minimal HTTP/1.1 JSON transport over `std::net::TcpStream`.
+//!
+//! Just enough protocol for a same-machine control plane: one request
+//! per connection (`Connection: close`), JSON bodies encoded with the
+//! repo's own [`fiq_core::json`] codec, no chunked encoding, no TLS, no
+//! keep-alive. Both the daemon side ([`read_request`]/[`respond`]) and
+//! the client side ([`request`]) live here so the framing stays in one
+//! place.
+
+use fiq_core::json::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on accepted body sizes (requests and responses). Submissions
+/// inline program source; reports are a few hundred KiB at most. Streams
+/// never travel over HTTP — they are files on the shared filesystem.
+const MAX_BODY: u64 = 16 * 1024 * 1024;
+
+/// One parsed HTTP request: method, path, and (when present) JSON body.
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Option<Json>,
+}
+
+fn read_head(reader: &mut BufReader<&mut TcpStream>) -> Result<(String, u64), String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let head = line.trim_end().to_string();
+    let mut content_length = 0u64;
+    loop {
+        let mut h = String::new();
+        reader
+            .read_line(&mut h)
+            .map_err(|e| format!("read header: {e}"))?;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length {value:?}"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body of {content_length} bytes exceeds limit"));
+    }
+    Ok((head, content_length))
+}
+
+fn read_body(reader: &mut BufReader<&mut TcpStream>, len: u64) -> Result<Option<Json>, String> {
+    if len == 0 {
+        return Ok(None);
+    }
+    let mut body = vec![0u8; len as usize];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    let text = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Json::parse(&text)
+        .map(Some)
+        .map_err(|e| format!("body is not JSON: {e}"))
+}
+
+/// Reads one request from the stream (the daemon side).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let (head, content_length) = read_head(&mut reader)?;
+    let mut parts = head.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return Err(format!("malformed request line {head:?}")),
+    };
+    let body = read_body(&mut reader, content_length)?;
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        409 => "Conflict",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one JSON response and flushes (the daemon side).
+pub fn respond(stream: &mut TcpStream, status: u16, body: &Json) -> Result<(), String> {
+    let text = body.to_string();
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{text}",
+        reason(status),
+        text.len(),
+    )
+    .map_err(|e| format!("write response: {e}"))?;
+    stream.flush().map_err(|e| format!("flush response: {e}"))
+}
+
+/// One round trip from the client side: connect, send, read the reply.
+/// Returns the status code and parsed JSON body.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+) -> Result<(u16, Json), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect to {addr}: {e}"))?;
+    let text = body.map(Json::to_string).unwrap_or_default();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{text}",
+        text.len(),
+    )
+    .map_err(|e| format!("send request: {e}"))?;
+    stream.flush().map_err(|e| format!("send request: {e}"))?;
+
+    let mut reader = BufReader::new(&mut stream);
+    let (head, content_length) = read_head(&mut reader)?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {head:?}"))?;
+    let body = read_body(&mut reader, content_length)?.unwrap_or(Json::Null);
+    Ok((status, body))
+}
+
+/// Unwraps a `(status, body)` pair into the body, turning any non-200
+/// status into an error carrying the daemon's `error` message.
+pub fn expect_ok(resp: (u16, Json)) -> Result<Json, String> {
+    let (status, body) = resp;
+    if status == 200 {
+        return Ok(body);
+    }
+    let msg = body
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown error");
+    Err(format!("daemon returned {status}: {msg}"))
+}

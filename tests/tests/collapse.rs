@@ -438,3 +438,60 @@ fn cross_mode_resume_is_refused() {
         std::fs::remove_file(&rec).unwrap();
     }
 }
+
+/// Satellite regression for `fiq report` over an exact stream where a
+/// cell has *zero residual classes* — every fault-space point collapsed
+/// into the dormant class, so not a single fault activated. The census
+/// and Wilson-CI paths must render 0% with a zero-width interval, never
+/// divide by zero, and never emit NaN (which `Json::f64` would silently
+/// turn into `null`).
+#[test]
+fn zero_residual_exact_cell_reports_without_nan() {
+    let rec = temp_path("zero-residual.jsonl");
+    let header = concat!(
+        r#"{"record":"campaign","version":2,"collapse":"exact","seed":9,"#,
+        r#""injections":16,"hang_factor":20,"cells":["#,
+        r#"{"label":"live","tool":"llfi","category":"arith","planned":3,"space":40},"#,
+        r#"{"label":"husk","tool":"pinfi","category":"arith","planned":1,"space":24}]}"#
+    );
+    let live = [
+        r#"{"record":"injection","task":0,"cell":"live","injection":0,"tool":"llfi","category":"arith","plan":{},"outcome":"sdc","steps":11,"class_size":1}"#,
+        r#"{"record":"injection","task":1,"cell":"live","injection":1,"tool":"llfi","category":"arith","plan":{},"outcome":"benign","steps":12,"class_size":2}"#,
+        r#"{"record":"injection","task":2,"cell":"live","injection":2,"tool":"llfi","category":"arith","plan":{},"outcome":"not-activated","steps":0,"class_size":37}"#,
+    ];
+    // The husk cell's entire space is one dormant class: one
+    // representative record, zero activated points.
+    let husk = r#"{"record":"injection","task":3,"cell":"husk","injection":0,"tool":"pinfi","category":"arith","plan":{},"outcome":"not-activated","steps":0,"class_size":24}"#;
+    let stream = format!("{header}\n{}\n{husk}\n", live.join("\n"));
+    std::fs::write(&rec, stream).unwrap();
+
+    let report = CampaignReport::build(&rec, None, None).unwrap();
+    let json = report.to_json();
+    let cells = json.get("cells").and_then(Json::as_array).unwrap();
+    let husk = cells
+        .iter()
+        .find(|c| c.get("label").and_then(Json::as_str) == Some("husk"))
+        .expect("husk cell in report");
+    assert_eq!(husk.get("activated").and_then(Json::as_u64), Some(0));
+    assert_eq!(husk.get("not_activated").and_then(Json::as_u64), Some(24));
+    for outcome in ["benign", "sdc", "crash", "hang"] {
+        let rate = husk.get(outcome).unwrap();
+        let pct = rate
+            .get("pct")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{outcome}: pct must be a number, not null/NaN"));
+        assert_eq!(pct, 0.0, "{outcome}");
+        let ci = rate.get("ci95").and_then(Json::as_array).unwrap();
+        assert_eq!(ci[0].as_f64(), Some(0.0), "{outcome} CI low");
+        assert_eq!(ci[1].as_f64(), Some(0.0), "{outcome} CI high");
+    }
+    let text = json.to_string();
+    assert!(!text.contains("NaN"), "{text}");
+
+    // The human rendering takes the same guarded paths.
+    let rendered = report.render();
+    assert!(rendered.contains("husk"), "{rendered}");
+    assert!(!rendered.contains("NaN"), "{rendered}");
+
+    std::fs::remove_file(&rec).unwrap();
+}
